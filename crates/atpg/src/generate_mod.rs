@@ -1,0 +1,358 @@
+use fastmon_netlist::Circuit;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::{
+    justify, podem, transition_faults, DetectionMatrix, PodemOutcome, StuckAtFault, TestPattern,
+    TestSet, TransitionFault, WordSim,
+};
+
+/// Configuration of the transition-fault ATPG flow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtpgConfig {
+    /// Number of weighted-random patterns tried before deterministic
+    /// generation.
+    pub random_patterns: usize,
+    /// PODEM backtrack limit per fault.
+    pub max_backtracks: u32,
+    /// RNG seed (pattern fill, random phase).
+    pub seed: u64,
+    /// Run reverse-order static compaction at the end.
+    pub compact: bool,
+    /// Optional hard cap on the final pattern count; when the compacted set
+    /// is larger, patterns are greedily selected for maximum coverage.
+    pub max_patterns: Option<usize>,
+}
+
+impl Default for AtpgConfig {
+    fn default() -> Self {
+        AtpgConfig {
+            random_patterns: 256,
+            max_backtracks: 192,
+            seed: 1,
+            compact: true,
+            max_patterns: None,
+        }
+    }
+}
+
+/// The outcome of [`generate`].
+#[derive(Debug, Clone)]
+pub struct AtpgResult {
+    /// The (compacted) two-vector test set.
+    pub test_set: TestSet,
+    /// Transition faults detected by the final set.
+    pub detected: usize,
+    /// Faults proven untestable (launch unjustifiable or effect
+    /// unpropagatable).
+    pub untestable: usize,
+    /// Faults aborted at the backtrack limit.
+    pub aborted: usize,
+    /// Total transition-fault population.
+    pub total_faults: usize,
+}
+
+impl AtpgResult {
+    /// Test coverage: detected / total faults.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 1.0;
+        }
+        self.detected as f64 / self.total_faults as f64
+    }
+
+    /// Fault efficiency: (detected + proven untestable) / total.
+    #[must_use]
+    pub fn fault_efficiency(&self) -> f64 {
+        if self.total_faults == 0 {
+            return 1.0;
+        }
+        (self.detected + self.untestable) as f64 / self.total_faults as f64
+    }
+}
+
+/// Generates a compacted transition-fault test set for a full-scan circuit.
+///
+/// See the [crate docs](crate) for the pipeline. Deterministic in
+/// `config.seed`.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_atpg::{generate, AtpgConfig};
+/// use fastmon_netlist::library;
+///
+/// let circuit = library::s27();
+/// let result = generate(&circuit, &AtpgConfig { seed: 42, ..AtpgConfig::default() });
+/// assert!(result.fault_efficiency() > 0.99);
+/// ```
+#[must_use]
+pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
+    let faults = transition_faults(circuit);
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xa791_0000_0000_0000);
+    let mut set = TestSet::new(circuit);
+    let width = set.sources().len();
+
+    // --- random phase ----------------------------------------------------
+    for _ in 0..config.random_patterns {
+        set.push(TestPattern::new(
+            (0..width).map(|_| rng.gen()).collect(),
+            (0..width).map(|_| rng.gen()).collect(),
+        ));
+    }
+    let mut undetected: Vec<usize> = (0..faults.len()).collect();
+    if !set.is_empty() {
+        let ws = WordSim::new(circuit, &set);
+        undetected.retain(|&f| {
+            !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0)
+        });
+    }
+
+    // --- deterministic phase ----------------------------------------------
+    let mut untestable = 0usize;
+    let mut aborted = 0usize;
+    let mut pending: Vec<TestPattern> = Vec::new();
+    let mut still_undetected = Vec::new();
+
+    let flush =
+        |pending: &mut Vec<TestPattern>, undetected: &mut Vec<usize>, set: &mut TestSet| {
+            if pending.is_empty() {
+                return;
+            }
+            let mut chunk = TestSet::new(circuit);
+            for p in pending.iter().cloned() {
+                chunk.push(p);
+            }
+            let ws = WordSim::new(circuit, &chunk);
+            undetected.retain(|&f| {
+                !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0)
+            });
+            for p in pending.drain(..) {
+                set.push(p);
+            }
+        };
+
+    let worklist = undetected.clone();
+    undetected.clear();
+    let mut remaining: Vec<bool> = vec![false; faults.len()];
+    for &f in &worklist {
+        remaining[f] = true;
+    }
+
+    for f in worklist {
+        if !remaining[f] {
+            continue;
+        }
+        let fault: &TransitionFault = &faults[f];
+        let launch = justify(
+            circuit,
+            fault.gate,
+            fault.initial_value(),
+            config.max_backtracks,
+        );
+        let capture = podem(
+            circuit,
+            &StuckAtFault {
+                node: fault.gate,
+                stuck_at: fault.initial_value(),
+            },
+            config.max_backtracks,
+        );
+        match (launch, capture) {
+            (PodemOutcome::Test(l), PodemOutcome::Test(c)) => {
+                let fill = |bits: Vec<Option<bool>>, rng: &mut ChaCha8Rng| -> Vec<bool> {
+                    bits.into_iter().map(|b| b.unwrap_or_else(|| rng.gen())).collect()
+                };
+                let pattern = TestPattern::new(fill(l, &mut rng), fill(c, &mut rng));
+                pending.push(pattern);
+                remaining[f] = false;
+                // opportunistically grade accumulated patterns in blocks
+                if pending.len() == 64 {
+                    let mut undet: Vec<usize> =
+                        (0..faults.len()).filter(|&g| remaining[g]).collect();
+                    flush(&mut pending, &mut undet, &mut set);
+                    for g in 0..faults.len() {
+                        remaining[g] = false;
+                    }
+                    for g in undet {
+                        remaining[g] = true;
+                    }
+                }
+            }
+            (PodemOutcome::Untestable, _) | (_, PodemOutcome::Untestable) => {
+                untestable += 1;
+                remaining[f] = false;
+            }
+            _ => {
+                aborted += 1;
+                remaining[f] = false;
+                still_undetected.push(f);
+            }
+        }
+    }
+    {
+        let mut undet: Vec<usize> = (0..faults.len()).filter(|&g| remaining[g]).collect();
+        flush(&mut pending, &mut undet, &mut set);
+    }
+
+    // --- compaction --------------------------------------------------------
+    let mut matrix = DetectionMatrix::build(circuit, &set, &faults);
+    if config.compact && !set.is_empty() {
+        let kept = matrix.reverse_order_compaction();
+        set.retain_indices(&kept);
+        matrix = DetectionMatrix::build(circuit, &set, &faults);
+    }
+    if let Some(cap) = config.max_patterns {
+        if set.len() > cap {
+            let keep = greedy_pattern_selection(&matrix, cap);
+            set.retain_indices(&keep);
+            matrix = DetectionMatrix::build(circuit, &set, &faults);
+        }
+    }
+
+    let detected = (0..faults.len()).filter(|&f| matrix.fault_detected(f)).count();
+    AtpgResult {
+        test_set: set,
+        detected,
+        untestable,
+        aborted,
+        total_faults: faults.len(),
+    }
+}
+
+/// Greedily selects up to `cap` patterns maximizing fault coverage.
+pub(crate) fn greedy_pattern_selection(matrix: &DetectionMatrix, cap: usize) -> Vec<usize> {
+    let mut covered = vec![false; matrix.num_faults()];
+    let mut chosen = Vec::with_capacity(cap);
+    let mut used = vec![false; matrix.num_patterns()];
+    for _ in 0..cap {
+        let mut best = (0usize, usize::MAX);
+        for p in 0..matrix.num_patterns() {
+            if used[p] {
+                continue;
+            }
+            let gain = (0..matrix.num_faults())
+                .filter(|&f| !covered[f] && matrix.detects(f, p))
+                .count();
+            if gain > best.0 {
+                best = (gain, p);
+            }
+        }
+        let (gain, p) = best;
+        if gain == 0 || p == usize::MAX {
+            break;
+        }
+        used[p] = true;
+        chosen.push(p);
+        for f in 0..matrix.num_faults() {
+            if matrix.detects(f, p) {
+                covered[f] = true;
+            }
+        }
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::{generate::GeneratorConfig, library};
+
+    #[test]
+    fn c17_full_coverage() {
+        let c = library::c17();
+        let r = generate(&c, &AtpgConfig::default());
+        assert_eq!(r.total_faults, 12);
+        assert_eq!(r.detected, 12);
+        assert_eq!(r.untestable, 0);
+        assert!(r.coverage() > 0.999);
+    }
+
+    #[test]
+    fn s27_high_efficiency() {
+        let c = library::s27();
+        let r = generate(&c, &AtpgConfig::default());
+        assert!(r.fault_efficiency() > 0.99, "efficiency {}", r.fault_efficiency());
+        assert!(r.detected + r.untestable >= 19);
+        assert!(!r.test_set.is_empty());
+    }
+
+    #[test]
+    fn deterministic_phase_beats_pure_random() {
+        // with very few random patterns, PODEM must pick up the slack
+        let c = library::s27();
+        let r = generate(
+            &c,
+            &AtpgConfig {
+                random_patterns: 2,
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(r.coverage() > 0.85, "coverage {}", r.coverage());
+    }
+
+    #[test]
+    fn compaction_shrinks_without_coverage_loss() {
+        let c = library::s27();
+        let uncompacted = generate(
+            &c,
+            &AtpgConfig {
+                compact: false,
+                ..AtpgConfig::default()
+            },
+        );
+        let compacted = generate(&c, &AtpgConfig::default());
+        assert!(compacted.test_set.len() <= uncompacted.test_set.len());
+        assert_eq!(compacted.detected, uncompacted.detected);
+    }
+
+    #[test]
+    fn pattern_budget_respected() {
+        let c = library::s27();
+        let r = generate(
+            &c,
+            &AtpgConfig {
+                max_patterns: Some(3),
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(r.test_set.len() <= 3);
+        assert!(r.detected > 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let c = library::s27();
+        let a = generate(&c, &AtpgConfig { seed: 9, ..AtpgConfig::default() });
+        let b = generate(&c, &AtpgConfig { seed: 9, ..AtpgConfig::default() });
+        assert_eq!(a.test_set, b.test_set);
+        assert_eq!(a.detected, b.detected);
+    }
+
+    #[test]
+    fn synthetic_circuit_reasonable_coverage() {
+        let c = GeneratorConfig::new("syn")
+            .gates(300)
+            .flip_flops(24)
+            .inputs(12)
+            .outputs(6)
+            .depth(12)
+            .generate(3)
+            .unwrap();
+        // a generous backtrack budget resolves nearly all faults
+        let r = generate(
+            &c,
+            &AtpgConfig {
+                max_backtracks: 5_000,
+                ..AtpgConfig::default()
+            },
+        );
+        assert!(
+            r.fault_efficiency() > 0.9,
+            "efficiency {} on synthetic circuit",
+            r.fault_efficiency()
+        );
+    }
+}

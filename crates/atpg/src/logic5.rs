@@ -1,0 +1,219 @@
+use std::fmt;
+
+use fastmon_netlist::GateKind;
+
+/// The five-valued logic of PODEM: good/faulty value pairs.
+///
+/// `D` means good-1/faulty-0, `Db` ("D-bar") good-0/faulty-1, `X` unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum V5 {
+    /// Constant 0 in both machines.
+    Zero,
+    /// Constant 1 in both machines.
+    One,
+    /// Unassigned / unknown.
+    X,
+    /// Good 1, faulty 0.
+    D,
+    /// Good 0, faulty 1.
+    Db,
+}
+
+impl V5 {
+    /// Builds a value from known good/faulty bits.
+    #[must_use]
+    pub fn from_pair(good: bool, faulty: bool) -> Self {
+        match (good, faulty) {
+            (false, false) => V5::Zero,
+            (true, true) => V5::One,
+            (true, false) => V5::D,
+            (false, true) => V5::Db,
+        }
+    }
+
+    /// The good-machine bit, if known.
+    #[must_use]
+    pub fn good(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::Db => Some(false),
+            V5::One | V5::D => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// The faulty-machine bit, if known.
+    #[must_use]
+    pub fn faulty(self) -> Option<bool> {
+        match self {
+            V5::Zero | V5::D => Some(false),
+            V5::One | V5::Db => Some(true),
+            V5::X => None,
+        }
+    }
+
+    /// Whether the value carries a fault effect.
+    #[must_use]
+    pub fn is_fault_effect(self) -> bool {
+        matches!(self, V5::D | V5::Db)
+    }
+
+    /// Whether the value is a known constant (0 or 1).
+    #[must_use]
+    pub fn is_binary(self) -> bool {
+        matches!(self, V5::Zero | V5::One)
+    }
+
+    /// Converts a plain bool.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            V5::One
+        } else {
+            V5::Zero
+        }
+    }
+
+    /// Logical complement (X stays X, D ↔ Db).
+    // the name mirrors the textbook PODEM operation; V5 is Copy, so there
+    // is no ambiguity with `std::ops::Not::not` on references
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Self {
+        match self {
+            V5::Zero => V5::One,
+            V5::One => V5::Zero,
+            V5::X => V5::X,
+            V5::D => V5::Db,
+            V5::Db => V5::D,
+        }
+    }
+}
+
+impl fmt::Display for V5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            V5::Zero => "0",
+            V5::One => "1",
+            V5::X => "X",
+            V5::D => "D",
+            V5::Db => "D̄",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Evaluates a gate in 5-valued logic by evaluating the good and faulty
+/// machines separately (exact for a single fault).
+#[must_use]
+pub fn eval5(kind: GateKind, inputs: &[V5]) -> V5 {
+    // three-valued evaluation of one machine
+    fn eval3<F: Fn(V5) -> Option<bool>>(kind: GateKind, inputs: &[V5], side: F) -> Option<bool> {
+        match kind {
+            GateKind::Const0 => return Some(false),
+            GateKind::Const1 => return Some(true),
+            _ => {}
+        }
+        if matches!(kind, GateKind::Buf | GateKind::Not | GateKind::Input | GateKind::Dff) {
+            let v = side(inputs[0]);
+            return match kind {
+                GateKind::Not => v.map(|b| !b),
+                _ => v,
+            };
+        }
+        let invert = kind.is_inverting();
+        match kind {
+            GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                // controlling value short-circuit
+                let ctrl = kind
+                    .controlling_value()
+                    .expect("and/or class has a controlling value");
+                let mut any_x = false;
+                for &i in inputs {
+                    match side(i) {
+                        Some(v) if v == ctrl => return Some(ctrl ^ invert),
+                        Some(_) => {}
+                        None => any_x = true,
+                    }
+                }
+                if any_x {
+                    None
+                } else {
+                    Some(!ctrl ^ invert)
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                let mut acc = false;
+                for &i in inputs {
+                    match side(i) {
+                        Some(v) => acc ^= v,
+                        None => return None,
+                    }
+                }
+                Some(acc ^ invert)
+            }
+            _ => unreachable!("handled above"),
+        }
+    }
+
+    let good = eval3(kind, inputs, V5::good);
+    let faulty = eval3(kind, inputs, V5::faulty);
+    match (good, faulty) {
+        (Some(g), Some(f)) => V5::from_pair(g, f),
+        _ => V5::X,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d_propagation_through_and() {
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::One]), V5::D);
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::Zero]), V5::Zero);
+        assert_eq!(eval5(GateKind::And, &[V5::D, V5::Db]), V5::Zero);
+        assert_eq!(eval5(GateKind::Nand, &[V5::D, V5::One]), V5::Db);
+    }
+
+    #[test]
+    fn x_handling() {
+        assert_eq!(eval5(GateKind::And, &[V5::X, V5::Zero]), V5::Zero);
+        assert_eq!(eval5(GateKind::And, &[V5::X, V5::One]), V5::X);
+        assert_eq!(eval5(GateKind::Or, &[V5::X, V5::One]), V5::One);
+        assert_eq!(eval5(GateKind::Xor, &[V5::X, V5::One]), V5::X);
+        assert_eq!(eval5(GateKind::Not, &[V5::X]), V5::X);
+    }
+
+    #[test]
+    fn xor_with_fault_effects() {
+        assert_eq!(eval5(GateKind::Xor, &[V5::D, V5::Zero]), V5::D);
+        assert_eq!(eval5(GateKind::Xor, &[V5::D, V5::One]), V5::Db);
+        // D xor D: good 1^1=0, faulty 0^0=0
+        assert_eq!(eval5(GateKind::Xor, &[V5::D, V5::D]), V5::Zero);
+        // Xnor(D, Db): good !(1^0)=0, faulty !(0^1)=0
+        assert_eq!(eval5(GateKind::Xnor, &[V5::D, V5::Db]), V5::Zero);
+    }
+
+    #[test]
+    fn not_and_pairs() {
+        assert_eq!(V5::D.not(), V5::Db);
+        assert_eq!(V5::Db.not(), V5::D);
+        assert_eq!(V5::X.not(), V5::X);
+        assert_eq!(V5::from_pair(true, false), V5::D);
+        assert_eq!(V5::D.good(), Some(true));
+        assert_eq!(V5::D.faulty(), Some(false));
+        assert_eq!(V5::X.good(), None);
+    }
+
+    #[test]
+    fn wide_gates() {
+        assert_eq!(
+            eval5(GateKind::Nor, &[V5::Zero, V5::Zero, V5::D]),
+            V5::Db
+        );
+        assert_eq!(
+            eval5(GateKind::Or, &[V5::Zero, V5::X, V5::Db]),
+            V5::X
+        );
+    }
+}

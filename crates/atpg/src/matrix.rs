@@ -1,0 +1,187 @@
+use fastmon_netlist::Circuit;
+
+use crate::{TestSet, TransitionFault, WordSim};
+
+/// The exact fault × pattern detection matrix of a test set, stored as one
+/// bitset row (over patterns) per fault.
+///
+/// Built once from the bit-parallel simulator, it answers coverage queries
+/// and drives static compaction.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_atpg::{generate, AtpgConfig, DetectionMatrix};
+/// use fastmon_netlist::library;
+///
+/// let circuit = library::c17();
+/// let result = generate(&circuit, &AtpgConfig::default());
+/// let faults = fastmon_atpg::transition_faults(&circuit);
+/// let matrix = DetectionMatrix::build(&circuit, &result.test_set, &faults);
+/// assert!(matrix.coverage() > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DetectionMatrix {
+    rows: Vec<Vec<u64>>,
+    num_patterns: usize,
+}
+
+impl DetectionMatrix {
+    /// Grades every fault against every pattern of `set`.
+    #[must_use]
+    pub fn build(circuit: &Circuit, set: &TestSet, faults: &[TransitionFault]) -> Self {
+        let ws = WordSim::new(circuit, set);
+        let rows = faults
+            .iter()
+            .map(|f| {
+                (0..ws.num_blocks())
+                    .map(|b| ws.detect_word(f, b))
+                    .collect()
+            })
+            .collect();
+        DetectionMatrix {
+            rows,
+            num_patterns: set.len(),
+        }
+    }
+
+    /// Number of faults (rows).
+    #[must_use]
+    pub fn num_faults(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of patterns (columns).
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// Whether pattern `p` detects fault `f`.
+    #[must_use]
+    pub fn detects(&self, f: usize, p: usize) -> bool {
+        self.rows[f][p / 64] >> (p % 64) & 1 == 1
+    }
+
+    /// Whether fault `f` is detected by any pattern.
+    #[must_use]
+    pub fn fault_detected(&self, f: usize) -> bool {
+        self.rows[f].iter().any(|&w| w != 0)
+    }
+
+    /// Fraction of faults detected by the full set.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 1.0;
+        }
+        let detected = (0..self.rows.len())
+            .filter(|&f| self.fault_detected(f))
+            .count();
+        detected as f64 / self.rows.len() as f64
+    }
+
+    /// The patterns detecting fault `f`.
+    #[must_use]
+    pub fn detecting_patterns(&self, f: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for (b, &w) in self.rows[f].iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                out.push(b * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    /// Static compaction by reverse-order fault dropping: walk the patterns
+    /// from last to first, keep a pattern only if it detects a fault no
+    /// later-kept pattern detects. Returns the kept indices in ascending
+    /// order. Coverage is exactly preserved.
+    #[must_use]
+    pub fn reverse_order_compaction(&self) -> Vec<usize> {
+        let mut remaining: Vec<bool> = (0..self.num_faults())
+            .map(|f| self.fault_detected(f))
+            .collect();
+        let mut kept = Vec::new();
+        for p in (0..self.num_patterns).rev() {
+            let mut useful = false;
+            for f in 0..self.num_faults() {
+                if remaining[f] && self.detects(f, p) {
+                    useful = true;
+                    remaining[f] = false;
+                }
+            }
+            if useful {
+                kept.push(p);
+            }
+        }
+        kept.reverse();
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{transition_faults, TestPattern};
+    use fastmon_netlist::library;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_set(circuit: &Circuit, n: usize, seed: u64) -> TestSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = TestSet::new(circuit);
+        let w = set.sources().len();
+        for _ in 0..n {
+            set.push(TestPattern::new(
+                (0..w).map(|_| rng.gen()).collect(),
+                (0..w).map(|_| rng.gen()).collect(),
+            ));
+        }
+        set
+    }
+
+    #[test]
+    fn compaction_preserves_coverage() {
+        let c = library::s27();
+        let faults = transition_faults(&c);
+        let set = random_set(&c, 200, 1);
+        let m = DetectionMatrix::build(&c, &set, &faults);
+        let before = m.coverage();
+        let kept = m.reverse_order_compaction();
+        assert!(kept.len() < set.len(), "random sets compact well");
+        let mut compacted = set.clone();
+        compacted.retain_indices(&kept);
+        let m2 = DetectionMatrix::build(&c, &compacted, &faults);
+        assert!((m2.coverage() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detecting_patterns_match_matrix() {
+        let c = library::c17();
+        let faults = transition_faults(&c);
+        let set = random_set(&c, 70, 2);
+        let m = DetectionMatrix::build(&c, &set, &faults);
+        for f in 0..m.num_faults() {
+            let pats = m.detecting_patterns(f);
+            for &p in &pats {
+                assert!(m.detects(f, p));
+            }
+            let count = (0..m.num_patterns()).filter(|&p| m.detects(f, p)).count();
+            assert_eq!(count, pats.len());
+        }
+    }
+
+    #[test]
+    fn empty_set_zero_coverage() {
+        let c = library::c17();
+        let faults = transition_faults(&c);
+        let set = TestSet::new(&c);
+        let m = DetectionMatrix::build(&c, &set, &faults);
+        assert_eq!(m.coverage(), 0.0);
+        assert!(m.reverse_order_compaction().is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+use fastmon_netlist::{Circuit, GateKind, NodeId};
+
+use crate::logic5::{eval5, V5};
+use crate::TestSet;
+
+/// A single stuck-at fault for PODEM: the output of `node` is stuck at
+/// `stuck_at`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAtFault {
+    /// The faulted gate output.
+    pub node: NodeId,
+    /// The stuck value.
+    pub stuck_at: bool,
+}
+
+/// The result of a PODEM run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PodemOutcome {
+    /// A test was found: per-source care bits in
+    /// [`TestSet::source_order`] order (`None` = don't care).
+    Test(Vec<Option<bool>>),
+    /// The fault is proven untestable (search space exhausted).
+    Untestable,
+    /// The backtrack limit was hit before a decision.
+    Aborted,
+}
+
+impl PodemOutcome {
+    /// Returns the assignment if a test was found.
+    #[must_use]
+    pub fn test(self) -> Option<Vec<Option<bool>>> {
+        match self {
+            PodemOutcome::Test(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+/// Generates a vector that detects the stuck-at fault at an observation
+/// point of the full-scan combinational core (classic PODEM with X-path
+/// pruning).
+///
+/// # Example
+///
+/// ```
+/// use fastmon_atpg::{podem, PodemOutcome, StuckAtFault};
+/// use fastmon_netlist::library;
+///
+/// let circuit = library::c17();
+/// let fault = StuckAtFault { node: circuit.find("N10").unwrap(), stuck_at: false };
+/// let outcome = podem(&circuit, &fault, 1000);
+/// assert!(matches!(outcome, PodemOutcome::Test(_)));
+/// ```
+#[must_use]
+pub fn podem(circuit: &Circuit, fault: &StuckAtFault, max_backtracks: u32) -> PodemOutcome {
+    Engine::new(circuit, Goal::Detect(*fault, None), max_backtracks).run()
+}
+
+/// PODEM with an additional *side objective*: the returned vector detects
+/// `fault` **and** justifies `side_value` at `side_node`.
+///
+/// Used by the broadside (launch-on-capture) generator, where the frame-2
+/// stuck-at detection must coexist with the frame-1 launch value.
+#[must_use]
+pub fn podem_with_side_objective(
+    circuit: &Circuit,
+    fault: &StuckAtFault,
+    side_node: NodeId,
+    side_value: bool,
+    max_backtracks: u32,
+) -> PodemOutcome {
+    Engine::new(
+        circuit,
+        Goal::Detect(*fault, Some((side_node, side_value))),
+        max_backtracks,
+    )
+    .run()
+}
+
+/// Generates a vector that justifies `value` at `node` (no fault
+/// propagation) — used to build the launch vector of a transition test.
+#[must_use]
+pub fn justify(
+    circuit: &Circuit,
+    node: NodeId,
+    value: bool,
+    max_backtracks: u32,
+) -> PodemOutcome {
+    Engine::new(circuit, Goal::Justify(node, value), max_backtracks).run()
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Goal {
+    /// Detect the fault; optionally also justify `(node, value)`.
+    Detect(StuckAtFault, Option<(NodeId, bool)>),
+    Justify(NodeId, bool),
+}
+
+enum Tri {
+    Success,
+    Fail,
+    Abort,
+}
+
+struct Engine<'c> {
+    circuit: &'c Circuit,
+    source_pos: Vec<usize>,
+    values: Vec<V5>,
+    assignment: Vec<Option<bool>>,
+    goal: Goal,
+    backtracks_left: u32,
+}
+
+impl<'c> Engine<'c> {
+    fn new(circuit: &'c Circuit, goal: Goal, max_backtracks: u32) -> Self {
+        let sources = TestSet::source_order(circuit);
+        let mut source_pos = vec![usize::MAX; circuit.len()];
+        for (k, &s) in sources.iter().enumerate() {
+            source_pos[s.index()] = k;
+        }
+        let n = sources.len();
+        Engine {
+            circuit,
+            source_pos,
+            values: vec![V5::X; circuit.len()],
+            assignment: vec![None; n],
+            goal,
+            backtracks_left: max_backtracks,
+        }
+    }
+
+    fn run(&mut self) -> PodemOutcome {
+        self.forward();
+        match self.search() {
+            Tri::Success => PodemOutcome::Test(self.assignment.clone()),
+            Tri::Fail => PodemOutcome::Untestable,
+            Tri::Abort => PodemOutcome::Aborted,
+        }
+    }
+
+    /// Full forward 5-valued implication (re-simulates everything; simple
+    /// and robust).
+    fn forward(&mut self) {
+        let fault = match self.goal {
+            Goal::Detect(f, _) => Some(f),
+            Goal::Justify(..) => None,
+        };
+        let mut ins: Vec<V5> = Vec::new();
+        for &id in self.circuit.topo_order() {
+            let node = self.circuit.node(id);
+            let mut v = match node.kind() {
+                GateKind::Input | GateKind::Dff => {
+                    match self.assignment[self.source_pos[id.index()]] {
+                        Some(b) => V5::from_bool(b),
+                        None => V5::X,
+                    }
+                }
+                GateKind::Const0 => V5::Zero,
+                GateKind::Const1 => V5::One,
+                kind => {
+                    ins.clear();
+                    ins.extend(node.fanins().iter().map(|&fi| self.values[fi.index()]));
+                    eval5(kind, &ins)
+                }
+            };
+            if let Some(f) = fault {
+                if f.node == id {
+                    v = match v.good() {
+                        Some(g) => V5::from_pair(g, f.stuck_at),
+                        None => V5::X,
+                    };
+                }
+            }
+            self.values[id.index()] = v;
+        }
+    }
+
+    fn success(&self) -> bool {
+        match self.goal {
+            Goal::Justify(node, value) => self.values[node.index()] == V5::from_bool(value),
+            Goal::Detect(_, side) => {
+                let side_ok = side.is_none_or(|(node, value)| {
+                    self.values[node.index()].good() == Some(value)
+                });
+                side_ok
+                    && self
+                        .circuit
+                        .observe_points()
+                        .iter()
+                        .any(|op| self.values[op.driver.index()].is_fault_effect())
+            }
+        }
+    }
+
+    /// Returns `true` when the current partial assignment can no longer
+    /// lead to success.
+    fn hopeless(&self) -> bool {
+        match self.goal {
+            Goal::Justify(node, value) => {
+                let v = self.values[node.index()];
+                v.is_binary() && v != V5::from_bool(value)
+            }
+            Goal::Detect(fault, side) => {
+                if let Some((node, value)) = side {
+                    // launch value fixed to the wrong polarity: dead branch
+                    let v = self.values[node.index()];
+                    if v.good().is_some_and(|g| g != value) {
+                        return true;
+                    }
+                }
+                let at_site = self.values[fault.node.index()];
+                if at_site.is_binary() {
+                    return true; // good == stuck: can never activate
+                }
+                if at_site.is_fault_effect() {
+                    // activated: need an X-path from the frontier
+                    !self.x_path_exists()
+                } else {
+                    false // site still X: activation pending
+                }
+            }
+        }
+    }
+
+    /// Whether some fault effect can still reach an observation point
+    /// through X-valued logic.
+    fn x_path_exists(&self) -> bool {
+        let mut reachable = vec![false; self.circuit.len()];
+        for &id in self.circuit.topo_order() {
+            let v = self.values[id.index()];
+            let mark = if v.is_fault_effect() {
+                true
+            } else if v == V5::X {
+                self.circuit.node(id).fanins().iter().any(|&fi| reachable[fi.index()])
+            } else {
+                false
+            };
+            reachable[id.index()] = mark;
+        }
+        self.circuit
+            .observe_points()
+            .iter()
+            .any(|op| reachable[op.driver.index()])
+    }
+
+    /// The next objective `(node, value)` to pursue, or `None` when stuck.
+    fn objective(&self) -> Option<(NodeId, bool)> {
+        match self.goal {
+            Goal::Justify(node, value) => {
+                (self.values[node.index()] == V5::X).then_some((node, value))
+            }
+            Goal::Detect(fault, side) => {
+                if let Some((node, value)) = side {
+                    if self.values[node.index()] == V5::X {
+                        return Some((node, value));
+                    }
+                }
+                let at_site = self.values[fault.node.index()];
+                if at_site == V5::X {
+                    return Some((fault.node, !fault.stuck_at));
+                }
+                if !at_site.is_fault_effect() {
+                    return None;
+                }
+                // D-frontier: gate with X output and a fault effect input
+                for id in self.circuit.combinational_nodes() {
+                    if self.values[id.index()] != V5::X {
+                        continue;
+                    }
+                    let node = self.circuit.node(id);
+                    let has_effect = node
+                        .fanins()
+                        .iter()
+                        .any(|&fi| self.values[fi.index()].is_fault_effect());
+                    if !has_effect {
+                        continue;
+                    }
+                    // drive an X side input to the non-controlling value
+                    for &fi in node.fanins() {
+                        if self.values[fi.index()] == V5::X {
+                            let v = match node.kind().controlling_value() {
+                                Some(c) => !c,
+                                None => false, // XOR class: either value propagates
+                            };
+                            return Some((fi, v));
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Maps an objective to a source assignment by walking X inputs
+    /// backwards.
+    fn backtrace(&self, mut node: NodeId, mut value: bool) -> (usize, bool) {
+        loop {
+            let pos = self.source_pos[node.index()];
+            if pos != usize::MAX {
+                return (pos, value);
+            }
+            let n = self.circuit.node(node);
+            let kind = n.kind();
+            let pre = value ^ kind.is_inverting();
+            // choose an X-valued input and the value to aim for there
+            let (next, next_value) = match kind {
+                GateKind::Buf | GateKind::Not => (n.fanins()[0], pre),
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let ctrl = kind
+                        .controlling_value()
+                        .expect("and/or class controlling value");
+                    let x_input = n
+                        .fanins()
+                        .iter()
+                        .copied()
+                        .find(|&fi| self.values[fi.index()] == V5::X)
+                        .expect("X output implies an X input");
+                    if pre == ctrl ^ true {
+                        // need the non-controlled output: all inputs
+                        // non-controlling
+                        (x_input, !ctrl)
+                    } else {
+                        // one controlling input suffices
+                        (x_input, ctrl)
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let x_input = n
+                        .fanins()
+                        .iter()
+                        .copied()
+                        .find(|&fi| self.values[fi.index()] == V5::X)
+                        .expect("X output implies an X input");
+                    // parity of the other inputs' known good bits
+                    let parity = n
+                        .fanins()
+                        .iter()
+                        .filter(|&&fi| fi != x_input)
+                        .map(|&fi| self.values[fi.index()].good().unwrap_or(false))
+                        .fold(false, |a, b| a ^ b);
+                    (x_input, pre ^ parity)
+                }
+                GateKind::Input | GateKind::Dff | GateKind::Const0 | GateKind::Const1 => {
+                    unreachable!("sources are caught above; constants are never X")
+                }
+            };
+            node = next;
+            value = next_value;
+        }
+    }
+
+    fn search(&mut self) -> Tri {
+        if self.success() {
+            return Tri::Success;
+        }
+        if self.hopeless() {
+            return Tri::Fail;
+        }
+        let Some((obj_node, obj_value)) = self.objective() else {
+            return Tri::Fail;
+        };
+        let (src, first) = self.backtrace(obj_node, obj_value);
+        for value in [first, !first] {
+            self.assignment[src] = Some(value);
+            self.forward();
+            match self.search() {
+                Tri::Success => return Tri::Success,
+                Tri::Abort => return Tri::Abort,
+                Tri::Fail => {
+                    if self.backtracks_left == 0 {
+                        return Tri::Abort;
+                    }
+                    self.backtracks_left -= 1;
+                }
+            }
+        }
+        self.assignment[src] = None;
+        self.forward();
+        Tri::Fail
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::{library, CircuitBuilder};
+
+    fn check_detects(circuit: &Circuit, fault: &StuckAtFault, assignment: &[Option<bool>]) {
+        // verify: good vs faulty steady simulation differ at an observation
+        // point (don't-cares filled with 0)
+        let sources = TestSet::source_order(circuit);
+        let assigned = |id: NodeId| {
+            sources
+                .iter()
+                .position(|&s| s == id)
+                .and_then(|k| assignment[k])
+                .unwrap_or(false)
+        };
+        let good = circuit.eval_steady(assigned);
+        // faulty: recompute with the node forced
+        let mut faulty = vec![false; circuit.len()];
+        for &id in circuit.topo_order() {
+            let node = circuit.node(id);
+            faulty[id.index()] = if id == fault.node {
+                fault.stuck_at
+            } else {
+                match node.kind() {
+                    GateKind::Input | GateKind::Dff => assigned(id),
+                    GateKind::Const0 => false,
+                    GateKind::Const1 => true,
+                    kind => {
+                        let ins: Vec<bool> =
+                            node.fanins().iter().map(|&fi| faulty[fi.index()]).collect();
+                        kind.eval(&ins)
+                    }
+                }
+            };
+        }
+        let detected = circuit
+            .observe_points()
+            .iter()
+            .any(|op| good[op.driver.index()] != faulty[op.driver.index()]);
+        assert!(detected, "assignment does not detect {fault:?}");
+    }
+
+    #[test]
+    fn detects_all_c17_stuck_faults() {
+        let c = library::c17();
+        for id in c.node_ids() {
+            for stuck in [false, true] {
+                let fault = StuckAtFault { node: id, stuck_at: stuck };
+                match podem(&c, &fault, 10_000) {
+                    PodemOutcome::Test(t) => check_detects(&c, &fault, &t),
+                    other => panic!("c17 {fault:?} should be testable, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_all_s27_stuck_faults() {
+        let c = library::s27();
+        let mut tested = 0;
+        for id in c.node_ids() {
+            if !c.node(id).kind().is_combinational() {
+                continue;
+            }
+            for stuck in [false, true] {
+                let fault = StuckAtFault { node: id, stuck_at: stuck };
+                match podem(&c, &fault, 50_000) {
+                    PodemOutcome::Test(t) => {
+                        check_detects(&c, &fault, &t);
+                        tested += 1;
+                    }
+                    PodemOutcome::Untestable => {}
+                    PodemOutcome::Aborted => panic!("s27 {fault:?} aborted"),
+                }
+            }
+        }
+        assert!(tested >= 18, "most s27 faults are testable, got {tested}");
+    }
+
+    #[test]
+    fn untestable_fault_proven() {
+        // y = OR(a, NOT(a)) is constant 1: s-a-1 at y is untestable
+        let mut b = CircuitBuilder::new("taut");
+        b.add("a", GateKind::Input, &[]);
+        b.add("na", GateKind::Not, &["a"]);
+        b.add("y", GateKind::Or, &["a", "na"]);
+        b.mark_output("y");
+        let c = b.finish().unwrap();
+        let fault = StuckAtFault { node: c.find("y").unwrap(), stuck_at: true };
+        assert_eq!(podem(&c, &fault, 10_000), PodemOutcome::Untestable);
+        // ...but s-a-0 is testable by any vector
+        let fault = StuckAtFault { node: c.find("y").unwrap(), stuck_at: false };
+        assert!(matches!(podem(&c, &fault, 10_000), PodemOutcome::Test(_)));
+    }
+
+    #[test]
+    fn justify_sets_internal_node() {
+        let c = library::s27();
+        let g11 = c.find("G11").unwrap();
+        for target in [false, true] {
+            match justify(&c, g11, target, 10_000) {
+                PodemOutcome::Test(t) => {
+                    let sources = TestSet::source_order(&c);
+                    let vals = c.eval_steady(|id| {
+                        sources
+                            .iter()
+                            .position(|&s| s == id)
+                            .and_then(|k| t[k])
+                            .unwrap_or(false)
+                    });
+                    assert_eq!(vals[g11.index()], target);
+                }
+                other => panic!("justify G11={target} failed: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn justify_constant_conflict_untestable() {
+        let mut b = CircuitBuilder::new("const");
+        b.add("a", GateKind::Input, &[]);
+        b.add("z", GateKind::And, &["a", "zero"]);
+        b.add("zero", GateKind::Const0, &[]);
+        b.mark_output("z");
+        let c = b.finish().unwrap();
+        let z = c.find("z").unwrap();
+        assert_eq!(justify(&c, z, true, 1000), PodemOutcome::Untestable);
+        assert!(matches!(justify(&c, z, false, 1000), PodemOutcome::Test(_)));
+    }
+
+    #[test]
+    fn dont_cares_remain() {
+        // y = BUF(a); input b is irrelevant and must stay X
+        let mut b = CircuitBuilder::new("dc");
+        b.add("a", GateKind::Input, &[]);
+        b.add("b", GateKind::Input, &[]);
+        b.add("y", GateKind::Buf, &["a"]);
+        b.add("z", GateKind::Buf, &["b"]);
+        b.mark_output("y");
+        b.mark_output("z");
+        let c = b.finish().unwrap();
+        let fault = StuckAtFault { node: c.find("y").unwrap(), stuck_at: false };
+        let t = podem(&c, &fault, 100).test().unwrap();
+        let sources = TestSet::source_order(&c);
+        let b_pos = sources.iter().position(|&s| s == c.find("b").unwrap()).unwrap();
+        assert_eq!(t[b_pos], None, "b is a don't care");
+    }
+}

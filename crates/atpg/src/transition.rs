@@ -1,0 +1,82 @@
+use std::fmt;
+
+use fastmon_netlist::{Circuit, NodeId};
+
+/// A transition fault at a gate output: the gate is too slow to rise
+/// (`rising = true`) or too slow to fall.
+///
+/// Detection (enhanced-scan, zero-delay model): the launch vector sets the
+/// gate to the initial value, the capture vector sets it to the final value
+/// *and* propagates a stuck-at-initial-value fault effect to an observation
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransitionFault {
+    /// The gate whose output transition is slow.
+    pub gate: NodeId,
+    /// `true` for slow-to-rise (0→1 transition), `false` for slow-to-fall.
+    pub rising: bool,
+}
+
+impl TransitionFault {
+    /// The value the gate must take in the launch vector (the initial
+    /// value of the transition).
+    #[must_use]
+    pub fn initial_value(&self) -> bool {
+        !self.rising
+    }
+
+    /// The value the gate must take in the capture vector.
+    #[must_use]
+    pub fn final_value(&self) -> bool {
+        self.rising
+    }
+}
+
+impl fmt::Display for TransitionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-{}",
+            if self.rising { "STR" } else { "STF" },
+            self.gate
+        )
+    }
+}
+
+/// The full transition-fault population: two faults per combinational gate
+/// output.
+#[must_use]
+pub fn transition_faults(circuit: &Circuit) -> Vec<TransitionFault> {
+    let mut out = Vec::with_capacity(2 * circuit.len());
+    for gate in circuit.combinational_nodes() {
+        out.push(TransitionFault { gate, rising: true });
+        out.push(TransitionFault { gate, rising: false });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+
+    #[test]
+    fn population_size() {
+        let c = library::c17();
+        assert_eq!(transition_faults(&c).len(), 12);
+        let c = library::s27();
+        assert_eq!(transition_faults(&c).len(), 20);
+    }
+
+    #[test]
+    fn values() {
+        let c = library::c17();
+        let f = TransitionFault {
+            gate: c.find("N10").unwrap(),
+            rising: true,
+        };
+        assert!(!f.initial_value());
+        assert!(f.final_value());
+        assert!(f.to_string().starts_with("STR-"));
+    }
+}

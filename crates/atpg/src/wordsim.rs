@@ -1,0 +1,293 @@
+use fastmon_netlist::{Circuit, GateKind, NodeId};
+
+use crate::{TestPattern, TestSet, TransitionFault};
+
+/// Bit-parallel (64 patterns per machine word) zero-delay simulation of the
+/// combinational core.
+///
+/// Used to grade transition-fault detection: for each fault and 64-pattern
+/// word it computes the *activation* mask (launch value then capture value
+/// at the gate) and the *propagation* mask (capture vector detects a
+/// stuck-at-initial-value at the gate, simulated only on the gate's fanout
+/// cone) — detection is their conjunction.
+#[derive(Debug)]
+pub struct WordSim<'c> {
+    circuit: &'c Circuit,
+    /// steady-state words per node for the launch vectors, one word per
+    /// 64-pattern block
+    launch: Vec<Vec<u64>>,
+    /// steady-state words per node for the capture vectors
+    capture: Vec<Vec<u64>>,
+    /// number of patterns graded
+    num_patterns: usize,
+}
+
+impl<'c> WordSim<'c> {
+    /// Simulates all patterns of `set` (launch and capture vectors
+    /// separately).
+    #[must_use]
+    pub fn new(circuit: &'c Circuit, set: &TestSet) -> Self {
+        let blocks = set.len().div_ceil(64).max(1);
+        let mut launch = vec![vec![0u64; circuit.len()]; blocks];
+        let mut capture = vec![vec![0u64; circuit.len()]; blocks];
+
+        for block in 0..blocks {
+            let lo = block * 64;
+            let hi = (lo + 64).min(set.len());
+            // load source words
+            let mut lw = vec![0u64; circuit.len()];
+            let mut cw = vec![0u64; circuit.len()];
+            for (bit, p) in (lo..hi).enumerate() {
+                let pattern: &TestPattern = set.pattern(p);
+                for (k, &src) in set.sources().iter().enumerate() {
+                    if pattern.launch[k] {
+                        lw[src.index()] |= 1 << bit;
+                    }
+                    if pattern.capture[k] {
+                        cw[src.index()] |= 1 << bit;
+                    }
+                }
+            }
+            for id in circuit.node_ids() {
+                if circuit.node(id).kind() == GateKind::Const1 {
+                    lw[id.index()] = !0;
+                    cw[id.index()] = !0;
+                }
+            }
+            eval_words(circuit, &mut lw, None);
+            eval_words(circuit, &mut cw, None);
+            launch[block] = lw;
+            capture[block] = cw;
+        }
+
+        WordSim {
+            circuit,
+            launch,
+            capture,
+            num_patterns: set.len(),
+        }
+    }
+
+    /// Number of graded patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The steady capture-vector value of `node` under pattern `p`.
+    #[must_use]
+    pub fn capture_value(&self, node: NodeId, p: usize) -> bool {
+        self.capture[p / 64][node.index()] >> (p % 64) & 1 == 1
+    }
+
+    /// The steady launch-vector value of `node` under pattern `p`.
+    #[must_use]
+    pub fn launch_value(&self, node: NodeId, p: usize) -> bool {
+        self.launch[p / 64][node.index()] >> (p % 64) & 1 == 1
+    }
+
+    /// Per-pattern detection mask of `fault` for one 64-pattern block:
+    /// bit `i` is set iff pattern `block*64 + i` detects the fault.
+    #[must_use]
+    pub fn detect_word(&self, fault: &TransitionFault, block: usize) -> u64 {
+        let g = fault.gate.index();
+        let lw = &self.launch[block];
+        let cw = &self.capture[block];
+        // activation: gate holds the initial value under v1 and the final
+        // value under v2
+        let activated = if fault.rising {
+            !lw[g] & cw[g]
+        } else {
+            lw[g] & !cw[g]
+        };
+        let activated = activated & self.block_mask(block);
+        if activated == 0 {
+            return 0;
+        }
+        // propagation: stuck-at-initial-value on the capture vectors,
+        // simulated on the fanout cone only
+        let forced = if fault.initial_value() { !0u64 } else { 0u64 };
+        let cone = self.circuit.fanout_cone(fault.gate);
+        let mut faulty: Vec<(usize, u64)> = Vec::with_capacity(cone.len());
+        let mut pos = vec![usize::MAX; self.circuit.len()];
+        for (i, &id) in cone.iter().enumerate() {
+            pos[id.index()] = i;
+            let word = if i == 0 {
+                forced
+            } else {
+                let node = self.circuit.node(id);
+                eval_word(
+                    node.kind(),
+                    node.fanins().iter().map(|&fi| {
+                        let p = pos[fi.index()];
+                        if p == usize::MAX {
+                            cw[fi.index()]
+                        } else {
+                            faulty[p].1
+                        }
+                    }),
+                )
+            };
+            faulty.push((id.index(), word));
+        }
+        let mut detected = 0u64;
+        for op in self.circuit.observe_points() {
+            let p = pos[op.driver.index()];
+            if p != usize::MAX {
+                detected |= cw[op.driver.index()] ^ faulty[p].1;
+            }
+        }
+        detected & activated
+    }
+
+    /// Number of 64-pattern blocks.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.launch.len()
+    }
+
+    fn block_mask(&self, block: usize) -> u64 {
+        let lo = block * 64;
+        let n = self.num_patterns.saturating_sub(lo).min(64);
+        if n == 64 {
+            !0
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+}
+
+/// Evaluates all nodes in place over 64-bit words; `force` optionally pins
+/// one node to a constant word.
+fn eval_words(circuit: &Circuit, words: &mut [u64], force: Option<(NodeId, u64)>) {
+    for &id in circuit.topo_order() {
+        if let Some((f, w)) = force {
+            if f == id {
+                words[id.index()] = w;
+                continue;
+            }
+        }
+        let node = circuit.node(id);
+        if !node.kind().is_combinational() {
+            continue; // sources already loaded
+        }
+        words[id.index()] = eval_word(
+            node.kind(),
+            node.fanins().iter().map(|&fi| words[fi.index()]),
+        );
+    }
+}
+
+/// Word-parallel gate evaluation.
+fn eval_word<I: Iterator<Item = u64>>(kind: GateKind, mut inputs: I) -> u64 {
+    match kind {
+        GateKind::Const0 => 0,
+        GateKind::Const1 => !0,
+        GateKind::Buf | GateKind::Input | GateKind::Dff => inputs.next().unwrap_or(0),
+        GateKind::Not => !inputs.next().unwrap_or(0),
+        GateKind::And => inputs.fold(!0u64, |a, b| a & b),
+        GateKind::Nand => !inputs.fold(!0u64, |a, b| a & b),
+        GateKind::Or => inputs.fold(0u64, |a, b| a | b),
+        GateKind::Nor => !inputs.fold(0u64, |a, b| a | b),
+        GateKind::Xor => inputs.fold(0u64, |a, b| a ^ b),
+        GateKind::Xnor => !inputs.fold(0u64, |a, b| a ^ b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TestPattern;
+    use fastmon_netlist::library;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_set(circuit: &Circuit, n: usize, seed: u64) -> TestSet {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut set = TestSet::new(circuit);
+        let w = set.sources().len();
+        for _ in 0..n {
+            set.push(TestPattern::new(
+                (0..w).map(|_| rng.gen()).collect(),
+                (0..w).map(|_| rng.gen()).collect(),
+            ));
+        }
+        set
+    }
+
+    #[test]
+    fn word_values_match_scalar_eval() {
+        let c = library::s27();
+        let set = random_set(&c, 100, 3);
+        let ws = WordSim::new(&c, &set);
+        for p in [0usize, 17, 63, 64, 99] {
+            let pattern = set.pattern(p);
+            let srcs = set.sources();
+            let cap = c.eval_steady(|id| {
+                srcs.iter()
+                    .position(|&s| s == id)
+                    .map(|k| pattern.capture[k])
+                    .unwrap_or(false)
+            });
+            let lau = c.eval_steady(|id| {
+                srcs.iter()
+                    .position(|&s| s == id)
+                    .map(|k| pattern.launch[k])
+                    .unwrap_or(false)
+            });
+            for id in c.node_ids() {
+                assert_eq!(ws.capture_value(id, p), cap[id.index()], "capture {id} {p}");
+                assert_eq!(ws.launch_value(id, p), lau[id.index()], "launch {id} {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn detection_requires_activation() {
+        let c = library::c17();
+        // identical launch/capture vectors → no transitions → nothing
+        // detected
+        let mut set = TestSet::new(&c);
+        let w = set.sources().len();
+        set.push(TestPattern::new(vec![true; w], vec![true; w]));
+        let ws = WordSim::new(&c, &set);
+        for f in crate::transition_faults(&c) {
+            assert_eq!(ws.detect_word(&f, 0), 0, "{f}");
+        }
+    }
+
+    #[test]
+    fn known_detection_on_c17() {
+        let c = library::c17();
+        // N10 = NAND(N1, N3). Launch N1=0 (N10=1), capture all-ones
+        // (N10=0): N10 falls. Slow-to-fall at N10 should be detectable:
+        // faulty N10 stuck at 1; N22 = NAND(N10, N16).
+        let mut set = TestSet::new(&c);
+        let srcs = set.sources().to_vec();
+        let n1 = c.find("N1").unwrap();
+        let launch: Vec<bool> = srcs.iter().map(|&s| s != n1).collect();
+        let capture = vec![true; srcs.len()];
+        set.push(TestPattern::new(launch, capture));
+        let ws = WordSim::new(&c, &set);
+        let stf_n10 = TransitionFault {
+            gate: c.find("N10").unwrap(),
+            rising: false,
+        };
+        assert_eq!(ws.detect_word(&stf_n10, 0), 1, "slow-to-fall N10 detected");
+        let str_n10 = TransitionFault {
+            gate: c.find("N10").unwrap(),
+            rising: true,
+        };
+        assert_eq!(ws.detect_word(&str_n10, 0), 0, "no rising transition at N10");
+    }
+
+    #[test]
+    fn block_mask_limits_partial_blocks() {
+        let c = library::c17();
+        let set = random_set(&c, 10, 5);
+        let ws = WordSim::new(&c, &set);
+        for f in crate::transition_faults(&c) {
+            assert_eq!(ws.detect_word(&f, 0) & !((1u64 << 10) - 1), 0);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Microbenchmarks of the ATPG substrate: bit-parallel fault grading and
+//! PODEM.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmon_atpg::{podem, transition_faults, AtpgConfig, StuckAtFault, TestPattern, TestSet, WordSim};
+use fastmon_netlist::generate::GeneratorConfig;
+use fastmon_netlist::library;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_atpg(c: &mut Criterion) {
+    let mid = GeneratorConfig::new("mid")
+        .gates(800)
+        .flip_flops(48)
+        .inputs(16)
+        .outputs(8)
+        .depth(14)
+        .generate(5)
+        .expect("valid generator config");
+
+    // 128 random patterns for grading
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let mut set = TestSet::new(&mid);
+    let w = set.sources().len();
+    for _ in 0..128 {
+        set.push(TestPattern::new(
+            (0..w).map(|_| rng.gen()).collect(),
+            (0..w).map(|_| rng.gen()).collect(),
+        ));
+    }
+
+    c.bench_function("atpg/wordsim_build_800g_128p", |b| {
+        b.iter(|| std::hint::black_box(WordSim::new(&mid, &set)))
+    });
+
+    let ws = WordSim::new(&mid, &set);
+    let faults = transition_faults(&mid);
+    c.bench_function("atpg/grade_1600_faults", |b| {
+        b.iter(|| {
+            let mut detected = 0usize;
+            for f in &faults {
+                for blk in 0..ws.num_blocks() {
+                    if ws.detect_word(f, blk) != 0 {
+                        detected += 1;
+                        break;
+                    }
+                }
+            }
+            std::hint::black_box(detected)
+        })
+    });
+
+    let s27 = library::s27();
+    let target = s27.find("G11").expect("s27 has G11");
+    c.bench_function("atpg/podem_s27", |b| {
+        b.iter(|| {
+            std::hint::black_box(podem(
+                &s27,
+                &StuckAtFault { node: target, stuck_at: false },
+                1000,
+            ))
+        })
+    });
+
+    c.bench_function("atpg/generate_s27_full", |b| {
+        b.iter(|| std::hint::black_box(fastmon_atpg::generate(&s27, &AtpgConfig::default())))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    targets = bench_atpg
+}
+criterion_main!(benches);

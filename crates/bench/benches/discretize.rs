@@ -1,0 +1,35 @@
+//! Microbenchmarks of the observation-time discretization (Sec. IV-A).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmon_core::{discretize, elementary_intervals};
+use fastmon_faults::{Interval, IntervalSet};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_ranges(n: usize, seed: u64) -> Vec<IntervalSet> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(1..4);
+            IntervalSet::from_intervals((0..k).map(|_| {
+                let s: f64 = rng.gen_range(100.0..900.0);
+                Interval::new(s, s + rng.gen_range(5.0..80.0))
+            }))
+        })
+        .collect()
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    for n in [100usize, 1000] {
+        let ranges = random_ranges(n, 42);
+        c.bench_function(&format!("discretize/candidates_{n}"), |b| {
+            b.iter(|| std::hint::black_box(discretize(&ranges)))
+        });
+        c.bench_function(&format!("discretize/elementary_{n}"), |b| {
+            b.iter(|| std::hint::black_box(elementary_intervals(&ranges)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_discretize);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end flow benchmarks: the full paper pipeline on small circuits
+//! (the table regenerators cover the large ones).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmon_core::{FlowConfig, HdfTestFlow, Solver};
+use fastmon_netlist::generate::GeneratorConfig;
+use fastmon_netlist::library;
+
+fn bench_flow(c: &mut Criterion) {
+    let s27 = library::s27();
+    c.bench_function("flow/end_to_end_s27", |b| {
+        b.iter(|| {
+            let flow = HdfTestFlow::prepare(&s27, &FlowConfig::default());
+            let patterns = flow.generate_patterns(None);
+            let analysis = flow.analyze(&patterns);
+            std::hint::black_box(flow.schedule(&analysis, Solver::Ilp))
+        })
+    });
+
+    let small = GeneratorConfig::new("small")
+        .gates(300)
+        .flip_flops(24)
+        .inputs(12)
+        .outputs(6)
+        .depth(12)
+        .generate(7)
+        .expect("valid generator config");
+    let flow = HdfTestFlow::prepare(&small, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(48));
+
+    c.bench_function("flow/analyze_300g_48p", |b| {
+        b.iter(|| std::hint::black_box(flow.analyze(&patterns)))
+    });
+
+    let analysis = flow.analyze(&patterns);
+    c.bench_function("flow/schedule_ilp_300g", |b| {
+        b.iter(|| std::hint::black_box(flow.schedule(&analysis, Solver::Ilp)))
+    });
+    c.bench_function("flow/schedule_greedy_300g", |b| {
+        b.iter(|| std::hint::black_box(flow.schedule(&analysis, Solver::Greedy)))
+    });
+    c.bench_function("flow/fig3_sweep_300g", |b| {
+        let factors: Vec<f64> = (10..=30).map(|i| f64::from(i) / 10.0).collect();
+        b.iter(|| std::hint::black_box(flow.coverage_vs_fmax(&analysis, &factors)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    targets = bench_flow
+}
+criterion_main!(benches);

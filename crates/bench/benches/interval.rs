@@ -1,0 +1,53 @@
+//! Microbenchmarks of the interval-set kernels (detection-range algebra).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fastmon_faults::{Interval, IntervalSet};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_set(rng: &mut ChaCha8Rng, n: usize) -> IntervalSet {
+    IntervalSet::from_intervals((0..n).map(|_| {
+        let s: f64 = rng.gen_range(0.0..1000.0);
+        Interval::new(s, s + rng.gen_range(0.1..20.0))
+    }))
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let a = random_set(&mut rng, 64);
+    let b = random_set(&mut rng, 64);
+
+    c.bench_function("interval/union_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.union(&b)))
+    });
+    c.bench_function("interval/intersection_64x64", |bench| {
+        bench.iter(|| std::hint::black_box(a.intersection(&b)))
+    });
+    c.bench_function("interval/shift_clip_filter", |bench| {
+        bench.iter(|| {
+            std::hint::black_box(
+                a.shifted(100.0).clipped(150.0, 900.0).filter_glitches(2.0),
+            )
+        })
+    });
+    c.bench_function("interval/contains", |bench| {
+        bench.iter(|| std::hint::black_box(a.contains(512.5)))
+    });
+    c.bench_function("interval/insert_1000", |bench| {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        bench.iter_batched(
+            IntervalSet::new,
+            |mut set| {
+                for _ in 0..1000 {
+                    let s: f64 = rng.gen_range(0.0..1000.0);
+                    set.insert(Interval::new(s, s + 3.0));
+                }
+                set
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_interval);
+criterion_main!(benches);

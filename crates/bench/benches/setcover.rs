@@ -1,0 +1,42 @@
+//! Microbenchmarks of the 0-1 set-cover solvers (the paper's ILP core).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmon_ilp::{greedy, reduce, BranchBound, SetCover};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn random_instance(elements: usize, sets: usize, density: f64, seed: u64) -> SetCover {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let family: Vec<Vec<u32>> = (0..sets)
+        .map(|_| {
+            (0..elements as u32)
+                .filter(|_| rng.gen_bool(density))
+                .collect()
+        })
+        .collect();
+    SetCover::new(elements, family)
+}
+
+fn bench_setcover(c: &mut Criterion) {
+    let small = random_instance(60, 40, 0.12, 1);
+    let medium = random_instance(400, 120, 0.05, 2);
+
+    c.bench_function("setcover/greedy_400x120", |b| {
+        b.iter(|| std::hint::black_box(greedy(&medium)))
+    });
+    c.bench_function("setcover/reduce_400x120", |b| {
+        b.iter(|| std::hint::black_box(reduce(&medium)))
+    });
+    c.bench_function("setcover/bb_exact_60x40", |b| {
+        let solver = BranchBound::new().with_deadline(Duration::from_secs(5));
+        b.iter(|| std::hint::black_box(solver.solve(&small)))
+    });
+    c.bench_function("setcover/bb_deadline_400x120", |b| {
+        let solver = BranchBound::new().with_deadline(Duration::from_millis(30));
+        b.iter(|| std::hint::black_box(solver.solve(&medium)))
+    });
+}
+
+criterion_group!(benches, bench_setcover);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the waveform simulator: full two-vector simulation
+//! and cone-restricted fault injection on an s27-scale and a synthetic
+//! mid-size circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmon_faults::{Polarity, SmallDelayFault};
+use fastmon_netlist::generate::GeneratorConfig;
+use fastmon_netlist::{library, PinRef};
+use fastmon_sim::{ConePlan, ConeScratch, SimEngine, Stimulus};
+use fastmon_timing::{DelayAnnotation, DelayModel};
+
+fn bench_waveform(c: &mut Criterion) {
+    let s27 = library::s27();
+    let annot27 = DelayAnnotation::with_variation(&s27, &DelayModel::nangate45_like(), 0.2, 1);
+    let engine27 = SimEngine::new(&s27, &annot27);
+    let stim27 = Stimulus::from_fn(&s27, |id| (id.index() % 3 == 0, id.index() % 2 == 0));
+
+    c.bench_function("waveform/simulate_s27", |b| {
+        b.iter(|| std::hint::black_box(engine27.simulate(&stim27)))
+    });
+
+    let mid = GeneratorConfig::new("mid")
+        .gates(1000)
+        .flip_flops(64)
+        .inputs(16)
+        .outputs(8)
+        .depth(16)
+        .generate(3)
+        .expect("valid generator config");
+    let annot = DelayAnnotation::with_variation(&mid, &DelayModel::nangate45_like(), 0.2, 1);
+    let engine = SimEngine::new(&mid, &annot);
+    let stim = Stimulus::from_fn(&mid, |id| (id.index() % 3 == 0, id.index() % 2 == 0));
+
+    c.bench_function("waveform/simulate_1000g", |b| {
+        b.iter(|| std::hint::black_box(engine.simulate(&stim)))
+    });
+
+    let base = engine.simulate(&stim);
+    let seed = mid
+        .combinational_nodes()
+        .find(|&g| mid.level(g) <= 2)
+        .expect("a shallow gate exists");
+    let fault = SmallDelayFault::new(PinRef::Output(seed), Polarity::SlowToRise, 25.0);
+    let plan = ConePlan::new(&mid, seed);
+    c.bench_function("waveform/fault_cone_1000g", |b| {
+        let mut scratch = ConeScratch::new(&mid);
+        b.iter(|| {
+            std::hint::black_box(engine.response_diff_planned(
+                &base,
+                &fault,
+                &plan,
+                &mut scratch,
+                1000.0,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_waveform);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Regenerates **Fig. 3** of the paper: hidden-delay-fault coverage as a
+//! function of the maximum FAST frequency, for conventional FAST and for
+//! FAST with programmable delay monitors (25 % of outputs, `d = t_nom/3`).
+//!
+//! The paper shows the curve for one industrial design; the default here is
+//! the `p89k` stand-in (the most register-dominated profile). Select
+//! another with `FASTMON_CIRCUITS=<name>`.
+//!
+//! ```text
+//! cargo run --release -p fastmon-bench --bin fig3
+//! ```
+
+use fastmon_bench::{paper, with_run, ExperimentConfig};
+
+fn main() {
+    let mut config = ExperimentConfig::from_env();
+    if config.circuits.is_empty() {
+        config.circuits = vec!["p89k".to_owned()];
+    }
+    let suite = config.suite();
+    let Some((profile, scale)) = suite.into_iter().next() else {
+        eprintln!("no circuit matches the FASTMON_CIRCUITS filter");
+        std::process::exit(1);
+    };
+
+    println!("# Fig. 3 — HDF coverage vs maximum FAST frequency\n");
+    println!(
+        "circuit: {} stand-in (scale {:.3}, seed {})\n",
+        profile.name, scale, config.seed
+    );
+
+    let factors: Vec<f64> = (10..=30).map(|i| f64::from(i) / 10.0).collect();
+    let series = with_run(&profile, scale, &config, |flow, _patterns, analysis, _run| {
+        flow.coverage_vs_fmax(analysis, &factors)
+    });
+
+    println!("f_max/f_nom, conv_coverage, prop_coverage");
+    for p in &series {
+        println!(
+            "{:.1}, {:.4}, {:.4}",
+            p.fmax_factor, p.conv_coverage, p.prop_coverage
+        );
+    }
+
+    // ascii sketch of both curves
+    println!("\ncoverage  (· conventional FAST, # with monitors)");
+    let height = 12;
+    for row in (0..=height).rev() {
+        let y = row as f64 / height as f64;
+        let mut line = format!("{:>5.0}% |", y * 100.0);
+        for p in &series {
+            let conv = (p.conv_coverage * height as f64).round() as usize;
+            let prop = (p.prop_coverage * height as f64).round() as usize;
+            line.push_str(match (prop == row, conv == row) {
+                (true, true) => "*",
+                (true, false) => "#",
+                (false, true) => "·",
+                _ => " ",
+            });
+            line.push(' ');
+        }
+        println!("{line}");
+    }
+    println!("       +{}", "-".repeat(series.len() * 2));
+    println!("        1.0x {: >32} 2.0x {: >32} 3.0x", "", "");
+
+    let conv29 = series
+        .iter()
+        .find(|p| (p.fmax_factor - 2.9).abs() < 1e-9)
+        .map_or(f64::NAN, |p| p.conv_coverage);
+    let prop30 = series
+        .iter()
+        .find(|p| (p.fmax_factor - 3.0).abs() < 1e-9)
+        .map_or(f64::NAN, |p| p.prop_coverage);
+    println!(
+        "\nanchors: conv @2.9x = {:.2} (paper ≈ {:.2}); prop @3.0x = {:.2} (paper ≈ {:.2})",
+        conv29,
+        paper::FIG3_CONV_AT_29,
+        prop30,
+        paper::FIG3_PROP_AT_30
+    );
+}

@@ -1,0 +1,19 @@
+//! Runs every table/figure regenerator in sequence (Fig. 3, Tables I–III).
+//!
+//! ```text
+//! cargo run --release -p fastmon-bench --bin run_all
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    for bin in ["fig3", "table1", "table2", "table3"] {
+        println!("\n==================== {bin} ====================\n");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+}

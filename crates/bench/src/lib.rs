@@ -1,0 +1,312 @@
+//! Experiment harness shared by the table/figure regenerator binaries.
+//!
+//! The paper's circuits are proprietary or non-redistributable, so the
+//! suite consists of synthetic stand-ins generated from
+//! [`fastmon_netlist::generate::paper_suite`] profiles. Because the
+//! reference evaluation ran on a 2×Xeon + Tesla P100 host, the default run
+//! scales each circuit down to a laptop-friendly size (≈ 4 k gates) and
+//! samples the fault population; the applied scale is printed with every
+//! table so results are interpretable.
+//!
+//! Environment knobs (all optional):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `FASTMON_TARGET_GATES` | target circuit size after scaling | `4000` |
+//! | `FASTMON_MAX_FAULTS` | candidate-fault sample cap per circuit | `8000` |
+//! | `FASTMON_CIRCUITS` | comma-separated circuit-name filter | all 12 |
+//! | `FASTMON_SEED` | master seed | `1` |
+//! | `FASTMON_ILP_SECS` | per-ILP deadline in seconds | `20` |
+
+use std::time::{Duration, Instant};
+
+use fastmon_atpg::TestSet;
+use fastmon_core::{DetectionAnalysis, FlowConfig, HdfTestFlow};
+use fastmon_netlist::generate::{paper_suite, CircuitProfile};
+use fastmon_netlist::Circuit;
+
+/// Configuration of an experiment run, read from the environment.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Circuits are scaled so their gate count is at most this.
+    pub target_gates: usize,
+    /// Fault-sample cap per circuit.
+    pub max_faults: usize,
+    /// Only run circuits whose name is in this list (empty = all).
+    pub circuits: Vec<String>,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-ILP-solve deadline.
+    pub ilp_deadline: Duration,
+}
+
+impl ExperimentConfig {
+    /// Reads the configuration from `FASTMON_*` environment variables.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let get = |k: &str| std::env::var(k).ok();
+        ExperimentConfig {
+            target_gates: get("FASTMON_TARGET_GATES")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(4_000),
+            max_faults: get("FASTMON_MAX_FAULTS")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(8_000),
+            circuits: get("FASTMON_CIRCUITS")
+                .map(|v| v.split(',').map(|s| s.trim().to_owned()).collect())
+                .unwrap_or_default(),
+            seed: get("FASTMON_SEED").and_then(|v| v.parse().ok()).unwrap_or(1),
+            ilp_deadline: Duration::from_secs(
+                get("FASTMON_ILP_SECS").and_then(|v| v.parse().ok()).unwrap_or(20),
+            ),
+        }
+    }
+
+    /// The benchmark suite after filtering and scaling.
+    #[must_use]
+    pub fn suite(&self) -> Vec<(CircuitProfile, f64)> {
+        paper_suite()
+            .into_iter()
+            .filter(|p| self.circuits.is_empty() || self.circuits.iter().any(|c| c == &p.name))
+            .map(|p| {
+                let scale = (self.target_gates as f64 / p.gates as f64).min(1.0);
+                (p.scaled(scale), scale)
+            })
+            .collect()
+    }
+
+    /// The flow configuration used for every circuit of the run.
+    #[must_use]
+    pub fn flow_config(&self) -> FlowConfig {
+        FlowConfig {
+            seed: self.seed,
+            max_faults: Some(self.max_faults),
+            ilp_deadline: self.ilp_deadline,
+            ..FlowConfig::default()
+        }
+    }
+}
+
+/// A fully prepared circuit run: generated circuit, ATPG patterns and the
+/// fault-simulation campaign.
+pub struct PreparedRun {
+    /// The synthetic stand-in circuit.
+    pub circuit: Circuit,
+    /// Scale factor applied to the paper profile.
+    pub scale: f64,
+    /// The compacted transition test set (capped at the profile's scaled
+    /// pattern budget).
+    pub patterns_len: usize,
+    /// Wall-clock seconds per phase: (atpg, analyze).
+    pub phase_secs: (f64, f64),
+}
+
+/// Prepares a circuit and runs ATPG + fault simulation, handing the
+/// borrowing-sensitive pieces to `f`.
+///
+/// # Panics
+///
+/// Panics if the profile cannot generate (over-scaled) — the built-in
+/// profiles never do.
+pub fn with_run<R>(
+    profile: &CircuitProfile,
+    scale: f64,
+    config: &ExperimentConfig,
+    f: impl FnOnce(&HdfTestFlow<'_>, &TestSet, &DetectionAnalysis, &PreparedRun) -> R,
+) -> R {
+    let circuit = profile
+        .generate(config.seed)
+        .expect("profile generates a valid circuit");
+    let flow_config = config.flow_config();
+    let flow = HdfTestFlow::prepare(&circuit, &flow_config);
+
+    let t = Instant::now();
+    let patterns = flow.generate_patterns(Some(profile.pattern_budget));
+    let atpg_secs = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let analysis = flow.analyze(&patterns);
+    let analyze_secs = t.elapsed().as_secs_f64();
+
+    let run = PreparedRun {
+        scale,
+        patterns_len: patterns.len(),
+        phase_secs: (atpg_secs, analyze_secs),
+        circuit: circuit.clone(),
+    };
+    f(&flow, &patterns, &analysis, &run)
+}
+
+/// Prints a markdown table: header, alignment row, rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
+        println!("| {} |", padded.join(" | "));
+    };
+    fmt_row(&headers.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        fmt_row(row);
+    }
+}
+
+/// Formats a signed percentage like the paper (`(+12.2%)`).
+#[must_use]
+pub fn pct(v: f64) -> String {
+    format!("({}{:.1}%)", if v >= 0.0 { "+" } else { "" }, v)
+}
+
+/// Reference values from the paper for side-by-side printing.
+pub mod paper {
+    /// Table I reference: `(circuit, conv, prop, gain %, |Φ_tar|)`.
+    pub const TABLE1: [(&str, usize, usize, f64, usize); 12] = [
+        ("s9234", 5469, 6135, 12.2, 4655),
+        ("s13207", 3349, 7859, 134.7, 6814),
+        ("s15850", 3541, 8880, 150.8, 8607),
+        ("s35932", 34868, 36129, 3.6, 16211),
+        ("s38417", 25064, 32014, 27.7, 26327),
+        ("s38584", 20348, 31119, 52.9, 29608),
+        ("p35k", 35669, 59759, 67.5, 53592),
+        ("p45k", 48764, 80544, 65.2, 79752),
+        ("p78k", 325682, 337977, 3.8, 245824),
+        ("p89k", 45792, 133175, 190.8, 132503),
+        ("p100k", 111955, 206990, 84.9, 197007),
+        ("p141k", 196491, 297260, 51.3, 290637),
+    ];
+
+    /// One Table II reference row:
+    /// `(circuit, conv |F|, heur |F|, prop |F|, Δ%|F|, orig PC, opti PC, Δ%|PC|)`.
+    pub type Table2Ref = (
+        &'static str,
+        usize,
+        usize,
+        usize,
+        f64,
+        usize,
+        usize,
+        f64,
+    );
+
+    /// Table II reference values.
+    pub const TABLE2: [Table2Ref; 12] = [
+        ("s9234", 20, 16, 13, 35.0, 10075, 662, 93.4),
+        ("s13207", 17, 16, 12, 29.4, 11700, 852, 92.7),
+        ("s15850", 24, 25, 22, 8.3, 14740, 949, 93.6),
+        ("s35932", 16, 8, 7, 56.3, 1365, 367, 73.1),
+        ("s38417", 34, 23, 18, 47.1, 11520, 1954, 83.0),
+        ("s38584", 31, 23, 17, 45.2, 13600, 1823, 86.6),
+        ("p35k", 58, 49, 40, 31.0, 303600, 6857, 97.7),
+        ("p45k", 24, 36, 26, -8.3, 353470, 5576, 98.4),
+        ("p78k", 47, 34, 29, 38.3, 10150, 2323, 77.1),
+        ("p89k", 44, 52, 41, 6.8, 203565, 10790, 94.7),
+        ("p100k", 46, 51, 40, 13.0, 526200, 13577, 97.4),
+        ("p141k", 60, 65, 48, 20.0, 197760, 17762, 91.0),
+    ];
+
+    /// Table III reference for cov ≥ 99 %:
+    /// `(circuit, |F99|, |PC99|, |S99|, Δ%)`.
+    pub const TABLE3_COV99: [(&str, usize, usize, usize, f64); 12] = [
+        ("s9234", 9, 6975, 640, 90.8),
+        ("s13207", 9, 8775, 831, 90.5),
+        ("s15850", 13, 8710, 896, 89.7),
+        ("s35932", 6, 1170, 357, 69.5),
+        ("s38417", 10, 6400, 1836, 71.3),
+        ("s38584", 9, 7200, 1678, 76.7),
+        ("p35k", 22, 166980, 6569, 96.1),
+        ("p45k", 10, 135950, 5232, 96.2),
+        ("p78k", 6, 2100, 1443, 31.3),
+        ("p89k", 20, 99300, 10140, 89.8),
+        ("p100k", 13, 171015, 12547, 92.7),
+        ("p141k", 20, 82400, 16372, 80.1),
+    ];
+
+    /// Fig. 3 anchor points (read off the published figure):
+    /// conventional FAST reaches ≈ 35 % HDF coverage at `f_max = 2.9·f_nom`,
+    /// monitors lift the 3·f_nom coverage to ≈ 65 %.
+    pub const FIG3_CONV_AT_29: f64 = 0.35;
+    /// Monitor-assisted coverage at 3·f_nom in the published figure.
+    pub const FIG3_PROP_AT_30: f64 = 0.65;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_config_defaults() {
+        // no FASTMON_* variables set in the test environment
+        let cfg = ExperimentConfig::from_env();
+        assert!(cfg.target_gates >= 1000);
+        assert!(cfg.max_faults >= 1000);
+        assert!(cfg.ilp_deadline.as_secs() >= 1);
+    }
+
+    #[test]
+    fn suite_scales_to_target() {
+        let cfg = ExperimentConfig {
+            target_gates: 2000,
+            max_faults: 4000,
+            circuits: vec![],
+            seed: 1,
+            ilp_deadline: Duration::from_secs(5),
+        };
+        let suite = cfg.suite();
+        assert_eq!(suite.len(), 12);
+        for (profile, scale) in suite {
+            assert!(scale <= 1.0);
+            assert!(
+                profile.gates <= 2200,
+                "{} still has {} gates",
+                profile.name,
+                profile.gates
+            );
+        }
+    }
+
+    #[test]
+    fn suite_filter_selects() {
+        let cfg = ExperimentConfig {
+            circuits: vec!["s9234".into(), "p89k".into()],
+            target_gates: 4000,
+            max_faults: 8000,
+            seed: 1,
+            ilp_deadline: Duration::from_secs(5),
+        };
+        let names: Vec<String> = cfg.suite().into_iter().map(|(p, _)| p.name).collect();
+        assert_eq!(names, vec!["s9234".to_owned(), "p89k".to_owned()]);
+    }
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(12.25), "(+12.2%)");
+        assert_eq!(pct(-8.3), "(-8.3%)");
+        assert_eq!(pct(0.0), "(+0.0%)");
+    }
+
+    #[test]
+    fn paper_reference_tables_are_complete() {
+        assert_eq!(paper::TABLE1.len(), 12);
+        assert_eq!(paper::TABLE2.len(), 12);
+        assert_eq!(paper::TABLE3_COV99.len(), 12);
+        // every profile name appears in every reference table
+        let cfg = ExperimentConfig::from_env();
+        for (profile, _) in cfg.suite() {
+            assert!(paper::TABLE1.iter().any(|(n, ..)| *n == profile.name));
+            assert!(paper::TABLE2.iter().any(|r| r.0 == profile.name));
+            assert!(paper::TABLE3_COV99.iter().any(|(n, ..)| *n == profile.name));
+        }
+    }
+}

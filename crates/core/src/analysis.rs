@@ -1,0 +1,336 @@
+use fastmon_atpg::TestSet;
+use fastmon_faults::{DetectionRange, FaultList, IntervalSet, Polarity};
+use fastmon_monitor::{at_speed_monitor_detectable, shifted_detection, ConfigSet, MonitorConfig, MonitorPlacement};
+use fastmon_netlist::{Circuit, NodeId, PinRef};
+use fastmon_sim::{parallel_map, SimEngine};
+use fastmon_timing::{ClockSpec, DelayAnnotation, Time};
+
+/// Per-fault detectability verdict after fault simulation and monitor
+/// analysis (steps ②–⑤ of the paper's flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultVerdict {
+    /// Detectable by conventional FAST: some mission-flip-flop detection
+    /// interval lies inside `[t_min, t_nom)`.
+    pub detected_conv: bool,
+    /// Detectable with programmable monitors: some (possibly shifted)
+    /// interval lies inside the window, under any configuration.
+    pub detected_prop: bool,
+    /// Detectable at the *nominal* capture time thanks to a monitor delay
+    /// element (or by plain at-speed capture) — removed from the FAST
+    /// target set.
+    pub at_speed_monitor: bool,
+}
+
+impl FaultVerdict {
+    /// Whether the fault belongs to the target set `Φ_tar`: it needs FAST
+    /// and monitors can (help) detect it.
+    #[must_use]
+    pub fn is_target(&self) -> bool {
+        self.detected_prop && !self.at_speed_monitor
+    }
+}
+
+/// The result of the timing-accurate fault-simulation campaign: raw and
+/// derived detection ranges for every candidate fault.
+#[derive(Debug, Clone)]
+pub struct DetectionAnalysis {
+    /// The simulated candidate faults.
+    pub faults: FaultList,
+    /// Per fault: sparse list of `(pattern index, raw per-output detection
+    /// range)`, glitch-filtered, clipped to `(0, t_nom)`.
+    pub per_pattern: Vec<Vec<(u32, DetectionRange)>>,
+    /// Per fault: union of the raw ranges over all patterns.
+    pub raw_union: Vec<DetectionRange>,
+    /// Per fault: FF-only observable range inside the FAST window
+    /// (conventional FAST).
+    pub conv_range: Vec<IntervalSet>,
+    /// Per fault: observable range inside the FAST window under the best
+    /// monitor configuration per instant (union over all configurations).
+    pub fast_range: Vec<IntervalSet>,
+    /// Per fault verdicts.
+    pub verdicts: Vec<FaultVerdict>,
+    /// Indices (into `faults`) of the target set `Φ_tar`.
+    pub targets: Vec<usize>,
+    /// Number of patterns simulated.
+    pub num_patterns: usize,
+}
+
+impl DetectionAnalysis {
+    /// Runs the campaign: every pattern is simulated fault-free once, every
+    /// candidate fault whose site actually toggles under that pattern is
+    /// re-simulated on its fanout cone, and the per-output differences are
+    /// recorded.
+    ///
+    /// `glitch_threshold` applies pessimistic pulse filtering to each
+    /// per-pattern, per-output interval set.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn compute(
+        circuit: &Circuit,
+        annot: &DelayAnnotation,
+        clock: &ClockSpec,
+        configs: &ConfigSet,
+        placement: &MonitorPlacement,
+        faults: FaultList,
+        patterns: &TestSet,
+        glitch_threshold: Time,
+        threads: usize,
+    ) -> Self {
+        let engine = SimEngine::new(circuit, annot);
+        // the signal whose transitions the fault delays
+        let site_signal: Vec<NodeId> = faults
+            .iter()
+            .map(|(_, f)| match f.site {
+                PinRef::Output(n) => n,
+                PinRef::Input(n, k) => circuit.node(n).fanins()[k as usize],
+            })
+            .collect();
+
+        // group faults by seed gate so each gate's fanout cone is planned
+        // once and shared across all its pin/polarity faults and patterns
+        let mut by_gate: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (fid, fault) in faults.iter() {
+            let gate = fault.site.node();
+            match by_gate.last_mut() {
+                Some((g, list)) if *g == gate => list.push(fid.index()),
+                _ => by_gate.push((gate, vec![fid.index()])),
+            }
+        }
+        let plans: Vec<fastmon_sim::ConePlan> = by_gate
+            .iter()
+            .map(|(gate, _)| fastmon_sim::ConePlan::new(circuit, *gate))
+            .collect();
+
+        let num_patterns = patterns.len();
+        let per_pattern_results = parallel_map(num_patterns, threads.max(1), |p| {
+            let stim = patterns.stimulus(circuit, p);
+            let base = engine.simulate(&stim);
+            let mut scratch = fastmon_sim::ConeScratch::new(circuit);
+            let mut found: Vec<(u32, DetectionRange)> = Vec::new();
+            for ((_, fault_ids), plan) in by_gate.iter().zip(&plans) {
+                for &fidx in fault_ids {
+                    let fault = faults.fault(fastmon_faults::FaultId::from_index(fidx));
+                    // activation pre-check: the site signal must carry a
+                    // transition of the fault's polarity
+                    let wave = base.wave(site_signal[fidx]);
+                    if !has_polarity_transition(wave, fault.polarity) {
+                        continue;
+                    }
+                    let diffs =
+                        engine.response_diff_planned(&base, fault, plan, &mut scratch, clock.t_nom);
+                    let mut dr = DetectionRange::new();
+                    for (op, set) in diffs {
+                        let filtered = set
+                            .clipped(0.0, clock.t_nom)
+                            .filter_glitches(glitch_threshold);
+                        dr.push(op, filtered);
+                    }
+                    if !dr.is_empty() {
+                        found.push((u32::try_from(fidx).expect("fault count"), dr));
+                    }
+                }
+            }
+            found
+        });
+
+        // merge per-pattern results into per-fault tables
+        let mut per_pattern: Vec<Vec<(u32, DetectionRange)>> = vec![Vec::new(); faults.len()];
+        let mut raw_union: Vec<DetectionRange> = vec![DetectionRange::new(); faults.len()];
+        for (p, found) in per_pattern_results.into_iter().enumerate() {
+            for (fidx, dr) in found {
+                raw_union[fidx as usize].merge(&dr);
+                per_pattern[fidx as usize].push((u32::try_from(p).expect("pattern count"), dr));
+            }
+        }
+
+        // derived ranges and verdicts
+        let mut conv_range = Vec::with_capacity(faults.len());
+        let mut fast_range = Vec::with_capacity(faults.len());
+        let mut verdicts = Vec::with_capacity(faults.len());
+        let mut targets = Vec::new();
+        for (i, raw) in raw_union.iter().enumerate() {
+            let conv = shifted_detection(raw, placement, configs, MonitorConfig::Off, clock);
+            let mut fast = conv.clone();
+            for config in configs.configs() {
+                if config != MonitorConfig::Off {
+                    fast = fast.union(&shifted_detection(raw, placement, configs, config, clock));
+                }
+            }
+            let verdict = FaultVerdict {
+                detected_conv: !conv.is_empty(),
+                detected_prop: !fast.is_empty(),
+                at_speed_monitor: at_speed_monitor_detectable(raw, placement, configs, clock),
+            };
+            if verdict.is_target() {
+                targets.push(i);
+            }
+            conv_range.push(conv);
+            fast_range.push(fast);
+            verdicts.push(verdict);
+        }
+
+        DetectionAnalysis {
+            faults,
+            per_pattern,
+            raw_union,
+            conv_range,
+            fast_range,
+            verdicts,
+            targets,
+            num_patterns,
+        }
+    }
+
+    /// Whether `fault` is detected when capturing at time `t` with pattern
+    /// `pattern` under monitor configuration `config`.
+    // the argument list mirrors the (f, p, c) triple of the paper's
+    // schedule plus the three context objects — grouping them would only
+    // add a struct the call sites immediately unpack
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn detected_at(
+        &self,
+        fault: usize,
+        pattern: usize,
+        config: MonitorConfig,
+        t: Time,
+        placement: &MonitorPlacement,
+        configs: &ConfigSet,
+        clock: &ClockSpec,
+    ) -> bool {
+        self.per_pattern[fault]
+            .iter()
+            .find(|(p, _)| *p as usize == pattern)
+            .is_some_and(|(_, dr)| {
+                shifted_detection(dr, placement, configs, config, clock).contains(t)
+            })
+    }
+
+    /// Number of candidate faults.
+    #[must_use]
+    pub fn num_faults(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Count of faults detected by conventional FAST.
+    #[must_use]
+    pub fn detected_conv(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.detected_conv).count()
+    }
+
+    /// Count of faults detected with programmable monitors.
+    #[must_use]
+    pub fn detected_prop(&self) -> usize {
+        self.verdicts.iter().filter(|v| v.detected_prop).count()
+    }
+}
+
+/// Whether the waveform carries a transition the polarity affects.
+fn has_polarity_transition(wave: &fastmon_sim::Waveform, polarity: Polarity) -> bool {
+    let mut value = wave.initial();
+    for _ in wave.transitions() {
+        value = !value;
+        if polarity.affects(value) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowConfig, HdfTestFlow};
+    use fastmon_sim::Waveform;
+
+    #[test]
+    fn polarity_transition_check() {
+        let w = Waveform::with_transitions(false, vec![1.0]); // rising only
+        assert!(has_polarity_transition(&w, Polarity::SlowToRise));
+        assert!(!has_polarity_transition(&w, Polarity::SlowToFall));
+        let w = Waveform::with_transitions(false, vec![1.0, 2.0]); // rise+fall
+        assert!(has_polarity_transition(&w, Polarity::SlowToFall));
+        assert!(!has_polarity_transition(&Waveform::constant(true), Polarity::SlowToRise));
+    }
+
+    fn s27_analysis() -> (Circuit, FlowConfig) {
+        (fastmon_netlist::library::s27(), FlowConfig::default())
+    }
+
+    #[test]
+    fn ranges_live_inside_the_simulation_horizon() {
+        let (c, cfg) = s27_analysis();
+        let flow = HdfTestFlow::prepare(&c, &cfg);
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        for ranges in &analysis.per_pattern {
+            for (p, dr) in ranges {
+                assert!((*p as usize) < analysis.num_patterns);
+                for (op, set) in dr.iter() {
+                    assert!(op < c.observe_points().len());
+                    for iv in set.iter() {
+                        assert!(iv.start >= 0.0 && iv.end <= flow.clock().t_nom + 1e-9);
+                        assert!(iv.len() >= cfg.glitch_threshold - 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_range_is_union_of_per_pattern_detection() {
+        // every time in fast_range must be detected by some
+        // (pattern, config); every per-pattern detection must lie inside
+        // fast_range
+        let (c, cfg) = s27_analysis();
+        let flow = HdfTestFlow::prepare(&c, &cfg);
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        for f in 0..analysis.num_faults() {
+            let fast = &analysis.fast_range[f];
+            if fast.is_empty() {
+                continue;
+            }
+            for iv in fast.iter() {
+                let t = iv.midpoint();
+                let hit = analysis.per_pattern[f].iter().any(|(p, _)| {
+                    flow.configs().configs().any(|config| {
+                        analysis.detected_at(
+                            f,
+                            *p as usize,
+                            config,
+                            t,
+                            flow.placement(),
+                            flow.configs(),
+                            flow.clock(),
+                        )
+                    })
+                });
+                assert!(hit, "fault {f}: fast_range time {t} not backed by any pattern");
+            }
+        }
+    }
+
+    #[test]
+    fn verdicts_partition_consistently() {
+        let (c, cfg) = s27_analysis();
+        let flow = HdfTestFlow::prepare(&c, &cfg);
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        for (i, v) in analysis.verdicts.iter().enumerate() {
+            // conv implies prop
+            assert!(!v.detected_conv || v.detected_prop, "fault {i}");
+            // targets are exactly the prop-detected, not-at-speed faults
+            assert_eq!(
+                analysis.targets.contains(&i),
+                v.is_target(),
+                "fault {i} target membership"
+            );
+            // conv_range ⊆ fast_range
+            let conv = &analysis.conv_range[i];
+            for iv in conv.iter() {
+                assert!(analysis.fast_range[i].contains(iv.midpoint()));
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+use std::time::Duration;
+
+/// Configuration of the HDF test flow, with the paper's evaluation setup as
+/// the default.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_core::FlowConfig;
+///
+/// let config = FlowConfig::default();
+/// assert_eq!(config.fmax_factor, 3.0);
+/// assert_eq!(config.monitor_fraction, 0.25);
+/// assert_eq!(config.delta_sigma, 6.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// `f_max / f_nom` bound of FAST (paper: 3).
+    pub fmax_factor: f64,
+    /// Clock margin over the critical path (`t_nom = (1 + margin) · cpl`,
+    /// paper: 0.05).
+    pub clock_margin: f64,
+    /// Fraction of observation points that carry a monitor (paper: 0.25,
+    /// placed at long path ends).
+    pub monitor_fraction: f64,
+    /// Monitor delay elements relative to `t_nom` (paper:
+    /// `{0.05, 0.10, 0.15, 1/3}`).
+    pub monitor_delays_rel: Vec<f64>,
+    /// Fault size in process-variation sigmas (paper: δ = 6σ).
+    pub delta_sigma: f64,
+    /// Relative standard deviation of process variation (paper: σ = 20 % of
+    /// the nominal gate delay).
+    pub sigma_rel: f64,
+    /// Pessimistic pulse-filtering threshold for detection ranges, in ps.
+    pub glitch_threshold: f64,
+    /// Master seed (delay variation, ATPG fill, fault sampling).
+    pub seed: u64,
+    /// Worker threads for the fault simulation (0 = use all available).
+    pub threads: usize,
+    /// Deadline per ILP solve; on expiry the incumbent is used
+    /// (paper: 1 hour with a commercial solver).
+    pub ilp_deadline: Duration,
+    /// Optional cap on the number of simulated candidate faults; when the
+    /// population is larger, a deterministic sample is drawn. Results then
+    /// describe the sampled population (recorded in the reports).
+    pub max_faults: Option<usize>,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            fmax_factor: 3.0,
+            clock_margin: 0.05,
+            monitor_fraction: 0.25,
+            monitor_delays_rel: vec![0.05, 0.10, 0.15, 1.0 / 3.0],
+            delta_sigma: 6.0,
+            sigma_rel: 0.2,
+            glitch_threshold: 4.0,
+            seed: 1,
+            threads: 0,
+            ilp_deadline: Duration::from_secs(20),
+            max_faults: None,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// The effective worker-thread count.
+    #[must_use]
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FlowConfig::default();
+        assert_eq!(c.monitor_delays_rel.len(), 4);
+        assert!((c.monitor_delays_rel[3] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.sigma_rel, 0.2);
+        assert_eq!(c.clock_margin, 0.05);
+    }
+
+    #[test]
+    fn effective_threads_positive() {
+        assert!(FlowConfig::default().effective_threads() >= 1);
+        let c = FlowConfig {
+            threads: 3,
+            ..FlowConfig::default()
+        };
+        assert_eq!(c.effective_threads(), 3);
+    }
+}

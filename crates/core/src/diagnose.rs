@@ -1,0 +1,263 @@
+//! Fault diagnosis from FAST observations.
+//!
+//! The paper uses detection ranges *forwards*: pick frequencies and monitor
+//! configurations that detect every fault. The same data inverts into a
+//! diagnosis engine: given the pass/fail outcome of applied
+//! `(pattern, configuration, capture period)` triples — e.g. from a field
+//! return that started failing FAST screening — rank the candidate small
+//! delay faults by how well their predicted responses match the
+//! observations. This localizes the marginal or aged device that the
+//! monitors flagged.
+//!
+//! # Example
+//!
+//! ```
+//! use fastmon_core::{diagnose, FlowConfig, HdfTestFlow, Observation};
+//! use fastmon_monitor::MonitorConfig;
+//! use fastmon_netlist::library;
+//!
+//! let circuit = library::s27();
+//! let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+//! let patterns = flow.generate_patterns(None);
+//! let analysis = flow.analyze(&patterns);
+//! // pretend the device fails pattern 0 at the fastest capture
+//! let obs = vec![Observation {
+//!     pattern: 0,
+//!     config: MonitorConfig::Off,
+//!     period: flow.clock().t_min * 1.01,
+//!     failed: true,
+//! }];
+//! let ranking = diagnose(&flow, &analysis, &obs);
+//! assert!(ranking.len() <= analysis.num_faults());
+//! ```
+
+use fastmon_monitor::MonitorConfig;
+use fastmon_timing::Time;
+
+use crate::{DetectionAnalysis, HdfTestFlow};
+
+/// One applied FAST test and its observed outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Pattern index (into the analyzed test set).
+    pub pattern: u32,
+    /// The chip-wide monitor configuration during the application.
+    pub config: MonitorConfig,
+    /// The capture period used.
+    pub period: Time,
+    /// `true` if the device failed (a capture mismatch / monitor alert).
+    pub failed: bool,
+}
+
+/// A ranked diagnosis candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiagnosisCandidate {
+    /// Fault index into the analysis fault list.
+    pub fault: usize,
+    /// Failing observations the fault explains.
+    pub explained_fails: usize,
+    /// Failing observations the fault cannot explain.
+    pub missed_fails: usize,
+    /// Passing observations the fault would have failed (contradictions).
+    pub contradicted_passes: usize,
+    /// Ranking score (higher is better).
+    pub score: f64,
+}
+
+/// Ranks the analysis' candidate faults against the observations.
+///
+/// Scoring is the usual pass/fail match count with contradictions weighted
+/// double (a fault that *should* have failed an observed pass is strong
+/// counter-evidence, since small delay faults behave deterministically
+/// under fixed conditions). Only faults explaining at least one failing
+/// observation are returned, best first; ties break towards the lower
+/// fault index for determinism.
+#[must_use]
+pub fn diagnose(
+    flow: &HdfTestFlow<'_>,
+    analysis: &DetectionAnalysis,
+    observations: &[Observation],
+) -> Vec<DiagnosisCandidate> {
+    let mut out = Vec::new();
+    for fault in 0..analysis.num_faults() {
+        let mut explained = 0usize;
+        let mut missed = 0usize;
+        let mut contradicted = 0usize;
+        for obs in observations {
+            let predicted_fail = analysis.detected_at(
+                fault,
+                obs.pattern as usize,
+                obs.config,
+                obs.period,
+                flow.placement(),
+                flow.configs(),
+                flow.clock(),
+            );
+            match (obs.failed, predicted_fail) {
+                (true, true) => explained += 1,
+                (true, false) => missed += 1,
+                (false, true) => contradicted += 1,
+                (false, false) => {}
+            }
+        }
+        if explained == 0 {
+            continue;
+        }
+        out.push(DiagnosisCandidate {
+            fault,
+            explained_fails: explained,
+            missed_fails: missed,
+            contradicted_passes: contradicted,
+            score: explained as f64 - missed as f64 - 2.0 * contradicted as f64,
+        });
+    }
+    out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.fault.cmp(&b.fault)));
+    out
+}
+
+/// Synthesizes the observations a given fault would produce over a
+/// schedule-like list of applications — handy for tests and for building
+/// diagnosis experiments.
+#[must_use]
+pub fn predicted_observations(
+    flow: &HdfTestFlow<'_>,
+    analysis: &DetectionAnalysis,
+    fault: usize,
+    applications: &[(u32, MonitorConfig, Time)],
+) -> Vec<Observation> {
+    applications
+        .iter()
+        .map(|&(pattern, config, period)| Observation {
+            pattern,
+            config,
+            period,
+            failed: analysis.detected_at(
+                fault,
+                pattern as usize,
+                config,
+                period,
+                flow.placement(),
+                flow.configs(),
+                flow.clock(),
+            ),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlowConfig, Solver};
+    use fastmon_netlist::library;
+
+    fn setup() -> (fastmon_netlist::Circuit, FlowConfig) {
+        (library::s27(), FlowConfig::default())
+    }
+
+    /// Build the application list of an ILP schedule (every entry's
+    /// applications at its period).
+    fn schedule_applications(
+        flow: &HdfTestFlow<'_>,
+        analysis: &DetectionAnalysis,
+    ) -> Vec<(u32, MonitorConfig, f64)> {
+        let schedule = flow.schedule(analysis, Solver::Ilp);
+        let mut apps = Vec::new();
+        for entry in &schedule.entries {
+            for &(p, c) in &entry.applications {
+                apps.push((p, c, entry.period));
+            }
+        }
+        apps
+    }
+
+    #[test]
+    fn injected_fault_is_top_ranked() {
+        let (c, cfg) = setup();
+        let flow = HdfTestFlow::prepare(&c, &cfg);
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        let apps = schedule_applications(&flow, &analysis);
+        assert!(!apps.is_empty());
+
+        let mut checked = 0;
+        for &truth in analysis.targets.iter().take(8) {
+            let obs = predicted_observations(&flow, &analysis, truth, &apps);
+            if !obs.iter().any(|o| o.failed) {
+                continue; // not exercised by this schedule
+            }
+            let ranking = diagnose(&flow, &analysis, &obs);
+            let best = ranking.first().expect("some candidate");
+            // the true fault must be among the perfect-score candidates
+            let truth_entry = ranking
+                .iter()
+                .find(|cand| cand.fault == truth)
+                .expect("truth is a candidate");
+            assert_eq!(truth_entry.missed_fails, 0);
+            assert_eq!(truth_entry.contradicted_passes, 0);
+            assert!(
+                (truth_entry.score - best.score).abs() < 1e-9,
+                "truth {truth} ranked below best"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 3, "only {checked} faults exercised");
+    }
+
+    #[test]
+    fn no_failures_means_no_candidates() {
+        let (c, cfg) = setup();
+        let flow = HdfTestFlow::prepare(&c, &cfg);
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        let obs = vec![Observation {
+            pattern: 0,
+            config: MonitorConfig::Off,
+            period: flow.clock().t_nom * 0.9,
+            failed: false,
+        }];
+        assert!(diagnose(&flow, &analysis, &obs).is_empty());
+    }
+
+    #[test]
+    fn contradictions_demote_candidates() {
+        let (c, cfg) = setup();
+        let flow = HdfTestFlow::prepare(&c, &cfg);
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        // a dense application list (the minimal schedule detects most
+        // faults exactly once, which cannot exhibit contradictions): every
+        // pattern × config at the two fastest selected periods
+        let schedule = flow.schedule(&analysis, Solver::Ilp);
+        let mut apps = Vec::new();
+        for entry in schedule.entries.iter().take(2) {
+            for p in 0..patterns.len() {
+                for config in flow.configs().configs() {
+                    apps.push((u32::try_from(p).unwrap(), config, entry.period));
+                }
+            }
+        }
+
+        // take a fault with at least two failing applications; flip one of
+        // its fails to pass — candidates explaining everything now carry a
+        // contradiction, and the scoring must reflect it
+        for &truth in &analysis.targets {
+            let mut obs = predicted_observations(&flow, &analysis, truth, &apps);
+            let fails: Vec<usize> = obs
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.failed)
+                .map(|(i, _)| i)
+                .collect();
+            if fails.len() < 2 {
+                continue;
+            }
+            obs[fails[0]].failed = false;
+            let ranking = diagnose(&flow, &analysis, &obs);
+            let truth_entry = ranking.iter().find(|cand| cand.fault == truth).unwrap();
+            assert_eq!(truth_entry.contradicted_passes, 1);
+            assert!(truth_entry.score < fails.len() as f64);
+            return;
+        }
+        panic!("no fault with two failing applications found");
+    }
+}

@@ -1,0 +1,415 @@
+use fastmon_atpg::{generate, AtpgConfig, TestSet};
+use fastmon_faults::{classify, FaultClass, FaultList};
+use fastmon_monitor::{ConfigSet, MonitorPlacement};
+use fastmon_netlist::Circuit;
+use fastmon_timing::{ClockSpec, DelayAnnotation, DelayModel, Sta};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use crate::schedule::{select_frequencies, select_patterns, ScheduleContext};
+use crate::{DetectionAnalysis, FlowConfig, FrequencySelection, Solver, TestSchedule};
+
+/// Fault-population counters of the structural analysis (step ① of the
+/// flow).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlowCounts {
+    /// Full `δ = 6σ` fault population (two per gate pin).
+    pub initial: usize,
+    /// Removed: a plain at-speed test already fails.
+    pub at_speed_detectable: usize,
+    /// Removed: no FAST frequency (even monitor-assisted) can see the
+    /// effect.
+    pub timing_redundant: usize,
+    /// FAST-relevant candidates handed to fault simulation.
+    pub candidates: usize,
+    /// Candidates actually simulated (after optional sampling).
+    pub sampled: usize,
+}
+
+/// The prepared HDF test flow of the paper (Fig. 4): circuit, delays,
+/// clocks, monitors — everything except patterns and the simulation
+/// campaign.
+///
+/// Typical use:
+///
+/// 1. [`HdfTestFlow::prepare`] — synthesize timing, place monitors.
+/// 2. [`HdfTestFlow::generate_patterns`] — transition-fault ATPG
+///    (or bring your own [`TestSet`]).
+/// 3. [`HdfTestFlow::analyze`] — structural filtering + timing-accurate
+///    fault simulation → [`DetectionAnalysis`].
+/// 4. [`HdfTestFlow::schedule`] / [`HdfTestFlow::schedule_with_coverage`]
+///    — two-step optimization → [`TestSchedule`].
+#[derive(Debug)]
+pub struct HdfTestFlow<'c> {
+    circuit: &'c Circuit,
+    config: FlowConfig,
+    annot: DelayAnnotation,
+    sta: Sta,
+    clock: ClockSpec,
+    configs: ConfigSet,
+    placement: MonitorPlacement,
+    counts: FlowCounts,
+    candidate_faults: FaultList,
+}
+
+impl<'c> HdfTestFlow<'c> {
+    /// Prepares the flow: annotates delays (process variation σ), runs
+    /// STA, derives the clock (`t_nom = 1.05·cpl`, `t_min = t_nom/3`),
+    /// builds the monitor configuration set and places monitors at long
+    /// path ends, then structurally classifies the full fault population.
+    #[must_use]
+    pub fn prepare(circuit: &'c Circuit, config: &FlowConfig) -> Self {
+        let model = DelayModel::nangate45_like();
+        let annot = DelayAnnotation::with_variation(circuit, &model, config.sigma_rel, config.seed);
+        let sta = Sta::analyze(circuit, &annot);
+        let clock = ClockSpec::new(
+            (1.0 + config.clock_margin) * sta.critical_path_length(),
+            config.fmax_factor,
+        );
+        let configs = ConfigSet::new(
+            config
+                .monitor_delays_rel
+                .iter()
+                .map(|r| r * clock.t_nom)
+                .collect(),
+        );
+        let placement = MonitorPlacement::at_long_path_ends(circuit, &sta, config.monitor_fraction);
+
+        // which fault sites reach a monitored observation point (reverse
+        // reachability from monitored capture signals)
+        let mut reaches_monitor = vec![false; circuit.len()];
+        for op_index in placement.monitored_indices() {
+            reaches_monitor[circuit.observe_points()[op_index].driver.index()] = true;
+        }
+        for &id in circuit.topo_order().iter().rev() {
+            if reaches_monitor[id.index()] {
+                for &fi in circuit.node(id).fanins() {
+                    reaches_monitor[fi.index()] = true;
+                }
+            }
+        }
+
+        // step ①: structural classification
+        let all = FaultList::sized(circuit, |id| config.delta_sigma * annot.sigma(id));
+        let at_speed = std::cell::Cell::new(0usize);
+        let redundant = std::cell::Cell::new(0usize);
+        let (candidates, _) = all.filtered(|fid| {
+            let fault = all.fault(fid);
+            let shift = if reaches_monitor[fault.site.node().index()] {
+                configs.max_shift()
+            } else {
+                0.0
+            };
+            match classify(circuit, &sta, &clock, fault, shift) {
+                FaultClass::AtSpeedDetectable => {
+                    at_speed.set(at_speed.get() + 1);
+                    false
+                }
+                FaultClass::TimingRedundant => {
+                    redundant.set(redundant.get() + 1);
+                    false
+                }
+                FaultClass::FastTestable => true,
+            }
+        });
+        let (at_speed, redundant) = (at_speed.get(), redundant.get());
+        let initial = all.len();
+        let num_candidates = candidates.len();
+
+        // optional deterministic sampling for scaled experiments
+        let candidate_faults = match config.max_faults {
+            Some(cap) if num_candidates > cap => {
+                let mut idx: Vec<usize> = (0..num_candidates).collect();
+                let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x5a5a_1234);
+                idx.shuffle(&mut rng);
+                idx.truncate(cap);
+                idx.sort_unstable();
+                let keep: std::collections::HashSet<usize> = idx.into_iter().collect();
+                candidates
+                    .filtered(|fid| keep.contains(&fid.index()))
+                    .0
+            }
+            _ => candidates,
+        };
+
+        let counts = FlowCounts {
+            initial,
+            at_speed_detectable: at_speed,
+            timing_redundant: redundant,
+            candidates: num_candidates,
+            sampled: candidate_faults.len(),
+        };
+
+        HdfTestFlow {
+            circuit,
+            config: config.clone(),
+            annot,
+            sta,
+            clock,
+            configs,
+            placement,
+            counts,
+            candidate_faults,
+        }
+    }
+
+    /// The circuit under test.
+    #[must_use]
+    pub fn circuit(&self) -> &'c Circuit {
+        self.circuit
+    }
+
+    /// The flow configuration.
+    #[must_use]
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// The annotated (process-varied) delays.
+    #[must_use]
+    pub fn annotation(&self) -> &DelayAnnotation {
+        &self.annot
+    }
+
+    /// The static timing analysis.
+    #[must_use]
+    pub fn sta(&self) -> &Sta {
+        &self.sta
+    }
+
+    /// The derived clock specification.
+    #[must_use]
+    pub fn clock(&self) -> &ClockSpec {
+        &self.clock
+    }
+
+    /// The monitor delay-element set.
+    #[must_use]
+    pub fn configs(&self) -> &ConfigSet {
+        &self.configs
+    }
+
+    /// The monitor placement (`|M|` = [`MonitorPlacement::count`]).
+    #[must_use]
+    pub fn placement(&self) -> &MonitorPlacement {
+        &self.placement
+    }
+
+    /// The structural fault counters.
+    #[must_use]
+    pub fn counts(&self) -> FlowCounts {
+        self.counts
+    }
+
+    /// The FAST-relevant candidate faults (after sampling).
+    #[must_use]
+    pub fn candidate_faults(&self) -> &FaultList {
+        &self.candidate_faults
+    }
+
+    /// Runs the transition-fault ATPG, optionally capped at
+    /// `pattern_budget` patterns (the paper's `|P|` per circuit).
+    #[must_use]
+    pub fn generate_patterns(&self, pattern_budget: Option<usize>) -> TestSet {
+        let atpg = AtpgConfig {
+            seed: self.config.seed,
+            max_patterns: pattern_budget,
+            ..AtpgConfig::default()
+        };
+        generate(self.circuit, &atpg).test_set
+    }
+
+    /// Like [`HdfTestFlow::generate_patterns`], but under the
+    /// launch-on-capture (broadside) constraint: every pattern's capture
+    /// vector is the functional next state of its launch vector. More
+    /// realistic for standard scan chains, at the cost of some coverage.
+    #[must_use]
+    pub fn generate_patterns_broadside(&self, pattern_budget: Option<usize>) -> TestSet {
+        let atpg = AtpgConfig {
+            seed: self.config.seed,
+            max_patterns: pattern_budget,
+            ..AtpgConfig::default()
+        };
+        fastmon_atpg::broadside::generate_broadside(self.circuit, &atpg).test_set
+    }
+
+    /// Steps ②–⑤: timing-accurate fault simulation of the candidates,
+    /// detection-range construction, monitor analysis and target-set
+    /// extraction.
+    #[must_use]
+    pub fn analyze(&self, patterns: &TestSet) -> DetectionAnalysis {
+        DetectionAnalysis::compute(
+            self.circuit,
+            &self.annot,
+            &self.clock,
+            &self.configs,
+            &self.placement,
+            self.candidate_faults.clone(),
+            patterns,
+            self.config.glitch_threshold,
+            self.config.effective_threads(),
+        )
+    }
+
+    /// Step ⑥ (full coverage): two-step schedule optimization with the
+    /// chosen solver.
+    #[must_use]
+    pub fn schedule(&self, analysis: &DetectionAnalysis, solver: Solver) -> TestSchedule {
+        self.schedule_with_waivers(analysis, solver, 0)
+    }
+
+    /// Step ⑥ with a coverage target `cov ∈ (0, 1]` of the target faults
+    /// (Table III): the frequency selection may leave
+    /// `⌊(1 − cov)·|Φ_tar|⌋` faults uncovered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cov` is outside `(0, 1]`.
+    #[must_use]
+    pub fn schedule_with_coverage(
+        &self,
+        analysis: &DetectionAnalysis,
+        solver: Solver,
+        cov: f64,
+    ) -> TestSchedule {
+        assert!(cov > 0.0 && cov <= 1.0, "coverage must lie in (0, 1]");
+        let waivers = ((1.0 - cov) * analysis.targets.len() as f64).floor() as usize;
+        self.schedule_with_waivers(analysis, solver, waivers)
+    }
+
+    fn schedule_with_waivers(
+        &self,
+        analysis: &DetectionAnalysis,
+        solver: Solver,
+        waivers: usize,
+    ) -> TestSchedule {
+        let ctx = ScheduleContext {
+            analysis,
+            placement: &self.placement,
+            configs: &self.configs,
+            clock: &self.clock,
+            deadline: self.config.ilp_deadline,
+        };
+        let selection = select_frequencies(&ctx, solver, waivers);
+        select_patterns(&ctx, solver, selection)
+    }
+
+    /// Only step-1 frequency selection (used by the Table II/III
+    /// comparisons).
+    #[must_use]
+    pub fn select_frequencies_only(
+        &self,
+        analysis: &DetectionAnalysis,
+        solver: Solver,
+        waivers: usize,
+    ) -> FrequencySelection {
+        let ctx = ScheduleContext {
+            analysis,
+            placement: &self.placement,
+            configs: &self.configs,
+            clock: &self.clock,
+            deadline: self.config.ilp_deadline,
+        };
+        select_frequencies(&ctx, solver, waivers)
+    }
+
+    /// Fig. 3: HDF coverage of conventional FAST vs monitor-assisted FAST
+    /// as a function of the `f_max/f_nom` ratio.
+    ///
+    /// The denominator is the *hidden* fault set: simulated candidates not
+    /// detectable at nominal speed. The monitor curve uses the largest
+    /// delay element (`t_nom/3`), as in the paper's figure.
+    #[must_use]
+    pub fn coverage_vs_fmax(
+        &self,
+        analysis: &DetectionAnalysis,
+        factors: &[f64],
+    ) -> Vec<crate::report::Fig3Point> {
+        crate::report::fig3_series(self, analysis, factors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+
+    #[test]
+    fn prepare_s27() {
+        let c = library::s27();
+        let flow = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        let counts = flow.counts();
+        assert_eq!(counts.initial, 56);
+        assert_eq!(
+            counts.initial,
+            counts.at_speed_detectable + counts.timing_redundant + counts.candidates
+        );
+        assert_eq!(counts.sampled, counts.candidates);
+        assert_eq!(flow.placement().count(), 1);
+        assert!(flow.clock().t_nom > flow.clock().t_min);
+    }
+
+    #[test]
+    fn fault_sampling_caps_population() {
+        let c = library::s27();
+        let config = FlowConfig {
+            max_faults: Some(5),
+            ..FlowConfig::default()
+        };
+        let flow = HdfTestFlow::prepare(&c, &config);
+        assert!(flow.counts().sampled <= 5);
+        assert!(flow.counts().candidates >= flow.counts().sampled);
+    }
+
+    #[test]
+    fn analyze_and_schedule_s27() {
+        let c = library::s27();
+        let flow = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        let patterns = flow.generate_patterns(None);
+        assert!(!patterns.is_empty());
+        let analysis = flow.analyze(&patterns);
+        assert_eq!(analysis.num_faults(), flow.counts().sampled);
+        // monitors never hurt
+        assert!(analysis.detected_prop() >= analysis.detected_conv());
+        for solver in [Solver::Conventional, Solver::Greedy, Solver::Ilp] {
+            let schedule = flow.schedule(&analysis, solver);
+            if solver != Solver::Conventional {
+                assert!(
+                    schedule.covers_all_targets(&analysis),
+                    "{solver:?} must cover all targets"
+                );
+            }
+            // every entry application list is non-empty
+            for e in &schedule.entries {
+                assert!(!e.applications.is_empty());
+                assert!(!e.faults.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ilp_never_needs_more_frequencies_than_greedy() {
+        let c = library::s27();
+        let flow = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        let greedy_sel = flow.select_frequencies_only(&analysis, Solver::Greedy, 0);
+        let ilp_sel = flow.select_frequencies_only(&analysis, Solver::Ilp, 0);
+        assert!(ilp_sel.periods.len() <= greedy_sel.periods.len());
+        assert!(ilp_sel.optimal);
+    }
+
+    #[test]
+    fn coverage_targets_monotone() {
+        let c = library::s27();
+        let flow = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        let patterns = flow.generate_patterns(None);
+        let analysis = flow.analyze(&patterns);
+        let mut last = usize::MAX;
+        for cov in [1.0, 0.99, 0.9, 0.7] {
+            let s = flow.schedule_with_coverage(&analysis, Solver::Ilp, cov);
+            assert!(s.num_frequencies() <= last);
+            last = s.num_frequencies();
+        }
+    }
+}

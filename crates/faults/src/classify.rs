@@ -1,0 +1,184 @@
+use fastmon_netlist::Circuit;
+use fastmon_timing::{ClockSpec, Sta, Time};
+
+use crate::SmallDelayFault;
+
+/// Structural classification of a small delay fault (step ① of the paper's
+/// test flow, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The fault's minimum slack is smaller than its size: a plain at-speed
+    /// test already fails, so the fault is removed from the FAST fault
+    /// list.
+    AtSpeedDetectable,
+    /// Even the longest path through the site, extended by δ and by the
+    /// largest available monitor delay, arrives before the earliest legal
+    /// capture time `t_min` — or the site reaches no observation point at
+    /// all. No FAST frequency can detect it.
+    TimingRedundant,
+    /// A genuine hidden-delay-fault candidate: FAST (possibly with monitor
+    /// support) may detect it.
+    FastTestable,
+}
+
+/// Structurally classifies `fault` using static timing analysis.
+///
+/// * `max_monitor_shift` is the largest monitor delay available at an
+///   observation point reachable from the fault site (0 when classifying
+///   for conventional FAST without monitors). It extends the observable
+///   window downwards: effects arriving in `(t_min − d, t_min)` become
+///   observable after shifting.
+///
+/// The classification is *optimistic* about detectability (pattern support
+/// is not considered); exact detection is established later by timing-
+/// accurate fault simulation. It is used to prune the fault list before the
+/// expensive simulation, exactly as in the paper.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_faults::{classify, FaultClass, FaultList};
+/// use fastmon_netlist::library;
+/// use fastmon_timing::{ClockSpec, DelayAnnotation, DelayModel, Sta};
+///
+/// let circuit = library::s27();
+/// let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+/// let sta = Sta::analyze(&circuit, &annot);
+/// let clock = ClockSpec::from_sta(&sta, 3.0);
+/// let faults = FaultList::six_sigma(&circuit, &annot);
+/// for (_, fault) in faults.iter() {
+///     let class = classify(&circuit, &sta, &clock, fault, 0.0);
+///     assert!(matches!(
+///         class,
+///         FaultClass::AtSpeedDetectable | FaultClass::TimingRedundant | FaultClass::FastTestable
+///     ));
+/// }
+/// ```
+#[must_use]
+pub fn classify(
+    circuit: &Circuit,
+    sta: &Sta,
+    clock: &ClockSpec,
+    fault: &SmallDelayFault,
+    max_monitor_shift: Time,
+) -> FaultClass {
+    let gate = fault.site.node();
+    debug_assert!(gate.index() < circuit.len());
+    let Some(latest) = sta.max_arrival_through(gate) else {
+        return FaultClass::TimingRedundant;
+    };
+    // Longest path through the site plus the fault delay: if it exceeds the
+    // nominal period, a transition test at speed already fails.
+    if latest + fault.delta > clock.t_nom {
+        return FaultClass::AtSpeedDetectable;
+    }
+    // The latest fault effect (difference between faulty and fault-free
+    // waveforms) dies out at `latest + delta`; a monitor delay `d` moves the
+    // corresponding detection range right by `d`.
+    if latest + fault.delta + max_monitor_shift <= clock.t_min {
+        return FaultClass::TimingRedundant;
+    }
+    FaultClass::FastTestable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultList, Polarity, SmallDelayFault};
+    use fastmon_netlist::{CircuitBuilder, GateKind, PinRef};
+    use fastmon_timing::{DelayAnnotation, DelayModel};
+
+    /// chain: a -> n1 -> n2 -> ... -> n5 (PO), unit delays; plus a short
+    /// branch n1 -> q (DFF).
+    fn chain() -> (Circuit, Sta, ClockSpec) {
+        let mut b = CircuitBuilder::new("chain");
+        b.add("a", GateKind::Input, &[]);
+        for i in 1..=5 {
+            let prev = if i == 1 { "a".to_owned() } else { format!("n{}", i - 1) };
+            b.add(format!("n{i}"), GateKind::Buf, &[prev.as_str()]);
+        }
+        b.add("q", GateKind::Dff, &["n1"]);
+        b.mark_output("n5");
+        let c = b.finish().unwrap();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::unit());
+        let sta = Sta::analyze(&c, &annot);
+        // critical path = 5, t_nom = 5 (no margin for round numbers),
+        // t_min = 5/3
+        let clock = ClockSpec::new(5.0, 3.0);
+        (c, sta, clock)
+    }
+
+    #[test]
+    fn deep_gate_is_at_speed_detectable() {
+        let (c, sta, clock) = chain();
+        let n5 = c.find("n5").unwrap();
+        // slack through n5 is 0 — any positive delta trips the nominal clock
+        let f = SmallDelayFault::new(PinRef::Output(n5), Polarity::SlowToRise, 0.5);
+        assert_eq!(classify(&c, &sta, &clock, &f, 0.0), FaultClass::AtSpeedDetectable);
+    }
+
+    #[test]
+    fn short_path_fault_redundant_without_monitors() {
+        let (c, sta, clock) = chain();
+        let n1 = c.find("n1").unwrap();
+        // restrict to the short branch: fault on the input pin of the gate
+        // whose only path is n1 -> q (the DFF). Actually n1 also reaches n5,
+        // so use a small delta on a *dedicated* short gate: add fault at q's
+        // driver via input pin of the DFF is not modeled; instead check the
+        // boundary arithmetic with a tiny delta on n1 where the long path
+        // keeps it testable.
+        let f = SmallDelayFault::new(PinRef::Output(n1), Polarity::SlowToRise, 0.4);
+        // longest through n1 = 5, 5 + 0.4 <= 5? no -> at-speed? 5.4 > 5 yes
+        assert_eq!(classify(&c, &sta, &clock, &f, 0.0), FaultClass::AtSpeedDetectable);
+    }
+
+    #[test]
+    fn truly_short_path_redundant_then_rescued_by_monitor() {
+        // a -> s1 (DFF d pin): single gate, path length 1, t_min = 5/3
+        let mut b = CircuitBuilder::new("short");
+        b.add("a", GateKind::Input, &[]);
+        b.add("s1", GateKind::Buf, &["a"]);
+        b.add("q", GateKind::Dff, &["s1"]);
+        // long dummy path to set the clock
+        b.add("l1", GateKind::Buf, &["a"]);
+        b.add("l2", GateKind::Buf, &["l1"]);
+        b.add("l3", GateKind::Buf, &["l2"]);
+        b.add("l4", GateKind::Buf, &["l3"]);
+        b.add("l5", GateKind::Buf, &["l4"]);
+        b.mark_output("l5");
+        let c = b.finish().unwrap();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::unit());
+        let sta = Sta::analyze(&c, &annot);
+        let clock = ClockSpec::new(5.0, 3.0); // t_min = 1.667
+        let s1 = c.find("s1").unwrap();
+        let f = SmallDelayFault::new(PinRef::Output(s1), Polarity::SlowToFall, 0.5);
+        // effect dies at 1 + 0.5 = 1.5 < t_min -> redundant without monitors
+        assert_eq!(classify(&c, &sta, &clock, &f, 0.0), FaultClass::TimingRedundant);
+        // a monitor delay of t_nom/3 rescues it: 1.5 + 1.667 > 1.667
+        assert_eq!(
+            classify(&c, &sta, &clock, &f, clock.t_nom / 3.0),
+            FaultClass::FastTestable
+        );
+    }
+
+    #[test]
+    fn all_s27_faults_get_a_class() {
+        let c = fastmon_netlist::library::s27();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let sta = Sta::analyze(&c, &annot);
+        let clock = ClockSpec::from_sta(&sta, 3.0);
+        let faults = FaultList::six_sigma(&c, &annot);
+        let mut counts = [0usize; 3];
+        for (_, f) in faults.iter() {
+            match classify(&c, &sta, &clock, f, 0.0) {
+                FaultClass::AtSpeedDetectable => counts[0] += 1,
+                FaultClass::TimingRedundant => counts[1] += 1,
+                FaultClass::FastTestable => counts[2] += 1,
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), faults.len());
+        // with δ = 6σ = 1.2 × nominal and a 5 % margin, most faults should
+        // be FAST-testable in this small circuit
+        assert!(counts[2] > 0);
+    }
+}

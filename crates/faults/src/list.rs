@@ -1,0 +1,199 @@
+use fastmon_netlist::{Circuit, PinRef};
+use fastmon_timing::DelayAnnotation;
+
+use crate::{FaultId, Polarity, SmallDelayFault};
+
+/// The fault population of a circuit.
+///
+/// Following the paper's evaluation setup, small delay faults are modeled
+/// "at all input and output pins of gates in the circuit", with "two
+/// individual small delay faults at each location to distinguish
+/// slow-to-rise and slow-to-fall effects", sized `δ = 6σ` where σ is the
+/// process-variation standard deviation of the gate.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_faults::FaultList;
+/// use fastmon_netlist::library;
+/// use fastmon_timing::{DelayAnnotation, DelayModel};
+///
+/// let circuit = library::c17();
+/// let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+/// let faults = FaultList::six_sigma(&circuit, &annot);
+/// // 6 NAND gates × (1 output + 2 input pins) × 2 polarities
+/// assert_eq!(faults.len(), 36);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultList {
+    faults: Vec<SmallDelayFault>,
+}
+
+impl FaultList {
+    /// Creates an empty list.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultList::default()
+    }
+
+    /// Builds the full `δ = 6σ` fault population of `circuit`: two faults
+    /// per input and output pin of every combinational gate.
+    #[must_use]
+    pub fn six_sigma(circuit: &Circuit, annot: &DelayAnnotation) -> Self {
+        Self::sized(circuit, |id| 6.0 * annot.sigma(id))
+    }
+
+    /// Builds the fault population with a custom per-gate fault size.
+    ///
+    /// `delta_of` receives the gate the pin belongs to and returns δ for
+    /// faults on that gate's pins. Gates for which it returns a
+    /// non-positive δ are skipped.
+    #[must_use]
+    pub fn sized<F: Fn(fastmon_netlist::NodeId) -> f64>(circuit: &Circuit, delta_of: F) -> Self {
+        let mut faults = Vec::new();
+        for id in circuit.combinational_nodes() {
+            let delta = delta_of(id);
+            if delta <= 0.0 {
+                continue;
+            }
+            for polarity in Polarity::BOTH {
+                faults.push(SmallDelayFault::new(PinRef::Output(id), polarity, delta));
+            }
+            for (k, _) in circuit.node(id).fanins().iter().enumerate() {
+                let pin = PinRef::Input(id, u8::try_from(k).expect("pin index fits u8"));
+                for polarity in Polarity::BOTH {
+                    faults.push(SmallDelayFault::new(pin, polarity, delta));
+                }
+            }
+        }
+        FaultList { faults }
+    }
+
+    /// Builds a list from explicit faults.
+    #[must_use]
+    pub fn from_faults(faults: Vec<SmallDelayFault>) -> Self {
+        FaultList { faults }
+    }
+
+    /// Number of faults.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Returns `true` if the list holds no faults.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The fault with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn fault(&self, id: FaultId) -> &SmallDelayFault {
+        &self.faults[id.index()]
+    }
+
+    /// Iterates over `(FaultId, &SmallDelayFault)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (FaultId, &SmallDelayFault)> {
+        self.faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FaultId::from_index(i), f))
+    }
+
+    /// All fault ids.
+    pub fn ids(&self) -> impl Iterator<Item = FaultId> + '_ {
+        (0..self.faults.len()).map(FaultId::from_index)
+    }
+
+    /// Retains only the faults whose id satisfies `keep`, returning the
+    /// sub-list and the mapping from new to old ids.
+    #[must_use]
+    pub fn filtered<F: Fn(FaultId) -> bool>(&self, keep: F) -> (FaultList, Vec<FaultId>) {
+        let mut faults = Vec::new();
+        let mut mapping = Vec::new();
+        for (id, f) in self.iter() {
+            if keep(id) {
+                faults.push(*f);
+                mapping.push(id);
+            }
+        }
+        (FaultList { faults }, mapping)
+    }
+}
+
+impl FromIterator<SmallDelayFault> for FaultList {
+    fn from_iter<T: IntoIterator<Item = SmallDelayFault>>(iter: T) -> Self {
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+    use fastmon_timing::{DelayAnnotation, DelayModel};
+
+    #[test]
+    fn s27_population_size() {
+        let c = library::s27();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let faults = FaultList::six_sigma(&c, &annot);
+        // pins: per gate 1 output + arity inputs; s27 has 2 NOT (1 fanin),
+        // 1 AND, 2 OR, 1 NAND, 4 NOR (2 fanins each) = 10 gates
+        // pins = 10 outputs + 2*1 + 8*2 = 28; ×2 polarities = 56
+        assert_eq!(faults.len(), 56);
+    }
+
+    #[test]
+    fn sizes_are_six_sigma() {
+        let c = library::c17();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let faults = FaultList::six_sigma(&c, &annot);
+        for (_, f) in faults.iter() {
+            let gate = f.site.node();
+            assert!((f.delta - 6.0 * annot.sigma(gate)).abs() < 1e-12);
+            assert!(f.delta > 0.0);
+        }
+    }
+
+    #[test]
+    fn polarities_paired() {
+        let c = library::c17();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let faults = FaultList::six_sigma(&c, &annot);
+        let str_count = faults
+            .iter()
+            .filter(|(_, f)| f.polarity == Polarity::SlowToRise)
+            .count();
+        assert_eq!(str_count * 2, faults.len());
+    }
+
+    #[test]
+    fn filtered_keeps_mapping() {
+        let c = library::c17();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let faults = FaultList::six_sigma(&c, &annot);
+        let (sub, mapping) = faults.filtered(|id| id.index() % 3 == 0);
+        assert_eq!(sub.len(), mapping.len());
+        for (new_id, old_id) in mapping.iter().enumerate() {
+            assert_eq!(
+                sub.fault(FaultId::from_index(new_id)),
+                faults.fault(*old_id)
+            );
+        }
+    }
+
+    #[test]
+    fn zero_delta_gates_skipped() {
+        let c = library::c17();
+        let faults = FaultList::sized(&c, |_| 0.0);
+        assert!(faults.is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+use std::fmt;
+
+use fastmon_netlist::PinRef;
+use fastmon_timing::Time;
+
+/// The transition polarity a small delay fault slows down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Polarity {
+    /// Rising (0→1) transitions at the fault site are delayed.
+    SlowToRise,
+    /// Falling (1→0) transitions at the fault site are delayed.
+    SlowToFall,
+}
+
+impl Polarity {
+    /// Both polarities, in a fixed order.
+    pub const BOTH: [Polarity; 2] = [Polarity::SlowToRise, Polarity::SlowToFall];
+
+    /// Whether a transition towards `new_value` is affected by this
+    /// polarity.
+    #[must_use]
+    pub fn affects(self, new_value: bool) -> bool {
+        match self {
+            Polarity::SlowToRise => new_value,
+            Polarity::SlowToFall => !new_value,
+        }
+    }
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::SlowToRise => f.write_str("STR"),
+            Polarity::SlowToFall => f.write_str("STF"),
+        }
+    }
+}
+
+/// A small (gate) delay fault `φ = (pin, polarity, δ)`: a lumped increase of
+/// the propagation delay of `polarity` transitions through `site` by
+/// `delta` picoseconds (Definition in Sec. II-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmallDelayFault {
+    /// The faulted gate pin.
+    pub site: PinRef,
+    /// Which transition polarity is slowed.
+    pub polarity: Polarity,
+    /// Fault size δ in picoseconds.
+    pub delta: Time,
+}
+
+impl SmallDelayFault {
+    /// Creates a fault.
+    #[must_use]
+    pub fn new(site: PinRef, polarity: Polarity, delta: Time) -> Self {
+        SmallDelayFault {
+            site,
+            polarity,
+            delta,
+        }
+    }
+}
+
+impl fmt::Display for SmallDelayFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} δ={:.2}ps", self.polarity, self.site, self.delta)
+    }
+}
+
+/// Dense index of a fault inside a [`FaultList`](crate::FaultList).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FaultId(pub u32);
+
+impl FaultId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `FaultId` from a raw index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        FaultId(u32::try_from(index).expect("fault index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for FaultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "φ{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::NodeId;
+
+    #[test]
+    fn polarity_affects() {
+        assert!(Polarity::SlowToRise.affects(true));
+        assert!(!Polarity::SlowToRise.affects(false));
+        assert!(Polarity::SlowToFall.affects(false));
+        assert!(!Polarity::SlowToFall.affects(true));
+    }
+
+    #[test]
+    fn display_round() {
+        let f = SmallDelayFault::new(
+            PinRef::Output(NodeId::from_index(3)),
+            Polarity::SlowToRise,
+            12.5,
+        );
+        assert_eq!(f.to_string(), "STR@n3/Z δ=12.50ps");
+        assert_eq!(FaultId(7).to_string(), "φ7");
+    }
+}

@@ -1,0 +1,237 @@
+use std::time::Instant;
+
+use crate::{SetCover, Solution, SolveStats};
+
+/// The classic greedy set-cover heuristic: repeatedly pick the set covering
+/// the most still-uncovered elements, until at most
+/// [`allowed_uncovered`](SetCover::allowed_uncovered) elements remain.
+///
+/// Ties are broken towards the lower set index, making the result
+/// deterministic. This is also the *heur.* baseline of the benchmark
+/// tables (standing in for the heuristic frequency selection of the
+/// authors' earlier work).
+///
+/// # Example
+///
+/// ```
+/// use fastmon_ilp::{greedy, SetCover};
+///
+/// let sc = SetCover::new(4, vec![vec![0, 1, 2], vec![2, 3], vec![3]]);
+/// let sol = greedy(&sc);
+/// assert_eq!(sol.chosen, vec![0, 1]);
+/// assert!(!sol.optimal); // greedy never claims optimality
+/// ```
+#[must_use]
+pub fn greedy(instance: &SetCover) -> Solution {
+    let start = Instant::now();
+    let n = instance.num_elements();
+    let mut covered = vec![false; n];
+    let mut uncovered = n;
+    let mut chosen = Vec::new();
+    // uncoverable elements can never be covered; the slack budget applies
+    // on top of them
+    let target = instance.allowed_uncovered() + instance.uncoverable();
+
+    // cached "new coverage" per set, lazily refreshed (standard lazy-greedy)
+    let mut gain: Vec<usize> = instance.sets().iter().map(Vec::len).collect();
+    let mut used = vec![false; instance.num_sets()];
+
+    while uncovered > target {
+        // find the set with the best *fresh* gain
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for i in 0..instance.num_sets() {
+            if used[i] || gain[i] == 0 {
+                continue;
+            }
+            // refresh the cached gain before trusting it
+            let fresh = instance
+                .set(i)
+                .iter()
+                .filter(|&&e| !covered[e as usize])
+                .count();
+            gain[i] = fresh;
+            if fresh > 0 {
+                match best {
+                    Some((g, _)) if g >= fresh => {}
+                    _ => best = Some((fresh, i)),
+                }
+            }
+        }
+        let Some((_, pick)) = best else {
+            break; // nothing can cover the rest
+        };
+        used[pick] = true;
+        chosen.push(pick);
+        for &e in instance.set(pick) {
+            if !covered[e as usize] {
+                covered[e as usize] = true;
+                uncovered -= 1;
+            }
+        }
+    }
+
+    eliminate_redundant(instance, &mut chosen);
+    chosen.sort_unstable();
+    Solution {
+        chosen,
+        optimal: false,
+        stats: SolveStats {
+            elapsed: start.elapsed(),
+            ..SolveStats::default()
+        },
+    }
+}
+
+/// Drops chosen sets that are not needed for feasibility (every covered
+/// element stays covered, or the waiver budget absorbs it). Processes the
+/// candidates from smallest coverage to largest, which tends to free the
+/// most sets.
+pub(crate) fn eliminate_redundant(instance: &SetCover, chosen: &mut Vec<usize>) {
+    let n = instance.num_elements();
+    let mut cover_count = vec![0u32; n];
+    for &s in chosen.iter() {
+        for &e in instance.set(s) {
+            cover_count[e as usize] += 1;
+        }
+    }
+    let covered = cover_count.iter().filter(|&&c| c > 0).count();
+    let coverable = {
+        let mut any = vec![false; n];
+        for s in instance.sets() {
+            for &e in s {
+                any[e as usize] = true;
+            }
+        }
+        any.iter().filter(|&&a| a).count()
+    };
+    let mut slack = instance
+        .allowed_uncovered()
+        .saturating_sub(coverable - covered);
+
+    let mut order: Vec<usize> = (0..chosen.len()).collect();
+    order.sort_by_key(|&i| instance.set(chosen[i]).len());
+    let mut removed = vec![false; chosen.len()];
+    for i in order {
+        let s = chosen[i];
+        let unique = instance
+            .set(s)
+            .iter()
+            .filter(|&&e| cover_count[e as usize] == 1)
+            .count();
+        if unique <= slack {
+            removed[i] = true;
+            slack -= unique;
+            for &e in instance.set(s) {
+                cover_count[e as usize] -= 1;
+            }
+        }
+    }
+    let mut i = 0;
+    chosen.retain(|_| {
+        let keep = !removed[i];
+        i += 1;
+        keep
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_everything_when_possible() {
+        let sc = SetCover::new(6, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 2, 4]]);
+        let sol = greedy(&sc);
+        assert!(sc.is_feasible(&sol.chosen));
+    }
+
+    #[test]
+    fn redundancy_elimination_fixes_the_classic_trap() {
+        // greedy takes the big set 0 first, then needs 1 and 2 anyway —
+        // the redundancy post-pass drops set 0 again
+        let sc = SetCover::new(6, vec![
+            vec![0, 1, 2, 3],
+            vec![0, 1, 4],
+            vec![2, 3, 5],
+        ]);
+        let sol = greedy(&sc);
+        assert!(sc.is_feasible(&sol.chosen));
+        assert_eq!(sol.chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn greedy_can_still_be_suboptimal() {
+        // staircase instance where the greedy choice is irreversibly bad:
+        // optimal is the two disjoint halves {0..3}, {4..7}; greedy starts
+        // with the middle set {2..5} and needs two more, none redundant
+        let sc = SetCover::new(8, vec![
+            vec![2, 3, 4, 5],
+            vec![0, 1, 2],
+            vec![5, 6, 7],
+            vec![0, 1, 2, 3],
+            vec![4, 5, 6, 7],
+        ]);
+        let sol = greedy(&sc);
+        assert!(sc.is_feasible(&sol.chosen));
+        assert_eq!(sol.chosen.len(), 3, "{:?}", sol.chosen);
+        assert_eq!(crate::BranchBound::new().solve(&sc).objective(), 2);
+    }
+
+    #[test]
+    fn partial_cover_stops_early() {
+        let sc = SetCover::new(4, vec![vec![0, 1, 2], vec![3]]).with_allowed_uncovered(1);
+        let sol = greedy(&sc);
+        assert_eq!(sol.chosen, vec![0]);
+    }
+
+    #[test]
+    fn uncoverable_elements_tolerated() {
+        // element 3 is in no set: greedy must still terminate
+        let sc = SetCover::new(4, vec![vec![0, 1], vec![2]]);
+        let sol = greedy(&sc);
+        assert_eq!(sol.chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sc = SetCover::new(0, vec![]);
+        assert!(greedy(&sc).chosen.is_empty());
+    }
+
+    #[test]
+    fn elimination_respects_waiver_budget() {
+        // cover {0,1,2} with one waiver: sets {0,1} and {2}; the {2} set
+        // covers a single element which the waiver can absorb
+        let sc = SetCover::new(3, vec![vec![0, 1], vec![2]]).with_allowed_uncovered(1);
+        let mut chosen = vec![0usize, 1];
+        eliminate_redundant(&sc, &mut chosen);
+        assert_eq!(chosen, vec![0], "the singleton set is waived away");
+        assert!(sc.is_feasible(&chosen));
+
+        // without slack nothing may be dropped
+        let tight = SetCover::new(3, vec![vec![0, 1], vec![2]]);
+        let mut chosen = vec![0usize, 1];
+        eliminate_redundant(&tight, &mut chosen);
+        assert_eq!(chosen, vec![0, 1]);
+    }
+
+    #[test]
+    fn elimination_never_breaks_feasibility() {
+        use rand::prelude::*;
+        use rand_chacha::ChaCha8Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..30 {
+            let n = rng.gen_range(4..20usize);
+            let sets: Vec<Vec<u32>> = (0..rng.gen_range(4..12))
+                .map(|_| (0..n as u32).filter(|_| rng.gen_bool(0.3)).collect())
+                .collect();
+            let allowed = rng.gen_range(0..3usize);
+            let sc = SetCover::new(n, sets).with_allowed_uncovered(allowed);
+            // start from "everything chosen" — trivially feasible
+            let mut chosen: Vec<usize> = (0..sc.num_sets()).collect();
+            let feasible_before = sc.is_feasible(&chosen);
+            eliminate_redundant(&sc, &mut chosen);
+            assert_eq!(sc.is_feasible(&chosen), feasible_before);
+        }
+    }
+}

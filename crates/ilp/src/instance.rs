@@ -1,0 +1,175 @@
+/// A set-covering instance: a universe `0..num_elements` and a family of
+/// sets, each listing the elements it covers.
+///
+/// `allowed_uncovered` relaxes the problem to *partial* covering: a feasible
+/// solution may leave up to that many elements uncovered (used for the
+/// coverage-target schedules of the paper's Table III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCover {
+    num_elements: usize,
+    sets: Vec<Vec<u32>>,
+    allowed_uncovered: usize,
+}
+
+impl SetCover {
+    /// Creates an instance. Element ids inside each set are deduplicated and
+    /// sorted; out-of-range ids are rejected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a set references an element `>= num_elements`.
+    #[must_use]
+    pub fn new(num_elements: usize, sets: Vec<Vec<u32>>) -> Self {
+        let mut sets = sets;
+        for s in &mut sets {
+            s.sort_unstable();
+            s.dedup();
+            if let Some(&max) = s.last() {
+                assert!(
+                    (max as usize) < num_elements,
+                    "set references element {max} outside the universe of {num_elements}"
+                );
+            }
+        }
+        SetCover {
+            num_elements,
+            sets,
+            allowed_uncovered: 0,
+        }
+    }
+
+    /// Returns a copy that only requires covering all but
+    /// `allowed_uncovered` elements.
+    #[must_use]
+    pub fn with_allowed_uncovered(mut self, allowed_uncovered: usize) -> Self {
+        self.allowed_uncovered = allowed_uncovered;
+        self
+    }
+
+    /// Size of the universe.
+    #[must_use]
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Number of sets in the family.
+    #[must_use]
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The elements covered by set `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn set(&self, i: usize) -> &[u32] {
+        &self.sets[i]
+    }
+
+    /// All sets.
+    #[must_use]
+    pub fn sets(&self) -> &[Vec<u32>] {
+        &self.sets
+    }
+
+    /// How many elements a solution may leave uncovered.
+    #[must_use]
+    pub fn allowed_uncovered(&self) -> usize {
+        self.allowed_uncovered
+    }
+
+    /// The inverted index: for every element, the sets covering it.
+    #[must_use]
+    pub fn covering_sets(&self) -> Vec<Vec<u32>> {
+        let mut by_element: Vec<Vec<u32>> = vec![Vec::new(); self.num_elements];
+        for (i, s) in self.sets.iter().enumerate() {
+            for &e in s {
+                by_element[e as usize].push(u32::try_from(i).expect("set count fits u32"));
+            }
+        }
+        by_element
+    }
+
+    /// Returns `true` when the chosen sets cover enough of the universe:
+    /// at most `allowed_uncovered` *coverable* elements may remain
+    /// uncovered. Elements that appear in no set at all are impossible to
+    /// cover and are excluded from the count (the schedule optimizer never
+    /// produces them — every target fault has at least one detecting
+    /// candidate).
+    #[must_use]
+    pub fn is_feasible(&self, chosen: &[usize]) -> bool {
+        let mut covered = vec![false; self.num_elements];
+        for &i in chosen {
+            for &e in &self.sets[i] {
+                covered[e as usize] = true;
+            }
+        }
+        let mut coverable = vec![false; self.num_elements];
+        for s in &self.sets {
+            for &e in s {
+                coverable[e as usize] = true;
+            }
+        }
+        let uncovered = covered
+            .iter()
+            .zip(&coverable)
+            .filter(|&(&c, &able)| able && !c)
+            .count();
+        uncovered <= self.allowed_uncovered
+    }
+
+    /// The number of elements that no set covers at all (these are
+    /// impossible to cover and count against `allowed_uncovered`).
+    #[must_use]
+    pub fn uncoverable(&self) -> usize {
+        let mut covered = vec![false; self.num_elements];
+        for s in &self.sets {
+            for &e in s {
+                covered[e as usize] = true;
+            }
+        }
+        covered.iter().filter(|&&c| !c).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_sets() {
+        let sc = SetCover::new(5, vec![vec![3, 1, 3, 0]]);
+        assert_eq!(sc.set(0), &[0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the universe")]
+    fn out_of_range_rejected() {
+        let _ = SetCover::new(3, vec![vec![5]]);
+    }
+
+    #[test]
+    fn feasibility() {
+        let sc = SetCover::new(3, vec![vec![0, 1], vec![2]]);
+        assert!(sc.is_feasible(&[0, 1]));
+        assert!(!sc.is_feasible(&[0]));
+        assert!(sc.clone().with_allowed_uncovered(1).is_feasible(&[0]));
+    }
+
+    #[test]
+    fn covering_sets_inverted_index() {
+        let sc = SetCover::new(3, vec![vec![0, 1], vec![1, 2]]);
+        let idx = sc.covering_sets();
+        assert_eq!(idx[0], vec![0]);
+        assert_eq!(idx[1], vec![0, 1]);
+        assert_eq!(idx[2], vec![1]);
+    }
+
+    #[test]
+    fn uncoverable_count() {
+        let sc = SetCover::new(4, vec![vec![0], vec![2]]);
+        assert_eq!(sc.uncoverable(), 2);
+    }
+}

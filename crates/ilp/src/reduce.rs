@@ -1,0 +1,322 @@
+use crate::SetCover;
+
+/// The result of preprocessing a [`SetCover`] instance.
+///
+/// * `forced` — sets that every optimal solution must contain (they are the
+///   only cover of some element); already expressed in original indices.
+/// * `instance` — the residual instance over the still-uncovered elements
+///   and surviving sets (element ids re-numbered).
+/// * `set_map` — maps residual set indices back to original indices.
+#[derive(Debug, Clone)]
+pub struct Reduction {
+    /// Sets forced into the solution (original indices).
+    pub forced: Vec<usize>,
+    /// The residual instance.
+    pub instance: SetCover,
+    /// Residual set index → original set index.
+    pub set_map: Vec<usize>,
+}
+
+/// Applies classic set-cover reductions to fixpoint:
+///
+/// 1. **Essential columns** — an element covered by exactly one set forces
+///    that set (only sound for full covering, i.e.
+///    `allowed_uncovered == 0`).
+/// 2. **Row domination** — if every set covering element `b` also covers
+///    element `a`, then `a` is covered whenever `b` is and can be dropped
+///    (full covering only).
+/// 3. **Column domination** — a set that is a subset of another set never
+///    helps (unit costs) and is dropped. Sound for partial covering too.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_ilp::{reduce, SetCover};
+///
+/// // element 2 is only covered by set 2, element 0 only by set 0 → both
+/// // essential; set 2 also covers element 1, so the instance collapses
+/// let sc = SetCover::new(3, vec![vec![0], vec![1], vec![1, 2]]);
+/// let red = reduce(&sc);
+/// assert_eq!(red.forced, vec![0, 2]);
+/// assert_eq!(red.instance.num_elements(), 0);
+/// ```
+///
+/// ```
+/// # use fastmon_ilp::{reduce, SetCover};
+/// // column domination: {0} ⊂ {0, 1} never helps
+/// let sc = SetCover::new(2, vec![vec![0], vec![0, 1]]);
+/// let red = reduce(&sc);
+/// assert_eq!(red.forced, vec![1]);
+/// ```
+/// Above this family size the quadratic column-domination pass is skipped.
+const COLUMN_DOMINATION_LIMIT: usize = 4_000;
+/// Above this universe size the quadratic row-domination pass is skipped.
+const ROW_DOMINATION_LIMIT: usize = 4_000;
+
+#[must_use]
+pub fn reduce(original: &SetCover) -> Reduction {
+    let full_cover = original.allowed_uncovered() == 0;
+    let mut forced: Vec<usize> = Vec::new();
+
+    // live element / set masks over the original universe
+    let mut elem_alive = vec![true; original.num_elements()];
+    let mut set_alive = vec![true; original.num_sets()];
+
+    // uncoverable elements can never constrain anything
+    {
+        let idx = original.covering_sets();
+        for (e, sets) in idx.iter().enumerate() {
+            if sets.is_empty() {
+                elem_alive[e] = false;
+            }
+        }
+    }
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+
+        // 1. essential columns
+        if full_cover {
+            let mut cover_count = vec![0u32; original.num_elements()];
+            let mut only = vec![usize::MAX; original.num_elements()];
+            for (i, s) in original.sets().iter().enumerate() {
+                if !set_alive[i] {
+                    continue;
+                }
+                for &e in s {
+                    let e = e as usize;
+                    if elem_alive[e] {
+                        cover_count[e] += 1;
+                        only[e] = i;
+                    }
+                }
+            }
+            for e in 0..original.num_elements() {
+                if elem_alive[e] && cover_count[e] == 1 {
+                    let s = only[e];
+                    if set_alive[s] {
+                        forced.push(s);
+                        set_alive[s] = false; // leaves the residual family
+                        for &covered in original.set(s) {
+                            if elem_alive[covered as usize] {
+                                elem_alive[covered as usize] = false;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // live views for the domination passes
+        let live_set = |i: usize| -> Vec<u32> {
+            original.set(i)
+                .iter()
+                .copied()
+                .filter(|&e| elem_alive[e as usize])
+                .collect()
+        };
+
+        // 3. column domination: drop sets that are subsets of another set
+        // (quadratic pass — skipped on very large families, where the
+        // branch-and-bound search handles redundancy on its own)
+        if original.num_sets() <= COLUMN_DOMINATION_LIMIT {
+            let views: Vec<Option<Vec<u32>>> = (0..original.num_sets())
+                .map(|i| set_alive[i].then(|| live_set(i)))
+                .collect();
+            for a in 0..original.num_sets() {
+                let Some(sa) = &views[a] else { continue };
+                if !set_alive[a] {
+                    continue;
+                }
+                if sa.is_empty() {
+                    set_alive[a] = false;
+                    changed = true;
+                    continue;
+                }
+                for b in 0..original.num_sets() {
+                    if a == b || !set_alive[b] || !set_alive[a] {
+                        continue;
+                    }
+                    let Some(sb) = &views[b] else { continue };
+                    if sb.len() < sa.len() {
+                        continue;
+                    }
+                    // tie-break on equal sets: keep the lower index
+                    if sa.len() == sb.len() && a < b {
+                        continue;
+                    }
+                    if is_subset(sa, sb) {
+                        set_alive[a] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // 2. row domination (quadratic pass, size-guarded like column
+        // domination)
+        if full_cover && original.num_elements() <= ROW_DOMINATION_LIMIT {
+            let mut idx: Vec<Vec<u32>> = vec![Vec::new(); original.num_elements()];
+            for (i, s) in original.sets().iter().enumerate() {
+                if !set_alive[i] {
+                    continue;
+                }
+                for &e in s {
+                    if elem_alive[e as usize] {
+                        idx[e as usize].push(u32::try_from(i).expect("set count fits u32"));
+                    }
+                }
+            }
+            for a in 0..original.num_elements() {
+                if !elem_alive[a] {
+                    continue;
+                }
+                for b in 0..original.num_elements() {
+                    if a == b || !elem_alive[b] || !elem_alive[a] {
+                        continue;
+                    }
+                    // covering(b) ⊆ covering(a): covering b always covers a
+                    if idx[b].len() <= idx[a].len()
+                        && !(idx[a].len() == idx[b].len() && a < b)
+                        && is_subset(&idx[b], &idx[a])
+                    {
+                        elem_alive[a] = false;
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // build the residual instance with remapped element ids
+    let mut elem_map = vec![u32::MAX; original.num_elements()];
+    let mut next = 0u32;
+    for e in 0..original.num_elements() {
+        if elem_alive[e] {
+            elem_map[e] = next;
+            next += 1;
+        }
+    }
+    let mut sets = Vec::new();
+    let mut set_map = Vec::new();
+    for i in 0..original.num_sets() {
+        if !set_alive[i] {
+            continue;
+        }
+        let remapped: Vec<u32> = original
+            .set(i)
+            .iter()
+            .filter(|&&e| elem_alive[e as usize])
+            .map(|&e| elem_map[e as usize])
+            .collect();
+        if !remapped.is_empty() {
+            sets.push(remapped);
+            set_map.push(i);
+        }
+    }
+    forced.sort_unstable();
+    forced.dedup();
+    Reduction {
+        forced,
+        instance: SetCover::new(next as usize, sets)
+            .with_allowed_uncovered(original.allowed_uncovered()),
+        set_map,
+    }
+}
+
+/// `a ⊆ b` for sorted slices.
+fn is_subset(a: &[u32], b: &[u32]) -> bool {
+    let mut j = 0usize;
+    for &x in a {
+        while j < b.len() && b[j] < x {
+            j += 1;
+        }
+        if j >= b.len() || b[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn essential_set_forced_and_universe_shrinks() {
+        let sc = SetCover::new(4, vec![vec![0, 1], vec![1, 2, 3], vec![0]]);
+        let red = reduce(&sc);
+        // elements 2 and 3 are only covered by set 1 → forced. Then set 2
+        // (= {0}) is dominated by set 0 (= {0,1} with element 1 already
+        // covered → {0}, equal, lower index wins), after which element 0
+        // has a single cover left and set 0 becomes essential too: the
+        // whole instance collapses.
+        assert_eq!(red.forced, vec![0, 1]);
+        assert_eq!(red.instance.num_elements(), 0);
+    }
+
+    #[test]
+    fn column_domination_drops_subsets() {
+        let sc = SetCover::new(3, vec![vec![0], vec![0, 1], vec![0, 1, 2]]);
+        let red = reduce(&sc);
+        // element 2 only in set 2 → forced, covering everything
+        assert_eq!(red.forced, vec![2]);
+        assert_eq!(red.instance.num_elements(), 0);
+    }
+
+    #[test]
+    fn equal_sets_keep_one() {
+        let sc = SetCover::new(2, vec![vec![0, 1], vec![0, 1]]);
+        let red = reduce(&sc);
+        // one of the twins is dropped; the survivor becomes essential
+        assert_eq!(red.forced.len(), 1);
+        assert_eq!(red.instance.num_sets(), 0);
+    }
+
+    #[test]
+    fn partial_cover_skips_unsound_rules() {
+        let sc = SetCover::new(3, vec![vec![0], vec![1], vec![2]]).with_allowed_uncovered(1);
+        let red = reduce(&sc);
+        // nothing may be forced: the solver might waive any single element
+        assert!(red.forced.is_empty());
+        assert_eq!(red.instance.num_sets(), 3);
+        assert_eq!(red.instance.allowed_uncovered(), 1);
+    }
+
+    #[test]
+    fn uncoverable_elements_dropped() {
+        let sc = SetCover::new(3, vec![vec![0], vec![1]]);
+        let red = reduce(&sc);
+        assert_eq!(red.instance.num_elements(), 0); // both forced, elt 2 dropped
+        assert_eq!(red.forced, vec![0, 1]);
+    }
+
+    #[test]
+    fn subset_helper() {
+        assert!(is_subset(&[1, 3], &[0, 1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[0, 1, 2, 3]));
+        assert!(is_subset(&[], &[0]));
+    }
+
+    #[test]
+    fn forced_plus_residual_solves_original() {
+        let sc = SetCover::new(6, vec![
+            vec![0, 1],
+            vec![2],
+            vec![2, 3],
+            vec![4, 5],
+            vec![5],
+        ]);
+        let red = reduce(&sc);
+        // solve residual greedily and stitch together
+        let sub = crate::greedy(&red.instance);
+        let mut chosen: Vec<usize> = red.forced.clone();
+        chosen.extend(sub.chosen.iter().map(|&i| red.set_map[i]));
+        assert!(sc.is_feasible(&chosen));
+    }
+}

@@ -1,0 +1,49 @@
+use std::time::Duration;
+
+/// The outcome of a set-cover solve.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Solution {
+    /// Indices of the chosen sets, in ascending order.
+    pub chosen: Vec<usize>,
+    /// `true` if the solver proved optimality, `false` for heuristic or
+    /// deadline-capped results.
+    pub optimal: bool,
+    /// Solver statistics.
+    pub stats: SolveStats,
+}
+
+impl Solution {
+    /// Number of chosen sets (the objective value).
+    #[must_use]
+    pub fn objective(&self) -> usize {
+        self.chosen.len()
+    }
+}
+
+/// Statistics of a solve.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored (0 for the greedy heuristic).
+    pub nodes: u64,
+    /// Sets fixed by preprocessing reductions.
+    pub fixed_by_reduction: usize,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+    /// `true` if the deadline interrupted the search.
+    pub deadline_hit: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_counts_sets() {
+        let s = Solution {
+            chosen: vec![1, 4, 7],
+            optimal: true,
+            stats: SolveStats::default(),
+        };
+        assert_eq!(s.objective(), 3);
+    }
+}

@@ -1,0 +1,194 @@
+use fastmon_netlist::{Circuit, NodeId};
+use fastmon_timing::{DelayAnnotation, Time};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// A simple BTI/HCI-style delay degradation model.
+///
+/// Gate delays grow sublinearly with operational time, following the
+/// classic power law `Δd/d = a · t^n` (with `t` in years, `n ≈ 0.2` for
+/// BTI). Per-gate stress factors (deterministic in the seed) model the
+/// workload-dependent spread of degradation across a die, and an optional
+/// *marginality* injects the fast early-life degradation of a weak device
+/// that the paper targets.
+///
+/// The model exists to drive lifecycle studies: ageing a
+/// [`DelayAnnotation`] year by year and watching monitor guard bands get
+/// violated (see the `aging_prediction` example of the workspace).
+///
+/// # Example
+///
+/// ```
+/// use fastmon_monitor::AgingModel;
+///
+/// let model = AgingModel::bti_like();
+/// let d0 = model.degradation(0.0);
+/// let d5 = model.degradation(5.0);
+/// let d10 = model.degradation(10.0);
+/// assert_eq!(d0, 0.0);
+/// assert!(d5 > 0.0 && d10 > d5);
+/// // sublinear: the second 5 years add less than the first
+/// assert!(d10 - d5 < d5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingModel {
+    /// Relative delay increase after one year at nominal stress.
+    pub rate: f64,
+    /// Power-law exponent (≈ 0.2 for BTI).
+    pub exponent: f64,
+}
+
+impl AgingModel {
+    /// A BTI-like model: ~6 % delay increase after one year, power-law
+    /// exponent 0.2.
+    #[must_use]
+    pub fn bti_like() -> Self {
+        AgingModel {
+            rate: 0.06,
+            exponent: 0.2,
+        }
+    }
+
+    /// The relative delay increase after `years` of operation at nominal
+    /// stress.
+    #[must_use]
+    pub fn degradation(&self, years: f64) -> f64 {
+        if years <= 0.0 {
+            0.0
+        } else {
+            self.rate * years.powf(self.exponent)
+        }
+    }
+
+    /// Ages an annotation by `years`: every combinational gate's delays are
+    /// scaled by `1 + degradation(years) · stress`, where `stress` is a
+    /// per-gate factor in `[0.5, 1.5]` sampled deterministically from
+    /// `seed`.
+    #[must_use]
+    pub fn aged(
+        &self,
+        circuit: &Circuit,
+        fresh: &DelayAnnotation,
+        years: f64,
+        seed: u64,
+    ) -> DelayAnnotation {
+        let deg = self.degradation(years);
+        let mut rise = Vec::with_capacity(circuit.len());
+        let mut fall = Vec::with_capacity(circuit.len());
+        let mut sigma = Vec::with_capacity(circuit.len());
+        for (id, node) in circuit.iter() {
+            let factor = if node.kind().is_combinational() {
+                1.0 + deg * stress_factor(seed, id.index())
+            } else {
+                1.0
+            };
+            rise.push(fresh.rise(id) * factor);
+            fall.push(fresh.fall(id) * factor);
+            sigma.push(fresh.sigma(id));
+        }
+        DelayAnnotation::from_raw(rise, fall, sigma)
+    }
+}
+
+impl Default for AgingModel {
+    fn default() -> Self {
+        AgingModel::bti_like()
+    }
+}
+
+fn stress_factor(seed: u64, key: usize) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(
+        seed.wrapping_mul(0xa076_1d64_78bd_642f)
+            .wrapping_add(key as u64),
+    );
+    rng.gen_range(0.5..1.5)
+}
+
+/// Injects an early-life marginality: gate `weak` receives an extra delay
+/// of `extra` picoseconds on both edges — the "hidden delay fault that
+/// magnifies quickly after a short term of operation" of the paper's
+/// introduction.
+///
+/// # Panics
+///
+/// Panics if `weak` is out of range for the annotation.
+#[must_use]
+pub fn inject_marginality(
+    circuit: &Circuit,
+    annot: &DelayAnnotation,
+    weak: NodeId,
+    extra: Time,
+) -> DelayAnnotation {
+    assert!(weak.index() < circuit.len(), "weak gate out of range");
+    let mut rise = Vec::with_capacity(circuit.len());
+    let mut fall = Vec::with_capacity(circuit.len());
+    let mut sigma = Vec::with_capacity(circuit.len());
+    for id in circuit.node_ids() {
+        let bump = if id == weak { extra } else { 0.0 };
+        rise.push(annot.rise(id) + bump);
+        fall.push(annot.fall(id) + bump);
+        sigma.push(annot.sigma(id));
+    }
+    DelayAnnotation::from_raw(rise, fall, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+    use fastmon_timing::{DelayModel, Sta};
+
+    #[test]
+    fn aging_increases_critical_path_monotonically() {
+        let c = library::s27();
+        let fresh = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let model = AgingModel::bti_like();
+        let mut prev = Sta::analyze(&c, &fresh).critical_path_length();
+        for years in [1.0, 3.0, 7.0, 15.0] {
+            let aged = model.aged(&c, &fresh, years, 42);
+            let cpl = Sta::analyze(&c, &aged).critical_path_length();
+            assert!(cpl > prev, "cpl must grow with age");
+            prev = cpl;
+        }
+    }
+
+    #[test]
+    fn aging_is_deterministic() {
+        let c = library::s27();
+        let fresh = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let model = AgingModel::bti_like();
+        assert_eq!(model.aged(&c, &fresh, 5.0, 7), model.aged(&c, &fresh, 5.0, 7));
+    }
+
+    #[test]
+    fn sources_do_not_age() {
+        let c = library::s27();
+        let fresh = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let aged = AgingModel::bti_like().aged(&c, &fresh, 10.0, 1);
+        for &pi in c.inputs() {
+            assert_eq!(aged.rise(pi), 0.0);
+        }
+    }
+
+    #[test]
+    fn marginality_bumps_one_gate() {
+        let c = library::s27();
+        let fresh = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let weak = c.find("G8").unwrap();
+        let bumped = inject_marginality(&c, &fresh, weak, 25.0);
+        assert_eq!(bumped.rise(weak), fresh.rise(weak) + 25.0);
+        for id in c.node_ids().filter(|&id| id != weak) {
+            assert_eq!(bumped.rise(id), fresh.rise(id));
+        }
+    }
+
+    #[test]
+    fn zero_years_is_identity_scale() {
+        let c = library::s27();
+        let fresh = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let aged = AgingModel::bti_like().aged(&c, &fresh, 0.0, 3);
+        for id in c.node_ids() {
+            assert_eq!(aged.rise(id), fresh.rise(id));
+        }
+    }
+}

@@ -1,0 +1,145 @@
+use std::fmt;
+
+use fastmon_timing::Time;
+
+/// One monitor setting applied (chip-wide) during a test: either the shadow
+/// registers are ignored (`Off`) or all monitors select the `Delay(i)`-th
+/// delay element.
+///
+/// The paper assumes "all monitors share the identical delay setting" for a
+/// given configuration, which is what this type encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MonitorConfig {
+    /// Shadow registers are not used; only mission flip-flops observe.
+    Off,
+    /// All monitors select delay element `i` (index into
+    /// [`ConfigSet::delays`]).
+    Delay(u8),
+}
+
+impl fmt::Display for MonitorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorConfig::Off => f.write_str("off"),
+            MonitorConfig::Delay(i) => write!(f, "d{}", i + 1),
+        }
+    }
+}
+
+/// The set of selectable monitor delay elements of a design.
+///
+/// The paper's monitors have four delay elements
+/// `d ∈ {0.05, 0.10, 0.15, 1/3} · clk`; together with `Off` this yields the
+/// configuration set `C` with `|C| = 5` used by the schedule optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigSet {
+    delays: Vec<Time>,
+}
+
+impl ConfigSet {
+    /// Creates a configuration set from explicit delay element values (ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any delay is not positive.
+    #[must_use]
+    pub fn new(delays: Vec<Time>) -> Self {
+        assert!(
+            delays.iter().all(|&d| d > 0.0),
+            "monitor delays must be positive"
+        );
+        ConfigSet { delays }
+    }
+
+    /// The paper's default elements `{0.05, 0.10, 0.15, 1/3} · t_nom`.
+    #[must_use]
+    pub fn paper_defaults(t_nom: Time) -> Self {
+        ConfigSet::new(vec![
+            0.05 * t_nom,
+            0.10 * t_nom,
+            0.15 * t_nom,
+            t_nom / 3.0,
+        ])
+    }
+
+    /// The delay element values.
+    #[must_use]
+    pub fn delays(&self) -> &[Time] {
+        &self.delays
+    }
+
+    /// Number of configurations **including** `Off` (the paper's `|C|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.delays.len() + 1
+    }
+
+    /// Returns `true` if there are no delay elements (monitors absent).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.delays.is_empty()
+    }
+
+    /// Iterates over all configurations, `Off` first.
+    pub fn configs(&self) -> impl Iterator<Item = MonitorConfig> + '_ {
+        std::iter::once(MonitorConfig::Off).chain(
+            (0..self.delays.len()).map(|i| MonitorConfig::Delay(u8::try_from(i).expect("few delays"))),
+        )
+    }
+
+    /// The time shift a configuration applies to shadow-register detection
+    /// ranges (0 for `Off`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Delay` index is out of range.
+    #[must_use]
+    pub fn shift(&self, config: MonitorConfig) -> Time {
+        match config {
+            MonitorConfig::Off => 0.0,
+            MonitorConfig::Delay(i) => self.delays[i as usize],
+        }
+    }
+
+    /// The largest selectable delay (0 if no elements exist).
+    #[must_use]
+    pub fn max_shift(&self) -> Time {
+        self.delays.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_shape() {
+        let c = ConfigSet::paper_defaults(300.0);
+        assert_eq!(c.delays(), &[15.0, 30.0, 45.0, 100.0]);
+        assert_eq!(c.len(), 5);
+        let configs: Vec<MonitorConfig> = c.configs().collect();
+        assert_eq!(configs[0], MonitorConfig::Off);
+        assert_eq!(configs.len(), 5);
+        assert_eq!(c.shift(configs[4]), 100.0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(MonitorConfig::Off.to_string(), "off");
+        assert_eq!(MonitorConfig::Delay(3).to_string(), "d4");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delay_rejected() {
+        let _ = ConfigSet::new(vec![10.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_set_behaves() {
+        let c = ConfigSet::new(vec![]);
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 1); // only Off
+        assert_eq!(c.max_shift(), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Hardware-cost estimation of monitor insertion.
+//!
+//! The appeal of monitor *reuse* (the paper's [13], [14]) is that the aging
+//! monitors are already on chip — FAST support costs nothing extra. This
+//! module quantifies what the monitors themselves cost, in standard-cell
+//! gate-equivalents, so the reuse argument can be made concrete against a
+//! dedicated-DFT alternative.
+//!
+//! The per-monitor cost model follows the structure of Fig. 2 (a):
+//! a shadow flip-flop, an XOR comparator, a `|delays|`-to-1 multiplexer and
+//! one delay element per configurable delay.
+//!
+//! # Example
+//!
+//! ```
+//! use fastmon_monitor::{ConfigSet, MonitorOverhead, MonitorPlacement};
+//! use fastmon_netlist::library;
+//! use fastmon_timing::{DelayAnnotation, DelayModel, Sta};
+//!
+//! let circuit = library::s27();
+//! let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+//! let sta = Sta::analyze(&circuit, &annot);
+//! let placement = MonitorPlacement::at_long_path_ends(&circuit, &sta, 0.25);
+//! let configs = ConfigSet::paper_defaults(300.0);
+//! let overhead = MonitorOverhead::estimate(&circuit, &placement, &configs);
+//! assert_eq!(overhead.monitors, 1);
+//! assert!(overhead.relative_percent > 0.0);
+//! ```
+
+use fastmon_netlist::{Circuit, GateKind};
+
+use crate::{ConfigSet, MonitorPlacement};
+
+/// Gate-equivalent (GE) area estimate of a monitor insertion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorOverhead {
+    /// Number of inserted monitors.
+    pub monitors: usize,
+    /// Gate equivalents per monitor.
+    pub ge_per_monitor: f64,
+    /// Total gate equivalents added.
+    pub total_ge: f64,
+    /// Baseline circuit area in gate equivalents.
+    pub circuit_ge: f64,
+    /// Overhead relative to the baseline, in percent.
+    pub relative_percent: f64,
+}
+
+/// Gate-equivalent weights (NAND2 = 1 GE, the usual convention).
+fn kind_ge(kind: GateKind) -> f64 {
+    match kind {
+        GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0.0,
+        GateKind::Dff => 4.5,
+        GateKind::Buf => 0.75,
+        GateKind::Not => 0.5,
+        GateKind::Nand => 1.0,
+        GateKind::Nor => 1.0,
+        GateKind::And => 1.25,
+        GateKind::Or => 1.25,
+        GateKind::Xor => 2.25,
+        GateKind::Xnor => 2.25,
+    }
+}
+
+impl MonitorOverhead {
+    /// Estimates the insertion cost of `placement` with delay elements
+    /// from `configs`.
+    ///
+    /// Per monitor: one shadow flip-flop (4.5 GE), one XOR comparator
+    /// (2.25 GE), a `k`-to-1 mux (≈ 1.5 GE per 2-input mux, `k − 1` of
+    /// them) and one delay element per configurable delay (buffer chains,
+    /// ≈ 2 GE each). Multi-input gates are weighted by arity.
+    #[must_use]
+    pub fn estimate(
+        circuit: &Circuit,
+        placement: &MonitorPlacement,
+        configs: &ConfigSet,
+    ) -> MonitorOverhead {
+        let k = configs.delays().len().max(1);
+        let ge_per_monitor = 4.5 // shadow flip-flop
+            + 2.25 // XOR comparator
+            + 1.5 * (k as f64 - 1.0) // mux tree
+            + 2.0 * k as f64; // delay elements
+
+        let circuit_ge: f64 = circuit
+            .iter()
+            .map(|(_, node)| {
+                let arity_scale = 1.0 + 0.5 * node.fanins().len().saturating_sub(2) as f64;
+                kind_ge(node.kind()) * arity_scale
+            })
+            .sum();
+
+        let monitors = placement.count();
+        let total_ge = ge_per_monitor * monitors as f64;
+        MonitorOverhead {
+            monitors,
+            ge_per_monitor,
+            total_ge,
+            circuit_ge,
+            relative_percent: if circuit_ge > 0.0 {
+                100.0 * total_ge / circuit_ge
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+    use fastmon_timing::{DelayAnnotation, DelayModel, Sta};
+
+    fn setup(fraction: f64) -> MonitorOverhead {
+        let c = library::s27();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let sta = Sta::analyze(&c, &annot);
+        let placement = MonitorPlacement::at_long_path_ends(&c, &sta, fraction);
+        let configs = ConfigSet::paper_defaults(300.0);
+        MonitorOverhead::estimate(&c, &placement, &configs)
+    }
+
+    #[test]
+    fn overhead_scales_with_placement() {
+        let quarter = setup(0.25);
+        let full = setup(1.0);
+        assert_eq!(quarter.monitors, 1);
+        assert_eq!(full.monitors, 4);
+        assert!((full.total_ge - 4.0 * quarter.total_ge).abs() < 1e-9);
+        assert!(full.relative_percent > quarter.relative_percent);
+        assert_eq!(quarter.circuit_ge, full.circuit_ge);
+    }
+
+    #[test]
+    fn more_delay_elements_cost_more() {
+        let c = library::s27();
+        let placement = MonitorPlacement::full(&c);
+        let small = MonitorOverhead::estimate(&c, &placement, &ConfigSet::new(vec![10.0]));
+        let large = MonitorOverhead::estimate(
+            &c,
+            &placement,
+            &ConfigSet::new(vec![10.0, 20.0, 30.0, 40.0]),
+        );
+        assert!(large.ge_per_monitor > small.ge_per_monitor);
+    }
+
+    #[test]
+    fn zero_monitors_zero_cost() {
+        let c = library::s27();
+        let o = MonitorOverhead::estimate(
+            &c,
+            &MonitorPlacement::none(&c),
+            &ConfigSet::paper_defaults(300.0),
+        );
+        assert_eq!(o.monitors, 0);
+        assert_eq!(o.total_ge, 0.0);
+        assert_eq!(o.relative_percent, 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+use fastmon_netlist::Circuit;
+use fastmon_timing::Sta;
+
+/// Which observation points carry a programmable delay monitor.
+///
+/// Monitors are placed "at long path ends" (Agarwal et al., ITC'08; the
+/// placement the paper adopts): the observation points are ranked by the
+/// latest arrival time of their captured signal and the top `fraction`
+/// receive a monitor. The paper uses `fraction = 0.25`.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_monitor::MonitorPlacement;
+/// use fastmon_netlist::library;
+/// use fastmon_timing::{DelayAnnotation, DelayModel, Sta};
+///
+/// let circuit = library::s27();
+/// let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+/// let sta = Sta::analyze(&circuit, &annot);
+/// let placement = MonitorPlacement::at_long_path_ends(&circuit, &sta, 0.25);
+/// assert_eq!(placement.count(), 1); // 4 observation points × 25 %
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorPlacement {
+    monitored: Vec<bool>,
+}
+
+impl MonitorPlacement {
+    /// Places monitors at the `fraction` of observation points with the
+    /// longest arriving paths. At least one monitor is placed for any
+    /// positive fraction (rounding to nearest otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn at_long_path_ends(circuit: &Circuit, sta: &Sta, fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must lie in [0, 1]"
+        );
+        let ops = circuit.observe_points();
+        let mut monitored = vec![false; ops.len()];
+        if fraction > 0.0 && !ops.is_empty() {
+            let count = (((ops.len() as f64) * fraction).round() as usize)
+                .clamp(1, ops.len());
+            let mut ranked: Vec<usize> = (0..ops.len()).collect();
+            ranked.sort_by(|&a, &b| {
+                let ta = sta.max_arrival(ops[a].driver);
+                let tb = sta.max_arrival(ops[b].driver);
+                tb.total_cmp(&ta).then(a.cmp(&b))
+            });
+            for &i in ranked.iter().take(count) {
+                monitored[i] = true;
+            }
+        }
+        MonitorPlacement { monitored }
+    }
+
+    /// A placement without any monitors (conventional FAST baseline).
+    #[must_use]
+    pub fn none(circuit: &Circuit) -> Self {
+        MonitorPlacement {
+            monitored: vec![false; circuit.observe_points().len()],
+        }
+    }
+
+    /// A placement with a monitor at every observation point.
+    #[must_use]
+    pub fn full(circuit: &Circuit) -> Self {
+        MonitorPlacement {
+            monitored: vec![true; circuit.observe_points().len()],
+        }
+    }
+
+    /// Builds a placement from an explicit per-observation-point mask.
+    #[must_use]
+    pub fn from_mask(monitored: Vec<bool>) -> Self {
+        MonitorPlacement { monitored }
+    }
+
+    /// Whether observation point `op_index` carries a monitor.
+    #[must_use]
+    pub fn is_monitored(&self, op_index: usize) -> bool {
+        self.monitored.get(op_index).copied().unwrap_or(false)
+    }
+
+    /// Number of placed monitors (the paper's `|M|`).
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.monitored.iter().filter(|&&m| m).count()
+    }
+
+    /// Total number of observation points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.monitored.len()
+    }
+
+    /// Returns `true` if there are no observation points at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.monitored.is_empty()
+    }
+
+    /// Indices of monitored observation points.
+    pub fn monitored_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.monitored
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_timing::{DelayAnnotation, DelayModel};
+
+    fn setup() -> (Circuit, Sta) {
+        let c = fastmon_netlist::library::s27();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let sta = Sta::analyze(&c, &annot);
+        (c, sta)
+    }
+
+    #[test]
+    fn picks_longest_paths_first() {
+        let (c, sta) = setup();
+        let placement = MonitorPlacement::at_long_path_ends(&c, &sta, 0.25);
+        assert_eq!(placement.count(), 1);
+        let chosen = placement.monitored_indices().next().unwrap();
+        let ops = c.observe_points();
+        let chosen_arrival = sta.max_arrival(ops[chosen].driver);
+        for (i, op) in ops.iter().enumerate() {
+            assert!(
+                sta.max_arrival(op.driver) <= chosen_arrival + 1e-12,
+                "observation point {i} has a later arrival than the monitor"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_one_monitors_everything() {
+        let (c, sta) = setup();
+        let placement = MonitorPlacement::at_long_path_ends(&c, &sta, 1.0);
+        assert_eq!(placement.count(), c.observe_points().len());
+    }
+
+    #[test]
+    fn fraction_zero_is_none() {
+        let (c, sta) = setup();
+        let placement = MonitorPlacement::at_long_path_ends(&c, &sta, 0.0);
+        assert_eq!(placement.count(), 0);
+        assert_eq!(placement, MonitorPlacement::none(&c));
+    }
+
+    #[test]
+    fn tiny_positive_fraction_places_at_least_one() {
+        let (c, sta) = setup();
+        let placement = MonitorPlacement::at_long_path_ends(&c, &sta, 0.01);
+        assert_eq!(placement.count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_index_is_unmonitored() {
+        let (c, _) = setup();
+        let p = MonitorPlacement::none(&c);
+        assert!(!p.is_monitored(999));
+    }
+}

@@ -1,0 +1,234 @@
+//! Reader and writer for the ISCAS'89 `.bench` netlist format.
+//!
+//! The format is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(G0)
+//! OUTPUT(G17)
+//! G10 = NOR(G14, G11)
+//! G5  = DFF(G10)
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), fastmon_netlist::NetlistError> {
+//! use fastmon_netlist::bench;
+//!
+//! let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n";
+//! let circuit = bench::parse(text, "tiny")?;
+//! assert_eq!(circuit.len(), 3);
+//! let round_trip = bench::parse(&bench::to_string(&circuit), "tiny")?;
+//! assert_eq!(round_trip.len(), circuit.len());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetlistError};
+
+/// Parses ISCAS'89 `.bench` text into a [`Circuit`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBench`] for malformed lines and the usual
+/// construction errors ([`NetlistError::UndrivenNet`],
+/// [`NetlistError::DuplicateDriver`], …) for structurally broken netlists.
+pub fn parse(text: &str, name: impl Into<String>) -> Result<Circuit, NetlistError> {
+    let mut builder = CircuitBuilder::new(name);
+    let mut outputs: Vec<String> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+
+        if let Some(rest) = parse_directive(line, "INPUT") {
+            let net = rest.map_err(|m| err(lineno, m))?;
+            builder.add(net, GateKind::Input, &[]);
+        } else if let Some(rest) = parse_directive(line, "OUTPUT") {
+            let net = rest.map_err(|m| err(lineno, m))?;
+            outputs.push(net.to_owned());
+        } else if let Some((lhs, rhs)) = line.split_once('=') {
+            let lhs = lhs.trim();
+            if lhs.is_empty() {
+                return Err(err(lineno, "missing net name before `=`".into()));
+            }
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err(lineno, format!("expected `KIND(...)`, got `{rhs}`")))?;
+            if !rhs.ends_with(')') {
+                return Err(err(lineno, format!("missing closing `)` in `{rhs}`")));
+            }
+            let kind: GateKind = rhs[..open]
+                .trim()
+                .parse()
+                .map_err(|e| err(lineno, format!("{e}")))?;
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanins: Vec<&str> = args
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .collect();
+            builder.add(lhs, kind, &fanins);
+        } else {
+            return Err(err(lineno, format!("unrecognized line `{line}`")));
+        }
+    }
+
+    for o in outputs {
+        builder.mark_output(o);
+    }
+    builder.finish()
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+fn parse_directive<'a>(line: &'a str, keyword: &str) -> Option<Result<&'a str, String>> {
+    let rest = line.strip_prefix(keyword)?.trim_start();
+    let rest = match rest.strip_prefix('(') {
+        Some(r) => r,
+        None => return Some(Err(format!("expected `(` after {keyword}"))),
+    };
+    let rest = match rest.strip_suffix(')') {
+        Some(r) => r.trim(),
+        None => return Some(Err(format!("missing `)` after {keyword}("))),
+    };
+    if rest.is_empty() {
+        return Some(Err(format!("{keyword}() with empty net name")));
+    }
+    Some(Ok(rest))
+}
+
+fn err(line: usize, message: String) -> NetlistError {
+    NetlistError::ParseBench { line, message }
+}
+
+/// Serializes a [`Circuit`] to `.bench` text.
+///
+/// The output parses back (see [`parse`]) to an equivalent circuit:
+/// identical node set, fanins and outputs. Constants are emitted using the
+/// `CONST0`/`CONST1` keywords, which this crate's parser accepts.
+#[must_use]
+pub fn to_string(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &pi in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.node(pi).name());
+    }
+    for &po in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.node(po).name());
+    }
+    for (_, node) in circuit.iter() {
+        match node.kind() {
+            GateKind::Input => {}
+            GateKind::Const0 | GateKind::Const1 => {
+                let _ = writeln!(out, "{} = {}()", node.name(), node.kind());
+            }
+            _ => {
+                let fanins: Vec<&str> = node
+                    .fanins()
+                    .iter()
+                    .map(|&f| circuit.node(f).name())
+                    .collect();
+                let _ = writeln!(out, "{} = {}({})", node.name(), node.kind(), fanins.join(", "));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r"
+# a small sequential sample
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(d)
+d = NOR(a, q)
+y = NAND(b, q)   # trailing comment
+";
+
+    #[test]
+    fn parses_sample() {
+        let c = parse(SAMPLE, "sample").unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.flip_flops().len(), 1);
+        let d = c.find("d").unwrap();
+        assert_eq!(c.node(d).kind(), GateKind::Nor);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let c = parse(SAMPLE, "sample").unwrap();
+        let text = to_string(&c);
+        let c2 = parse(&text, "sample").unwrap();
+        assert_eq!(c.len(), c2.len());
+        assert_eq!(c.inputs().len(), c2.inputs().len());
+        assert_eq!(c.outputs().len(), c2.outputs().len());
+        for (id, node) in c.iter() {
+            let id2 = c2.find(node.name()).expect("node survives round trip");
+            assert_eq!(c2.node(id2).kind(), node.kind());
+            assert_eq!(c2.node(id2).fanins().len(), c.node(id).fanins().len());
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let e = parse("INPUT(a)\nwat\n", "bad").unwrap_err();
+        assert!(matches!(e, NetlistError::ParseBench { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let e = parse("INPUT(a)\nx = FROB(a)\n", "bad").unwrap_err();
+        assert!(matches!(e, NetlistError::ParseBench { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_missing_paren() {
+        assert!(parse("INPUT a\n", "bad").is_err());
+        assert!(parse("INPUT(a\n", "bad").is_err());
+        assert!(parse("x = AND(a, b\n", "bad").is_err());
+    }
+
+    #[test]
+    fn whitespace_and_case_tolerant() {
+        let c = parse("INPUT( a )\n y  =  nand( a , a )\nOUTPUT( y )\n", "ws").unwrap();
+        assert_eq!(c.len(), 2);
+        let y = c.find("y").unwrap();
+        assert_eq!(c.node(y).kind(), GateKind::Nand);
+    }
+
+    #[test]
+    fn comment_only_and_empty_lines_ignored() {
+        let c = parse("\n# nothing\n   \nINPUT(a)\nOUTPUT(a)\n", "c").unwrap();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.outputs().len(), 1);
+    }
+
+    #[test]
+    fn const_gates_round_trip() {
+        let text = "INPUT(a)\nz = CONST0()\ny = OR(a, z)\nOUTPUT(y)\n";
+        let c = parse(text, "consts").unwrap();
+        let z = c.find("z").unwrap();
+        assert_eq!(c.node(z).kind(), GateKind::Const0);
+        let c2 = parse(&to_string(&c), "consts").unwrap();
+        assert_eq!(c2.node(c2.find("z").unwrap()).kind(), GateKind::Const0);
+    }
+}

@@ -1,0 +1,183 @@
+use std::collections::HashMap;
+
+use crate::{Circuit, GateKind, NetlistError, Node, NodeId};
+
+/// Incremental construction of a [`Circuit`] by net name.
+///
+/// Gates may be added in any order; fanins are referenced by name and
+/// resolved when [`CircuitBuilder::finish`] is called. Names follow the
+/// ISCAS convention: every gate is named after the net it drives.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fastmon_netlist::NetlistError> {
+/// use fastmon_netlist::{CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("half_adder");
+/// b.add("a", GateKind::Input, &[]);
+/// b.add("b", GateKind::Input, &[]);
+/// b.add("sum", GateKind::Xor, &["a", "b"]);
+/// b.add("carry", GateKind::And, &["a", "b"]);
+/// b.mark_output("sum");
+/// b.mark_output("carry");
+/// let circuit = b.finish()?;
+/// assert_eq!(circuit.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    gates: Vec<(String, GateKind, Vec<String>)>,
+    outputs: Vec<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates an empty builder for a circuit called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CircuitBuilder {
+            name: name.into(),
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Adds a gate driving net `name` with the given kind and fanin nets.
+    ///
+    /// Returns `&mut self` for chaining.
+    pub fn add(&mut self, name: impl Into<String>, kind: GateKind, fanins: &[&str]) -> &mut Self {
+        self.gates.push((
+            name.into(),
+            kind,
+            fanins.iter().map(|s| (*s).to_owned()).collect(),
+        ));
+        self
+    }
+
+    /// Marks net `name` as a primary output.
+    pub fn mark_output(&mut self, name: impl Into<String>) -> &mut Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Number of gates added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if no gates have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Resolves names and validates the netlist into a [`Circuit`].
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateDriver`] if two gates drive the same net,
+    /// * [`NetlistError::UndrivenNet`] if a fanin or output net has no driver,
+    /// * [`NetlistError::BadArity`] for illegal fanin counts,
+    /// * [`NetlistError::CombinationalCycle`] if the combinational core is
+    ///   cyclic.
+    pub fn finish(self) -> Result<Circuit, NetlistError> {
+        let mut index: HashMap<&str, NodeId> = HashMap::with_capacity(self.gates.len());
+        for (i, (name, _, _)) in self.gates.iter().enumerate() {
+            if index.insert(name.as_str(), NodeId::from_index(i)).is_some() {
+                return Err(NetlistError::DuplicateDriver { net: name.clone() });
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(self.gates.len());
+        for (name, kind, fanin_names) in &self.gates {
+            let mut fanins = Vec::with_capacity(fanin_names.len());
+            for fi in fanin_names {
+                let id = index
+                    .get(fi.as_str())
+                    .copied()
+                    .ok_or_else(|| NetlistError::UndrivenNet { net: fi.clone() })?;
+                fanins.push(id);
+            }
+            nodes.push(Node {
+                name: name.clone(),
+                kind: *kind,
+                fanins,
+            });
+        }
+
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for o in &self.outputs {
+            let id = index
+                .get(o.as_str())
+                .copied()
+                .ok_or_else(|| NetlistError::UndrivenNet { net: o.clone() })?;
+            outputs.push(id);
+        }
+
+        Circuit::from_parts(self.name, nodes, outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_driver_rejected() {
+        let mut b = CircuitBuilder::new("dup");
+        b.add("a", GateKind::Input, &[]);
+        b.add("a", GateKind::Input, &[]);
+        assert!(matches!(
+            b.finish(),
+            Err(NetlistError::DuplicateDriver { .. })
+        ));
+    }
+
+    #[test]
+    fn undriven_fanin_rejected() {
+        let mut b = CircuitBuilder::new("undriven");
+        b.add("x", GateKind::Not, &["ghost"]);
+        b.mark_output("x");
+        assert!(matches!(b.finish(), Err(NetlistError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn undriven_output_rejected() {
+        let mut b = CircuitBuilder::new("undriven_out");
+        b.add("a", GateKind::Input, &[]);
+        b.mark_output("nope");
+        assert!(matches!(b.finish(), Err(NetlistError::UndrivenNet { .. })));
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut b = CircuitBuilder::new("arity");
+        b.add("a", GateKind::Input, &[]);
+        b.add("b", GateKind::Input, &[]);
+        b.add("x", GateKind::Not, &["a", "b"]);
+        b.mark_output("x");
+        assert!(matches!(b.finish(), Err(NetlistError::BadArity { .. })));
+    }
+
+    #[test]
+    fn fanin_order_preserved() {
+        let mut b = CircuitBuilder::new("order");
+        b.add("a", GateKind::Input, &[]);
+        b.add("b", GateKind::Input, &[]);
+        b.add("x", GateKind::And, &["b", "a"]);
+        b.mark_output("x");
+        let c = b.finish().unwrap();
+        let x = c.find("x").unwrap();
+        let names: Vec<&str> = c.node(x).fanins().iter().map(|&f| c.node(f).name()).collect();
+        assert_eq!(names, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn empty_builder_finishes() {
+        let c = CircuitBuilder::new("empty").finish().unwrap();
+        assert!(c.is_empty());
+    }
+}

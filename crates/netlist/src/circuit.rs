@@ -1,0 +1,585 @@
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::{GateKind, NetlistError};
+
+/// Index of a node (gate instance) inside a [`Circuit`].
+///
+/// `NodeId`s are dense: every id in `0..circuit.len()` is valid for the
+/// circuit that produced it. Ids from one circuit must not be used with
+/// another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Returns the raw index of the node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw index.
+    ///
+    /// Intended for sibling `fastmon` crates that store node ids in dense
+    /// tables; passing an index that is out of range for the target circuit
+    /// leads to panics on use, not undefined behaviour.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A single gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    pub(crate) name: String,
+    pub(crate) kind: GateKind,
+    pub(crate) fanins: Vec<NodeId>,
+}
+
+impl Node {
+    /// The net/instance name (ISCAS naming: the gate is named after the net
+    /// it drives).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The gate kind.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// The fanin nodes, in pin order.
+    #[must_use]
+    pub fn fanins(&self) -> &[NodeId] {
+        &self.fanins
+    }
+}
+
+/// A reference to a specific pin of a gate — the granularity at which small
+/// delay faults are modeled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum PinRef {
+    /// The output pin of a gate.
+    Output(NodeId),
+    /// The `pin`-th input pin of a gate (index into [`Node::fanins`]).
+    Input(NodeId, u8),
+}
+
+impl PinRef {
+    /// The gate the pin belongs to.
+    #[must_use]
+    pub fn node(self) -> NodeId {
+        match self {
+            PinRef::Output(n) | PinRef::Input(n, _) => n,
+        }
+    }
+}
+
+impl fmt::Display for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PinRef::Output(n) => write!(f, "{n}/Z"),
+            PinRef::Input(n, k) => write!(f, "{n}/A{k}"),
+        }
+    }
+}
+
+/// What kind of capture element observes a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ObserveKind {
+    /// A primary output captured by the tester.
+    PrimaryOutput,
+    /// A pseudo-primary output: the D pin of a scan flip-flop.
+    PseudoOutput {
+        /// The flip-flop whose D pin captures the signal.
+        dff: NodeId,
+    },
+}
+
+/// An observation point of the full-scan circuit: the signal captured at a
+/// primary output or at a flip-flop D pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ObservePoint {
+    /// The node whose output signal is captured.
+    pub driver: NodeId,
+    /// Whether this is a primary or pseudo-primary output.
+    pub kind: ObserveKind,
+}
+
+impl ObservePoint {
+    /// Returns `true` for pseudo-primary outputs (flip-flop D pins) — the
+    /// only places where delay monitors can be inserted.
+    #[must_use]
+    pub fn is_pseudo(&self) -> bool {
+        matches!(self.kind, ObserveKind::PseudoOutput { .. })
+    }
+}
+
+/// A levelized full-scan gate-level circuit.
+///
+/// The sequential netlist is stored as parsed; for delay test the circuit is
+/// interpreted through its *combinational core*: flip-flop outputs are
+/// pseudo-primary inputs, flip-flop D pins are pseudo-primary outputs, and
+/// the edges into flip-flops are cut when levelizing.
+///
+/// Construct circuits with [`CircuitBuilder`](crate::CircuitBuilder), the
+/// [`bench`](crate::bench) parser or the [`generate`](crate::generate)
+/// module.
+#[derive(Debug, Clone)]
+pub struct Circuit {
+    name: String,
+    nodes: Vec<Node>,
+    outputs: Vec<NodeId>,
+    // Derived structure.
+    fanouts: Vec<Vec<NodeId>>,
+    level: Vec<u32>,
+    topo: Vec<NodeId>,
+    max_level: u32,
+    inputs: Vec<NodeId>,
+    flip_flops: Vec<NodeId>,
+    observe_points: Vec<ObservePoint>,
+}
+
+impl Circuit {
+    /// Builds a circuit from parts, validating arities and acyclicity.
+    ///
+    /// `outputs` lists the nodes whose output nets are primary outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadArity`] if a node's fanin count is illegal
+    /// for its kind and [`NetlistError::CombinationalCycle`] if the
+    /// combinational core (flip-flop inputs cut) is cyclic.
+    pub(crate) fn from_parts(
+        name: String,
+        nodes: Vec<Node>,
+        outputs: Vec<NodeId>,
+    ) -> Result<Self, NetlistError> {
+        for node in &nodes {
+            if !node.kind.arity_ok(node.fanins.len()) {
+                return Err(NetlistError::BadArity {
+                    kind: node.kind,
+                    node: node.name.clone(),
+                    got: node.fanins.len(),
+                });
+            }
+        }
+
+        let n = nodes.len();
+        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (i, node) in nodes.iter().enumerate() {
+            for &fi in &node.fanins {
+                fanouts[fi.index()].push(NodeId::from_index(i));
+            }
+        }
+
+        // Levelize the combinational core with Kahn's algorithm. Sources and
+        // flip-flops start at level 0; edges into flip-flops are cut.
+        let mut indeg = vec![0usize; n];
+        for (i, node) in nodes.iter().enumerate() {
+            if node.kind.is_combinational() {
+                indeg[i] = node.fanins.len();
+            }
+        }
+        let mut level = vec![0u32; n];
+        let mut topo = Vec::with_capacity(n);
+        let mut queue: VecDeque<NodeId> = (0..n)
+            .filter(|&i| indeg[i] == 0)
+            .map(NodeId::from_index)
+            .collect();
+        while let Some(id) = queue.pop_front() {
+            topo.push(id);
+            for &fo in &fanouts[id.index()] {
+                let fi = fo.index();
+                if nodes[fi].kind.is_combinational() {
+                    level[fi] = level[fi].max(level[id.index()] + 1);
+                    indeg[fi] -= 1;
+                    if indeg[fi] == 0 {
+                        queue.push_back(fo);
+                    }
+                }
+            }
+        }
+        if topo.len() != n {
+            let on_cycle = (0..n)
+                .find(|&i| indeg[i] > 0)
+                .map(|i| nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle { node: on_cycle });
+        }
+        // `topo` from Kahn's BFS is already a valid topological order; sort
+        // it by (level, id) so iteration is deterministic and level-grouped.
+        topo.sort_by_key(|id| (level[id.index()], id.index()));
+        let max_level = level.iter().copied().max().unwrap_or(0);
+
+        let inputs: Vec<NodeId> = (0..n)
+            .filter(|&i| nodes[i].kind == GateKind::Input)
+            .map(NodeId::from_index)
+            .collect();
+        let flip_flops: Vec<NodeId> = (0..n)
+            .filter(|&i| nodes[i].kind == GateKind::Dff)
+            .map(NodeId::from_index)
+            .collect();
+
+        let mut observe_points: Vec<ObservePoint> = outputs
+            .iter()
+            .map(|&o| ObservePoint {
+                driver: o,
+                kind: ObserveKind::PrimaryOutput,
+            })
+            .collect();
+        observe_points.extend(flip_flops.iter().map(|&ff| ObservePoint {
+            driver: nodes[ff.index()].fanins[0],
+            kind: ObserveKind::PseudoOutput { dff: ff },
+        }));
+
+        Ok(Circuit {
+            name,
+            nodes,
+            outputs,
+            fanouts,
+            level,
+            topo,
+            max_level,
+            inputs,
+            flip_flops,
+            observe_points,
+        })
+    }
+
+    /// The circuit name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes (gates, inputs and flip-flops).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if the circuit has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Access a node by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Iterates over all `(NodeId, &Node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+
+    /// All node ids in id order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Primary inputs.
+    #[must_use]
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Nodes whose output nets are primary outputs.
+    #[must_use]
+    pub fn outputs(&self) -> &[NodeId] {
+        &self.outputs
+    }
+
+    /// Flip-flops (scan cells).
+    #[must_use]
+    pub fn flip_flops(&self) -> &[NodeId] {
+        &self.flip_flops
+    }
+
+    /// Observation points: primary outputs first, then pseudo-primary
+    /// outputs (flip-flop D pins) in flip-flop order.
+    #[must_use]
+    pub fn observe_points(&self) -> &[ObservePoint] {
+        &self.observe_points
+    }
+
+    /// The fanout nodes of `id` (all gates with `id` among their fanins,
+    /// including flip-flops capturing the signal).
+    #[must_use]
+    pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// The combinational level of a node: 0 for sources and flip-flops,
+    /// `1 + max(level of fanins)` for combinational gates.
+    #[must_use]
+    pub fn level(&self, id: NodeId) -> u32 {
+        self.level[id.index()]
+    }
+
+    /// The maximum combinational level (logic depth) of the circuit.
+    #[must_use]
+    pub fn max_level(&self) -> u32 {
+        self.max_level
+    }
+
+    /// All nodes in a topological order of the combinational core: sources
+    /// and flip-flops first, then combinational gates grouped by level.
+    #[must_use]
+    pub fn topo_order(&self) -> &[NodeId] {
+        &self.topo
+    }
+
+    /// Ids of all combinational gates, in topological order.
+    pub fn combinational_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topo
+            .iter()
+            .copied()
+            .filter(move |&id| self.nodes[id.index()].kind.is_combinational())
+    }
+
+    /// The sources of the combinational core: primary inputs, constants and
+    /// flip-flop outputs (pseudo-primary inputs).
+    pub fn combinational_sources(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.topo
+            .iter()
+            .copied()
+            .filter(move |&id| !self.nodes[id.index()].kind.is_combinational())
+    }
+
+    /// Computes the transitive combinational fanout cone of `seed`
+    /// (inclusive), in topological order. Traversal stops at flip-flops:
+    /// they are not included (their D pins are capture points).
+    #[must_use]
+    pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        in_cone[seed.index()] = true;
+        let mut cone = Vec::new();
+        // topo order guarantees fanins are visited before fanouts
+        for &id in &self.topo {
+            let idx = id.index();
+            if !in_cone[idx] {
+                continue;
+            }
+            cone.push(id);
+            for &fo in &self.fanouts[idx] {
+                if self.nodes[fo.index()].kind.is_combinational() {
+                    in_cone[fo.index()] = true;
+                }
+            }
+        }
+        cone
+    }
+
+    /// Computes the transitive combinational fanin cone of `seed`
+    /// (inclusive), in topological order. Traversal stops at sources and
+    /// flip-flops (which are included as the cone's inputs but not expanded
+    /// further).
+    #[must_use]
+    pub fn fanin_cone(&self, seed: NodeId) -> Vec<NodeId> {
+        let mut in_cone = vec![false; self.nodes.len()];
+        in_cone[seed.index()] = true;
+        // reverse topological sweep marks fanins of marked nodes
+        for &id in self.topo.iter().rev() {
+            if in_cone[id.index()] && self.nodes[id.index()].kind.is_combinational() {
+                for &fi in &self.nodes[id.index()].fanins {
+                    in_cone[fi.index()] = true;
+                }
+            }
+        }
+        // emit in topological order
+        self.topo
+            .iter()
+            .copied()
+            .filter(|id| in_cone[id.index()])
+            .collect()
+    }
+
+    /// The observation points whose captured signal lies in the fanout cone
+    /// of `seed`, as indices into [`Circuit::observe_points`].
+    #[must_use]
+    pub fn observing_points_of(&self, seed: NodeId) -> Vec<usize> {
+        let cone = self.fanout_cone(seed);
+        let mut in_cone = vec![false; self.nodes.len()];
+        for &id in &cone {
+            in_cone[id.index()] = true;
+        }
+        self.observe_points
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| in_cone[op.driver.index()])
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Evaluates the steady-state value of every node for the given
+    /// assignment of combinational sources.
+    ///
+    /// `source_value` is queried for primary inputs and flip-flops (their
+    /// current state); constants evaluate to themselves. The returned vector
+    /// is indexed by [`NodeId::index`].
+    pub fn eval_steady<F: Fn(NodeId) -> bool>(&self, source_value: F) -> Vec<bool> {
+        let mut values = vec![false; self.nodes.len()];
+        let mut ins: Vec<bool> = Vec::new();
+        for &id in &self.topo {
+            let node = &self.nodes[id.index()];
+            values[id.index()] = match node.kind {
+                GateKind::Input | GateKind::Dff => source_value(id),
+                GateKind::Const0 => false,
+                GateKind::Const1 => true,
+                _ => {
+                    ins.clear();
+                    ins.extend(node.fanins.iter().map(|&fi| values[fi.index()]));
+                    node.kind.eval(&ins)
+                }
+            };
+        }
+        values
+    }
+
+    /// Looks up a node by name (linear scan; intended for tests and small
+    /// circuits).
+    #[must_use]
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CircuitBuilder, GateKind};
+
+    fn tiny() -> crate::Circuit {
+        // a, b inputs; f = DFF(g); g = AND(a, f); o = NAND(g, b); output o
+        let mut b = CircuitBuilder::new("tiny");
+        b.add("a", GateKind::Input, &[]);
+        b.add("b", GateKind::Input, &[]);
+        b.add("f", GateKind::Dff, &["g"]);
+        b.add("g", GateKind::And, &["a", "f"]);
+        b.add("o", GateKind::Nand, &["g", "b"]);
+        b.mark_output("o");
+        b.finish().expect("valid circuit")
+    }
+
+    #[test]
+    fn levels_and_topo() {
+        let c = tiny();
+        let g = c.find("g").unwrap();
+        let o = c.find("o").unwrap();
+        let f = c.find("f").unwrap();
+        assert_eq!(c.level(f), 0);
+        assert_eq!(c.level(g), 1);
+        assert_eq!(c.level(o), 2);
+        assert_eq!(c.max_level(), 2);
+        let topo = c.topo_order();
+        let pos = |id| topo.iter().position(|&x| x == id).unwrap();
+        assert!(pos(g) < pos(o));
+        assert!(pos(f) < pos(g));
+    }
+
+    #[test]
+    fn observe_points_cover_po_and_ppo() {
+        let c = tiny();
+        let ops = c.observe_points();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].driver, c.find("o").unwrap());
+        assert!(!ops[0].is_pseudo());
+        assert_eq!(ops[1].driver, c.find("g").unwrap());
+        assert!(ops[1].is_pseudo());
+    }
+
+    #[test]
+    fn fanout_cone_stops_at_dff() {
+        let c = tiny();
+        let a = c.find("a").unwrap();
+        let cone = c.fanout_cone(a);
+        let names: Vec<&str> = cone.iter().map(|&id| c.node(id).name()).collect();
+        assert_eq!(names, vec!["a", "g", "o"]);
+    }
+
+    #[test]
+    fn fanin_cone_collects_support() {
+        let c = tiny();
+        let o = c.find("o").unwrap();
+        let mut names: Vec<&str> = c.fanin_cone(o).iter().map(|&id| c.node(id).name()).collect();
+        names.sort_unstable();
+        // o = NAND(g, b), g = AND(a, f): support = {a, b, f, g, o}
+        assert_eq!(names, vec!["a", "b", "f", "g", "o"]);
+        // the cone stops at the flip-flop: its fanin net g10... (f's D pin)
+        // is not expanded further — `f` is a leaf here
+        let f = c.find("f").unwrap();
+        assert_eq!(c.fanin_cone(f), vec![f]);
+    }
+
+    #[test]
+    fn observing_points_of_cone() {
+        let c = tiny();
+        let b_in = c.find("b").unwrap();
+        // b only reaches the primary output o
+        assert_eq!(c.observing_points_of(b_in), vec![0]);
+        let a_in = c.find("a").unwrap();
+        // a reaches both o (PO) and g (PPO via DFF f)
+        assert_eq!(c.observing_points_of(a_in), vec![0, 1]);
+    }
+
+    #[test]
+    fn eval_steady_matches_logic() {
+        let c = tiny();
+        let a = c.find("a").unwrap();
+        let b_in = c.find("b").unwrap();
+        let f = c.find("f").unwrap();
+        let values = c.eval_steady(|id| id == a || id == f);
+        // g = AND(a=1, f=1) = 1; o = NAND(g=1, b=0) = 1
+        assert!(values[c.find("g").unwrap().index()]);
+        assert!(values[c.find("o").unwrap().index()]);
+        let values = c.eval_steady(|id| id == a || id == b_in || id == f);
+        // o = NAND(1,1) = 0
+        assert!(!values[c.find("o").unwrap().index()]);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut b = CircuitBuilder::new("cyclic");
+        b.add("a", GateKind::Input, &[]);
+        b.add("x", GateKind::And, &["a", "y"]);
+        b.add("y", GateKind::And, &["a", "x"]);
+        b.mark_output("y");
+        assert!(matches!(
+            b.finish(),
+            Err(crate::NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        // feedback through a flip-flop is legal
+        let mut b = CircuitBuilder::new("seq");
+        b.add("a", GateKind::Input, &[]);
+        b.add("q", GateKind::Dff, &["x"]);
+        b.add("x", GateKind::And, &["a", "q"]);
+        b.mark_output("x");
+        assert!(b.finish().is_ok());
+    }
+}

@@ -1,0 +1,102 @@
+use std::fmt;
+
+/// Errors produced while constructing or parsing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate references a net name that is never driven.
+    UndrivenNet {
+        /// Name of the missing driver net.
+        net: String,
+    },
+    /// The same net name is driven by two different gates.
+    DuplicateDriver {
+        /// Name of the doubly-driven net.
+        net: String,
+    },
+    /// The combinational core contains a cycle (after cutting flip-flops).
+    CombinationalCycle {
+        /// Name of a node on the detected cycle.
+        node: String,
+    },
+    /// A gate was declared with an arity its kind does not allow.
+    BadArity {
+        /// The offending gate kind.
+        kind: crate::GateKind,
+        /// Name of the gate instance.
+        node: String,
+        /// Number of fanins that were supplied.
+        got: usize,
+    },
+    /// A `.bench` line could not be parsed.
+    ParseBench {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The circuit generator was asked for an impossible configuration.
+    BadGeneratorConfig {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndrivenNet { net } => {
+                write!(f, "net `{net}` is referenced but never driven")
+            }
+            NetlistError::DuplicateDriver { net } => {
+                write!(f, "net `{net}` is driven by more than one gate")
+            }
+            NetlistError::CombinationalCycle { node } => {
+                write!(f, "combinational cycle through node `{node}`")
+            }
+            NetlistError::BadArity { kind, node, got } => {
+                write!(f, "gate `{node}` of kind {kind} cannot take {got} fanins")
+            }
+            NetlistError::ParseBench { line, message } => {
+                write!(f, "bench parse error at line {line}: {message}")
+            }
+            NetlistError::BadGeneratorConfig { message } => {
+                write!(f, "invalid generator configuration: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errs: Vec<NetlistError> = vec![
+            NetlistError::UndrivenNet { net: "a".into() },
+            NetlistError::DuplicateDriver { net: "b".into() },
+            NetlistError::CombinationalCycle { node: "c".into() },
+            NetlistError::ParseBench {
+                line: 3,
+                message: "nope".into(),
+            },
+            NetlistError::BadGeneratorConfig {
+                message: "zero gates".into(),
+            },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with('`'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,287 @@
+use std::fmt;
+use std::str::FromStr;
+
+/// The cell types supported by the netlist model.
+///
+/// The set matches what appears in ISCAS'89 `.bench` files plus explicit
+/// constants. Sequential state is limited to D flip-flops ([`GateKind::Dff`]),
+/// which is sufficient for the full-scan designs targeted by FAST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Primary input; has no fanins.
+    Input,
+    /// D flip-flop; exactly one fanin (the D pin). During scan test its
+    /// output is a pseudo-primary input and its D pin a pseudo-primary
+    /// output.
+    Dff,
+    /// Non-inverting buffer; one fanin.
+    Buf,
+    /// Inverter; one fanin.
+    Not,
+    /// N-input AND (N ≥ 1).
+    And,
+    /// N-input NAND (N ≥ 1).
+    Nand,
+    /// N-input OR (N ≥ 1).
+    Or,
+    /// N-input NOR (N ≥ 1).
+    Nor,
+    /// N-input XOR (N ≥ 1).
+    Xor,
+    /// N-input XNOR (N ≥ 1).
+    Xnor,
+    /// Constant logic 0; no fanins.
+    Const0,
+    /// Constant logic 1; no fanins.
+    Const1,
+}
+
+impl GateKind {
+    /// All gate kinds, in a fixed order.
+    pub const ALL: [GateKind; 12] = [
+        GateKind::Input,
+        GateKind::Dff,
+        GateKind::Buf,
+        GateKind::Not,
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Xnor,
+        GateKind::Const0,
+        GateKind::Const1,
+    ];
+
+    /// Returns `true` for the D flip-flop.
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        self == GateKind::Dff
+    }
+
+    /// Returns `true` for kinds that take no fanins ([`GateKind::Input`],
+    /// constants).
+    #[must_use]
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Returns `true` for combinational logic gates (everything that is
+    /// neither a source nor a flip-flop).
+    #[must_use]
+    pub fn is_combinational(self) -> bool {
+        !self.is_source() && !self.is_sequential()
+    }
+
+    /// Whether `n` fanins are legal for this kind.
+    #[must_use]
+    pub fn arity_ok(self, n: usize) -> bool {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => n == 0,
+            GateKind::Dff | GateKind::Buf | GateKind::Not => n == 1,
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => n >= 1,
+        }
+    }
+
+    /// Returns `true` if the gate's output is the complement of the
+    /// corresponding non-inverting function (NOT, NAND, NOR, XNOR).
+    #[must_use]
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            GateKind::Not | GateKind::Nand | GateKind::Nor | GateKind::Xnor
+        )
+    }
+
+    /// Evaluates the logic function on boolean inputs.
+    ///
+    /// For [`GateKind::Input`] and [`GateKind::Dff`] the single "input" is
+    /// passed through unchanged (a flip-flop in the combinational view simply
+    /// presents its state). Constants ignore `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` has an arity that [`GateKind::arity_ok`] rejects,
+    /// except for `Input`/`Dff` where a single value is expected.
+    #[must_use]
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Input | GateKind::Dff | GateKind::Buf => {
+                assert_eq!(inputs.len(), 1, "{self} expects exactly one value");
+                inputs[0]
+            }
+            GateKind::Not => {
+                assert_eq!(inputs.len(), 1, "NOT expects exactly one value");
+                !inputs[0]
+            }
+            GateKind::And => inputs.iter().all(|&b| b),
+            GateKind::Nand => !inputs.iter().all(|&b| b),
+            GateKind::Or => inputs.iter().any(|&b| b),
+            GateKind::Nor => !inputs.iter().any(|&b| b),
+            GateKind::Xor => inputs.iter().fold(false, |acc, &b| acc ^ b),
+            GateKind::Xnor => !inputs.iter().fold(false, |acc, &b| acc ^ b),
+        }
+    }
+
+    /// The controlling input value of the gate, if it has one.
+    ///
+    /// A controlling value at any input fixes the output regardless of the
+    /// other inputs (0 for AND/NAND, 1 for OR/NOR). XOR-class and single-input
+    /// gates have none.
+    #[must_use]
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            GateKind::Input => "INPUT",
+            GateKind::Dff => "DFF",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for GateKind {
+    type Err = ParseGateKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let upper = s.to_ascii_uppercase();
+        Ok(match upper.as_str() {
+            "INPUT" => GateKind::Input,
+            "DFF" => GateKind::Dff,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "CONST0" | "GND" => GateKind::Const0,
+            "CONST1" | "VDD" => GateKind::Const1,
+            _ => return Err(ParseGateKindError { text: s.to_owned() }),
+        })
+    }
+}
+
+/// Error returned when a gate-kind keyword is not recognized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateKindError {
+    text: String,
+}
+
+impl fmt::Display for ParseGateKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate kind `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseGateKindError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_basic_gates() {
+        assert!(GateKind::And.eval(&[true, true]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(!GateKind::Nand.eval(&[true, true]));
+        assert!(GateKind::Or.eval(&[false, true]));
+        assert!(GateKind::Nor.eval(&[false, false]));
+        assert!(GateKind::Xor.eval(&[true, false]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+        assert!(GateKind::Xnor.eval(&[true, true]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Const0.eval(&[]));
+        assert!(GateKind::Const1.eval(&[]));
+    }
+
+    #[test]
+    fn eval_wide_gates() {
+        let ins = [true, true, true, false];
+        assert!(!GateKind::And.eval(&ins));
+        assert!(GateKind::Nand.eval(&ins));
+        assert!(GateKind::Or.eval(&ins));
+        assert!(!GateKind::Nor.eval(&ins));
+        // odd number of ones -> XOR is true
+        assert!(GateKind::Xor.eval(&ins));
+        assert!(!GateKind::Xnor.eval(&ins));
+    }
+
+    #[test]
+    fn arity_rules() {
+        assert!(GateKind::Input.arity_ok(0));
+        assert!(!GateKind::Input.arity_ok(1));
+        assert!(GateKind::Dff.arity_ok(1));
+        assert!(!GateKind::Dff.arity_ok(2));
+        assert!(GateKind::And.arity_ok(5));
+        assert!(!GateKind::And.arity_ok(0));
+        assert!(GateKind::Not.arity_ok(1));
+        assert!(!GateKind::Not.arity_ok(2));
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for kind in GateKind::ALL {
+            let parsed: GateKind = kind.to_string().parse().expect("round trip");
+            assert_eq!(parsed, kind);
+        }
+        assert_eq!("buff".parse::<GateKind>().unwrap(), GateKind::Buf);
+        assert_eq!("inv".parse::<GateKind>().unwrap(), GateKind::Not);
+        assert!("FOO".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateKind::And.controlling_value(), Some(false));
+        assert_eq!(GateKind::Nor.controlling_value(), Some(true));
+        assert_eq!(GateKind::Xor.controlling_value(), None);
+        assert_eq!(GateKind::Buf.controlling_value(), None);
+    }
+
+    #[test]
+    fn inverting_classification() {
+        assert!(GateKind::Nand.is_inverting());
+        assert!(GateKind::Not.is_inverting());
+        assert!(!GateKind::And.is_inverting());
+        assert!(!GateKind::Xor.is_inverting());
+        assert!(GateKind::Xnor.is_inverting());
+    }
+
+    #[test]
+    fn classification_partitions() {
+        for kind in GateKind::ALL {
+            let n = [kind.is_source(), kind.is_sequential(), kind.is_combinational()]
+                .iter()
+                .filter(|&&b| b)
+                .count();
+            assert_eq!(n, 1, "{kind} must be in exactly one class");
+        }
+    }
+}

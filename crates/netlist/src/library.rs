@@ -1,0 +1,141 @@
+//! Small embedded reference circuits.
+//!
+//! Two classic netlists are shipped verbatim: the sequential ISCAS'89
+//! benchmark [`s27`] and the combinational ISCAS'85 benchmark [`c17`]. They
+//! are tiny enough to reason about by hand and are used throughout the test
+//! suites of the `fastmon` crates.
+//!
+//! The larger circuits evaluated by the reproduced paper (s9234 … p141k) are
+//! not redistributable / not publicly available; the
+//! [`generate`](crate::generate) module produces synthetic stand-ins with
+//! matching statistics instead.
+
+use crate::{bench, Circuit};
+
+/// `.bench` source of ISCAS'89 s27 (10 gates, 3 flip-flops, 4 inputs,
+/// 1 output).
+pub const S27_BENCH: &str = r"# s27 (ISCAS'89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+";
+
+/// `.bench` source of ISCAS'85 c17 (6 NAND gates, 5 inputs, 2 outputs).
+pub const C17_BENCH: &str = r"# c17 (ISCAS'85)
+INPUT(N1)
+INPUT(N2)
+INPUT(N3)
+INPUT(N6)
+INPUT(N7)
+OUTPUT(N22)
+OUTPUT(N23)
+N10 = NAND(N1, N3)
+N11 = NAND(N3, N6)
+N16 = NAND(N2, N11)
+N19 = NAND(N11, N7)
+N22 = NAND(N10, N16)
+N23 = NAND(N16, N19)
+";
+
+/// The ISCAS'89 benchmark circuit s27.
+///
+/// # Example
+///
+/// ```
+/// let s27 = fastmon_netlist::library::s27();
+/// assert_eq!(s27.inputs().len(), 4);
+/// assert_eq!(s27.flip_flops().len(), 3);
+/// assert_eq!(s27.outputs().len(), 1);
+/// ```
+///
+/// # Panics
+///
+/// Never panics; the embedded netlist is covered by tests.
+#[must_use]
+pub fn s27() -> Circuit {
+    bench::parse(S27_BENCH, "s27").expect("embedded s27 netlist is valid")
+}
+
+/// The ISCAS'85 benchmark circuit c17.
+///
+/// # Example
+///
+/// ```
+/// let c17 = fastmon_netlist::library::c17();
+/// assert_eq!(c17.len(), 11);
+/// assert!(c17.flip_flops().is_empty());
+/// ```
+///
+/// # Panics
+///
+/// Never panics; the embedded netlist is covered by tests.
+#[must_use]
+pub fn c17() -> Circuit {
+    bench::parse(C17_BENCH, "c17").expect("embedded c17 netlist is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    #[test]
+    fn s27_statistics() {
+        let c = s27();
+        assert_eq!(c.len(), 17); // 4 PI + 3 DFF + 10 gates
+        assert_eq!(c.inputs().len(), 4);
+        assert_eq!(c.flip_flops().len(), 3);
+        assert_eq!(c.outputs().len(), 1);
+        assert_eq!(c.observe_points().len(), 4); // 1 PO + 3 PPO
+        let gates = c.combinational_nodes().count();
+        assert_eq!(gates, 10);
+    }
+
+    #[test]
+    fn s27_known_function() {
+        // With all flip-flops at 0 and inputs G0..G3 = (0,1,0,0):
+        // G14 = NOT(G0) = 1, G12 = NOR(G1, G7) = NOR(1,0) = 0,
+        // G8 = AND(G14, G6) = AND(1,0) = 0, G15 = OR(G12,G8) = 0,
+        // G16 = OR(G3,G8) = 0, G9 = NAND(G16,G15) = 1,
+        // G11 = NOR(G5,G9) = NOR(0,1) = 0, G17 = NOT(G11) = 1.
+        let c = s27();
+        let g1 = c.find("G1").unwrap();
+        let vals = c.eval_steady(|id| id == g1);
+        assert!(vals[c.find("G17").unwrap().index()]);
+        assert!(!vals[c.find("G11").unwrap().index()]);
+    }
+
+    #[test]
+    fn c17_all_nand() {
+        let c = c17();
+        for id in c.combinational_nodes() {
+            assert_eq!(c.node(id).kind(), GateKind::Nand);
+        }
+        assert_eq!(c.max_level(), 3);
+    }
+
+    #[test]
+    fn c17_truth_sample() {
+        // N1..N7 all 1: N10 = NAND(1,1)=0, N11=0, N16=NAND(1,0)=1,
+        // N19=NAND(0,1)=1, N22=NAND(0,1)=1, N23=NAND(1,1)=0.
+        let c = c17();
+        let vals = c.eval_steady(|_| true);
+        assert!(vals[c.find("N22").unwrap().index()]);
+        assert!(!vals[c.find("N23").unwrap().index()]);
+    }
+}

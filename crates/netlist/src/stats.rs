@@ -1,0 +1,88 @@
+use std::fmt;
+
+use crate::Circuit;
+
+/// Summary statistics of a circuit, as reported in the benchmark tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CircuitStats {
+    /// Number of combinational gates.
+    pub gates: usize,
+    /// Number of scan flip-flops.
+    pub flip_flops: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Number of observation points (primary + pseudo-primary outputs).
+    pub observe_points: usize,
+    /// Logic depth (maximum combinational level).
+    pub depth: u32,
+}
+
+impl CircuitStats {
+    /// Computes the statistics of `circuit`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fastmon_netlist::{library, CircuitStats};
+    ///
+    /// let stats = CircuitStats::of(&library::s27());
+    /// assert_eq!(stats.gates, 10);
+    /// assert_eq!(stats.flip_flops, 3);
+    /// ```
+    #[must_use]
+    pub fn of(circuit: &Circuit) -> Self {
+        CircuitStats {
+            gates: circuit.combinational_nodes().count(),
+            flip_flops: circuit.flip_flops().len(),
+            inputs: circuit.inputs().len(),
+            outputs: circuit.outputs().len(),
+            observe_points: circuit.observe_points().len(),
+            depth: circuit.max_level(),
+        }
+    }
+}
+
+impl fmt::Display for CircuitStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} gates, {} FFs, {} PIs, {} POs, {} observe points, depth {}",
+            self.gates, self.flip_flops, self.inputs, self.outputs, self.observe_points, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    #[test]
+    fn s27_stats() {
+        let s = CircuitStats::of(&library::s27());
+        assert_eq!(
+            s,
+            CircuitStats {
+                gates: 10,
+                flip_flops: 3,
+                inputs: 4,
+                outputs: 1,
+                observe_points: 4,
+                depth: s.depth,
+            }
+        );
+        assert!(s.depth >= 3);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn c17_stats() {
+        let s = CircuitStats::of(&library::c17());
+        assert_eq!(s.gates, 6);
+        assert_eq!(s.flip_flops, 0);
+        assert_eq!(s.observe_points, 2);
+        assert_eq!(s.depth, 3);
+    }
+}

@@ -1,0 +1,208 @@
+//! Netlist transformations.
+//!
+//! Currently one transform: [`decompose_wide_gates`], which rewrites gates
+//! above a fanin limit into balanced trees of narrower gates. Parsed
+//! benchmark netlists occasionally contain very wide AND/OR gates; the
+//! delay model penalizes arity linearly, whereas real libraries implement
+//! wide functions as trees — this transform restores that structure.
+
+use crate::{Circuit, CircuitBuilder, GateKind, NetlistError, NodeId};
+
+/// Rewrites every AND/NAND/OR/NOR/XOR/XNOR gate with more than `max_arity`
+/// inputs into a balanced tree of gates with at most `max_arity` inputs.
+///
+/// Inverting gates become a tree of their non-inverting counterpart with a
+/// single inverting root, preserving the function exactly. Names of the
+/// introduced tree gates derive from the original gate
+/// (`<name>__w0`, `__w1`, …); the root keeps the original name, so primary
+/// outputs and flip-flop connections are untouched.
+///
+/// # Errors
+///
+/// Propagates construction errors (cannot occur for well-formed inputs).
+///
+/// # Panics
+///
+/// Panics if `max_arity < 2`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), fastmon_netlist::NetlistError> {
+/// use fastmon_netlist::{transform, CircuitBuilder, GateKind};
+///
+/// let mut b = CircuitBuilder::new("wide");
+/// for i in 0..6 {
+///     b.add(format!("i{i}"), GateKind::Input, &[]);
+/// }
+/// b.add("y", GateKind::Nand, &["i0", "i1", "i2", "i3", "i4", "i5"]);
+/// b.mark_output("y");
+/// let wide = b.finish()?;
+///
+/// let narrow = transform::decompose_wide_gates(&wide, 2)?;
+/// assert!(narrow
+///     .combinational_nodes()
+///     .all(|id| narrow.node(id).fanins().len() <= 2));
+/// // same function: NAND of six ones is 0
+/// let all_ones = narrow.eval_steady(|_| true);
+/// let y = narrow.find("y").unwrap();
+/// assert!(!all_ones[y.index()]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose_wide_gates(circuit: &Circuit, max_arity: usize) -> Result<Circuit, NetlistError> {
+    assert!(max_arity >= 2, "max_arity must be at least 2");
+    let mut b = CircuitBuilder::new(circuit.name().to_owned());
+
+    for (id, node) in circuit.iter() {
+        let fanin_names: Vec<String> = node
+            .fanins()
+            .iter()
+            .map(|&fi| circuit.node(fi).name().to_owned())
+            .collect();
+        let kind = node.kind();
+        if !kind.is_combinational() || fanin_names.len() <= max_arity {
+            let refs: Vec<&str> = fanin_names.iter().map(String::as_str).collect();
+            b.add(node.name(), kind, &refs);
+            continue;
+        }
+        decompose_one(&mut b, circuit, id, kind, fanin_names, max_arity);
+    }
+    for &po in circuit.outputs() {
+        b.mark_output(circuit.node(po).name());
+    }
+    b.finish()
+}
+
+fn decompose_one(
+    b: &mut CircuitBuilder,
+    circuit: &Circuit,
+    id: NodeId,
+    kind: GateKind,
+    fanins: Vec<String>,
+    max_arity: usize,
+) {
+    // tree of the associative base function, inverting root if needed
+    let (base, invert_root) = match kind {
+        GateKind::And => (GateKind::And, false),
+        GateKind::Nand => (GateKind::And, true),
+        GateKind::Or => (GateKind::Or, false),
+        GateKind::Nor => (GateKind::Or, true),
+        GateKind::Xor => (GateKind::Xor, false),
+        GateKind::Xnor => (GateKind::Xor, true),
+        _ => unreachable!("only wide associative gates are decomposed"),
+    };
+    let name = circuit.node(id).name();
+    let mut queue: std::collections::VecDeque<String> = fanins.into();
+    let mut fresh = 0usize;
+    while queue.len() > max_arity {
+        let group: Vec<String> = (0..max_arity)
+            .filter_map(|_| queue.pop_front())
+            .collect();
+        let tree_name = format!("{name}__w{fresh}");
+        fresh += 1;
+        let refs: Vec<&str> = group.iter().map(String::as_str).collect();
+        b.add(&tree_name, base, &refs);
+        queue.push_back(tree_name);
+    }
+    let root_kind = if invert_root {
+        match base {
+            GateKind::And => GateKind::Nand,
+            GateKind::Or => GateKind::Nor,
+            GateKind::Xor => GateKind::Xnor,
+            _ => unreachable!(),
+        }
+    } else {
+        base
+    };
+    let rest: Vec<String> = queue.into();
+    let refs: Vec<&str> = rest.iter().map(String::as_str).collect();
+    b.add(name, root_kind, &refs);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand_chacha::ChaCha8Rng;
+
+    fn wide_circuit(kind: GateKind, arity: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("wide");
+        let names: Vec<String> = (0..arity).map(|i| format!("i{i}")).collect();
+        for n in &names {
+            b.add(n, GateKind::Input, &[]);
+        }
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        b.add("y", kind, &refs);
+        b.mark_output("y");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn functions_preserved_for_all_kinds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for arity in [3usize, 5, 9] {
+                let wide = wide_circuit(kind, arity);
+                let narrow = decompose_wide_gates(&wide, 2).unwrap();
+                assert!(narrow
+                    .combinational_nodes()
+                    .all(|id| narrow.node(id).fanins().len() <= 2));
+                // compare on random assignments
+                for _ in 0..32 {
+                    let bits: Vec<bool> = (0..arity).map(|_| rng.gen()).collect();
+                    let assign = |c: &Circuit| {
+                        let vals = c.eval_steady(|id| {
+                            c.inputs()
+                                .iter()
+                                .position(|&pi| pi == id)
+                                .map(|k| bits[k])
+                                .unwrap_or(false)
+                        });
+                        vals[c.find("y").unwrap().index()]
+                    };
+                    assert_eq!(assign(&wide), assign(&narrow), "{kind} arity {arity}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_gates_untouched() {
+        let wide = wide_circuit(GateKind::And, 3);
+        let same = decompose_wide_gates(&wide, 3).unwrap();
+        assert_eq!(same.len(), wide.len());
+    }
+
+    #[test]
+    fn outputs_and_ffs_keep_their_nets() {
+        let mut b = CircuitBuilder::new("seq");
+        for i in 0..5 {
+            b.add(format!("i{i}"), GateKind::Input, &[]);
+        }
+        b.add("y", GateKind::Nor, &["i0", "i1", "i2", "i3", "q"]);
+        b.add("q", GateKind::Dff, &["y"]);
+        b.mark_output("y");
+        let c = b.finish().unwrap();
+        let d = decompose_wide_gates(&c, 2).unwrap();
+        // the flip-flop still sees the net called "y"
+        let q = d.find("q").unwrap();
+        assert_eq!(d.node(d.node(q).fanins()[0]).name(), "y");
+        assert_eq!(d.outputs().len(), 1);
+        assert_eq!(d.flip_flops().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn unit_arity_rejected() {
+        let wide = wide_circuit(GateKind::And, 4);
+        let _ = decompose_wide_gates(&wide, 1);
+    }
+}

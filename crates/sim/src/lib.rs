@@ -1,0 +1,47 @@
+//! Timing-accurate waveform simulation for the `fastmon` toolkit.
+//!
+//! This crate is the CPU replacement for the GPU-based small-delay fault
+//! simulator the paper uses (Schneider et al., TCAD 2017): it computes the
+//! *complete transition waveform* of every net for a two-vector test, injects
+//! small delay faults, re-simulates only the fault's fanout cone, and
+//! reports the time intervals at which faulty and fault-free output
+//! waveforms differ — the raw material of detection ranges.
+//!
+//! * [`Waveform`] — initial value plus sorted transition times, with
+//!   transport-delay shifting, polarity-selective delays (fault injection)
+//!   and pulse-annihilation normalization,
+//! * [`Stimulus`] — a two-vector (launch/capture) input assignment,
+//! * [`SimEngine`] — full-circuit simulation and cone-restricted faulty
+//!   re-simulation,
+//! * [`parallel_map`] — a scoped-thread helper to fan simulations out over
+//!   patterns.
+//!
+//! # Example
+//!
+//! ```
+//! use fastmon_netlist::library;
+//! use fastmon_sim::{SimEngine, Stimulus};
+//! use fastmon_timing::{DelayAnnotation, DelayModel};
+//!
+//! let circuit = library::c17();
+//! let annot = DelayAnnotation::nominal(&circuit, &DelayModel::unit());
+//! let engine = SimEngine::new(&circuit, &annot);
+//! // launch all-zeros, capture all-ones
+//! let stim = Stimulus::from_fn(&circuit, |_| (false, true));
+//! let result = engine.simulate(&stim);
+//! let out = circuit.find("N22").unwrap();
+//! // N22 settles within the three levels of unit-delay NANDs
+//! assert_eq!(result.wave(out).value_at(4.0), result.wave(out).final_value());
+//! ```
+
+mod engine;
+mod parallel;
+mod stimulus;
+mod waveform;
+
+pub mod vcd;
+
+pub use engine::{ConePlan, ConeScratch, FaultyCone, SimEngine, SimResult};
+pub use parallel::parallel_map;
+pub use stimulus::Stimulus;
+pub use waveform::Waveform;

@@ -1,0 +1,118 @@
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every index in `0..n` using up to `threads` worker
+/// threads, returning the results in index order.
+///
+/// Work is distributed dynamically (an atomic cursor), so uneven per-item
+/// cost — typical for fault simulation, where cone sizes vary wildly — does
+/// not serialize the run. With `threads <= 1` the function degrades to a
+/// plain sequential map with no thread overhead.
+///
+/// # Example
+///
+/// ```
+/// let squares = fastmon_sim::parallel_map(5, 4, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let threads = threads.min(n);
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let out_ptr = SendPtr(out.as_mut_ptr());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let value = f(i);
+                // SAFETY: each index i is claimed by exactly one thread via
+                // the atomic counter, so writes to disjoint slots never
+                // alias; the vec outlives the scope.
+                unsafe { out_ptr.write(i, Some(value)) };
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|v| v.expect("every index was processed"))
+        .collect()
+}
+
+/// A raw pointer wrapper that is `Send`/`Copy` so worker threads can write
+/// disjoint slots of the shared output buffer.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Writes `value` to slot `i`.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that slot `i` is in bounds, not aliased by
+    /// a concurrent writer, and that the underlying buffer outlives the
+    /// call.
+    unsafe fn write(&self, i: usize, value: T) {
+        // SAFETY: forwarded to the caller's contract.
+        unsafe { *self.0.add(i) = value };
+    }
+}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+// SAFETY: the pointer is only used to write disjoint indices, coordinated
+// by an atomic cursor, inside a thread scope that the buffer outlives.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_fallback() {
+        assert_eq!(parallel_map(4, 1, |i| i + 1), vec![1, 2, 3, 4]);
+        assert_eq!(parallel_map(0, 8, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq: Vec<usize> = (0..1000).map(|i| i * 3).collect();
+        let par = parallel_map(1000, 8, |i| i * 3);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn uneven_work_is_completed() {
+        let par = parallel_map(64, 4, |i| {
+            // simulate uneven cost
+            let mut acc = 0usize;
+            for k in 0..(i % 7) * 1000 {
+                acc = acc.wrapping_add(k);
+            }
+            (i, acc)
+        });
+        for (i, item) in par.iter().enumerate() {
+            assert_eq!(item.0, i);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,93 @@
+use fastmon_netlist::{Circuit, NodeId};
+
+/// A two-vector test stimulus: launch and capture values for every
+/// combinational source (primary inputs and flip-flop states).
+///
+/// At `t = 0` every source switches from its launch value `v1` to its
+/// capture value `v2` (enhanced-scan two-vector semantics); the circuit then
+/// settles and responses are captured at the observation time under test.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_netlist::library;
+/// use fastmon_sim::Stimulus;
+///
+/// let circuit = library::c17();
+/// let stim = Stimulus::from_fn(&circuit, |id| (id.index() % 2 == 0, true));
+/// let first = circuit.inputs()[0];
+/// assert_eq!(stim.launch(first), first.index() % 2 == 0);
+/// assert!(stim.capture(first));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stimulus {
+    v1: Vec<bool>,
+    v2: Vec<bool>,
+}
+
+impl Stimulus {
+    /// Builds a stimulus by evaluating `f(source) -> (launch, capture)` for
+    /// every node. Values are stored densely by node id; only sources are
+    /// ever read by the engine.
+    #[must_use]
+    pub fn from_fn<F: Fn(NodeId) -> (bool, bool)>(circuit: &Circuit, f: F) -> Self {
+        let mut v1 = vec![false; circuit.len()];
+        let mut v2 = vec![false; circuit.len()];
+        for id in circuit.combinational_sources() {
+            let (a, b) = f(id);
+            v1[id.index()] = a;
+            v2[id.index()] = b;
+        }
+        Stimulus { v1, v2 }
+    }
+
+    /// Builds a stimulus from dense per-node vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    #[must_use]
+    pub fn from_vectors(v1: Vec<bool>, v2: Vec<bool>) -> Self {
+        assert_eq!(v1.len(), v2.len(), "launch/capture length mismatch");
+        Stimulus { v1, v2 }
+    }
+
+    /// The launch (first vector) value of `source`.
+    #[must_use]
+    pub fn launch(&self, source: NodeId) -> bool {
+        self.v1[source.index()]
+    }
+
+    /// The capture (second vector) value of `source`.
+    #[must_use]
+    pub fn capture(&self, source: NodeId) -> bool {
+        self.v2[source.index()]
+    }
+
+    /// Whether `source` transitions at launch.
+    #[must_use]
+    pub fn toggles(&self, source: NodeId) -> bool {
+        self.v1[source.index()] != self.v2[source.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+
+    #[test]
+    fn toggles_detects_changes() {
+        let c = library::s27();
+        let pi = c.inputs()[0];
+        let s = Stimulus::from_fn(&c, |id| (id == pi, false));
+        assert!(s.toggles(pi));
+        assert!(!s.toggles(c.inputs()[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_vectors_panic() {
+        let _ = Stimulus::from_vectors(vec![true], vec![true, false]);
+    }
+}

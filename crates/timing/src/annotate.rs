@@ -1,0 +1,230 @@
+use fastmon_netlist::{Circuit, NodeId};
+
+use crate::{DelayModel, Time, VariationSampler};
+
+/// Per-instance pin-to-pin delay annotation of a circuit.
+///
+/// For every node the annotation stores one rise and one fall delay (the
+/// delay from any input pin to the output) plus the node's process-variation
+/// standard deviation σ, which the fault model uses to size small delay
+/// faults (δ = 6σ in the paper).
+///
+/// # Example
+///
+/// ```
+/// use fastmon_netlist::library;
+/// use fastmon_timing::{DelayAnnotation, DelayModel};
+///
+/// let circuit = library::c17();
+/// let annot = DelayAnnotation::with_variation(&circuit, &DelayModel::nangate45_like(), 0.2, 1);
+/// let gate = circuit.find("N10").unwrap();
+/// assert!(annot.rise(gate) > 0.0);
+/// assert!(annot.sigma(gate) > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayAnnotation {
+    rise: Vec<Time>,
+    fall: Vec<Time>,
+    sigma: Vec<Time>,
+}
+
+impl DelayAnnotation {
+    /// Annotates `circuit` with the nominal delays of `model` (no
+    /// variation). σ is still recorded as `sigma_rel = 0.2` times the
+    /// nominal mean delay so fault sizing works on nominal annotations too.
+    #[must_use]
+    pub fn nominal(circuit: &Circuit, model: &DelayModel) -> Self {
+        Self::build(circuit, model, 0.2, None)
+    }
+
+    /// Annotates `circuit` with delays perturbed by Gaussian process
+    /// variation of relative standard deviation `sigma_rel`, sampled
+    /// deterministically from `seed`.
+    #[must_use]
+    pub fn with_variation(
+        circuit: &Circuit,
+        model: &DelayModel,
+        sigma_rel: f64,
+        seed: u64,
+    ) -> Self {
+        Self::build(
+            circuit,
+            model,
+            sigma_rel,
+            Some(VariationSampler::new(sigma_rel, seed)),
+        )
+    }
+
+    fn build(
+        circuit: &Circuit,
+        model: &DelayModel,
+        sigma_rel: f64,
+        sampler: Option<VariationSampler>,
+    ) -> Self {
+        let n = circuit.len();
+        let mut rise = Vec::with_capacity(n);
+        let mut fall = Vec::with_capacity(n);
+        let mut sigma = Vec::with_capacity(n);
+        for (id, node) in circuit.iter() {
+            let (r, f) = model.nominal(
+                node.kind(),
+                node.fanins().len(),
+                circuit.fanouts(id).len().max(1),
+            );
+            let factor = sampler.map_or(1.0, |s| s.factor(id.index()));
+            rise.push(r * factor);
+            fall.push(f * factor);
+            sigma.push(sigma_rel * 0.5 * (r + f));
+        }
+        DelayAnnotation { rise, fall, sigma }
+    }
+
+    /// Builds an annotation from explicit per-node `(rise, fall, sigma)`
+    /// triples, e.g. parsed from an SDF file.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the three vectors have different lengths.
+    #[must_use]
+    pub fn from_raw(rise: Vec<Time>, fall: Vec<Time>, sigma: Vec<Time>) -> Self {
+        assert_eq!(rise.len(), fall.len(), "rise/fall length mismatch");
+        assert_eq!(rise.len(), sigma.len(), "rise/sigma length mismatch");
+        DelayAnnotation { rise, fall, sigma }
+    }
+
+    /// Number of annotated nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rise.len()
+    }
+
+    /// Returns `true` if no nodes are annotated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rise.is_empty()
+    }
+
+    /// Rise delay (output transition 0→1) of node `id` in ps.
+    #[must_use]
+    pub fn rise(&self, id: NodeId) -> Time {
+        self.rise[id.index()]
+    }
+
+    /// Fall delay (output transition 1→0) of node `id` in ps.
+    #[must_use]
+    pub fn fall(&self, id: NodeId) -> Time {
+        self.fall[id.index()]
+    }
+
+    /// Delay of node `id` for an output transition in the given direction.
+    #[must_use]
+    pub fn delay(&self, id: NodeId, rising_output: bool) -> Time {
+        if rising_output {
+            self.rise(id)
+        } else {
+            self.fall(id)
+        }
+    }
+
+    /// The slower of the two delays of node `id` (used for longest-path
+    /// analysis).
+    #[must_use]
+    pub fn max_delay(&self, id: NodeId) -> Time {
+        self.rise(id).max(self.fall(id))
+    }
+
+    /// The faster of the two delays of node `id` (used for shortest-path
+    /// analysis).
+    #[must_use]
+    pub fn min_delay(&self, id: NodeId) -> Time {
+        self.rise(id).min(self.fall(id))
+    }
+
+    /// Process-variation standard deviation σ of node `id` in ps.
+    ///
+    /// The paper sizes hidden delay faults as δ = 6σ.
+    #[must_use]
+    pub fn sigma(&self, id: NodeId) -> Time {
+        self.sigma[id.index()]
+    }
+
+    /// The smallest strictly positive delay in the annotation, commonly
+    /// used as a pulse-filtering (glitch) threshold.
+    #[must_use]
+    pub fn min_positive_delay(&self) -> Time {
+        self.rise
+            .iter()
+            .chain(self.fall.iter())
+            .copied()
+            .filter(|&d| d > 0.0)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::library;
+
+    #[test]
+    fn nominal_matches_model() {
+        let c = library::c17();
+        let m = DelayModel::nangate45_like();
+        let a = DelayAnnotation::nominal(&c, &m);
+        let n10 = c.find("N10").unwrap();
+        let fanouts = c.fanouts(n10).len();
+        let (r, f) = m.nominal(fastmon_netlist::GateKind::Nand, 2, fanouts);
+        assert_eq!(a.rise(n10), r);
+        assert_eq!(a.fall(n10), f);
+        assert!((a.sigma(n10) - 0.1 * (r + f)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variation_perturbs_but_keeps_sources_zero() {
+        let c = library::s27();
+        let m = DelayModel::nangate45_like();
+        let nom = DelayAnnotation::nominal(&c, &m);
+        let var = DelayAnnotation::with_variation(&c, &m, 0.2, 3);
+        let mut changed = 0;
+        for id in c.node_ids() {
+            if c.node(id).kind().is_combinational() {
+                if (nom.rise(id) - var.rise(id)).abs() > 1e-9 {
+                    changed += 1;
+                }
+                assert!(var.rise(id) > 0.0);
+            } else {
+                assert_eq!(var.rise(id), 0.0);
+                assert_eq!(var.fall(id), 0.0);
+            }
+        }
+        assert!(changed >= 8, "variation changed only {changed} gates");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = library::s27();
+        let m = DelayModel::nangate45_like();
+        let a = DelayAnnotation::with_variation(&c, &m, 0.2, 11);
+        let b = DelayAnnotation::with_variation(&c, &m, 0.2, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn min_positive_delay_skips_sources() {
+        let c = library::s27();
+        let a = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let d = a.min_positive_delay();
+        assert!(d > 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn min_max_delay_consistent() {
+        let c = library::s27();
+        let a = DelayAnnotation::with_variation(&c, &DelayModel::nangate45_like(), 0.2, 5);
+        for id in c.node_ids() {
+            assert!(a.min_delay(id) <= a.max_delay(id));
+            assert_eq!(a.delay(id, true), a.rise(id));
+            assert_eq!(a.delay(id, false), a.fall(id));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+use crate::{Sta, Time};
+
+/// Nominal and fastest FAST clock periods of a design.
+///
+/// Following the paper's evaluation setup, the nominal clock period is the
+/// critical path length plus a 5 % margin (`t_nom = 1.05 · cpl`) and the
+/// fastest FAST capture time is `t_min = t_nom / fmax_factor` with
+/// `fmax_factor = 3` (the usual `f_max ≤ 3 · f_nom` bound).
+///
+/// # Example
+///
+/// ```
+/// use fastmon_timing::ClockSpec;
+///
+/// let clock = ClockSpec::new(300.0, 3.0);
+/// assert_eq!(clock.t_nom, 300.0);
+/// assert_eq!(clock.t_min, 100.0);
+/// assert!(clock.contains(150.0));
+/// assert!(!clock.contains(99.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClockSpec {
+    /// Nominal clock period (ps).
+    pub t_nom: Time,
+    /// Earliest legal FAST capture time (ps), `t_nom / fmax_factor`.
+    pub t_min: Time,
+}
+
+impl ClockSpec {
+    /// Creates a spec from an explicit nominal period and an `f_max/f_nom`
+    /// ratio.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_nom` is not positive or `fmax_factor < 1`.
+    #[must_use]
+    pub fn new(t_nom: Time, fmax_factor: f64) -> Self {
+        assert!(t_nom > 0.0, "nominal period must be positive");
+        assert!(fmax_factor >= 1.0, "f_max must be at least f_nom");
+        ClockSpec {
+            t_nom,
+            t_min: t_nom / fmax_factor,
+        }
+    }
+
+    /// Derives the spec from static timing analysis:
+    /// `t_nom = 1.05 · critical path length`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the critical path length is zero (empty circuit) or
+    /// `fmax_factor < 1`.
+    #[must_use]
+    pub fn from_sta(sta: &Sta, fmax_factor: f64) -> Self {
+        Self::new(1.05 * sta.critical_path_length(), fmax_factor)
+    }
+
+    /// Nominal frequency in 1/ps.
+    #[must_use]
+    pub fn f_nom(&self) -> f64 {
+        1.0 / self.t_nom
+    }
+
+    /// Maximum FAST frequency in 1/ps.
+    #[must_use]
+    pub fn f_max(&self) -> f64 {
+        1.0 / self.t_min
+    }
+
+    /// The `f_max / f_nom` ratio.
+    #[must_use]
+    pub fn fmax_factor(&self) -> f64 {
+        self.t_nom / self.t_min
+    }
+
+    /// Whether observation time `t` lies in the legal FAST window
+    /// `[t_min, t_nom]`.
+    #[must_use]
+    pub fn contains(&self, t: Time) -> bool {
+        (self.t_min..=self.t_nom).contains(&t)
+    }
+
+    /// Returns a spec with the same `t_nom` but a different maximum
+    /// frequency ratio (used by the Fig. 3 sweep over `f_max`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fmax_factor < 1`.
+    #[must_use]
+    pub fn with_fmax_factor(&self, fmax_factor: f64) -> Self {
+        Self::new(self.t_nom, fmax_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DelayAnnotation, DelayModel};
+    use fastmon_netlist::library;
+
+    #[test]
+    fn from_sta_applies_margin() {
+        let c = library::c17();
+        let sta = Sta::analyze(&c, &DelayAnnotation::nominal(&c, &DelayModel::unit()));
+        let clock = ClockSpec::from_sta(&sta, 3.0);
+        assert!((clock.t_nom - 3.15).abs() < 1e-12);
+        assert!((clock.t_min - 1.05).abs() < 1e-12);
+        assert!((clock.fmax_factor() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequencies_invert_periods() {
+        let clock = ClockSpec::new(200.0, 2.5);
+        assert!((clock.f_nom() - 0.005).abs() < 1e-12);
+        assert!((clock.f_max() - 1.0 / 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_fmax_factor_keeps_nominal() {
+        let clock = ClockSpec::new(300.0, 3.0).with_fmax_factor(1.5);
+        assert_eq!(clock.t_nom, 300.0);
+        assert_eq!(clock.t_min, 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least f_nom")]
+    fn sub_unity_factor_panics() {
+        let _ = ClockSpec::new(100.0, 0.5);
+    }
+}

@@ -1,0 +1,162 @@
+use fastmon_netlist::GateKind;
+
+use crate::Time;
+
+/// Nominal pin-to-pin delay model.
+///
+/// Delays are loosely calibrated to a 45 nm standard-cell library: an
+/// inverter is ~12 ps, a 2-input NAND ~16 ps, XOR-class gates are slowest.
+/// The effective delay of a gate instance additionally grows with its arity
+/// (wider stacks) and its fanout count (output load):
+///
+/// ```text
+/// delay = base(kind) · (1 + arity_factor·(arity − 2)⁺) + load_per_fanout · fanouts
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use fastmon_netlist::GateKind;
+/// use fastmon_timing::DelayModel;
+///
+/// let model = DelayModel::nangate45_like();
+/// let (rise2, _) = model.nominal(GateKind::Nand, 2, 1);
+/// let (rise3, _) = model.nominal(GateKind::Nand, 3, 1);
+/// assert!(rise3 > rise2, "wider gates are slower");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayModel {
+    base_rise: [Time; 12],
+    base_fall: [Time; 12],
+    arity_factor: f64,
+    load_per_fanout: Time,
+}
+
+impl DelayModel {
+    /// A delay model loosely calibrated to the NanGate 45 nm open cell
+    /// library (the library the paper synthesizes to).
+    #[must_use]
+    pub fn nangate45_like() -> Self {
+        let mut base_rise = [0.0; 12];
+        let mut base_fall = [0.0; 12];
+        let mut set = |kind: GateKind, rise: Time, fall: Time| {
+            base_rise[kind_index(kind)] = rise;
+            base_fall[kind_index(kind)] = fall;
+        };
+        // Sources and flip-flops launch at t = 0 in the two-vector test
+        // model, so they carry no propagation delay of their own.
+        set(GateKind::Input, 0.0, 0.0);
+        set(GateKind::Dff, 0.0, 0.0);
+        set(GateKind::Const0, 0.0, 0.0);
+        set(GateKind::Const1, 0.0, 0.0);
+        set(GateKind::Buf, 22.0, 20.0);
+        set(GateKind::Not, 12.0, 10.0);
+        set(GateKind::And, 26.0, 24.0);
+        set(GateKind::Nand, 16.0, 14.0);
+        set(GateKind::Or, 30.0, 26.0);
+        set(GateKind::Nor, 22.0, 18.0);
+        set(GateKind::Xor, 42.0, 40.0);
+        set(GateKind::Xnor, 44.0, 42.0);
+        DelayModel {
+            base_rise,
+            base_fall,
+            arity_factor: 0.18,
+            load_per_fanout: 2.5,
+        }
+    }
+
+    /// A unit delay model: every combinational gate has delay 1 ps,
+    /// independent of arity and load. Useful for tests whose expected
+    /// waveforms are computed by hand.
+    #[must_use]
+    pub fn unit() -> Self {
+        let mut base_rise = [1.0; 12];
+        let mut base_fall = [1.0; 12];
+        for kind in [GateKind::Input, GateKind::Dff, GateKind::Const0, GateKind::Const1] {
+            base_rise[kind_index(kind)] = 0.0;
+            base_fall[kind_index(kind)] = 0.0;
+        }
+        DelayModel {
+            base_rise,
+            base_fall,
+            arity_factor: 0.0,
+            load_per_fanout: 0.0,
+        }
+    }
+
+    /// Overrides the load added per fanout (ps).
+    #[must_use]
+    pub fn with_load_per_fanout(mut self, load: Time) -> Self {
+        self.load_per_fanout = load;
+        self
+    }
+
+    /// Overrides the relative slowdown per extra input beyond two.
+    #[must_use]
+    pub fn with_arity_factor(mut self, factor: f64) -> Self {
+        self.arity_factor = factor;
+        self
+    }
+
+    /// Nominal `(rise, fall)` delay of a gate of `kind` with `arity` inputs
+    /// driving `fanouts` loads.
+    #[must_use]
+    pub fn nominal(&self, kind: GateKind, arity: usize, fanouts: usize) -> (Time, Time) {
+        let i = kind_index(kind);
+        if self.base_rise[i] == 0.0 && self.base_fall[i] == 0.0 {
+            return (0.0, 0.0);
+        }
+        let widen = 1.0 + self.arity_factor * arity.saturating_sub(2) as f64;
+        let load = self.load_per_fanout * fanouts as f64;
+        (
+            self.base_rise[i] * widen + load,
+            self.base_fall[i] * widen + load,
+        )
+    }
+}
+
+fn kind_index(kind: GateKind) -> usize {
+    GateKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("kind is in ALL")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_have_zero_delay() {
+        let m = DelayModel::nangate45_like();
+        for kind in [GateKind::Input, GateKind::Dff, GateKind::Const0, GateKind::Const1] {
+            assert_eq!(m.nominal(kind, 0, 5), (0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn load_increases_delay() {
+        let m = DelayModel::nangate45_like();
+        let (r1, f1) = m.nominal(GateKind::Nand, 2, 1);
+        let (r4, f4) = m.nominal(GateKind::Nand, 2, 4);
+        assert!(r4 > r1 && f4 > f1);
+        assert!((r4 - r1 - 3.0 * 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn xor_is_slowest_two_input() {
+        let m = DelayModel::nangate45_like();
+        let (xor, _) = m.nominal(GateKind::Xor, 2, 1);
+        for kind in [GateKind::Nand, GateKind::Nor, GateKind::And, GateKind::Or, GateKind::Not] {
+            assert!(xor > m.nominal(kind, 2, 1).0);
+        }
+    }
+
+    #[test]
+    fn unit_model_is_uniform() {
+        let m = DelayModel::unit();
+        assert_eq!(m.nominal(GateKind::Nand, 2, 3), (1.0, 1.0));
+        assert_eq!(m.nominal(GateKind::Xor, 2, 1), (1.0, 1.0));
+        assert_eq!(m.nominal(GateKind::Input, 0, 9), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,287 @@
+//! Writer and reader for a small SDF (Standard Delay Format) subset.
+//!
+//! The paper's flow consumes timing from SDF files produced by synthesis.
+//! This module serializes a [`DelayAnnotation`] as SDF 3.0 `IOPATH` entries
+//! and parses the same subset back, so annotated designs can be exchanged
+//! with external tools or stored on disk.
+//!
+//! Supported subset:
+//!
+//! ```text
+//! (DELAYFILE
+//!   (SDFVERSION "3.0") (DESIGN "c17") (TIMESCALE 1ps)
+//!   (CELL (CELLTYPE "NAND") (INSTANCE N10)
+//!     (DELAY (ABSOLUTE (IOPATH A Z (16.2) (14.7))))))
+//! ```
+//!
+//! The first parenthesized value of an `IOPATH` is the rise delay, the
+//! second the fall delay. σ is re-derived as `sigma_rel` × mean when
+//! parsing.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), fastmon_timing::sdf::SdfError> {
+//! use fastmon_netlist::library;
+//! use fastmon_timing::{sdf, DelayAnnotation, DelayModel};
+//!
+//! let circuit = library::c17();
+//! let annot = DelayAnnotation::with_variation(&circuit, &DelayModel::nangate45_like(), 0.2, 1);
+//! let text = sdf::to_string(&circuit, &annot);
+//! let parsed = sdf::parse(&text, &circuit, 0.2)?;
+//! let n10 = circuit.find("N10").unwrap();
+//! assert!((parsed.rise(n10) - annot.rise(n10)).abs() < 1e-3);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use fastmon_netlist::Circuit;
+
+use crate::DelayAnnotation;
+
+/// Errors produced while parsing SDF text.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// General syntax problem.
+    Syntax {
+        /// Byte offset near the problem.
+        near: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An `INSTANCE` names a node the circuit does not contain.
+    UnknownInstance {
+        /// The instance name from the SDF file.
+        instance: String,
+    },
+    /// A delay value could not be parsed as a number.
+    BadNumber {
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Syntax { near, message } => {
+                write!(f, "sdf syntax error near byte {near}: {message}")
+            }
+            SdfError::UnknownInstance { instance } => {
+                write!(f, "sdf instance `{instance}` not found in circuit")
+            }
+            SdfError::BadNumber { token } => write!(f, "invalid sdf delay value `{token}`"),
+        }
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+/// Serializes the annotation of `circuit` as SDF text.
+///
+/// Only nodes with a positive delay (combinational gates) are emitted;
+/// sources and flip-flops launch at t = 0 in the two-vector test model.
+#[must_use]
+pub fn to_string(circuit: &Circuit, annot: &DelayAnnotation) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(DELAYFILE");
+    let _ = writeln!(out, "  (SDFVERSION \"3.0\")");
+    let _ = writeln!(out, "  (DESIGN \"{}\")", circuit.name());
+    let _ = writeln!(out, "  (TIMESCALE 1ps)");
+    for (id, node) in circuit.iter() {
+        if !node.kind().is_combinational() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  (CELL (CELLTYPE \"{}\") (INSTANCE {})\n    (DELAY (ABSOLUTE (IOPATH A Z ({:.4}) ({:.4})))))",
+            node.kind(),
+            node.name(),
+            annot.rise(id),
+            annot.fall(id),
+        );
+    }
+    let _ = writeln!(out, ")");
+    out
+}
+
+/// Parses SDF text against `circuit`, returning a [`DelayAnnotation`].
+///
+/// Nodes not mentioned in the file keep zero delay. σ is reconstructed as
+/// `sigma_rel · (rise + fall) / 2`.
+///
+/// # Errors
+///
+/// Returns an [`SdfError`] for malformed text, unknown instances or
+/// unparsable delay values.
+pub fn parse(text: &str, circuit: &Circuit, sigma_rel: f64) -> Result<DelayAnnotation, SdfError> {
+    let by_name: HashMap<&str, usize> = circuit
+        .iter()
+        .map(|(id, node)| (node.name(), id.index()))
+        .collect();
+
+    let n = circuit.len();
+    let mut rise = vec![0.0; n];
+    let mut fall = vec![0.0; n];
+
+    let tokens = tokenize(text);
+    let mut i = 0usize;
+    let mut current_instance: Option<usize> = None;
+    while i < tokens.len() {
+        match tokens[i].1 {
+            "INSTANCE" => {
+                let (pos, name) = tokens.get(i + 1).copied().ok_or(SdfError::Syntax {
+                    near: tokens[i].0,
+                    message: "INSTANCE without a name".into(),
+                })?;
+                if name == ")" || name == "(" {
+                    return Err(SdfError::Syntax {
+                        near: pos,
+                        message: "INSTANCE without a name".into(),
+                    });
+                }
+                let idx = *by_name.get(name).ok_or_else(|| SdfError::UnknownInstance {
+                    instance: name.to_owned(),
+                })?;
+                current_instance = Some(idx);
+                i += 2;
+            }
+            "IOPATH" => {
+                let idx = current_instance.ok_or(SdfError::Syntax {
+                    near: tokens[i].0,
+                    message: "IOPATH outside of a CELL/INSTANCE".into(),
+                })?;
+                // IOPATH A Z ( rise ) ( fall )
+                let mut values = Vec::with_capacity(2);
+                let mut j = i + 1;
+                while j < tokens.len() && values.len() < 2 {
+                    let tok = tokens[j].1;
+                    if tok == "(" {
+                        let num = tokens.get(j + 1).map(|t| t.1).ok_or(SdfError::Syntax {
+                            near: tokens[j].0,
+                            message: "unterminated delay triple".into(),
+                        })?;
+                        let v: f64 = num.parse().map_err(|_| SdfError::BadNumber {
+                            token: num.to_owned(),
+                        })?;
+                        values.push(v);
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                if values.len() != 2 {
+                    return Err(SdfError::Syntax {
+                        near: tokens[i].0,
+                        message: "IOPATH needs rise and fall values".into(),
+                    });
+                }
+                rise[idx] = values[0];
+                fall[idx] = values[1];
+                i = j;
+            }
+            _ => i += 1,
+        }
+    }
+
+    let sigma: Vec<f64> = rise
+        .iter()
+        .zip(&fall)
+        .map(|(r, f)| sigma_rel * 0.5 * (r + f))
+        .collect();
+    Ok(DelayAnnotation::from_raw(rise, fall, sigma))
+}
+
+/// Splits SDF text into `(offset, token)` pairs; parentheses are their own
+/// tokens, quotes are stripped.
+fn tokenize(text: &str) -> Vec<(usize, &str)> {
+    let mut tokens = Vec::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '(' || c == ')' {
+            tokens.push((i, &text[i..=i]));
+            i += 1;
+        } else if c == '"' {
+            let start = i + 1;
+            let mut j = start;
+            while j < bytes.len() && bytes[j] as char != '"' {
+                j += 1;
+            }
+            tokens.push((start, &text[start..j]));
+            i = j + 1;
+        } else {
+            let start = i;
+            while i < bytes.len() {
+                let c = bytes[i] as char;
+                if c.is_whitespace() || c == '(' || c == ')' {
+                    break;
+                }
+                i += 1;
+            }
+            tokens.push((start, &text[start..i]));
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayModel;
+    use fastmon_netlist::library;
+
+    #[test]
+    fn round_trip_preserves_delays() {
+        let c = library::s27();
+        let annot = DelayAnnotation::with_variation(&c, &DelayModel::nangate45_like(), 0.2, 9);
+        let text = to_string(&c, &annot);
+        let parsed = parse(&text, &c, 0.2).unwrap();
+        for id in c.node_ids() {
+            assert!((parsed.rise(id) - annot.rise(id)).abs() < 1e-3);
+            assert!((parsed.fall(id) - annot.fall(id)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn unknown_instance_rejected() {
+        let c = library::c17();
+        let text = "(DELAYFILE (CELL (INSTANCE ghost) (DELAY (ABSOLUTE (IOPATH A Z (1.0) (2.0))))))";
+        assert!(matches!(
+            parse(text, &c, 0.2),
+            Err(SdfError::UnknownInstance { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let c = library::c17();
+        let text = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (oops) (2.0))))))";
+        assert!(matches!(parse(text, &c, 0.2), Err(SdfError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn iopath_outside_cell_rejected() {
+        let c = library::c17();
+        let text = "(DELAYFILE (DELAY (ABSOLUTE (IOPATH A Z (1.0) (2.0)))))";
+        assert!(matches!(parse(text, &c, 0.2), Err(SdfError::Syntax { .. })));
+    }
+
+    #[test]
+    fn unmentioned_nodes_have_zero_delay() {
+        let c = library::c17();
+        let text = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (5.0) (6.0))))))";
+        let parsed = parse(text, &c, 0.2).unwrap();
+        assert_eq!(parsed.rise(c.find("N10").unwrap()), 5.0);
+        assert_eq!(parsed.fall(c.find("N10").unwrap()), 6.0);
+        assert_eq!(parsed.rise(c.find("N16").unwrap()), 0.0);
+    }
+}

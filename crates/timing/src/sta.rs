@@ -1,0 +1,233 @@
+use fastmon_netlist::{Circuit, NodeId};
+
+use crate::{DelayAnnotation, Time};
+
+/// Static timing analysis of the combinational core.
+///
+/// Computes, for every node:
+///
+/// * the earliest/latest possible output transition time (`min`/`max`
+///   arrival), launching from sources and flip-flops at t = 0, and
+/// * the shortest/longest remaining path from the node's output to any
+///   observation point (primary output or flip-flop D pin).
+///
+/// Together these give the earliest/latest arrival of a transition *through*
+/// a node at an observation point — the quantity that classifies small delay
+/// faults: a fault of size δ at node g is **at-speed detectable** if
+/// `max_arrival_through(g) + δ > t_nom` (it violates the nominal clock) and
+/// **timing redundant** for FAST if even `max_arrival_through(g) + δ ≤
+/// t_min` (the effect always dies before the earliest legal capture).
+///
+/// # Example
+///
+/// ```
+/// use fastmon_netlist::library;
+/// use fastmon_timing::{DelayAnnotation, DelayModel, Sta};
+///
+/// let circuit = library::c17();
+/// let sta = Sta::analyze(
+///     &circuit,
+///     &DelayAnnotation::nominal(&circuit, &DelayModel::unit()),
+/// );
+/// // c17 is three levels of unit-delay NAND gates
+/// assert_eq!(sta.critical_path_length(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sta {
+    arrival_min: Vec<Time>,
+    arrival_max: Vec<Time>,
+    downstream_min: Vec<Time>,
+    downstream_max: Vec<Time>,
+    critical_path: Time,
+}
+
+impl Sta {
+    /// Runs the analysis.
+    #[must_use]
+    pub fn analyze(circuit: &Circuit, annot: &DelayAnnotation) -> Self {
+        let n = circuit.len();
+        let mut arrival_min = vec![0.0; n];
+        let mut arrival_max = vec![0.0; n];
+
+        // Forward pass in topological order.
+        for &id in circuit.topo_order() {
+            let node = circuit.node(id);
+            if !node.kind().is_combinational() {
+                continue; // sources and flip-flops launch at t = 0
+            }
+            let idx = id.index();
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &fi in node.fanins() {
+                lo = lo.min(arrival_min[fi.index()]);
+                hi = hi.max(arrival_max[fi.index()]);
+            }
+            arrival_min[idx] = lo + annot.min_delay(id);
+            arrival_max[idx] = hi + annot.max_delay(id);
+        }
+
+        // Backward pass: remaining path length from a node's output to an
+        // observation point. NEG_INFINITY/INFINITY mean "reaches none".
+        let mut downstream_min = vec![f64::INFINITY; n];
+        let mut downstream_max = vec![f64::NEG_INFINITY; n];
+        for op in circuit.observe_points() {
+            downstream_min[op.driver.index()] = 0.0;
+            downstream_max[op.driver.index()] = 0.0;
+        }
+        for &id in circuit.topo_order().iter().rev() {
+            let idx = id.index();
+            for &fo in circuit.fanouts(id) {
+                if !circuit.node(fo).kind().is_combinational() {
+                    continue; // capture at the flip-flop itself, no extra delay
+                }
+                let fo_idx = fo.index();
+                if downstream_max[fo_idx] > f64::NEG_INFINITY {
+                    downstream_max[idx] =
+                        downstream_max[idx].max(downstream_max[fo_idx] + annot.max_delay(fo));
+                    downstream_min[idx] =
+                        downstream_min[idx].min(downstream_min[fo_idx] + annot.min_delay(fo));
+                }
+            }
+        }
+
+        let critical_path = circuit
+            .observe_points()
+            .iter()
+            .map(|op| arrival_max[op.driver.index()])
+            .fold(0.0, f64::max);
+
+        Sta {
+            arrival_min,
+            arrival_max,
+            downstream_min,
+            downstream_max,
+            critical_path,
+        }
+    }
+
+    /// Latest output transition arrival of node `id` (longest path from any
+    /// source to the node's output).
+    #[must_use]
+    pub fn max_arrival(&self, id: NodeId) -> Time {
+        self.arrival_max[id.index()]
+    }
+
+    /// Earliest output transition arrival of node `id`.
+    #[must_use]
+    pub fn min_arrival(&self, id: NodeId) -> Time {
+        self.arrival_min[id.index()]
+    }
+
+    /// Returns `true` if the output of `id` reaches at least one
+    /// observation point through combinational logic.
+    #[must_use]
+    pub fn is_observable(&self, id: NodeId) -> bool {
+        self.downstream_max[id.index()] > f64::NEG_INFINITY
+    }
+
+    /// Longest path from any source *through* node `id` to any observation
+    /// point, or `None` if the node reaches no observation point.
+    #[must_use]
+    pub fn max_arrival_through(&self, id: NodeId) -> Option<Time> {
+        self.is_observable(id)
+            .then(|| self.arrival_max[id.index()] + self.downstream_max[id.index()])
+    }
+
+    /// Shortest path from any source through node `id` to any observation
+    /// point, or `None` if the node reaches no observation point.
+    #[must_use]
+    pub fn min_arrival_through(&self, id: NodeId) -> Option<Time> {
+        self.is_observable(id)
+            .then(|| self.arrival_min[id.index()] + self.downstream_min[id.index()])
+    }
+
+    /// The slack of node `id` against clock period `t_nom`:
+    /// `t_nom − max_arrival_through(id)`. `None` if unobservable.
+    #[must_use]
+    pub fn slack(&self, id: NodeId, t_nom: Time) -> Option<Time> {
+        self.max_arrival_through(id).map(|a| t_nom - a)
+    }
+
+    /// Length of the critical path (latest arrival over all observation
+    /// points).
+    #[must_use]
+    pub fn critical_path_length(&self) -> Time {
+        self.critical_path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DelayModel;
+    use fastmon_netlist::{library, CircuitBuilder, GateKind};
+
+    fn chain() -> (Circuit, DelayAnnotation) {
+        // a -> n1 -> n2 -> n3 (PO); side branch n1 -> po2
+        let mut b = CircuitBuilder::new("chain");
+        b.add("a", GateKind::Input, &[]);
+        b.add("n1", GateKind::Not, &["a"]);
+        b.add("n2", GateKind::Not, &["n1"]);
+        b.add("n3", GateKind::Not, &["n2"]);
+        b.add("po2", GateKind::Buf, &["n1"]);
+        b.mark_output("n3");
+        b.mark_output("po2");
+        let c = b.finish().unwrap();
+        let a = DelayAnnotation::nominal(&c, &DelayModel::unit());
+        (c, a)
+    }
+
+    #[test]
+    fn arrivals_on_chain() {
+        let (c, a) = chain();
+        let sta = Sta::analyze(&c, &a);
+        assert_eq!(sta.max_arrival(c.find("n1").unwrap()), 1.0);
+        assert_eq!(sta.max_arrival(c.find("n3").unwrap()), 3.0);
+        assert_eq!(sta.critical_path_length(), 3.0);
+    }
+
+    #[test]
+    fn through_paths_take_both_branches() {
+        let (c, a) = chain();
+        let sta = Sta::analyze(&c, &a);
+        let n1 = c.find("n1").unwrap();
+        // longest through n1: a->n1->n2->n3 = 3; shortest: a->n1->po2 = 2
+        assert_eq!(sta.max_arrival_through(n1), Some(3.0));
+        assert_eq!(sta.min_arrival_through(n1), Some(2.0));
+        assert_eq!(sta.slack(n1, 5.0), Some(2.0));
+    }
+
+    #[test]
+    fn dff_is_capture_not_launchthrough() {
+        let mut b = CircuitBuilder::new("ff");
+        b.add("a", GateKind::Input, &[]);
+        b.add("x", GateKind::Not, &["a"]);
+        b.add("q", GateKind::Dff, &["x"]);
+        b.add("y", GateKind::Not, &["q"]);
+        b.mark_output("y");
+        let c = b.finish().unwrap();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::unit());
+        let sta = Sta::analyze(&c, &annot);
+        // x arrives at 1 and is captured at the DFF D pin (a PPO);
+        // q launches fresh at 0, y arrives at 1.
+        assert_eq!(sta.max_arrival(c.find("x").unwrap()), 1.0);
+        assert_eq!(sta.max_arrival(c.find("y").unwrap()), 1.0);
+        assert_eq!(sta.critical_path_length(), 1.0);
+        // x's downstream ends at the D pin: through-path = 1
+        assert_eq!(sta.max_arrival_through(c.find("x").unwrap()), Some(1.0));
+    }
+
+    #[test]
+    fn s27_sta_sane() {
+        let c = library::s27();
+        let annot = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        let sta = Sta::analyze(&c, &annot);
+        assert!(sta.critical_path_length() > 0.0);
+        for id in c.combinational_nodes() {
+            assert!(sta.is_observable(id), "{} unobservable", c.node(id).name());
+            let lo = sta.min_arrival_through(id).unwrap();
+            let hi = sta.max_arrival_through(id).unwrap();
+            assert!(lo <= hi + 1e-12);
+            assert!(hi <= sta.critical_path_length() + 1e-12);
+        }
+    }
+}

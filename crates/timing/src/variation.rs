@@ -1,0 +1,103 @@
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic Gaussian process-variation sampler.
+///
+/// Each gate instance receives a multiplicative delay factor drawn from
+/// `N(1, σ_rel)`, truncated to `[1 − 3σ_rel, 1 + 3σ_rel]` and floored at
+/// 0.05 so delays stay positive. Sampling is *keyed* by instance index, so
+/// the factor of a given instance is independent of how many other
+/// instances were sampled — annotations are reproducible per node.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_timing::VariationSampler;
+///
+/// let sampler = VariationSampler::new(0.2, 7);
+/// let a = sampler.factor(3);
+/// assert_eq!(a, sampler.factor(3), "keyed sampling is stable");
+/// assert!(a > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSampler {
+    sigma_rel: f64,
+    seed: u64,
+}
+
+impl VariationSampler {
+    /// Creates a sampler with relative standard deviation `sigma_rel`
+    /// (the paper assumes 0.2) and a master `seed`.
+    #[must_use]
+    pub fn new(sigma_rel: f64, seed: u64) -> Self {
+        VariationSampler { sigma_rel, seed }
+    }
+
+    /// The relative standard deviation.
+    #[must_use]
+    pub fn sigma_rel(&self) -> f64 {
+        self.sigma_rel
+    }
+
+    /// The multiplicative delay factor of instance `key`.
+    #[must_use]
+    pub fn factor(&self, key: usize) -> f64 {
+        let mut rng = ChaCha8Rng::seed_from_u64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(key as u64)
+                .wrapping_mul(0xbf58_476d_1ce4_e5b9),
+        );
+        let z = standard_normal(&mut rng).clamp(-3.0, 3.0);
+        (1.0 + self.sigma_rel * z).max(0.05)
+    }
+}
+
+/// One draw from the standard normal distribution via Box–Muller.
+fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    // u1 in (0, 1] to avoid ln(0)
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_and_deterministic() {
+        let s = VariationSampler::new(0.2, 99);
+        let v: Vec<f64> = (0..16).map(|k| s.factor(k)).collect();
+        let w: Vec<f64> = (0..16).map(|k| s.factor(k)).collect();
+        assert_eq!(v, w);
+        // different seeds change the draw
+        let t = VariationSampler::new(0.2, 100);
+        assert_ne!(s.factor(0), t.factor(0));
+    }
+
+    #[test]
+    fn zero_sigma_is_identity() {
+        let s = VariationSampler::new(0.0, 1);
+        for k in 0..32 {
+            assert_eq!(s.factor(k), 1.0);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_are_plausible() {
+        let s = VariationSampler::new(0.2, 5);
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|k| s.factor(k)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - 0.2).abs() < 0.02, "std {}", var.sqrt());
+        assert!(samples.iter().all(|&x| x > 0.0));
+        assert!(
+            samples.iter().all(|&x| (0.4 - 1e-9..=1.6 + 1e-9).contains(&x)),
+            "3σ truncation"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Internal helper: prints per-phase wall-clock times of the flow, used to
+//! guide performance work on the simulator and schedulers.
+//!
+//! ```text
+//! cargo run --release --example phase_timing
+//! ```
+
+use std::time::Instant;
+
+use fastmon::core::{FlowConfig, HdfTestFlow, Solver};
+use fastmon::netlist::generate::GeneratorConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = GeneratorConfig::new("demo")
+        .inputs(16)
+        .outputs(8)
+        .flip_flops(64)
+        .gates(900)
+        .depth(16)
+        .generate(42)?;
+
+    let t = Instant::now();
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    println!("prepare:   {:>8.2?}", t.elapsed());
+
+    let t = Instant::now();
+    let patterns = flow.generate_patterns(Some(64));
+    println!("atpg:      {:>8.2?}  ({} patterns)", t.elapsed(), patterns.len());
+
+    let t = Instant::now();
+    let analysis = flow.analyze(&patterns);
+    println!(
+        "analyze:   {:>8.2?}  ({} faults, {} targets)",
+        t.elapsed(),
+        analysis.num_faults(),
+        analysis.targets.len()
+    );
+
+    let t = Instant::now();
+    let schedule = flow.schedule(&analysis, Solver::Ilp);
+    println!(
+        "schedule:  {:>8.2?}  ({} freqs, {} apps)",
+        t.elapsed(),
+        schedule.num_frequencies(),
+        schedule.num_applications()
+    );
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! `fastmon` — command-line front end for the monitor-assisted FAST flow.
+//!
+//! ```text
+//! fastmon profiles
+//! fastmon generate s13207 --scale 0.1 --seed 1 -o s13207_small.bench
+//! fastmon stats circuit.bench
+//! fastmon sdf circuit.bench --seed 1
+//! fastmon flow circuit.bench --patterns 64 --solver ilp
+//! ```
+
+use std::process::ExitCode;
+
+use fastmon::core::{FlowConfig, HdfTestFlow, Solver};
+use fastmon::netlist::generate::{paper_suite, CircuitProfile};
+use fastmon::netlist::{bench, Circuit, CircuitStats};
+use fastmon::timing::{sdf, ClockSpec, DelayAnnotation, DelayModel, Sta};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("profiles") => cmd_profiles(),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("sdf") => cmd_sdf(&args[1..]),
+        Some("flow") => cmd_flow(&args[1..]),
+        Some("--help" | "-h") | None => {
+            usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}` (try --help)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "fastmon — hidden-delay-fault FAST with programmable delay monitors\n\
+         \n\
+         USAGE:\n\
+         \u{20}  fastmon profiles                         list built-in circuit profiles\n\
+         \u{20}  fastmon generate <profile> [opts]        generate a synthetic stand-in\n\
+         \u{20}      --scale <f>   size factor (default 1.0)\n\
+         \u{20}      --seed <n>    generator seed (default 1)\n\
+         \u{20}      -o <file>     write .bench (default: stdout)\n\
+         \u{20}  fastmon stats <file.bench>               circuit + timing statistics\n\
+         \u{20}  fastmon sdf <file.bench> [--seed <n>]    emit an SDF delay annotation\n\
+         \u{20}  fastmon flow <file.bench> [opts]         run the full HDF test flow\n\
+         \u{20}      --patterns <n>  pattern budget (default: ATPG decides)\n\
+         \u{20}      --solver <s>    ilp | greedy | conv (default ilp)\n\
+         \u{20}      --seed <n>      flow seed (default 1)"
+    );
+}
+
+fn opt_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    args.windows(2)
+        .find(|w| w[0] == key)
+        .map(|w| w[1].as_str())
+}
+
+fn parse_opt<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
+    match opt_value(args, key) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value `{v}` for {key}")),
+        None => Ok(default),
+    }
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("circuit")
+        .to_owned();
+    bench::parse(&text, name).map_err(|e| e.to_string())
+}
+
+fn cmd_profiles() -> Result<(), String> {
+    println!("{:<8} {:>8} {:>6} {:>5} {:>5} {:>6} {:>5}", "name", "gates", "FFs", "PIs", "POs", "|P|", "depth");
+    for p in paper_suite() {
+        println!(
+            "{:<8} {:>8} {:>6} {:>5} {:>5} {:>6} {:>5}",
+            p.name, p.gates, p.flip_flops, p.inputs, p.outputs, p.pattern_budget, p.depth
+        );
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("generate needs a profile name (see `fastmon profiles`)")?;
+    let profile = CircuitProfile::named(name).ok_or_else(|| format!("unknown profile `{name}`"))?;
+    let scale: f64 = parse_opt(args, "--scale", 1.0)?;
+    let seed: u64 = parse_opt(args, "--seed", 1)?;
+    let circuit = profile
+        .scaled(scale)
+        .generate(seed)
+        .map_err(|e| e.to_string())?;
+    let text = bench::to_string(&circuit);
+    match opt_value(args, "-o") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("wrote {} ({})", path, CircuitStats::of(&circuit));
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("stats needs a .bench file")?;
+    let circuit = load_circuit(path)?;
+    let stats = CircuitStats::of(&circuit);
+    println!("{}: {stats}", circuit.name());
+    let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+    let sta = Sta::analyze(&circuit, &annot);
+    let clock = ClockSpec::from_sta(&sta, 3.0);
+    println!(
+        "nominal timing: cpl = {:.1} ps, t_nom = {:.1} ps, FAST window down to {:.1} ps",
+        sta.critical_path_length(),
+        clock.t_nom,
+        clock.t_min
+    );
+    Ok(())
+}
+
+fn cmd_sdf(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("sdf needs a .bench file")?;
+    let seed: u64 = parse_opt(args, "--seed", 1)?;
+    let circuit = load_circuit(path)?;
+    let annot = DelayAnnotation::with_variation(&circuit, &DelayModel::nangate45_like(), 0.2, seed);
+    print!("{}", sdf::to_string(&circuit, &annot));
+    Ok(())
+}
+
+fn cmd_flow(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("flow needs a .bench file")?;
+    let circuit = load_circuit(path)?;
+    let seed: u64 = parse_opt(args, "--seed", 1)?;
+    let budget: usize = parse_opt(args, "--patterns", 0)?;
+    let solver = match opt_value(args, "--solver").unwrap_or("ilp") {
+        "ilp" => Solver::Ilp,
+        "greedy" => Solver::Greedy,
+        "conv" => Solver::Conventional,
+        other => return Err(format!("unknown solver `{other}`")),
+    };
+
+    let config = FlowConfig { seed, ..FlowConfig::default() };
+    let flow = HdfTestFlow::prepare(&circuit, &config);
+    let counts = flow.counts();
+    println!(
+        "{}: {} — |M| = {}, t_nom = {:.1} ps",
+        circuit.name(),
+        CircuitStats::of(&circuit),
+        flow.placement().count(),
+        flow.clock().t_nom
+    );
+    println!(
+        "faults: {} initial, {} at-speed, {} redundant, {} candidates",
+        counts.initial, counts.at_speed_detectable, counts.timing_redundant, counts.candidates
+    );
+    let patterns = flow.generate_patterns((budget > 0).then_some(budget));
+    println!("patterns: |P| = {}", patterns.len());
+    let analysis = flow.analyze(&patterns);
+    println!(
+        "detected: conv {} / prop {}, targets |Φ_tar| = {}",
+        analysis.detected_conv(),
+        analysis.detected_prop(),
+        analysis.targets.len()
+    );
+    let schedule = flow.schedule(&analysis, solver);
+    println!(
+        "schedule ({:?}): {} frequencies, {} applications",
+        solver,
+        schedule.num_frequencies(),
+        schedule.num_applications()
+    );
+    for entry in &schedule.entries {
+        println!(
+            "  @ {:8.1} ps ({:.2}·f_nom): {:>4} applications, {:>5} faults",
+            entry.period,
+            flow.clock().t_nom / entry.period,
+            entry.applications.len(),
+            entry.faults.len()
+        );
+    }
+    Ok(())
+}

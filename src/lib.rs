@@ -1,0 +1,55 @@
+//! # fastmon
+//!
+//! A Rust reproduction of **"Using Programmable Delay Monitors for Wear-Out
+//! and Early Life Failure Prediction"** (Liu, Schneider, Wunderlich — DATE
+//! 2020): hidden-delay-fault testing with Faster-than-At-Speed Test (FAST)
+//! and on-chip programmable delay monitors, including the two-step 0-1 ILP
+//! test-schedule optimization.
+//!
+//! This meta-crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`netlist`] | `fastmon-netlist` | gate-level circuits, `.bench` I/O, synthetic generator |
+//! | [`timing`] | `fastmon-timing` | delay models, process variation, SDF subset, STA |
+//! | [`sim`] | `fastmon-sim` | waveform-accurate simulation, fault injection |
+//! | [`faults`] | `fastmon-faults` | small-delay faults, interval sets, detection ranges |
+//! | [`monitor`] | `fastmon-monitor` | programmable delay monitors, placement, aging |
+//! | [`atpg`] | `fastmon-atpg` | transition-fault PODEM, fault simulation, compaction |
+//! | [`ilp`] | `fastmon-ilp` | exact 0-1 set-cover solver + greedy baseline |
+//! | [`core`] | `fastmon-core` | the paper's flow: analysis, discretization, scheduling |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fastmon::core::{FlowConfig, HdfTestFlow, Solver};
+//! use fastmon::netlist::library;
+//!
+//! // 1. a circuit (embedded ISCAS'89 s27; parse .bench or generate your own)
+//! let circuit = library::s27();
+//!
+//! // 2. prepare the flow: delays, clocks, monitors at long path ends
+//! let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+//!
+//! // 3. transition-fault ATPG and timing-accurate fault simulation
+//! let patterns = flow.generate_patterns(None);
+//! let analysis = flow.analyze(&patterns);
+//!
+//! // 4. optimal FAST schedule: frequencies + pattern/monitor configurations
+//! let schedule = flow.schedule(&analysis, Solver::Ilp);
+//! assert!(schedule.covers_all_targets(&analysis));
+//! println!(
+//!     "{} frequencies, {} applications",
+//!     schedule.num_frequencies(),
+//!     schedule.num_applications()
+//! );
+//! ```
+
+pub use fastmon_atpg as atpg;
+pub use fastmon_core as core;
+pub use fastmon_faults as faults;
+pub use fastmon_ilp as ilp;
+pub use fastmon_monitor as monitor;
+pub use fastmon_netlist as netlist;
+pub use fastmon_sim as sim;
+pub use fastmon_timing as timing;

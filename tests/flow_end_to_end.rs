@@ -1,0 +1,187 @@
+//! End-to-end integration tests of the full HDF test flow across all
+//! crates: netlist generation → timing → ATPG → fault simulation → monitor
+//! analysis → schedule optimization.
+
+use fastmon::core::{FlowConfig, HdfTestFlow, Solver};
+use fastmon::netlist::generate::GeneratorConfig;
+use fastmon::netlist::library;
+
+fn small_circuit(seed: u64) -> fastmon::netlist::Circuit {
+    GeneratorConfig::new(format!("it{seed}"))
+        .inputs(10)
+        .outputs(5)
+        .flip_flops(24)
+        .gates(260)
+        .depth(12)
+        .generate(seed)
+        .expect("valid generator config")
+}
+
+#[test]
+fn full_pipeline_s27() {
+    let circuit = library::s27();
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(None);
+    let analysis = flow.analyze(&patterns);
+    let schedule = flow.schedule(&analysis, Solver::Ilp);
+    assert!(schedule.covers_all_targets(&analysis));
+    // counters are consistent
+    let counts = flow.counts();
+    assert_eq!(
+        counts.initial,
+        counts.at_speed_detectable + counts.timing_redundant + counts.candidates
+    );
+    assert_eq!(analysis.num_faults(), counts.sampled);
+}
+
+#[test]
+fn monitors_never_reduce_detection() {
+    for seed in [1u64, 2, 3] {
+        let circuit = small_circuit(seed);
+        let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+        let patterns = flow.generate_patterns(Some(32));
+        let analysis = flow.analyze(&patterns);
+        assert!(
+            analysis.detected_prop() >= analysis.detected_conv(),
+            "seed {seed}: prop {} < conv {}",
+            analysis.detected_prop(),
+            analysis.detected_conv()
+        );
+        // every conv-detected fault is also prop-detected
+        for v in &analysis.verdicts {
+            assert!(!v.detected_conv || v.detected_prop);
+        }
+    }
+}
+
+#[test]
+fn ilp_solver_never_worse_than_greedy() {
+    let circuit = small_circuit(7);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(32));
+    let analysis = flow.analyze(&patterns);
+    let greedy = flow.select_frequencies_only(&analysis, Solver::Greedy, 0);
+    let ilp = flow.select_frequencies_only(&analysis, Solver::Ilp, 0);
+    assert!(ilp.periods.len() <= greedy.periods.len());
+    // both must cover all targets
+    assert_eq!(greedy.covered.len(), analysis.targets.len());
+    assert_eq!(ilp.covered.len(), analysis.targets.len());
+}
+
+#[test]
+fn schedules_are_verified_against_the_analysis() {
+    let circuit = small_circuit(11);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(32));
+    let analysis = flow.analyze(&patterns);
+    let schedule = flow.schedule(&analysis, Solver::Ilp);
+    assert!(schedule.covers_all_targets(&analysis));
+
+    // every assigned fault must actually be detected by one of the entry's
+    // applications at the entry's period
+    for entry in &schedule.entries {
+        for &fault in &entry.faults {
+            let detected = entry.applications.iter().any(|&(p, c)| {
+                analysis.detected_at(
+                    fault,
+                    p as usize,
+                    c,
+                    entry.period,
+                    flow.placement(),
+                    flow.configs(),
+                    flow.clock(),
+                )
+            });
+            assert!(
+                detected,
+                "fault {fault} not detected at period {}",
+                entry.period
+            );
+        }
+    }
+}
+
+#[test]
+fn coverage_relaxation_shrinks_schedules() {
+    let circuit = small_circuit(13);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(32));
+    let analysis = flow.analyze(&patterns);
+    let mut prev_f = usize::MAX;
+    let mut prev_s = usize::MAX;
+    for cov in [1.0, 0.99, 0.95, 0.9, 0.8] {
+        let s = flow.schedule_with_coverage(&analysis, Solver::Ilp, cov);
+        assert!(s.num_frequencies() <= prev_f, "cov {cov}");
+        // application count may fluctuate slightly with frequency choice,
+        // but is bounded by the previous level plus nothing
+        assert!(s.num_applications() <= prev_s, "cov {cov}");
+        let covered: usize = s.entries.iter().map(|e| e.faults.len()).sum();
+        assert!(covered as f64 >= (cov - 1e-9) * analysis.targets.len() as f64 - 1.0);
+        prev_f = s.num_frequencies();
+        prev_s = s.num_applications();
+    }
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let circuit = small_circuit(17);
+    let run = || {
+        let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+        let patterns = flow.generate_patterns(Some(24));
+        let analysis = flow.analyze(&patterns);
+        let schedule = flow.schedule(&analysis, Solver::Ilp);
+        (
+            analysis.detected_conv(),
+            analysis.detected_prop(),
+            analysis.targets.len(),
+            schedule.num_frequencies(),
+            schedule.num_applications(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn broadside_patterns_drive_the_flow_too() {
+    let circuit = small_circuit(19);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let broadside = flow.generate_patterns_broadside(Some(32));
+    assert!(!broadside.is_empty());
+    for p in broadside.iter() {
+        assert!(fastmon::atpg::broadside::is_broadside_consistent(
+            &circuit, &broadside, p
+        ));
+    }
+    let analysis = flow.analyze(&broadside);
+    let schedule = flow.schedule(&analysis, Solver::Ilp);
+    assert!(schedule.covers_all_targets(&analysis));
+    // the enhanced-scan set detects at least as much
+    let enhanced = flow.generate_patterns(Some(32));
+    let enhanced_analysis = flow.analyze(&enhanced);
+    assert!(enhanced_analysis.detected_prop() + 8 >= analysis.detected_prop());
+}
+
+#[test]
+fn fig3_series_has_paper_shape() {
+    // register-dominated stand-in: monitors must visibly lift coverage
+    let circuit = GeneratorConfig::new("fig3it")
+        .inputs(12)
+        .outputs(6)
+        .flip_flops(48)
+        .gates(500)
+        .depth(16)
+        .shallow_capture_fraction(0.45)
+        .generate(3)
+        .expect("valid generator config");
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(48));
+    let analysis = flow.analyze(&patterns);
+    let factors: Vec<f64> = (10..=30).map(|i| f64::from(i) / 10.0).collect();
+    let series = flow.coverage_vs_fmax(&analysis, &factors);
+    let last = series.last().expect("non-empty series");
+    let first = series.first().expect("non-empty series");
+    // coverage grows with f_max; monitors dominate conventional FAST
+    assert!(last.conv_coverage > first.conv_coverage);
+    assert!(last.prop_coverage >= last.conv_coverage + 0.1,
+        "monitor gain too small: prop {} conv {}", last.prop_coverage, last.conv_coverage);
+}

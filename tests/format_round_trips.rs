@@ -1,0 +1,72 @@
+//! Serialization round trips across crates: generated circuits survive
+//! `.bench` text, annotations survive the SDF subset.
+
+use fastmon::netlist::generate::{paper_suite, GeneratorConfig};
+use fastmon::netlist::{bench, CircuitStats};
+use fastmon::timing::{sdf, DelayAnnotation, DelayModel, Sta};
+
+#[test]
+fn generated_circuits_round_trip_through_bench() {
+    for seed in 0..5u64 {
+        let circuit = GeneratorConfig::new(format!("rt{seed}"))
+            .gates(150 + 40 * seed as usize)
+            .flip_flops(12)
+            .inputs(8)
+            .outputs(4)
+            .depth(8 + seed as u32)
+            .generate(seed)
+            .expect("valid generator config");
+        let text = bench::to_string(&circuit);
+        let parsed = bench::parse(&text, circuit.name()).expect("own output parses");
+        assert_eq!(CircuitStats::of(&parsed), CircuitStats::of(&circuit), "seed {seed}");
+        // same topology: every node, same kind and fanin names
+        for (id, node) in circuit.iter() {
+            let pid = parsed.find(node.name()).expect("node survives");
+            assert_eq!(parsed.node(pid).kind(), node.kind());
+            let orig: Vec<&str> = node.fanins().iter().map(|&f| circuit.node(f).name()).collect();
+            let back: Vec<&str> =
+                parsed.node(pid).fanins().iter().map(|&f| parsed.node(f).name()).collect();
+            assert_eq!(orig, back, "fanins of {} seed {seed}", circuit.node(id).name());
+        }
+    }
+}
+
+#[test]
+fn scaled_profiles_round_trip_through_bench() {
+    for profile in paper_suite().iter().take(3) {
+        let small = profile.scaled(0.02);
+        let circuit = small.generate(1).expect("scaled profile generates");
+        let text = bench::to_string(&circuit);
+        let parsed = bench::parse(&text, circuit.name()).expect("parses");
+        assert_eq!(parsed.len(), circuit.len());
+    }
+}
+
+#[test]
+fn sdf_round_trip_preserves_sta() {
+    let circuit = GeneratorConfig::new("sdf_rt")
+        .gates(200)
+        .flip_flops(16)
+        .inputs(8)
+        .outputs(4)
+        .depth(10)
+        .generate(3)
+        .expect("valid generator config");
+    let annot = DelayAnnotation::with_variation(&circuit, &DelayModel::nangate45_like(), 0.2, 7);
+    let text = sdf::to_string(&circuit, &annot);
+    let parsed = sdf::parse(&text, &circuit, 0.2).expect("own output parses");
+
+    // identical static timing from the round-tripped annotation
+    let before = Sta::analyze(&circuit, &annot);
+    let after = Sta::analyze(&circuit, &parsed);
+    assert!(
+        (before.critical_path_length() - after.critical_path_length()).abs() < 1e-2,
+        "cpl drifted: {} vs {}",
+        before.critical_path_length(),
+        after.critical_path_length()
+    );
+    for id in circuit.node_ids() {
+        assert!((annot.rise(id) - parsed.rise(id)).abs() < 1e-3);
+        assert!((annot.fall(id) - parsed.fall(id)).abs() < 1e-3);
+    }
+}

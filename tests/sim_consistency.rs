@@ -1,0 +1,154 @@
+//! Cross-crate consistency: the timing-accurate waveform simulator, the
+//! zero-delay steady-state evaluator and the bit-parallel ATPG grader must
+//! agree wherever their domains overlap.
+
+use fastmon::atpg::{transition_faults, TestPattern, TestSet, WordSim};
+use fastmon::netlist::generate::GeneratorConfig;
+use fastmon::netlist::{library, Circuit};
+use fastmon::sim::SimEngine;
+use fastmon::timing::{DelayAnnotation, DelayModel};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_patterns(circuit: &Circuit, n: usize, seed: u64) -> TestSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut set = TestSet::new(circuit);
+    let w = set.sources().len();
+    for _ in 0..n {
+        set.push(TestPattern::new(
+            (0..w).map(|_| rng.gen()).collect(),
+            (0..w).map(|_| rng.gen()).collect(),
+        ));
+    }
+    set
+}
+
+/// The waveform simulator's settled values equal the zero-delay evaluation
+/// of the capture vector, on every net, for many random circuits/patterns.
+#[test]
+fn waveforms_settle_to_steady_state() {
+    for seed in 0..4u64 {
+        let circuit = GeneratorConfig::new(format!("sim{seed}"))
+            .gates(180)
+            .flip_flops(16)
+            .inputs(8)
+            .outputs(4)
+            .depth(10)
+            .generate(seed)
+            .expect("valid generator config");
+        let annot =
+            DelayAnnotation::with_variation(&circuit, &DelayModel::nangate45_like(), 0.2, seed);
+        let engine = SimEngine::new(&circuit, &annot);
+        let patterns = random_patterns(&circuit, 8, seed);
+        for i in 0..patterns.len() {
+            let stim = patterns.stimulus(&circuit, i);
+            let result = engine.simulate(&stim);
+            let steady = circuit.eval_steady(|id| stim.capture(id));
+            for id in circuit.node_ids() {
+                assert_eq!(
+                    result.wave(id).final_value(),
+                    steady[id.index()],
+                    "net {} pattern {i} seed {seed}",
+                    circuit.node(id).name()
+                );
+            }
+        }
+    }
+}
+
+/// Zero-delay transition-fault detection (bit-parallel grader) must agree
+/// with an independent scalar re-computation.
+#[test]
+fn wordsim_agrees_with_scalar_fault_insertion() {
+    let circuit = library::s27();
+    let patterns = random_patterns(&circuit, 40, 5);
+    let ws = WordSim::new(&circuit, &patterns);
+    let faults = transition_faults(&circuit);
+    let sources = TestSet::source_order(&circuit);
+
+    for fault in &faults {
+        for p in 0..patterns.len() {
+            let fast = ws.detect_word(fault, p / 64) >> (p % 64) & 1 == 1;
+            // scalar reference
+            let pat = patterns.pattern(p);
+            let assigned = |bits: &Vec<bool>| {
+                let bits = bits.clone();
+                let sources = sources.clone();
+                move |id: fastmon::netlist::NodeId| {
+                    sources.iter().position(|&s| s == id).map(|k| bits[k]).unwrap_or(false)
+                }
+            };
+            let v1 = circuit.eval_steady(assigned(&pat.launch));
+            let v2 = circuit.eval_steady(assigned(&pat.capture));
+            let launch_ok = v1[fault.gate.index()] == fault.initial_value()
+                && v2[fault.gate.index()] == fault.final_value();
+            let slow = {
+                // stuck-at-initial on the capture vector
+                let mut faulty = vec![false; circuit.len()];
+                for &id in circuit.topo_order() {
+                    let node = circuit.node(id);
+                    faulty[id.index()] = if id == fault.gate {
+                        fault.initial_value()
+                    } else {
+                        match node.kind() {
+                            fastmon::netlist::GateKind::Input
+                            | fastmon::netlist::GateKind::Dff => assigned(&pat.capture)(id),
+                            kind if kind.is_combinational() => {
+                                let ins: Vec<bool> = node
+                                    .fanins()
+                                    .iter()
+                                    .map(|&fi| faulty[fi.index()])
+                                    .collect();
+                                kind.eval(&ins)
+                            }
+                            kind => kind.eval(&[]),
+                        }
+                    };
+                }
+                circuit
+                    .observe_points()
+                    .iter()
+                    .any(|op| faulty[op.driver.index()] != v2[op.driver.index()])
+            };
+            assert_eq!(fast, launch_ok && slow, "{fault} pattern {p}");
+        }
+    }
+}
+
+/// Transition-fault detection in the zero-delay grader implies that the
+/// timing simulator sees a *final-value* difference at capture time ∞ for
+/// an infinitely slow fault — sanity link between the two fault models.
+#[test]
+fn graded_detection_shows_up_in_waveforms() {
+    let circuit = library::s27();
+    let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+    let engine = SimEngine::new(&circuit, &annot);
+    let patterns = random_patterns(&circuit, 32, 9);
+    let ws = WordSim::new(&circuit, &patterns);
+
+    for fault in transition_faults(&circuit) {
+        for p in 0..patterns.len() {
+            if ws.detect_word(&fault, p / 64) >> (p % 64) & 1 != 1 {
+                continue;
+            }
+            // a small-delay fault with a huge delta at the same site must
+            // produce a response difference under the timing simulator
+            let stim = patterns.stimulus(&circuit, p);
+            let base = engine.simulate(&stim);
+            let sdf = fastmon::faults::SmallDelayFault::new(
+                fastmon::netlist::PinRef::Output(fault.gate),
+                if fault.rising {
+                    fastmon::faults::Polarity::SlowToRise
+                } else {
+                    fastmon::faults::Polarity::SlowToFall
+                },
+                1e6, // effectively a transition fault
+            );
+            let diffs = engine.response_diff(&base, &sdf, 1e7);
+            assert!(
+                !diffs.is_empty(),
+                "{fault} detected by grader but silent in waveform sim (pattern {p})"
+            );
+        }
+    }
+}
