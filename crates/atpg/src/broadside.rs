@@ -130,7 +130,11 @@ impl TimeFrameExpansion {
         for &ff in circuit.flip_flops() {
             let d_node = circuit.node(ff).fanins()[0];
             let d_net = self::frame_net(circuit, d_node, &f2);
-            b.add(f2(circuit.node(ff).name()), GateKind::Dff, &[d_net.as_str()]);
+            b.add(
+                f2(circuit.node(ff).name()),
+                GateKind::Dff,
+                &[d_net.as_str()],
+            );
         }
         for &po in circuit.outputs() {
             b.mark_output(self::frame_net(circuit, po, &f2));
@@ -212,10 +216,9 @@ pub fn is_broadside_consistent(circuit: &Circuit, set: &TestSet, pattern: &TestP
     let launch_values = circuit.eval_steady(assigned(&pattern.launch));
     for (k, &src) in sources.iter().enumerate() {
         match circuit.node(src).kind() {
-            GateKind::Input
-                if pattern.capture[k] != pattern.launch[k] => {
-                    return false;
-                }
+            GateKind::Input if pattern.capture[k] != pattern.launch[k] => {
+                return false;
+            }
             GateKind::Dff => {
                 let d = circuit.node(src).fanins()[0];
                 if pattern.capture[k] != launch_values[d.index()] {
@@ -357,7 +360,9 @@ pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult 
         }
     }
 
-    let detected = (0..faults.len()).filter(|&f| matrix.fault_detected(f)).count();
+    let detected = (0..faults.len())
+        .filter(|&f| matrix.fault_detected(f))
+        .count();
     AtpgResult {
         test_set: set,
         detected,
@@ -408,7 +413,10 @@ mod tests {
             if pis.contains(&id) {
                 true
             } else {
-                ffs.iter().position(|&f| f == id).map(|k| next[k]).unwrap_or(false)
+                ffs.iter()
+                    .position(|&f| f == id)
+                    .map(|k| next[k])
+                    .unwrap_or(false)
             }
         });
         // evaluate the expansion with the same shared PIs and frame-1 state
@@ -421,8 +429,16 @@ mod tests {
             ffs.first().map(|&f| x.in_frame1(f) == id).unwrap_or(false)
         });
         for gate in c.combinational_nodes() {
-            assert_eq!(ev[x.in_frame1(gate).index()], v1[gate.index()], "frame1 {gate}");
-            assert_eq!(ev[x.in_frame2(gate).index()], v2[gate.index()], "frame2 {gate}");
+            assert_eq!(
+                ev[x.in_frame1(gate).index()],
+                v1[gate.index()],
+                "frame1 {gate}"
+            );
+            assert_eq!(
+                ev[x.in_frame2(gate).index()],
+                v2[gate.index()],
+                "frame2 {gate}"
+            );
         }
     }
 
@@ -444,7 +460,11 @@ mod tests {
         let enhanced = crate::generate(&c, &cfg);
         // s27's transition faults are hard to launch functionally; the
         // textbook broadside-vs-enhanced-scan gap shows clearly here
-        assert!(broadside.coverage() > 0.4, "coverage {}", broadside.coverage());
+        assert!(
+            broadside.coverage() > 0.4,
+            "coverage {}",
+            broadside.coverage()
+        );
         assert!(
             broadside.detected <= enhanced.detected,
             "broadside {} cannot beat enhanced scan {}",

@@ -104,9 +104,7 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
     let mut undetected: Vec<usize> = (0..faults.len()).collect();
     if !set.is_empty() {
         let ws = WordSim::new(circuit, &set);
-        undetected.retain(|&f| {
-            !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0)
-        });
+        undetected.retain(|&f| !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0));
     }
 
     // --- deterministic phase ----------------------------------------------
@@ -115,23 +113,20 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
     let mut pending: Vec<TestPattern> = Vec::new();
     let mut still_undetected = Vec::new();
 
-    let flush =
-        |pending: &mut Vec<TestPattern>, undetected: &mut Vec<usize>, set: &mut TestSet| {
-            if pending.is_empty() {
-                return;
-            }
-            let mut chunk = TestSet::new(circuit);
-            for p in pending.iter().cloned() {
-                chunk.push(p);
-            }
-            let ws = WordSim::new(circuit, &chunk);
-            undetected.retain(|&f| {
-                !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0)
-            });
-            for p in pending.drain(..) {
-                set.push(p);
-            }
-        };
+    let flush = |pending: &mut Vec<TestPattern>, undetected: &mut Vec<usize>, set: &mut TestSet| {
+        if pending.is_empty() {
+            return;
+        }
+        let mut chunk = TestSet::new(circuit);
+        for p in pending.iter().cloned() {
+            chunk.push(p);
+        }
+        let ws = WordSim::new(circuit, &chunk);
+        undetected.retain(|&f| !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0));
+        for p in pending.drain(..) {
+            set.push(p);
+        }
+    };
 
     let worklist = undetected.clone();
     undetected.clear();
@@ -162,7 +157,9 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
         match (launch, capture) {
             (PodemOutcome::Test(l), PodemOutcome::Test(c)) => {
                 let fill = |bits: Vec<Option<bool>>, rng: &mut ChaCha8Rng| -> Vec<bool> {
-                    bits.into_iter().map(|b| b.unwrap_or_else(|| rng.gen())).collect()
+                    bits.into_iter()
+                        .map(|b| b.unwrap_or_else(|| rng.gen()))
+                        .collect()
                 };
                 let pattern = TestPattern::new(fill(l, &mut rng), fill(c, &mut rng));
                 pending.push(pattern);
@@ -172,9 +169,7 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
                     let mut undet: Vec<usize> =
                         (0..faults.len()).filter(|&g| remaining[g]).collect();
                     flush(&mut pending, &mut undet, &mut set);
-                    for g in 0..faults.len() {
-                        remaining[g] = false;
-                    }
+                    remaining.fill(false);
                     for g in undet {
                         remaining[g] = true;
                     }
@@ -211,7 +206,9 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
         }
     }
 
-    let detected = (0..faults.len()).filter(|&f| matrix.fault_detected(f)).count();
+    let detected = (0..faults.len())
+        .filter(|&f| matrix.fault_detected(f))
+        .count();
     AtpgResult {
         test_set: set,
         detected,
@@ -228,8 +225,8 @@ pub(crate) fn greedy_pattern_selection(matrix: &DetectionMatrix, cap: usize) -> 
     let mut used = vec![false; matrix.num_patterns()];
     for _ in 0..cap {
         let mut best = (0usize, usize::MAX);
-        for p in 0..matrix.num_patterns() {
-            if used[p] {
+        for (p, &in_use) in used.iter().enumerate() {
+            if in_use {
                 continue;
             }
             let gain = (0..matrix.num_faults())
@@ -245,9 +242,9 @@ pub(crate) fn greedy_pattern_selection(matrix: &DetectionMatrix, cap: usize) -> 
         }
         used[p] = true;
         chosen.push(p);
-        for f in 0..matrix.num_faults() {
+        for (f, cov) in covered.iter_mut().enumerate() {
             if matrix.detects(f, p) {
-                covered[f] = true;
+                *cov = true;
             }
         }
     }
@@ -274,7 +271,11 @@ mod tests {
     fn s27_high_efficiency() {
         let c = library::s27();
         let r = generate(&c, &AtpgConfig::default());
-        assert!(r.fault_efficiency() > 0.99, "efficiency {}", r.fault_efficiency());
+        assert!(
+            r.fault_efficiency() > 0.99,
+            "efficiency {}",
+            r.fault_efficiency()
+        );
         assert!(r.detected + r.untestable >= 19);
         assert!(!r.test_set.is_empty());
     }
@@ -325,8 +326,20 @@ mod tests {
     #[test]
     fn deterministic_in_seed() {
         let c = library::s27();
-        let a = generate(&c, &AtpgConfig { seed: 9, ..AtpgConfig::default() });
-        let b = generate(&c, &AtpgConfig { seed: 9, ..AtpgConfig::default() });
+        let a = generate(
+            &c,
+            &AtpgConfig {
+                seed: 9,
+                ..AtpgConfig::default()
+            },
+        );
+        let b = generate(
+            &c,
+            &AtpgConfig {
+                seed: 9,
+                ..AtpgConfig::default()
+            },
+        );
         assert_eq!(a.test_set, b.test_set);
         assert_eq!(a.detected, b.detected);
     }

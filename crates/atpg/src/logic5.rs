@@ -113,7 +113,10 @@ pub fn eval5(kind: GateKind, inputs: &[V5]) -> V5 {
             GateKind::Const1 => return Some(true),
             _ => {}
         }
-        if matches!(kind, GateKind::Buf | GateKind::Not | GateKind::Input | GateKind::Dff) {
+        if matches!(
+            kind,
+            GateKind::Buf | GateKind::Not | GateKind::Input | GateKind::Dff
+        ) {
             let v = side(inputs[0]);
             return match kind {
                 GateKind::Not => v.map(|b| !b),
@@ -207,13 +210,7 @@ mod tests {
 
     #[test]
     fn wide_gates() {
-        assert_eq!(
-            eval5(GateKind::Nor, &[V5::Zero, V5::Zero, V5::D]),
-            V5::Db
-        );
-        assert_eq!(
-            eval5(GateKind::Or, &[V5::Zero, V5::X, V5::Db]),
-            V5::X
-        );
+        assert_eq!(eval5(GateKind::Nor, &[V5::Zero, V5::Zero, V5::D]), V5::Db);
+        assert_eq!(eval5(GateKind::Or, &[V5::Zero, V5::X, V5::Db]), V5::X);
     }
 }

@@ -33,11 +33,7 @@ impl DetectionMatrix {
         let ws = WordSim::new(circuit, set);
         let rows = faults
             .iter()
-            .map(|f| {
-                (0..ws.num_blocks())
-                    .map(|b| ws.detect_word(f, b))
-                    .collect()
-            })
+            .map(|f| (0..ws.num_blocks()).map(|b| ws.detect_word(f, b)).collect())
             .collect();
         DetectionMatrix {
             rows,
@@ -108,10 +104,10 @@ impl DetectionMatrix {
         let mut kept = Vec::new();
         for p in (0..self.num_patterns).rev() {
             let mut useful = false;
-            for f in 0..self.num_faults() {
-                if remaining[f] && self.detects(f, p) {
+            for (f, rem) in remaining.iter_mut().enumerate() {
+                if *rem && self.detects(f, p) {
                     useful = true;
-                    remaining[f] = false;
+                    *rem = false;
                 }
             }
             if useful {

@@ -80,12 +80,7 @@ pub fn podem_with_side_objective(
 /// Generates a vector that justifies `value` at `node` (no fault
 /// propagation) — used to build the launch vector of a transition test.
 #[must_use]
-pub fn justify(
-    circuit: &Circuit,
-    node: NodeId,
-    value: bool,
-    max_backtracks: u32,
-) -> PodemOutcome {
+pub fn justify(circuit: &Circuit, node: NodeId, value: bool, max_backtracks: u32) -> PodemOutcome {
     Engine::new(circuit, Goal::Justify(node, value), max_backtracks).run()
 }
 
@@ -179,9 +174,8 @@ impl<'c> Engine<'c> {
         match self.goal {
             Goal::Justify(node, value) => self.values[node.index()] == V5::from_bool(value),
             Goal::Detect(_, side) => {
-                let side_ok = side.is_none_or(|(node, value)| {
-                    self.values[node.index()].good() == Some(value)
-                });
+                let side_ok = side
+                    .is_none_or(|(node, value)| self.values[node.index()].good() == Some(value));
                 side_ok
                     && self
                         .circuit
@@ -231,7 +225,11 @@ impl<'c> Engine<'c> {
             let mark = if v.is_fault_effect() {
                 true
             } else if v == V5::X {
-                self.circuit.node(id).fanins().iter().any(|&fi| reachable[fi.index()])
+                self.circuit
+                    .node(id)
+                    .fanins()
+                    .iter()
+                    .any(|&fi| reachable[fi.index()])
             } else {
                 false
             };
@@ -428,7 +426,10 @@ mod tests {
         let c = library::c17();
         for id in c.node_ids() {
             for stuck in [false, true] {
-                let fault = StuckAtFault { node: id, stuck_at: stuck };
+                let fault = StuckAtFault {
+                    node: id,
+                    stuck_at: stuck,
+                };
                 match podem(&c, &fault, 10_000) {
                     PodemOutcome::Test(t) => check_detects(&c, &fault, &t),
                     other => panic!("c17 {fault:?} should be testable, got {other:?}"),
@@ -446,7 +447,10 @@ mod tests {
                 continue;
             }
             for stuck in [false, true] {
-                let fault = StuckAtFault { node: id, stuck_at: stuck };
+                let fault = StuckAtFault {
+                    node: id,
+                    stuck_at: stuck,
+                };
                 match podem(&c, &fault, 50_000) {
                     PodemOutcome::Test(t) => {
                         check_detects(&c, &fault, &t);
@@ -469,10 +473,16 @@ mod tests {
         b.add("y", GateKind::Or, &["a", "na"]);
         b.mark_output("y");
         let c = b.finish().unwrap();
-        let fault = StuckAtFault { node: c.find("y").unwrap(), stuck_at: true };
+        let fault = StuckAtFault {
+            node: c.find("y").unwrap(),
+            stuck_at: true,
+        };
         assert_eq!(podem(&c, &fault, 10_000), PodemOutcome::Untestable);
         // ...but s-a-0 is testable by any vector
-        let fault = StuckAtFault { node: c.find("y").unwrap(), stuck_at: false };
+        let fault = StuckAtFault {
+            node: c.find("y").unwrap(),
+            stuck_at: false,
+        };
         assert!(matches!(podem(&c, &fault, 10_000), PodemOutcome::Test(_)));
     }
 
@@ -522,10 +532,16 @@ mod tests {
         b.mark_output("y");
         b.mark_output("z");
         let c = b.finish().unwrap();
-        let fault = StuckAtFault { node: c.find("y").unwrap(), stuck_at: false };
+        let fault = StuckAtFault {
+            node: c.find("y").unwrap(),
+            stuck_at: false,
+        };
         let t = podem(&c, &fault, 100).test().unwrap();
         let sources = TestSet::source_order(&c);
-        let b_pos = sources.iter().position(|&s| s == c.find("b").unwrap()).unwrap();
+        let b_pos = sources
+            .iter()
+            .position(|&s| s == c.find("b").unwrap())
+            .unwrap();
         assert_eq!(t[b_pos], None, "b is a don't care");
     }
 }

@@ -50,7 +50,10 @@ pub fn transition_faults(circuit: &Circuit) -> Vec<TransitionFault> {
     let mut out = Vec::with_capacity(2 * circuit.len());
     for gate in circuit.combinational_nodes() {
         out.push(TransitionFault { gate, rising: true });
-        out.push(TransitionFault { gate, rising: false });
+        out.push(TransitionFault {
+            gate,
+            rising: false,
+        });
     }
     out
 }

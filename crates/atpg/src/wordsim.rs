@@ -278,7 +278,11 @@ mod tests {
             gate: c.find("N10").unwrap(),
             rising: true,
         };
-        assert_eq!(ws.detect_word(&str_n10, 0), 0, "no rising transition at N10");
+        assert_eq!(
+            ws.detect_word(&str_n10, 0),
+            0,
+            "no rising transition at N10"
+        );
     }
 
     #[test]

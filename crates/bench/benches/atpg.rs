@@ -4,7 +4,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fastmon_atpg::{podem, transition_faults, AtpgConfig, StuckAtFault, TestPattern, TestSet, WordSim};
+use fastmon_atpg::{
+    podem, transition_faults, AtpgConfig, StuckAtFault, TestPattern, TestSet, WordSim,
+};
 use fastmon_netlist::generate::GeneratorConfig;
 use fastmon_netlist::library;
 use rand::prelude::*;
@@ -58,7 +60,10 @@ fn bench_atpg(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(podem(
                 &s27,
-                &StuckAtFault { node: target, stuck_at: false },
+                &StuckAtFault {
+                    node: target,
+                    stuck_at: false,
+                },
                 1000,
             ))
         })

@@ -22,10 +22,10 @@ fn random_ranges(n: usize, seed: u64) -> Vec<IntervalSet> {
 fn bench_discretize(c: &mut Criterion) {
     for n in [100usize, 1000] {
         let ranges = random_ranges(n, 42);
-        c.bench_function(&format!("discretize/candidates_{n}"), |b| {
+        c.bench_function(format!("discretize/candidates_{n}"), |b| {
             b.iter(|| std::hint::black_box(discretize(&ranges)))
         });
-        c.bench_function(&format!("discretize/elementary_{n}"), |b| {
+        c.bench_function(format!("discretize/elementary_{n}"), |b| {
             b.iter(|| std::hint::black_box(elementary_intervals(&ranges)))
         });
     }

@@ -34,6 +34,19 @@ fn bench_flow(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(flow.analyze(&patterns)))
     });
 
+    // thread scaling of the fault-simulation campaign: same circuit and
+    // patterns, explicit worker counts
+    for threads in [1usize, 4, 8] {
+        let config = FlowConfig {
+            threads,
+            ..FlowConfig::default()
+        };
+        let flow_t = HdfTestFlow::prepare(&small, &config);
+        c.bench_function(format!("flow/analyze_300g_48p_t{threads}"), |b| {
+            b.iter(|| std::hint::black_box(flow_t.analyze(&patterns)))
+        });
+    }
+
     let analysis = flow.analyze(&patterns);
     c.bench_function("flow/schedule_ilp_300g", |b| {
         b.iter(|| std::hint::black_box(flow.schedule(&analysis, Solver::Ilp)))

@@ -25,9 +25,7 @@ fn bench_interval(c: &mut Criterion) {
     });
     c.bench_function("interval/shift_clip_filter", |bench| {
         bench.iter(|| {
-            std::hint::black_box(
-                a.shifted(100.0).clipped(150.0, 900.0).filter_glitches(2.0),
-            )
+            std::hint::black_box(a.shifted(100.0).clipped(150.0, 900.0).filter_glitches(2.0))
         })
     });
     c.bench_function("interval/contains", |bench| {

@@ -101,7 +101,10 @@ fn main() {
             schedule.num_applications().to_string(),
         ]);
     }
-    print_table(&["elements", "|C|", "prop.", "|Φ_tar|", "|F|", "|S|"], &rows);
+    print_table(
+        &["elements", "|C|", "prop.", "|Φ_tar|", "|F|", "|S|"],
+        &rows,
+    );
 
     // --- 3. glitch threshold ------------------------------------------------
     println!("\n## glitch-filter threshold (paper: pessimistic pulse filtering)\n");

@@ -30,9 +30,12 @@ fn main() {
     );
 
     let factors: Vec<f64> = (10..=30).map(|i| f64::from(i) / 10.0).collect();
-    let series = with_run(&profile, scale, &config, |flow, _patterns, analysis, _run| {
-        flow.coverage_vs_fmax(analysis, &factors)
-    });
+    let series = with_run(
+        &profile,
+        scale,
+        &config,
+        |flow, _patterns, analysis, _run| flow.coverage_vs_fmax(analysis, &factors),
+    );
 
     println!("f_max/f_nom, conv_coverage, prop_coverage");
     for p in &series {

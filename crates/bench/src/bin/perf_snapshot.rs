@@ -1,0 +1,155 @@
+//! Performance snapshot of the fault-simulation campaign: runs `analyze()`
+//! on a paper-suite stand-in at several worker-thread counts and writes the
+//! wall-clock numbers plus the campaign counters (cones simulated, nodes
+//! pruned/converged, waveform allocations) to `BENCH_analysis.json`.
+//!
+//! Knobs (on top of the usual `FASTMON_*` variables from
+//! [`fastmon_bench::ExperimentConfig`]):
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `FASTMON_SNAPSHOT_CIRCUIT` | paper-suite profile name | `p89k` |
+//! | `FASTMON_SNAPSHOT_THREADS` | comma-separated thread counts | `1,4,8` |
+//! | `FASTMON_SNAPSHOT_OUT` | output path | `BENCH_analysis.json` |
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fastmon_bench::ExperimentConfig;
+use fastmon_core::{FlowConfig, HdfTestFlow};
+use fastmon_netlist::generate::CircuitProfile;
+use fastmon_sim::stats;
+
+struct ThreadRun {
+    threads: usize,
+    analyze_secs: f64,
+    stats: stats::CampaignStats,
+}
+
+fn main() {
+    let config = ExperimentConfig::from_env();
+    let name = std::env::var("FASTMON_SNAPSHOT_CIRCUIT").unwrap_or_else(|_| "p89k".to_owned());
+    let thread_counts: Vec<usize> = std::env::var("FASTMON_SNAPSHOT_THREADS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 8]);
+    let out_path =
+        std::env::var("FASTMON_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_analysis.json".to_owned());
+
+    let profile = CircuitProfile::named(&name)
+        .unwrap_or_else(|| panic!("unknown paper-suite profile '{name}'"));
+    let scale = (config.target_gates as f64 / profile.gates as f64).min(1.0);
+    let profile = profile.scaled(scale);
+    let circuit = profile.generate(config.seed).expect("profile generates");
+
+    println!(
+        "perf_snapshot: {name} stand-in scaled to {} gates (scale {scale:.4})",
+        profile.gates
+    );
+
+    // shared pattern set so every thread count simulates identical work
+    let base_flow = HdfTestFlow::prepare(&circuit, &config.flow_config());
+    let t = Instant::now();
+    let patterns = base_flow.generate_patterns(Some(profile.pattern_budget));
+    let atpg_secs = t.elapsed().as_secs_f64();
+    println!("  atpg: {} patterns in {atpg_secs:.2} s", patterns.len());
+
+    let mut runs: Vec<ThreadRun> = Vec::new();
+    for &threads in &thread_counts {
+        let flow_config = FlowConfig {
+            threads,
+            ..config.flow_config()
+        };
+        let flow = HdfTestFlow::prepare(&circuit, &flow_config);
+        stats::reset();
+        let t = Instant::now();
+        let analysis = flow.analyze(&patterns);
+        let analyze_secs = t.elapsed().as_secs_f64();
+        let snap = stats::snapshot();
+        println!(
+            "  threads={threads}: analyze {analyze_secs:.3} s, {} targets, \
+             {} cones simulated, {} masked, {} nodes evaluated, \
+             {} converged-skipped, {} pruned, {} allocs / {} reuses",
+            analysis.targets.len(),
+            snap.cones_simulated,
+            snap.cones_masked,
+            snap.nodes_evaluated,
+            snap.nodes_converged,
+            snap.nodes_pruned_unobserved,
+            snap.waveform_allocs,
+            snap.waveform_reuses,
+        );
+        runs.push(ThreadRun {
+            threads,
+            analyze_secs,
+            stats: snap,
+        });
+    }
+
+    if let Some(t1) = runs.iter().find(|r| r.threads == 1) {
+        for r in runs.iter().filter(|r| r.threads > 1) {
+            println!(
+                "  speedup t{} vs t1: {:.2}x",
+                r.threads,
+                t1.analyze_secs / r.analyze_secs
+            );
+        }
+    }
+
+    let json = render_json(
+        &name,
+        &profile.name,
+        profile.gates,
+        scale,
+        patterns.len(),
+        atpg_secs,
+        &runs,
+    );
+    std::fs::write(&out_path, json).expect("write snapshot file");
+    println!("wrote {out_path}");
+}
+
+/// Hand-rolled JSON (the workspace carries no serde).
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    profile: &str,
+    scaled_name: &str,
+    gates: usize,
+    scale: f64,
+    patterns: usize,
+    atpg_secs: f64,
+    runs: &[ThreadRun],
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"profile\": \"{profile}\",");
+    let _ = writeln!(s, "  \"circuit\": \"{scaled_name}\",");
+    let _ = writeln!(s, "  \"gates\": {gates},");
+    let _ = writeln!(s, "  \"scale\": {scale},");
+    let _ = writeln!(s, "  \"patterns\": {patterns},");
+    let _ = writeln!(s, "  \"atpg_secs\": {atpg_secs},");
+    let _ = writeln!(s, "  \"runs\": [");
+    for (i, r) in runs.iter().enumerate() {
+        let sep = if i + 1 < runs.len() { "," } else { "" };
+        let st = r.stats;
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"threads\": {},", r.threads);
+        let _ = writeln!(s, "      \"analyze_secs\": {},", r.analyze_secs);
+        let _ = writeln!(s, "      \"cones_simulated\": {},", st.cones_simulated);
+        let _ = writeln!(s, "      \"cones_masked\": {},", st.cones_masked);
+        let _ = writeln!(s, "      \"nodes_evaluated\": {},", st.nodes_evaluated);
+        let _ = writeln!(s, "      \"nodes_converged\": {},", st.nodes_converged);
+        let _ = writeln!(
+            s,
+            "      \"nodes_pruned_unobserved\": {},",
+            st.nodes_pruned_unobserved
+        );
+        let _ = writeln!(s, "      \"waveform_allocs\": {},", st.waveform_allocs);
+        let _ = writeln!(s, "      \"waveform_reuses\": {}", st.waveform_reuses);
+        let _ = writeln!(s, "    }}{sep}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}

@@ -19,19 +19,33 @@ fn main() {
     );
 
     let headers = [
-        "circuit", "scale", "gates", "FFs", "|P|", "|M|", "conv.", "prop.", "Δ%", "|Φ_tar|",
+        "circuit",
+        "scale",
+        "gates",
+        "FFs",
+        "|P|",
+        "|M|",
+        "conv.",
+        "prop.",
+        "Δ%",
+        "|Φ_tar|",
         "paper Δ%",
     ];
     let mut rows = Vec::new();
     for (profile, scale) in config.suite() {
-        let row = with_run(&profile, scale, &config, |flow, _patterns, analysis, run| {
-            let r = table1_row(flow, analysis, run.patterns_len);
-            eprintln!(
-                "[table1] {}: atpg {:.1}s analyze {:.1}s",
-                r.circuit, run.phase_secs.0, run.phase_secs.1
-            );
-            r
-        });
+        let row = with_run(
+            &profile,
+            scale,
+            &config,
+            |flow, _patterns, analysis, run| {
+                let r = table1_row(flow, analysis, run.patterns_len);
+                eprintln!(
+                    "[table1] {}: atpg {:.1}s analyze {:.1}s",
+                    r.circuit, run.phase_secs.0, run.phase_secs.1
+                );
+                r
+            },
+        );
         let paper_gain = paper::TABLE1
             .iter()
             .find(|(n, ..)| *n == row.circuit)

@@ -31,16 +31,21 @@ fn main() {
 
     let mut rows = Vec::new();
     for (profile, scale) in config.suite() {
-        let row = with_run(&profile, scale, &config, |flow, _patterns, analysis, run| {
-            let t = std::time::Instant::now();
-            let r = table3_row(flow, analysis, run.patterns_len, &COVERAGES);
-            eprintln!(
-                "[table3] {}: schedules {:.1}s",
-                r.circuit,
-                t.elapsed().as_secs_f64()
-            );
-            r
-        });
+        let row = with_run(
+            &profile,
+            scale,
+            &config,
+            |flow, _patterns, analysis, run| {
+                let t = std::time::Instant::now();
+                let r = table3_row(flow, analysis, run.patterns_len, &COVERAGES);
+                eprintln!(
+                    "[table3] {}: schedules {:.1}s",
+                    r.circuit,
+                    t.elapsed().as_secs_f64()
+                );
+                r
+            },
+        );
         let paper99 = paper::TABLE3_COV99
             .iter()
             .find(|(n, ..)| *n == row.circuit)

@@ -55,9 +55,13 @@ impl ExperimentConfig {
             circuits: get("FASTMON_CIRCUITS")
                 .map(|v| v.split(',').map(|s| s.trim().to_owned()).collect())
                 .unwrap_or_default(),
-            seed: get("FASTMON_SEED").and_then(|v| v.parse().ok()).unwrap_or(1),
+            seed: get("FASTMON_SEED")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1),
             ilp_deadline: Duration::from_secs(
-                get("FASTMON_ILP_SECS").and_then(|v| v.parse().ok()).unwrap_or(20),
+                get("FASTMON_ILP_SECS")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(20),
             ),
         }
     }
@@ -189,16 +193,7 @@ pub mod paper {
 
     /// One Table II reference row:
     /// `(circuit, conv |F|, heur |F|, prop |F|, Δ%|F|, orig PC, opti PC, Δ%|PC|)`.
-    pub type Table2Ref = (
-        &'static str,
-        usize,
-        usize,
-        usize,
-        f64,
-        usize,
-        usize,
-        f64,
-    );
+    pub type Table2Ref = (&'static str, usize, usize, usize, f64, usize, usize, f64);
 
     /// Table II reference values.
     pub const TABLE2: [Table2Ref; 12] = [

@@ -1,8 +1,10 @@
 use fastmon_atpg::TestSet;
 use fastmon_faults::{DetectionRange, FaultList, IntervalSet, Polarity};
-use fastmon_monitor::{at_speed_monitor_detectable, shifted_detection, ConfigSet, MonitorConfig, MonitorPlacement};
+use fastmon_monitor::{
+    at_speed_monitor_detectable, shifted_detection, ConfigSet, MonitorConfig, MonitorPlacement,
+};
 use fastmon_netlist::{Circuit, NodeId, PinRef};
-use fastmon_sim::{parallel_map, SimEngine};
+use fastmon_sim::{parallel_map, parallel_map_with, ConeScratch, SimEngine};
 use fastmon_timing::{ClockSpec, DelayAnnotation, Time};
 
 /// Per-fault detectability verdict after fault simulation and monitor
@@ -96,51 +98,92 @@ impl DetectionAnalysis {
                 _ => by_gate.push((gate, vec![fid.index()])),
             }
         }
-        let plans: Vec<fastmon_sim::ConePlan> = by_gate
-            .iter()
-            .map(|(gate, _)| fastmon_sim::ConePlan::new(circuit, *gate))
-            .collect();
-
-        let num_patterns = patterns.len();
-        let per_pattern_results = parallel_map(num_patterns, threads.max(1), |p| {
-            let stim = patterns.stimulus(circuit, p);
-            let base = engine.simulate(&stim);
-            let mut scratch = fastmon_sim::ConeScratch::new(circuit);
-            let mut found: Vec<(u32, DetectionRange)> = Vec::new();
-            for ((_, fault_ids), plan) in by_gate.iter().zip(&plans) {
-                for &fidx in fault_ids {
-                    let fault = faults.fault(fastmon_faults::FaultId::from_index(fidx));
-                    // activation pre-check: the site signal must carry a
-                    // transition of the fault's polarity
-                    let wave = base.wave(site_signal[fidx]);
-                    if !has_polarity_transition(wave, fault.polarity) {
-                        continue;
-                    }
-                    let diffs =
-                        engine.response_diff_planned(&base, fault, plan, &mut scratch, clock.t_nom);
-                    let mut dr = DetectionRange::new();
-                    for (op, set) in diffs {
-                        let filtered = set
-                            .clipped(0.0, clock.t_nom)
-                            .filter_glitches(glitch_threshold);
-                        dr.push(op, filtered);
-                    }
-                    if !dr.is_empty() {
-                        found.push((u32::try_from(fidx).expect("fault count"), dr));
-                    }
-                }
-            }
-            found
+        let threads = threads.max(1);
+        let plans: Vec<fastmon_sim::ConePlan> = parallel_map(by_gate.len(), threads, |g| {
+            fastmon_sim::ConePlan::new(circuit, by_gate[g].0)
         });
 
-        // merge per-pattern results into per-fault tables
+        // Two-axis fan-out: work items are (pattern, gate-chunk) pairs, so
+        // even a handful of patterns keeps every thread busy and the
+        // work-stealing pool rebalances wildly uneven cone sizes. Patterns
+        // are processed in bands so the shared fault-free results stay
+        // memory-bounded: within a band, each pattern is simulated
+        // fault-free exactly once and read by all its gate chunks.
+        let num_patterns = patterns.len();
+        let num_chunks = if threads > 1 {
+            by_gate.len().clamp(1, threads * 2)
+        } else {
+            1
+        };
+        let band_size = (threads * 2).clamp(4, num_patterns.max(1));
+
         let mut per_pattern: Vec<Vec<(u32, DetectionRange)>> = vec![Vec::new(); faults.len()];
         let mut raw_union: Vec<DetectionRange> = vec![DetectionRange::new(); faults.len()];
-        for (p, found) in per_pattern_results.into_iter().enumerate() {
-            for (fidx, dr) in found {
-                raw_union[fidx as usize].merge(&dr);
-                per_pattern[fidx as usize].push((u32::try_from(p).expect("pattern count"), dr));
+        let mut band_start = 0usize;
+        while band_start < num_patterns {
+            let band_len = band_size.min(num_patterns - band_start);
+            // fault-free responses of the band, computed once, shared
+            // read-only by every gate chunk
+            let bases = parallel_map(band_len, threads, |i| {
+                engine.simulate(&patterns.stimulus(circuit, band_start + i))
+            });
+
+            let chunk_results = parallel_map_with(
+                band_len * num_chunks,
+                threads,
+                || (ConeScratch::new(circuit), Vec::new()),
+                |(scratch, diffs), item| {
+                    let base = &bases[item / num_chunks];
+                    let chunk = item % num_chunks;
+                    let lo = chunk * by_gate.len() / num_chunks;
+                    let hi = (chunk + 1) * by_gate.len() / num_chunks;
+                    let mut found: Vec<(u32, DetectionRange)> = Vec::new();
+                    for ((_, fault_ids), plan) in by_gate[lo..hi].iter().zip(&plans[lo..hi]) {
+                        for &fidx in fault_ids {
+                            let fault = faults.fault(fastmon_faults::FaultId::from_index(fidx));
+                            // activation pre-check: the site signal must
+                            // carry a transition of the fault's polarity
+                            let wave = base.wave(site_signal[fidx]);
+                            if !has_polarity_transition(wave, fault.polarity) {
+                                continue;
+                            }
+                            engine.response_diff_planned_into(
+                                base,
+                                fault,
+                                plan,
+                                scratch,
+                                clock.t_nom,
+                                diffs,
+                            );
+                            if diffs.is_empty() {
+                                continue;
+                            }
+                            let mut dr = DetectionRange::new();
+                            for (op, set) in diffs.drain(..) {
+                                let filtered = set
+                                    .clipped(0.0, clock.t_nom)
+                                    .filter_glitches(glitch_threshold);
+                                dr.push(op, filtered);
+                            }
+                            if !dr.is_empty() {
+                                found.push((u32::try_from(fidx).expect("fault count"), dr));
+                            }
+                        }
+                    }
+                    found
+                },
+            );
+
+            // merge in fixed (pattern, chunk) order — the result is
+            // bit-identical for any thread count
+            for (item, found) in chunk_results.into_iter().enumerate() {
+                let p = band_start + item / num_chunks;
+                for (fidx, dr) in found {
+                    raw_union[fidx as usize].merge(&dr);
+                    per_pattern[fidx as usize].push((u32::try_from(p).expect("pattern count"), dr));
+                }
             }
+            band_start += band_len;
         }
 
         // derived ranges and verdicts
@@ -198,10 +241,13 @@ impl DetectionAnalysis {
         configs: &ConfigSet,
         clock: &ClockSpec,
     ) -> bool {
-        self.per_pattern[fault]
-            .iter()
-            .find(|(p, _)| *p as usize == pattern)
-            .is_some_and(|(_, dr)| {
+        // entries are pushed in ascending pattern order during compute
+        let entries = &self.per_pattern[fault];
+        entries
+            .binary_search_by_key(&pattern, |(p, _)| *p as usize)
+            .ok()
+            .is_some_and(|i| {
+                let (_, dr) = &entries[i];
                 shifted_detection(dr, placement, configs, config, clock).contains(t)
             })
     }
@@ -250,7 +296,10 @@ mod tests {
         assert!(!has_polarity_transition(&w, Polarity::SlowToFall));
         let w = Waveform::with_transitions(false, vec![1.0, 2.0]); // rise+fall
         assert!(has_polarity_transition(&w, Polarity::SlowToFall));
-        assert!(!has_polarity_transition(&Waveform::constant(true), Polarity::SlowToRise));
+        assert!(!has_polarity_transition(
+            &Waveform::constant(true),
+            Polarity::SlowToRise
+        ));
     }
 
     fn s27_analysis() -> (Circuit, FlowConfig) {
@@ -306,7 +355,10 @@ mod tests {
                         )
                     })
                 });
-                assert!(hit, "fault {f}: fast_range time {t} not backed by any pattern");
+                assert!(
+                    hit,
+                    "fault {f}: fast_range time {t} not backed by any pattern"
+                );
             }
         }
     }

@@ -118,11 +118,7 @@ mod tests {
     fn fig5_style_example() {
         // three faults as in Fig. 5: boundaries split the axis, the most
         // populated cells get picked
-        let ranges = vec![
-            set(&[(1.0, 5.0)]),
-            set(&[(3.0, 8.0)]),
-            set(&[(6.0, 9.0)]),
-        ];
+        let ranges = vec![set(&[(1.0, 5.0)]), set(&[(3.0, 8.0)]), set(&[(6.0, 9.0)])];
         let cells = elementary_intervals(&ranges);
         // cells: [1,3)=1, [3,5)=2, [5,6)=1, [6,8)=2, [8,9)=1
         assert_eq!(cells.len(), 5);

@@ -125,9 +125,7 @@ impl<'c> HdfTestFlow<'c> {
                 idx.truncate(cap);
                 idx.sort_unstable();
                 let keep: std::collections::HashSet<usize> = idx.into_iter().collect();
-                candidates
-                    .filtered(|fid| keep.contains(&fid.index()))
-                    .0
+                candidates.filtered(|fid| keep.contains(&fid.index())).0
             }
             _ => candidates,
         };

@@ -52,7 +52,11 @@ pub fn table1_row(
         detected_conv: conv,
         detected_prop: prop,
         gain_percent: if conv == 0 {
-            if prop == 0 { 0.0 } else { 100.0 }
+            if prop == 0 {
+                0.0
+            } else {
+                100.0
+            }
         } else {
             (prop as f64 / conv as f64 - 1.0) * 100.0
         },
@@ -272,8 +276,9 @@ pub mod csv {
     /// Serializes Table I rows.
     #[must_use]
     pub fn table1(rows: &[Table1Row]) -> String {
-        let mut out =
-            String::from("circuit,gates,flip_flops,patterns,monitors,conv,prop,gain_percent,targets\n");
+        let mut out = String::from(
+            "circuit,gates,flip_flops,patterns,monitors,conv,prop,gain_percent,targets\n",
+        );
         for r in rows {
             let _ = writeln!(
                 out,
@@ -326,7 +331,12 @@ pub mod csv {
                 let _ = writeln!(
                     out,
                     "{},{:.2},{},{},{},{:.2},{:.4}",
-                    r.circuit, e.cov, e.frequencies, e.naive_pc, e.schedule, e.reduction_percent,
+                    r.circuit,
+                    e.cov,
+                    e.frequencies,
+                    e.naive_pc,
+                    e.schedule,
+                    e.reduction_percent,
                     e.achieved
                 );
             }
@@ -429,7 +439,12 @@ mod tests {
         for e in &t3.entries {
             assert!(e.schedule <= e.naive_pc);
             // within rounding, the achieved coverage respects the target
-            assert!(e.achieved >= e.cov - 0.05, "achieved {} vs {}", e.achieved, e.cov);
+            assert!(
+                e.achieved >= e.cov - 0.05,
+                "achieved {} vs {}",
+                e.achieved,
+                e.cov
+            );
         }
     }
 }

@@ -81,9 +81,10 @@ impl TestSchedule {
     /// schedule (sanity check used by tests and examples).
     #[must_use]
     pub fn covers_all_targets(&self, analysis: &DetectionAnalysis) -> bool {
-        analysis.targets.iter().all(|&f| {
-            self.entries.iter().any(|e| e.faults.contains(&f))
-        })
+        analysis
+            .targets
+            .iter()
+            .all(|&f| self.entries.iter().any(|e| e.faults.contains(&f)))
     }
 }
 
@@ -206,11 +207,12 @@ pub(crate) fn select_frequencies(
                 .collect()
         })
         .collect();
-    let instance =
-        SetCover::new(owned.len(), sets).with_allowed_uncovered(allowed_uncovered);
+    let instance = SetCover::new(owned.len(), sets).with_allowed_uncovered(allowed_uncovered);
     let solution = match solver {
         Solver::Conventional | Solver::Greedy => greedy(&instance),
-        Solver::Ilp => BranchBound::new().with_deadline(ctx.deadline).solve(&instance),
+        Solver::Ilp => BranchBound::new()
+            .with_deadline(ctx.deadline)
+            .solve(&instance),
     };
 
     let mut periods: Vec<Time> = solution.chosen.iter().map(|&i| candidates[i]).collect();
@@ -267,14 +269,19 @@ pub(crate) fn select_patterns(
             .iter()
             .enumerate()
             .map(|(i, &t)| {
-                let cover = remaining.iter().filter(|&&f| range_of(f).contains(t)).count();
+                let cover = remaining
+                    .iter()
+                    .filter(|&&f| range_of(f).contains(t))
+                    .count();
                 (i, cover)
             })
             .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
             .expect("non-empty periods");
         let t = periods_left.remove(best_idx);
-        let (taken, rest): (Vec<usize>, Vec<usize>) =
-            remaining.iter().copied().partition(|&f| range_of(f).contains(t));
+        let (taken, rest): (Vec<usize>, Vec<usize>) = remaining
+            .iter()
+            .copied()
+            .partition(|&f| range_of(f).contains(t));
         remaining = rest;
         if !taken.is_empty() {
             assignment.push((t, taken));
@@ -326,10 +333,15 @@ fn optimize_entry(
         }
     }
 
-    let instance = SetCover::new(faults.len(), combos.iter().map(|(_, c)| c.clone()).collect());
+    let instance = SetCover::new(
+        faults.len(),
+        combos.iter().map(|(_, c)| c.clone()).collect(),
+    );
     let solution = match solver {
         Solver::Conventional | Solver::Greedy => greedy(&instance),
-        Solver::Ilp => BranchBound::new().with_deadline(ctx.deadline).solve(&instance),
+        Solver::Ilp => BranchBound::new()
+            .with_deadline(ctx.deadline)
+            .solve(&instance),
     };
     let mut applications: Vec<(u32, MonitorConfig)> =
         solution.chosen.iter().map(|&i| combos[i].0).collect();

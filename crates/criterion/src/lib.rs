@@ -1,0 +1,276 @@
+//! Offline in-tree shim for the subset of the `criterion` 0.5 API the
+//! fastmon benches use: [`Criterion`], [`Bencher`], [`BatchSize`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: after a warm-up phase, each benchmark runs
+//! `sample_size` samples. Every sample times a batch of iterations sized so
+//! one sample takes roughly `measurement_time / sample_size`, and the
+//! per-iteration mean of each sample is recorded. The report prints the
+//! minimum, median and maximum of those per-sample means — the same triple
+//! criterion prints — without outlier analysis or HTML reports.
+//!
+//! Results also land in `target/fastmon-bench.jsonl` (one JSON object per
+//! benchmark) so scripts can diff runs.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export for bench code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on: the
+/// shim always times the routine per batch and subtracts nothing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Exactly one input per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark timing driver passed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher<'c> {
+    config: &'c Config,
+    /// `(per-iteration seconds)` of each sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // calibrate: how many iterations fit one sample slot
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().as_secs_f64().max(1e-9);
+        let per_sample =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let iters = ((per_sample / once).ceil() as u64).clamp(1, 1_000_000_000);
+
+        // warm-up
+        let warm = Instant::now();
+        while warm.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+        }
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let per_iter = t.elapsed().as_secs_f64() / iters as f64;
+            self.samples.push(per_iter);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // warm-up
+        let warm = Instant::now();
+        while warm.elapsed() < self.config.warm_up_time {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        self.samples.clear();
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Config {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    config: Config,
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement-time budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its `[min median max]` report.
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut bencher = Bencher {
+            config: &self.config,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{:<40} (no samples)", id.as_ref());
+            return self;
+        }
+        samples.sort_by(f64::total_cmp);
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let median = samples[samples.len() / 2];
+        println!(
+            "{:<40} time: [{} {} {}]",
+            id.as_ref(),
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(max)
+        );
+        append_jsonl(id.as_ref(), min, median, max);
+        self
+    }
+}
+
+/// Formats seconds with criterion-style units.
+fn fmt_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.2} s")
+    }
+}
+
+/// Appends a machine-readable record to `target/fastmon-bench.jsonl`; IO
+/// errors are ignored (benches must not fail on read-only checkouts).
+fn append_jsonl(id: &str, min: f64, median: f64, max: f64) {
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open("target/fastmon-bench.jsonl")
+    else {
+        return;
+    };
+    let _ = writeln!(
+        f,
+        "{{\"bench\":\"{}\",\"min_s\":{min:e},\"median_s\":{median:e},\"max_s\":{max:e}}}",
+        id.replace('"', "'")
+    );
+}
+
+/// Declares a benchmark group, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_produces_report() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1));
+        let mut setups = 0u64;
+        c.bench_function("shim/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 64]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(setups >= 4);
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(fmt_duration(2e-9).contains("ns"));
+        assert!(fmt_duration(2e-6).contains("µs"));
+        assert!(fmt_duration(2e-3).contains("ms"));
+        assert!(fmt_duration(2.0).ends_with(" s"));
+    }
+}

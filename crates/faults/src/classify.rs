@@ -94,7 +94,11 @@ mod tests {
         let mut b = CircuitBuilder::new("chain");
         b.add("a", GateKind::Input, &[]);
         for i in 1..=5 {
-            let prev = if i == 1 { "a".to_owned() } else { format!("n{}", i - 1) };
+            let prev = if i == 1 {
+                "a".to_owned()
+            } else {
+                format!("n{}", i - 1)
+            };
             b.add(format!("n{i}"), GateKind::Buf, &[prev.as_str()]);
         }
         b.add("q", GateKind::Dff, &["n1"]);
@@ -114,7 +118,10 @@ mod tests {
         let n5 = c.find("n5").unwrap();
         // slack through n5 is 0 — any positive delta trips the nominal clock
         let f = SmallDelayFault::new(PinRef::Output(n5), Polarity::SlowToRise, 0.5);
-        assert_eq!(classify(&c, &sta, &clock, &f, 0.0), FaultClass::AtSpeedDetectable);
+        assert_eq!(
+            classify(&c, &sta, &clock, &f, 0.0),
+            FaultClass::AtSpeedDetectable
+        );
     }
 
     #[test]
@@ -129,7 +136,10 @@ mod tests {
         // keeps it testable.
         let f = SmallDelayFault::new(PinRef::Output(n1), Polarity::SlowToRise, 0.4);
         // longest through n1 = 5, 5 + 0.4 <= 5? no -> at-speed? 5.4 > 5 yes
-        assert_eq!(classify(&c, &sta, &clock, &f, 0.0), FaultClass::AtSpeedDetectable);
+        assert_eq!(
+            classify(&c, &sta, &clock, &f, 0.0),
+            FaultClass::AtSpeedDetectable
+        );
     }
 
     #[test]
@@ -153,7 +163,10 @@ mod tests {
         let s1 = c.find("s1").unwrap();
         let f = SmallDelayFault::new(PinRef::Output(s1), Polarity::SlowToFall, 0.5);
         // effect dies at 1 + 0.5 = 1.5 < t_min -> redundant without monitors
-        assert_eq!(classify(&c, &sta, &clock, &f, 0.0), FaultClass::TimingRedundant);
+        assert_eq!(
+            classify(&c, &sta, &clock, &f, 0.0),
+            FaultClass::TimingRedundant
+        );
         // a monitor delay of t_nom/3 rescues it: 1.5 + 1.667 > 1.667
         assert_eq!(
             classify(&c, &sta, &clock, &f, clock.t_nom / 3.0),

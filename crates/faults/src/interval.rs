@@ -381,11 +381,7 @@ mod tests {
 
     fn arb_set() -> impl Strategy<Value = IntervalSet> {
         proptest::collection::vec((0.0..100.0f64, 0.01..10.0f64), 0..12).prop_map(|pairs| {
-            IntervalSet::from_intervals(
-                pairs
-                    .into_iter()
-                    .map(|(s, l)| Interval::new(s, s + l)),
-            )
+            IntervalSet::from_intervals(pairs.into_iter().map(|(s, l)| Interval::new(s, s + l)))
         })
     }
 

@@ -221,7 +221,9 @@ impl<'a> Search<'a> {
             .iter()
             .map(|&s| {
                 let s = s as usize;
-                let gain = self.instance.set(s)
+                let gain = self
+                    .instance
+                    .set(s)
                     .iter()
                     .filter(|&&e| self.cover_count[e as usize] == 0 && !self.waived[e as usize])
                     .count();
@@ -304,13 +306,16 @@ mod tests {
     #[test]
     fn beats_greedy_on_staircase() {
         // greedy (even with redundancy elimination) needs 3; optimum is 2
-        let sc = SetCover::new(8, vec![
-            vec![2, 3, 4, 5],
-            vec![0, 1, 2],
-            vec![5, 6, 7],
-            vec![0, 1, 2, 3],
-            vec![4, 5, 6, 7],
-        ]);
+        let sc = SetCover::new(
+            8,
+            vec![
+                vec![2, 3, 4, 5],
+                vec![0, 1, 2],
+                vec![5, 6, 7],
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+            ],
+        );
         let exact = BranchBound::new().solve(&sc);
         assert_eq!(exact.objective(), 2);
         assert!(exact.optimal);
@@ -346,13 +351,10 @@ mod tests {
 
     #[test]
     fn without_reductions_same_objective() {
-        let sc = SetCover::new(5, vec![
-            vec![0, 1],
-            vec![1, 2],
-            vec![2, 3],
-            vec![3, 4],
-            vec![0, 4],
-        ]);
+        let sc = SetCover::new(
+            5,
+            vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![3, 4], vec![0, 4]],
+        );
         let a = BranchBound::new().solve(&sc);
         let b = BranchBound::new().without_reductions().solve(&sc);
         assert_eq!(a.objective(), b.objective());
@@ -368,19 +370,14 @@ mod tests {
             let n = rng.gen_range(3..9usize);
             let num_sets = rng.gen_range(3..8usize);
             let sets: Vec<Vec<u32>> = (0..num_sets)
-                .map(|_| {
-                    (0..n as u32)
-                        .filter(|_| rng.gen_bool(0.4))
-                        .collect()
-                })
+                .map(|_| (0..n as u32).filter(|_| rng.gen_bool(0.4)).collect())
                 .collect();
             let sc = SetCover::new(n, sets);
             let exact = BranchBound::new().solve(&sc);
             // brute force over all subsets
             let mut best = usize::MAX;
             for mask in 0u32..(1 << num_sets) {
-                let chosen: Vec<usize> =
-                    (0..num_sets).filter(|&i| mask & (1 << i) != 0).collect();
+                let chosen: Vec<usize> = (0..num_sets).filter(|&i| mask & (1 << i) != 0).collect();
                 if sc.is_feasible(&chosen) {
                     best = best.min(chosen.len());
                 }
@@ -410,8 +407,7 @@ mod tests {
             let exact = BranchBound::new().solve(&sc);
             let mut best = usize::MAX;
             for mask in 0u32..(1 << num_sets) {
-                let chosen: Vec<usize> =
-                    (0..num_sets).filter(|&i| mask & (1 << i) != 0).collect();
+                let chosen: Vec<usize> = (0..num_sets).filter(|&i| mask & (1 << i) != 0).collect();
                 if sc.is_feasible(&chosen) {
                     best = best.min(chosen.len());
                 }

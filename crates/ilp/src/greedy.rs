@@ -149,11 +149,7 @@ mod tests {
     fn redundancy_elimination_fixes_the_classic_trap() {
         // greedy takes the big set 0 first, then needs 1 and 2 anyway —
         // the redundancy post-pass drops set 0 again
-        let sc = SetCover::new(6, vec![
-            vec![0, 1, 2, 3],
-            vec![0, 1, 4],
-            vec![2, 3, 5],
-        ]);
+        let sc = SetCover::new(6, vec![vec![0, 1, 2, 3], vec![0, 1, 4], vec![2, 3, 5]]);
         let sol = greedy(&sc);
         assert!(sc.is_feasible(&sol.chosen));
         assert_eq!(sol.chosen, vec![1, 2]);
@@ -164,13 +160,16 @@ mod tests {
         // staircase instance where the greedy choice is irreversibly bad:
         // optimal is the two disjoint halves {0..3}, {4..7}; greedy starts
         // with the middle set {2..5} and needs two more, none redundant
-        let sc = SetCover::new(8, vec![
-            vec![2, 3, 4, 5],
-            vec![0, 1, 2],
-            vec![5, 6, 7],
-            vec![0, 1, 2, 3],
-            vec![4, 5, 6, 7],
-        ]);
+        let sc = SetCover::new(
+            8,
+            vec![
+                vec![2, 3, 4, 5],
+                vec![0, 1, 2],
+                vec![5, 6, 7],
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+            ],
+        );
         let sol = greedy(&sc);
         assert!(sc.is_feasible(&sol.chosen));
         assert_eq!(sol.chosen.len(), 3, "{:?}", sol.chosen);

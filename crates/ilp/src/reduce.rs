@@ -111,7 +111,8 @@ pub fn reduce(original: &SetCover) -> Reduction {
 
         // live views for the domination passes
         let live_set = |i: usize| -> Vec<u32> {
-            original.set(i)
+            original
+                .set(i)
                 .iter()
                 .copied()
                 .filter(|&e| elem_alive[e as usize])
@@ -203,8 +204,8 @@ pub fn reduce(original: &SetCover) -> Reduction {
     }
     let mut sets = Vec::new();
     let mut set_map = Vec::new();
-    for i in 0..original.num_sets() {
-        if !set_alive[i] {
+    for (i, &alive) in set_alive.iter().enumerate() {
+        if !alive {
             continue;
         }
         let remapped: Vec<u32> = original
@@ -305,13 +306,10 @@ mod tests {
 
     #[test]
     fn forced_plus_residual_solves_original() {
-        let sc = SetCover::new(6, vec![
-            vec![0, 1],
-            vec![2],
-            vec![2, 3],
-            vec![4, 5],
-            vec![5],
-        ]);
+        let sc = SetCover::new(
+            6,
+            vec![vec![0, 1], vec![2], vec![2, 3], vec![4, 5], vec![5]],
+        );
         let red = reduce(&sc);
         // solve residual greedily and stitch together
         let sub = crate::greedy(&red.instance);

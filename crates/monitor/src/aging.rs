@@ -157,7 +157,10 @@ mod tests {
         let c = library::s27();
         let fresh = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
         let model = AgingModel::bti_like();
-        assert_eq!(model.aged(&c, &fresh, 5.0, 7), model.aged(&c, &fresh, 5.0, 7));
+        assert_eq!(
+            model.aged(&c, &fresh, 5.0, 7),
+            model.aged(&c, &fresh, 5.0, 7)
+        );
     }
 
     #[test]

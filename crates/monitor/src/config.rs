@@ -54,12 +54,7 @@ impl ConfigSet {
     /// The paper's default elements `{0.05, 0.10, 0.15, 1/3} · t_nom`.
     #[must_use]
     pub fn paper_defaults(t_nom: Time) -> Self {
-        ConfigSet::new(vec![
-            0.05 * t_nom,
-            0.10 * t_nom,
-            0.15 * t_nom,
-            t_nom / 3.0,
-        ])
+        ConfigSet::new(vec![0.05 * t_nom, 0.10 * t_nom, 0.15 * t_nom, t_nom / 3.0])
     }
 
     /// The delay element values.
@@ -83,7 +78,8 @@ impl ConfigSet {
     /// Iterates over all configurations, `Off` first.
     pub fn configs(&self) -> impl Iterator<Item = MonitorConfig> + '_ {
         std::iter::once(MonitorConfig::Off).chain(
-            (0..self.delays.len()).map(|i| MonitorConfig::Delay(u8::try_from(i).expect("few delays"))),
+            (0..self.delays.len())
+                .map(|i| MonitorConfig::Delay(u8::try_from(i).expect("few delays"))),
         )
     }
 

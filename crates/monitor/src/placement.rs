@@ -43,8 +43,7 @@ impl MonitorPlacement {
         let ops = circuit.observe_points();
         let mut monitored = vec![false; ops.len()];
         if fraction > 0.0 && !ops.is_empty() {
-            let count = (((ops.len() as f64) * fraction).round() as usize)
-                .clamp(1, ops.len());
+            let count = (((ops.len() as f64) * fraction).round() as usize).clamp(1, ops.len());
             let mut ranked: Vec<usize> = (0..ops.len()).collect();
             ranked.sort_by(|&a, &b| {
                 let ta = sta.max_arrival(ops[a].driver);

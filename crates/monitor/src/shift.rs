@@ -151,7 +151,12 @@ mod tests {
         // but a shift of 100 moves it across t_nom: [310, 350) ∌ 300... no.
         // use an interval that straddles 300 after the 100 shift
         let dr = range_at(0, 210.0, 310.0);
-        assert!(at_speed_monitor_detectable(&dr, &placement, &configs, &clock()));
+        assert!(at_speed_monitor_detectable(
+            &dr,
+            &placement,
+            &configs,
+            &clock()
+        ));
     }
 
     #[test]
@@ -169,7 +174,10 @@ mod tests {
     #[test]
     fn multiple_outputs_union() {
         let mut dr = DetectionRange::new();
-        dr.push(0, IntervalSet::from_intervals([Interval::new(120.0, 130.0)]));
+        dr.push(
+            0,
+            IntervalSet::from_intervals([Interval::new(120.0, 130.0)]),
+        );
         dr.push(1, IntervalSet::from_intervals([Interval::new(60.0, 70.0)]));
         let placement = MonitorPlacement::from_mask(vec![false, true]);
         let configs = ConfigSet::new(vec![50.0]);

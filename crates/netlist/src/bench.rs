@@ -141,7 +141,13 @@ pub fn to_string(circuit: &Circuit) -> String {
                     .iter()
                     .map(|&f| circuit.node(f).name())
                     .collect();
-                let _ = writeln!(out, "{} = {}({})", node.name(), node.kind(), fanins.join(", "));
+                let _ = writeln!(
+                    out,
+                    "{} = {}({})",
+                    node.name(),
+                    node.kind(),
+                    fanins.join(", ")
+                );
             }
         }
     }

@@ -171,7 +171,12 @@ mod tests {
         b.mark_output("x");
         let c = b.finish().unwrap();
         let x = c.find("x").unwrap();
-        let names: Vec<&str> = c.node(x).fanins().iter().map(|&f| c.node(f).name()).collect();
+        let names: Vec<&str> = c
+            .node(x)
+            .fanins()
+            .iter()
+            .map(|&f| c.node(f).name())
+            .collect();
         assert_eq!(names, vec!["b", "a"]);
     }
 

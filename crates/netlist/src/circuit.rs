@@ -523,7 +523,11 @@ mod tests {
     fn fanin_cone_collects_support() {
         let c = tiny();
         let o = c.find("o").unwrap();
-        let mut names: Vec<&str> = c.fanin_cone(o).iter().map(|&id| c.node(id).name()).collect();
+        let mut names: Vec<&str> = c
+            .fanin_cone(o)
+            .iter()
+            .map(|&id| c.node(id).name())
+            .collect();
         names.sort_unstable();
         // o = NAND(g, b), g = AND(a, f): support = {a, b, f, g, o}
         assert_eq!(names, vec!["a", "b", "f", "g", "o"]);

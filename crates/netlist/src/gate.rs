@@ -277,10 +277,14 @@ mod tests {
     #[test]
     fn classification_partitions() {
         for kind in GateKind::ALL {
-            let n = [kind.is_source(), kind.is_sequential(), kind.is_combinational()]
-                .iter()
-                .filter(|&&b| b)
-                .count();
+            let n = [
+                kind.is_source(),
+                kind.is_sequential(),
+                kind.is_combinational(),
+            ]
+            .iter()
+            .filter(|&&b| b)
+            .count();
             assert_eq!(n, 1, "{kind} must be in exactly one class");
         }
     }

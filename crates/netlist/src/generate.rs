@@ -219,10 +219,8 @@ impl GeneratorConfig {
         // --- gates ---------------------------------------------------------
         // `unused` holds (level, name) of nodes not yet referenced by any
         // fanin; preferring them keeps the circuit free of dangling logic.
-        let mut unused: Vec<(usize, String)> = by_level[0]
-            .iter()
-            .map(|n| (0usize, n.clone()))
-            .collect();
+        let mut unused: Vec<(usize, String)> =
+            by_level[0].iter().map(|n| (0usize, n.clone())).collect();
         let mut gate_meta: Vec<(String, GateKind, Vec<String>)> = Vec::with_capacity(self.gates);
         let mut gate_idx = 0usize;
         for level in 1..=depth {
@@ -372,8 +370,7 @@ impl GeneratorConfig {
         if self.gates < self.depth as usize {
             return fail("need at least one gate per level (gates >= depth)");
         }
-        if !(0.0..=1.0).contains(&self.xor_fraction) || !(0.0..=1.0).contains(&self.wide_fraction)
-        {
+        if !(0.0..=1.0).contains(&self.xor_fraction) || !(0.0..=1.0).contains(&self.wide_fraction) {
             return fail("fractions must lie in [0, 1]");
         }
         Ok(())
@@ -382,7 +379,11 @@ impl GeneratorConfig {
     fn sample_kind(&self, rng: &mut ChaCha8Rng) -> GateKind {
         let r: f64 = rng.gen();
         if r < self.xor_fraction {
-            return if rng.gen() { GateKind::Xor } else { GateKind::Xnor };
+            return if rng.gen() {
+                GateKind::Xor
+            } else {
+                GateKind::Xnor
+            };
         }
         // remaining mass over {NAND, NOR, AND, OR, NOT, BUF}
         match rng.gen_range(0..100u32) {
@@ -692,7 +693,11 @@ mod tests {
             .depth(20)
             .generate(5)
             .unwrap();
-        assert!(c.max_level() >= 15, "max level {} too shallow", c.max_level());
+        assert!(
+            c.max_level() >= 15,
+            "max level {} too shallow",
+            c.max_level()
+        );
         // shallow-capture gates may add one level on top of the deep pool
         assert!(c.max_level() <= 22);
     }
@@ -765,8 +770,16 @@ mod tests {
 
     #[test]
     fn degenerate_config_rejected() {
-        assert!(GeneratorConfig::new("x").inputs(0).flip_flops(0).generate(0).is_err());
-        assert!(GeneratorConfig::new("x").gates(5).depth(10).generate(0).is_err());
+        assert!(GeneratorConfig::new("x")
+            .inputs(0)
+            .flip_flops(0)
+            .generate(0)
+            .is_err());
+        assert!(GeneratorConfig::new("x")
+            .gates(5)
+            .depth(10)
+            .generate(0)
+            .is_err());
         assert!(GeneratorConfig::new("x").depth(0).generate(0).is_err());
     }
 }

@@ -96,9 +96,7 @@ fn decompose_one(
     let mut queue: std::collections::VecDeque<String> = fanins.into();
     let mut fresh = 0usize;
     while queue.len() > max_arity {
-        let group: Vec<String> = (0..max_arity)
-            .filter_map(|_| queue.pop_front())
-            .collect();
+        let group: Vec<String> = (0..max_arity).filter_map(|_| queue.pop_front()).collect();
         let tree_name = format!("{name}__w{fresh}");
         fresh += 1;
         let refs: Vec<&str> = group.iter().map(String::as_str).collect();

@@ -1,0 +1,331 @@
+//! Offline in-tree shim for the subset of the `rand` 0.8 API the fastmon
+//! workspace uses.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the real `rand` crate cannot be resolved. This crate provides the same
+//! trait names and method signatures (`RngCore`, `Rng`, `SeedableRng`,
+//! `SliceRandom` and the `prelude`) backed by straightforward, documented
+//! derivations. Streams are deterministic and stable across platforms, but
+//! they are **not bit-compatible** with upstream `rand`; all in-repo
+//! consumers only rely on determinism, never on specific stream values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// The low-level entropy source: a generator of raw 64-bit words.
+pub trait RngCore {
+    /// The next raw 64-bit word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full-width seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a 64-bit seed into a full-width seed with SplitMix64 (the
+    /// same expansion `rand_core` 0.6 uses) and constructs the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// SplitMix64, used only for seed expansion.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Types that can be drawn uniformly from the full value range (the shim's
+/// stand-in for `Distribution<T> for Standard`).
+pub trait StandardSample: Sized {
+    /// One uniform draw.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_uint {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize);
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (the standard
+    /// `(next_u64 >> 11) * 2^-53` construction).
+    #[allow(clippy::cast_precision_loss)]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[allow(clippy::cast_precision_loss)]
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Types with a uniform-over-an-interval sampler (the shim's stand-in for
+/// `rand::distributions::uniform::SampleUniform`).
+pub trait SampleUniform: Sized {
+    /// A uniform draw from `[start, end)` if `inclusive` is false, from
+    /// `[start, end]` otherwise.
+    fn sample_interval<R: RngCore + ?Sized>(
+        rng: &mut R,
+        start: Self,
+        end: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// Unbiased uniform integer in `[0, width)` by rejection sampling.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, width: u64) -> u64 {
+    debug_assert!(width > 0);
+    if width.is_power_of_two() {
+        return rng.next_u64() & (width - 1);
+    }
+    // largest multiple of `width` that fits in u64
+    let zone = u64::MAX - (u64::MAX % width + 1) % width;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % width;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[allow(
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss,
+                clippy::cast_possible_wrap,
+                clippy::cast_lossless
+            )]
+            fn sample_interval<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                let width = (end as i128 - start as i128
+                    + i128::from(inclusive)) as u128;
+                assert!(width > 0, "cannot sample empty range");
+                if width > u128::from(u64::MAX) {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_below(rng, width as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_interval<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self, _: bool) -> Self {
+        assert!(start < end, "cannot sample empty range");
+        let u: f64 = StandardSample::sample(rng);
+        start + u * (end - start)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_interval<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self, _: bool) -> Self {
+        assert!(start < end, "cannot sample empty range");
+        let u: f32 = StandardSample::sample(rng);
+        start + u * (end - start)
+    }
+}
+
+/// Ranges that can produce a uniform sample (the shim's stand-in for
+/// `SampleRange<T>`). The two blanket impls keep type inference identical
+/// to upstream rand: the range's item type unifies with the result type.
+pub trait SampleRange<T> {
+    /// One uniform draw from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_interval(rng, *self.start(), *self.end(), true)
+    }
+}
+
+/// High-level convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniform draw over the whole value range of `T` (`[0, 1)` for
+    /// floats).
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// A biased coin flip: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability outside [0, 1]");
+        let u: f64 = StandardSample::sample(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            #[allow(clippy::cast_possible_truncation)]
+            let j = uniform_below(rng, i as u64 + 1) as usize;
+            self.swap(i, j);
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers (`SliceRandom`).
+    pub use crate::SliceRandom;
+}
+
+pub mod prelude {
+    //! The usual glob-import surface: `use rand::prelude::*;`.
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng, SliceRandom, StandardSample};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial deterministic generator for testing the trait layer.
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = XorShift(42);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u32 = rng.gen_range(0..100);
+            assert!(w < 100);
+            let x: f64 = rng.gen_range(0.5..1.5);
+            assert!((0.5..1.5).contains(&x));
+            let y: usize = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = XorShift(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut rng = XorShift(3);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = XorShift(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never stay in place");
+    }
+
+    #[test]
+    fn uniform_below_covers_small_width() {
+        let mut rng = XorShift(11);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[uniform_below(&mut rng, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -2,7 +2,8 @@ use fastmon_faults::{IntervalSet, SmallDelayFault};
 use fastmon_netlist::{Circuit, GateKind, NodeId, PinRef};
 use fastmon_timing::{DelayAnnotation, Time};
 
-use crate::waveform::eval_gate;
+use crate::stats;
+use crate::waveform::{eval_gate, eval_gate_into, filter_pulses_in_place, EvalScratch};
 use crate::{Stimulus, Waveform};
 
 /// Fault-free waveforms of every net for one stimulus.
@@ -40,16 +41,30 @@ pub struct FaultyCone {
     pub cone: Vec<NodeId>,
     /// Faulty waveform per cone node, parallel to `cone`.
     pub waves: Vec<Waveform>,
+    /// `(node, slot)` pairs sorted by node id for O(log n) lookup — the
+    /// cone itself is in topological, not id, order.
+    slots: Vec<(NodeId, u32)>,
 }
 
 impl FaultyCone {
+    /// Wraps cone nodes and their waveforms, building the lookup index.
+    fn new(cone: Vec<NodeId>, waves: Vec<Waveform>) -> Self {
+        let mut slots: Vec<(NodeId, u32)> = cone
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, u32::try_from(i).expect("cone fits u32")))
+            .collect();
+        slots.sort_unstable_by_key(|&(id, _)| id);
+        FaultyCone { cone, waves, slots }
+    }
+
     /// The faulty waveform of `id`, if `id` is in the cone.
     #[must_use]
     pub fn wave(&self, id: NodeId) -> Option<&Waveform> {
-        self.cone
-            .iter()
-            .position(|&n| n == id)
-            .map(|i| &self.waves[i])
+        self.slots
+            .binary_search_by_key(&id, |&(n, _)| n)
+            .ok()
+            .map(|i| &self.waves[self.slots[i].1 as usize])
     }
 }
 
@@ -211,7 +226,7 @@ impl<'c> SimEngine<'c> {
             };
             waves.push(wave);
         }
-        FaultyCone { cone, waves }
+        FaultyCone::new(cone, waves)
     }
 
     /// Computes the raw per-observation-point difference intervals between
@@ -245,36 +260,104 @@ impl<'c> SimEngine<'c> {
 }
 
 /// Precomputed propagation plan for faults seated at one gate: the fanout
-/// cone and the observation points it reaches.
+/// cone pruned to the nodes that can actually reach an observation point,
+/// plus a per-node influence horizon for convergence early exit.
 ///
 /// Fault-simulation campaigns touch every gate with several faults (one per
 /// pin and polarity) and every pattern; computing the cone once per gate
 /// amortizes the traversal.
+///
+/// # Pruning
+///
+/// A fanout-cone node that reaches no observation point can never
+/// contribute to a detection range, so it is dropped at plan-build time.
+/// The retained set is closed under in-cone fanins (if a node reaches an
+/// observer, so does every cone node feeding it), which keeps cone
+/// re-simulation over the pruned node list bit-identical to the full one.
 #[derive(Debug, Clone)]
 pub struct ConePlan {
     seed: NodeId,
+    /// pruned cone in topological order (seed first; empty if the seed
+    /// reaches no observation point)
     cone: Vec<NodeId>,
     /// indices into [`Circuit::observe_points`] reachable from the seed
     ops: Vec<(usize, NodeId)>,
+    /// per cone slot: the largest cone slot its output directly feeds
+    /// (its own slot if it feeds nothing downstream in the cone)
+    influence: Vec<u32>,
+    /// cone nodes dropped because they reach no observation point
+    pruned: usize,
 }
 
 impl ConePlan {
     /// Builds the plan for faults at gate `seed`.
     #[must_use]
     pub fn new(circuit: &Circuit, seed: NodeId) -> Self {
-        let cone = circuit.fanout_cone(seed);
+        let full_cone = circuit.fanout_cone(seed);
         let mut in_cone = vec![false; circuit.len()];
-        for &id in &cone {
+        for &id in &full_cone {
             in_cone[id.index()] = true;
         }
-        let ops = circuit
+        let ops: Vec<(usize, NodeId)> = circuit
             .observe_points()
             .iter()
             .enumerate()
             .filter(|(_, op)| in_cone[op.driver.index()])
             .map(|(i, op)| (i, op.driver))
             .collect();
-        ConePlan { seed, cone, ops }
+
+        // observer-reach pruning: walk the cone backwards, keeping nodes
+        // that drive an observation point or feed a kept node
+        let mut retained = vec![false; circuit.len()];
+        for &(_, driver) in &ops {
+            retained[driver.index()] = true;
+        }
+        for &id in full_cone.iter().rev() {
+            if retained[id.index()] {
+                for &fi in circuit.node(id).fanins() {
+                    if in_cone[fi.index()] {
+                        retained[fi.index()] = true;
+                    }
+                }
+            }
+        }
+        let cone: Vec<NodeId> = full_cone
+            .iter()
+            .copied()
+            .filter(|id| retained[id.index()])
+            .collect();
+        let pruned = full_cone.len() - cone.len();
+        stats::count_pruned_nodes(pruned as u64);
+        let len = u32::try_from(cone.len()).expect("cone fits u32");
+
+        // influence horizon: how far down the cone each node's output goes
+        let mut slot = vec![0u32; circuit.len()];
+        for (i, &id) in cone.iter().enumerate() {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                slot[id.index()] = i as u32 + 1;
+            }
+        }
+        let mut influence: Vec<u32> = (0..len).collect();
+        for (j, &id) in cone.iter().enumerate().skip(1) {
+            for &fi in circuit.node(id).fanins() {
+                let p = slot[fi.index()];
+                if p > 0 {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let j32 = j as u32;
+                    let p = (p - 1) as usize;
+                    influence[p] = influence[p].max(j32);
+                }
+            }
+        }
+
+        ConePlan {
+            seed,
+            cone,
+            ops,
+            influence,
+            pruned,
+        }
     }
 
     /// The seed gate.
@@ -283,7 +366,7 @@ impl ConePlan {
         self.seed
     }
 
-    /// The cone in topological order (seed first).
+    /// The pruned cone in topological order (seed first).
     #[must_use]
     pub fn cone(&self) -> &[NodeId] {
         &self.cone
@@ -294,15 +377,29 @@ impl ConePlan {
     pub fn observers(&self) -> &[(usize, NodeId)] {
         &self.ops
     }
+
+    /// Number of fanout-cone nodes dropped by observer-reach pruning.
+    #[must_use]
+    pub fn pruned_nodes(&self) -> usize {
+        self.pruned
+    }
 }
 
 /// Reusable per-thread buffers for [`SimEngine::response_diff_planned`].
+///
+/// Holds the dense cone-position map, the per-cone waveform slots, the
+/// gate-evaluation scratch and a pool of recycled transition buffers, so a
+/// steady-state campaign performs no per-gate heap allocation.
 #[derive(Debug)]
 pub struct ConeScratch {
     /// cone position + 1 per node, 0 = not in current cone
     pos: Vec<u32>,
     /// faulty waveforms parallel to the plan's cone; `None` = unchanged
     waves: Vec<Option<Waveform>>,
+    /// gate-evaluation working buffers
+    eval: EvalScratch,
+    /// recycled transition buffers
+    spare: Vec<Vec<Time>>,
 }
 
 impl ConeScratch {
@@ -312,6 +409,8 @@ impl ConeScratch {
         ConeScratch {
             pos: vec![0; circuit.len()],
             waves: Vec::new(),
+            eval: EvalScratch::new(),
+            spare: Vec::new(),
         }
     }
 }
@@ -335,57 +434,125 @@ impl<'c> SimEngine<'c> {
         scratch: &mut ConeScratch,
         horizon: Time,
     ) -> Vec<(usize, IntervalSet)> {
+        let mut out = Vec::new();
+        self.response_diff_planned_into(base, fault, plan, scratch, horizon, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`SimEngine::response_diff_planned`]: the
+    /// result lands in `out` (cleared first), cone waveforms recycle
+    /// transition buffers from the scratch pool, and propagation stops as
+    /// soon as every remaining cone gate is known to see only fault-free
+    /// inputs (the influence horizon of the changed set has passed).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `plan` does not belong to the fault's
+    /// seed gate.
+    pub fn response_diff_planned_into(
+        &self,
+        base: &SimResult,
+        fault: &SmallDelayFault,
+        plan: &ConePlan,
+        scratch: &mut ConeScratch,
+        horizon: Time,
+        out: &mut Vec<(usize, IntervalSet)>,
+    ) {
         debug_assert_eq!(plan.seed, fault.site.node(), "plan/fault mismatch");
+        out.clear();
+        if plan.ops.is_empty() {
+            return; // the seed reaches no observation point
+        }
         let seed_wave = self.seed_wave(base, fault);
         if &seed_wave == base.wave(plan.seed) {
-            return Vec::new(); // fault fully masked at its own gate
+            stats::count_masked_cone();
+            return; // fault fully masked at its own gate
         }
 
-        scratch.waves.clear();
-        scratch.waves.push(Some(seed_wave));
-        scratch.pos[plan.seed.index()] = 1;
+        let mut tally = stats::ConeTally::default();
+        let ConeScratch {
+            pos,
+            waves,
+            eval,
+            spare,
+        } = scratch;
+        waves.clear();
+        waves.push(Some(seed_wave));
+        pos[plan.seed.index()] = 1;
+        // the furthest cone slot any changed node feeds; once the loop
+        // passes it, every remaining gate sees only fault-free inputs
+        let mut frontier = plan.influence[0] as usize;
 
         for (i, &id) in plan.cone.iter().enumerate().skip(1) {
+            if i > frontier {
+                tally.nodes_converged += (plan.cone.len() - i) as u64;
+                break;
+            }
             let node = self.circuit.node(id);
-            let changed_input = node.fanins().iter().any(|&fi| {
-                let p = scratch.pos[fi.index()];
-                p > 0 && scratch.waves[p as usize - 1].is_some()
+            let fanins = node.fanins();
+            let changed_input = fanins.iter().any(|&fi| {
+                let p = pos[fi.index()];
+                p > 0 && waves[p as usize - 1].is_some()
             });
             let wave = if changed_input {
-                let inputs: Vec<&Waveform> = node
-                    .fanins()
-                    .iter()
-                    .map(|&fi| {
-                        let p = scratch.pos[fi.index()];
+                let mut buf = match spare.pop() {
+                    Some(b) => {
+                        tally.waveform_reuses += 1;
+                        b
+                    }
+                    None => {
+                        tally.waveform_allocs += 1;
+                        Vec::new()
+                    }
+                };
+                let initial = eval_gate_into(
+                    node.kind(),
+                    fanins.len(),
+                    |k| {
+                        let fi = fanins[k];
+                        let p = pos[fi.index()];
                         if p > 0 {
-                            scratch.waves[p as usize - 1]
+                            waves[p as usize - 1]
                                 .as_ref()
                                 .unwrap_or_else(|| base.wave(fi))
                         } else {
                             base.wave(fi)
                         }
-                    })
-                    .collect();
-                let w = self.eval_node(id, &inputs);
-                if &w == base.wave(id) {
+                    },
+                    self.annot.rise(id),
+                    self.annot.fall(id),
+                    eval,
+                    &mut buf,
+                );
+                if let Some(fraction) = self.inertial {
+                    filter_pulses_in_place(&mut buf, fraction * self.annot.min_delay(id));
+                }
+                tally.nodes_evaluated += 1;
+                let fault_free = base.wave(id);
+                if initial == fault_free.initial() && buf.as_slice() == fault_free.transitions() {
+                    spare.push(buf); // converged back to fault-free
                     None
                 } else {
-                    Some(w)
+                    frontier = frontier.max(plan.influence[i] as usize);
+                    Some(Waveform::with_transitions(initial, buf))
                 }
             } else {
+                tally.nodes_converged += 1;
                 None
             };
-            scratch.waves.push(wave);
-            scratch.pos[id.index()] = u32::try_from(i).expect("cone fits u32") + 1;
+            waves.push(wave);
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                pos[id.index()] = i as u32 + 1; // cone length checked at plan build
+            }
         }
 
-        let mut out = Vec::new();
         for &(op_index, driver) in &plan.ops {
-            let p = scratch.pos[driver.index()];
+            let p = pos[driver.index()];
             if p == 0 {
                 continue;
             }
-            if let Some(faulty) = &scratch.waves[p as usize - 1] {
+            if let Some(faulty) = &waves[p as usize - 1] {
                 let diff = base.wave(driver).diff(faulty, horizon);
                 if !diff.is_empty() {
                     out.push((op_index, diff));
@@ -393,11 +560,14 @@ impl<'c> SimEngine<'c> {
             }
         }
 
-        // clear position markers for the next call
-        for &id in &plan.cone[..scratch.waves.len()] {
-            scratch.pos[id.index()] = 0;
+        // clear position markers and recycle waveform buffers
+        for &id in &plan.cone[..waves.len()] {
+            pos[id.index()] = 0;
         }
-        out
+        for wave in waves.drain(..).flatten() {
+            spare.push(wave.into_transitions());
+        }
+        tally.flush_simulated();
     }
 }
 
@@ -449,7 +619,11 @@ mod tests {
         let res = engine.simulate(&stim);
         let steady = c.eval_steady(|id| id == g0 || id == g5);
         for id in c.node_ids() {
-            assert!(res.wave(id).is_constant(), "{} not constant", c.node(id).name());
+            assert!(
+                res.wave(id).is_constant(),
+                "{} not constant",
+                c.node(id).name()
+            );
             assert_eq!(res.wave(id).initial(), steady[id.index()]);
         }
     }
@@ -600,6 +774,81 @@ mod tests {
                         assert_eq!(direct, planned, "{fault} stim {seed}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn cone_plan_prunes_unobserved_branches() {
+        // n1 fans out to an observed path (po) and a dead-end chain
+        // (d1 -> d2) that reaches no output: the dead ends are pruned
+        let mut b = CircuitBuilder::new("prune");
+        b.add("a", GateKind::Input, &[]);
+        b.add("n1", GateKind::Buf, &["a"]);
+        b.add("po", GateKind::Buf, &["n1"]);
+        b.add("d1", GateKind::Buf, &["n1"]);
+        b.add("d2", GateKind::Not, &["d1"]);
+        b.mark_output("po");
+        let c = b.finish().unwrap();
+        let n1 = c.find("n1").unwrap();
+        let plan = ConePlan::new(&c, n1);
+        assert_eq!(plan.pruned_nodes(), 2);
+        assert_eq!(plan.cone()[0], n1, "seed stays first");
+        assert!(plan.cone().contains(&c.find("po").unwrap()));
+        assert!(!plan.cone().contains(&c.find("d1").unwrap()));
+        assert!(!plan.cone().contains(&c.find("d2").unwrap()));
+
+        // the pruned plan still yields the exact direct-diff response
+        let (annot, ()) = unit_engine(&c);
+        let engine = SimEngine::new(&c, &annot);
+        let a = c.find("a").unwrap();
+        let stim = Stimulus::from_fn(&c, |id| (false, id == a));
+        let base = engine.simulate(&stim);
+        let mut scratch = ConeScratch::new(&c);
+        let fault = SmallDelayFault::new(PinRef::Output(n1), Polarity::SlowToRise, 0.5);
+        let direct = engine.response_diff(&base, &fault, 100.0);
+        let planned = engine.response_diff_planned(&base, &fault, &plan, &mut scratch, 100.0);
+        assert_eq!(direct, planned);
+    }
+
+    #[test]
+    fn faulty_cone_lookup_matches_membership() {
+        let c = library::s27();
+        let annot = DelayAnnotation::nominal(&c, &fastmon_timing::DelayModel::nangate45_like());
+        let engine = SimEngine::new(&c, &annot);
+        let stim = Stimulus::from_fn(&c, |id| (id.index() % 2 == 0, id.index() % 3 == 0));
+        let base = engine.simulate(&stim);
+        let gate = c.combinational_nodes().next().unwrap();
+        let fault = SmallDelayFault::new(PinRef::Output(gate), Polarity::SlowToRise, 3.0);
+        let cone = engine.simulate_fault(&base, &fault);
+        for id in c.node_ids() {
+            let linear = cone
+                .cone
+                .iter()
+                .position(|&n| n == id)
+                .map(|i| &cone.waves[i]);
+            assert_eq!(cone.wave(id), linear, "node {}", c.node(id).name());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_faults_is_clean() {
+        // run many faults through one scratch and re-check against fresh
+        // scratch results: recycled buffers must not leak state
+        let c = library::s27();
+        let annot = DelayAnnotation::nominal(&c, &fastmon_timing::DelayModel::nangate45_like());
+        let engine = SimEngine::new(&c, &annot);
+        let stim = Stimulus::from_fn(&c, |id| (id.index() % 3 == 0, id.index() % 2 == 0));
+        let base = engine.simulate(&stim);
+        let mut shared = ConeScratch::new(&c);
+        for gate in c.combinational_nodes() {
+            let plan = ConePlan::new(&c, gate);
+            for pol in Polarity::BOTH {
+                let fault = SmallDelayFault::new(PinRef::Output(gate), pol, 11.0);
+                let mut fresh = ConeScratch::new(&c);
+                let expect = engine.response_diff_planned(&base, &fault, &plan, &mut fresh, 400.0);
+                let got = engine.response_diff_planned(&base, &fault, &plan, &mut shared, 400.0);
+                assert_eq!(expect, got, "{fault}");
             }
         }
     }

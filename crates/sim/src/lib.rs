@@ -13,8 +13,10 @@
 //! * [`Stimulus`] — a two-vector (launch/capture) input assignment,
 //! * [`SimEngine`] — full-circuit simulation and cone-restricted faulty
 //!   re-simulation,
-//! * [`parallel_map`] — a scoped-thread helper to fan simulations out over
-//!   patterns.
+//! * [`parallel_map`] / [`parallel_map_with`] — a work-stealing scoped-thread
+//!   pool to fan simulations out over campaign work items,
+//! * [`stats`] — process-wide campaign counters (cones simulated, nodes
+//!   pruned, waveform allocations).
 //!
 //! # Example
 //!
@@ -39,9 +41,10 @@ mod parallel;
 mod stimulus;
 mod waveform;
 
+pub mod stats;
 pub mod vcd;
 
 pub use engine::{ConePlan, ConeScratch, FaultyCone, SimEngine, SimResult};
-pub use parallel::parallel_map;
+pub use parallel::{parallel_map, parallel_map_with};
 pub use stimulus::Stimulus;
-pub use waveform::Waveform;
+pub use waveform::{eval_gate, eval_gate_into, EvalScratch, Waveform};

@@ -1,12 +1,12 @@
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Applies `f` to every index in `0..n` using up to `threads` worker
 /// threads, returning the results in index order.
 ///
-/// Work is distributed dynamically (an atomic cursor), so uneven per-item
-/// cost — typical for fault simulation, where cone sizes vary wildly — does
-/// not serialize the run. With `threads <= 1` the function degrades to a
-/// plain sequential map with no thread overhead.
+/// Work is distributed by range stealing (see [`parallel_map_with`]), so
+/// uneven per-item cost — typical for fault simulation, where cone sizes
+/// vary wildly — does not serialize the run. With `threads <= 1` the
+/// function degrades to a plain sequential map with no thread overhead.
 ///
 /// # Example
 ///
@@ -19,29 +19,66 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_with(n, threads, || (), |(), i| f(i))
+}
+
+/// Like [`parallel_map`], but every worker thread carries a private mutable
+/// state created once by `init` — the hook for reusable scratch buffers in
+/// allocation-free hot loops.
+///
+/// # Scheduling
+///
+/// A work-stealing range pool: each worker starts with a contiguous slice
+/// of the index space and pops items from its front. A worker whose slice
+/// is exhausted steals the upper half of the largest remaining slice
+/// (lock-free, one CAS per claim). This keeps hot caches on the common
+/// path (consecutive indices share inputs), while uneven item costs are
+/// rebalanced at half-range granularity instead of a single global cursor
+/// that all threads contend on.
+///
+/// Results are written to disjoint output slots, so they are returned in
+/// index order regardless of which worker computed them — callers observe
+/// a deterministic result independent of `threads`.
+///
+/// # Panics
+///
+/// Panics if `n` does not fit `u32` (the packed range representation).
+pub fn parallel_map_with<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
+    assert!(u32::try_from(n).is_ok(), "index space must fit u32");
     let threads = threads.min(n);
-    let cursor = AtomicUsize::new(0);
+
+    // per-worker (begin, end) ranges, packed into one atomic each
+    let slots: Vec<AtomicU64> = (0..threads)
+        .map(|w| AtomicU64::new(pack(w * n / threads, (w + 1) * n / threads)))
+        .collect();
+
     let mut out: Vec<Option<T>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     let out_ptr = SendPtr(out.as_mut_ptr());
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let cursor = &cursor;
+        for w in 0..threads {
+            let slots = &slots;
+            let init = &init;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                let mut state = init();
+                while let Some(i) = claim(slots, w) {
+                    let value = f(&mut state, i);
+                    // SAFETY: each index is claimed by exactly one worker
+                    // (see `claim`), so writes to disjoint slots never
+                    // alias; the vec outlives the scope.
+                    unsafe { out_ptr.write(i, Some(value)) };
                 }
-                let value = f(i);
-                // SAFETY: each index i is claimed by exactly one thread via
-                // the atomic counter, so writes to disjoint slots never
-                // alias; the vec outlives the scope.
-                unsafe { out_ptr.write(i, Some(value)) };
             });
         }
     });
@@ -49,6 +86,69 @@ where
     out.into_iter()
         .map(|v| v.expect("every index was processed"))
         .collect()
+}
+
+/// Packs a `[begin, end)` index range into one `u64`.
+fn pack(begin: usize, end: usize) -> u64 {
+    ((begin as u64) << 32) | end as u64
+}
+
+/// Unpacks a `[begin, end)` index range.
+#[allow(clippy::cast_possible_truncation)]
+fn unpack(packed: u64) -> (usize, usize) {
+    ((packed >> 32) as usize, (packed & 0xffff_ffff) as usize)
+}
+
+/// Claims the next work item for worker `w`: first from its own range,
+/// then by stealing the upper half of the largest other range. Returns
+/// `None` when no claimable work remains anywhere.
+fn claim(slots: &[AtomicU64], w: usize) -> Option<usize> {
+    // fast path: pop from the worker's own range front
+    loop {
+        let cur = slots[w].load(Ordering::SeqCst);
+        let (begin, end) = unpack(cur);
+        if begin >= end {
+            break;
+        }
+        if slots[w]
+            .compare_exchange_weak(
+                cur,
+                pack(begin + 1, end),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            return Some(begin);
+        }
+    }
+    // steal: largest victim range, upper half
+    loop {
+        let mut best: Option<(usize, u64, usize, usize)> = None;
+        for (v, slot) in slots.iter().enumerate() {
+            if v == w {
+                continue;
+            }
+            let cur = slot.load(Ordering::SeqCst);
+            let (begin, end) = unpack(cur);
+            if begin < end && best.is_none_or(|(_, _, b, e)| end - begin > e - b) {
+                best = Some((v, cur, begin, end));
+            }
+        }
+        let (victim, cur, begin, end) = best?;
+        // leave [begin, mid) with the victim, take [mid, end)
+        let mid = begin + (end - begin) / 2;
+        let mid = mid.max(begin); // len 1 → steal the single item
+        if slots[victim]
+            .compare_exchange(cur, pack(begin, mid), Ordering::SeqCst, Ordering::SeqCst)
+            .is_ok()
+        {
+            // publish the stolen remainder before working on `mid`
+            slots[w].store(pack(mid + 1, end), Ordering::SeqCst);
+            return Some(mid);
+        }
+        // lost the race — rescan
+    }
 }
 
 /// A raw pointer wrapper that is `Send`/`Copy` so worker threads can write
@@ -76,12 +176,13 @@ impl<T> Clone for SendPtr<T> {
 }
 impl<T> Copy for SendPtr<T> {}
 // SAFETY: the pointer is only used to write disjoint indices, coordinated
-// by an atomic cursor, inside a thread scope that the buffer outlives.
+// by the range pool, inside a thread scope that the buffer outlives.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn sequential_fallback() {
@@ -114,5 +215,51 @@ mod tests {
     #[test]
     fn more_threads_than_items() {
         assert_eq!(parallel_map(3, 64, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_index_claimed_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..500).map(|_| AtomicUsize::new(0)).collect();
+        parallel_map(500, 8, |i| hits[i].fetch_add(1, Ordering::SeqCst));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::SeqCst), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        // each worker's state counts its items; the sum must equal n
+        let n = 300;
+        let counts: Vec<usize> = parallel_map_with(
+            n,
+            4,
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        // the per-item value is the worker-local running count, so the
+        // maximum over all items of each worker equals its item share;
+        // globally, every item got exactly one value >= 1
+        assert_eq!(counts.len(), n);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn skewed_single_heavy_tail_balances() {
+        // one block of indices is 100× heavier; stealing must still finish
+        // and return correct results
+        let par = parallel_map(256, 8, |i| {
+            let rounds = if i < 32 { 20_000 } else { 200 };
+            let mut acc = 0u64;
+            for k in 0..rounds {
+                acc = acc.wrapping_mul(31).wrapping_add(k ^ i as u64);
+            }
+            (i, acc)
+        });
+        for (i, item) in par.iter().enumerate() {
+            assert_eq!(item.0, i);
+        }
     }
 }

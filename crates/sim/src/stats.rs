@@ -1,0 +1,128 @@
+//! Global campaign instrumentation: cheap atomic counters incremented by
+//! the fault-simulation hot paths.
+//!
+//! Counters are process-wide and updated with relaxed ordering; the hot
+//! loops batch their deltas and flush once per simulated cone, so the
+//! bookkeeping is invisible in profiles. Use [`reset`] before and
+//! [`snapshot`] after a campaign to measure it:
+//!
+//! ```
+//! fastmon_sim::stats::reset();
+//! // ... run a campaign ...
+//! let stats = fastmon_sim::stats::snapshot();
+//! assert_eq!(stats.cones_simulated, 0);
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CONES_SIMULATED: AtomicU64 = AtomicU64::new(0);
+static CONES_MASKED: AtomicU64 = AtomicU64::new(0);
+static NODES_EVALUATED: AtomicU64 = AtomicU64::new(0);
+static NODES_CONVERGED: AtomicU64 = AtomicU64::new(0);
+static NODES_PRUNED_UNOBSERVED: AtomicU64 = AtomicU64::new(0);
+static WAVEFORM_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static WAVEFORM_REUSES: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of the campaign counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CampaignStats {
+    /// Planned cone simulations whose fault was active at its seed gate.
+    pub cones_simulated: u64,
+    /// Planned cone simulations rejected because the fault was fully
+    /// masked at its own gate (seed waveform unchanged).
+    pub cones_masked: u64,
+    /// Cone gates actually re-evaluated.
+    pub nodes_evaluated: u64,
+    /// Cone gates skipped because every fanin had already converged back
+    /// to its fault-free waveform (including early-exit tail skips).
+    pub nodes_converged: u64,
+    /// Cone gates dropped at plan-build time because they cannot reach
+    /// any observation point.
+    pub nodes_pruned_unobserved: u64,
+    /// Waveform transition buffers allocated fresh in the hot loop.
+    pub waveform_allocs: u64,
+    /// Waveform transition buffers recycled from the scratch pool.
+    pub waveform_reuses: u64,
+}
+
+/// Snapshots all counters.
+#[must_use]
+pub fn snapshot() -> CampaignStats {
+    CampaignStats {
+        cones_simulated: CONES_SIMULATED.load(Ordering::Relaxed),
+        cones_masked: CONES_MASKED.load(Ordering::Relaxed),
+        nodes_evaluated: NODES_EVALUATED.load(Ordering::Relaxed),
+        nodes_converged: NODES_CONVERGED.load(Ordering::Relaxed),
+        nodes_pruned_unobserved: NODES_PRUNED_UNOBSERVED.load(Ordering::Relaxed),
+        waveform_allocs: WAVEFORM_ALLOCS.load(Ordering::Relaxed),
+        waveform_reuses: WAVEFORM_REUSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all counters.
+pub fn reset() {
+    CONES_SIMULATED.store(0, Ordering::Relaxed);
+    CONES_MASKED.store(0, Ordering::Relaxed);
+    NODES_EVALUATED.store(0, Ordering::Relaxed);
+    NODES_CONVERGED.store(0, Ordering::Relaxed);
+    NODES_PRUNED_UNOBSERVED.store(0, Ordering::Relaxed);
+    WAVEFORM_ALLOCS.store(0, Ordering::Relaxed);
+    WAVEFORM_REUSES.store(0, Ordering::Relaxed);
+}
+
+/// One cone's worth of counter deltas, flushed in a single batch.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ConeTally {
+    pub nodes_evaluated: u64,
+    pub nodes_converged: u64,
+    pub waveform_allocs: u64,
+    pub waveform_reuses: u64,
+}
+
+impl ConeTally {
+    /// Publishes the deltas of one simulated cone.
+    pub(crate) fn flush_simulated(self) {
+        CONES_SIMULATED.fetch_add(1, Ordering::Relaxed);
+        NODES_EVALUATED.fetch_add(self.nodes_evaluated, Ordering::Relaxed);
+        NODES_CONVERGED.fetch_add(self.nodes_converged, Ordering::Relaxed);
+        WAVEFORM_ALLOCS.fetch_add(self.waveform_allocs, Ordering::Relaxed);
+        WAVEFORM_REUSES.fetch_add(self.waveform_reuses, Ordering::Relaxed);
+    }
+}
+
+/// Records a fault masked at its seed gate.
+pub(crate) fn count_masked_cone() {
+    CONES_MASKED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records cone nodes removed by observer-reach pruning at plan build.
+pub(crate) fn count_pruned_nodes(n: u64) {
+    NODES_PRUNED_UNOBSERVED.fetch_add(n, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_then_flush_accumulates() {
+        reset();
+        ConeTally {
+            nodes_evaluated: 5,
+            nodes_converged: 2,
+            waveform_allocs: 1,
+            waveform_reuses: 4,
+        }
+        .flush_simulated();
+        count_masked_cone();
+        count_pruned_nodes(7);
+        let s = snapshot();
+        assert!(s.cones_simulated >= 1);
+        assert!(s.nodes_evaluated >= 5);
+        assert!(s.nodes_converged >= 2);
+        assert!(s.cones_masked >= 1);
+        assert!(s.nodes_pruned_unobserved >= 7);
+        assert!(s.waveform_allocs >= 1);
+        assert!(s.waveform_reuses >= 4);
+    }
+}

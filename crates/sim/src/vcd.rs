@@ -174,10 +174,7 @@ mod tests {
         let (c, r) = sample();
         let nets: Vec<_> = c.node_ids().collect();
         let text = to_string_filtered(&c, &r, &nets);
-        let total_transitions: usize = nets
-            .iter()
-            .map(|&id| r.wave(id).transitions().len())
-            .sum();
+        let total_transitions: usize = nets.iter().map(|&id| r.wave(id).transitions().len()).sum();
         // value-change lines = initial dump (one per net) + transitions
         let change_lines = text
             .lines()

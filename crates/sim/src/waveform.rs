@@ -87,6 +87,13 @@ impl Waveform {
         &self.transitions
     }
 
+    /// Consumes the waveform and returns its transition buffer, so hot
+    /// loops can recycle the allocation for the next waveform.
+    #[must_use]
+    pub fn into_transitions(self) -> Vec<Time> {
+        self.transitions
+    }
+
     /// Returns `true` if the signal never toggles.
     #[must_use]
     pub fn is_constant(&self) -> bool {
@@ -131,7 +138,11 @@ impl Waveform {
         for &t in &self.transitions {
             let new_value = !value;
             value = new_value;
-            let shifted = if polarity.affects(new_value) { t + d } else { t };
+            let shifted = if polarity.affects(new_value) {
+                t + d
+            } else {
+                t
+            };
             match out.last() {
                 Some(&last) if shifted <= last => {
                     // the delayed edge crossed the previous one: both vanish
@@ -197,7 +208,11 @@ impl Waveform {
         let mut out = IntervalSet::new();
         let mut va = self.initial;
         let mut vb = other.initial;
-        let mut differ_since: Option<Time> = if va != vb { Some(f64::NEG_INFINITY) } else { None };
+        let mut differ_since: Option<Time> = if va != vb {
+            Some(f64::NEG_INFINITY)
+        } else {
+            None
+        };
         let (mut i, mut j) = (0usize, 0usize);
         let a = &self.transitions;
         let b = &other.transitions;
@@ -239,6 +254,22 @@ impl fmt::Display for Waveform {
     }
 }
 
+/// Reusable per-thread buffers for [`eval_gate_into`]: input values and
+/// event cursors, sized to the widest gate seen so far.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    values: Vec<bool>,
+    cursors: Vec<usize>,
+}
+
+impl EvalScratch {
+    /// Fresh (empty) scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        EvalScratch::default()
+    }
+}
+
 /// Evaluates a gate's output waveform from its input waveforms.
 ///
 /// The gate is a transport-delay element with separate rise/fall delays;
@@ -251,18 +282,58 @@ pub fn eval_gate(
     rise_delay: Time,
     fall_delay: Time,
 ) -> Waveform {
-    let mut values: Vec<bool> = inputs.iter().map(|w| w.initial()).collect();
-    let initial = kind.eval(&values);
+    let mut scratch = EvalScratch::new();
+    let mut transitions = Vec::new();
+    let initial = eval_gate_into(
+        kind,
+        inputs.len(),
+        |k| inputs[k],
+        rise_delay,
+        fall_delay,
+        &mut scratch,
+        &mut transitions,
+    );
+    Waveform {
+        initial,
+        transitions,
+    }
+}
+
+/// Allocation-free core of [`eval_gate`]: inputs come from an accessor
+/// instead of a collected slice, working buffers come from `scratch`, and
+/// the output transitions land in `out` (cleared first). Returns the
+/// output's initial value.
+///
+/// Campaign hot loops call this with recycled `out` buffers so steady-state
+/// fault simulation performs no per-gate heap allocation.
+pub fn eval_gate_into<'a, F>(
+    kind: fastmon_netlist::GateKind,
+    num_inputs: usize,
+    input: F,
+    rise_delay: Time,
+    fall_delay: Time,
+    scratch: &mut EvalScratch,
+    out: &mut Vec<Time>,
+) -> bool
+where
+    F: Fn(usize) -> &'a Waveform,
+{
+    scratch.values.clear();
+    scratch.cursors.clear();
+    for k in 0..num_inputs {
+        scratch.values.push(input(k).initial());
+        scratch.cursors.push(0);
+    }
+    let initial = kind.eval(&scratch.values);
 
     // merge all input events in time order
-    let mut cursors = vec![0usize; inputs.len()];
-    let mut out: Vec<Time> = Vec::new();
+    out.clear();
     let mut current = initial;
     loop {
         // earliest pending event time
         let mut t = f64::INFINITY;
-        for (k, w) in inputs.iter().enumerate() {
-            if let Some(&tt) = w.transitions().get(cursors[k]) {
+        for k in 0..num_inputs {
+            if let Some(&tt) = input(k).transitions().get(scratch.cursors[k]) {
                 t = t.min(tt);
             }
         }
@@ -270,17 +341,17 @@ pub fn eval_gate(
             break;
         }
         // apply all events at exactly time t (simultaneous toggles)
-        for (k, w) in inputs.iter().enumerate() {
-            while w
+        for k in 0..num_inputs {
+            while input(k)
                 .transitions()
-                .get(cursors[k])
+                .get(scratch.cursors[k])
                 .is_some_and(|&tt| tt == t)
             {
-                values[k] = !values[k];
-                cursors[k] += 1;
+                scratch.values[k] = !scratch.values[k];
+                scratch.cursors[k] += 1;
             }
         }
-        let new_value = kind.eval(&values);
+        let new_value = kind.eval(&scratch.values);
         if new_value != current {
             current = new_value;
             let delay = if new_value { rise_delay } else { fall_delay };
@@ -293,10 +364,26 @@ pub fn eval_gate(
             }
         }
     }
-    Waveform {
-        initial,
-        transitions: out,
+    initial
+}
+
+/// In-place variant of [`Waveform::filter_pulses`] over a raw transition
+/// buffer, for hot loops that have not yet wrapped it in a waveform.
+pub fn filter_pulses_in_place(transitions: &mut Vec<Time>, min_width: f64) {
+    if min_width <= 0.0 || transitions.len() < 2 {
+        return;
     }
+    let mut w = 0usize;
+    for i in 0..transitions.len() {
+        let t = transitions[i];
+        if w > 0 && t - transitions[w - 1] < min_width {
+            w -= 1;
+        } else {
+            transitions[w] = t;
+            w += 1;
+        }
+    }
+    transitions.truncate(w);
 }
 
 #[cfg(test)]
@@ -376,6 +463,32 @@ mod tests {
         let f = w.filter_pulses(0.5);
         assert_eq!(f.final_value(), w.final_value());
         assert_eq!(f.transitions(), &[3.0]);
+    }
+
+    #[test]
+    fn filter_in_place_matches_filter_pulses() {
+        for width in [0.0, 0.5, 1.0, 5.0] {
+            let w = Waveform::with_transitions(true, vec![5.0, 5.2, 9.0, 20.0, 20.3, 40.0]);
+            let expect = w.filter_pulses(width);
+            let mut ts = w.transitions().to_vec();
+            filter_pulses_in_place(&mut ts, width);
+            assert_eq!(ts, expect.transitions(), "width {width}");
+        }
+    }
+
+    #[test]
+    fn eval_gate_into_matches_eval_gate() {
+        let a = Waveform::with_transitions(false, vec![1.0, 4.0, 9.0]);
+        let b = Waveform::with_transitions(true, vec![2.0, 4.0]);
+        let inputs = [&a, &b];
+        let mut scratch = EvalScratch::new();
+        let mut out = vec![99.0]; // stale contents must be cleared
+        for kind in [GateKind::And, GateKind::Nand, GateKind::Xor, GateKind::Nor] {
+            let expect = eval_gate(kind, &inputs, 1.5, 0.5);
+            let initial = eval_gate_into(kind, 2, |k| inputs[k], 1.5, 0.5, &mut scratch, &mut out);
+            assert_eq!(initial, expect.initial(), "{kind}");
+            assert_eq!(out, expect.transitions(), "{kind}");
+        }
     }
 
     #[test]

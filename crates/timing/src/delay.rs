@@ -72,7 +72,12 @@ impl DelayModel {
     pub fn unit() -> Self {
         let mut base_rise = [1.0; 12];
         let mut base_fall = [1.0; 12];
-        for kind in [GateKind::Input, GateKind::Dff, GateKind::Const0, GateKind::Const1] {
+        for kind in [
+            GateKind::Input,
+            GateKind::Dff,
+            GateKind::Const0,
+            GateKind::Const1,
+        ] {
             base_rise[kind_index(kind)] = 0.0;
             base_fall[kind_index(kind)] = 0.0;
         }
@@ -129,7 +134,12 @@ mod tests {
     #[test]
     fn sources_have_zero_delay() {
         let m = DelayModel::nangate45_like();
-        for kind in [GateKind::Input, GateKind::Dff, GateKind::Const0, GateKind::Const1] {
+        for kind in [
+            GateKind::Input,
+            GateKind::Dff,
+            GateKind::Const0,
+            GateKind::Const1,
+        ] {
             assert_eq!(m.nominal(kind, 0, 5), (0.0, 0.0));
         }
     }
@@ -147,7 +157,13 @@ mod tests {
     fn xor_is_slowest_two_input() {
         let m = DelayModel::nangate45_like();
         let (xor, _) = m.nominal(GateKind::Xor, 2, 1);
-        for kind in [GateKind::Nand, GateKind::Nor, GateKind::And, GateKind::Or, GateKind::Not] {
+        for kind in [
+            GateKind::Nand,
+            GateKind::Nor,
+            GateKind::And,
+            GateKind::Or,
+            GateKind::Not,
+        ] {
             assert!(xor > m.nominal(kind, 2, 1).0);
         }
     }

@@ -254,7 +254,8 @@ mod tests {
     #[test]
     fn unknown_instance_rejected() {
         let c = library::c17();
-        let text = "(DELAYFILE (CELL (INSTANCE ghost) (DELAY (ABSOLUTE (IOPATH A Z (1.0) (2.0))))))";
+        let text =
+            "(DELAYFILE (CELL (INSTANCE ghost) (DELAY (ABSOLUTE (IOPATH A Z (1.0) (2.0))))))";
         assert!(matches!(
             parse(text, &c, 0.2),
             Err(SdfError::UnknownInstance { .. })
@@ -265,7 +266,10 @@ mod tests {
     fn bad_number_rejected() {
         let c = library::c17();
         let text = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (oops) (2.0))))))";
-        assert!(matches!(parse(text, &c, 0.2), Err(SdfError::BadNumber { .. })));
+        assert!(matches!(
+            parse(text, &c, 0.2),
+            Err(SdfError::BadNumber { .. })
+        ));
     }
 
     #[test]

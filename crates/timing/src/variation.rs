@@ -96,7 +96,9 @@ mod tests {
         assert!((var.sqrt() - 0.2).abs() < 0.02, "std {}", var.sqrt());
         assert!(samples.iter().all(|&x| x > 0.0));
         assert!(
-            samples.iter().all(|&x| (0.4 - 1e-9..=1.6 + 1e-9).contains(&x)),
+            samples
+                .iter()
+                .all(|&x| (0.4 - 1e-9..=1.6 + 1e-9).contains(&x)),
             "3σ truncation"
         );
     }

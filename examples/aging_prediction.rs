@@ -36,14 +36,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "device: {} gates, t_nom = {:.0} ps, guard bands {:?} ps",
         circuit.combinational_nodes().count(),
         clock.t_nom,
-        configs.delays().iter().map(|d| d.round()).collect::<Vec<_>>()
+        configs
+            .delays()
+            .iter()
+            .map(|d| d.round())
+            .collect::<Vec<_>>()
     );
 
     // monitor the busiest observation point: the end of the critical path
     let critical_op = circuit
         .observe_points()
         .iter()
-        .max_by(|a, b| sta.max_arrival(a.driver).total_cmp(&sta.max_arrival(b.driver)))
+        .max_by(|a, b| {
+            sta.max_arrival(a.driver)
+                .total_cmp(&sta.max_arrival(b.driver))
+        })
         .expect("circuit has observation points");
     let monitored = critical_op.driver;
     println!(
@@ -80,13 +87,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .wrapping_mul(0x9e37_79b9)
                         .wrapping_add(x.wrapping_mul(0x85eb_ca6b))
                 };
-                (h(s).count_ones() % 2 == 0, h(s ^ 0xffff).count_ones() % 2 == 0)
+                (
+                    h(s).count_ones() % 2 == 0,
+                    h(s ^ 0xffff).count_ones() % 2 == 0,
+                )
             })
         })
         .min_by(|x, y| {
             let score = |st: &Stimulus| {
                 let s = slack_of(st);
-                if s >= target { s - target } else { 10.0 * (target - s) }
+                if s >= target {
+                    s - target
+                } else {
+                    10.0 * (target - s)
+                }
             };
             score(x).total_cmp(&score(y))
         })
@@ -130,7 +144,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .delays()
             .iter()
             .map(|&d| {
-                if guard::alert(wave, clock.t_nom, d) { "!".into() } else { "·".into() }
+                if guard::alert(wave, clock.t_nom, d) {
+                    "!".into()
+                } else {
+                    "·".into()
+                }
             })
             .collect();
         println!(

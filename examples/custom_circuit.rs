@@ -20,9 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // state register q0..q3 with next-state logic: q' = (q XOR d) AND en-chain
     let mut carry = "en".to_owned();
     for i in 0..4 {
-        b.add(format!("x{i}"), GateKind::Xor, &[&format!("q{i}"), &format!("d{i}")]);
-        b.add(format!("n{i}"), GateKind::And, &[&format!("x{i}"), carry.as_str()]);
-        b.add(format!("c{i}"), GateKind::And, &[&format!("q{i}"), &format!("d{i}")]);
+        b.add(
+            format!("x{i}"),
+            GateKind::Xor,
+            &[&format!("q{i}"), &format!("d{i}")],
+        );
+        b.add(
+            format!("n{i}"),
+            GateKind::And,
+            &[&format!("x{i}"), carry.as_str()],
+        );
+        b.add(
+            format!("c{i}"),
+            GateKind::And,
+            &[&format!("q{i}"), &format!("d{i}")],
+        );
         b.add(format!("q{i}"), GateKind::Dff, &[&format!("n{i}")]);
         carry = format!("c{i}");
     }

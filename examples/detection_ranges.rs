@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     b.add("b", GateKind::Input, &[]);
     b.add("en", GateKind::Input, &[]);
     for i in 1..=CHAIN {
-        let prev = if i == 1 { "a".to_owned() } else { format!("d{}", i - 1) };
+        let prev = if i == 1 {
+            "a".to_owned()
+        } else {
+            format!("d{}", i - 1)
+        };
         b.add(format!("d{i}"), GateKind::Buf, &[prev.as_str()]);
     }
     let deep = format!("d{CHAIN}");
@@ -71,14 +75,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "  at {} ({}): {set}",
             circuit.node(circuit.observe_points()[op].driver).name(),
-            if pseudo { "flip-flop D pin" } else { "primary output" },
+            if pseudo {
+                "flip-flop D pin"
+            } else {
+                "primary output"
+            },
         );
         raw.push(op, set);
     }
 
     // Fig. 1: pessimistic pulse filtering
     let filtered = raw.filter_glitches(4.0);
-    println!("\nafter glitch filtering (threshold 4 ps): {}", filtered.raw_union());
+    println!(
+        "\nafter glitch filtering (threshold 4 ps): {}",
+        filtered.raw_union()
+    );
 
     // Fig. 2 (d): a monitor delay element shifts the range into the window
     let configs = ConfigSet::paper_defaults(clock.t_nom);
@@ -86,10 +97,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\ndetection under each monitor configuration (clipped to the window):");
     for config in configs.configs() {
         let set = shifted_detection(&filtered, &placement, &configs, config, &clock);
-        println!("  config {:>3} (+{:>5.1} ps): {set}", config.to_string(), configs.shift(config));
+        println!(
+            "  config {:>3} (+{:>5.1} ps): {set}",
+            config.to_string(),
+            configs.shift(config)
+        );
     }
     let off = shifted_detection(&filtered, &placement, &configs, MonitorConfig::Off, &clock);
-    let best = shifted_detection(&filtered, &placement, &configs, MonitorConfig::Delay(3), &clock);
+    let best = shifted_detection(
+        &filtered,
+        &placement,
+        &configs,
+        MonitorConfig::Delay(3),
+        &clock,
+    );
     if off.is_empty() && !best.is_empty() {
         println!("\n→ invisible to conventional FAST, rescued by the 1/3·t_nom delay element");
     }
@@ -110,7 +131,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let cells = elementary_intervals(&ranges);
-    println!("  {} elementary intervals from {} detectable faults", cells.len(), ranges.len());
+    println!(
+        "  {} elementary intervals from {} detectable faults",
+        cells.len(),
+        ranges.len()
+    );
     let candidates = discretize(&ranges);
     println!(
         "  candidate capture periods: {:?}",

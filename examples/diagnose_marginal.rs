@@ -44,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ground truth: secretly pick a marginal device (a target fault) and
     // synthesize its syndrome
     let truth = analysis.targets[analysis.targets.len() / 2];
-    let fault = analysis.faults.fault(fastmon::faults::FaultId::from_index(truth));
+    let fault = analysis
+        .faults
+        .fault(fastmon::faults::FaultId::from_index(truth));
     println!("\n(injected ground truth: fault {fault} — index {truth})");
     let observations = predicted_observations(&flow, &analysis, truth, &applications);
     let fails = observations.iter().filter(|o| o.failed).count();
@@ -55,11 +57,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // diagnose
     let ranking = diagnose(&flow, &analysis, &observations);
-    println!("top candidates (of {} with any explanatory power):", ranking.len());
+    println!(
+        "top candidates (of {} with any explanatory power):",
+        ranking.len()
+    );
     println!("rank  fault                     score  explains  misses  contradicts");
     for (i, cand) in ranking.iter().take(8).enumerate() {
-        let f = analysis.faults.fault(fastmon::faults::FaultId::from_index(cand.fault));
-        let marker = if cand.fault == truth { "  ← injected" } else { "" };
+        let f = analysis
+            .faults
+            .fault(fastmon::faults::FaultId::from_index(cand.fault));
+        let marker = if cand.fault == truth {
+            "  ← injected"
+        } else {
+            ""
+        };
         println!(
             "{:>4}  {:<24} {:>6.1} {:>9} {:>7} {:>12}{marker}",
             i + 1,
@@ -75,8 +86,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let truth_rank = ranking.iter().position(|c| c.fault == truth);
     match truth_rank {
         Some(r) if (ranking[r].score - best_score).abs() < 1e-9 => {
-            let cohort = ranking.iter().filter(|c| (c.score - best_score).abs() < 1e-9).count();
-            println!("\n→ ground truth is in the top-score cohort ({cohort} equivalent candidates)");
+            let cohort = ranking
+                .iter()
+                .filter(|c| (c.score - best_score).abs() < 1e-9)
+                .count();
+            println!(
+                "\n→ ground truth is in the top-score cohort ({cohort} equivalent candidates)"
+            );
         }
         Some(r) => println!("\n→ ground truth ranked {} — syndrome too sparse", r + 1),
         None => println!("\n→ ground truth not recovered"),

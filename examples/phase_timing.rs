@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t = Instant::now();
     let patterns = flow.generate_patterns(Some(64));
-    println!("atpg:      {:>8.2?}  ({} patterns)", t.elapsed(), patterns.len());
+    println!(
+        "atpg:      {:>8.2?}  ({} patterns)",
+        t.elapsed(),
+        patterns.len()
+    );
 
     let t = Instant::now();
     let analysis = flow.analyze(&patterns);

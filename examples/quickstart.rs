@@ -19,7 +19,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .gates(900)
         .depth(16)
         .generate(42)?;
-    println!("circuit: {} — {}", circuit.name(), CircuitStats::of(&circuit));
+    println!(
+        "circuit: {} — {}",
+        circuit.name(),
+        CircuitStats::of(&circuit)
+    );
 
     // prepare: process-varied delays, STA, clock (t_nom = 1.05·cpl,
     // f_max = 3·f_nom), monitors at 25 % of the longest-path observation

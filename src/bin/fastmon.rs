@@ -58,9 +58,7 @@ fn usage() {
 }
 
 fn opt_value<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
-    args.windows(2)
-        .find(|w| w[0] == key)
-        .map(|w| w[1].as_str())
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].as_str())
 }
 
 fn parse_opt<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> Result<T, String> {
@@ -83,7 +81,10 @@ fn load_circuit(path: &str) -> Result<Circuit, String> {
 }
 
 fn cmd_profiles() -> Result<(), String> {
-    println!("{:<8} {:>8} {:>6} {:>5} {:>5} {:>6} {:>5}", "name", "gates", "FFs", "PIs", "POs", "|P|", "depth");
+    println!(
+        "{:<8} {:>8} {:>6} {:>5} {:>5} {:>6} {:>5}",
+        "name", "gates", "FFs", "PIs", "POs", "|P|", "depth"
+    );
     for p in paper_suite() {
         println!(
             "{:<8} {:>8} {:>6} {:>5} {:>5} {:>6} {:>5}",
@@ -153,7 +154,10 @@ fn cmd_flow(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown solver `{other}`")),
     };
 
-    let config = FlowConfig { seed, ..FlowConfig::default() };
+    let config = FlowConfig {
+        seed,
+        ..FlowConfig::default()
+    };
     let flow = HdfTestFlow::prepare(&circuit, &config);
     let counts = flow.counts();
     println!(

@@ -182,6 +182,10 @@ fn fig3_series_has_paper_shape() {
     let first = series.first().expect("non-empty series");
     // coverage grows with f_max; monitors dominate conventional FAST
     assert!(last.conv_coverage > first.conv_coverage);
-    assert!(last.prop_coverage >= last.conv_coverage + 0.1,
-        "monitor gain too small: prop {} conv {}", last.prop_coverage, last.conv_coverage);
+    assert!(
+        last.prop_coverage >= last.conv_coverage + 0.1,
+        "monitor gain too small: prop {} conv {}",
+        last.prop_coverage,
+        last.conv_coverage
+    );
 }

@@ -18,15 +18,32 @@ fn generated_circuits_round_trip_through_bench() {
             .expect("valid generator config");
         let text = bench::to_string(&circuit);
         let parsed = bench::parse(&text, circuit.name()).expect("own output parses");
-        assert_eq!(CircuitStats::of(&parsed), CircuitStats::of(&circuit), "seed {seed}");
+        assert_eq!(
+            CircuitStats::of(&parsed),
+            CircuitStats::of(&circuit),
+            "seed {seed}"
+        );
         // same topology: every node, same kind and fanin names
         for (id, node) in circuit.iter() {
             let pid = parsed.find(node.name()).expect("node survives");
             assert_eq!(parsed.node(pid).kind(), node.kind());
-            let orig: Vec<&str> = node.fanins().iter().map(|&f| circuit.node(f).name()).collect();
-            let back: Vec<&str> =
-                parsed.node(pid).fanins().iter().map(|&f| parsed.node(f).name()).collect();
-            assert_eq!(orig, back, "fanins of {} seed {seed}", circuit.node(id).name());
+            let orig: Vec<&str> = node
+                .fanins()
+                .iter()
+                .map(|&f| circuit.node(f).name())
+                .collect();
+            let back: Vec<&str> = parsed
+                .node(pid)
+                .fanins()
+                .iter()
+                .map(|&f| parsed.node(f).name())
+                .collect();
+            assert_eq!(
+                orig,
+                back,
+                "fanins of {} seed {seed}",
+                circuit.node(id).name()
+            );
         }
     }
 }

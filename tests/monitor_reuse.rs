@@ -19,7 +19,11 @@ fn mixed_cone() -> fastmon::netlist::Circuit {
     b.add("b", GateKind::Input, &[]);
     b.add("en", GateKind::Input, &[]);
     for i in 1..=16 {
-        let prev = if i == 1 { "a".to_owned() } else { format!("d{}", i - 1) };
+        let prev = if i == 1 {
+            "a".to_owned()
+        } else {
+            format!("d{}", i - 1)
+        };
         b.add(format!("d{i}"), GateKind::Buf, &[prev.as_str()]);
     }
     b.add("shallow", GateKind::Xor, &["b", "en"]);
@@ -85,7 +89,13 @@ fn hidden_fault_is_invisible_to_conventional_fast() {
         }
     }
     let placement = MonitorPlacement::from_mask(vec![false; s.circuit.observe_points().len()]);
-    let conv = shifted_detection(&s.range, &placement, &s.configs, MonitorConfig::Off, &s.clock);
+    let conv = shifted_detection(
+        &s.range,
+        &placement,
+        &s.configs,
+        MonitorConfig::Off,
+        &s.clock,
+    );
     assert!(conv.is_empty(), "conventional FAST must not see it");
 }
 
@@ -140,9 +150,6 @@ fn at_speed_monitor_detection_requires_late_ranges() {
     let placement = MonitorPlacement::full(&s.circuit);
     // the early-range fault is not at-speed detectable even with monitors
     assert!(!at_speed_monitor_detectable(
-        &s.range,
-        &placement,
-        &s.configs,
-        &s.clock
+        &s.range, &placement, &s.configs, &s.clock
     ));
 }

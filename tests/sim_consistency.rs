@@ -75,7 +75,11 @@ fn wordsim_agrees_with_scalar_fault_insertion() {
                 let bits = bits.clone();
                 let sources = sources.clone();
                 move |id: fastmon::netlist::NodeId| {
-                    sources.iter().position(|&s| s == id).map(|k| bits[k]).unwrap_or(false)
+                    sources
+                        .iter()
+                        .position(|&s| s == id)
+                        .map(|k| bits[k])
+                        .unwrap_or(false)
                 }
             };
             let v1 = circuit.eval_steady(assigned(&pat.launch));
@@ -91,14 +95,12 @@ fn wordsim_agrees_with_scalar_fault_insertion() {
                         fault.initial_value()
                     } else {
                         match node.kind() {
-                            fastmon::netlist::GateKind::Input
-                            | fastmon::netlist::GateKind::Dff => assigned(&pat.capture)(id),
+                            fastmon::netlist::GateKind::Input | fastmon::netlist::GateKind::Dff => {
+                                assigned(&pat.capture)(id)
+                            }
                             kind if kind.is_combinational() => {
-                                let ins: Vec<bool> = node
-                                    .fanins()
-                                    .iter()
-                                    .map(|&fi| faulty[fi.index()])
-                                    .collect();
+                                let ins: Vec<bool> =
+                                    node.fanins().iter().map(|&fi| faulty[fi.index()]).collect();
                                 kind.eval(&ins)
                             }
                             kind => kind.eval(&[]),
