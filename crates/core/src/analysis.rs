@@ -115,7 +115,11 @@ impl DetectionAnalysis {
         } else {
             1
         };
-        let band_size = (threads * 2).clamp(4, num_patterns.max(1));
+        // Aim for 2 patterns per thread and at least 4 per band, but never
+        // more than the test set holds. Written as max-then-min (not
+        // `clamp`) because the lower bound (4) can exceed the upper bound
+        // on small pattern sets, which `clamp` rejects with a panic.
+        let band_size = (threads * 2).max(4).min(num_patterns.max(1));
 
         let mut per_pattern: Vec<Vec<(u32, DetectionRange)>> = vec![Vec::new(); faults.len()];
         let mut raw_union: Vec<DetectionRange> = vec![DetectionRange::new(); faults.len()];
@@ -359,6 +363,31 @@ mod tests {
                     hit,
                     "fault {f}: fast_range time {t} not backed by any pattern"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_handles_tiny_pattern_sets() {
+        // Regression: band sizing used `(threads * 2).clamp(4, num_patterns)`,
+        // which panics ("assert min <= max") whenever the test set holds
+        // fewer than 4 patterns. Truncated and empty test sets are valid
+        // inputs and must not crash, at any thread count.
+        let c = fastmon_netlist::library::s27();
+        for threads in [1, 8] {
+            let cfg = FlowConfig {
+                threads,
+                ..FlowConfig::default()
+            };
+            let flow = HdfTestFlow::prepare(&c, &cfg);
+            for budget in [0, 1, 2, 3] {
+                let patterns = flow.generate_patterns(Some(budget));
+                assert!(patterns.len() <= budget);
+                let analysis = flow.analyze(&patterns);
+                assert_eq!(analysis.num_patterns, patterns.len());
+                if budget == 0 {
+                    assert!(analysis.per_pattern.iter().all(Vec::is_empty));
+                }
             }
         }
     }

@@ -1,10 +1,22 @@
 //! Global campaign instrumentation: cheap atomic counters incremented by
 //! the fault-simulation hot paths.
 //!
-//! Counters are process-wide and updated with relaxed ordering; the hot
-//! loops batch their deltas and flush once per simulated cone, so the
-//! bookkeeping is invisible in profiles. Use [`reset`] before and
-//! [`snapshot`] after a campaign to measure it:
+//! # One campaign at a time
+//!
+//! Counters are **process-wide**: a [`reset`]/[`snapshot`] pair brackets
+//! everything the process simulated in between, not one particular
+//! campaign. Running two campaigns concurrently (overlapping flows in one
+//! process, or `cargo test` without `--test-threads=1` when several tests
+//! measure stats) interleaves their tallies, so each snapshot can include
+//! the other campaign's work. The counters stay race-free and monotonic
+//! in that case — only the attribution blurs. Callers that need exact
+//! per-campaign numbers (e.g. `perf_snapshot`) must serialize campaigns
+//! around the reset/snapshot pair.
+//!
+//! Counters are updated with relaxed ordering; the hot loops batch their
+//! deltas and flush once per simulated cone, so the bookkeeping is
+//! invisible in profiles. Use [`reset`] before and [`snapshot`] after a
+//! campaign to measure it:
 //!
 //! ```
 //! fastmon_sim::stats::reset();
