@@ -140,8 +140,14 @@ impl TimeFrameExpansion {
             b.mark_output(self::frame_net(circuit, po, &f2));
         }
 
-        let expanded = b.finish().expect("time-frame expansion is well formed");
-        let find = |name: String| expanded.find(&name).expect("copy exists");
+        let expanded = b
+            .finish()
+            .unwrap_or_else(|e| unreachable!("time-frame expansion is well formed: {e}"));
+        let find = |name: String| {
+            expanded
+                .find(&name)
+                .unwrap_or_else(|| unreachable!("time-frame copy `{name}` exists"))
+        };
         let mut frame1 = Vec::with_capacity(circuit.len());
         let mut frame2 = Vec::with_capacity(circuit.len());
         for (_, node) in circuit.iter() {

@@ -1,0 +1,76 @@
+use std::fmt;
+
+/// Errors produced while building test patterns or running ATPG on
+/// degenerate inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AtpgError {
+    /// A pattern's launch and capture vectors differ in length.
+    VectorLengthMismatch {
+        /// Launch vector length.
+        launch: usize,
+        /// Capture vector length.
+        capture: usize,
+    },
+    /// A pattern's width does not match the test set's source count.
+    WidthMismatch {
+        /// Width of the offending pattern.
+        got: usize,
+        /// Source count of the test set.
+        expected: usize,
+    },
+    /// The circuit has no combinational sources (no primary inputs and no
+    /// flip-flops), so no two-vector test can be applied.
+    NoSources {
+        /// Name of the offending circuit.
+        circuit: String,
+    },
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::VectorLengthMismatch { launch, capture } => {
+                write!(
+                    f,
+                    "launch vector has {launch} bits but capture vector has {capture}"
+                )
+            }
+            AtpgError::WidthMismatch { got, expected } => {
+                write!(
+                    f,
+                    "pattern width {got} does not match the test set's {expected} sources"
+                )
+            }
+            AtpgError::NoSources { circuit } => {
+                write!(
+                    f,
+                    "circuit `{circuit}` has no combinational sources (inputs or flip-flops)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AtpgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AtpgError::WidthMismatch {
+            got: 3,
+            expected: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('7'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AtpgError>();
+    }
+}

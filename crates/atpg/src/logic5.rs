@@ -129,7 +129,7 @@ pub fn eval5(kind: GateKind, inputs: &[V5]) -> V5 {
                 // controlling value short-circuit
                 let ctrl = kind
                     .controlling_value()
-                    .expect("and/or class has a controlling value");
+                    .unwrap_or_else(|| unreachable!("and/or class has a controlling value"));
                 let mut any_x = false;
                 for &i in inputs {
                     match side(i) {

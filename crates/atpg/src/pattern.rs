@@ -1,6 +1,8 @@
 use fastmon_netlist::{Circuit, NodeId};
 use fastmon_sim::Stimulus;
 
+use crate::AtpgError;
+
 /// One two-vector (enhanced-scan) test: a launch vector and a capture
 /// vector, each one bit per combinational source (primary inputs and
 /// flip-flops), in [`TestSet::sources`] order.
@@ -18,11 +20,31 @@ impl TestPattern {
     ///
     /// # Panics
     ///
-    /// Panics if the two vectors differ in length.
+    /// Panics if the two vectors differ in length. Use
+    /// [`TestPattern::try_new`] to handle untrusted vectors without
+    /// panicking.
     #[must_use]
     pub fn new(launch: Vec<bool>, capture: Vec<bool>) -> Self {
-        assert_eq!(launch.len(), capture.len(), "vector length mismatch");
-        TestPattern { launch, capture }
+        match Self::try_new(launch, capture) {
+            Ok(p) => p,
+            Err(e) => panic!("invalid test pattern: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`TestPattern::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::VectorLengthMismatch`] if the two vectors
+    /// differ in length.
+    pub fn try_new(launch: Vec<bool>, capture: Vec<bool>) -> Result<Self, AtpgError> {
+        if launch.len() != capture.len() {
+            return Err(AtpgError::VectorLengthMismatch {
+                launch: launch.len(),
+                capture: capture.len(),
+            });
+        }
+        Ok(TestPattern { launch, capture })
     }
 
     /// Number of source bits.
@@ -93,14 +115,30 @@ impl TestSet {
     ///
     /// # Panics
     ///
-    /// Panics if the pattern width does not match the source count.
+    /// Panics if the pattern width does not match the source count. Use
+    /// [`TestSet::try_push`] to handle untrusted patterns without
+    /// panicking.
     pub fn push(&mut self, pattern: TestPattern) {
-        assert_eq!(
-            pattern.width(),
-            self.sources.len(),
-            "pattern width does not match source count"
-        );
+        if let Err(e) = self.try_push(pattern) {
+            panic!("invalid test pattern: {e}");
+        }
+    }
+
+    /// Fallible variant of [`TestSet::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AtpgError::WidthMismatch`] if the pattern width does not
+    /// match the source count; the set is left unchanged.
+    pub fn try_push(&mut self, pattern: TestPattern) -> Result<(), AtpgError> {
+        if pattern.width() != self.sources.len() {
+            return Err(AtpgError::WidthMismatch {
+                got: pattern.width(),
+                expected: self.sources.len(),
+            });
+        }
         self.patterns.push(pattern);
+        Ok(())
     }
 
     /// Number of patterns.

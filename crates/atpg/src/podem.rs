@@ -306,13 +306,13 @@ impl<'c> Engine<'c> {
                 GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
                     let ctrl = kind
                         .controlling_value()
-                        .expect("and/or class controlling value");
+                        .unwrap_or_else(|| unreachable!("and/or class controlling value"));
                     let x_input = n
                         .fanins()
                         .iter()
                         .copied()
                         .find(|&fi| self.values[fi.index()] == V5::X)
-                        .expect("X output implies an X input");
+                        .unwrap_or_else(|| unreachable!("X output implies an X input"));
                     if pre == ctrl ^ true {
                         // need the non-controlled output: all inputs
                         // non-controlling
@@ -328,7 +328,7 @@ impl<'c> Engine<'c> {
                         .iter()
                         .copied()
                         .find(|&fi| self.values[fi.index()] == V5::X)
-                        .expect("X output implies an X input");
+                        .unwrap_or_else(|| unreachable!("X output implies an X input"));
                     // parity of the other inputs' known good bits
                     let parity = n
                         .fanins()

@@ -1,19 +1,240 @@
-//! Runs every table/figure regenerator in sequence (Fig. 3, Tables I–III).
+//! Runs every table/figure regenerator in sequence (Fig. 3, Tables I–III),
+//! isolating each in its own child process.
 //!
 //! ```text
 //! cargo run --release -p fastmon-bench --bin run_all
 //! ```
+//!
+//! A crashing, failing or hung experiment does **not** abort the campaign:
+//! the driver records the outcome (with the tail of the child's stderr) in
+//! `RUN_MANIFEST.json`, moves on to the next experiment, and only at the
+//! end exits nonzero if anything failed. Environment knobs:
+//!
+//! | variable | meaning | default |
+//! |---|---|---|
+//! | `FASTMON_RUN_ALL_BINS` | comma-separated child list (names are resolved next to this binary; entries with a path separator are used verbatim) | `fig3,table1,table2,table3` |
+//! | `FASTMON_RUN_ALL_TIMEOUT_SECS` | per-child timeout in seconds | `3600` |
+//! | `FASTMON_MANIFEST` | manifest output path | `RUN_MANIFEST.json` |
 
-use std::process::Command;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use fastmon_bench::manifest::{write_manifest, RunOutcome, RunRecord};
+
+/// How many trailing stderr lines each manifest entry keeps.
+const STDERR_TAIL_LINES: usize = 20;
 
 fn main() {
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    for bin in ["fig3", "table1", "table2", "table3"] {
-        println!("\n==================== {bin} ====================\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        assert!(status.success(), "{bin} failed with {status}");
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let bins: Vec<String> = match std::env::var("FASTMON_RUN_ALL_BINS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        Err(_) => ["fig3", "table1", "table2", "table3"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+    };
+    let timeout = Duration::from_secs(
+        std::env::var("FASTMON_RUN_ALL_TIMEOUT_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3600),
+    );
+    let manifest_path = PathBuf::from(
+        std::env::var("FASTMON_MANIFEST").unwrap_or_else(|_| "RUN_MANIFEST.json".into()),
+    );
+
+    // Resolving siblings needs our own path; if that fails we fall back to
+    // PATH lookup per child instead of giving up on the whole campaign.
+    let bin_dir: Option<PathBuf> = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(Path::to_path_buf));
+
+    let mut records: Vec<RunRecord> = Vec::with_capacity(bins.len());
+    for name in &bins {
+        println!("\n==================== {name} ====================\n");
+        let record = run_child(name, bin_dir.as_deref(), timeout);
+        match &record.outcome {
+            RunOutcome::Success => {
+                eprintln!("[run_all] {name}: ok ({:.1}s)", record.duration_secs);
+            }
+            RunOutcome::Failed { exit_code } => {
+                eprintln!(
+                    "[run_all] {name}: FAILED (exit code {:?}, {:.1}s) — continuing",
+                    exit_code, record.duration_secs
+                );
+            }
+            RunOutcome::TimedOut { limit_secs } => {
+                eprintln!("[run_all] {name}: TIMED OUT after {limit_secs}s — continuing");
+            }
+            RunOutcome::LaunchFailed { message } => {
+                eprintln!("[run_all] {name}: LAUNCH FAILED ({message}) — continuing");
+            }
+        }
+        records.push(record);
     }
+
+    let failures: Vec<&RunRecord> = records.iter().filter(|r| !r.outcome.is_success()).collect();
+    let mut exit = i32::from(!failures.is_empty());
+    match write_manifest(&manifest_path, &records) {
+        Ok(()) => {
+            eprintln!(
+                "[run_all] manifest written to {} ({} run(s), {} failure(s))",
+                manifest_path.display(),
+                records.len(),
+                failures.len()
+            );
+        }
+        Err(e) => {
+            eprintln!(
+                "[run_all] cannot write manifest {}: {e}",
+                manifest_path.display()
+            );
+            exit = 1;
+        }
+    }
+    for r in &failures {
+        eprintln!(
+            "[run_all] failed experiment: {} ({})",
+            r.name,
+            r.outcome.tag()
+        );
+    }
+    exit
+}
+
+/// Resolves a child entry: entries containing a path separator are used
+/// verbatim; bare names are looked up next to this binary, falling back to
+/// the bare name (PATH lookup) if no sibling exists.
+fn resolve(name: &str, bin_dir: Option<&Path>) -> PathBuf {
+    if name.contains(std::path::MAIN_SEPARATOR) || name.contains('/') {
+        return PathBuf::from(name);
+    }
+    if let Some(dir) = bin_dir {
+        let sibling = dir.join(name);
+        if sibling.exists() {
+            return sibling;
+        }
+    }
+    PathBuf::from(name)
+}
+
+/// Runs one child to completion (or timeout), capturing its stderr tail.
+fn run_child(name: &str, bin_dir: Option<&Path>, timeout: Duration) -> RunRecord {
+    let program = resolve(name, bin_dir);
+    let start = Instant::now();
+    let mut child = match Command::new(&program)
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::piped())
+        .spawn()
+    {
+        Ok(c) => c,
+        Err(e) => {
+            return RunRecord {
+                name: name.to_owned(),
+                outcome: RunOutcome::LaunchFailed {
+                    message: format!("{}: {e}", program.display()),
+                },
+                duration_secs: 0.0,
+                stderr_tail: Vec::new(),
+            };
+        }
+    };
+
+    // Drain the child's stderr on a helper thread: tee it through to our
+    // own stderr while keeping a bounded tail for the manifest. Draining
+    // concurrently also keeps a chatty child from blocking on a full pipe.
+    let (tail_tx, tail_rx) = std::sync::mpsc::channel();
+    if let Some(pipe) = child.stderr.take() {
+        std::thread::spawn(move || {
+            let _ = tail_tx.send(tee_stderr(pipe));
+        });
+    }
+
+    let outcome = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => {
+                break if status.success() {
+                    RunOutcome::Success
+                } else {
+                    RunOutcome::Failed {
+                        exit_code: status.code(),
+                    }
+                };
+            }
+            Ok(None) => {
+                if start.elapsed() > timeout {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    break RunOutcome::TimedOut {
+                        limit_secs: timeout.as_secs(),
+                    };
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                break RunOutcome::LaunchFailed {
+                    message: format!("wait on {name}: {e}"),
+                };
+            }
+        }
+    };
+    let duration_secs = start.elapsed().as_secs_f64();
+
+    // Bounded wait: an orphaned grandchild can keep the stderr pipe open
+    // after the child is dead/killed, so never block indefinitely on the
+    // tee thread (it is detached and dies with the driver).
+    let stderr_tail = match tail_rx.recv_timeout(Duration::from_secs(2)) {
+        Ok(tail) => tail,
+        Err(_) => vec!["<stderr tail unavailable>".to_owned()],
+    };
+
+    RunRecord {
+        name: name.to_owned(),
+        outcome,
+        duration_secs,
+        stderr_tail,
+    }
+}
+
+/// Copies `pipe` to this process's stderr, returning its last
+/// [`STDERR_TAIL_LINES`] lines (bounded memory: only the final 16 KiB are
+/// retained).
+fn tee_stderr(mut pipe: impl std::io::Read) -> Vec<String> {
+    const TAIL_BYTES: usize = 16 * 1024;
+    let mut tail: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let mut err = std::io::stderr();
+    loop {
+        match pipe.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                let _ = err.write_all(&chunk[..n]);
+                tail.extend_from_slice(&chunk[..n]);
+                if tail.len() > TAIL_BYTES {
+                    let cut = tail.len() - TAIL_BYTES;
+                    tail.drain(..cut);
+                }
+            }
+        }
+    }
+    let text = String::from_utf8_lossy(&tail);
+    let mut lines: Vec<String> = text
+        .lines()
+        .rev()
+        .take(STDERR_TAIL_LINES)
+        .map(str::to_owned)
+        .collect();
+    lines.reverse();
+    lines
 }

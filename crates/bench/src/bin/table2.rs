@@ -29,6 +29,7 @@ fn main() {
         "paper Δ%|PC|",
     ];
     let mut rows = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
     for (profile, scale) in config.suite() {
         let row = with_run(
             &profile,
@@ -62,6 +63,15 @@ fn main() {
             pct(row.pc_reduction_percent),
             pct(paper_pc),
         ]);
+        for n in &row.notes {
+            notes.push(format!("{}: {n}", row.circuit));
+        }
     }
     print_table(&headers, &rows);
+    if !notes.is_empty() {
+        println!("\nDegraded results (deadline fallbacks / waived coverage):");
+        for n in &notes {
+            println!("- {n}");
+        }
+    }
 }

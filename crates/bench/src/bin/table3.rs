@@ -30,6 +30,7 @@ fn main() {
     headers.push("paper Δ%99".to_owned());
 
     let mut rows = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
     for (profile, scale) in config.suite() {
         let row = with_run(
             &profile,
@@ -57,9 +58,18 @@ fn main() {
             cells.push(e.schedule.to_string());
             cells.push(pct(e.reduction_percent));
         }
+        for n in &row.notes {
+            notes.push(format!("{}: {n}", row.circuit));
+        }
         cells.push(pct(paper99));
         rows.push(cells);
     }
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     print_table(&header_refs, &rows);
+    if !notes.is_empty() {
+        println!("\nDegraded results (deadline fallbacks / waived coverage):");
+        for n in &notes {
+            println!("- {n}");
+        }
+    }
 }

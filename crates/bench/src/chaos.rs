@@ -1,0 +1,117 @@
+//! Fault injectors for the chaos-engineering suite.
+//!
+//! Each helper manufactures one class of hostile input — truncated or
+//! cyclic netlists, NaN/negative SDF delays, corrupted checkpoint files —
+//! that the flow must survive with a typed error or a documented degraded
+//! result, never a panic. The integration suite in
+//! `crates/bench/tests/chaos.rs` drives every injector through the public
+//! API.
+
+use std::io;
+use std::path::Path;
+
+/// A `.bench` netlist with a combinational cycle (`x` and `y` feed each
+/// other); [`fastmon_netlist::bench::parse`] must reject it with
+/// `NetlistError::CombinationalCycle`.
+#[must_use]
+pub fn cyclic_bench() -> &'static str {
+    "# chaos: combinational cycle\n\
+     INPUT(a)\n\
+     OUTPUT(z)\n\
+     x = AND(a, y)\n\
+     y = OR(x, a)\n\
+     z = NAND(y, a)\n"
+}
+
+/// Truncates a `.bench` netlist mid-file, keeping roughly the first half
+/// of its lines — enough to leave dangling net references behind.
+#[must_use]
+pub fn truncated_bench(text: &str) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let keep = lines.len() / 2;
+    let mut out = lines[..keep].join("\n");
+    out.push('\n');
+    out
+}
+
+/// Replaces the first occurrence of `needle` in an SDF document with
+/// `poison` — used to smuggle `nan` or negative delays past the
+/// serializer.
+#[must_use]
+pub fn poisoned_sdf(sdf: &str, needle: &str, poison: &str) -> String {
+    sdf.replacen(needle, poison, 1)
+}
+
+/// Flips `mask` bits of the byte at `offset` in the file at `path`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidInput` if the file is
+/// shorter than `offset + 1` bytes.
+pub fn flip_byte(path: &Path, offset: usize, mask: u8) -> io::Result<()> {
+    let mut bytes = std::fs::read(path)?;
+    let byte = bytes.get_mut(offset).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("offset {offset} out of range"),
+        )
+    })?;
+    *byte ^= mask;
+    std::fs::write(path, bytes)
+}
+
+/// Truncates the file at `path` to its first `keep` bytes.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn truncate_file(path: &Path, keep: u64) -> io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    f.set_len(keep)
+}
+
+/// A scratch directory under `target/` that is unique per test, created on
+/// demand.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created — chaos tests cannot proceed
+/// without scratch space.
+#[must_use]
+pub fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastmon-chaos-{tag}-{}", std::process::id()));
+    match std::fs::create_dir_all(&dir) {
+        Ok(()) => dir,
+        Err(e) => panic!("cannot create chaos scratch dir {}: {e}", dir.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_bench_is_rejected() {
+        let err = fastmon_netlist::bench::parse(cyclic_bench(), "chaos").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                fastmon_netlist::NetlistError::CombinationalCycle { .. }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn flip_and_truncate_touch_the_file() {
+        let dir = scratch_dir("unit");
+        let path = dir.join("f.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4]).unwrap();
+        flip_byte(&path, 2, 0xff).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1u8, 2, 0xfc, 4]);
+        truncate_file(&path, 2).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1u8, 2]);
+        assert!(flip_byte(&path, 99, 1).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -17,11 +17,23 @@
 //! | `FASTMON_CIRCUITS` | comma-separated circuit-name filter | all 12 |
 //! | `FASTMON_SEED` | master seed | `1` |
 //! | `FASTMON_ILP_SECS` | per-ILP deadline in seconds | `20` |
+//! | `FASTMON_CHECKPOINT_DIR` | campaign-checkpoint directory | `target/fastmon-checkpoints` |
+//! | `FASTMON_FRESH` | set to `1` to discard existing checkpoints | unset |
+//!
+//! The fault-simulation campaign checkpoints after every pattern band (see
+//! [`fastmon_core::CheckpointStore`]); re-running an interrupted experiment
+//! binary resumes where it left off and produces bit-identical results.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod chaos;
+pub mod manifest;
+
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use fastmon_atpg::TestSet;
-use fastmon_core::{DetectionAnalysis, FlowConfig, HdfTestFlow};
+use fastmon_core::{CheckpointStore, DetectionAnalysis, FlowConfig, HdfTestFlow};
 use fastmon_netlist::generate::{paper_suite, CircuitProfile};
 use fastmon_netlist::Circuit;
 
@@ -105,8 +117,30 @@ pub struct PreparedRun {
     pub phase_secs: (f64, f64),
 }
 
+/// Directory where campaign checkpoints are kept
+/// (`FASTMON_CHECKPOINT_DIR`, default `target/fastmon-checkpoints`).
+#[must_use]
+pub fn checkpoint_dir() -> PathBuf {
+    std::env::var("FASTMON_CHECKPOINT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/fastmon-checkpoints"))
+}
+
+/// The checkpoint store the experiment binaries use for `circuit`.
+#[must_use]
+pub fn checkpoint_store(circuit: &str) -> CheckpointStore {
+    CheckpointStore::new(checkpoint_dir().join(format!("{circuit}.fmck")))
+}
+
 /// Prepares a circuit and runs ATPG + fault simulation, handing the
 /// borrowing-sensitive pieces to `f`.
+///
+/// The fault-simulation campaign is resumable: progress is checkpointed
+/// after every pattern band under [`checkpoint_dir`], so a killed run
+/// picks up where it stopped (set `FASTMON_FRESH=1` to force a clean
+/// start). If checkpointing itself fails — e.g. an unwritable target
+/// directory — the campaign is rerun without checkpoints rather than
+/// aborted.
 ///
 /// # Panics
 ///
@@ -118,9 +152,10 @@ pub fn with_run<R>(
     config: &ExperimentConfig,
     f: impl FnOnce(&HdfTestFlow<'_>, &TestSet, &DetectionAnalysis, &PreparedRun) -> R,
 ) -> R {
-    let circuit = profile
-        .generate(config.seed)
-        .expect("profile generates a valid circuit");
+    let circuit = match profile.generate(config.seed) {
+        Ok(c) => c,
+        Err(e) => panic!("profile `{}` cannot generate a circuit: {e}", profile.name),
+    };
     let flow_config = config.flow_config();
     let flow = HdfTestFlow::prepare(&circuit, &flow_config);
 
@@ -128,8 +163,27 @@ pub fn with_run<R>(
     let patterns = flow.generate_patterns(Some(profile.pattern_budget));
     let atpg_secs = t.elapsed().as_secs_f64();
 
+    let store = checkpoint_store(&profile.name);
+    if std::env::var("FASTMON_FRESH").is_ok_and(|v| v == "1") {
+        if let Err(e) = store.clear() {
+            eprintln!(
+                "[bench] {}: cannot clear checkpoint {}: {e}",
+                profile.name,
+                store.path().display()
+            );
+        }
+    }
     let t = Instant::now();
-    let analysis = flow.analyze(&patterns);
+    let analysis = match flow.analyze_resumable(&patterns, &store) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "[bench] {}: checkpointing unavailable ({e}); rerunning without checkpoints",
+                profile.name
+            );
+            flow.analyze(&patterns)
+        }
+    };
     let analyze_secs = t.elapsed().as_secs_f64();
 
     let run = PreparedRun {

@@ -1,0 +1,84 @@
+//! Driver-level graceful degradation: `run_all` must survive failing and
+//! unlaunchable children, keep running the rest, write `RUN_MANIFEST.json`
+//! naming every outcome, and exit nonzero only at the end.
+
+use std::process::Command;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastmon-runall-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn failing_child_is_recorded_and_campaign_continues() {
+    let dir = scratch("fail");
+    let manifest = dir.join("RUN_MANIFEST.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env(
+            "FASTMON_RUN_ALL_BINS",
+            "/bin/true,/bin/false,/nonexistent/fastmon-child,/bin/true",
+        )
+        .env("FASTMON_MANIFEST", &manifest)
+        .output()
+        .expect("run_all launches");
+
+    assert!(
+        !output.status.success(),
+        "run_all must exit nonzero when any child fails"
+    );
+    let json = std::fs::read_to_string(&manifest).expect("manifest written despite failures");
+    assert!(json.contains("\"schema_version\": 1"));
+    // both successes, the failure, and the launch failure are all named
+    assert_eq!(json.matches("\"outcome\": \"success\"").count(), 2);
+    assert!(json.contains("\"name\": \"/bin/false\""));
+    assert!(json.contains("\"outcome\": \"failed\""));
+    assert!(json.contains("\"exit_code\": 1"));
+    assert!(json.contains("\"name\": \"/nonexistent/fastmon-child\""));
+    assert!(json.contains("\"outcome\": \"launch-failed\""));
+    // the driver kept going: the last child still ran (4 records total)
+    assert_eq!(json.matches("\"name\":").count(), 4);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn all_green_campaign_exits_zero() {
+    let dir = scratch("green");
+    let manifest = dir.join("RUN_MANIFEST.json");
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env("FASTMON_RUN_ALL_BINS", "/bin/true,/bin/true")
+        .env("FASTMON_MANIFEST", &manifest)
+        .output()
+        .expect("run_all launches");
+    assert!(output.status.success());
+    let json = std::fs::read_to_string(&manifest).unwrap();
+    assert_eq!(json.matches("\"outcome\": \"success\"").count(), 2);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn hung_child_is_timed_out() {
+    let dir = scratch("hang");
+    let manifest = dir.join("RUN_MANIFEST.json");
+    // `run_all` resolves bare names next to its own binary first; a path
+    // to `sleep` with no way to pass arguments would block forever, so we
+    // use a tiny shell script instead.
+    let script = dir.join("hang.sh");
+    std::fs::write(&script, "#!/bin/sh\nexec sleep 30\n").unwrap();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt as _;
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env("FASTMON_RUN_ALL_BINS", script.display().to_string())
+        .env("FASTMON_RUN_ALL_TIMEOUT_SECS", "1")
+        .env("FASTMON_MANIFEST", &manifest)
+        .output()
+        .expect("run_all launches");
+    assert!(!output.status.success());
+    let json = std::fs::read_to_string(&manifest).unwrap();
+    assert!(json.contains("\"outcome\": \"timed-out\""));
+    assert!(json.contains("\"timeout_secs\": 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}

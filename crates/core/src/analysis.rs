@@ -7,6 +7,8 @@ use fastmon_netlist::{Circuit, NodeId, PinRef};
 use fastmon_sim::{parallel_map, parallel_map_with, ConeScratch, SimEngine};
 use fastmon_timing::{ClockSpec, DelayAnnotation, Time};
 
+use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
+
 /// Per-fault detectability verdict after fault simulation and monitor
 /// analysis (steps ②–⑤ of the paper's flow).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -78,6 +80,56 @@ impl DetectionAnalysis {
         glitch_threshold: Time,
         threads: usize,
     ) -> Self {
+        let progress = CampaignCheckpoint {
+            fingerprint: 0,
+            next_pattern: 0,
+            per_pattern: vec![Vec::new(); faults.len()],
+            raw_union: vec![DetectionRange::new(); faults.len()],
+        };
+        match Self::compute_with_progress(
+            circuit,
+            annot,
+            clock,
+            configs,
+            placement,
+            faults,
+            patterns,
+            glitch_threshold,
+            threads,
+            progress,
+            &mut |_| Ok(()),
+        ) {
+            Ok(analysis) => analysis,
+            Err(e) => unreachable!("no-op checkpoint callback cannot fail: {e}"),
+        }
+    }
+
+    /// The resumable campaign driver behind [`DetectionAnalysis::compute`]
+    /// and [`HdfTestFlow::analyze_resumable`](crate::HdfTestFlow):
+    /// simulation starts at `progress.next_pattern` on top of the already
+    /// accumulated raw ranges, and `on_band` runs after every completed
+    /// pattern band (this is where the flow persists a checkpoint). An
+    /// `Err` from `on_band` aborts the campaign.
+    ///
+    /// Because per-pattern results are merged in a fixed ascending pattern
+    /// order, resuming from any band boundary is bit-identical to an
+    /// uninterrupted run, for any thread count on either side.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn compute_with_progress(
+        circuit: &Circuit,
+        annot: &DelayAnnotation,
+        clock: &ClockSpec,
+        configs: &ConfigSet,
+        placement: &MonitorPlacement,
+        faults: FaultList,
+        patterns: &TestSet,
+        glitch_threshold: Time,
+        threads: usize,
+        mut progress: CampaignCheckpoint,
+        on_band: &mut dyn FnMut(&CampaignCheckpoint) -> Result<(), CheckpointError>,
+    ) -> Result<Self, CheckpointError> {
+        debug_assert_eq!(progress.per_pattern.len(), faults.len());
+        debug_assert_eq!(progress.raw_union.len(), faults.len());
         let engine = SimEngine::new(circuit, annot);
         // the signal whose transitions the fault delays
         let site_signal: Vec<NodeId> = faults
@@ -121,9 +173,7 @@ impl DetectionAnalysis {
         // on small pattern sets, which `clamp` rejects with a panic.
         let band_size = (threads * 2).max(4).min(num_patterns.max(1));
 
-        let mut per_pattern: Vec<Vec<(u32, DetectionRange)>> = vec![Vec::new(); faults.len()];
-        let mut raw_union: Vec<DetectionRange> = vec![DetectionRange::new(); faults.len()];
-        let mut band_start = 0usize;
+        let mut band_start = progress.next_pattern.min(num_patterns);
         while band_start < num_patterns {
             let band_len = band_size.min(num_patterns - band_start);
             // fault-free responses of the band, computed once, shared
@@ -170,7 +220,9 @@ impl DetectionAnalysis {
                                 dr.push(op, filtered);
                             }
                             if !dr.is_empty() {
-                                found.push((u32::try_from(fidx).expect("fault count"), dr));
+                                let fidx = u32::try_from(fidx)
+                                    .unwrap_or_else(|_| unreachable!("fault count fits u32"));
+                                found.push((fidx, dr));
                             }
                         }
                     }
@@ -182,15 +234,23 @@ impl DetectionAnalysis {
             // bit-identical for any thread count
             for (item, found) in chunk_results.into_iter().enumerate() {
                 let p = band_start + item / num_chunks;
+                let p = u32::try_from(p).unwrap_or_else(|_| unreachable!("pattern count fits u32"));
                 for (fidx, dr) in found {
-                    raw_union[fidx as usize].merge(&dr);
-                    per_pattern[fidx as usize].push((u32::try_from(p).expect("pattern count"), dr));
+                    progress.raw_union[fidx as usize].merge(&dr);
+                    progress.per_pattern[fidx as usize].push((p, dr));
                 }
             }
             band_start += band_len;
+            progress.next_pattern = band_start;
+            on_band(&progress)?;
         }
 
         // derived ranges and verdicts
+        let CampaignCheckpoint {
+            per_pattern,
+            raw_union,
+            ..
+        } = progress;
         let mut conv_range = Vec::with_capacity(faults.len());
         let mut fast_range = Vec::with_capacity(faults.len());
         let mut verdicts = Vec::with_capacity(faults.len());
@@ -216,7 +276,7 @@ impl DetectionAnalysis {
             verdicts.push(verdict);
         }
 
-        DetectionAnalysis {
+        Ok(DetectionAnalysis {
             faults,
             per_pattern,
             raw_union,
@@ -225,7 +285,7 @@ impl DetectionAnalysis {
             verdicts,
             targets,
             num_patterns,
-        }
+        })
     }
 
     /// Whether `fault` is detected when capturing at time `t` with pattern

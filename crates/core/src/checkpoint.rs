@@ -1,0 +1,538 @@
+//! Crash-safe checkpointing of the fault-simulation campaign.
+//!
+//! [`DetectionAnalysis`](crate::DetectionAnalysis)'s banded campaign can
+//! persist its progress after every pattern band through a
+//! [`CheckpointStore`]. The on-disk format is a small versioned binary
+//! record (magic `FMCK`, format version, campaign fingerprint, raw
+//! per-pattern detection ranges) protected by an FNV-1a checksum, and every
+//! save is atomic: the record is written to a sibling `.tmp` file and
+//! renamed over the destination, so a crash mid-write never leaves a
+//! half-written checkpoint behind.
+//!
+//! Resuming is bit-exact: the campaign merges per-pattern results in a
+//! fixed pattern order, so restarting from any band boundary yields the
+//! same [`DetectionAnalysis`](crate::DetectionAnalysis) as an
+//! uninterrupted run — for any thread count on either side of the
+//! interruption.
+
+use std::cell::Cell;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use fastmon_faults::{DetectionRange, Interval, IntervalSet};
+
+/// Magic bytes leading every checkpoint file.
+pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FMCK";
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Errors of checkpoint persistence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// No checkpoint file exists (a clean fresh start, not a failure).
+    Missing,
+    /// The underlying filesystem operation failed.
+    Io {
+        /// The operation that failed (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file does not start with the `FMCK` magic.
+    BadMagic,
+    /// The file was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the file.
+        got: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// The trailing checksum does not match the payload — the file is
+    /// corrupt.
+    ChecksumMismatch,
+    /// The file ends before the record does.
+    Truncated,
+    /// The checkpoint belongs to a different campaign (circuit, fault
+    /// list, patterns or clock differ).
+    FingerprintMismatch {
+        /// Fingerprint found in the file.
+        got: u64,
+        /// Fingerprint of the running campaign.
+        expected: u64,
+    },
+    /// A test-only interruption point fired (see
+    /// [`CheckpointStore::with_interrupt_after`]); the checkpoint on disk
+    /// is valid and resumable.
+    Interrupted {
+        /// Number of bands that were saved before the interruption.
+        bands: usize,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Missing => write!(f, "no checkpoint file exists"),
+            CheckpointError::Io { op, message } => {
+                write!(f, "checkpoint {op} failed: {message}")
+            }
+            CheckpointError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CheckpointError::UnsupportedVersion { got, supported } => {
+                write!(
+                    f,
+                    "checkpoint format version {got} is not supported (this build reads \
+                     version {supported})"
+                )
+            }
+            CheckpointError::ChecksumMismatch => {
+                write!(f, "checkpoint checksum mismatch (corrupt file)")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint file is truncated"),
+            CheckpointError::FingerprintMismatch { got, expected } => {
+                write!(
+                    f,
+                    "checkpoint fingerprint {got:#018x} does not match this campaign \
+                     ({expected:#018x})"
+                )
+            }
+            CheckpointError::Interrupted { bands } => {
+                write!(f, "campaign interrupted after {bands} checkpointed band(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The persisted mid-campaign state: everything the banded fault-simulation
+/// loop has accumulated up to (but not including) pattern `next_pattern`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCheckpoint {
+    /// Fingerprint of the campaign inputs (circuit, faults, patterns,
+    /// clock, glitch threshold).
+    pub fingerprint: u64,
+    /// First pattern index that has *not* been simulated yet.
+    pub next_pattern: usize,
+    /// Per fault: `(pattern, raw detection range)` entries accumulated so
+    /// far, ascending by pattern.
+    pub per_pattern: Vec<Vec<(u32, DetectionRange)>>,
+    /// Per fault: union of the accumulated raw ranges.
+    pub raw_union: Vec<DetectionRange>,
+}
+
+/// Persists campaign checkpoints to one file, atomically.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_core::{CampaignCheckpoint, CheckpointError, CheckpointStore};
+///
+/// let dir = std::env::temp_dir().join("fastmon-checkpoint-doc");
+/// let store = CheckpointStore::new(dir.join("doc.ckpt"));
+/// assert_eq!(store.load().unwrap_err(), CheckpointError::Missing);
+/// let cp = CampaignCheckpoint {
+///     fingerprint: 7,
+///     next_pattern: 2,
+///     per_pattern: vec![Vec::new()],
+///     raw_union: vec![fastmon_faults::DetectionRange::new()],
+/// };
+/// store.save(&cp)?;
+/// assert_eq!(store.load()?, cp);
+/// store.clear()?;
+/// # Ok::<(), CheckpointError>(())
+/// ```
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: PathBuf,
+    interrupt_after: Option<usize>,
+    saves: Cell<usize>,
+}
+
+impl CheckpointStore {
+    /// Creates a store persisting to `path`.
+    #[must_use]
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        CheckpointStore {
+            path: path.into(),
+            interrupt_after: None,
+            saves: Cell::new(0),
+        }
+    }
+
+    /// Test hook simulating a crash: after `bands` successful saves, the
+    /// next save completes on disk and then returns
+    /// [`CheckpointError::Interrupted`], aborting the campaign with a
+    /// valid, resumable checkpoint behind — exactly what a kill between
+    /// two bands leaves.
+    #[must_use]
+    pub fn with_interrupt_after(mut self, bands: usize) -> Self {
+        self.interrupt_after = Some(bands);
+        self
+    }
+
+    /// The checkpoint file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Atomically persists `checkpoint` (write to `<path>.tmp`, then
+    /// rename).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be written and
+    /// [`CheckpointError::Interrupted`] when the
+    /// [`with_interrupt_after`](Self::with_interrupt_after) test hook
+    /// fires.
+    pub fn save(&self, checkpoint: &CampaignCheckpoint) -> Result<(), CheckpointError> {
+        let bytes = encode(checkpoint);
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).map_err(|e| CheckpointError::Io {
+                    op: "create dir",
+                    message: e.to_string(),
+                })?;
+            }
+        }
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(|e| CheckpointError::Io {
+            op: "write",
+            message: e.to_string(),
+        })?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| CheckpointError::Io {
+            op: "rename",
+            message: e.to_string(),
+        })?;
+        let saves = self.saves.get() + 1;
+        self.saves.set(saves);
+        match self.interrupt_after {
+            Some(n) if saves >= n => Err(CheckpointError::Interrupted { bands: saves }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Loads and validates the checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Missing`] when no file exists; the decoding
+    /// errors ([`BadMagic`](CheckpointError::BadMagic),
+    /// [`UnsupportedVersion`](CheckpointError::UnsupportedVersion),
+    /// [`ChecksumMismatch`](CheckpointError::ChecksumMismatch),
+    /// [`Truncated`](CheckpointError::Truncated)) when the file is not a
+    /// valid current-version checkpoint.
+    pub fn load(&self) -> Result<CampaignCheckpoint, CheckpointError> {
+        let bytes = std::fs::read(&self.path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                CheckpointError::Missing
+            } else {
+                CheckpointError::Io {
+                    op: "read",
+                    message: e.to_string(),
+                }
+            }
+        })?;
+        decode(&bytes)
+    }
+
+    /// Removes the checkpoint file (no-op when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file exists but cannot be
+    /// removed.
+    pub fn clear(&self) -> Result<(), CheckpointError> {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(CheckpointError::Io {
+                op: "remove",
+                message: e.to_string(),
+            }),
+        }
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`, used both as the file checksum and (by the
+/// flow) as the campaign fingerprint hasher.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn push_range(out: &mut Vec<u8>, dr: &DetectionRange) {
+    let outputs: Vec<(usize, &IntervalSet)> = dr.iter().collect();
+    push_u64(out, outputs.len() as u64);
+    for (op, set) in outputs {
+        push_u64(out, op as u64);
+        let ivs: Vec<&Interval> = set.iter().collect();
+        push_u64(out, ivs.len() as u64);
+        for iv in ivs {
+            push_f64(out, iv.start);
+            push_f64(out, iv.end);
+        }
+    }
+}
+
+fn encode(cp: &CampaignCheckpoint) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&CHECKPOINT_MAGIC);
+    push_u32(&mut out, CHECKPOINT_VERSION);
+    push_u64(&mut out, cp.fingerprint);
+    push_u64(&mut out, cp.next_pattern as u64);
+    push_u64(&mut out, cp.per_pattern.len() as u64);
+    for entries in &cp.per_pattern {
+        push_u64(&mut out, entries.len() as u64);
+        for (pattern, dr) in entries {
+            push_u32(&mut out, *pattern);
+            push_range(&mut out, dr);
+        }
+    }
+    for dr in &cp.raw_union {
+        push_range(&mut out, dr);
+    }
+    let checksum = fnv1a(&out);
+    push_u64(&mut out, checksum);
+    out
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or(CheckpointError::Truncated)?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn usize(&mut self) -> Result<usize, CheckpointError> {
+        usize::try_from(self.u64()?).map_err(|_| CheckpointError::Truncated)
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn range(&mut self) -> Result<DetectionRange, CheckpointError> {
+        let outputs = self.usize()?;
+        let mut dr = DetectionRange::new();
+        for _ in 0..outputs {
+            let op = self.usize()?;
+            let n = self.usize()?;
+            let mut set = IntervalSet::new();
+            for _ in 0..n {
+                let start = self.f64()?;
+                let end = self.f64()?;
+                set.insert(Interval::new(start, end));
+            }
+            dr.push(op, set);
+        }
+        Ok(dr)
+    }
+}
+
+fn decode(bytes: &[u8]) -> Result<CampaignCheckpoint, CheckpointError> {
+    if bytes.len() < CHECKPOINT_MAGIC.len() {
+        return Err(CheckpointError::Truncated);
+    }
+    if bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::BadMagic);
+    }
+    let mut cursor = Cursor {
+        data: bytes,
+        pos: CHECKPOINT_MAGIC.len(),
+    };
+    let version = cursor.u32()?;
+    if version != CHECKPOINT_VERSION {
+        return Err(CheckpointError::UnsupportedVersion {
+            got: version,
+            supported: CHECKPOINT_VERSION,
+        });
+    }
+    if bytes.len() < cursor.pos + 8 {
+        return Err(CheckpointError::Truncated);
+    }
+    let payload_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(
+        bytes[payload_end..]
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("slice is exactly 8 bytes")),
+    );
+    if fnv1a(&bytes[..payload_end]) != stored {
+        return Err(CheckpointError::ChecksumMismatch);
+    }
+    cursor.data = &bytes[..payload_end];
+
+    let fingerprint = cursor.u64()?;
+    let next_pattern = cursor.usize()?;
+    let num_faults = cursor.usize()?;
+    // a fault count beyond the payload size is a corrupt length field
+    if num_faults > payload_end {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut per_pattern = Vec::with_capacity(num_faults);
+    for _ in 0..num_faults {
+        let n = cursor.u64()?;
+        let mut entries = Vec::new();
+        for _ in 0..n {
+            let pattern = cursor.u32()?;
+            let dr = cursor.range()?;
+            entries.push((pattern, dr));
+        }
+        per_pattern.push(entries);
+    }
+    let mut raw_union = Vec::with_capacity(num_faults);
+    for _ in 0..num_faults {
+        raw_union.push(cursor.range()?);
+    }
+    if cursor.pos != payload_end {
+        return Err(CheckpointError::Truncated);
+    }
+    Ok(CampaignCheckpoint {
+        fingerprint,
+        next_pattern,
+        per_pattern,
+        raw_union,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignCheckpoint {
+        let mut dr = DetectionRange::new();
+        let mut set = IntervalSet::new();
+        set.insert(Interval::new(1.5, 2.5));
+        set.insert(Interval::new(4.0, 4.5));
+        dr.push(2, set);
+        let mut dr2 = DetectionRange::new();
+        let mut set2 = IntervalSet::new();
+        set2.insert(Interval::new(0.25, 0.75));
+        dr2.push(0, set2);
+        CampaignCheckpoint {
+            fingerprint: 0xdead_beef_1234_5678,
+            next_pattern: 6,
+            per_pattern: vec![vec![(1, dr.clone()), (5, dr2.clone())], Vec::new()],
+            raw_union: vec![dr, dr2],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cp = sample();
+        let bytes = encode(&cp);
+        assert_eq!(decode(&bytes).unwrap(), cp);
+    }
+
+    #[test]
+    fn every_payload_bit_flip_is_detected() {
+        let bytes = encode(&sample());
+        // flip one bit in a handful of payload positions
+        for pos in [8, 20, 40, bytes.len() - 20] {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            let err = decode(&corrupt).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::ChecksumMismatch | CheckpointError::UnsupportedVersion { .. }
+                ),
+                "pos {pos}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_reported_as_such() {
+        let mut bytes = encode(&sample());
+        bytes[4] = 99; // version field, little-endian low byte
+        assert!(matches!(
+            decode(&bytes).unwrap_err(),
+            CheckpointError::UnsupportedVersion { got: 99, .. }
+        ));
+    }
+
+    #[test]
+    fn truncation_and_magic_detected() {
+        let bytes = encode(&sample());
+        assert_eq!(decode(&bytes[..3]).unwrap_err(), CheckpointError::Truncated);
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 5]).unwrap_err(),
+            CheckpointError::ChecksumMismatch,
+        );
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(decode(&bad).unwrap_err(), CheckpointError::BadMagic);
+    }
+
+    #[test]
+    fn store_save_load_clear() {
+        let dir = std::env::temp_dir().join(format!("fastmon-ckpt-{}", std::process::id()));
+        let store = CheckpointStore::new(dir.join("t.ckpt"));
+        assert_eq!(store.load().unwrap_err(), CheckpointError::Missing);
+        let cp = sample();
+        store.save(&cp).unwrap();
+        assert_eq!(store.load().unwrap(), cp);
+        store.clear().unwrap();
+        assert_eq!(store.load().unwrap_err(), CheckpointError::Missing);
+        store.clear().unwrap(); // idempotent
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn interrupt_hook_fires_after_n_saves() {
+        let dir = std::env::temp_dir().join(format!("fastmon-ckpt-int-{}", std::process::id()));
+        let store = CheckpointStore::new(dir.join("i.ckpt")).with_interrupt_after(2);
+        let cp = sample();
+        assert!(store.save(&cp).is_ok());
+        assert_eq!(
+            store.save(&cp).unwrap_err(),
+            CheckpointError::Interrupted { bands: 2 }
+        );
+        // the interrupted save still reached the disk
+        assert_eq!(store.load().unwrap(), cp);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

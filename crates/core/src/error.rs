@@ -1,0 +1,152 @@
+use std::fmt;
+
+use fastmon_atpg::AtpgError;
+use fastmon_netlist::NetlistError;
+use fastmon_timing::TimingError;
+
+use crate::checkpoint::CheckpointError;
+
+/// Errors of the schedule-optimization step.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScheduleError {
+    /// A coverage target outside `(0, 1]` was requested.
+    InvalidCoverage {
+        /// The offending coverage value.
+        cov: f64,
+    },
+    /// The covering instance is infeasible: some target faults appear in no
+    /// candidate set and the waiver budget cannot absorb them.
+    InfeasibleCover {
+        /// Number of elements no set can cover.
+        uncoverable: usize,
+        /// The waiver budget that failed to absorb them.
+        allowed_uncovered: usize,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::InvalidCoverage { cov } => {
+                write!(f, "coverage target {cov} lies outside (0, 1]")
+            }
+            ScheduleError::InfeasibleCover {
+                uncoverable,
+                allowed_uncovered,
+            } => {
+                write!(
+                    f,
+                    "covering instance is infeasible: {uncoverable} element(s) appear in no \
+                     candidate set but only {allowed_uncovered} waiver(s) are allowed"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// The workspace-wide error type of the HDF test flow: every fallible flow
+/// step surfaces its failure as one of these variants instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Netlist construction or parsing failed, or the circuit is degenerate
+    /// (e.g. empty).
+    Netlist(NetlistError),
+    /// Delay annotation carries invalid values (NaN, negative, bad sigma).
+    Timing(TimingError),
+    /// Test-pattern construction failed.
+    Atpg(AtpgError),
+    /// Schedule optimization was given invalid or infeasible inputs.
+    Schedule(ScheduleError),
+    /// Campaign checkpointing failed in a way that cannot be degraded into
+    /// a clean restart (e.g. the checkpoint file cannot be written).
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Netlist(e) => write!(f, "netlist error: {e}"),
+            FlowError::Timing(e) => write!(f, "timing error: {e}"),
+            FlowError::Atpg(e) => write!(f, "atpg error: {e}"),
+            FlowError::Schedule(e) => write!(f, "schedule error: {e}"),
+            FlowError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Netlist(e) => Some(e),
+            FlowError::Timing(e) => Some(e),
+            FlowError::Atpg(e) => Some(e),
+            FlowError::Schedule(e) => Some(e),
+            FlowError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(e: NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+impl From<TimingError> for FlowError {
+    fn from(e: TimingError) -> Self {
+        FlowError::Timing(e)
+    }
+}
+
+impl From<AtpgError> for FlowError {
+    fn from(e: AtpgError) -> Self {
+        FlowError::Atpg(e)
+    }
+}
+
+impl From<ScheduleError> for FlowError {
+    fn from(e: ScheduleError) -> Self {
+        FlowError::Schedule(e)
+    }
+}
+
+impl From<CheckpointError> for FlowError {
+    fn from(e: CheckpointError) -> Self {
+        FlowError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_chains_the_source() {
+        let e = FlowError::from(NetlistError::EmptyCircuit {
+            circuit: "void".into(),
+        });
+        assert!(e.to_string().contains("void"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+        assert_send_sync::<ScheduleError>();
+    }
+
+    #[test]
+    fn schedule_error_display() {
+        let e = ScheduleError::InfeasibleCover {
+            uncoverable: 3,
+            allowed_uncovered: 1,
+        };
+        let s = e.to_string();
+        assert!(s.contains('3') && s.contains('1'));
+    }
+}

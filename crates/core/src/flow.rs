@@ -1,13 +1,17 @@
 use fastmon_atpg::{generate, AtpgConfig, TestSet};
-use fastmon_faults::{classify, FaultClass, FaultList};
+use fastmon_faults::{classify, DetectionRange, FaultClass, FaultList, Polarity};
 use fastmon_monitor::{ConfigSet, MonitorPlacement};
-use fastmon_netlist::Circuit;
+use fastmon_netlist::{Circuit, NetlistError, PinRef};
 use fastmon_timing::{ClockSpec, DelayAnnotation, DelayModel, Sta};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
+use crate::checkpoint::{fnv1a, CampaignCheckpoint, CheckpointError, CheckpointStore};
 use crate::schedule::{select_frequencies, select_patterns, ScheduleContext};
-use crate::{DetectionAnalysis, FlowConfig, FrequencySelection, Solver, TestSchedule};
+use crate::{
+    DetectionAnalysis, FlowConfig, FlowError, FrequencySelection, ScheduleError, Solver,
+    TestSchedule,
+};
 
 /// Fault-population counters of the structural analysis (step ① of the
 /// flow).
@@ -57,10 +61,38 @@ impl<'c> HdfTestFlow<'c> {
     /// STA, derives the clock (`t_nom = 1.05·cpl`, `t_min = t_nom/3`),
     /// builds the monitor configuration set and places monitors at long
     /// path ends, then structurally classifies the full fault population.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate inputs (e.g. an empty circuit). Use
+    /// [`HdfTestFlow::try_prepare`] to handle untrusted inputs without
+    /// panicking.
     #[must_use]
     pub fn prepare(circuit: &'c Circuit, config: &FlowConfig) -> Self {
+        match Self::try_prepare(circuit, config) {
+            Ok(flow) => flow,
+            Err(e) => panic!("cannot prepare HDF test flow: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`HdfTestFlow::prepare`].
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::Netlist`] with [`NetlistError::EmptyCircuit`] when
+    ///   the circuit holds no gates — no clock can be derived from it.
+    /// * [`FlowError::Timing`] when the derived delay annotation is
+    ///   invalid (NaN/negative delays, non-positive gate sigma).
+    pub fn try_prepare(circuit: &'c Circuit, config: &FlowConfig) -> Result<Self, FlowError> {
+        if circuit.is_empty() {
+            return Err(NetlistError::EmptyCircuit {
+                circuit: circuit.name().to_owned(),
+            }
+            .into());
+        }
         let model = DelayModel::nangate45_like();
         let annot = DelayAnnotation::with_variation(circuit, &model, config.sigma_rel, config.seed);
+        annot.validate_for(circuit)?;
         let sta = Sta::analyze(circuit, &annot);
         let clock = ClockSpec::new(
             (1.0 + config.clock_margin) * sta.critical_path_length(),
@@ -138,7 +170,7 @@ impl<'c> HdfTestFlow<'c> {
             sampled: candidate_faults.len(),
         };
 
-        HdfTestFlow {
+        Ok(HdfTestFlow {
             circuit,
             config: config.clone(),
             annot,
@@ -148,7 +180,7 @@ impl<'c> HdfTestFlow<'c> {
             placement,
             counts,
             candidate_faults,
-        }
+        })
     }
 
     /// The circuit under test.
@@ -249,10 +281,155 @@ impl<'c> HdfTestFlow<'c> {
         )
     }
 
+    /// Crash-safe variant of [`HdfTestFlow::analyze`]: the campaign
+    /// persists a checkpoint into `store` after every pattern band, and a
+    /// valid checkpoint of the *same* campaign (matched by fingerprint)
+    /// resumes from the first unsimulated band instead of restarting.
+    ///
+    /// Corrupt, truncated, version-mismatched or foreign checkpoints are
+    /// never fatal: a warning is logged to stderr and the campaign
+    /// restarts cleanly. The checkpoint file is removed after a successful
+    /// run. Resumed results are bit-identical to an uninterrupted run for
+    /// any thread count on either side of the interruption.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Checkpoint`] when a checkpoint cannot be *written*
+    /// (progress cannot be made durable) or when the store's test-only
+    /// interruption hook fires.
+    pub fn analyze_resumable(
+        &self,
+        patterns: &TestSet,
+        store: &CheckpointStore,
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let fingerprint = self.campaign_fingerprint(patterns);
+        let fresh = || CampaignCheckpoint {
+            fingerprint,
+            next_pattern: 0,
+            per_pattern: vec![Vec::new(); self.candidate_faults.len()],
+            raw_union: vec![DetectionRange::new(); self.candidate_faults.len()],
+        };
+        let progress = match store.load() {
+            Ok(cp)
+                if cp.fingerprint == fingerprint
+                    && cp.per_pattern.len() == self.candidate_faults.len()
+                    && cp.next_pattern <= patterns.len() =>
+            {
+                cp
+            }
+            Ok(cp) => {
+                eprintln!(
+                    "warning: ignoring checkpoint {}: {} (restarting from scratch)",
+                    store.path().display(),
+                    CheckpointError::FingerprintMismatch {
+                        got: cp.fingerprint,
+                        expected: fingerprint,
+                    },
+                );
+                fresh()
+            }
+            Err(CheckpointError::Missing) => fresh(),
+            Err(e) => {
+                eprintln!(
+                    "warning: ignoring unreadable checkpoint {}: {e} (restarting from scratch)",
+                    store.path().display(),
+                );
+                fresh()
+            }
+        };
+        let analysis = DetectionAnalysis::compute_with_progress(
+            self.circuit,
+            &self.annot,
+            &self.clock,
+            &self.configs,
+            &self.placement,
+            self.candidate_faults.clone(),
+            patterns,
+            self.config.glitch_threshold,
+            self.config.effective_threads(),
+            progress,
+            &mut |cp| store.save(cp),
+        )?;
+        if let Err(e) = store.clear() {
+            eprintln!(
+                "warning: could not remove finished checkpoint {}: {e}",
+                store.path().display(),
+            );
+        }
+        Ok(analysis)
+    }
+
+    /// Fingerprint of everything the raw campaign results depend on:
+    /// circuit, annotated delays, candidate faults, patterns, nominal
+    /// clock and glitch threshold. Thread count and band size are
+    /// deliberately excluded — the campaign merges per-pattern results in
+    /// a fixed pattern order, so they cannot change the outcome.
+    fn campaign_fingerprint(&self, patterns: &TestSet) -> u64 {
+        let mut bytes = Vec::new();
+        let push_u64 = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
+        let push_f64 = |bytes: &mut Vec<u8>, v: f64| {
+            bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+        };
+        bytes.extend_from_slice(self.circuit.name().as_bytes());
+        push_u64(&mut bytes, self.circuit.len() as u64);
+        for (id, _) in self.circuit.iter() {
+            push_f64(&mut bytes, self.annot.rise(id));
+            push_f64(&mut bytes, self.annot.fall(id));
+            push_f64(&mut bytes, self.annot.sigma(id));
+        }
+        push_u64(&mut bytes, self.candidate_faults.len() as u64);
+        for (_, fault) in self.candidate_faults.iter() {
+            let (tag, node, pin) = match fault.site {
+                PinRef::Output(n) => (0u8, n.index() as u64, 0u64),
+                PinRef::Input(n, k) => (1u8, n.index() as u64, u64::from(k)),
+            };
+            bytes.push(tag);
+            push_u64(&mut bytes, node);
+            push_u64(&mut bytes, pin);
+            bytes.push(match fault.polarity {
+                Polarity::SlowToRise => 0,
+                Polarity::SlowToFall => 1,
+            });
+            push_f64(&mut bytes, fault.delta);
+        }
+        push_u64(&mut bytes, patterns.len() as u64);
+        for pattern in patterns.iter() {
+            for &b in pattern.launch.iter().chain(pattern.capture.iter()) {
+                bytes.push(u8::from(b));
+            }
+        }
+        push_f64(&mut bytes, self.clock.t_nom);
+        push_f64(&mut bytes, self.config.glitch_threshold);
+        fnv1a(&bytes)
+    }
+
     /// Step ⑥ (full coverage): two-step schedule optimization with the
     /// chosen solver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covering instance is infeasible (cannot happen for
+    /// analyses produced by this flow). Use [`HdfTestFlow::try_schedule`]
+    /// for a non-panicking variant.
     #[must_use]
     pub fn schedule(&self, analysis: &DetectionAnalysis, solver: Solver) -> TestSchedule {
+        match self.try_schedule(analysis, solver) {
+            Ok(schedule) => schedule,
+            Err(e) => panic!("cannot build schedule: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`HdfTestFlow::schedule`].
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError::InfeasibleCover`] when some target fault is
+    /// covered by no candidate frequency.
+    pub fn try_schedule(
+        &self,
+        analysis: &DetectionAnalysis,
+        solver: Solver,
+    ) -> Result<TestSchedule, ScheduleError> {
         self.schedule_with_waivers(analysis, solver, 0)
     }
 
@@ -262,7 +439,9 @@ impl<'c> HdfTestFlow<'c> {
     ///
     /// # Panics
     ///
-    /// Panics if `cov` is outside `(0, 1]`.
+    /// Panics if `cov` is outside `(0, 1]`. Use
+    /// [`HdfTestFlow::try_schedule_with_coverage`] to handle untrusted
+    /// coverage targets without panicking.
     #[must_use]
     pub fn schedule_with_coverage(
         &self,
@@ -270,7 +449,29 @@ impl<'c> HdfTestFlow<'c> {
         solver: Solver,
         cov: f64,
     ) -> TestSchedule {
-        assert!(cov > 0.0 && cov <= 1.0, "coverage must lie in (0, 1]");
+        match self.try_schedule_with_coverage(analysis, solver, cov) {
+            Ok(schedule) => schedule,
+            Err(e) => panic!("cannot build schedule: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`HdfTestFlow::schedule_with_coverage`].
+    ///
+    /// # Errors
+    ///
+    /// * [`ScheduleError::InvalidCoverage`] when `cov` lies outside
+    ///   `(0, 1]` (including NaN).
+    /// * [`ScheduleError::InfeasibleCover`] when the covering instance is
+    ///   infeasible.
+    pub fn try_schedule_with_coverage(
+        &self,
+        analysis: &DetectionAnalysis,
+        solver: Solver,
+        cov: f64,
+    ) -> Result<TestSchedule, ScheduleError> {
+        if !(cov > 0.0 && cov <= 1.0) {
+            return Err(ScheduleError::InvalidCoverage { cov });
+        }
         let waivers = ((1.0 - cov) * analysis.targets.len() as f64).floor() as usize;
         self.schedule_with_waivers(analysis, solver, waivers)
     }
@@ -280,7 +481,7 @@ impl<'c> HdfTestFlow<'c> {
         analysis: &DetectionAnalysis,
         solver: Solver,
         waivers: usize,
-    ) -> TestSchedule {
+    ) -> Result<TestSchedule, ScheduleError> {
         let ctx = ScheduleContext {
             analysis,
             placement: &self.placement,
@@ -288,12 +489,17 @@ impl<'c> HdfTestFlow<'c> {
             clock: &self.clock,
             deadline: self.config.ilp_deadline,
         };
-        let selection = select_frequencies(&ctx, solver, waivers);
-        select_patterns(&ctx, solver, selection)
+        let selection = select_frequencies(&ctx, solver, waivers)?;
+        Ok(select_patterns(&ctx, solver, selection))
     }
 
     /// Only step-1 frequency selection (used by the Table II/III
     /// comparisons).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the covering instance is infeasible (cannot happen for
+    /// analyses produced by this flow).
     #[must_use]
     pub fn select_frequencies_only(
         &self,
@@ -308,7 +514,10 @@ impl<'c> HdfTestFlow<'c> {
             clock: &self.clock,
             deadline: self.config.ilp_deadline,
         };
-        select_frequencies(&ctx, solver, waivers)
+        match select_frequencies(&ctx, solver, waivers) {
+            Ok(selection) => selection,
+            Err(e) => panic!("cannot select frequencies: {e}"),
+        }
     }
 
     /// Fig. 3: HDF coverage of conventional FAST vs monitor-assisted FAST

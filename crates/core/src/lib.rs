@@ -40,18 +40,30 @@
 //! assert!(schedule.covers_all_targets(&analysis));
 //! ```
 
+// Robustness gate: library code must surface failures as typed errors
+// (`FlowError` and friends), never via `unwrap`/`expect` (tests are
+// exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod analysis;
+mod checkpoint;
 mod config;
 mod diagnose;
 mod discretize;
+mod error;
 mod flow;
 mod schedule;
 
 pub mod report;
 
 pub use analysis::{DetectionAnalysis, FaultVerdict};
+pub use checkpoint::{
+    fnv1a, CampaignCheckpoint, CheckpointError, CheckpointStore, CHECKPOINT_MAGIC,
+    CHECKPOINT_VERSION,
+};
 pub use config::FlowConfig;
 pub use diagnose::{diagnose, predicted_observations, DiagnosisCandidate, Observation};
 pub use discretize::{discretize, elementary_intervals};
+pub use error::{FlowError, ScheduleError};
 pub use flow::{FlowCounts, HdfTestFlow};
 pub use schedule::{FrequencySelection, ScheduleEntry, Solver, TestSchedule, TestTimeModel};

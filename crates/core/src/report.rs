@@ -83,6 +83,9 @@ pub struct Table2Row {
     pub opti_pc: usize,
     /// `Δ%|PC| = (1 − |S|/orig) · 100`.
     pub pc_reduction_percent: f64,
+    /// Degradation notes from the proposed schedule (e.g. ILP deadline
+    /// expiry with greedy fallback). Empty for clean solves.
+    pub notes: Vec<String>,
 }
 
 /// Builds a Table II row (runs all three schedulers).
@@ -101,6 +104,7 @@ pub fn table2_row(
     let num_configs = flow.configs().len();
     let orig_pc = freq_prop * num_patterns * num_configs;
     let opti_pc = prop.num_applications();
+    let notes = prop.notes.clone();
     Table2Row {
         circuit: flow.circuit().name().to_owned(),
         freq_conv,
@@ -118,6 +122,7 @@ pub fn table2_row(
         } else {
             (1.0 - opti_pc as f64 / orig_pc as f64) * 100.0
         },
+        notes,
     }
 }
 
@@ -145,6 +150,9 @@ pub struct Table3Row {
     pub circuit: String,
     /// One entry per coverage target, in the given order.
     pub entries: Vec<CoverageEntry>,
+    /// Degradation notes collected over all coverage targets
+    /// (deduplicated). Empty for clean solves.
+    pub notes: Vec<String>,
 }
 
 /// Builds a Table III row for the given coverage targets (paper: 99 %,
@@ -157,10 +165,16 @@ pub fn table3_row(
     coverages: &[f64],
 ) -> Table3Row {
     let num_configs = flow.configs().len();
+    let mut notes: Vec<String> = Vec::new();
     let entries = coverages
         .iter()
         .map(|&cov| {
             let schedule = flow.schedule_with_coverage(analysis, Solver::Ilp, cov);
+            for note in &schedule.notes {
+                if !notes.contains(note) {
+                    notes.push(format!("cov {cov:.2}: {note}"));
+                }
+            }
             let covered: usize = schedule.entries.iter().map(|e| e.faults.len()).sum();
             let frequencies = schedule.num_frequencies();
             let naive_pc = frequencies * num_patterns * num_configs;
@@ -186,6 +200,7 @@ pub fn table3_row(
     Table3Row {
         circuit: flow.circuit().name().to_owned(),
         entries,
+        notes,
     }
 }
 
@@ -213,7 +228,8 @@ pub fn fig3_series(
     let placement = flow.placement();
     let configs = flow.configs();
     let largest = MonitorConfig::Delay(
-        u8::try_from(configs.delays().len().saturating_sub(1)).expect("few delays"),
+        u8::try_from(configs.delays().len().saturating_sub(1))
+            .unwrap_or_else(|_| unreachable!("few delays")),
     );
 
     // hidden faults: candidates not detectable at nominal capture

@@ -4,7 +4,7 @@ use fastmon_ilp::{greedy, BranchBound, SetCover};
 use fastmon_monitor::{ConfigSet, MonitorConfig, MonitorPlacement};
 use fastmon_timing::{ClockSpec, Time};
 
-use crate::{discretize, DetectionAnalysis};
+use crate::{discretize, DetectionAnalysis, ScheduleError};
 
 /// Which optimizer selects frequencies and pattern-configurations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,6 +29,9 @@ pub struct FrequencySelection {
     pub candidates: usize,
     /// Whether the solver proved optimality.
     pub optimal: bool,
+    /// Whether the ILP deadline expired during the solve — the result is
+    /// the anytime solver's best (greedy-quality) incumbent.
+    pub deadline_hit: bool,
     /// Fault indices (into the analysis fault list) that the selected
     /// periods cover.
     pub covered: Vec<usize>,
@@ -53,6 +56,10 @@ pub struct TestSchedule {
     pub entries: Vec<ScheduleEntry>,
     /// The frequency-selection outcome that produced the entries.
     pub selection: FrequencySelection,
+    /// Structured degradation notes: non-empty when any optimization step
+    /// fell back to a non-optimal result (e.g. the ILP deadline expired and
+    /// the greedy-quality incumbent was used). Empty for clean solves.
+    pub notes: Vec<String>,
 }
 
 impl TestSchedule {
@@ -175,7 +182,7 @@ pub(crate) fn select_frequencies(
     ctx: &ScheduleContext<'_>,
     solver: Solver,
     allowed_uncovered: usize,
-) -> FrequencySelection {
+) -> Result<FrequencySelection, ScheduleError> {
     // relevant faults and their observable ranges
     let (fault_ids, ranges): (Vec<usize>, Vec<&fastmon_faults::IntervalSet>) = match solver {
         Solver::Conventional => ctx
@@ -203,7 +210,9 @@ pub(crate) fn select_frequencies(
                 .iter()
                 .enumerate()
                 .filter(|(_, r)| r.contains(t))
-                .map(|(i, _)| u32::try_from(i).expect("fault count"))
+                .map(|(i, _)| {
+                    u32::try_from(i).unwrap_or_else(|_| unreachable!("fault count fits u32"))
+                })
                 .collect()
         })
         .collect();
@@ -214,6 +223,12 @@ pub(crate) fn select_frequencies(
             .with_deadline(ctx.deadline)
             .solve(&instance),
     };
+    if !solution.feasible {
+        return Err(ScheduleError::InfeasibleCover {
+            uncoverable: instance.uncoverable(),
+            allowed_uncovered,
+        });
+    }
 
     let mut periods: Vec<Time> = solution.chosen.iter().map(|&i| candidates[i]).collect();
     periods.sort_by(Time::total_cmp);
@@ -226,12 +241,13 @@ pub(crate) fn select_frequencies(
         }
         out
     };
-    FrequencySelection {
+    Ok(FrequencySelection {
         periods,
         candidates: candidates.len(),
         optimal: solution.optimal,
+        deadline_hit: solution.stats.deadline_hit,
         covered,
-    }
+    })
 }
 
 /// Step 2: for every selected period, choose a minimum set of
@@ -276,7 +292,7 @@ pub(crate) fn select_patterns(
                 (i, cover)
             })
             .max_by_key(|&(i, c)| (c, std::cmp::Reverse(i)))
-            .expect("non-empty periods");
+            .unwrap_or_else(|| unreachable!("the loop guard keeps periods_left non-empty"));
         let t = periods_left.remove(best_idx);
         let (taken, rest): (Vec<usize>, Vec<usize>) = remaining
             .iter()
@@ -289,13 +305,35 @@ pub(crate) fn select_patterns(
     }
 
     // per period: minimum pattern-config cover
-    let mut entries: Vec<ScheduleEntry> = assignment
-        .into_iter()
-        .map(|(t, faults)| optimize_entry(ctx, solver, t, &faults, &configs))
-        .collect();
+    let mut notes = Vec::new();
+    if selection.deadline_hit {
+        notes.push(
+            "ilp deadline hit during frequency selection: greedy-quality incumbent used              (non-optimal |F|)"
+                .to_owned(),
+        );
+    }
+    let mut entries = Vec::new();
+    for (t, faults) in assignment {
+        let (entry, deadline_hit, feasible) = optimize_entry(ctx, solver, t, &faults, &configs);
+        if deadline_hit {
+            notes.push(format!(
+                "ilp deadline hit during pattern selection at period {t:.1} ps:                  greedy-quality incumbent used (non-minimal |S|)"
+            ));
+        }
+        if !feasible {
+            notes.push(format!(
+                "pattern selection at period {t:.1} ps could not cover every assigned fault"
+            ));
+        }
+        entries.push(entry);
+    }
     entries.sort_by(|a, b| a.period.total_cmp(&b.period));
 
-    TestSchedule { entries, selection }
+    TestSchedule {
+        entries,
+        selection,
+        notes,
+    }
 }
 
 /// Solves the pattern × configuration set cover of one frequency.
@@ -305,7 +343,7 @@ fn optimize_entry(
     period: Time,
     faults: &[usize],
     configs: &[MonitorConfig],
-) -> ScheduleEntry {
+) -> (ScheduleEntry, bool, bool) {
     // enumerate candidate (pattern, config) combos covering ≥ 1 fault
     let mut combos: Vec<((u32, MonitorConfig), Vec<u32>)> = Vec::new();
     let mut combo_index: std::collections::HashMap<(u32, u8), usize> =
@@ -322,12 +360,17 @@ fn optimize_entry(
                 )
                 .contains(period);
                 if detected {
-                    let key = (*p, u8::try_from(ci).expect("few configs"));
+                    let key = (
+                        *p,
+                        u8::try_from(ci).unwrap_or_else(|_| unreachable!("few configs")),
+                    );
                     let idx = *combo_index.entry(key).or_insert_with(|| {
                         combos.push(((*p, config), Vec::new()));
                         combos.len() - 1
                     });
-                    combos[idx].1.push(u32::try_from(k).expect("fault count"));
+                    combos[idx].1.push(
+                        u32::try_from(k).unwrap_or_else(|_| unreachable!("fault count fits u32")),
+                    );
                 }
             }
         }
@@ -347,11 +390,15 @@ fn optimize_entry(
         solution.chosen.iter().map(|&i| combos[i].0).collect();
     applications.sort_by_key(|&(p, c)| (p, config_rank(c)));
 
-    ScheduleEntry {
-        period,
-        applications,
-        faults: faults.to_vec(),
-    }
+    (
+        ScheduleEntry {
+            period,
+            applications,
+            faults: faults.to_vec(),
+        },
+        solution.stats.deadline_hit,
+        solution.feasible,
+    )
 }
 
 fn config_rank(c: MonitorConfig) -> u8 {
@@ -385,8 +432,10 @@ mod tests {
                 periods: vec![100.0, 200.0],
                 candidates: 10,
                 optimal: true,
+                deadline_hit: false,
                 covered: vec![0, 1, 2],
             },
+            notes: Vec::new(),
         };
         assert_eq!(schedule.num_frequencies(), 2);
         assert_eq!(schedule.num_applications(), 3);

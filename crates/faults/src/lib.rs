@@ -30,6 +30,9 @@
 //! assert!(filtered.contains(2.5));
 //! ```
 
+// Robustness gate: library code must not `unwrap`/`expect` (tests are
+// exempt); structurally-infallible invariants use explicit `unreachable!`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 mod classify;
 mod detect;
 mod interval;

@@ -60,7 +60,10 @@ impl FaultList {
                 faults.push(SmallDelayFault::new(PinRef::Output(id), polarity, delta));
             }
             for (k, _) in circuit.node(id).fanins().iter().enumerate() {
-                let pin = PinRef::Input(id, u8::try_from(k).expect("pin index fits u8"));
+                let pin = PinRef::Input(
+                    id,
+                    u8::try_from(k).unwrap_or_else(|_| unreachable!("pin index fits u8")),
+                );
                 for polarity in Polarity::BOTH {
                     faults.push(SmallDelayFault::new(pin, polarity, delta));
                 }

@@ -81,7 +81,10 @@ impl FaultId {
     /// Creates a `FaultId` from a raw index.
     #[must_use]
     pub fn from_index(index: usize) -> Self {
-        FaultId(u32::try_from(index).expect("fault index exceeds u32 range"))
+        FaultId(
+            u32::try_from(index)
+                .unwrap_or_else(|_| panic!("fault index {index} exceeds u32 range")),
+        )
     }
 }
 

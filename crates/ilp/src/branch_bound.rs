@@ -84,9 +84,11 @@ impl BranchBound {
         // deadline-capped incumbents often carry slack; proven-optimal
         // solutions are minimal already, so this is a no-op for them
         crate::greedy::eliminate_redundant(instance, &mut chosen);
+        let feasible = instance.uncoverable() <= instance.allowed_uncovered();
         Solution {
             chosen,
             optimal: !search.deadline_hit,
+            feasible,
             stats: SolveStats {
                 nodes: search.nodes,
                 fixed_by_reduction: fixed,
@@ -150,6 +152,15 @@ impl<'a> Search<'a> {
             // nothing to do — empty cover is feasible
             self.best.clear();
             return;
+        }
+        // a deadline that expired before the search even starts (e.g. a
+        // zero-duration deadline) must be honoured on small instances too,
+        // where the periodic in-search check would never fire
+        if let Some(d) = self.deadline {
+            if self.start.elapsed() > d {
+                self.deadline_hit = true;
+                return;
+            }
         }
         self.dfs();
     }
@@ -340,6 +351,20 @@ mod tests {
         let sol = BranchBound::new().solve(&sc);
         assert!(sol.chosen.is_empty());
         assert!(sol.optimal);
+        assert!(sol.feasible);
+    }
+
+    #[test]
+    fn infeasible_instance_flagged_not_looped() {
+        // element 2 appears in no set: the solve must terminate and flag
+        // the result infeasible instead of searching forever
+        let sc = SetCover::new(3, vec![vec![0], vec![1]]);
+        let sol = BranchBound::new().solve(&sc);
+        assert!(!sol.feasible);
+        assert!(sc.uncoverable() == 1);
+        // one waiver makes it feasible again
+        let relaxed = SetCover::new(3, vec![vec![0], vec![1]]).with_allowed_uncovered(1);
+        assert!(BranchBound::new().solve(&relaxed).feasible);
     }
 
     #[test]
@@ -417,6 +442,29 @@ mod tests {
             }
             assert_eq!(exact.objective(), best, "instance {sc:?}");
         }
+    }
+
+    #[test]
+    fn zero_deadline_on_small_instance_returns_greedy_incumbent() {
+        // the periodic node-count deadline check never fires on instances
+        // this small; the pre-search check must catch the expired deadline
+        let sc = SetCover::new(
+            8,
+            vec![
+                vec![2, 3, 4, 5],
+                vec![0, 1, 2],
+                vec![5, 6, 7],
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+            ],
+        );
+        let sol = BranchBound::new()
+            .without_reductions()
+            .with_deadline(Duration::from_millis(0))
+            .solve(&sc);
+        assert!(sol.stats.deadline_hit);
+        assert!(!sol.optimal);
+        assert!(sc.is_feasible(&sol.chosen), "greedy incumbent is returned");
     }
 
     #[test]

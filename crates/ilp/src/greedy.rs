@@ -72,9 +72,11 @@ pub fn greedy(instance: &SetCover) -> Solution {
 
     eliminate_redundant(instance, &mut chosen);
     chosen.sort_unstable();
+    let feasible = instance.uncoverable() <= instance.allowed_uncovered();
     Solution {
         chosen,
         optimal: false,
+        feasible,
         stats: SolveStats {
             elapsed: start.elapsed(),
             ..SolveStats::default()
@@ -189,6 +191,14 @@ mod tests {
         let sc = SetCover::new(4, vec![vec![0, 1], vec![2]]);
         let sol = greedy(&sc);
         assert_eq!(sol.chosen, vec![0, 1]);
+        assert!(!sol.feasible, "an unwaived uncoverable element is reported");
+    }
+
+    #[test]
+    fn uncoverable_elements_feasible_with_waivers() {
+        let sc = SetCover::new(4, vec![vec![0, 1], vec![2]]).with_allowed_uncovered(1);
+        let sol = greedy(&sc);
+        assert!(sol.feasible, "the waiver budget absorbs the orphan element");
     }
 
     #[test]

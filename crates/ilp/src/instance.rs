@@ -86,7 +86,8 @@ impl SetCover {
         let mut by_element: Vec<Vec<u32>> = vec![Vec::new(); self.num_elements];
         for (i, s) in self.sets.iter().enumerate() {
             for &e in s {
-                by_element[e as usize].push(u32::try_from(i).expect("set count fits u32"));
+                by_element[e as usize]
+                    .push(u32::try_from(i).unwrap_or_else(|_| unreachable!("set count fits u32")));
             }
         }
         by_element

@@ -38,6 +38,10 @@
 //! assert!(solution.optimal);
 //! ```
 
+// Robustness gate: library code must not `unwrap`/`expect` (tests exempt);
+// degenerate instances are reported through `Solution::feasible`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod branch_bound;
 mod greedy;
 mod instance;

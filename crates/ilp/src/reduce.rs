@@ -167,7 +167,9 @@ pub fn reduce(original: &SetCover) -> Reduction {
                 }
                 for &e in s {
                     if elem_alive[e as usize] {
-                        idx[e as usize].push(u32::try_from(i).expect("set count fits u32"));
+                        idx[e as usize].push(
+                            u32::try_from(i).unwrap_or_else(|_| unreachable!("set count fits u32")),
+                        );
                     }
                 }
             }

@@ -8,6 +8,12 @@ pub struct Solution {
     /// `true` if the solver proved optimality, `false` for heuristic or
     /// deadline-capped results.
     pub optimal: bool,
+    /// `true` if the chosen sets satisfy the covering constraint (at most
+    /// [`allowed_uncovered`](crate::SetCover::allowed_uncovered) coverable
+    /// elements left uncovered *and* no impossible-to-cover element exceeds
+    /// that budget). `false` means the instance itself is infeasible — some
+    /// elements appear in no set and the waiver budget cannot absorb them.
+    pub feasible: bool,
     /// Solver statistics.
     pub stats: SolveStats,
 }
@@ -42,6 +48,7 @@ mod tests {
         let s = Solution {
             chosen: vec![1, 4, 7],
             optimal: true,
+            feasible: true,
             stats: SolveStats::default(),
         };
         assert_eq!(s.objective(), 3);

@@ -77,10 +77,9 @@ impl ConfigSet {
 
     /// Iterates over all configurations, `Off` first.
     pub fn configs(&self) -> impl Iterator<Item = MonitorConfig> + '_ {
-        std::iter::once(MonitorConfig::Off).chain(
-            (0..self.delays.len())
-                .map(|i| MonitorConfig::Delay(u8::try_from(i).expect("few delays"))),
-        )
+        std::iter::once(MonitorConfig::Off).chain((0..self.delays.len()).map(|i| {
+            MonitorConfig::Delay(u8::try_from(i).unwrap_or_else(|_| unreachable!("few delays")))
+        }))
     }
 
     /// The time shift a configuration applies to shadow-register detection

@@ -28,6 +28,9 @@
 //! assert_eq!(configs.max_shift(), 100.0); // t_nom / 3
 //! ```
 
+// Robustness gate: library code must not `unwrap`/`expect` (tests are
+// exempt); structurally-infallible invariants use explicit `unreachable!`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 mod aging;
 mod config;
 mod overhead;

@@ -25,7 +25,9 @@ impl NodeId {
     /// leads to panics on use, not undefined behaviour.
     #[must_use]
     pub fn from_index(index: usize) -> Self {
-        NodeId(u32::try_from(index).expect("node index exceeds u32 range"))
+        NodeId(
+            u32::try_from(index).unwrap_or_else(|_| panic!("node index {index} exceeds u32 range")),
+        )
     }
 }
 

@@ -40,6 +40,15 @@ pub enum NetlistError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A circuit is empty (no gates at all) where the consuming flow needs
+    /// at least one node — e.g. [`HdfTestFlow::try_prepare`] rejects it
+    /// instead of deriving a zero-length clock.
+    ///
+    /// [`HdfTestFlow::try_prepare`]: https://docs.rs/fastmon-core
+    EmptyCircuit {
+        /// Name of the empty circuit.
+        circuit: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -62,6 +71,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::BadGeneratorConfig { message } => {
                 write!(f, "invalid generator configuration: {message}")
+            }
+            NetlistError::EmptyCircuit { circuit } => {
+                write!(f, "circuit `{circuit}` is empty (no gates)")
             }
         }
     }

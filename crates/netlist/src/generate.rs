@@ -293,15 +293,18 @@ impl GeneratorConfig {
                     .map(|_| by_level[0][rng.gen_range(0..by_level[0].len())].clone())
                     .collect();
                 while frontier.len() > 1 {
-                    let a = frontier.pop_front().expect("nonempty");
-                    let b = frontier.pop_front().expect("len > 1");
+                    let (Some(a), Some(b)) = (frontier.pop_front(), frontier.pop_front()) else {
+                        break;
+                    };
                     let name = format!("sc{ff_index}_{j}");
                     j += 1;
                     let kind = tree_kinds[rng.gen_range(0..tree_kinds.len())];
                     gate_meta.push((name.clone(), kind, vec![a, b]));
                     frontier.push_back(name);
                 }
-                roots.push(frontier.pop_front().expect("reduction leaves a root"));
+                if let Some(root) = frontier.pop_front() {
+                    roots.push(root);
+                }
             }
             if roots.is_empty() {
                 // degenerate slot (size 1): capture a source directly

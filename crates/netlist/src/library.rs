@@ -68,7 +68,8 @@ N23 = NAND(N16, N19)
 /// Never panics; the embedded netlist is covered by tests.
 #[must_use]
 pub fn s27() -> Circuit {
-    bench::parse(S27_BENCH, "s27").expect("embedded s27 netlist is valid")
+    bench::parse(S27_BENCH, "s27")
+        .unwrap_or_else(|e| unreachable!("embedded s27 netlist is valid: {e}"))
 }
 
 /// The ISCAS'85 benchmark circuit c17.
@@ -86,7 +87,8 @@ pub fn s27() -> Circuit {
 /// Never panics; the embedded netlist is covered by tests.
 #[must_use]
 pub fn c17() -> Circuit {
-    bench::parse(C17_BENCH, "c17").expect("embedded c17 netlist is valid")
+    bench::parse(C17_BENCH, "c17")
+        .unwrap_or_else(|e| unreachable!("embedded c17 netlist is valid: {e}"))
 }
 
 #[cfg(test)]

@@ -1,0 +1,113 @@
+//! Property tests for the circuit builder: randomly generated well-formed
+//! specs must build and round-trip through `.bench` text, and randomly
+//! broken specs must surface the matching typed [`NetlistError`] instead
+//! of panicking.
+
+use fastmon_netlist::{bench, CircuitBuilder, GateKind, NetlistError};
+use proptest::prelude::*;
+
+/// Deterministically expands a compact random spec into a layered DAG:
+/// `n_inputs` primary inputs followed by gates whose fanins only reference
+/// earlier nodes (so the result is acyclic by construction).
+fn build_spec(n_inputs: usize, gate_picks: &[(u32, u32, u32)]) -> CircuitBuilder {
+    let kinds = [
+        GateKind::And,
+        GateKind::Nand,
+        GateKind::Or,
+        GateKind::Nor,
+        GateKind::Xor,
+        GateKind::Not,
+        GateKind::Buf,
+    ];
+    let mut b = CircuitBuilder::new("prop");
+    for i in 0..n_inputs {
+        b.add(format!("i{i}"), GateKind::Input, &[]);
+    }
+    let mut names: Vec<String> = (0..n_inputs).map(|i| format!("i{i}")).collect();
+    for (g, &(kind_pick, fanin_a, fanin_b)) in gate_picks.iter().enumerate() {
+        let kind = kinds[kind_pick as usize % kinds.len()];
+        let a = names[fanin_a as usize % names.len()].clone();
+        let name = format!("g{g}");
+        if matches!(kind, GateKind::Not | GateKind::Buf) {
+            b.add(&name, kind, &[a.as_str()]);
+        } else {
+            let c = names[fanin_b as usize % names.len()].clone();
+            b.add(&name, kind, &[a.as_str(), c.as_str()]);
+        }
+        names.push(name);
+    }
+    let last = names.len() - 1;
+    b.mark_output(&names[last]);
+    b
+}
+
+fn picks() -> impl Strategy<Value = Vec<(u32, u32, u32)>> {
+    proptest::collection::vec((0..7u32, 0..64u32, 0..64u32), 1..24)
+}
+
+proptest! {
+    #[test]
+    fn well_formed_specs_build_and_round_trip(
+        n_inputs in 1..6usize,
+        gates in picks(),
+    ) {
+        let circuit = build_spec(n_inputs, &gates)
+            .finish()
+            .expect("layered DAG spec always builds");
+        prop_assert_eq!(circuit.len(), n_inputs + gates.len());
+
+        let text = bench::to_string(&circuit);
+        let reparsed = bench::parse(&text, circuit.name()).expect("round trip parses");
+        prop_assert_eq!(reparsed.len(), circuit.len());
+        for (id, node) in circuit.iter() {
+            let other = reparsed.node(id);
+            prop_assert_eq!(node.name(), other.name());
+            prop_assert_eq!(node.kind(), other.kind());
+            prop_assert_eq!(node.fanins(), other.fanins());
+        }
+    }
+
+    #[test]
+    fn undriven_reference_is_a_typed_error(
+        n_inputs in 1..6usize,
+        gates in picks(),
+    ) {
+        let mut b = build_spec(n_inputs, &gates);
+        b.add("bad", GateKind::And, &["i0", "never_driven"]);
+        b.mark_output("bad");
+        let err = b.finish().expect_err("dangling fanin must be rejected");
+        prop_assert!(
+            matches!(&err, NetlistError::UndrivenNet { net } if net == "never_driven"),
+            "got {:?}", err
+        );
+    }
+
+    #[test]
+    fn duplicate_driver_is_a_typed_error(
+        n_inputs in 1..6usize,
+        gates in picks(),
+    ) {
+        let mut b = build_spec(n_inputs, &gates);
+        // g0 always exists; driving it again must be rejected
+        b.add("g0", GateKind::Or, &["i0"]);
+        let err = b.finish().expect_err("double-driven net must be rejected");
+        prop_assert!(
+            matches!(&err, NetlistError::DuplicateDriver { net } if net == "g0"),
+            "got {:?}", err
+        );
+    }
+
+    #[test]
+    fn bad_arity_is_a_typed_error(
+        n_inputs in 1..6usize,
+        gates in picks(),
+    ) {
+        let mut b = build_spec(n_inputs, &gates);
+        b.add("bad_not", GateKind::Not, &["i0", "g0"]);
+        let err = b.finish().expect_err("2-input NOT must be rejected");
+        prop_assert!(
+            matches!(&err, NetlistError::BadArity { node, got: 2, .. } if node == "bad_not"),
+            "got {:?}", err
+        );
+    }
+}

@@ -2,11 +2,14 @@
 //! suites use: value-producing [`Strategy`] objects, the [`proptest!`]
 //! test macro and the `prop_assert*` macros.
 //!
-//! Compared to the real proptest there is no shrinking and no persisted
-//! failure corpus: each property runs a fixed number of deterministic
-//! cases (seeded from the test name), and a failing case panics with its
-//! case number so it can be replayed by editing the seed. That trades
-//! minimal counterexamples for a zero-dependency offline build.
+//! Compared to the real proptest there is no persisted failure corpus:
+//! each property runs a fixed number of deterministic cases (seeded from
+//! the test name). A failing case is greedily shrunk via
+//! [`Strategy::shrink`] (bounded by [`MAX_SHRINK_EVALS`] re-executions)
+//! and both the original and the minimized failing input are printed with
+//! `Debug` before the original panic is re-raised. Strategies built with
+//! [`Strategy::prop_map`] cannot shrink through the mapping (the closure
+//! is not invertible), so their minimized input equals the original.
 
 use std::ops::Range;
 
@@ -44,6 +47,9 @@ impl rand::RngCore for TestRng {
     }
 }
 
+/// Cap on property re-executions spent minimizing one failing input.
+pub const MAX_SHRINK_EVALS: usize = 256;
+
 /// A recipe for producing random values of one type.
 pub trait Strategy {
     /// The produced value type.
@@ -52,6 +58,13 @@ pub trait Strategy {
     /// Produces one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Candidate simplifications of `value`, simplest first. The default
+    /// is no candidates (the value is already minimal or the strategy
+    /// cannot shrink, e.g. through a `prop_map` closure).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps produced values through `f`.
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
     where
@@ -59,6 +72,39 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+}
+
+/// Greedily minimizes a failing input: repeatedly replaces `value` with
+/// the first [`Strategy::shrink`] candidate on which `fails` still
+/// returns `true`, until no candidate fails or [`MAX_SHRINK_EVALS`]
+/// re-executions are spent.
+///
+/// The process-global panic hook is silenced while candidates run, so the
+/// (expected) panics of still-failing candidates do not spam the test
+/// output; the hook is restored before returning.
+pub fn minimize<S: Strategy>(
+    strat: &S,
+    mut value: S::Value,
+    fails: impl Fn(&S::Value) -> bool,
+) -> S::Value {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut evals = 0usize;
+    'outer: while evals < MAX_SHRINK_EVALS {
+        for cand in strat.shrink(&value) {
+            evals += 1;
+            if fails(&cand) {
+                value = cand;
+                continue 'outer;
+            }
+            if evals >= MAX_SHRINK_EVALS {
+                break;
+            }
+        }
+        break;
+    }
+    std::panic::set_hook(hook);
+    value
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
@@ -75,21 +121,31 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     }
 }
 
-impl Strategy for Range<f64> {
-    type Value = f64;
+macro_rules! impl_strategy_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
 
-    fn generate(&self, rng: &mut TestRng) -> f64 {
-        rng.gen_range(self.clone())
-    }
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // toward the range start: the start itself, then halfway
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2.0;
+                    if mid > self.start && mid < *value {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
 }
-
-impl Strategy for Range<f32> {
-    type Value = f32;
-
-    fn generate(&self, rng: &mut TestRng) -> f32 {
-        rng.gen_range(self.clone())
-    }
-}
+impl_strategy_float_range!(f32, f64);
 
 macro_rules! impl_strategy_int_range {
     ($($t:ty),*) => {$(
@@ -99,6 +155,22 @@ macro_rules! impl_strategy_int_range {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // toward the range start: start, halfway, predecessor
+                let mut out = Vec::new();
+                if *value > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (*value - self.start) / 2;
+                    if mid > self.start && mid < *value {
+                        out.push(mid);
+                    }
+                    if *value - 1 > mid {
+                        out.push(*value - 1);
+                    }
+                }
+                out
+            }
         }
     )*};
 }
@@ -106,16 +178,33 @@ impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_strategy_tuple {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone),+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // shrink one component at a time, keeping the rest fixed
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     )*};
 }
 impl_strategy_tuple! {
+    (A.0)
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
@@ -125,11 +214,24 @@ impl_strategy_tuple! {
 pub trait Arbitrary: Sized {
     /// Produces one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+
+    /// Candidate simplifications, simplest first (default: none).
+    fn simplify(&self) -> Vec<Self> {
+        Vec::new()
+    }
 }
 
 impl Arbitrary for bool {
     fn arbitrary(rng: &mut TestRng) -> Self {
         rng.gen()
+    }
+
+    fn simplify(&self) -> Vec<Self> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -138,6 +240,19 @@ macro_rules! impl_arbitrary_uint {
         impl Arbitrary for $t {
             fn arbitrary(rng: &mut TestRng) -> Self {
                 rng.gen()
+            }
+
+            fn simplify(&self) -> Vec<Self> {
+                let mut out = Vec::new();
+                if *self > 0 {
+                    out.push(0);
+                    if *self / 2 > 0 {
+                        out.push(*self / 2);
+                    }
+                    out.push(*self - 1);
+                    out.dedup();
+                }
+                out
             }
         }
     )*};
@@ -158,6 +273,10 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        value.simplify()
     }
 }
 
@@ -181,7 +300,10 @@ pub mod collection {
         len: Range<usize>,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
@@ -191,6 +313,28 @@ pub mod collection {
                 rng.gen_range(self.len.clone())
             };
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // shorter first: halve toward the minimum length, then drop
+            // the last element
+            if value.len() > self.len.start {
+                let half = self.len.start.max(value.len() / 2);
+                if half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // then element-wise shrinks at each position
+            for i in 0..value.len() {
+                for cand in self.element.shrink(&value[i]) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -223,24 +367,50 @@ macro_rules! prop_assert_eq {
 }
 
 /// Declares property tests: each function binds its arguments from
-/// strategies and runs [`NUM_CASES`] deterministic cases.
+/// strategies and runs [`NUM_CASES`] deterministic cases. A failing case
+/// is minimized with [`minimize`] and both the original and the minimized
+/// input are printed (`Debug`) before the panic is re-raised — argument
+/// values must therefore be `Clone + Debug`.
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
+                let strat = ($($strat,)+);
+                // pins the closure's parameter to the strategy's value type
+                fn annotate<S: $crate::Strategy, F: Fn(&S::Value)>(_: &S, f: F) -> F {
+                    f
+                }
+                let check = annotate(&strat, |vals| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(vals);
+                    $body
+                });
                 let mut rng = $crate::TestRng::deterministic(stringify!($name));
                 for case in 0..$crate::NUM_CASES {
-                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
-                        $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                        $body
-                    }));
+                    let vals = $crate::Strategy::generate(&strat, &mut rng);
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| check(&vals)),
+                    );
                     if let Err(panic) = result {
+                        let minimized = $crate::minimize(
+                            &strat,
+                            ::std::clone::Clone::clone(&vals),
+                            |cand| {
+                                ::std::panic::catch_unwind(
+                                    ::std::panic::AssertUnwindSafe(|| check(cand)),
+                                )
+                                .is_err()
+                            },
+                        );
                         eprintln!(
-                            "property {} failed at case {case}/{}",
+                            "property {} failed at case {case}/{}\n  \
+                             failing input: {:?}\n  \
+                             minimized input: {:?}",
                             stringify!($name),
-                            $crate::NUM_CASES
+                            $crate::NUM_CASES,
+                            vals,
+                            minimized,
                         );
                         ::std::panic::resume_unwind(panic);
                     }
@@ -277,6 +447,53 @@ mod tests {
                 prop_assert!((0.0..1.0).contains(&x));
             }
         }
+    }
+
+    #[test]
+    fn minimize_descends_toward_the_failure_boundary() {
+        // property "value < 100" fails for 700; the minimizer must walk
+        // down close to the boundary without crossing it
+        let strat = (0..1000u32,);
+        let min = crate::minimize(&strat, (700,), |v| v.0 >= 100);
+        assert!(min.0 >= 100, "minimized input must still fail");
+        assert!(min.0 < 700, "minimized input must be simpler");
+    }
+
+    #[test]
+    fn minimize_restores_the_panic_hook() {
+        let strat = 0..10u32;
+        let _ = crate::minimize(&strat, 5, |_| {
+            std::panic::catch_unwind(|| panic!("candidate panics silently")).is_err()
+        });
+        // the default hook is back: a captured panic still unwinds normally
+        assert!(std::panic::catch_unwind(|| panic!("after")).is_err());
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0..10u32, 0.0..1.0f64);
+        let cands = crate::Strategy::shrink(&strat, &(4, 0.5));
+        assert!(!cands.is_empty());
+        for (a, b) in &cands {
+            let int_changed = *a != 4;
+            let float_changed = (*b - 0.5).abs() > f64::EPSILON;
+            assert!(int_changed ^ float_changed, "candidate ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn vec_shrink_offers_shorter_vectors_first() {
+        let strat = crate::collection::vec(0..100u32, 1..8);
+        let cands = crate::Strategy::shrink(&strat, &vec![9, 9, 9, 9]);
+        assert!(cands[0].len() < 4, "first candidate should be shorter");
+        assert!(cands.iter().all(|c| !c.is_empty()), "min length respected");
+    }
+
+    #[test]
+    fn already_minimal_values_do_not_shrink() {
+        assert!(crate::Strategy::shrink(&(3..10u32), &3).is_empty());
+        assert!(crate::Strategy::shrink(&(0.0..1.0f64), &0.0).is_empty());
+        assert!(crate::Strategy::shrink(&crate::any::<bool>(), &false).is_empty());
     }
 
     #[test]

@@ -102,7 +102,11 @@ impl SeedableRng for ChaCha8Rng {
     fn from_seed(seed: Self::Seed) -> Self {
         let mut key = [0u32; 8];
         for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
-            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            *k = u32::from_le_bytes(
+                chunk
+                    .try_into()
+                    .unwrap_or_else(|_| unreachable!("chunks_exact(4) yields 4-byte chunks")),
+            );
         }
         ChaCha8Rng {
             key,

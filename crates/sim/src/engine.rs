@@ -52,7 +52,12 @@ impl FaultyCone {
         let mut slots: Vec<(NodeId, u32)> = cone
             .iter()
             .enumerate()
-            .map(|(i, &id)| (id, u32::try_from(i).expect("cone fits u32")))
+            .map(|(i, &id)| {
+                (
+                    id,
+                    u32::try_from(i).unwrap_or_else(|_| unreachable!("cone fits u32")),
+                )
+            })
             .collect();
         slots.sort_unstable_by_key(|&(id, _)| id);
         FaultyCone { cone, waves, slots }
@@ -201,7 +206,8 @@ impl<'c> SimEngine<'c> {
         // dense lookup: position of a node in the cone (+1), 0 = not in cone
         let mut pos = vec![0u32; self.circuit.len()];
         for (i, &id) in cone.iter().enumerate() {
-            pos[id.index()] = u32::try_from(i).expect("cone fits u32") + 1;
+            pos[id.index()] =
+                u32::try_from(i).unwrap_or_else(|_| unreachable!("cone fits u32")) + 1;
         }
 
         for (i, &id) in cone.iter().enumerate() {
@@ -328,7 +334,7 @@ impl ConePlan {
             .collect();
         let pruned = full_cone.len() - cone.len();
         stats::count_pruned_nodes(pruned as u64);
-        let len = u32::try_from(cone.len()).expect("cone fits u32");
+        let len = u32::try_from(cone.len()).unwrap_or_else(|_| unreachable!("cone fits u32"));
 
         // influence horizon: how far down the cone each node's output goes
         let mut slot = vec![0u32; circuit.len()];

@@ -36,6 +36,9 @@
 //! assert_eq!(result.wave(out).value_at(4.0), result.wave(out).final_value());
 //! ```
 
+// Robustness gate: library code must not `unwrap`/`expect` (tests are
+// exempt); structurally-infallible invariants use explicit `unreachable!`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 mod engine;
 mod parallel;
 mod stimulus;

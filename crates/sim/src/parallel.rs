@@ -84,7 +84,7 @@ where
     });
 
     out.into_iter()
-        .map(|v| v.expect("every index was processed"))
+        .map(|v| v.unwrap_or_else(|| unreachable!("every index was processed")))
         .collect()
 }
 

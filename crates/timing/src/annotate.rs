@@ -1,6 +1,6 @@
 use fastmon_netlist::{Circuit, NodeId};
 
-use crate::{DelayModel, Time, VariationSampler};
+use crate::{DelayModel, Time, TimingError, VariationSampler};
 
 /// Per-instance pin-to-pin delay annotation of a circuit.
 ///
@@ -84,12 +84,131 @@ impl DelayAnnotation {
     ///
     /// # Panics
     ///
-    /// Panics if the three vectors have different lengths.
+    /// Panics if the three vectors have different lengths or carry NaN or
+    /// negative values. Use [`DelayAnnotation::try_from_raw`] to handle
+    /// untrusted input without panicking.
     #[must_use]
     pub fn from_raw(rise: Vec<Time>, fall: Vec<Time>, sigma: Vec<Time>) -> Self {
-        assert_eq!(rise.len(), fall.len(), "rise/fall length mismatch");
-        assert_eq!(rise.len(), sigma.len(), "rise/sigma length mismatch");
-        DelayAnnotation { rise, fall, sigma }
+        match Self::try_from_raw(rise, fall, sigma) {
+            Ok(annot) => annot,
+            Err(e) => panic!("invalid raw delay annotation: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`DelayAnnotation::from_raw`]: rejects length
+    /// mismatches, NaN/infinite delays, negative delays and NaN/negative
+    /// sigmas with a typed [`TimingError`] instead of propagating garbage
+    /// into STA and fault sizing.
+    ///
+    /// Zero sigmas are accepted here because sources (inputs, flip-flops)
+    /// legitimately carry none; use
+    /// [`DelayAnnotation::validate_for`] to additionally require strictly
+    /// positive sigma on combinational gates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TimingError`] naming the first offending node index.
+    pub fn try_from_raw(
+        rise: Vec<Time>,
+        fall: Vec<Time>,
+        sigma: Vec<Time>,
+    ) -> Result<Self, TimingError> {
+        if fall.len() != rise.len() {
+            return Err(TimingError::LengthMismatch {
+                field: "fall",
+                got: fall.len(),
+                expected: rise.len(),
+            });
+        }
+        if sigma.len() != rise.len() {
+            return Err(TimingError::LengthMismatch {
+                field: "sigma",
+                got: sigma.len(),
+                expected: rise.len(),
+            });
+        }
+        for (i, (&r, &f)) in rise.iter().zip(&fall).enumerate() {
+            for (edge, v) in [("rise", r), ("fall", f)] {
+                if !v.is_finite() {
+                    return Err(TimingError::NonFiniteDelay {
+                        node: format!("#{i}"),
+                        edge,
+                        value: v,
+                    });
+                }
+                if v < 0.0 {
+                    return Err(TimingError::NegativeDelay {
+                        node: format!("#{i}"),
+                        edge,
+                        value: v,
+                    });
+                }
+            }
+        }
+        if let Some((i, &s)) = sigma
+            .iter()
+            .enumerate()
+            .find(|(_, &s)| s.is_nan() || s < 0.0)
+        {
+            return Err(TimingError::InvalidSigma {
+                node: format!("#{i}"),
+                value: s,
+            });
+        }
+        Ok(DelayAnnotation { rise, fall, sigma })
+    }
+
+    /// Validates this annotation against the circuit it describes: the
+    /// lengths must match, every delay must be finite and non-negative, and
+    /// every combinational gate must carry a finite, strictly positive
+    /// sigma (δ = 6σ sizes the fault population — a zero sigma silently
+    /// erases a gate's faults).
+    ///
+    /// Errors name the offending node by its circuit name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`TimingError`] found.
+    pub fn validate_for(&self, circuit: &Circuit) -> Result<(), TimingError> {
+        if self.len() != circuit.len() {
+            return Err(TimingError::LengthMismatch {
+                field: "annotation",
+                got: self.len(),
+                expected: circuit.len(),
+            });
+        }
+        for (id, node) in circuit.iter() {
+            let i = id.index();
+            for (edge, v) in [("rise", self.rise[i]), ("fall", self.fall[i])] {
+                if !v.is_finite() {
+                    return Err(TimingError::NonFiniteDelay {
+                        node: node.name().to_owned(),
+                        edge,
+                        value: v,
+                    });
+                }
+                if v < 0.0 {
+                    return Err(TimingError::NegativeDelay {
+                        node: node.name().to_owned(),
+                        edge,
+                        value: v,
+                    });
+                }
+            }
+            let s = self.sigma[i];
+            let sigma_ok = if node.kind().is_combinational() {
+                s.is_finite() && s > 0.0
+            } else {
+                s.is_finite() && s >= 0.0
+            };
+            if !sigma_ok {
+                return Err(TimingError::InvalidSigma {
+                    node: node.name().to_owned(),
+                    value: s,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of annotated nodes.
@@ -215,6 +334,69 @@ mod tests {
         let a = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
         let d = a.min_positive_delay();
         assert!(d > 0.0 && d.is_finite());
+    }
+
+    #[test]
+    fn try_from_raw_rejects_garbage() {
+        use crate::TimingError;
+        let ok = DelayAnnotation::try_from_raw(vec![1.0], vec![2.0], vec![0.1]);
+        assert!(ok.is_ok());
+        assert!(matches!(
+            DelayAnnotation::try_from_raw(vec![1.0], vec![2.0, 3.0], vec![0.1]),
+            Err(TimingError::LengthMismatch { field: "fall", .. })
+        ));
+        assert!(matches!(
+            DelayAnnotation::try_from_raw(vec![f64::NAN], vec![2.0], vec![0.1]),
+            Err(TimingError::NonFiniteDelay { edge: "rise", .. })
+        ));
+        assert!(matches!(
+            DelayAnnotation::try_from_raw(vec![1.0], vec![-2.0], vec![0.1]),
+            Err(TimingError::NegativeDelay { edge: "fall", .. })
+        ));
+        assert!(matches!(
+            DelayAnnotation::try_from_raw(vec![1.0], vec![2.0], vec![f64::NAN]),
+            Err(TimingError::InvalidSigma { .. })
+        ));
+        assert!(matches!(
+            DelayAnnotation::try_from_raw(vec![1.0], vec![2.0], vec![-0.1]),
+            Err(TimingError::InvalidSigma { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_for_requires_positive_gate_sigma() {
+        use crate::TimingError;
+        let c = library::s27();
+        let good = DelayAnnotation::nominal(&c, &DelayModel::nangate45_like());
+        assert!(good.validate_for(&c).is_ok());
+
+        // zero sigma on a combinational gate is rejected...
+        let zeroed = DelayAnnotation::from_raw(
+            (0..c.len())
+                .map(|i| good.rise(NodeId::from_index(i)))
+                .collect(),
+            (0..c.len())
+                .map(|i| good.fall(NodeId::from_index(i)))
+                .collect(),
+            vec![0.0; c.len()],
+        );
+        assert!(matches!(
+            zeroed.validate_for(&c),
+            Err(TimingError::InvalidSigma { .. })
+        ));
+
+        // ...and so is a length mismatch
+        let short = DelayAnnotation::from_raw(vec![1.0], vec![1.0], vec![0.1]);
+        assert!(matches!(
+            short.validate_for(&c),
+            Err(TimingError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid raw delay annotation")]
+    fn from_raw_panics_on_nan() {
+        let _ = DelayAnnotation::from_raw(vec![f64::NAN], vec![1.0], vec![0.1]);
     }
 
     #[test]

@@ -124,7 +124,7 @@ fn kind_index(kind: GateKind) -> usize {
     GateKind::ALL
         .iter()
         .position(|&k| k == kind)
-        .expect("kind is in ALL")
+        .unwrap_or_else(|| unreachable!("GateKind::ALL enumerates every kind"))
 }
 
 #[cfg(test)]

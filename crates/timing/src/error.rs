@@ -1,0 +1,133 @@
+use std::fmt;
+
+use crate::sdf::SdfError;
+
+/// Errors produced while building or validating timing annotations.
+///
+/// The FAST flow sizes faults as δ = 6σ and feeds every annotated delay
+/// straight into waveform arithmetic, so garbage values (NaN, negative
+/// delays, zero σ on a gate) silently corrupt every downstream result.
+/// Validation turns them into typed errors at annotation time instead.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// A delay value is NaN or infinite.
+    NonFiniteDelay {
+        /// Name of the annotated node (or its index when no circuit is
+        /// available).
+        node: String,
+        /// Which edge carries the bad value (`"rise"` or `"fall"`).
+        edge: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A delay value is negative.
+    NegativeDelay {
+        /// Name of the annotated node.
+        node: String,
+        /// Which edge carries the bad value (`"rise"` or `"fall"`).
+        edge: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A process-variation σ is NaN, negative, or zero on a combinational
+    /// gate (δ = 6σ would size every fault of the gate at zero).
+    InvalidSigma {
+        /// Name of the annotated node.
+        node: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// The annotation vectors disagree in length (with each other or with
+    /// the circuit they describe).
+    LengthMismatch {
+        /// Which vector is mis-sized.
+        field: &'static str,
+        /// Supplied length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// The SDF text itself was malformed.
+    Sdf(SdfError),
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::NonFiniteDelay { node, edge, value } => {
+                write!(f, "node `{node}` has a non-finite {edge} delay ({value})")
+            }
+            TimingError::NegativeDelay { node, edge, value } => {
+                write!(f, "node `{node}` has a negative {edge} delay ({value})")
+            }
+            TimingError::InvalidSigma { node, value } => {
+                write!(
+                    f,
+                    "node `{node}` has an invalid process-variation sigma ({value}); \
+                     combinational gates need a finite, strictly positive sigma"
+                )
+            }
+            TimingError::LengthMismatch {
+                field,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "annotation {field} vector has length {got}, expected {expected}"
+                )
+            }
+            TimingError::Sdf(e) => write!(f, "sdf: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TimingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TimingError::Sdf(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SdfError> for TimingError {
+    fn from(e: SdfError) -> Self {
+        TimingError::Sdf(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_node() {
+        let e = TimingError::NonFiniteDelay {
+            node: "N22".into(),
+            edge: "rise",
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("N22"));
+        let e = TimingError::InvalidSigma {
+            node: "G3".into(),
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("sigma"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimingError>();
+    }
+
+    #[test]
+    fn sdf_error_converts_and_chains() {
+        use std::error::Error;
+        let e = TimingError::from(SdfError::BadNumber { token: "x".into() });
+        assert!(matches!(e, TimingError::Sdf(_)));
+        assert!(e.source().is_some());
+    }
+}

@@ -33,9 +33,14 @@
 //! assert!((clock.t_nom / 1.05 - sta.critical_path_length()).abs() < 1e-9);
 //! ```
 
+// Robustness gate: library code must surface failures as typed errors
+// (`TimingError`), never via `unwrap`/`expect` (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod annotate;
 mod clock;
 mod delay;
+mod error;
 mod sta;
 mod variation;
 
@@ -44,6 +49,7 @@ pub mod sdf;
 pub use annotate::DelayAnnotation;
 pub use clock::ClockSpec;
 pub use delay::DelayModel;
+pub use error::TimingError;
 pub use sta::Sta;
 pub use variation::VariationSampler;
 

@@ -21,7 +21,7 @@
 //! # Example
 //!
 //! ```
-//! # fn main() -> Result<(), fastmon_timing::sdf::SdfError> {
+//! # fn main() -> Result<(), fastmon_timing::TimingError> {
 //! use fastmon_netlist::library;
 //! use fastmon_timing::{sdf, DelayAnnotation, DelayModel};
 //!
@@ -41,7 +41,7 @@ use std::fmt::Write as _;
 
 use fastmon_netlist::Circuit;
 
-use crate::DelayAnnotation;
+use crate::{DelayAnnotation, TimingError};
 
 /// Errors produced while parsing SDF text.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,9 +117,15 @@ pub fn to_string(circuit: &Circuit, annot: &DelayAnnotation) -> String {
 ///
 /// # Errors
 ///
-/// Returns an [`SdfError`] for malformed text, unknown instances or
-/// unparsable delay values.
-pub fn parse(text: &str, circuit: &Circuit, sigma_rel: f64) -> Result<DelayAnnotation, SdfError> {
+/// Returns a [`TimingError`]: [`TimingError::Sdf`] for malformed text,
+/// unknown instances or unparsable delay values, and the delay-validation
+/// variants when a parsed delay is NaN, infinite or negative (such values
+/// would silently corrupt STA and fault sizing downstream).
+pub fn parse(
+    text: &str,
+    circuit: &Circuit,
+    sigma_rel: f64,
+) -> Result<DelayAnnotation, TimingError> {
     let by_name: HashMap<&str, usize> = circuit
         .iter()
         .map(|(id, node)| (node.name(), id.index()))
@@ -140,10 +146,10 @@ pub fn parse(text: &str, circuit: &Circuit, sigma_rel: f64) -> Result<DelayAnnot
                     message: "INSTANCE without a name".into(),
                 })?;
                 if name == ")" || name == "(" {
-                    return Err(SdfError::Syntax {
+                    return Err(TimingError::Sdf(SdfError::Syntax {
                         near: pos,
                         message: "INSTANCE without a name".into(),
-                    });
+                    }));
                 }
                 let idx = *by_name.get(name).ok_or_else(|| SdfError::UnknownInstance {
                     instance: name.to_owned(),
@@ -176,10 +182,26 @@ pub fn parse(text: &str, circuit: &Circuit, sigma_rel: f64) -> Result<DelayAnnot
                     }
                 }
                 if values.len() != 2 {
-                    return Err(SdfError::Syntax {
+                    return Err(TimingError::Sdf(SdfError::Syntax {
                         near: tokens[i].0,
                         message: "IOPATH needs rise and fall values".into(),
-                    });
+                    }));
+                }
+                for (edge, v) in [("rise", values[0]), ("fall", values[1])] {
+                    if !v.is_finite() {
+                        return Err(TimingError::NonFiniteDelay {
+                            node: node_name(circuit, idx),
+                            edge,
+                            value: v,
+                        });
+                    }
+                    if v < 0.0 {
+                        return Err(TimingError::NegativeDelay {
+                            node: node_name(circuit, idx),
+                            edge,
+                            value: v,
+                        });
+                    }
                 }
                 rise[idx] = values[0];
                 fall[idx] = values[1];
@@ -194,7 +216,15 @@ pub fn parse(text: &str, circuit: &Circuit, sigma_rel: f64) -> Result<DelayAnnot
         .zip(&fall)
         .map(|(r, f)| sigma_rel * 0.5 * (r + f))
         .collect();
-    Ok(DelayAnnotation::from_raw(rise, fall, sigma))
+    DelayAnnotation::try_from_raw(rise, fall, sigma)
+}
+
+/// Human-readable node name for error messages.
+fn node_name(circuit: &Circuit, idx: usize) -> String {
+    circuit
+        .iter()
+        .nth(idx)
+        .map_or_else(|| format!("#{idx}"), |(_, n)| n.name().to_owned())
 }
 
 /// Splits SDF text into `(offset, token)` pairs; parentheses are their own
@@ -258,7 +288,7 @@ mod tests {
             "(DELAYFILE (CELL (INSTANCE ghost) (DELAY (ABSOLUTE (IOPATH A Z (1.0) (2.0))))))";
         assert!(matches!(
             parse(text, &c, 0.2),
-            Err(SdfError::UnknownInstance { .. })
+            Err(TimingError::Sdf(SdfError::UnknownInstance { .. }))
         ));
     }
 
@@ -268,7 +298,7 @@ mod tests {
         let text = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (oops) (2.0))))))";
         assert!(matches!(
             parse(text, &c, 0.2),
-            Err(SdfError::BadNumber { .. })
+            Err(TimingError::Sdf(SdfError::BadNumber { .. }))
         ));
     }
 
@@ -276,7 +306,30 @@ mod tests {
     fn iopath_outside_cell_rejected() {
         let c = library::c17();
         let text = "(DELAYFILE (DELAY (ABSOLUTE (IOPATH A Z (1.0) (2.0)))))";
-        assert!(matches!(parse(text, &c, 0.2), Err(SdfError::Syntax { .. })));
+        assert!(matches!(
+            parse(text, &c, 0.2),
+            Err(TimingError::Sdf(SdfError::Syntax { .. }))
+        ));
+    }
+
+    #[test]
+    fn nan_and_negative_delays_rejected() {
+        let c = library::c17();
+        let nan = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (NaN) (2.0))))))";
+        assert!(matches!(
+            parse(nan, &c, 0.2),
+            Err(TimingError::NonFiniteDelay { edge: "rise", .. })
+        ));
+        let neg = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (1.0) (-2.0))))))";
+        assert!(matches!(
+            parse(neg, &c, 0.2),
+            Err(TimingError::NegativeDelay { edge: "fall", .. })
+        ));
+        let inf = "(DELAYFILE (CELL (INSTANCE N10) (DELAY (ABSOLUTE (IOPATH A Z (inf) (2.0))))))";
+        assert!(matches!(
+            parse(inf, &c, 0.2),
+            Err(TimingError::NonFiniteDelay { .. })
+        ));
     }
 
     #[test]

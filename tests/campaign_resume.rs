@@ -1,0 +1,122 @@
+//! Checkpoint/resume determinism: a fault-simulation campaign that is
+//! interrupted between pattern bands and later resumed must produce
+//! results bit-identical to an uninterrupted run.
+
+use fastmon_core::{
+    CheckpointError, CheckpointStore, DetectionAnalysis, FlowConfig, FlowError, HdfTestFlow,
+};
+use fastmon_netlist::generate::paper_suite;
+use fastmon_netlist::{library, Circuit};
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastmon-resume-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn assert_identical(a: &DetectionAnalysis, b: &DetectionAnalysis) {
+    assert_eq!(a.faults, b.faults);
+    assert_eq!(a.per_pattern, b.per_pattern);
+    assert_eq!(a.raw_union, b.raw_union);
+    assert_eq!(a.conv_range, b.conv_range);
+    assert_eq!(a.fast_range, b.fast_range);
+    assert_eq!(a.verdicts, b.verdicts);
+    assert_eq!(a.targets, b.targets);
+    assert_eq!(a.num_patterns, b.num_patterns);
+}
+
+/// Interrupts the campaign after `bands` checkpoint saves, then resumes it
+/// and checks the result against the uninterrupted baseline.
+fn interrupt_and_resume(circuit: &Circuit, config: &FlowConfig, tag: &str, bands: usize) {
+    let flow = HdfTestFlow::prepare(circuit, config);
+    let patterns = flow.generate_patterns(None);
+    let baseline = flow.analyze(&patterns);
+
+    let dir = scratch(tag);
+    let path = dir.join(format!("{}-{bands}.fmck", circuit.name()));
+
+    let interrupting = CheckpointStore::new(&path).with_interrupt_after(bands);
+    let err = flow
+        .analyze_resumable(&patterns, &interrupting)
+        .expect_err("interruption hook must abort the campaign");
+    assert!(
+        matches!(
+            err,
+            FlowError::Checkpoint(CheckpointError::Interrupted { .. })
+        ),
+        "got {err:?}"
+    );
+    assert!(path.exists(), "a valid checkpoint must remain on disk");
+
+    let store = CheckpointStore::new(&path);
+    let resumed = flow
+        .analyze_resumable(&patterns, &store)
+        .expect("resume completes");
+    assert_identical(&resumed, &baseline);
+    assert!(
+        !path.exists(),
+        "checkpoint is removed after a successful run"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn s27_resumes_bit_identically_from_two_interruption_points() {
+    let circuit = library::s27();
+    let config = FlowConfig {
+        threads: 1,
+        ..FlowConfig::default()
+    };
+    for bands in [1, 2] {
+        interrupt_and_resume(&circuit, &config, "s27", bands);
+    }
+}
+
+#[test]
+fn scaled_stand_in_resumes_bit_identically_from_two_interruption_points() {
+    let profile = paper_suite()
+        .into_iter()
+        .find(|p| p.name == "s9234")
+        .expect("s9234 profile exists")
+        .scaled(0.05);
+    let circuit = profile.generate(7).expect("profile generates");
+    let config = FlowConfig {
+        threads: 2,
+        max_faults: Some(150),
+        ..FlowConfig::default()
+    };
+    for bands in [1, 3] {
+        interrupt_and_resume(&circuit, &config, "stand-in", bands);
+    }
+}
+
+#[test]
+fn resume_is_thread_count_invariant() {
+    // Interrupt a single-threaded campaign, resume it with four workers:
+    // merge order is fixed, so the result must still be bit-identical.
+    let circuit = library::s27();
+    let base_cfg = FlowConfig {
+        threads: 1,
+        ..FlowConfig::default()
+    };
+    let flow = HdfTestFlow::prepare(&circuit, &base_cfg);
+    let patterns = flow.generate_patterns(None);
+    let baseline = flow.analyze(&patterns);
+
+    let dir = scratch("threads");
+    let path = dir.join("s27.fmck");
+    let interrupting = CheckpointStore::new(&path).with_interrupt_after(1);
+    flow.analyze_resumable(&patterns, &interrupting)
+        .expect_err("interrupted");
+
+    let wide_cfg = FlowConfig {
+        threads: 4,
+        ..FlowConfig::default()
+    };
+    let wide_flow = HdfTestFlow::prepare(&circuit, &wide_cfg);
+    let resumed = wide_flow
+        .analyze_resumable(&patterns, &CheckpointStore::new(&path))
+        .expect("resume completes");
+    assert_identical(&resumed, &baseline);
+    std::fs::remove_dir_all(&dir).ok();
+}
