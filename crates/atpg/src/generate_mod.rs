@@ -3,8 +3,8 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use crate::{
-    justify, podem, transition_faults, DetectionMatrix, PodemOutcome, StuckAtFault, TestPattern,
-    TestSet, TransitionFault, WordSim,
+    justify_with_metrics, podem_with_metrics, transition_faults, DetectionMatrix, PodemOutcome,
+    StuckAtFault, TestPattern, TestSet, TransitionFault, WordSim,
 };
 
 /// Configuration of the transition-fault ATPG flow.
@@ -89,12 +89,25 @@ impl AtpgResult {
 /// ```
 #[must_use]
 pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
+    generate_with_metrics(circuit, config, None)
+}
+
+/// Like [`generate`], but records PODEM calls/backtracks/aborts and the
+/// final fault tallies into a scoped [`fastmon_obs::AtpgMetrics`] section.
+#[must_use]
+pub fn generate_with_metrics(
+    circuit: &Circuit,
+    config: &AtpgConfig,
+    metrics: Option<&fastmon_obs::AtpgMetrics>,
+) -> AtpgResult {
+    let _atpg_span = fastmon_obs::span!("atpg");
     let faults = transition_faults(circuit);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xa791_0000_0000_0000);
     let mut set = TestSet::new(circuit);
     let width = set.sources().len();
 
     // --- random phase ----------------------------------------------------
+    let random_span = fastmon_obs::span!("atpg_random");
     for _ in 0..config.random_patterns {
         set.push(TestPattern::new(
             (0..width).map(|_| rng.gen()).collect(),
@@ -106,8 +119,10 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
         let ws = WordSim::new(circuit, &set);
         undetected.retain(|&f| !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0));
     }
+    drop(random_span);
 
     // --- deterministic phase ----------------------------------------------
+    let podem_span = fastmon_obs::span!("atpg_podem");
     let mut untestable = 0usize;
     let mut aborted = 0usize;
     let mut pending: Vec<TestPattern> = Vec::new();
@@ -140,19 +155,21 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
             continue;
         }
         let fault: &TransitionFault = &faults[f];
-        let launch = justify(
+        let launch = justify_with_metrics(
             circuit,
             fault.gate,
             fault.initial_value(),
             config.max_backtracks,
+            metrics,
         );
-        let capture = podem(
+        let capture = podem_with_metrics(
             circuit,
             &StuckAtFault {
                 node: fault.gate,
                 stuck_at: fault.initial_value(),
             },
             config.max_backtracks,
+            metrics,
         );
         match (launch, capture) {
             (PodemOutcome::Test(l), PodemOutcome::Test(c)) => {
@@ -190,8 +207,10 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
         let mut undet: Vec<usize> = (0..faults.len()).filter(|&g| remaining[g]).collect();
         flush(&mut pending, &mut undet, &mut set);
     }
+    drop(podem_span);
 
     // --- compaction --------------------------------------------------------
+    let _compact_span = fastmon_obs::span!("atpg_compact");
     let mut matrix = DetectionMatrix::build(circuit, &set, &faults);
     if config.compact && !set.is_empty() {
         let kept = matrix.reverse_order_compaction();
@@ -209,6 +228,11 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
     let detected = (0..faults.len())
         .filter(|&f| matrix.fault_detected(f))
         .count();
+    if let Some(m) = metrics {
+        m.faults_detected.add(detected as u64);
+        m.faults_untestable.add(untestable as u64);
+        m.patterns_emitted.add(set.len() as u64);
+    }
     AtpgResult {
         test_set: set,
         detected,

@@ -56,6 +56,20 @@ pub fn podem(circuit: &Circuit, fault: &StuckAtFault, max_backtracks: u32) -> Po
     Engine::new(circuit, Goal::Detect(*fault, None), max_backtracks).run()
 }
 
+/// Like [`podem`], but records calls, decision backtracks and aborts into
+/// a scoped [`fastmon_obs::AtpgMetrics`] section.
+#[must_use]
+pub fn podem_with_metrics(
+    circuit: &Circuit,
+    fault: &StuckAtFault,
+    max_backtracks: u32,
+    metrics: Option<&fastmon_obs::AtpgMetrics>,
+) -> PodemOutcome {
+    let mut engine = Engine::new(circuit, Goal::Detect(*fault, None), max_backtracks);
+    engine.metrics = metrics;
+    engine.run()
+}
+
 /// PODEM with an additional *side objective*: the returned vector detects
 /// `fault` **and** justifies `side_value` at `side_node`.
 ///
@@ -84,6 +98,21 @@ pub fn justify(circuit: &Circuit, node: NodeId, value: bool, max_backtracks: u32
     Engine::new(circuit, Goal::Justify(node, value), max_backtracks).run()
 }
 
+/// Like [`justify`], but records calls, decision backtracks and aborts
+/// into a scoped [`fastmon_obs::AtpgMetrics`] section.
+#[must_use]
+pub fn justify_with_metrics(
+    circuit: &Circuit,
+    node: NodeId,
+    value: bool,
+    max_backtracks: u32,
+    metrics: Option<&fastmon_obs::AtpgMetrics>,
+) -> PodemOutcome {
+    let mut engine = Engine::new(circuit, Goal::Justify(node, value), max_backtracks);
+    engine.metrics = metrics;
+    engine.run()
+}
+
 #[derive(Debug, Clone, Copy)]
 enum Goal {
     /// Detect the fault; optionally also justify `(node, value)`.
@@ -104,6 +133,8 @@ struct Engine<'c> {
     assignment: Vec<Option<bool>>,
     goal: Goal,
     backtracks_left: u32,
+    max_backtracks: u32,
+    metrics: Option<&'c fastmon_obs::AtpgMetrics>,
 }
 
 impl<'c> Engine<'c> {
@@ -121,16 +152,27 @@ impl<'c> Engine<'c> {
             assignment: vec![None; n],
             goal,
             backtracks_left: max_backtracks,
+            max_backtracks,
+            metrics: None,
         }
     }
 
     fn run(&mut self) -> PodemOutcome {
         self.forward();
-        match self.search() {
+        let outcome = match self.search() {
             Tri::Success => PodemOutcome::Test(self.assignment.clone()),
             Tri::Fail => PodemOutcome::Untestable,
             Tri::Abort => PodemOutcome::Aborted,
+        };
+        if let Some(m) = self.metrics {
+            m.podem_calls.incr();
+            m.podem_backtracks
+                .add(u64::from(self.max_backtracks - self.backtracks_left));
+            if matches!(outcome, PodemOutcome::Aborted) {
+                m.podem_aborts.incr();
+            }
         }
+        outcome
     }
 
     /// Full forward 5-valued implication (re-simulates everything; simple

@@ -1,0 +1,57 @@
+//! Disabled-path overhead guard for `fastmon-obs`.
+//!
+//! Runs the same s27 campaign (fault-sim + ILP schedule) twice: once with
+//! tracing forced [`Off`](fastmon_obs::TraceMode::Off) — the production
+//! default, where every `span!` must collapse to a single relaxed atomic
+//! load — and once in [`Profile`](fastmon_obs::TraceMode::Profile) mode.
+//! The `off` number is the baseline; if it ever drifts more than a couple
+//! of percent from historical values (or the `off`/`profile` gap inverts),
+//! the disabled path has stopped being free.
+//!
+//! ```text
+//! cargo bench -p fastmon-bench --bench obs_overhead
+//! ```
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmon_core::{FlowConfig, HdfTestFlow, Solver};
+use fastmon_netlist::library;
+
+fn campaign(circuit: &fastmon_netlist::Circuit) -> usize {
+    let flow = HdfTestFlow::prepare(circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(None);
+    let analysis = flow.analyze(&patterns);
+    let plan = flow.schedule(&analysis, Solver::Ilp);
+    analysis.targets.len() + plan.entries.len()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let circuit = library::s27();
+
+    // Baseline: tracing disabled — the path every production run takes
+    // unless FASTMON_TRACE / FASTMON_PROFILE is set.
+    fastmon_obs::force_enable(fastmon_obs::TraceMode::Off, None);
+    c.bench_function("obs/s27_flow_trace_off", |b| {
+        b.iter(|| std::hint::black_box(campaign(&circuit)))
+    });
+
+    // Spans timed and aggregated in-process, no JSONL I/O.
+    fastmon_obs::force_enable(fastmon_obs::TraceMode::Profile, None);
+    c.bench_function("obs/s27_flow_profile", |b| {
+        b.iter(|| std::hint::black_box(campaign(&circuit)))
+    });
+
+    // Leave the process in the disabled state for any later benches.
+    fastmon_obs::force_enable(fastmon_obs::TraceMode::Off, None);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8))
+        .warm_up_time(Duration::from_secs(2));
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

@@ -186,4 +186,5 @@ fn main() {
         per_monitor_apps,
         (1.0 - per_monitor_apps as f64 / shared.num_applications().max(1) as f64) * 100.0
     );
+    fastmon_obs::finish();
 }

@@ -1,0 +1,326 @@
+//! Schema validator for `fastmon-obs` JSONL event logs.
+//!
+//! ```text
+//! check_events <events.jsonl>...   # validate existing logs
+//! check_events --selftest          # trace a small flow, then validate it
+//! ```
+//!
+//! Every line must be a standalone JSON object of schema version
+//! [`fastmon_obs::TRACE_SCHEMA_VERSION`] with a constant run id, the first
+//! line must be the `meta` record, and within each thread the
+//! `enter`/`exit` events must nest like brackets (matching names, leftover-
+//! free at end of file) with per-thread monotone timestamps. The
+//! `--selftest` mode runs a fully traced s27 flow (ATPG, STA, fault-sim
+//! bands, both ILP stages, checkpoint I/O) into a temporary directory and
+//! additionally requires all of those phase spans to be present — this is
+//! what CI runs, so a span rename or schema drift fails the build instead
+//! of silently producing unreadable logs.
+//!
+//! Exit codes: `0` all valid, `1` validation failure, `2` usage error.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use fastmon_obs::json::{self, Value};
+
+/// Span names the traced self-test flow must produce.
+const SELFTEST_REQUIRED_SPANS: [&str; 8] = [
+    "sta",
+    "atpg",
+    "analyze",
+    "band",
+    "ilp_stage_a",
+    "ilp_stage_b",
+    "checkpoint_save",
+    "checkpoint_load",
+];
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: check_events <events.jsonl>... | check_events --selftest");
+        return 0;
+    }
+    if args.iter().any(|a| a == "--selftest") {
+        return selftest();
+    }
+    if args.is_empty() {
+        eprintln!("usage: check_events <events.jsonl>... | check_events --selftest");
+        return 2;
+    }
+    let mut failed = false;
+    for path in &args {
+        match validate_file(Path::new(path)) {
+            Ok(summary) => println!("{path}: OK ({summary})"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
+/// What a valid log contained.
+#[derive(Debug)]
+struct Summary {
+    events: usize,
+    spans: usize,
+    threads: usize,
+    max_depth: usize,
+    names: BTreeSet<String>,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} events, {} spans, {} thread(s), max depth {}",
+            self.events, self.spans, self.threads, self.max_depth
+        )
+    }
+}
+
+fn validate_file(path: &Path) -> Result<Summary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read: {e}"))?;
+    validate_lines(&text)
+}
+
+fn get_u64(v: &Value, key: &str, line: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line}: missing or non-integer \"{key}\""))
+}
+
+fn get_str<'a>(v: &'a Value, key: &str, line: usize) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {line}: missing or non-string \"{key}\""))
+}
+
+fn validate_lines(text: &str) -> Result<Summary, String> {
+    let mut run_id: Option<String> = None;
+    // per-tid open-span stack and last timestamp
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_t: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut summary = Summary {
+        events: 0,
+        spans: 0,
+        threads: 0,
+        max_depth: 0,
+        names: BTreeSet::new(),
+    };
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            return Err(format!("line {lineno}: empty line"));
+        }
+        let v = json::parse(line).map_err(|e| format!("line {lineno}: bad JSON: {e}"))?;
+        summary.events += 1;
+
+        let version = get_u64(&v, "v", lineno)?;
+        if version != u64::from(fastmon_obs::TRACE_SCHEMA_VERSION) {
+            return Err(format!(
+                "line {lineno}: schema version {version}, expected {}",
+                fastmon_obs::TRACE_SCHEMA_VERSION
+            ));
+        }
+        let ev = get_str(&v, "ev", lineno)?.to_owned();
+        let run = get_str(&v, "run", lineno)?.to_owned();
+        get_u64(&v, "pid", lineno)?;
+        get_u64(&v, "wall_ms", lineno)?;
+        match &run_id {
+            None => {
+                if ev != "meta" {
+                    return Err(format!(
+                        "line {lineno}: first event is \"{ev}\", expected \"meta\""
+                    ));
+                }
+                run_id = Some(run);
+            }
+            Some(expected) => {
+                if run != *expected {
+                    return Err(format!(
+                        "line {lineno}: run id changed from {expected} to {run}"
+                    ));
+                }
+                if ev == "meta" {
+                    return Err(format!("line {lineno}: duplicate meta record"));
+                }
+            }
+        }
+
+        match ev.as_str() {
+            "meta" => {}
+            "enter" | "exit" => {
+                let tid = get_u64(&v, "tid", lineno)?;
+                let name = get_str(&v, "name", lineno)?.to_owned();
+                let t_ns = get_u64(&v, "t_ns", lineno)?;
+                let last = last_t.entry(tid).or_insert(0);
+                if t_ns < *last {
+                    return Err(format!(
+                        "line {lineno}: tid {tid} timestamp {t_ns} went backwards (last {last})"
+                    ));
+                }
+                *last = t_ns;
+                let stack = stacks.entry(tid).or_default();
+                if ev == "enter" {
+                    stack.push(name.clone());
+                    summary.max_depth = summary.max_depth.max(stack.len());
+                } else {
+                    get_u64(&v, "dur_ns", lineno)?; // u64: non-negative by construction
+                    match stack.pop() {
+                        Some(open) if open == name => {}
+                        Some(open) => {
+                            return Err(format!(
+                                "line {lineno}: tid {tid} exit \"{name}\" does not match open span \"{open}\""
+                            ));
+                        }
+                        None => {
+                            return Err(format!(
+                                "line {lineno}: tid {tid} exit \"{name}\" without a matching enter"
+                            ));
+                        }
+                    }
+                    summary.spans += 1;
+                }
+                summary.names.insert(name);
+            }
+            "counters" => {
+                get_str(&v, "scope", lineno)?;
+                if v.get("counters").and_then(Value::as_obj).is_none() {
+                    return Err(format!("line {lineno}: missing \"counters\" object"));
+                }
+            }
+            other => return Err(format!("line {lineno}: unknown event kind \"{other}\"")),
+        }
+    }
+    if run_id.is_none() {
+        return Err("log holds no events".to_owned());
+    }
+    for (tid, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "tid {tid} ends with {} unclosed span(s): {}",
+                stack.len(),
+                stack.join(", ")
+            ));
+        }
+    }
+    summary.threads = stacks.len();
+    Ok(summary)
+}
+
+/// Traces a small end-to-end flow into a temp directory, then validates
+/// the emitted log and the presence of every phase span.
+fn selftest() -> i32 {
+    use fastmon_core::{CheckpointStore, FlowConfig, HdfTestFlow, Solver};
+
+    let dir = std::env::temp_dir().join(format!("fastmon-check-events-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    fastmon_obs::force_enable(fastmon_obs::TraceMode::Full, Some(&dir));
+
+    let circuit = fastmon_netlist::library::s27();
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(8));
+    let store = CheckpointStore::new(dir.join("selftest.fmck"));
+    let analysis = match flow.analyze_resumable(&patterns, &store) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("selftest: campaign failed: {e}");
+            return 1;
+        }
+    };
+    let _ = flow.schedule(&analysis, Solver::Ilp);
+    fastmon_obs::emit_counters("selftest", flow.metrics());
+    fastmon_obs::finish();
+
+    let log = dir.join("events.jsonl");
+    let code = match validate_file(&log) {
+        Ok(summary) => {
+            let missing: Vec<&str> = SELFTEST_REQUIRED_SPANS
+                .iter()
+                .filter(|s| !summary.names.contains(**s))
+                .copied()
+                .collect();
+            if missing.is_empty() {
+                println!("selftest: OK ({summary}); all phase spans present");
+                0
+            } else {
+                eprintln!(
+                    "selftest: {} valid ({summary}) but missing phase span(s): {}",
+                    log.display(),
+                    missing.join(", ")
+                );
+                1
+            }
+        }
+        Err(e) => {
+            eprintln!("selftest: {}: INVALID: {e}", log.display());
+            1
+        }
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const META: &str = "{\"v\":1,\"ev\":\"meta\",\"run\":\"abc\",\"pid\":1,\"wall_ms\":5}";
+
+    #[test]
+    fn accepts_well_formed_nesting() {
+        let log = format!(
+            "{META}\n\
+             {{\"v\":1,\"ev\":\"enter\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":10,\"wall_ms\":5,\"name\":\"a\"}}\n\
+             {{\"v\":1,\"ev\":\"enter\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":20,\"wall_ms\":5,\"name\":\"b\",\"arg\":3}}\n\
+             {{\"v\":1,\"ev\":\"exit\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":30,\"wall_ms\":5,\"name\":\"b\",\"arg\":3,\"dur_ns\":10}}\n\
+             {{\"v\":1,\"ev\":\"exit\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":40,\"wall_ms\":5,\"name\":\"a\",\"dur_ns\":30}}\n\
+             {{\"v\":1,\"ev\":\"counters\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":41,\"wall_ms\":5,\"scope\":\"x\",\"counters\":{{\"sim.cones_simulated\":2}}}}\n"
+        );
+        let s = validate_lines(&log).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.threads, 1);
+        assert_eq!(s.max_depth, 2);
+        assert!(s.names.contains("a") && s.names.contains("b"));
+    }
+
+    #[test]
+    fn rejects_mismatched_exit_and_changed_run() {
+        let bad_exit = format!(
+            "{META}\n\
+             {{\"v\":1,\"ev\":\"enter\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":10,\"wall_ms\":5,\"name\":\"a\"}}\n\
+             {{\"v\":1,\"ev\":\"exit\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":30,\"wall_ms\":5,\"name\":\"b\",\"dur_ns\":20}}\n"
+        );
+        assert!(validate_lines(&bad_exit)
+            .unwrap_err()
+            .contains("does not match"));
+
+        let bad_run = format!(
+            "{META}\n\
+             {{\"v\":1,\"ev\":\"enter\",\"run\":\"OTHER\",\"pid\":1,\"tid\":1,\"t_ns\":10,\"wall_ms\":5,\"name\":\"a\"}}\n"
+        );
+        assert!(validate_lines(&bad_run)
+            .unwrap_err()
+            .contains("run id changed"));
+
+        let leftover = format!(
+            "{META}\n\
+             {{\"v\":1,\"ev\":\"enter\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":10,\"wall_ms\":5,\"name\":\"a\"}}\n"
+        );
+        assert!(validate_lines(&leftover).unwrap_err().contains("unclosed"));
+
+        assert!(validate_lines("").unwrap_err().contains("no events"));
+        let no_meta =
+            "{\"v\":1,\"ev\":\"enter\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":1,\"wall_ms\":5,\"name\":\"a\"}\n";
+        assert!(validate_lines(no_meta)
+            .unwrap_err()
+            .contains("expected \"meta\""));
+    }
+}

@@ -82,4 +82,5 @@ fn main() {
         prop30,
         paper::FIG3_PROP_AT_30
     );
+    fastmon_obs::finish();
 }

@@ -3,6 +3,12 @@
 //! wall-clock numbers plus the campaign counters (cones simulated, nodes
 //! pruned/converged, waveform allocations) to `BENCH_analysis.json`.
 //!
+//! Counters come from each run's own scoped registry
+//! ([`HdfTestFlow::metrics`]) — runs never bleed into one another. The
+//! binary also keeps span profiling on and appends a per-phase self-time
+//! table (plus the flamegraph collapsed stacks in the JSON) covering the
+//! whole process.
+//!
 //! Knobs (on top of the usual `FASTMON_*` variables from
 //! [`fastmon_bench::ExperimentConfig`]):
 //!
@@ -18,15 +24,20 @@ use std::time::Instant;
 use fastmon_bench::ExperimentConfig;
 use fastmon_core::{FlowConfig, HdfTestFlow};
 use fastmon_netlist::generate::CircuitProfile;
-use fastmon_sim::stats;
+use fastmon_sim::stats::CampaignStats;
 
 struct ThreadRun {
     threads: usize,
     analyze_secs: f64,
-    stats: stats::CampaignStats,
+    stats: CampaignStats,
 }
 
 fn main() {
+    // Keep at least profile-mode spans on so the self-time table below has
+    // data; a FASTMON_TRACE=1 environment still gets the full event log.
+    if !fastmon_obs::enabled() {
+        fastmon_obs::force_enable(fastmon_obs::TraceMode::Profile, None);
+    }
     let config = ExperimentConfig::from_env();
     let name = std::env::var("FASTMON_SNAPSHOT_CIRCUIT").unwrap_or_else(|_| "p89k".to_owned());
     let thread_counts: Vec<usize> = std::env::var("FASTMON_SNAPSHOT_THREADS")
@@ -62,11 +73,10 @@ fn main() {
             ..config.flow_config()
         };
         let flow = HdfTestFlow::prepare(&circuit, &flow_config);
-        stats::reset();
         let t = Instant::now();
         let analysis = flow.analyze(&patterns);
         let analyze_secs = t.elapsed().as_secs_f64();
-        let snap = stats::snapshot();
+        let snap = CampaignStats::from_metrics(&flow.metrics().sim);
         println!(
             "  threads={threads}: analyze {analyze_secs:.3} s, {} targets, \
              {} cones simulated, {} masked, {} nodes evaluated, \
@@ -97,6 +107,11 @@ fn main() {
         }
     }
 
+    fastmon_obs::flush();
+    let report = fastmon_obs::profile::snapshot();
+    println!("\nper-phase self time:");
+    print!("{}", fastmon_obs::profile::render_table(&report));
+
     let json = render_json(
         &name,
         &profile.name,
@@ -105,9 +120,11 @@ fn main() {
         patterns.len(),
         atpg_secs,
         &runs,
+        &fastmon_obs::profile::report_json(&report),
     );
     std::fs::write(&out_path, json).expect("write snapshot file");
     println!("wrote {out_path}");
+    fastmon_obs::finish();
 }
 
 /// Hand-rolled JSON (the workspace carries no serde).
@@ -120,6 +137,7 @@ fn render_json(
     patterns: usize,
     atpg_secs: f64,
     runs: &[ThreadRun],
+    profile_json: &str,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
@@ -149,7 +167,8 @@ fn render_json(
         let _ = writeln!(s, "      \"waveform_reuses\": {}", st.waveform_reuses);
         let _ = writeln!(s, "    }}{sep}");
     }
-    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"phase_profile\": {profile_json}");
     let _ = writeln!(s, "}}");
     s
 }

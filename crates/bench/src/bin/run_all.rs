@@ -15,6 +15,14 @@
 //! | `FASTMON_RUN_ALL_BINS` | comma-separated child list (names are resolved next to this binary; entries with a path separator are used verbatim) | `fig3,table1,table2,table3` |
 //! | `FASTMON_RUN_ALL_TIMEOUT_SECS` | per-child timeout in seconds | `3600` |
 //! | `FASTMON_MANIFEST` | manifest output path | `RUN_MANIFEST.json` |
+//!
+//! Telemetry: every child runs with `FASTMON_PROFILE_OUT` pointing at a
+//! per-child file under `<manifest dir>/fastmon-profiles/`; the driver
+//! validates each report against the profile schema and folds it into the
+//! child's manifest entry (`"profile"`). When the driver itself is launched
+//! with `FASTMON_TRACE=1`, each child additionally gets its own
+//! `FASTMON_TRACE_DIR` subdirectory (`<trace dir>/<child>/events.jsonl`)
+//! so concurrent event logs never collide.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -58,10 +66,18 @@ fn run() -> i32 {
         .ok()
         .and_then(|p| p.parent().map(Path::to_path_buf));
 
+    let profile_dir = manifest_path
+        .parent()
+        .filter(|p| !p.as_os_str().is_empty())
+        .map_or_else(
+            || PathBuf::from("fastmon-profiles"),
+            |p| p.join("fastmon-profiles"),
+        );
+
     let mut records: Vec<RunRecord> = Vec::with_capacity(bins.len());
     for name in &bins {
         println!("\n==================== {name} ====================\n");
-        let record = run_child(name, bin_dir.as_deref(), timeout);
+        let record = run_child(name, bin_dir.as_deref(), timeout, &profile_dir);
         match &record.outcome {
             RunOutcome::Success => {
                 eprintln!("[run_all] {name}: ok ({:.1}s)", record.duration_secs);
@@ -127,15 +143,80 @@ fn resolve(name: &str, bin_dir: Option<&Path>) -> PathBuf {
     PathBuf::from(name)
 }
 
-/// Runs one child to completion (or timeout), capturing its stderr tail.
-fn run_child(name: &str, bin_dir: Option<&Path>, timeout: Duration) -> RunRecord {
+/// A child name flattened into a safe file-name component.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// True when the driver itself was launched with tracing on, in which case
+/// each child gets a private `FASTMON_TRACE_DIR` subdirectory.
+fn tracing_requested() -> bool {
+    std::env::var("FASTMON_TRACE").is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
+
+/// Reads and validates a child's `FASTMON_PROFILE_OUT` report. Returns the
+/// raw one-line JSON only if it parses and carries the expected schema
+/// version — a half-written or foreign file is dropped, never embedded.
+fn read_profile(path: &Path) -> Option<String> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let value = fastmon_obs::json::parse(text.trim()).ok()?;
+    let version = value
+        .get("schema_version")
+        .and_then(fastmon_obs::json::Value::as_u64)?;
+    if version != u64::from(fastmon_obs::profile::PROFILE_SCHEMA_VERSION) {
+        eprintln!(
+            "[run_all] {} has profile schema {version}, expected {}; dropping",
+            path.display(),
+            fastmon_obs::profile::PROFILE_SCHEMA_VERSION
+        );
+        return None;
+    }
+    value.get("phases")?;
+    Some(text.trim().to_owned())
+}
+
+/// Runs one child to completion (or timeout), capturing its stderr tail
+/// and per-phase profile report.
+fn run_child(
+    name: &str,
+    bin_dir: Option<&Path>,
+    timeout: Duration,
+    profile_dir: &Path,
+) -> RunRecord {
     let program = resolve(name, bin_dir);
-    let start = Instant::now();
-    let mut child = match Command::new(&program)
+    let profile_path = profile_dir.join(format!("{}.profile.json", sanitize(name)));
+    // stale reports from a previous campaign must not be attributed to
+    // this run
+    let _ = std::fs::remove_file(&profile_path);
+    if let Err(e) = std::fs::create_dir_all(profile_dir) {
+        eprintln!(
+            "[run_all] cannot create profile dir {}: {e}; child profiles disabled",
+            profile_dir.display()
+        );
+    }
+    let mut command = Command::new(&program);
+    command
         .stdout(Stdio::inherit())
         .stderr(Stdio::piped())
-        .spawn()
-    {
+        .env("FASTMON_PROFILE_OUT", &profile_path);
+    if tracing_requested() {
+        let base =
+            std::env::var_os("FASTMON_TRACE_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
+        command.env("FASTMON_TRACE_DIR", base.join(sanitize(name)));
+    }
+    let start = Instant::now();
+    let mut child = match command.spawn() {
         Ok(c) => c,
         Err(e) => {
             return RunRecord {
@@ -145,6 +226,7 @@ fn run_child(name: &str, bin_dir: Option<&Path>, timeout: Duration) -> RunRecord
                 },
                 duration_secs: 0.0,
                 stderr_tail: Vec::new(),
+                profile: None,
             };
         }
     };
@@ -204,6 +286,7 @@ fn run_child(name: &str, bin_dir: Option<&Path>, timeout: Duration) -> RunRecord
         outcome,
         duration_secs,
         stderr_tail,
+        profile: read_profile(&profile_path),
     }
 }
 

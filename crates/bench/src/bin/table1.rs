@@ -65,4 +65,5 @@ fn main() {
         ]);
     }
     print_table(&headers, &rows);
+    fastmon_obs::finish();
 }

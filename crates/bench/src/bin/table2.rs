@@ -74,4 +74,5 @@ fn main() {
             println!("- {n}");
         }
     }
+    fastmon_obs::finish();
 }

@@ -72,4 +72,5 @@ fn main() {
             println!("- {n}");
         }
     }
+    fastmon_obs::finish();
 }

@@ -65,6 +65,11 @@ pub struct RunRecord {
     pub duration_secs: f64,
     /// The last few lines of the child's stderr (empty on launch failure).
     pub stderr_tail: Vec<String>,
+    /// The child's per-phase self-time profile report, as the one-line JSON
+    /// object `fastmon-obs` wrote to `FASTMON_PROFILE_OUT` (already
+    /// validated by the driver against the profile schema). `None` when the
+    /// child produced no readable report.
+    pub profile: Option<String>,
 }
 
 /// Escapes `s` for inclusion inside a JSON string literal.
@@ -117,6 +122,9 @@ pub fn manifest_json(records: &[RunRecord]) -> String {
             RunOutcome::Success => {}
         }
         let _ = writeln!(out, "      \"duration_secs\": {:.3},", r.duration_secs);
+        if let Some(profile) = &r.profile {
+            let _ = writeln!(out, "      \"profile\": {},", profile.trim());
+        }
         out.push_str("      \"stderr_tail\": [");
         for (j, line) in r.stderr_tail.iter().enumerate() {
             if j > 0 {
@@ -158,18 +166,24 @@ mod tests {
                 outcome: RunOutcome::Success,
                 duration_secs: 1.25,
                 stderr_tail: vec!["done".into()],
+                profile: Some(
+                    "{\"schema_version\":1,\"phases\":{\"atpg\":{\"count\":1,\"total_ns\":5,\"self_ns\":5}},\"collapsed\":[[\"atpg\",5]]}"
+                        .into(),
+                ),
             },
             RunRecord {
                 name: "table2".into(),
                 outcome: RunOutcome::Failed { exit_code: Some(3) },
                 duration_secs: 0.5,
                 stderr_tail: vec!["boom \"quoted\"".into()],
+                profile: None,
             },
             RunRecord {
                 name: "table3".into(),
                 outcome: RunOutcome::TimedOut { limit_secs: 60 },
                 duration_secs: 60.0,
                 stderr_tail: vec![],
+            profile: None,
             },
             RunRecord {
                 name: "missing".into(),
@@ -178,6 +192,7 @@ mod tests {
                 },
                 duration_secs: 0.0,
                 stderr_tail: vec![],
+            profile: None,
             },
         ];
         let json = manifest_json(&records);
@@ -187,6 +202,7 @@ mod tests {
         assert!(json.contains("\"timeout_secs\": 60"));
         assert!(json.contains("\"error\": \"no such file\""));
         assert!(json.contains("boom \\\"quoted\\\""));
+        assert!(json.contains("\"profile\": {\"schema_version\":1"));
         // crude balance check: the writer emits matched brackets
         assert_eq!(
             json.matches('{').count(),
@@ -205,6 +221,7 @@ mod tests {
             outcome: RunOutcome::Success,
             duration_secs: 0.1,
             stderr_tail: vec![],
+            profile: None,
         }];
         write_manifest(&path, &records).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();

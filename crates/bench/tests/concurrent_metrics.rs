@@ -1,0 +1,66 @@
+//! Scoped-registry isolation: two campaigns running at the same time on
+//! different threads must each report exactly their own work — the whole
+//! point of replacing the old process-wide counters. This file deliberately
+//! runs without `--test-threads=1` and uses no trace/env state, so it can
+//! share a process with other tests.
+
+use fastmon_core::{FlowConfig, HdfTestFlow};
+use fastmon_netlist::library;
+
+/// Runs one campaign and returns (patterns, counters) read from the flow's
+/// own registry.
+fn campaign(pattern_budget: usize) -> (usize, u64, u64, u64) {
+    let circuit = library::s27();
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(pattern_budget));
+    let _ = flow.analyze(&patterns);
+    let m = flow.metrics();
+    (
+        patterns.len(),
+        m.sta.analyses.get(),
+        m.atpg.patterns_emitted.get(),
+        m.sim.cones_simulated.get(),
+    )
+}
+
+#[test]
+fn concurrent_campaigns_report_disjoint_metrics() {
+    // A large and a small campaign, interleaved on two threads. With the
+    // old global counters either registry would double-count the other's
+    // STA pass and cone simulations.
+    let big = std::thread::spawn(|| campaign(8));
+    let small = std::thread::spawn(|| campaign(2));
+    let (big_patterns, big_sta, big_emitted, big_cones) = big.join().unwrap();
+    let (small_patterns, small_sta, small_emitted, small_cones) = small.join().unwrap();
+
+    assert_eq!(big_sta, 1, "big campaign saw a foreign STA pass");
+    assert_eq!(small_sta, 1, "small campaign saw a foreign STA pass");
+    assert!(
+        big_patterns > small_patterns,
+        "budgets must differ for this test to bite"
+    );
+    assert!(
+        big_emitted >= big_patterns as u64 && small_emitted >= small_patterns as u64,
+        "each registry must cover its own ATPG output"
+    );
+    // Cone simulations scale with pattern count on the same circuit, so
+    // cross-contamination (or shared counters) would erase the strict gap.
+    assert!(
+        big_cones > small_cones,
+        "expected the 8-pattern campaign to simulate strictly more cones \
+         ({big_cones} vs {small_cones})"
+    );
+    assert!(small_cones > 0, "small campaign recorded no work at all");
+}
+
+#[test]
+fn sequential_campaigns_start_from_zero() {
+    let (_, sta, _, cones) = campaign(4);
+    assert_eq!(sta, 1);
+    assert!(cones > 0);
+    // A fresh flow must not inherit the previous campaign's counters.
+    let circuit = library::s27();
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    assert_eq!(flow.metrics().sim.cones_simulated.get(), 0);
+    assert_eq!(flow.metrics().atpg.podem_calls.get(), 0);
+}

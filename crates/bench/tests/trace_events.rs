@@ -1,0 +1,125 @@
+//! End-to-end trace test: runs a campaign with `FASTMON_TRACE=1` (the real
+//! env-var path, not `force_enable`), then parses the emitted
+//! `events.jsonl` and checks the schema invariants that downstream tooling
+//! relies on: constant run id, per-thread bracket-matched span nesting,
+//! non-negative durations, and the presence of every phase span.
+//!
+//! Trace state is process-global, so this file holds exactly one `#[test]`
+//! — the sibling `concurrent_metrics.rs` (a separate test binary, hence a
+//! separate process) covers scoped-registry isolation.
+
+use std::collections::BTreeMap;
+
+use fastmon_core::{CheckpointStore, FlowConfig, HdfTestFlow, Solver};
+use fastmon_netlist::library;
+use fastmon_obs::json::{self, Value};
+
+#[test]
+fn traced_flow_emits_well_formed_jsonl() {
+    let dir = std::env::temp_dir().join(format!("fastmon-trace-events-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Must happen before the first span in this process: the trace layer
+    // reads the environment exactly once, on first use.
+    std::env::set_var("FASTMON_TRACE", "1");
+    std::env::set_var("FASTMON_TRACE_DIR", &dir);
+
+    let circuit = library::s27();
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(8));
+    let store = CheckpointStore::new(dir.join("campaign.fmck"));
+    let analysis = flow.analyze_resumable(&patterns, &store).unwrap();
+    let _ = flow.schedule(&analysis, Solver::Ilp);
+    fastmon_obs::emit_counters("trace_events_test", flow.metrics());
+    fastmon_obs::flush();
+
+    assert!(
+        fastmon_obs::jsonl_enabled(),
+        "FASTMON_TRACE=1 must enable the event log"
+    );
+
+    let text = std::fs::read_to_string(dir.join("events.jsonl")).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() > 10,
+        "expected a real event stream, got {} lines",
+        lines.len()
+    );
+
+    let mut run_id: Option<String> = None;
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut names: Vec<String> = Vec::new();
+    let mut saw_counters = false;
+    for (i, line) in lines.iter().enumerate() {
+        let v =
+            json::parse(line).unwrap_or_else(|e| panic!("line {}: bad JSON {e}: {line}", i + 1));
+        assert_eq!(
+            v.get("v").and_then(Value::as_u64),
+            Some(u64::from(fastmon_obs::TRACE_SCHEMA_VERSION)),
+            "line {}: wrong schema version",
+            i + 1
+        );
+        let ev = v.get("ev").and_then(Value::as_str).unwrap().to_owned();
+        let run = v.get("run").and_then(Value::as_str).unwrap().to_owned();
+        match &run_id {
+            None => {
+                assert_eq!(ev, "meta", "first event must be the meta record");
+                run_id = Some(run);
+            }
+            Some(expected) => assert_eq!(&run, expected, "line {}: run id changed", i + 1),
+        }
+        match ev.as_str() {
+            "meta" => {}
+            "enter" => {
+                let tid = v.get("tid").and_then(Value::as_u64).unwrap();
+                let name = v.get("name").and_then(Value::as_str).unwrap().to_owned();
+                names.push(name.clone());
+                stacks.entry(tid).or_default().push(name);
+            }
+            "exit" => {
+                let tid = v.get("tid").and_then(Value::as_u64).unwrap();
+                let name = v.get("name").and_then(Value::as_str).unwrap();
+                // u64 in the schema: non-negative by construction, but it
+                // must be present and integral on every exit.
+                assert!(
+                    v.get("dur_ns").and_then(Value::as_u64).is_some(),
+                    "line {}: exit without integral dur_ns",
+                    i + 1
+                );
+                let top = stacks.get_mut(&tid).and_then(Vec::pop);
+                assert_eq!(
+                    top.as_deref(),
+                    Some(name),
+                    "line {}: exit does not match enter",
+                    i + 1
+                );
+            }
+            "counters" => {
+                assert!(v.get("counters").and_then(Value::as_obj).is_some());
+                saw_counters = true;
+            }
+            other => panic!("line {}: unknown event kind {other}", i + 1),
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(stack.is_empty(), "tid {tid} left unclosed spans: {stack:?}");
+    }
+    assert!(saw_counters, "emit_counters record missing");
+    for required in [
+        "sta",
+        "atpg",
+        "analyze",
+        "band",
+        "ilp_stage_a",
+        "ilp_stage_b",
+        "checkpoint_save",
+        "checkpoint_load",
+    ] {
+        assert!(
+            names.iter().any(|n| n == required),
+            "phase span \"{required}\" missing from trace (saw: {names:?})"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -80,6 +80,36 @@ impl DetectionAnalysis {
         glitch_threshold: Time,
         threads: usize,
     ) -> Self {
+        Self::compute_scoped(
+            circuit,
+            annot,
+            clock,
+            configs,
+            placement,
+            faults,
+            patterns,
+            glitch_threshold,
+            threads,
+            None,
+        )
+    }
+
+    /// Like [`DetectionAnalysis::compute`], but records campaign counters
+    /// into a scoped [`fastmon_obs::MetricsRegistry`] instead of the
+    /// process-wide fallback.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn compute_scoped(
+        circuit: &Circuit,
+        annot: &DelayAnnotation,
+        clock: &ClockSpec,
+        configs: &ConfigSet,
+        placement: &MonitorPlacement,
+        faults: FaultList,
+        patterns: &TestSet,
+        glitch_threshold: Time,
+        threads: usize,
+        metrics: Option<&fastmon_obs::MetricsRegistry>,
+    ) -> Self {
         let progress = CampaignCheckpoint {
             fingerprint: 0,
             next_pattern: 0,
@@ -96,6 +126,7 @@ impl DetectionAnalysis {
             patterns,
             glitch_threshold,
             threads,
+            metrics,
             progress,
             &mut |_| Ok(()),
         ) {
@@ -125,12 +156,18 @@ impl DetectionAnalysis {
         patterns: &TestSet,
         glitch_threshold: Time,
         threads: usize,
+        metrics: Option<&fastmon_obs::MetricsRegistry>,
         mut progress: CampaignCheckpoint,
         on_band: &mut dyn FnMut(&CampaignCheckpoint) -> Result<(), CheckpointError>,
     ) -> Result<Self, CheckpointError> {
         debug_assert_eq!(progress.per_pattern.len(), faults.len());
         debug_assert_eq!(progress.raw_union.len(), faults.len());
-        let engine = SimEngine::new(circuit, annot);
+        let _analyze_span = fastmon_obs::span!("analyze");
+        let sim_metrics = metrics.map(|m| &m.sim);
+        let engine = match sim_metrics {
+            Some(m) => SimEngine::new(circuit, annot).with_metrics(m),
+            None => SimEngine::new(circuit, annot),
+        };
         // the signal whose transitions the fault delays
         let site_signal: Vec<NodeId> = faults
             .iter()
@@ -152,7 +189,7 @@ impl DetectionAnalysis {
         }
         let threads = threads.max(1);
         let plans: Vec<fastmon_sim::ConePlan> = parallel_map(by_gate.len(), threads, |g| {
-            fastmon_sim::ConePlan::new(circuit, by_gate[g].0)
+            fastmon_sim::ConePlan::new_with_metrics(circuit, by_gate[g].0, sim_metrics)
         });
 
         // Two-axis fan-out: work items are (pattern, gate-chunk) pairs, so
@@ -175,6 +212,7 @@ impl DetectionAnalysis {
 
         let mut band_start = progress.next_pattern.min(num_patterns);
         while band_start < num_patterns {
+            let _band_span = fastmon_obs::span!("band", band_start / band_size);
             let band_len = band_size.min(num_patterns - band_start);
             // fault-free responses of the band, computed once, shared
             // read-only by every gate chunk

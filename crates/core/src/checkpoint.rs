@@ -178,7 +178,8 @@ impl CheckpointStore {
     }
 
     /// Atomically persists `checkpoint` (write to `<path>.tmp`, then
-    /// rename).
+    /// rename) and returns the number of bytes written (used by the
+    /// campaign's checkpoint-latency telemetry).
     ///
     /// # Errors
     ///
@@ -186,7 +187,7 @@ impl CheckpointStore {
     /// [`CheckpointError::Interrupted`] when the
     /// [`with_interrupt_after`](Self::with_interrupt_after) test hook
     /// fires.
-    pub fn save(&self, checkpoint: &CampaignCheckpoint) -> Result<(), CheckpointError> {
+    pub fn save(&self, checkpoint: &CampaignCheckpoint) -> Result<u64, CheckpointError> {
         let bytes = encode(checkpoint);
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
@@ -211,7 +212,7 @@ impl CheckpointStore {
         self.saves.set(saves);
         match self.interrupt_after {
             Some(n) if saves >= n => Err(CheckpointError::Interrupted { bands: saves }),
-            _ => Ok(()),
+            _ => Ok(bytes.len() as u64),
         }
     }
 

@@ -1,7 +1,8 @@
-use fastmon_atpg::{generate, AtpgConfig, TestSet};
+use fastmon_atpg::{generate_with_metrics, AtpgConfig, TestSet};
 use fastmon_faults::{classify, DetectionRange, FaultClass, FaultList, Polarity};
 use fastmon_monitor::{ConfigSet, MonitorPlacement};
 use fastmon_netlist::{Circuit, NetlistError, PinRef};
+use fastmon_obs::MetricsRegistry;
 use fastmon_timing::{ClockSpec, DelayAnnotation, DelayModel, Sta};
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
@@ -54,6 +55,7 @@ pub struct HdfTestFlow<'c> {
     placement: MonitorPlacement,
     counts: FlowCounts,
     candidate_faults: FaultList,
+    metrics: MetricsRegistry,
 }
 
 impl<'c> HdfTestFlow<'c> {
@@ -90,10 +92,11 @@ impl<'c> HdfTestFlow<'c> {
             }
             .into());
         }
+        let metrics = MetricsRegistry::new();
         let model = DelayModel::nangate45_like();
         let annot = DelayAnnotation::with_variation(circuit, &model, config.sigma_rel, config.seed);
         annot.validate_for(circuit)?;
-        let sta = Sta::analyze(circuit, &annot);
+        let sta = Sta::analyze_with_metrics(circuit, &annot, Some(&metrics.sta));
         let clock = ClockSpec::new(
             (1.0 + config.clock_margin) * sta.critical_path_length(),
             config.fmax_factor,
@@ -180,6 +183,7 @@ impl<'c> HdfTestFlow<'c> {
             placement,
             counts,
             candidate_faults,
+            metrics,
         })
     }
 
@@ -237,6 +241,17 @@ impl<'c> HdfTestFlow<'c> {
         &self.candidate_faults
     }
 
+    /// The campaign-scoped telemetry registry. Every phase of this flow —
+    /// STA, ATPG, fault simulation, checkpoint I/O and schedule
+    /// optimization — records its counters here, so two concurrent
+    /// campaigns in one process never mix numbers. Read it after
+    /// [`HdfTestFlow::analyze`] / [`HdfTestFlow::schedule`] for the full
+    /// picture.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
     /// Runs the transition-fault ATPG, optionally capped at
     /// `pattern_budget` patterns (the paper's `|P|` per circuit).
     #[must_use]
@@ -246,7 +261,7 @@ impl<'c> HdfTestFlow<'c> {
             max_patterns: pattern_budget,
             ..AtpgConfig::default()
         };
-        generate(self.circuit, &atpg).test_set
+        generate_with_metrics(self.circuit, &atpg, Some(&self.metrics.atpg)).test_set
     }
 
     /// Like [`HdfTestFlow::generate_patterns`], but under the
@@ -268,7 +283,7 @@ impl<'c> HdfTestFlow<'c> {
     /// extraction.
     #[must_use]
     pub fn analyze(&self, patterns: &TestSet) -> DetectionAnalysis {
-        DetectionAnalysis::compute(
+        DetectionAnalysis::compute_scoped(
             self.circuit,
             &self.annot,
             &self.clock,
@@ -278,6 +293,7 @@ impl<'c> HdfTestFlow<'c> {
             patterns,
             self.config.glitch_threshold,
             self.config.effective_threads(),
+            Some(&self.metrics),
         )
     }
 
@@ -309,12 +325,23 @@ impl<'c> HdfTestFlow<'c> {
             per_pattern: vec![Vec::new(); self.candidate_faults.len()],
             raw_union: vec![DetectionRange::new(); self.candidate_faults.len()],
         };
-        let progress = match store.load() {
+        let ckpt = &self.metrics.checkpoint;
+        let t_load = std::time::Instant::now();
+        let loaded = {
+            let _span = fastmon_obs::span!("checkpoint_load");
+            store.load()
+        };
+        if !matches!(loaded, Err(CheckpointError::Missing)) {
+            ckpt.loads.incr();
+            ckpt.load_ns.add(elapsed_ns(t_load));
+        }
+        let progress = match loaded {
             Ok(cp)
                 if cp.fingerprint == fingerprint
                     && cp.per_pattern.len() == self.candidate_faults.len()
                     && cp.next_pattern <= patterns.len() =>
             {
+                ckpt.resumes.incr();
                 cp
             }
             Ok(cp) => {
@@ -347,8 +374,19 @@ impl<'c> HdfTestFlow<'c> {
             patterns,
             self.config.glitch_threshold,
             self.config.effective_threads(),
+            Some(&self.metrics),
             progress,
-            &mut |cp| store.save(cp),
+            &mut |cp| {
+                let t_save = std::time::Instant::now();
+                let bytes = {
+                    let _span = fastmon_obs::span!("checkpoint_save");
+                    store.save(cp)?
+                };
+                ckpt.saves.incr();
+                ckpt.save_ns.add(elapsed_ns(t_save));
+                ckpt.save_bytes.add(bytes);
+                Ok(())
+            },
         )?;
         if let Err(e) = store.clear() {
             eprintln!(
@@ -488,6 +526,7 @@ impl<'c> HdfTestFlow<'c> {
             configs: &self.configs,
             clock: &self.clock,
             deadline: self.config.ilp_deadline,
+            metrics: Some(&self.metrics.ilp),
         };
         let selection = select_frequencies(&ctx, solver, waivers)?;
         Ok(select_patterns(&ctx, solver, selection))
@@ -513,6 +552,7 @@ impl<'c> HdfTestFlow<'c> {
             configs: &self.configs,
             clock: &self.clock,
             deadline: self.config.ilp_deadline,
+            metrics: Some(&self.metrics.ilp),
         };
         match select_frequencies(&ctx, solver, waivers) {
             Ok(selection) => selection,
@@ -534,6 +574,11 @@ impl<'c> HdfTestFlow<'c> {
     ) -> Vec<crate::report::Fig3Point> {
         crate::report::fig3_series(self, analysis, factors)
     }
+}
+
+/// Saturating nanosecond conversion for latency counters.
+fn elapsed_ns(since: std::time::Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -592,6 +637,49 @@ mod tests {
                 assert!(!e.faults.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn scoped_metrics_cover_every_phase() {
+        let c = library::s27();
+        let flow = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        let m = flow.metrics();
+        assert_eq!(m.sta.analyses.get(), 1);
+        assert_eq!(m.sta.nodes_levelized.get(), c.len() as u64);
+        let patterns = flow.generate_patterns(None);
+        assert!(m.atpg.patterns_emitted.get() >= patterns.len() as u64);
+        assert!(m.atpg.faults_detected.get() > 0);
+        let analysis = flow.analyze(&patterns);
+        assert!(m.sim.cones_simulated.get() + m.sim.cones_masked.get() > 0);
+        let _ = flow.schedule(&analysis, Solver::Ilp);
+        // stage a + one stage-b solve per scheduled frequency; tiny
+        // instances may be fully solved by preprocessing (zero B&B nodes),
+        // so only the solve count is guaranteed
+        assert!(m.ilp.solves.get() >= 2);
+        // a second flow starts from a clean slate
+        let other = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        assert_eq!(other.metrics().sim.cones_simulated.get(), 0);
+        assert_eq!(other.metrics().ilp.solves.get(), 0);
+    }
+
+    #[test]
+    fn resumable_analyze_records_checkpoint_io() {
+        let c = library::s27();
+        let flow = HdfTestFlow::prepare(&c, &FlowConfig::default());
+        let patterns = flow.generate_patterns(Some(6));
+        let dir = std::env::temp_dir().join(format!(
+            "fastmon-ckpt-metrics-{}-{}",
+            std::process::id(),
+            fastmon_obs::run_id(),
+        ));
+        let store = CheckpointStore::new(dir.join("s27.ckpt"));
+        let analysis = flow.analyze_resumable(&patterns, &store).unwrap();
+        assert_eq!(analysis.num_patterns, patterns.len());
+        let m = &flow.metrics().checkpoint;
+        assert!(m.saves.get() > 0, "every band persists a checkpoint");
+        assert!(m.save_bytes.get() > 0);
+        assert_eq!(m.resumes.get(), 0, "fresh run resumes nothing");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

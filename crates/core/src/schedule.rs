@@ -173,6 +173,22 @@ pub(crate) struct ScheduleContext<'a> {
     pub configs: &'a ConfigSet,
     pub clock: &'a ClockSpec,
     pub deadline: Duration,
+    pub metrics: Option<&'a fastmon_obs::IlpMetrics>,
+}
+
+/// Folds one set-cover solve into the scoped ILP telemetry. A deadline hit
+/// means the anytime branch-and-bound fell back to its greedy-quality
+/// incumbent, so it counts as both a deadline hit and a greedy fallback.
+fn record_solve(metrics: Option<&fastmon_obs::IlpMetrics>, stats: &fastmon_ilp::SolveStats) {
+    let Some(m) = metrics else { return };
+    m.solves.incr();
+    m.bb_nodes.add(stats.nodes);
+    m.bb_fixed_by_reduction.add(stats.fixed_by_reduction as u64);
+    m.bb_bounds_pruned.add(stats.bounds_pruned);
+    if stats.deadline_hit {
+        m.deadline_hits.incr();
+        m.greedy_fallbacks.incr();
+    }
 }
 
 /// Step 1: select a minimum set of capture periods covering the target
@@ -183,6 +199,7 @@ pub(crate) fn select_frequencies(
     solver: Solver,
     allowed_uncovered: usize,
 ) -> Result<FrequencySelection, ScheduleError> {
+    let _span = fastmon_obs::span!("ilp_stage_a");
     // relevant faults and their observable ranges
     let (fault_ids, ranges): (Vec<usize>, Vec<&fastmon_faults::IntervalSet>) = match solver {
         Solver::Conventional => ctx
@@ -223,6 +240,7 @@ pub(crate) fn select_frequencies(
             .with_deadline(ctx.deadline)
             .solve(&instance),
     };
+    record_solve(ctx.metrics, &solution.stats);
     if !solution.feasible {
         return Err(ScheduleError::InfeasibleCover {
             uncoverable: instance.uncoverable(),
@@ -263,6 +281,7 @@ pub(crate) fn select_patterns(
     solver: Solver,
     selection: FrequencySelection,
 ) -> TestSchedule {
+    let _span = fastmon_obs::span!("ilp_stage_b");
     let configs: Vec<MonitorConfig> = match solver {
         Solver::Conventional => vec![MonitorConfig::Off],
         _ => ctx.configs.configs().collect(),
@@ -386,6 +405,7 @@ fn optimize_entry(
             .with_deadline(ctx.deadline)
             .solve(&instance),
     };
+    record_solve(ctx.metrics, &solution.stats);
     let mut applications: Vec<(u32, MonitorConfig)> =
         solution.chosen.iter().map(|&i| combos[i].0).collect();
     applications.sort_by_key(|&(p, c)| (p, config_rank(c)));

@@ -60,6 +60,7 @@ impl BranchBound {
     /// fires).
     #[must_use]
     pub fn solve(&self, instance: &SetCover) -> Solution {
+        let _span = fastmon_obs::span!("ilp_solve");
         let start = Instant::now();
         let (forced, residual, set_map, fixed) = if self.reductions {
             let red = reduce(instance);
@@ -92,6 +93,7 @@ impl BranchBound {
             stats: SolveStats {
                 nodes: search.nodes,
                 fixed_by_reduction: fixed,
+                bounds_pruned: search.bounds_pruned,
                 elapsed: start.elapsed(),
                 deadline_hit: search.deadline_hit,
             },
@@ -118,6 +120,7 @@ struct Search<'a> {
     best: Vec<usize>,
     have_best: bool,
     nodes: u64,
+    bounds_pruned: u64,
     start: Instant,
     deadline: Option<Duration>,
     deadline_hit: bool,
@@ -141,6 +144,7 @@ impl<'a> Search<'a> {
             best: seed.chosen,
             have_best: true,
             nodes: 0,
+            bounds_pruned: 0,
             start,
             deadline,
             deadline_hit: false,
@@ -195,6 +199,7 @@ impl<'a> Search<'a> {
         // density lower bound
         let bound = self.chosen.len() + must_cover.div_ceil(self.max_set_len);
         if self.have_best && bound >= self.best.len() {
+            self.bounds_pruned += 1;
             return;
         }
         // disjoint-rows lower bound (stronger, costlier — shallow depths
@@ -204,6 +209,7 @@ impl<'a> Search<'a> {
             let disjoint = self.disjoint_rows();
             let bound = self.chosen.len() + disjoint.saturating_sub(self.waivers_left);
             if bound >= self.best.len() {
+                self.bounds_pruned += 1;
                 return;
             }
         }

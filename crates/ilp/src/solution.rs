@@ -33,6 +33,8 @@ pub struct SolveStats {
     pub nodes: u64,
     /// Sets fixed by preprocessing reductions.
     pub fixed_by_reduction: usize,
+    /// Subtrees cut by the density/disjoint-rows lower bounds.
+    pub bounds_pruned: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
     /// `true` if the deadline interrupted the search.

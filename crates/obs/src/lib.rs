@@ -1,0 +1,60 @@
+//! # fastmon-obs — in-tree observability for the HDF test flow
+//!
+//! A zero-dependency tracing and metrics layer shared by every fastmon
+//! crate. Three pieces:
+//!
+//! * **Spans** ([`span!`], [`span`], [`span_with`]): hierarchical phase
+//!   markers with monotonic timing, recorded to a per-thread buffer and
+//!   drained into a per-run JSONL event log (`events.jsonl`). Tracing is
+//!   env-gated: `FASTMON_TRACE=1` enables the event log,
+//!   `FASTMON_TRACE_DIR` picks the output directory (default `.`). When
+//!   disabled, a span costs one relaxed atomic load and a branch.
+//! * **Scoped metrics** ([`MetricsRegistry`]): a campaign-owned set of
+//!   relaxed atomic counters covering fault simulation, ATPG, STA, ILP
+//!   scheduling and checkpoint I/O. Each campaign owns its registry, so
+//!   two campaigns running concurrently in one process report disjoint,
+//!   correctly-attributed numbers (unlike the old process-wide
+//!   `fastmon_sim::stats` globals).
+//! * **Profiles** ([`profile`]): whenever tracing (or profile-only mode,
+//!   `FASTMON_PROFILE=1` / `FASTMON_PROFILE_OUT=<path>`) is active, span
+//!   enters/exits also feed a per-phase self-time aggregate and a
+//!   flamegraph-style collapsed-stack table, rendered post-run by
+//!   `perf_snapshot` and embedded into `RUN_MANIFEST.json`.
+//!
+//! The JSONL event schema is versioned (see [`TRACE_SCHEMA_VERSION`]) the
+//! same way the `FMCK` checkpoint format is; `crates/bench`'s
+//! `check_events` bin validates emitted logs against it.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod trace;
+
+pub use metrics::{
+    AtpgMetrics, CheckpointMetrics, Counter, IlpMetrics, MetricsRegistry, SimMetrics, StaMetrics,
+};
+pub use trace::{
+    emit_counters, enabled, finish, flush, force_enable, jsonl_enabled, run_id, span, span_with,
+    Span, TraceMode, TRACE_SCHEMA_VERSION,
+};
+
+/// Opens a span that closes when the returned guard is dropped.
+///
+/// ```
+/// {
+///     let _s = fastmon_obs::span!("atpg");
+///     // ... phase work ...
+/// } // span exits here
+/// let _b = fastmon_obs::span!("band", 3);
+/// ```
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $arg:expr) => {
+        $crate::span_with($name, ($arg) as u64)
+    };
+}

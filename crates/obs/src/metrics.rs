@@ -1,0 +1,290 @@
+//! Campaign-scoped metric counters.
+//!
+//! A [`MetricsRegistry`] is owned by whoever runs a campaign (one
+//! `HdfTestFlow` owns one registry) and handed down by shared reference
+//! through the flow, the analysis and the work-stealing pool. Counters use
+//! relaxed ordering and are designed for batch flushes (the fault-sim hot
+//! loop accumulates per-cone deltas locally and publishes them once per
+//! cone), so the bookkeeping stays invisible in profiles.
+//!
+//! Because every campaign owns its registry, concurrent campaigns in one
+//! process attribute their work correctly — the process-wide counters in
+//! `fastmon_sim::stats` (now deprecated shims over a global registry) could
+//! not distinguish them.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed-ordering monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zero counter (const so registries can live in statics).
+    #[must_use]
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` (relaxed).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one (relaxed).
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (relaxed).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (relaxed).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+macro_rules! metric_section {
+    ($(#[$meta:meta])* $name:ident { $($(#[$fmeta:meta])* $field:ident),+ $(,)? }) => {
+        $(#[$meta])*
+        #[derive(Debug, Default)]
+        pub struct $name {
+            $($(#[$fmeta])* pub $field: Counter,)+
+        }
+
+        impl $name {
+            /// A fresh all-zero section.
+            #[must_use]
+            pub const fn new() -> Self {
+                $name { $($field: Counter::new(),)+ }
+            }
+
+            /// Zeroes every counter in the section.
+            pub fn reset(&self) {
+                $(self.$field.reset();)+
+            }
+
+            /// `(name, value)` pairs in declaration order.
+            #[must_use]
+            pub fn entries(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field.get()),)+]
+            }
+        }
+    };
+}
+
+metric_section! {
+    /// Fault-simulation campaign counters (formerly `fastmon_sim::stats`).
+    SimMetrics {
+        /// Planned cone simulations whose fault was active at its seed gate.
+        cones_simulated,
+        /// Planned cone simulations rejected because the fault was fully
+        /// masked at its own gate (seed waveform unchanged).
+        cones_masked,
+        /// Cone gates actually re-evaluated.
+        nodes_evaluated,
+        /// Cone gates skipped because every fanin had already converged
+        /// back to its fault-free waveform (including early-exit tail skips).
+        nodes_converged,
+        /// Cone gates dropped at plan-build time because they cannot reach
+        /// any observation point.
+        nodes_pruned_unobserved,
+        /// Waveform transition buffers allocated fresh in the hot loop.
+        waveform_allocs,
+        /// Waveform transition buffers recycled from the scratch pool.
+        waveform_reuses,
+    }
+}
+
+metric_section! {
+    /// ATPG (PODEM + random phase) counters.
+    AtpgMetrics {
+        /// Deterministic PODEM invocations.
+        podem_calls,
+        /// PODEM decision backtracks across all invocations.
+        podem_backtracks,
+        /// PODEM invocations aborted at the backtrack limit.
+        podem_aborts,
+        /// Faults proven untestable.
+        faults_untestable,
+        /// Faults detected (random phase + PODEM).
+        faults_detected,
+        /// Patterns in the final (compacted, budget-capped) set.
+        patterns_emitted,
+    }
+}
+
+metric_section! {
+    /// Static timing analysis counters.
+    StaMetrics {
+        /// Completed STA runs (forward + backward pass).
+        analyses,
+        /// Nodes levelized/propagated across all runs.
+        nodes_levelized,
+    }
+}
+
+metric_section! {
+    /// ILP / set-cover scheduling counters.
+    IlpMetrics {
+        /// Branch-and-bound solves attempted.
+        solves,
+        /// Branch-and-bound search nodes expanded.
+        bb_nodes,
+        /// Columns fixed by dominance/reduction preprocessing.
+        bb_fixed_by_reduction,
+        /// Subtrees cut by the lower-bound tests.
+        bb_bounds_pruned,
+        /// Solves that hit their deadline and returned the incumbent.
+        deadline_hits,
+        /// Solves answered by the greedy fallback instead of exact search.
+        greedy_fallbacks,
+    }
+}
+
+metric_section! {
+    /// Campaign checkpoint I/O counters (latencies in nanoseconds).
+    CheckpointMetrics {
+        /// Checkpoint files written.
+        saves,
+        /// Total wall time spent writing checkpoints, in ns.
+        save_ns,
+        /// Checkpoint bytes written.
+        save_bytes,
+        /// Checkpoint load attempts (including misses).
+        loads,
+        /// Total wall time spent loading checkpoints, in ns.
+        load_ns,
+        /// Campaigns actually resumed from a checkpoint.
+        resumes,
+    }
+}
+
+/// The campaign-owned collector handed through the whole flow.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Fault-simulation counters.
+    pub sim: SimMetrics,
+    /// ATPG counters.
+    pub atpg: AtpgMetrics,
+    /// STA counters.
+    pub sta: StaMetrics,
+    /// ILP scheduling counters.
+    pub ilp: IlpMetrics,
+    /// Checkpoint I/O counters.
+    pub checkpoint: CheckpointMetrics,
+}
+
+impl MetricsRegistry {
+    /// A fresh all-zero registry.
+    #[must_use]
+    pub const fn new() -> Self {
+        MetricsRegistry {
+            sim: SimMetrics::new(),
+            atpg: AtpgMetrics::new(),
+            sta: StaMetrics::new(),
+            ilp: IlpMetrics::new(),
+            checkpoint: CheckpointMetrics::new(),
+        }
+    }
+
+    /// Zeroes every counter.
+    pub fn reset(&self) {
+        self.sim.reset();
+        self.atpg.reset();
+        self.sta.reset();
+        self.ilp.reset();
+        self.checkpoint.reset();
+    }
+
+    /// All counters as dotted `(name, value)` pairs, e.g.
+    /// `("sim.cones_simulated", 42)`.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(String, u64)> {
+        let mut out = Vec::new();
+        for (section, entries) in [
+            ("sim", self.sim.entries()),
+            ("atpg", self.atpg.entries()),
+            ("sta", self.sta.entries()),
+            ("ilp", self.ilp.entries()),
+            ("checkpoint", self.checkpoint.entries()),
+        ] {
+            for (name, value) in entries {
+                out.push((format!("{section}.{name}"), value));
+            }
+        }
+        out
+    }
+
+    /// The counters as a single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        for (i, (name, value)) in self.entries().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('"');
+            s.push_str(name); // dotted ascii identifiers, no escaping needed
+            s.push_str("\":");
+            s.push_str(&value.to_string());
+        }
+        s.push('}');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let reg = MetricsRegistry::new();
+        reg.sim.cones_simulated.add(3);
+        reg.sim.cones_simulated.incr();
+        reg.ilp.bb_nodes.add(7);
+        assert_eq!(reg.sim.cones_simulated.get(), 4);
+        assert_eq!(reg.ilp.bb_nodes.get(), 7);
+        reg.reset();
+        assert_eq!(reg.sim.cones_simulated.get(), 0);
+        assert_eq!(reg.ilp.bb_nodes.get(), 0);
+    }
+
+    #[test]
+    fn entries_are_dotted_and_cover_every_section() {
+        let reg = MetricsRegistry::new();
+        reg.checkpoint.saves.incr();
+        let entries = reg.entries();
+        for prefix in ["sim.", "atpg.", "sta.", "ilp.", "checkpoint."] {
+            assert!(
+                entries.iter().any(|(n, _)| n.starts_with(prefix)),
+                "missing section {prefix}"
+            );
+        }
+        let saves = entries
+            .iter()
+            .find(|(n, _)| n == "checkpoint.saves")
+            .map(|&(_, v)| v);
+        assert_eq!(saves, Some(1));
+    }
+
+    #[test]
+    fn json_is_parseable_by_the_inhouse_parser() {
+        let reg = MetricsRegistry::new();
+        reg.sim.nodes_pruned_unobserved.add(11);
+        let value = crate::json::parse(&reg.to_json()).unwrap();
+        assert_eq!(
+            value
+                .get("sim.nodes_pruned_unobserved")
+                .and_then(crate::json::Value::as_u64),
+            Some(11)
+        );
+    }
+}

@@ -1,0 +1,546 @@
+//! Span tracing: hierarchical phase markers with monotonic timing,
+//! buffered per thread and drained into a per-run JSONL event log.
+//!
+//! # Modes
+//!
+//! The tracer has three modes, resolved once from the environment on first
+//! use and cached in an atomic (so a disabled span costs one relaxed load
+//! and a branch):
+//!
+//! * **Off** (default): spans are no-ops.
+//! * **Profile** (`FASTMON_PROFILE=1` or `FASTMON_PROFILE_OUT=<path>`):
+//!   spans feed the in-process [`crate::profile`] aggregate only.
+//! * **Full** (`FASTMON_TRACE=1`): profile aggregation *plus* a JSONL
+//!   event log written to `$FASTMON_TRACE_DIR/events.jsonl` (directory
+//!   defaults to `.`, created if missing).
+//!
+//! # Event schema (version [`TRACE_SCHEMA_VERSION`])
+//!
+//! One JSON object per line. Common fields: `v` (schema version), `ev`
+//! (event kind), `run` (per-process run id), `pid`, `wall_ms` (unix wall
+//! clock, milliseconds). Kinds:
+//!
+//! * `meta` — first line of the log: run identity.
+//! * `enter` — span opened: `tid`, `name`, optional `arg`, `t_ns`
+//!   (monotonic nanoseconds since trace start).
+//! * `exit` — span closed: same fields plus `dur_ns` (≥ 0).
+//! * `counters` — a [`crate::MetricsRegistry`] dump: `scope` label and a
+//!   `counters` object of dotted counter names.
+//!
+//! Events from different threads interleave freely in the file; within one
+//! `tid` enters/exits nest like brackets. `events.jsonl` is truncated per
+//! run — point concurrent processes at different `FASTMON_TRACE_DIR`s
+//! (the `run_all` driver does this for its children).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::MetricsRegistry;
+use crate::profile::{self, PhaseAgg};
+
+/// Version of the JSONL event schema (`"v"` field on every line).
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_PROFILE: u8 = 2;
+const STATE_FULL: u8 = 3;
+
+/// What the tracer records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Spans are no-ops.
+    Off,
+    /// Spans feed the in-process profile aggregate only.
+    Profile,
+    /// Profile aggregation plus the JSONL event log.
+    Full,
+}
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+
+#[inline]
+fn state() -> u8 {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == STATE_UNINIT {
+        return init_state_from_env();
+    }
+    s
+}
+
+#[cold]
+fn init_state_from_env() -> u8 {
+    let s = if env_flag("FASTMON_TRACE") {
+        STATE_FULL
+    } else if env_flag("FASTMON_PROFILE") || std::env::var_os("FASTMON_PROFILE_OUT").is_some() {
+        STATE_PROFILE
+    } else {
+        STATE_OFF
+    };
+    // A concurrent force_enable wins; otherwise publish the env answer.
+    match STATE.compare_exchange(STATE_UNINIT, s, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => s,
+        Err(current) => current,
+    }
+}
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
+
+/// True when spans record anything (profile or full mode).
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    state() >= STATE_PROFILE
+}
+
+/// True when the JSONL event log is being written.
+#[inline]
+#[must_use]
+pub fn jsonl_enabled() -> bool {
+    state() == STATE_FULL
+}
+
+/// Forces the trace mode, overriding (and pre-empting) the environment.
+///
+/// `dir` overrides the event-log directory; it only takes effect if the
+/// log file has not been opened yet. Intended for tests and self-checking
+/// tools; production runs use the environment gates.
+pub fn force_enable(mode: TraceMode, dir: Option<&Path>) {
+    if let Some(d) = dir {
+        *lock(dir_override()) = Some(d.to_path_buf());
+    }
+    let s = match mode {
+        TraceMode::Off => STATE_OFF,
+        TraceMode::Profile => STATE_PROFILE,
+        TraceMode::Full => STATE_FULL,
+    };
+    STATE.store(s, Ordering::Relaxed);
+}
+
+fn dir_override() -> &'static Mutex<Option<PathBuf>> {
+    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| Mutex::new(None))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
+// Global sink: run identity + the (lazily opened) event-log file.
+
+enum SinkFile {
+    Unopened,
+    Open(std::io::BufWriter<fs::File>),
+    /// Opening failed; events are dropped (reported once on stderr).
+    Failed,
+}
+
+struct Sink {
+    run_id: String,
+    pid: u32,
+    start: Instant,
+    wall_ms_at_start: u64,
+    file: Mutex<SinkFile>,
+}
+
+fn sink() -> &'static Sink {
+    static SINK: OnceLock<Sink> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let pid = std::process::id();
+        let wall_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0);
+        // FNV-1a over pid + boot wall clock: unique enough per process run.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in pid.to_le_bytes().into_iter().chain(wall_ns.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let wall_ms_at_start = (wall_ns / 1_000_000) as u64;
+        Sink {
+            run_id: format!("{h:016x}"),
+            pid,
+            start: Instant::now(),
+            wall_ms_at_start,
+            file: Mutex::new(SinkFile::Unopened),
+        }
+    })
+}
+
+fn now_ns() -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let ns = sink().start.elapsed().as_nanos() as u64;
+    ns
+}
+
+/// The per-process run identifier stamped on every event line.
+#[must_use]
+pub fn run_id() -> String {
+    sink().run_id.clone()
+}
+
+fn trace_dir() -> PathBuf {
+    if let Some(d) = lock(dir_override()).clone() {
+        return d;
+    }
+    std::env::var_os("FASTMON_TRACE_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn write_to_sink(lines: &str) {
+    if lines.is_empty() {
+        return;
+    }
+    let s = sink();
+    let mut file = lock(&s.file);
+    if matches!(*file, SinkFile::Unopened) {
+        let dir = trace_dir();
+        let path = dir.join("events.jsonl");
+        let opened = fs::create_dir_all(&dir)
+            .and_then(|()| fs::File::create(&path))
+            .map(std::io::BufWriter::new);
+        *file = match opened {
+            Ok(mut f) => {
+                let mut meta = String::new();
+                let _ = write!(
+                    meta,
+                    "{{\"v\":{TRACE_SCHEMA_VERSION},\"ev\":\"meta\",\"run\":\"{}\",\"pid\":{},\"wall_ms\":{}}}",
+                    s.run_id, s.pid, s.wall_ms_at_start
+                );
+                meta.push('\n');
+                let _ = f.write_all(meta.as_bytes());
+                SinkFile::Open(f)
+            }
+            Err(e) => {
+                eprintln!(
+                    "[fastmon-obs] cannot open {}: {e}; trace events will be dropped",
+                    path.display()
+                );
+                SinkFile::Failed
+            }
+        };
+    }
+    if let SinkFile::Open(f) = &mut *file {
+        let _ = f.write_all(lines.as_bytes());
+    }
+}
+
+fn flush_sink_file() {
+    if let SinkFile::Open(f) = &mut *lock(&sink().file) {
+        let _ = f.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread span stack + event buffer.
+
+struct Frame {
+    name: &'static str,
+    arg: Option<u64>,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+struct ThreadBuf {
+    tid: u32,
+    frames: Vec<Frame>,
+    lines: String,
+    phases: HashMap<&'static str, PhaseAgg>,
+    collapsed: HashMap<String, u64>,
+}
+
+/// Buffered event lines are pushed to the sink once the buffer passes this
+/// size (and on thread exit / explicit [`flush`]).
+const FLUSH_BYTES: usize = 16 * 1024;
+
+impl ThreadBuf {
+    fn new() -> Self {
+        ThreadBuf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            frames: Vec::new(),
+            lines: String::new(),
+            phases: HashMap::new(),
+            collapsed: HashMap::new(),
+        }
+    }
+
+    fn event_head(&mut self, ev: &str, t_ns: u64) {
+        let s = sink();
+        let wall_ms = s.wall_ms_at_start + t_ns / 1_000_000;
+        let _ = write!(
+            self.lines,
+            "{{\"v\":{TRACE_SCHEMA_VERSION},\"ev\":\"{ev}\",\"run\":\"{}\",\"pid\":{},\"tid\":{},\"t_ns\":{t_ns},\"wall_ms\":{wall_ms}",
+            s.run_id, s.pid, self.tid
+        );
+    }
+
+    fn flush(&mut self) {
+        if !self.lines.is_empty() {
+            write_to_sink(&self.lines);
+            self.lines.clear();
+        }
+        if !self.phases.is_empty() || !self.collapsed.is_empty() {
+            profile::merge_thread(&mut self.phases, &mut self.collapsed);
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+        flush_sink_file();
+    }
+}
+
+thread_local! {
+    static TLB: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+}
+
+fn with_tlb(f: impl FnOnce(&mut ThreadBuf)) {
+    // Ignore spans recorded during thread-local teardown.
+    let _ = TLB.try_with(|b| {
+        if let Ok(mut b) = b.try_borrow_mut() {
+            f(&mut b);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+/// Guard returned by [`span`]/[`span_with`]; the span closes when it drops.
+#[must_use = "a span closes when its guard drops — bind it with `let _s = ...`"]
+#[derive(Debug)]
+pub struct Span {
+    active: bool,
+}
+
+/// Opens a span named `name`. Costs a relaxed load + branch when tracing
+/// is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if state() < STATE_PROFILE {
+        return Span { active: false };
+    }
+    enter(name, None);
+    Span { active: true }
+}
+
+/// Opens a span with a numeric argument (e.g. a band index).
+#[inline]
+pub fn span_with(name: &'static str, arg: u64) -> Span {
+    if state() < STATE_PROFILE {
+        return Span { active: false };
+    }
+    enter(name, Some(arg));
+    Span { active: true }
+}
+
+#[cold]
+fn enter(name: &'static str, arg: Option<u64>) {
+    let t = now_ns();
+    let full = jsonl_enabled();
+    with_tlb(|b| {
+        b.frames.push(Frame {
+            name,
+            arg,
+            start_ns: t,
+            child_ns: 0,
+        });
+        if full {
+            b.event_head("enter", t);
+            let _ = write!(b.lines, ",\"name\":\"{name}\"");
+            if let Some(a) = arg {
+                let _ = write!(b.lines, ",\"arg\":{a}");
+            }
+            b.lines.push_str("}\n");
+            if b.lines.len() >= FLUSH_BYTES {
+                write_to_sink(&b.lines);
+                b.lines.clear();
+            }
+        }
+    });
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.active {
+            exit();
+        }
+    }
+}
+
+#[cold]
+fn exit() {
+    let t = now_ns();
+    let full = jsonl_enabled();
+    with_tlb(|b| {
+        let Some(frame) = b.frames.pop() else {
+            return; // unbalanced exit (span guard leaked across threads)
+        };
+        let dur = t.saturating_sub(frame.start_ns);
+        let self_ns = dur.saturating_sub(frame.child_ns);
+        if let Some(parent) = b.frames.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(dur);
+        }
+        let agg = b.phases.entry(frame.name).or_default();
+        agg.count += 1;
+        agg.total_ns += dur;
+        agg.self_ns += self_ns;
+        // flamegraph-style collapsed stack: ancestor;...;self
+        let mut stack = String::new();
+        for f in &b.frames {
+            stack.push_str(f.name);
+            stack.push(';');
+        }
+        stack.push_str(frame.name);
+        *b.collapsed.entry(stack).or_insert(0) += self_ns;
+        if full {
+            b.event_head("exit", t);
+            let _ = write!(b.lines, ",\"name\":\"{}\"", frame.name);
+            if let Some(a) = frame.arg {
+                let _ = write!(b.lines, ",\"arg\":{a}");
+            }
+            let _ = write!(b.lines, ",\"dur_ns\":{dur}}}");
+            b.lines.push('\n');
+            if b.lines.len() >= FLUSH_BYTES {
+                write_to_sink(&b.lines);
+                b.lines.clear();
+            }
+        }
+    });
+}
+
+/// Writes a `counters` event dumping `registry` under a `scope` label
+/// (no-op unless the JSONL log is enabled).
+pub fn emit_counters(scope: &str, registry: &MetricsRegistry) {
+    if !jsonl_enabled() {
+        return;
+    }
+    let t = now_ns();
+    let json = registry.to_json();
+    let scope = crate::json::escape(scope);
+    with_tlb(|b| {
+        b.event_head("counters", t);
+        let _ = write!(b.lines, ",\"scope\":\"{scope}\",\"counters\":{json}}}");
+        b.lines.push('\n');
+    });
+}
+
+/// Flushes the calling thread's buffered events and profile aggregates,
+/// then flushes the event-log file. Worker threads flush automatically
+/// when they exit; call this on the main thread before reading
+/// `events.jsonl` or a profile report.
+pub fn flush() {
+    with_tlb(ThreadBuf::flush);
+    flush_sink_file();
+}
+
+/// End-of-run hook for binaries: [`flush`] plus, when
+/// `FASTMON_PROFILE_OUT` is set, writing the profile report there.
+pub fn finish() {
+    flush();
+    profile::write_if_requested();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Trace mode and the sink are process-global, so unit tests here stick
+    // to profile mode + line formatting; the end-to-end JSONL file path is
+    // covered by crates/bench/tests/trace_events.rs (its own process).
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // Force Off explicitly: other tests may have enabled profiling.
+        force_enable(TraceMode::Off, None);
+        let s = span("never");
+        assert!(!s.active);
+        drop(s);
+        force_enable(TraceMode::Profile, None);
+    }
+
+    #[test]
+    fn nested_spans_aggregate_self_time() {
+        force_enable(TraceMode::Profile, None);
+        {
+            let _outer = span("outer_test_phase");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span_with("inner_test_phase", 7);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        flush();
+        let report = profile::snapshot();
+        let outer = report
+            .phases
+            .iter()
+            .find(|(n, _)| n == "outer_test_phase")
+            .map(|(_, a)| a.clone())
+            .unwrap();
+        let inner = report
+            .phases
+            .iter()
+            .find(|(n, _)| n == "inner_test_phase")
+            .map(|(_, a)| a.clone())
+            .unwrap();
+        assert!(outer.count >= 1 && inner.count >= 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns);
+        assert!(report
+            .collapsed
+            .iter()
+            .any(|(s, _)| s == "outer_test_phase;inner_test_phase"));
+    }
+
+    #[test]
+    fn event_lines_parse_with_the_inhouse_parser() {
+        let mut b = ThreadBuf::new();
+        b.event_head("enter", 42);
+        b.lines.push_str(",\"name\":\"x\"}\n");
+        b.event_head("exit", 99);
+        b.lines.push_str(",\"name\":\"x\",\"dur_ns\":57}\n");
+        for line in b.lines.clone().lines() {
+            let v = crate::json::parse(line).unwrap();
+            assert_eq!(
+                v.get("v").and_then(crate::json::Value::as_u64),
+                Some(u64::from(TRACE_SCHEMA_VERSION))
+            );
+            assert!(v.get("run").and_then(crate::json::Value::as_str).is_some());
+            assert!(v
+                .get("wall_ms")
+                .and_then(crate::json::Value::as_u64)
+                .is_some());
+        }
+        b.lines.clear(); // keep Drop from writing test lines to a real sink
+    }
+
+    #[test]
+    fn env_flag_parses_common_spellings() {
+        std::env::set_var("FASTMON_OBS_TEST_FLAG", "1");
+        assert!(env_flag("FASTMON_OBS_TEST_FLAG"));
+        std::env::set_var("FASTMON_OBS_TEST_FLAG", "0");
+        assert!(!env_flag("FASTMON_OBS_TEST_FLAG"));
+        std::env::set_var("FASTMON_OBS_TEST_FLAG", "false");
+        assert!(!env_flag("FASTMON_OBS_TEST_FLAG"));
+        std::env::remove_var("FASTMON_OBS_TEST_FLAG");
+        assert!(!env_flag("FASTMON_OBS_TEST_FLAG"));
+    }
+}

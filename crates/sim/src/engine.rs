@@ -1,5 +1,6 @@
 use fastmon_faults::{IntervalSet, SmallDelayFault};
 use fastmon_netlist::{Circuit, GateKind, NodeId, PinRef};
+use fastmon_obs::SimMetrics;
 use fastmon_timing::{DelayAnnotation, Time};
 
 use crate::stats;
@@ -86,6 +87,9 @@ pub struct SimEngine<'c> {
     /// delay; `None` = pure transport delay (the paper's setting — its
     /// pessimistic pulse filtering happens on detection ranges instead)
     inertial: Option<f64>,
+    /// campaign-scoped counters; `None` falls back to the process-wide
+    /// [`stats::global`] registry (the deprecated-shim path)
+    metrics: Option<&'c SimMetrics>,
 }
 
 impl<'c> SimEngine<'c> {
@@ -105,6 +109,26 @@ impl<'c> SimEngine<'c> {
             circuit,
             annot,
             inertial: None,
+            metrics: None,
+        }
+    }
+
+    /// Routes this engine's campaign counters into a scoped registry
+    /// (instead of the process-wide fallback), so concurrent campaigns
+    /// attribute their work exactly.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &'c SimMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The counter sink: the scoped registry if one was attached, the
+    /// process-wide fallback otherwise.
+    #[inline]
+    fn metrics(&self) -> &'c SimMetrics {
+        match self.metrics {
+            Some(m) => m,
+            None => stats::global(),
         }
     }
 
@@ -296,9 +320,26 @@ pub struct ConePlan {
 }
 
 impl ConePlan {
-    /// Builds the plan for faults at gate `seed`.
+    /// Builds the plan for faults at gate `seed`, counting pruned nodes
+    /// into the process-wide fallback registry. Campaign code should use
+    /// [`ConePlan::new_with_metrics`] for exact attribution.
     #[must_use]
     pub fn new(circuit: &Circuit, seed: NodeId) -> Self {
+        Self::new_with_metrics(circuit, seed, None)
+    }
+
+    /// Builds the plan for faults at gate `seed`, counting nodes dropped
+    /// by observer-reach pruning into `metrics` (falling back to the
+    /// process-wide registry when `None`).
+    ///
+    /// Note that netlists produced by the synthetic generator are fully
+    /// observable by construction (dangling gates are promoted to primary
+    /// outputs), so on those — and on the bundled ISCAS circuits — the
+    /// pruning legitimately removes nothing and
+    /// `nodes_pruned_unobserved` stays 0. The counter moves for partial
+    /// or hand-built netlists whose cones contain dead branches.
+    #[must_use]
+    pub fn new_with_metrics(circuit: &Circuit, seed: NodeId, metrics: Option<&SimMetrics>) -> Self {
         let full_cone = circuit.fanout_cone(seed);
         let mut in_cone = vec![false; circuit.len()];
         for &id in &full_cone {
@@ -333,7 +374,12 @@ impl ConePlan {
             .filter(|id| retained[id.index()])
             .collect();
         let pruned = full_cone.len() - cone.len();
-        stats::count_pruned_nodes(pruned as u64);
+        match metrics {
+            Some(m) => m,
+            None => stats::global(),
+        }
+        .nodes_pruned_unobserved
+        .add(pruned as u64);
         let len = u32::try_from(cone.len()).unwrap_or_else(|_| unreachable!("cone fits u32"));
 
         // influence horizon: how far down the cone each node's output goes
@@ -471,7 +517,7 @@ impl<'c> SimEngine<'c> {
         }
         let seed_wave = self.seed_wave(base, fault);
         if &seed_wave == base.wave(plan.seed) {
-            stats::count_masked_cone();
+            self.metrics().cones_masked.incr();
             return; // fault fully masked at its own gate
         }
 
@@ -573,7 +619,7 @@ impl<'c> SimEngine<'c> {
         for wave in waves.drain(..).flatten() {
             spare.push(wave.into_transitions());
         }
-        tally.flush_simulated();
+        tally.flush_simulated(self.metrics());
     }
 }
 
@@ -815,6 +861,55 @@ mod tests {
         let direct = engine.response_diff(&base, &fault, 100.0);
         let planned = engine.response_diff_planned(&base, &fault, &plan, &mut scratch, 100.0);
         assert_eq!(direct, planned);
+    }
+
+    #[test]
+    fn pruning_moves_the_scoped_counter_for_unreachable_observers() {
+        // Root-cause check for the "nodes_pruned_unobserved is always 0"
+        // report: the counter wiring is live — what never fires on the
+        // bench suite is the *trigger*, because generated netlists promote
+        // dangling gates to primary outputs (fully observable by
+        // construction). A cone whose branch cannot reach any observation
+        // point must move the campaign-scoped counter.
+        let mut b = CircuitBuilder::new("prune_scoped");
+        b.add("a", GateKind::Input, &[]);
+        b.add("n1", GateKind::Buf, &["a"]);
+        b.add("po", GateKind::Buf, &["n1"]);
+        b.add("d1", GateKind::Buf, &["n1"]);
+        b.add("d2", GateKind::Not, &["d1"]);
+        b.add("d3", GateKind::Buf, &["d2"]);
+        b.mark_output("po");
+        let c = b.finish().unwrap();
+        let n1 = c.find("n1").unwrap();
+
+        let metrics = SimMetrics::new();
+        let plan = ConePlan::new_with_metrics(&c, n1, Some(&metrics));
+        assert_eq!(plan.pruned_nodes(), 3);
+        assert_eq!(
+            metrics.nodes_pruned_unobserved.get(),
+            3,
+            "scoped counter must move when a cone branch reaches no observation point"
+        );
+
+        // scoped counting must not leak into a second, concurrent registry
+        let other = SimMetrics::new();
+        let _ = ConePlan::new_with_metrics(&c, c.find("po").unwrap(), Some(&other));
+        assert_eq!(metrics.nodes_pruned_unobserved.get(), 3);
+        assert_eq!(other.nodes_pruned_unobserved.get(), 0);
+
+        // masked/simulated cone counters land in the engine's registry
+        let (annot, ()) = unit_engine(&c);
+        let engine = SimEngine::new(&c, &annot).with_metrics(&metrics);
+        let stim = Stimulus::from_fn(&c, |_| (false, false));
+        let base = engine.simulate(&stim);
+        let mut scratch = ConeScratch::new(&c);
+        let fault = SmallDelayFault::new(PinRef::Output(n1), Polarity::SlowToRise, 0.5);
+        let _ = engine.response_diff_planned(&base, &fault, &plan, &mut scratch, 100.0);
+        assert_eq!(
+            metrics.cones_simulated.get() + metrics.cones_masked.get(),
+            1,
+            "the cone outcome must be attributed to the scoped registry"
+        );
     }
 
     #[test]

@@ -1,41 +1,30 @@
-//! Global campaign instrumentation: cheap atomic counters incremented by
-//! the fault-simulation hot paths.
+//! Deprecated process-wide campaign counters.
 //!
-//! # One campaign at a time
+//! The counters now live in campaign-owned
+//! [`fastmon_obs::SimMetrics`]/[`fastmon_obs::MetricsRegistry`] registries
+//! (see [`SimEngine::with_metrics`](crate::SimEngine::with_metrics)):
+//! each campaign holds its own collector, so concurrent campaigns in one
+//! process attribute their work exactly — the old process-wide statics
+//! could not tell them apart.
 //!
-//! Counters are **process-wide**: a [`reset`]/[`snapshot`] pair brackets
-//! everything the process simulated in between, not one particular
-//! campaign. Running two campaigns concurrently (overlapping flows in one
-//! process, or `cargo test` without `--test-threads=1` when several tests
-//! measure stats) interleaves their tallies, so each snapshot can include
-//! the other campaign's work. The counters stay race-free and monotonic
-//! in that case — only the attribution blurs. Callers that need exact
-//! per-campaign numbers (e.g. `perf_snapshot`) must serialize campaigns
-//! around the reset/snapshot pair.
-//!
-//! Counters are updated with relaxed ordering; the hot loops batch their
-//! deltas and flush once per simulated cone, so the bookkeeping is
-//! invisible in profiles. Use [`reset`] before and [`snapshot`] after a
-//! campaign to measure it:
-//!
-//! ```
-//! fastmon_sim::stats::reset();
-//! // ... run a campaign ...
-//! let stats = fastmon_sim::stats::snapshot();
-//! assert_eq!(stats.cones_simulated, 0);
-//! ```
+//! This module remains as a thin shim so existing callers compile: engines
+//! *not* given a scoped registry fall back to one process-wide
+//! [`global`] registry, which [`reset`]/[`snapshot`] (deprecated) bracket
+//! exactly like before. New code should pass a scoped registry and read
+//! it directly; the hot paths keep the same discipline either way
+//! (relaxed ordering, per-cone batch flushes).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use fastmon_obs::SimMetrics;
 
-static CONES_SIMULATED: AtomicU64 = AtomicU64::new(0);
-static CONES_MASKED: AtomicU64 = AtomicU64::new(0);
-static NODES_EVALUATED: AtomicU64 = AtomicU64::new(0);
-static NODES_CONVERGED: AtomicU64 = AtomicU64::new(0);
-static NODES_PRUNED_UNOBSERVED: AtomicU64 = AtomicU64::new(0);
-static WAVEFORM_ALLOCS: AtomicU64 = AtomicU64::new(0);
-static WAVEFORM_REUSES: AtomicU64 = AtomicU64::new(0);
+/// The process-wide fallback registry used by engines that were not given
+/// a scoped one via [`SimEngine::with_metrics`](crate::SimEngine::with_metrics).
+#[must_use]
+pub fn global() -> &'static SimMetrics {
+    static GLOBAL: SimMetrics = SimMetrics::new();
+    &GLOBAL
+}
 
-/// A point-in-time copy of the campaign counters.
+/// A point-in-time copy of a campaign's fault-simulation counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CampaignStats {
     /// Planned cone simulations whose fault was active at its seed gate.
@@ -57,29 +46,39 @@ pub struct CampaignStats {
     pub waveform_reuses: u64,
 }
 
-/// Snapshots all counters.
-#[must_use]
-pub fn snapshot() -> CampaignStats {
-    CampaignStats {
-        cones_simulated: CONES_SIMULATED.load(Ordering::Relaxed),
-        cones_masked: CONES_MASKED.load(Ordering::Relaxed),
-        nodes_evaluated: NODES_EVALUATED.load(Ordering::Relaxed),
-        nodes_converged: NODES_CONVERGED.load(Ordering::Relaxed),
-        nodes_pruned_unobserved: NODES_PRUNED_UNOBSERVED.load(Ordering::Relaxed),
-        waveform_allocs: WAVEFORM_ALLOCS.load(Ordering::Relaxed),
-        waveform_reuses: WAVEFORM_REUSES.load(Ordering::Relaxed),
+impl CampaignStats {
+    /// Snapshots a scoped registry section.
+    #[must_use]
+    pub fn from_metrics(m: &SimMetrics) -> Self {
+        CampaignStats {
+            cones_simulated: m.cones_simulated.get(),
+            cones_masked: m.cones_masked.get(),
+            nodes_evaluated: m.nodes_evaluated.get(),
+            nodes_converged: m.nodes_converged.get(),
+            nodes_pruned_unobserved: m.nodes_pruned_unobserved.get(),
+            waveform_allocs: m.waveform_allocs.get(),
+            waveform_reuses: m.waveform_reuses.get(),
+        }
     }
 }
 
-/// Zeroes all counters.
+/// Snapshots the process-wide fallback registry.
+#[deprecated(
+    note = "use a campaign-owned fastmon_obs::MetricsRegistry (e.g. HdfTestFlow::metrics) \
+            and CampaignStats::from_metrics instead"
+)]
+#[must_use]
+pub fn snapshot() -> CampaignStats {
+    CampaignStats::from_metrics(global())
+}
+
+/// Zeroes the process-wide fallback registry.
+#[deprecated(
+    note = "use a campaign-owned fastmon_obs::MetricsRegistry (e.g. HdfTestFlow::metrics) \
+            instead; scoped registries start at zero"
+)]
 pub fn reset() {
-    CONES_SIMULATED.store(0, Ordering::Relaxed);
-    CONES_MASKED.store(0, Ordering::Relaxed);
-    NODES_EVALUATED.store(0, Ordering::Relaxed);
-    NODES_CONVERGED.store(0, Ordering::Relaxed);
-    NODES_PRUNED_UNOBSERVED.store(0, Ordering::Relaxed);
-    WAVEFORM_ALLOCS.store(0, Ordering::Relaxed);
-    WAVEFORM_REUSES.store(0, Ordering::Relaxed);
+    global().reset();
 }
 
 /// One cone's worth of counter deltas, flushed in a single batch.
@@ -92,24 +91,14 @@ pub(crate) struct ConeTally {
 }
 
 impl ConeTally {
-    /// Publishes the deltas of one simulated cone.
-    pub(crate) fn flush_simulated(self) {
-        CONES_SIMULATED.fetch_add(1, Ordering::Relaxed);
-        NODES_EVALUATED.fetch_add(self.nodes_evaluated, Ordering::Relaxed);
-        NODES_CONVERGED.fetch_add(self.nodes_converged, Ordering::Relaxed);
-        WAVEFORM_ALLOCS.fetch_add(self.waveform_allocs, Ordering::Relaxed);
-        WAVEFORM_REUSES.fetch_add(self.waveform_reuses, Ordering::Relaxed);
+    /// Publishes the deltas of one simulated cone into `m`.
+    pub(crate) fn flush_simulated(self, m: &SimMetrics) {
+        m.cones_simulated.incr();
+        m.nodes_evaluated.add(self.nodes_evaluated);
+        m.nodes_converged.add(self.nodes_converged);
+        m.waveform_allocs.add(self.waveform_allocs);
+        m.waveform_reuses.add(self.waveform_reuses);
     }
-}
-
-/// Records a fault masked at its seed gate.
-pub(crate) fn count_masked_cone() {
-    CONES_MASKED.fetch_add(1, Ordering::Relaxed);
-}
-
-/// Records cone nodes removed by observer-reach pruning at plan build.
-pub(crate) fn count_pruned_nodes(n: u64) {
-    NODES_PRUNED_UNOBSERVED.fetch_add(n, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -117,24 +106,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn reset_then_flush_accumulates() {
-        reset();
+    fn scoped_flush_accumulates() {
+        let m = SimMetrics::new();
         ConeTally {
             nodes_evaluated: 5,
             nodes_converged: 2,
             waveform_allocs: 1,
             waveform_reuses: 4,
         }
-        .flush_simulated();
-        count_masked_cone();
-        count_pruned_nodes(7);
+        .flush_simulated(&m);
+        m.cones_masked.incr();
+        m.nodes_pruned_unobserved.add(7);
+        let s = CampaignStats::from_metrics(&m);
+        assert_eq!(s.cones_simulated, 1);
+        assert_eq!(s.nodes_evaluated, 5);
+        assert_eq!(s.nodes_converged, 2);
+        assert_eq!(s.cones_masked, 1);
+        assert_eq!(s.nodes_pruned_unobserved, 7);
+        assert_eq!(s.waveform_allocs, 1);
+        assert_eq!(s.waveform_reuses, 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn global_shim_still_brackets_work() {
+        reset();
+        ConeTally::default().flush_simulated(global());
         let s = snapshot();
         assert!(s.cones_simulated >= 1);
-        assert!(s.nodes_evaluated >= 5);
-        assert!(s.nodes_converged >= 2);
-        assert!(s.cones_masked >= 1);
-        assert!(s.nodes_pruned_unobserved >= 7);
-        assert!(s.waveform_allocs >= 1);
-        assert!(s.waveform_reuses >= 4);
     }
 }

@@ -45,6 +45,22 @@ impl Sta {
     /// Runs the analysis.
     #[must_use]
     pub fn analyze(circuit: &Circuit, annot: &DelayAnnotation) -> Self {
+        Self::analyze_with_metrics(circuit, annot, None)
+    }
+
+    /// Runs the analysis, counting levelization work into a scoped
+    /// registry section.
+    #[must_use]
+    pub fn analyze_with_metrics(
+        circuit: &Circuit,
+        annot: &DelayAnnotation,
+        metrics: Option<&fastmon_obs::StaMetrics>,
+    ) -> Self {
+        let _span = fastmon_obs::span!("sta");
+        if let Some(m) = metrics {
+            m.analyses.incr();
+            m.nodes_levelized.add(circuit.len() as u64);
+        }
         let n = circuit.len();
         let mut arrival_min = vec![0.0; n];
         let mut arrival_max = vec![0.0; n];
