@@ -38,10 +38,11 @@ use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
 use crate::generate_mod::greedy_pattern_selection;
-use crate::podem::podem_with_side_objective;
+use crate::matrix::effective_threads;
+use crate::podem::PodemEngine;
 use crate::{
-    transition_faults, AtpgConfig, AtpgResult, DetectionMatrix, PodemOutcome, StuckAtFault,
-    TestPattern, TestSet, WordSim,
+    transition_faults, AtpgConfig, AtpgResult, DetectionMatrix, FaultCones, GradeScratch,
+    PodemOutcome, StuckAtFault, TestPattern, TestSet, WordSim,
 };
 
 /// A combinational two-time-frame model of a full-scan circuit.
@@ -271,6 +272,9 @@ fn close_pattern(circuit: &Circuit, sources: &[NodeId], launch: Vec<bool>) -> Te
 #[must_use]
 pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
     let faults = transition_faults(circuit);
+    // one cone arena + scratch shared by every grading pass below
+    let cones = FaultCones::build(circuit, &faults);
+    let mut scratch = GradeScratch::for_cones(&cones);
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xb20a_d51d_0000_0000);
     let mut set = TestSet::new(circuit);
     let sources = set.sources().to_vec();
@@ -285,7 +289,9 @@ pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult 
     if !set.is_empty() {
         let ws = WordSim::new(circuit, &set);
         for (f, fault) in faults.iter().enumerate() {
-            if (0..ws.num_blocks()).any(|b| ws.detect_word(fault, b) != 0) {
+            if (0..ws.num_blocks())
+                .any(|b| ws.detect_word_cached(fault, b, &cones, &mut scratch) != 0)
+            {
                 remaining[f] = false;
             }
         }
@@ -295,6 +301,8 @@ pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult 
     let expansion = TimeFrameExpansion::new(circuit);
     let expanded = expansion.expanded();
     let expanded_sources = TestSet::source_order(expanded);
+    // one reusable engine over the expanded model: cones cached per site
+    let mut engine = PodemEngine::new(expanded);
     let mut untestable = 0usize;
     let mut aborted = 0usize;
 
@@ -304,8 +312,7 @@ pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult 
         }
         let g2 = expansion.in_frame2(fault.gate);
         let g1 = expansion.in_frame1(fault.gate);
-        let outcome = podem_with_side_objective(
-            expanded,
+        let outcome = engine.podem_with_side_objective(
             &StuckAtFault {
                 node: g2,
                 stuck_at: fault.initial_value(),
@@ -334,7 +341,7 @@ pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult 
                 chunk.push(pattern.clone());
                 let ws = WordSim::new(circuit, &chunk);
                 for (g, other) in faults.iter().enumerate() {
-                    if remaining[g] && ws.detect_word(other, 0) != 0 {
+                    if remaining[g] && ws.detect_word_cached(other, 0, &cones, &mut scratch) != 0 {
                         remaining[g] = false;
                     }
                 }
@@ -352,17 +359,25 @@ pub fn generate_broadside(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult 
     }
 
     // --- compaction ----------------------------------------------------------
-    let mut matrix = DetectionMatrix::build(circuit, &set, &faults);
+    // a single matrix simulation; compaction and capping re-pack its rows
+    let mut matrix = DetectionMatrix::build_with(
+        circuit,
+        &set,
+        &faults,
+        &cones,
+        effective_threads(config.threads),
+        None,
+    );
     if config.compact && !set.is_empty() {
         let kept = matrix.reverse_order_compaction();
         set.retain_indices(&kept);
-        matrix = DetectionMatrix::build(circuit, &set, &faults);
+        matrix = matrix.select_patterns(&kept);
     }
     if let Some(cap) = config.max_patterns {
         if set.len() > cap {
             let keep = greedy_pattern_selection(&matrix, cap);
             set.retain_indices(&keep);
-            matrix = DetectionMatrix::build(circuit, &set, &faults);
+            matrix = matrix.select_patterns(&keep);
         }
     }
 

@@ -1,0 +1,346 @@
+//! Precomputed fanout-cone arena for bit-parallel fault grading.
+//!
+//! [`WordSim::detect_word`](crate::WordSim::detect_word) walks the fanout
+//! cone of the fault site to propagate the faulty machine. Computing that
+//! cone with [`Circuit::fanout_cone`] costs a fresh traversal plus a
+//! circuit-sized position array *per fault per 64-pattern block* — by far
+//! the dominant cost of the ATPG flow on large circuits.
+//!
+//! [`FaultCones`] hoists that work out of the hot loop: every distinct
+//! fault site's cone is levelized **once** into a CSR-style arena whose
+//! entries carry pre-resolved fanin references (either a cone-local
+//! position or a global node index), plus the cone's observation taps.
+//! Grading then replays a cone with nothing but indexed loads over the
+//! arena and one reusable [`GradeScratch`] buffer — zero heap allocations
+//! in steady state, shared across pattern blocks, matrix rebuilds and the
+//! random/deterministic grading passes alike.
+
+use fastmon_netlist::{Circuit, GateKind};
+
+use crate::TransitionFault;
+
+/// Tag bit marking a fanin reference as a cone-local position (the faulty
+/// word lives in scratch) rather than a global node index (the fault-free
+/// capture word is used).
+const LOCAL: u32 = 1 << 31;
+
+/// A CSR-style arena of levelized fanout cones, one per distinct fault
+/// site, shared by every grading pass of a `generate` call.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_atpg::{transition_faults, FaultCones, GradeScratch};
+/// use fastmon_netlist::library;
+///
+/// let circuit = library::c17();
+/// let faults = transition_faults(&circuit);
+/// let cones = FaultCones::build(&circuit, &faults);
+/// assert_eq!(cones.num_cones(), faults.len() / 2); // two faults per gate
+/// let mut scratch = GradeScratch::for_cones(&cones);
+/// assert!(scratch.capacity() >= cones.max_cone_len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultCones {
+    /// global node index → cone id (`u32::MAX` when the node is not a
+    /// cached fault site)
+    cone_of_gate: Vec<u32>,
+    /// per cone: `[start, end)` entry range (`num_cones + 1` offsets)
+    cone_offsets: Vec<u32>,
+    /// per entry: global node index (entry 0 of a cone is the fault site)
+    nodes: Vec<u32>,
+    /// per entry: gate kind
+    kinds: Vec<GateKind>,
+    /// per entry: `[start, end)` range into `fanins` (`entries + 1`
+    /// offsets; seed entries have an empty range)
+    fanin_offsets: Vec<u32>,
+    /// flattened fanin references, tagged with [`LOCAL`]
+    fanins: Vec<u32>,
+    /// per cone: `[start, end)` range into `taps`
+    tap_offsets: Vec<u32>,
+    /// observation taps: `(global driver node index, cone-local position)`
+    taps: Vec<(u32, u32)>,
+    /// longest cone in the arena (scratch pre-sizing)
+    max_cone_len: usize,
+}
+
+impl FaultCones {
+    /// Levelizes the fanout cone of every distinct fault site of `faults`
+    /// into one shared arena. One [`Circuit::fanout_cone`] traversal per
+    /// site — callers grading `F` faults over `B` blocks save `F·B − F/2`
+    /// traversals against the uncached path.
+    #[must_use]
+    pub fn build(circuit: &Circuit, faults: &[TransitionFault]) -> Self {
+        let mut cones = FaultCones {
+            cone_of_gate: vec![u32::MAX; circuit.len()],
+            cone_offsets: vec![0],
+            nodes: Vec::new(),
+            kinds: Vec::new(),
+            fanin_offsets: vec![0],
+            fanins: Vec::new(),
+            tap_offsets: vec![0],
+            taps: Vec::new(),
+            max_cone_len: 0,
+        };
+        // one reusable position map, reset per cone via its node list
+        let mut pos = vec![u32::MAX; circuit.len()];
+        for fault in faults {
+            let g = fault.gate.index();
+            if cones.cone_of_gate[g] != u32::MAX {
+                continue; // rising/falling share the site's cone
+            }
+            let cone = circuit.fanout_cone(fault.gate);
+            #[allow(clippy::cast_possible_truncation)]
+            let id = (cones.cone_offsets.len() - 1) as u32;
+            cones.cone_of_gate[g] = id;
+            cones.max_cone_len = cones.max_cone_len.max(cone.len());
+            for (i, &node) in cone.iter().enumerate() {
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    pos[node.index()] = i as u32;
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                cones.nodes.push(node.index() as u32);
+                cones.kinds.push(circuit.node(node).kind());
+                if i > 0 {
+                    for &fi in circuit.node(node).fanins() {
+                        let p = pos[fi.index()];
+                        // the cone is in topological order, so an in-cone
+                        // fanin always precedes its fanout
+                        #[allow(clippy::cast_possible_truncation)]
+                        cones.fanins.push(if p == u32::MAX {
+                            fi.index() as u32
+                        } else {
+                            LOCAL | p
+                        });
+                    }
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                cones.fanin_offsets.push(cones.fanins.len() as u32);
+            }
+            for op in circuit.observe_points() {
+                let p = pos[op.driver.index()];
+                if p != u32::MAX {
+                    #[allow(clippy::cast_possible_truncation)]
+                    cones.taps.push((op.driver.index() as u32, p));
+                }
+            }
+            for &node in &cone {
+                pos[node.index()] = u32::MAX;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            cones.cone_offsets.push(cones.nodes.len() as u32);
+            #[allow(clippy::cast_possible_truncation)]
+            cones.tap_offsets.push(cones.taps.len() as u32);
+        }
+        cones
+    }
+
+    /// Number of cached cones (distinct fault sites).
+    #[must_use]
+    pub fn num_cones(&self) -> usize {
+        self.cone_offsets.len() - 1
+    }
+
+    /// Length of the longest cached cone.
+    #[must_use]
+    pub fn max_cone_len(&self) -> usize {
+        self.max_cone_len
+    }
+
+    /// Total cone entries across the arena.
+    #[must_use]
+    pub fn num_entries(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The cone id of a fault site, if cached.
+    #[must_use]
+    pub(crate) fn cone_id(&self, gate_index: usize) -> Option<usize> {
+        let id = self.cone_of_gate[gate_index];
+        (id != u32::MAX).then_some(id as usize)
+    }
+
+    /// Propagates a stuck-at fault word through cached cone `id` over the
+    /// fault-free capture words `cw`, returning the XOR-at-taps detection
+    /// word. `scratch` supplies the faulty-word buffer; `forced` is the
+    /// stuck value replicated across the word.
+    pub(crate) fn propagate(
+        &self,
+        id: usize,
+        forced: u64,
+        cw: &[u64],
+        scratch: &mut GradeScratch,
+    ) -> u64 {
+        let lo = self.cone_offsets[id] as usize;
+        let hi = self.cone_offsets[id + 1] as usize;
+        let len = hi - lo;
+        scratch.ensure(len);
+        scratch.bfs_avoided += 1;
+        scratch.nodes_evaluated += (len - 1) as u64;
+        let faulty = &mut scratch.faulty[..len];
+        faulty[0] = forced;
+        for e in 1..len {
+            let entry = lo + e;
+            let fl = self.fanin_offsets[entry] as usize;
+            let fh = self.fanin_offsets[entry + 1] as usize;
+            let word = {
+                let prefix: &[u64] = faulty;
+                crate::wordsim::eval_word(
+                    self.kinds[entry],
+                    self.fanins[fl..fh].iter().map(|&t| {
+                        if t & LOCAL != 0 {
+                            prefix[(t & !LOCAL) as usize]
+                        } else {
+                            cw[t as usize]
+                        }
+                    }),
+                )
+            };
+            faulty[e] = word;
+        }
+        let mut detected = 0u64;
+        let tl = self.tap_offsets[id] as usize;
+        let th = self.tap_offsets[id + 1] as usize;
+        for &(driver, p) in &self.taps[tl..th] {
+            detected |= cw[driver as usize] ^ faulty[p as usize];
+        }
+        detected
+    }
+}
+
+/// A reusable faulty-word buffer plus local grading tallies, one per
+/// worker thread.
+///
+/// Pre-sized by [`GradeScratch::for_cones`] to the arena's longest cone,
+/// every subsequent grade is allocation-free; the tallies are flushed into
+/// a scoped [`fastmon_obs::AtpgMetrics`] in batches so the hot loop never
+/// touches an atomic per node.
+#[derive(Debug, Default)]
+pub struct GradeScratch {
+    faulty: Vec<u64>,
+    /// Grades that reused a cached cone (each saving one cone BFS).
+    pub bfs_avoided: u64,
+    /// Cone gate words evaluated.
+    pub nodes_evaluated: u64,
+    /// Buffer (re)allocations: construction plus grows.
+    pub allocs: u64,
+    /// Allocation-free grades served from the existing buffer.
+    pub reuses: u64,
+}
+
+impl GradeScratch {
+    /// An empty scratch; the first grade allocates.
+    #[must_use]
+    pub fn new() -> Self {
+        GradeScratch::default()
+    }
+
+    /// A scratch pre-sized for every cone of `cones` (one allocation now,
+    /// zero later).
+    #[must_use]
+    pub fn for_cones(cones: &FaultCones) -> Self {
+        let mut s = GradeScratch::default();
+        if cones.max_cone_len() > 0 {
+            s.faulty = vec![0u64; cones.max_cone_len()];
+            s.allocs = 1;
+        }
+        s
+    }
+
+    /// Current buffer capacity in words.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.faulty.len()
+    }
+
+    /// Makes the buffer at least `len` words long, counting whether the
+    /// call was served allocation-free.
+    fn ensure(&mut self, len: usize) {
+        if self.faulty.len() < len {
+            self.faulty.resize(len, 0);
+            self.allocs += 1;
+        } else {
+            self.reuses += 1;
+        }
+    }
+
+    /// Flushes and zeroes the local tallies into `metrics`.
+    pub fn flush_into(&mut self, metrics: &fastmon_obs::AtpgMetrics) {
+        if self.bfs_avoided > 0 {
+            metrics.cone_bfs_avoided.add(self.bfs_avoided);
+        }
+        if self.nodes_evaluated > 0 {
+            metrics.cone_nodes_evaluated.add(self.nodes_evaluated);
+        }
+        if self.allocs > 0 {
+            metrics.grade_scratch_allocs.add(self.allocs);
+        }
+        if self.reuses > 0 {
+            metrics.grade_scratch_reuses.add(self.reuses);
+        }
+        self.bfs_avoided = 0;
+        self.nodes_evaluated = 0;
+        self.allocs = 0;
+        self.reuses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition_faults;
+    use fastmon_netlist::library;
+
+    #[test]
+    fn arena_caches_one_cone_per_gate() {
+        let c = library::s27();
+        let faults = transition_faults(&c);
+        let cones = FaultCones::build(&c, &faults);
+        assert_eq!(cones.num_cones(), faults.len() / 2);
+        for f in &faults {
+            let id = cones.cone_id(f.gate.index()).expect("site cached");
+            let lo = cones.cone_offsets[id] as usize;
+            assert_eq!(cones.nodes[lo] as usize, f.gate.index(), "seed first");
+        }
+    }
+
+    #[test]
+    fn arena_matches_circuit_cones() {
+        let c = library::c17();
+        let faults = transition_faults(&c);
+        let cones = FaultCones::build(&c, &faults);
+        for f in &faults {
+            let reference = c.fanout_cone(f.gate);
+            let id = cones.cone_id(f.gate.index()).unwrap();
+            let lo = cones.cone_offsets[id] as usize;
+            let hi = cones.cone_offsets[id + 1] as usize;
+            let cached: Vec<usize> = cones.nodes[lo..hi].iter().map(|&n| n as usize).collect();
+            let expect: Vec<usize> = reference.iter().map(|n| n.index()).collect();
+            assert_eq!(cached, expect, "{f}");
+        }
+    }
+
+    #[test]
+    fn scratch_counts_allocs_and_reuses() {
+        let c = library::s27();
+        let faults = transition_faults(&c);
+        let cones = FaultCones::build(&c, &faults);
+        let mut scratch = GradeScratch::for_cones(&cones);
+        assert_eq!(scratch.allocs, 1);
+        scratch.ensure(1);
+        scratch.ensure(cones.max_cone_len());
+        assert_eq!(scratch.reuses, 2);
+        assert_eq!(scratch.allocs, 1, "pre-sized buffer never regrows");
+    }
+
+    #[test]
+    fn empty_fault_list_builds_empty_arena() {
+        let c = library::c17();
+        let cones = FaultCones::build(&c, &[]);
+        assert_eq!(cones.num_cones(), 0);
+        assert_eq!(cones.max_cone_len(), 0);
+        let s = GradeScratch::for_cones(&cones);
+        assert_eq!(s.allocs, 0);
+    }
+}

@@ -2,8 +2,9 @@ use fastmon_netlist::Circuit;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
 
+use crate::matrix::effective_threads;
 use crate::{
-    justify_with_metrics, podem_with_metrics, transition_faults, DetectionMatrix, PodemOutcome,
+    transition_faults, DetectionMatrix, FaultCones, GradeScratch, PodemEngine, PodemOutcome,
     StuckAtFault, TestPattern, TestSet, TransitionFault, WordSim,
 };
 
@@ -22,6 +23,9 @@ pub struct AtpgConfig {
     /// Optional hard cap on the final pattern count; when the compacted set
     /// is larger, patterns are greedily selected for maximum coverage.
     pub max_patterns: Option<usize>,
+    /// Worker threads for fault grading (`0` = all available cores).
+    /// Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for AtpgConfig {
@@ -32,6 +36,7 @@ impl Default for AtpgConfig {
             seed: 1,
             compact: true,
             max_patterns: None,
+            threads: 0,
         }
     }
 }
@@ -72,10 +77,46 @@ impl AtpgResult {
     }
 }
 
+/// Retains only the faults of `undetected` that `ws` does **not** detect,
+/// grading fault-parallel over the cached cone arena. Order is preserved,
+/// so the result is bit-identical for any thread count.
+pub(crate) fn retain_undetected(
+    undetected: &mut Vec<usize>,
+    ws: &WordSim<'_>,
+    faults: &[TransitionFault],
+    cones: &FaultCones,
+    threads: usize,
+    metrics: Option<&fastmon_obs::AtpgMetrics>,
+) {
+    if undetected.is_empty() {
+        return;
+    }
+    let blocks = ws.num_blocks();
+    let threads = threads.min(undetected.len());
+    let hit: Vec<bool> = fastmon_sim::parallel_map_with(
+        undetected.len(),
+        threads,
+        || GradeScratch::for_cones(cones),
+        |scratch, i| {
+            let fault = &faults[undetected[i]];
+            let hit = (0..blocks).any(|b| ws.detect_word_cached(fault, b, cones, scratch) != 0);
+            if let Some(m) = metrics {
+                scratch.flush_into(m);
+            }
+            hit
+        },
+    );
+    let mut it = hit.iter();
+    undetected.retain(|_| {
+        let &h = it.next().unwrap_or(&false);
+        !h
+    });
+}
+
 /// Generates a compacted transition-fault test set for a full-scan circuit.
 ///
 /// See the [crate docs](crate) for the pipeline. Deterministic in
-/// `config.seed`.
+/// `config.seed` and bit-identical for any `config.threads`.
 ///
 /// # Example
 ///
@@ -92,8 +133,10 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
     generate_with_metrics(circuit, config, None)
 }
 
-/// Like [`generate`], but records PODEM calls/backtracks/aborts and the
-/// final fault tallies into a scoped [`fastmon_obs::AtpgMetrics`] section.
+/// Like [`generate`], but records PODEM calls/backtracks/aborts, grading
+/// counters (cones cached, cone BFS traversals avoided, scratch reuses,
+/// matrix rebuilds avoided) and the final fault tallies into a scoped
+/// [`fastmon_obs::AtpgMetrics`] section.
 #[must_use]
 pub fn generate_with_metrics(
     circuit: &Circuit,
@@ -102,6 +145,20 @@ pub fn generate_with_metrics(
 ) -> AtpgResult {
     let _atpg_span = fastmon_obs::span!("atpg");
     let faults = transition_faults(circuit);
+    let threads = effective_threads(config.threads);
+
+    // levelize every fault cone once; shared by the random, deterministic
+    // and compaction grading passes below
+    let cones = {
+        let _cones_span = fastmon_obs::span!("atpg_cones");
+        let cones = FaultCones::build(circuit, &faults);
+        if let Some(m) = metrics {
+            m.cones_cached.add(cones.num_cones() as u64);
+            m.cone_bfs.add(cones.num_cones() as u64);
+        }
+        cones
+    };
+
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xa791_0000_0000_0000);
     let mut set = TestSet::new(circuit);
     let width = set.sources().len();
@@ -117,12 +174,15 @@ pub fn generate_with_metrics(
     let mut undetected: Vec<usize> = (0..faults.len()).collect();
     if !set.is_empty() {
         let ws = WordSim::new(circuit, &set);
-        undetected.retain(|&f| !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0));
+        retain_undetected(&mut undetected, &ws, &faults, &cones, threads, metrics);
     }
     drop(random_span);
 
     // --- deterministic phase ----------------------------------------------
     let podem_span = fastmon_obs::span!("atpg_podem");
+    // one engine for every fault: buffers and fanout cones are cached and
+    // reused across the whole worklist
+    let mut engine = PodemEngine::new(circuit);
     let mut untestable = 0usize;
     let mut aborted = 0usize;
     let mut pending: Vec<TestPattern> = Vec::new();
@@ -137,7 +197,7 @@ pub fn generate_with_metrics(
             chunk.push(p);
         }
         let ws = WordSim::new(circuit, &chunk);
-        undetected.retain(|&f| !(0..ws.num_blocks()).any(|b| ws.detect_word(&faults[f], b) != 0));
+        retain_undetected(undetected, &ws, &faults, &cones, threads, metrics);
         for p in pending.drain(..) {
             set.push(p);
         }
@@ -155,15 +215,13 @@ pub fn generate_with_metrics(
             continue;
         }
         let fault: &TransitionFault = &faults[f];
-        let launch = justify_with_metrics(
-            circuit,
+        let launch = engine.justify_with_metrics(
             fault.gate,
             fault.initial_value(),
             config.max_backtracks,
             metrics,
         );
-        let capture = podem_with_metrics(
-            circuit,
+        let capture = engine.podem_with_metrics(
             &StuckAtFault {
                 node: fault.gate,
                 stuck_at: fault.initial_value(),
@@ -210,18 +268,27 @@ pub fn generate_with_metrics(
     drop(podem_span);
 
     // --- compaction --------------------------------------------------------
+    // one full matrix simulation; compaction and budget capping only select
+    // pattern subsets, so they re-pack the existing rows instead of
+    // re-simulating
     let _compact_span = fastmon_obs::span!("atpg_compact");
-    let mut matrix = DetectionMatrix::build(circuit, &set, &faults);
+    let mut matrix = DetectionMatrix::build_with(circuit, &set, &faults, &cones, threads, metrics);
     if config.compact && !set.is_empty() {
         let kept = matrix.reverse_order_compaction();
         set.retain_indices(&kept);
-        matrix = DetectionMatrix::build(circuit, &set, &faults);
+        matrix = matrix.select_patterns(&kept);
+        if let Some(m) = metrics {
+            m.matrix_rebuilds_avoided.incr();
+        }
     }
     if let Some(cap) = config.max_patterns {
         if set.len() > cap {
             let keep = greedy_pattern_selection(&matrix, cap);
             set.retain_indices(&keep);
-            matrix = DetectionMatrix::build(circuit, &set, &faults);
+            matrix = matrix.select_patterns(&keep);
+            if let Some(m) = metrics {
+                m.matrix_rebuilds_avoided.incr();
+            }
         }
     }
 
@@ -243,19 +310,45 @@ pub fn generate_with_metrics(
 }
 
 /// Greedily selects up to `cap` patterns maximizing fault coverage.
+///
+/// Works column-wise on a transposed copy of the matrix: the marginal gain
+/// of a candidate pattern is `popcount(column & !covered)` over packed
+/// fault words, and committing a pattern is a word-level OR — no per-bit
+/// probing. Ties break toward the lowest pattern index, matching the
+/// original per-bit implementation exactly.
 pub(crate) fn greedy_pattern_selection(matrix: &DetectionMatrix, cap: usize) -> Vec<usize> {
-    let mut covered = vec![false; matrix.num_faults()];
+    let nf = matrix.num_faults();
+    let np = matrix.num_patterns();
+    let fw = nf.div_ceil(64).max(1);
+    // transpose: one packed fault-bitset column per pattern
+    let mut columns = vec![0u64; np * fw];
+    for f in 0..nf {
+        for (b, &w) in matrix.row(f).iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let p = b * 64 + w.trailing_zeros() as usize;
+                if p < np {
+                    columns[p * fw + f / 64] |= 1 << (f % 64);
+                }
+                w &= w - 1;
+            }
+        }
+    }
+    let mut covered = vec![0u64; fw];
+    let mut used = vec![false; np];
     let mut chosen = Vec::with_capacity(cap);
-    let mut used = vec![false; matrix.num_patterns()];
     for _ in 0..cap {
         let mut best = (0usize, usize::MAX);
         for (p, &in_use) in used.iter().enumerate() {
             if in_use {
                 continue;
             }
-            let gain = (0..matrix.num_faults())
-                .filter(|&f| !covered[f] && matrix.detects(f, p))
-                .count();
+            let col = &columns[p * fw..(p + 1) * fw];
+            let gain: usize = col
+                .iter()
+                .zip(&covered)
+                .map(|(&c, &v)| (c & !v).count_ones() as usize)
+                .sum();
             if gain > best.0 {
                 best = (gain, p);
             }
@@ -266,10 +359,8 @@ pub(crate) fn greedy_pattern_selection(matrix: &DetectionMatrix, cap: usize) -> 
         }
         used[p] = true;
         chosen.push(p);
-        for (f, cov) in covered.iter_mut().enumerate() {
-            if matrix.detects(f, p) {
-                *cov = true;
-            }
+        for (v, &c) in covered.iter_mut().zip(&columns[p * fw..(p + 1) * fw]) {
+            *v |= c;
         }
     }
     chosen.sort_unstable();
@@ -369,6 +460,40 @@ mod tests {
     }
 
     #[test]
+    fn bit_identical_across_thread_counts() {
+        let c = GeneratorConfig::new("thr")
+            .gates(250)
+            .flip_flops(16)
+            .inputs(10)
+            .outputs(5)
+            .depth(10)
+            .generate(7)
+            .unwrap();
+        let reference = generate(
+            &c,
+            &AtpgConfig {
+                threads: 1,
+                max_patterns: Some(40),
+                ..AtpgConfig::default()
+            },
+        );
+        for threads in [2usize, 8] {
+            let r = generate(
+                &c,
+                &AtpgConfig {
+                    threads,
+                    max_patterns: Some(40),
+                    ..AtpgConfig::default()
+                },
+            );
+            assert_eq!(r.test_set, reference.test_set, "threads={threads}");
+            assert_eq!(r.detected, reference.detected);
+            assert_eq!(r.untestable, reference.untestable);
+            assert_eq!(r.aborted, reference.aborted);
+        }
+    }
+
+    #[test]
     fn synthetic_circuit_reasonable_coverage() {
         let c = GeneratorConfig::new("syn")
             .gates(300)
@@ -391,5 +516,33 @@ mod tests {
             "efficiency {} on synthetic circuit",
             r.fault_efficiency()
         );
+    }
+
+    #[test]
+    fn grading_counters_prove_cache_and_zero_alloc() {
+        let c = library::s27();
+        let m = fastmon_obs::AtpgMetrics::new();
+        let r = generate_with_metrics(&c, &AtpgConfig::default(), Some(&m));
+        assert!(r.detected > 0);
+        // every distinct fault site cached exactly once
+        assert_eq!(m.cones_cached.get(), m.cone_bfs.get());
+        // the cached grades dwarf the arena-build traversals
+        assert!(
+            m.cone_bfs_avoided.get() >= 9 * m.cone_bfs.get(),
+            "avoided {} vs performed {}",
+            m.cone_bfs_avoided.get(),
+            m.cone_bfs.get()
+        );
+        // steady-state grading is allocation-free: one pre-size per scratch
+        assert!(
+            m.grade_scratch_reuses.get() > m.grade_scratch_allocs.get(),
+            "reuses {} vs allocs {}",
+            m.grade_scratch_reuses.get(),
+            m.grade_scratch_allocs.get()
+        );
+        // the matrix is simulated once; compaction re-packed rows
+        assert_eq!(m.matrix_builds.get(), 1);
+        assert_eq!(m.matrix_rebuilds_avoided.get(), 1);
+        assert!(m.cone_nodes_evaluated.get() > 0);
     }
 }

@@ -1,12 +1,14 @@
 use fastmon_netlist::Circuit;
 
-use crate::{TestSet, TransitionFault, WordSim};
+use crate::{FaultCones, GradeScratch, TestSet, TransitionFault, WordSim};
 
 /// The exact fault × pattern detection matrix of a test set, stored as one
 /// bitset row (over patterns) per fault.
 ///
 /// Built once from the bit-parallel simulator, it answers coverage queries
-/// and drives static compaction.
+/// and drives static compaction. Pattern-subset selections (compaction,
+/// budget capping) re-pack the existing rows via
+/// [`DetectionMatrix::select_patterns`] instead of re-simulating.
 ///
 /// # Example
 ///
@@ -27,14 +29,50 @@ pub struct DetectionMatrix {
 }
 
 impl DetectionMatrix {
-    /// Grades every fault against every pattern of `set`.
+    /// Grades every fault against every pattern of `set` (single-threaded,
+    /// self-contained). Convenience wrapper over
+    /// [`DetectionMatrix::build_with`] that builds its own cone arena.
     #[must_use]
     pub fn build(circuit: &Circuit, set: &TestSet, faults: &[TransitionFault]) -> Self {
+        let cones = FaultCones::build(circuit, faults);
+        DetectionMatrix::build_with(circuit, set, faults, &cones, 1, None)
+    }
+
+    /// Grades every fault against every pattern of `set`, fault-parallel
+    /// over `threads` workers (`0` = all available cores).
+    ///
+    /// Each worker owns a pre-sized [`GradeScratch`] and grades disjoint
+    /// faults into disjoint rows, so the result is **bit-identical for any
+    /// thread count**. Grading counters land in `metrics` when given.
+    #[must_use]
+    pub fn build_with(
+        circuit: &Circuit,
+        set: &TestSet,
+        faults: &[TransitionFault],
+        cones: &FaultCones,
+        threads: usize,
+        metrics: Option<&fastmon_obs::AtpgMetrics>,
+    ) -> Self {
         let ws = WordSim::new(circuit, set);
-        let rows = faults
-            .iter()
-            .map(|f| (0..ws.num_blocks()).map(|b| ws.detect_word(f, b)).collect())
-            .collect();
+        let blocks = ws.num_blocks();
+        let threads = effective_threads(threads).min(faults.len().max(1));
+        let rows = fastmon_sim::parallel_map_with(
+            faults.len(),
+            threads,
+            || GradeScratch::for_cones(cones),
+            |scratch, f| {
+                let row: Vec<u64> = (0..blocks)
+                    .map(|b| ws.detect_word_cached(&faults[f], b, cones, scratch))
+                    .collect();
+                if let Some(m) = metrics {
+                    scratch.flush_into(m);
+                }
+                row
+            },
+        );
+        if let Some(m) = metrics {
+            m.matrix_builds.incr();
+        }
         DetectionMatrix {
             rows,
             num_patterns: set.len(),
@@ -57,6 +95,11 @@ impl DetectionMatrix {
     #[must_use]
     pub fn detects(&self, f: usize, p: usize) -> bool {
         self.rows[f][p / 64] >> (p % 64) & 1 == 1
+    }
+
+    /// The packed detection words of fault `f` (64 patterns per word).
+    pub(crate) fn row(&self, f: usize) -> &[u64] {
+        &self.rows[f]
     }
 
     /// Whether fault `f` is detected by any pattern.
@@ -92,30 +135,79 @@ impl DetectionMatrix {
         out
     }
 
+    /// The matrix restricted to the pattern subset `keep` (ascending
+    /// pattern indices): row bits are re-packed so column `j` of the result
+    /// is column `keep[j]` of `self`.
+    ///
+    /// Detection is a pure function of the pattern, so this equals a full
+    /// [`DetectionMatrix::build`] over the retained set — without
+    /// re-simulating a single pattern. Compaction and budget capping both
+    /// reduce to this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index in `keep` is out of range.
+    #[must_use]
+    pub fn select_patterns(&self, keep: &[usize]) -> Self {
+        assert!(
+            keep.iter().all(|&p| p < self.num_patterns),
+            "pattern index out of range"
+        );
+        let words = keep.len().div_ceil(64).max(1);
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut packed = vec![0u64; words];
+                for (j, &p) in keep.iter().enumerate() {
+                    packed[j / 64] |= (row[p / 64] >> (p % 64) & 1) << (j % 64);
+                }
+                packed
+            })
+            .collect();
+        DetectionMatrix {
+            rows,
+            num_patterns: keep.len(),
+        }
+    }
+
     /// Static compaction by reverse-order fault dropping: walk the patterns
     /// from last to first, keep a pattern only if it detects a fault no
     /// later-kept pattern detects. Returns the kept indices in ascending
     /// order. Coverage is exactly preserved.
+    ///
+    /// Implemented with word-level scans: a fault is dropped exactly when
+    /// its *last* detecting pattern is visited, so the kept set is the set
+    /// of last-detecting patterns — one highest-set-bit scan per row
+    /// instead of a per-pattern, per-fault bit probe.
     #[must_use]
     pub fn reverse_order_compaction(&self) -> Vec<usize> {
-        let mut remaining: Vec<bool> = (0..self.num_faults())
-            .map(|f| self.fault_detected(f))
-            .collect();
-        let mut kept = Vec::new();
-        for p in (0..self.num_patterns).rev() {
-            let mut useful = false;
-            for (f, rem) in remaining.iter_mut().enumerate() {
-                if *rem && self.detects(f, p) {
-                    useful = true;
-                    *rem = false;
-                }
-            }
-            if useful {
-                kept.push(p);
+        let mut kept_mask = vec![0u64; self.num_patterns.div_ceil(64).max(1)];
+        for row in &self.rows {
+            if let Some((b, &w)) = row.iter().enumerate().rev().find(|(_, &w)| w != 0) {
+                let last = b * 64 + (63 - w.leading_zeros() as usize);
+                kept_mask[last / 64] |= 1 << (last % 64);
             }
         }
-        kept.reverse();
+        let mut kept = Vec::new();
+        for (b, &w) in kept_mask.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                kept.push(b * 64 + bit);
+                w &= w - 1;
+            }
+        }
         kept
+    }
+}
+
+/// Resolves a worker-thread count (`0` = all available cores).
+pub(crate) fn effective_threads(threads: usize) -> usize {
+    if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
     }
 }
 
@@ -140,6 +232,27 @@ mod tests {
         set
     }
 
+    /// Reference implementation of reverse-order compaction: the literal
+    /// per-pattern, per-fault bit probe the word-level version replaced.
+    fn reverse_order_compaction_bitwise(m: &DetectionMatrix) -> Vec<usize> {
+        let mut remaining: Vec<bool> = (0..m.num_faults()).map(|f| m.fault_detected(f)).collect();
+        let mut kept = Vec::new();
+        for p in (0..m.num_patterns()).rev() {
+            let mut useful = false;
+            for (f, rem) in remaining.iter_mut().enumerate() {
+                if *rem && m.detects(f, p) {
+                    useful = true;
+                    *rem = false;
+                }
+            }
+            if useful {
+                kept.push(p);
+            }
+        }
+        kept.reverse();
+        kept
+    }
+
     #[test]
     fn compaction_preserves_coverage() {
         let c = library::s27();
@@ -153,6 +266,60 @@ mod tests {
         compacted.retain_indices(&kept);
         let m2 = DetectionMatrix::build(&c, &compacted, &faults);
         assert!((m2.coverage() - before).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_level_compaction_matches_bitwise_reference() {
+        for seed in [1u64, 2, 3] {
+            for circuit in [library::c17(), library::s27()] {
+                let faults = transition_faults(&circuit);
+                for n in [1usize, 63, 64, 65, 200] {
+                    let set = random_set(&circuit, n, seed);
+                    let m = DetectionMatrix::build(&circuit, &set, &faults);
+                    assert_eq!(
+                        m.reverse_order_compaction(),
+                        reverse_order_compaction_bitwise(&m),
+                        "n={n} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let c = library::s27();
+        let faults = transition_faults(&c);
+        let set = random_set(&c, 130, 4);
+        let cones = FaultCones::build(&c, &faults);
+        let reference = DetectionMatrix::build_with(&c, &set, &faults, &cones, 1, None);
+        for threads in [2usize, 8] {
+            let par = DetectionMatrix::build_with(&c, &set, &faults, &cones, threads, None);
+            assert_eq!(par.rows, reference.rows, "threads={threads}");
+            assert_eq!(par.num_patterns, reference.num_patterns);
+        }
+    }
+
+    #[test]
+    fn select_patterns_equals_rebuild() {
+        let c = library::s27();
+        let faults = transition_faults(&c);
+        let set = random_set(&c, 150, 6);
+        let m = DetectionMatrix::build(&c, &set, &faults);
+        for keep in [
+            vec![],
+            vec![0],
+            vec![149],
+            (0..150).step_by(3).collect::<Vec<_>>(),
+            m.reverse_order_compaction(),
+        ] {
+            let selected = m.select_patterns(&keep);
+            let mut subset = set.clone();
+            subset.retain_indices(&keep);
+            let rebuilt = DetectionMatrix::build(&c, &subset, &faults);
+            assert_eq!(selected.rows, rebuilt.rows, "keep={keep:?}");
+            assert_eq!(selected.num_patterns(), rebuilt.num_patterns());
+        }
     }
 
     #[test]

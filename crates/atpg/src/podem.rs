@@ -53,7 +53,7 @@ impl PodemOutcome {
 /// ```
 #[must_use]
 pub fn podem(circuit: &Circuit, fault: &StuckAtFault, max_backtracks: u32) -> PodemOutcome {
-    Engine::new(circuit, Goal::Detect(*fault, None), max_backtracks).run()
+    PodemEngine::new(circuit).podem(fault, max_backtracks)
 }
 
 /// Like [`podem`], but records calls, decision backtracks and aborts into
@@ -65,9 +65,7 @@ pub fn podem_with_metrics(
     max_backtracks: u32,
     metrics: Option<&fastmon_obs::AtpgMetrics>,
 ) -> PodemOutcome {
-    let mut engine = Engine::new(circuit, Goal::Detect(*fault, None), max_backtracks);
-    engine.metrics = metrics;
-    engine.run()
+    PodemEngine::new(circuit).podem_with_metrics(fault, max_backtracks, metrics)
 }
 
 /// PODEM with an additional *side objective*: the returned vector detects
@@ -83,19 +81,19 @@ pub fn podem_with_side_objective(
     side_value: bool,
     max_backtracks: u32,
 ) -> PodemOutcome {
-    Engine::new(
-        circuit,
-        Goal::Detect(*fault, Some((side_node, side_value))),
+    PodemEngine::new(circuit).podem_with_side_objective(
+        fault,
+        side_node,
+        side_value,
         max_backtracks,
     )
-    .run()
 }
 
 /// Generates a vector that justifies `value` at `node` (no fault
 /// propagation) — used to build the launch vector of a transition test.
 #[must_use]
 pub fn justify(circuit: &Circuit, node: NodeId, value: bool, max_backtracks: u32) -> PodemOutcome {
-    Engine::new(circuit, Goal::Justify(node, value), max_backtracks).run()
+    PodemEngine::new(circuit).justify(node, value, max_backtracks)
 }
 
 /// Like [`justify`], but records calls, decision backtracks and aborts
@@ -108,9 +106,7 @@ pub fn justify_with_metrics(
     max_backtracks: u32,
     metrics: Option<&fastmon_obs::AtpgMetrics>,
 ) -> PodemOutcome {
-    let mut engine = Engine::new(circuit, Goal::Justify(node, value), max_backtracks);
-    engine.metrics = metrics;
-    engine.run()
+    PodemEngine::new(circuit).justify_with_metrics(node, value, max_backtracks, metrics)
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -120,54 +116,210 @@ enum Goal {
     Justify(NodeId, bool),
 }
 
+impl Goal {
+    fn fault(self) -> Option<StuckAtFault> {
+        match self {
+            Goal::Detect(f, _) => Some(f),
+            Goal::Justify(..) => None,
+        }
+    }
+}
+
 enum Tri {
     Success,
     Fail,
     Abort,
 }
 
-struct Engine<'c> {
+/// Evaluates one node of the 5-valued model from the current `values` /
+/// `assignment` state, applying the fault injection when `id` is the
+/// fault site. Free function so callers can hold disjoint field borrows.
+fn eval_node(
+    circuit: &Circuit,
+    id: NodeId,
+    values: &[V5],
+    ins: &mut Vec<V5>,
+    assignment: &[Option<bool>],
+    source_pos: &[usize],
+    fault: Option<StuckAtFault>,
+) -> V5 {
+    let node = circuit.node(id);
+    let mut v = match node.kind() {
+        GateKind::Input | GateKind::Dff => match assignment[source_pos[id.index()]] {
+            Some(b) => V5::from_bool(b),
+            None => V5::X,
+        },
+        GateKind::Const0 => V5::Zero,
+        GateKind::Const1 => V5::One,
+        kind => {
+            ins.clear();
+            ins.extend(node.fanins().iter().map(|&fi| values[fi.index()]));
+            eval5(kind, ins)
+        }
+    };
+    if let Some(f) = fault {
+        if f.node == id {
+            v = match v.good() {
+                Some(g) => V5::from_pair(g, f.stuck_at),
+                None => V5::X,
+            };
+        }
+    }
+    v
+}
+
+/// Single-pass fanin closure of `seed` over the topological order,
+/// through **every** node kind — exactly the set of nodes the original
+/// whole-circuit X-path scan could ever mark reachable (that scan reads
+/// structural fanins of flip-flops too, so [`Circuit::fanout_cone`],
+/// which stops at non-combinational nodes, would under-approximate it).
+fn x_path_cone(circuit: &Circuit, seed: NodeId) -> Box<[NodeId]> {
+    let mut in_cone = vec![false; circuit.len()];
+    in_cone[seed.index()] = true;
+    let mut cone = Vec::new();
+    for &id in circuit.topo_order() {
+        let idx = id.index();
+        if !in_cone[idx] {
+            in_cone[idx] = circuit
+                .node(id)
+                .fanins()
+                .iter()
+                .any(|&fi| in_cone[fi.index()]);
+        }
+        if in_cone[idx] {
+            cone.push(id);
+        }
+    }
+    cone.into_boxed_slice()
+}
+
+/// Reusable PODEM search engine.
+///
+/// All per-circuit state — source ordering, the 5-valued value array, the
+/// X-path scratch and lazily cached fanout cones — lives in the engine and
+/// is shared across faults, so a generation loop that targets thousands of
+/// faults allocates once instead of per call. More importantly, the three
+/// inner loops of the search are **cone-bounded**:
+///
+/// * forward implication after a decision re-simulates only the fanout
+///   cone of the source that changed (values outside it cannot move);
+/// * the D-frontier scan walks the fault site's fanout cone instead of
+///   every combinational node (fault effects cannot exist elsewhere);
+/// * the X-path check walks a cached fanin closure of the fault site.
+///
+/// Every bound is exact — the restricted walks visit the same candidates
+/// in the same (topological) order as the original whole-circuit walks,
+/// so the search makes decision-for-decision identical choices and the
+/// returned cubes are bit-identical to the unbounded engine.
+pub struct PodemEngine<'c> {
     circuit: &'c Circuit,
+    sources: Vec<NodeId>,
     source_pos: Vec<usize>,
     values: Vec<V5>,
     assignment: Vec<Option<bool>>,
-    goal: Goal,
+    ins: Vec<V5>,
+    reach: Vec<bool>,
+    /// Combinational fanout cones (forward implication + D-frontier),
+    /// lazily built per node and reused across runs.
+    cones: Vec<Option<Box<[NodeId]>>>,
+    /// Through-anything fanin closures for the X-path check.
+    xcones: Vec<Option<Box<[NodeId]>>>,
     backtracks_left: u32,
-    max_backtracks: u32,
-    metrics: Option<&'c fastmon_obs::AtpgMetrics>,
 }
 
-impl<'c> Engine<'c> {
-    fn new(circuit: &'c Circuit, goal: Goal, max_backtracks: u32) -> Self {
+impl<'c> PodemEngine<'c> {
+    /// Builds an engine for `circuit`; reuse it across as many
+    /// [`podem`](Self::podem) / [`justify`](Self::justify) calls as you
+    /// like.
+    #[must_use]
+    pub fn new(circuit: &'c Circuit) -> Self {
         let sources = TestSet::source_order(circuit);
         let mut source_pos = vec![usize::MAX; circuit.len()];
         for (k, &s) in sources.iter().enumerate() {
             source_pos[s.index()] = k;
         }
         let n = sources.len();
-        Engine {
+        PodemEngine {
             circuit,
+            sources,
             source_pos,
             values: vec![V5::X; circuit.len()],
             assignment: vec![None; n],
-            goal,
-            backtracks_left: max_backtracks,
-            max_backtracks,
-            metrics: None,
+            ins: Vec::new(),
+            reach: vec![false; circuit.len()],
+            cones: vec![None; circuit.len()],
+            xcones: vec![None; circuit.len()],
+            backtracks_left: 0,
         }
     }
 
-    fn run(&mut self) -> PodemOutcome {
-        self.forward();
-        let outcome = match self.search() {
+    /// [`podem`] on this engine's circuit, reusing cached cones/buffers.
+    pub fn podem(&mut self, fault: &StuckAtFault, max_backtracks: u32) -> PodemOutcome {
+        self.run(Goal::Detect(*fault, None), max_backtracks, None)
+    }
+
+    /// [`podem_with_metrics`] on this engine.
+    pub fn podem_with_metrics(
+        &mut self,
+        fault: &StuckAtFault,
+        max_backtracks: u32,
+        metrics: Option<&fastmon_obs::AtpgMetrics>,
+    ) -> PodemOutcome {
+        self.run(Goal::Detect(*fault, None), max_backtracks, metrics)
+    }
+
+    /// [`podem_with_side_objective`] on this engine.
+    pub fn podem_with_side_objective(
+        &mut self,
+        fault: &StuckAtFault,
+        side_node: NodeId,
+        side_value: bool,
+        max_backtracks: u32,
+    ) -> PodemOutcome {
+        self.run(
+            Goal::Detect(*fault, Some((side_node, side_value))),
+            max_backtracks,
+            None,
+        )
+    }
+
+    /// [`justify`] on this engine.
+    pub fn justify(&mut self, node: NodeId, value: bool, max_backtracks: u32) -> PodemOutcome {
+        self.run(Goal::Justify(node, value), max_backtracks, None)
+    }
+
+    /// [`justify_with_metrics`] on this engine.
+    pub fn justify_with_metrics(
+        &mut self,
+        node: NodeId,
+        value: bool,
+        max_backtracks: u32,
+        metrics: Option<&fastmon_obs::AtpgMetrics>,
+    ) -> PodemOutcome {
+        self.run(Goal::Justify(node, value), max_backtracks, metrics)
+    }
+
+    fn run(
+        &mut self,
+        goal: Goal,
+        max_backtracks: u32,
+        metrics: Option<&fastmon_obs::AtpgMetrics>,
+    ) -> PodemOutcome {
+        self.assignment.fill(None);
+        self.backtracks_left = max_backtracks;
+        if let Some(f) = goal.fault() {
+            self.ensure_cones(f.node);
+        }
+        self.forward_full(goal);
+        let outcome = match self.search(goal) {
             Tri::Success => PodemOutcome::Test(self.assignment.clone()),
             Tri::Fail => PodemOutcome::Untestable,
             Tri::Abort => PodemOutcome::Aborted,
         };
-        if let Some(m) = self.metrics {
+        if let Some(m) = metrics {
             m.podem_calls.incr();
             m.podem_backtracks
-                .add(u64::from(self.max_backtracks - self.backtracks_left));
+                .add(u64::from(max_backtracks - self.backtracks_left));
             if matches!(outcome, PodemOutcome::Aborted) {
                 m.podem_aborts.incr();
             }
@@ -175,45 +327,69 @@ impl<'c> Engine<'c> {
         outcome
     }
 
-    /// Full forward 5-valued implication (re-simulates everything; simple
-    /// and robust).
-    fn forward(&mut self) {
-        let fault = match self.goal {
-            Goal::Detect(f, _) => Some(f),
-            Goal::Justify(..) => None,
-        };
-        let mut ins: Vec<V5> = Vec::new();
+    /// Caches both cone flavours for a fault site.
+    fn ensure_cones(&mut self, node: NodeId) {
+        let idx = node.index();
+        if self.cones[idx].is_none() {
+            self.cones[idx] = Some(self.circuit.fanout_cone(node).into_boxed_slice());
+        }
+        if self.xcones[idx].is_none() {
+            self.xcones[idx] = Some(x_path_cone(self.circuit, node));
+        }
+    }
+
+    /// Caches the forward-implication cone of a source.
+    fn ensure_source_cone(&mut self, node: NodeId) {
+        let idx = node.index();
+        if self.cones[idx].is_none() {
+            self.cones[idx] = Some(self.circuit.fanout_cone(node).into_boxed_slice());
+        }
+    }
+
+    /// Full forward 5-valued implication — every node, used once per run
+    /// to (re)initialise `values` from the empty assignment.
+    fn forward_full(&mut self, goal: Goal) {
+        let fault = goal.fault();
         for &id in self.circuit.topo_order() {
-            let node = self.circuit.node(id);
-            let mut v = match node.kind() {
-                GateKind::Input | GateKind::Dff => {
-                    match self.assignment[self.source_pos[id.index()]] {
-                        Some(b) => V5::from_bool(b),
-                        None => V5::X,
-                    }
-                }
-                GateKind::Const0 => V5::Zero,
-                GateKind::Const1 => V5::One,
-                kind => {
-                    ins.clear();
-                    ins.extend(node.fanins().iter().map(|&fi| self.values[fi.index()]));
-                    eval5(kind, &ins)
-                }
-            };
-            if let Some(f) = fault {
-                if f.node == id {
-                    v = match v.good() {
-                        Some(g) => V5::from_pair(g, f.stuck_at),
-                        None => V5::X,
-                    };
-                }
-            }
+            let v = eval_node(
+                self.circuit,
+                id,
+                &self.values,
+                &mut self.ins,
+                &self.assignment,
+                &self.source_pos,
+                fault,
+            );
             self.values[id.index()] = v;
         }
     }
 
-    fn success(&self) -> bool {
-        match self.goal {
+    /// Incremental forward implication after flipping one source: only the
+    /// nodes in that source's fanout cone can change, and the cone list is
+    /// topologically ordered, so one bounded sweep reaches the same fixed
+    /// point as a whole-circuit pass.
+    fn forward_cone(&mut self, seed: NodeId, goal: Goal) {
+        let fault = goal.fault();
+        let Some(cone) = self.cones[seed.index()].as_deref() else {
+            // unreachable: callers cache the cone first; fall back safely
+            return self.forward_full(goal);
+        };
+        for &id in cone {
+            let v = eval_node(
+                self.circuit,
+                id,
+                &self.values,
+                &mut self.ins,
+                &self.assignment,
+                &self.source_pos,
+                fault,
+            );
+            self.values[id.index()] = v;
+        }
+    }
+
+    fn success(&self, goal: Goal) -> bool {
+        match goal {
             Goal::Justify(node, value) => self.values[node.index()] == V5::from_bool(value),
             Goal::Detect(_, side) => {
                 let side_ok = side
@@ -230,8 +406,8 @@ impl<'c> Engine<'c> {
 
     /// Returns `true` when the current partial assignment can no longer
     /// lead to success.
-    fn hopeless(&self) -> bool {
-        match self.goal {
+    fn hopeless(&mut self, goal: Goal) -> bool {
+        match goal {
             Goal::Justify(node, value) => {
                 let v = self.values[node.index()];
                 v.is_binary() && v != V5::from_bool(value)
@@ -250,7 +426,7 @@ impl<'c> Engine<'c> {
                 }
                 if at_site.is_fault_effect() {
                     // activated: need an X-path from the frontier
-                    !self.x_path_exists()
+                    !self.x_path_exists(fault)
                 } else {
                     false // site still X: activation pending
                 }
@@ -259,10 +435,12 @@ impl<'c> Engine<'c> {
     }
 
     /// Whether some fault effect can still reach an observation point
-    /// through X-valued logic.
-    fn x_path_exists(&self) -> bool {
-        let mut reachable = vec![false; self.circuit.len()];
-        for &id in self.circuit.topo_order() {
+    /// through X-valued logic. Walks the fault site's cached fanin closure
+    /// instead of the whole circuit — nodes outside it can never be marked
+    /// — using (and then clearing) the persistent `reach` scratch.
+    fn x_path_exists(&mut self, fault: StuckAtFault) -> bool {
+        let cone = self.xcones[fault.node.index()].as_deref().unwrap_or(&[]);
+        for &id in cone {
             let v = self.values[id.index()];
             let mark = if v.is_fault_effect() {
                 true
@@ -271,21 +449,26 @@ impl<'c> Engine<'c> {
                     .node(id)
                     .fanins()
                     .iter()
-                    .any(|&fi| reachable[fi.index()])
+                    .any(|&fi| self.reach[fi.index()])
             } else {
                 false
             };
-            reachable[id.index()] = mark;
+            self.reach[id.index()] = mark;
         }
-        self.circuit
+        let hit = self
+            .circuit
             .observe_points()
             .iter()
-            .any(|op| reachable[op.driver.index()])
+            .any(|op| self.reach[op.driver.index()]);
+        for &id in cone {
+            self.reach[id.index()] = false;
+        }
+        hit
     }
 
     /// The next objective `(node, value)` to pursue, or `None` when stuck.
-    fn objective(&self) -> Option<(NodeId, bool)> {
-        match self.goal {
+    fn objective(&self, goal: Goal) -> Option<(NodeId, bool)> {
+        match goal {
             Goal::Justify(node, value) => {
                 (self.values[node.index()] == V5::X).then_some((node, value))
             }
@@ -302,12 +485,21 @@ impl<'c> Engine<'c> {
                 if !at_site.is_fault_effect() {
                     return None;
                 }
-                // D-frontier: gate with X output and a fault effect input
-                for id in self.circuit.combinational_nodes() {
+                // D-frontier: gate with X output and a fault effect input.
+                // Effect-carrying nodes live inside the fault site's
+                // combinational fanout cone, and so do their fanout gates;
+                // the cone list is a topologically ordered subsequence of
+                // `combinational_nodes()`, so the first match is the same
+                // gate the whole-circuit scan would pick.
+                let cone = self.cones[fault.node.index()].as_deref().unwrap_or(&[]);
+                for &id in cone {
                     if self.values[id.index()] != V5::X {
                         continue;
                     }
                     let node = self.circuit.node(id);
+                    if !node.kind().is_combinational() {
+                        continue;
+                    }
                     let has_effect = node
                         .fanins()
                         .iter()
@@ -389,21 +581,23 @@ impl<'c> Engine<'c> {
         }
     }
 
-    fn search(&mut self) -> Tri {
-        if self.success() {
+    fn search(&mut self, goal: Goal) -> Tri {
+        if self.success(goal) {
             return Tri::Success;
         }
-        if self.hopeless() {
+        if self.hopeless(goal) {
             return Tri::Fail;
         }
-        let Some((obj_node, obj_value)) = self.objective() else {
+        let Some((obj_node, obj_value)) = self.objective(goal) else {
             return Tri::Fail;
         };
         let (src, first) = self.backtrace(obj_node, obj_value);
+        let src_node = self.sources[src];
+        self.ensure_source_cone(src_node);
         for value in [first, !first] {
             self.assignment[src] = Some(value);
-            self.forward();
-            match self.search() {
+            self.forward_cone(src_node, goal);
+            match self.search(goal) {
                 Tri::Success => return Tri::Success,
                 Tri::Abort => return Tri::Abort,
                 Tri::Fail => {
@@ -415,7 +609,7 @@ impl<'c> Engine<'c> {
             }
         }
         self.assignment[src] = None;
-        self.forward();
+        self.forward_cone(src_node, goal);
         Tri::Fail
     }
 }

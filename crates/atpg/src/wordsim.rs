@@ -1,6 +1,6 @@
 use fastmon_netlist::{Circuit, GateKind, NodeId};
 
-use crate::{TestPattern, TestSet, TransitionFault};
+use crate::{FaultCones, GradeScratch, TestPattern, TestSet, TransitionFault};
 
 /// Bit-parallel (64 patterns per machine word) zero-delay simulation of the
 /// combinational core.
@@ -10,6 +10,11 @@ use crate::{TestPattern, TestSet, TransitionFault};
 /// at the gate) and the *propagation* mask (capture vector detects a
 /// stuck-at-initial-value at the gate, simulated only on the gate's fanout
 /// cone) — detection is their conjunction.
+///
+/// The hot path is [`WordSim::detect_word_cached`], which propagates over a
+/// precomputed [`FaultCones`] arena with a reusable [`GradeScratch`] and
+/// performs zero heap allocations in steady state. [`WordSim::detect_word`]
+/// is the self-contained variant that recomputes the cone per call.
 #[derive(Debug)]
 pub struct WordSim<'c> {
     circuit: &'c Circuit,
@@ -54,8 +59,8 @@ impl<'c> WordSim<'c> {
                     cw[id.index()] = !0;
                 }
             }
-            eval_words(circuit, &mut lw, None);
-            eval_words(circuit, &mut cw, None);
+            eval_words(circuit, &mut lw);
+            eval_words(circuit, &mut cw);
             launch[block] = lw;
             capture[block] = cw;
         }
@@ -88,6 +93,10 @@ impl<'c> WordSim<'c> {
 
     /// Per-pattern detection mask of `fault` for one 64-pattern block:
     /// bit `i` is set iff pattern `block*64 + i` detects the fault.
+    ///
+    /// Self-contained but slow: every call recomputes the fault's fanout
+    /// cone (a fresh traversal plus a circuit-sized position array). Use
+    /// [`WordSim::detect_word_cached`] in loops.
     #[must_use]
     pub fn detect_word(&self, fault: &TransitionFault, block: usize) -> u64 {
         let g = fault.gate.index();
@@ -140,6 +149,41 @@ impl<'c> WordSim<'c> {
         detected & activated
     }
 
+    /// Like [`WordSim::detect_word`], but propagates over the precomputed
+    /// [`FaultCones`] arena with a reusable [`GradeScratch`] — the hot
+    /// grading path. Allocation-free in steady state (`scratch` only grows
+    /// on a cone longer than any it has seen) and bit-identical to the
+    /// uncached variant.
+    ///
+    /// Falls back to [`WordSim::detect_word`] when the fault's site is not
+    /// in `cones` (it was built from a different fault list).
+    #[must_use]
+    pub fn detect_word_cached(
+        &self,
+        fault: &TransitionFault,
+        block: usize,
+        cones: &FaultCones,
+        scratch: &mut GradeScratch,
+    ) -> u64 {
+        let g = fault.gate.index();
+        let lw = &self.launch[block];
+        let cw = &self.capture[block];
+        let activated = if fault.rising {
+            !lw[g] & cw[g]
+        } else {
+            lw[g] & !cw[g]
+        };
+        let activated = activated & self.block_mask(block);
+        if activated == 0 {
+            return 0;
+        }
+        let Some(id) = cones.cone_id(g) else {
+            return self.detect_word(fault, block);
+        };
+        let forced = if fault.initial_value() { !0u64 } else { 0u64 };
+        cones.propagate(id, forced, cw, scratch) & activated
+    }
+
     /// Number of 64-pattern blocks.
     #[must_use]
     pub fn num_blocks(&self) -> usize {
@@ -157,16 +201,9 @@ impl<'c> WordSim<'c> {
     }
 }
 
-/// Evaluates all nodes in place over 64-bit words; `force` optionally pins
-/// one node to a constant word.
-fn eval_words(circuit: &Circuit, words: &mut [u64], force: Option<(NodeId, u64)>) {
+/// Evaluates all nodes in place over 64-bit words.
+fn eval_words(circuit: &Circuit, words: &mut [u64]) {
     for &id in circuit.topo_order() {
-        if let Some((f, w)) = force {
-            if f == id {
-                words[id.index()] = w;
-                continue;
-            }
-        }
         let node = circuit.node(id);
         if !node.kind().is_combinational() {
             continue; // sources already loaded
@@ -179,7 +216,8 @@ fn eval_words(circuit: &Circuit, words: &mut [u64], force: Option<(NodeId, u64)>
 }
 
 /// Word-parallel gate evaluation.
-fn eval_word<I: Iterator<Item = u64>>(kind: GateKind, mut inputs: I) -> u64 {
+#[inline]
+pub(crate) fn eval_word<I: Iterator<Item = u64>>(kind: GateKind, mut inputs: I) -> u64 {
     match kind {
         GateKind::Const0 => 0,
         GateKind::Const1 => !0,
@@ -283,6 +321,45 @@ mod tests {
             0,
             "no rising transition at N10"
         );
+    }
+
+    #[test]
+    fn cached_grading_matches_uncached() {
+        for circuit in [library::c17(), library::s27()] {
+            let set = random_set(&circuit, 150, 7);
+            let ws = WordSim::new(&circuit, &set);
+            let faults = crate::transition_faults(&circuit);
+            let cones = FaultCones::build(&circuit, &faults);
+            let mut scratch = GradeScratch::for_cones(&cones);
+            for f in &faults {
+                for b in 0..ws.num_blocks() {
+                    assert_eq!(
+                        ws.detect_word_cached(f, b, &cones, &mut scratch),
+                        ws.detect_word(f, b),
+                        "{f} block {b}"
+                    );
+                }
+            }
+            assert_eq!(scratch.allocs, 1, "pre-sized scratch never reallocates");
+        }
+    }
+
+    #[test]
+    fn cached_grading_falls_back_on_foreign_cones() {
+        let c = library::s27();
+        let set = random_set(&c, 64, 11);
+        let ws = WordSim::new(&c, &set);
+        let faults = crate::transition_faults(&c);
+        // arena built from a single fault: every other site falls back
+        let cones = FaultCones::build(&c, &faults[..1]);
+        let mut scratch = GradeScratch::for_cones(&cones);
+        for f in &faults {
+            assert_eq!(
+                ws.detect_word_cached(f, 0, &cones, &mut scratch),
+                ws.detect_word(f, 0),
+                "{f}"
+            );
+        }
     }
 
     #[test]

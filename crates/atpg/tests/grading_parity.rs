@@ -1,0 +1,141 @@
+//! Property-style parity tests of the cached-cone grading engine over
+//! random synthetic circuits: fault-parallel matrix builds must be
+//! bit-identical at every thread count, and pattern-subset selection must
+//! equal a from-scratch rebuild for arbitrary subsets.
+
+use fastmon_atpg::{
+    transition_faults, AtpgConfig, DetectionMatrix, FaultCones, GradeScratch, TestPattern, TestSet,
+    WordSim,
+};
+use fastmon_netlist::generate::GeneratorConfig;
+use fastmon_netlist::Circuit;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+fn random_circuit(seed: u64) -> Circuit {
+    GeneratorConfig::new("parity")
+        .gates(120 + (seed as usize % 5) * 40)
+        .flip_flops(8 + (seed as usize % 3) * 4)
+        .inputs(8)
+        .outputs(4)
+        .depth(6 + (seed % 4) as u32)
+        .generate(seed)
+        .expect("valid generator config")
+}
+
+fn random_set(circuit: &Circuit, n: usize, seed: u64) -> TestSet {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut set = TestSet::new(circuit);
+    let w = set.sources().len();
+    for _ in 0..n {
+        set.push(TestPattern::new(
+            (0..w).map(|_| rng.gen()).collect(),
+            (0..w).map(|_| rng.gen()).collect(),
+        ));
+    }
+    set
+}
+
+#[test]
+fn parallel_matrix_build_bit_identical_at_1_2_8_threads() {
+    for seed in 1..=4u64 {
+        let circuit = random_circuit(seed);
+        let faults = transition_faults(&circuit);
+        let set = random_set(&circuit, 100 + seed as usize * 17, seed);
+        let cones = FaultCones::build(&circuit, &faults);
+        let t1 = DetectionMatrix::build_with(&circuit, &set, &faults, &cones, 1, None);
+        for threads in [2usize, 8] {
+            let tn = DetectionMatrix::build_with(&circuit, &set, &faults, &cones, threads, None);
+            assert_eq!(tn.num_patterns(), t1.num_patterns());
+            for f in 0..faults.len() {
+                assert_eq!(
+                    tn.detecting_patterns(f),
+                    t1.detecting_patterns(f),
+                    "seed={seed} threads={threads} fault={f}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn select_patterns_equals_from_scratch_rebuild_on_random_subsets() {
+    for seed in 1..=4u64 {
+        let circuit = random_circuit(seed);
+        let faults = transition_faults(&circuit);
+        let n = 90 + seed as usize * 13;
+        let set = random_set(&circuit, n, seed ^ 0x5a5a);
+        let matrix = DetectionMatrix::build(&circuit, &set, &faults);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc0de);
+        for trial in 0..5 {
+            let keep: Vec<usize> = (0..n).filter(|_| rng.gen_bool(0.4)).collect();
+            let selected = matrix.select_patterns(&keep);
+            let mut subset = set.clone();
+            subset.retain_indices(&keep);
+            let rebuilt = DetectionMatrix::build(&circuit, &subset, &faults);
+            assert_eq!(selected.num_patterns(), rebuilt.num_patterns());
+            for f in 0..faults.len() {
+                assert_eq!(
+                    selected.detecting_patterns(f),
+                    rebuilt.detecting_patterns(f),
+                    "seed={seed} trial={trial} fault={f}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cached_grading_matches_uncached_on_random_circuits() {
+    for seed in 5..=7u64 {
+        let circuit = random_circuit(seed);
+        let faults = transition_faults(&circuit);
+        let set = random_set(&circuit, 70, seed);
+        let ws = WordSim::new(&circuit, &set);
+        let cones = FaultCones::build(&circuit, &faults);
+        let mut scratch = GradeScratch::for_cones(&cones);
+        for fault in &faults {
+            for b in 0..ws.num_blocks() {
+                assert_eq!(
+                    ws.detect_word_cached(fault, b, &cones, &mut scratch),
+                    ws.detect_word(fault, b),
+                    "seed={seed} {fault} block={b}"
+                );
+            }
+        }
+        assert_eq!(scratch.allocs, 1, "steady-state grading allocated");
+    }
+}
+
+#[test]
+fn generate_identical_across_threads_with_budget_and_compaction() {
+    let circuit = random_circuit(9);
+    let reference = fastmon_atpg::generate(
+        &circuit,
+        &AtpgConfig {
+            threads: 1,
+            max_patterns: Some(25),
+            ..AtpgConfig::default()
+        },
+    );
+    for threads in [2usize, 8] {
+        let r = fastmon_atpg::generate(
+            &circuit,
+            &AtpgConfig {
+                threads,
+                max_patterns: Some(25),
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(r.test_set, reference.test_set, "threads={threads}");
+        assert_eq!(
+            (r.detected, r.untestable, r.aborted, r.total_faults),
+            (
+                reference.detected,
+                reference.untestable,
+                reference.aborted,
+                reference.total_faults
+            )
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Byte-equality regression net for the cached/parallel grading engine.
+//!
+//! The fingerprints below were recorded from the pre-cache implementation
+//! (per-call `fanout_cone` + from-scratch matrix rebuilds) at fixed seeds.
+//! The cached-cone, fault-parallel engine must reproduce every pattern bit,
+//! in order — any drift in the test set, fault tallies or compaction
+//! choices changes the FNV fingerprint and fails here.
+
+use fastmon_atpg::{generate, AtpgConfig, AtpgResult};
+use fastmon_netlist::generate::GeneratorConfig;
+use fastmon_netlist::library;
+use fastmon_netlist::Circuit;
+
+/// FNV-1a over the full result: pattern count, every launch/capture bit in
+/// order, then the fault tallies.
+fn fingerprint(result: &AtpgResult) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |b: u64| {
+        for i in 0..8 {
+            h ^= (b >> (8 * i)) & 0xff;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(result.test_set.len() as u64);
+    for p in 0..result.test_set.len() {
+        let pat = result.test_set.pattern(p);
+        for &b in pat.launch.iter().chain(pat.capture.iter()) {
+            eat(u64::from(b));
+        }
+    }
+    eat(result.detected as u64);
+    eat(result.untestable as u64);
+    eat(result.aborted as u64);
+    eat(result.total_faults as u64);
+    h
+}
+
+fn syn400() -> Circuit {
+    GeneratorConfig::new("syn")
+        .gates(400)
+        .flip_flops(24)
+        .inputs(12)
+        .outputs(6)
+        .depth(12)
+        .generate(3)
+        .expect("valid generator config")
+}
+
+fn configs() -> Vec<(&'static str, AtpgConfig)> {
+    vec![
+        ("default", AtpgConfig::default()),
+        (
+            "seed9",
+            AtpgConfig {
+                seed: 9,
+                ..AtpgConfig::default()
+            },
+        ),
+        (
+            "nocompact",
+            AtpgConfig {
+                compact: false,
+                ..AtpgConfig::default()
+            },
+        ),
+        (
+            "cap5",
+            AtpgConfig {
+                max_patterns: Some(5),
+                ..AtpgConfig::default()
+            },
+        ),
+    ]
+}
+
+#[test]
+fn enhanced_scan_matches_seed_fingerprints() {
+    let golden = [
+        ("s27", "default", 0xff45_eb3b_ba03_1f0cu64),
+        ("s27", "seed9", 0x217f_632f_6309_b3ae),
+        ("s27", "nocompact", 0x2cf0_47e8_5e2d_e7cb),
+        ("s27", "cap5", 0x0a28_3a2b_1cd6_2ee1),
+        ("syn400", "default", 0xd174_1757_f8fd_886e),
+        ("syn400", "seed9", 0x8b4d_0c58_db18_8829),
+        ("syn400", "nocompact", 0x65e7_548b_4573_a51d),
+        ("syn400", "cap5", 0x79c0_3720_6310_f6bd),
+    ];
+    let s27 = library::s27();
+    let syn = syn400();
+    for (circuit_name, tag, expected) in golden {
+        let circuit = if circuit_name == "s27" { &s27 } else { &syn };
+        let cfg = configs()
+            .into_iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, c)| c)
+            .expect("known tag");
+        let r = generate(circuit, &cfg);
+        assert_eq!(
+            fingerprint(&r),
+            expected,
+            "{circuit_name}/{tag}: output drifted from the seed implementation"
+        );
+    }
+}
+
+#[test]
+fn broadside_matches_seed_fingerprints() {
+    let golden = [
+        ("s27", "default", 0x242a_0a60_dc29_7156u64),
+        ("s27", "seed9", 0x9328_7dad_697b_5dd6),
+        ("s27", "nocompact", 0x8987_51fb_a96c_285d),
+        ("s27", "cap5", 0x242a_0a60_dc29_7156),
+        ("syn400", "default", 0x4362_ee1c_f727_a510),
+        ("syn400", "seed9", 0xe542_2764_fa24_1078),
+        ("syn400", "nocompact", 0xda13_c580_95e9_8693),
+        ("syn400", "cap5", 0x99d4_f979_672e_649e),
+    ];
+    let s27 = library::s27();
+    let syn = syn400();
+    for (circuit_name, tag, expected) in golden {
+        let circuit = if circuit_name == "s27" { &s27 } else { &syn };
+        let cfg = configs()
+            .into_iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, c)| c)
+            .expect("known tag");
+        let r = fastmon_atpg::broadside::generate_broadside(circuit, &cfg);
+        assert_eq!(
+            fingerprint(&r),
+            expected,
+            "{circuit_name}/{tag}/broadside: output drifted from the seed implementation"
+        );
+    }
+}
+
+#[test]
+fn thread_count_never_changes_the_fingerprint() {
+    let syn = syn400();
+    let reference = generate(
+        &syn,
+        &AtpgConfig {
+            threads: 1,
+            ..AtpgConfig::default()
+        },
+    );
+    let expected = fingerprint(&reference);
+    for threads in [2usize, 8] {
+        let r = generate(
+            &syn,
+            &AtpgConfig {
+                threads,
+                ..AtpgConfig::default()
+            },
+        );
+        assert_eq!(fingerprint(&r), expected, "threads={threads}");
+    }
+}

@@ -1,16 +1,42 @@
-//! Microbenchmarks of the ATPG substrate: bit-parallel fault grading and
-//! PODEM.
+//! Microbenchmarks of the ATPG substrate: bit-parallel fault grading
+//! (cached-cone vs per-call traversal, serial vs fault-parallel matrix
+//! builds, word-level vs bit-level compaction) and PODEM.
+//!
+//! Set `FASTMON_BENCH_QUICK=1` for a smoke run (CI): tiny sample counts
+//! that still exercise every hot path end to end.
 
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fastmon_atpg::{
-    podem, transition_faults, AtpgConfig, StuckAtFault, TestPattern, TestSet, WordSim,
+    podem, transition_faults, AtpgConfig, DetectionMatrix, FaultCones, GradeScratch, StuckAtFault,
+    TestPattern, TestSet, WordSim,
 };
 use fastmon_netlist::generate::GeneratorConfig;
 use fastmon_netlist::library;
 use rand::prelude::*;
 use rand_chacha::ChaCha8Rng;
+
+/// The bit-level reverse-order compaction the word-level scan replaced,
+/// kept here as the benchmark baseline.
+fn reverse_order_compaction_bitwise(m: &DetectionMatrix) -> Vec<usize> {
+    let mut remaining: Vec<bool> = (0..m.num_faults()).map(|f| m.fault_detected(f)).collect();
+    let mut kept = Vec::new();
+    for p in (0..m.num_patterns()).rev() {
+        let mut useful = false;
+        for (f, rem) in remaining.iter_mut().enumerate() {
+            if *rem && m.detects(f, p) {
+                useful = true;
+                *rem = false;
+            }
+        }
+        if useful {
+            kept.push(p);
+        }
+    }
+    kept.reverse();
+    kept
+}
 
 fn bench_atpg(c: &mut Criterion) {
     let mid = GeneratorConfig::new("mid")
@@ -39,7 +65,9 @@ fn bench_atpg(c: &mut Criterion) {
 
     let ws = WordSim::new(&mid, &set);
     let faults = transition_faults(&mid);
-    c.bench_function("atpg/grade_1600_faults", |b| {
+    let cones = FaultCones::build(&mid, &faults);
+
+    c.bench_function("atpg/grade_1600_faults_uncached", |b| {
         b.iter(|| {
             let mut detected = 0usize;
             for f in &faults {
@@ -52,6 +80,56 @@ fn bench_atpg(c: &mut Criterion) {
             }
             std::hint::black_box(detected)
         })
+    });
+
+    c.bench_function("atpg/grade_1600_faults_cached", |b| {
+        let mut scratch = GradeScratch::for_cones(&cones);
+        b.iter(|| {
+            let mut detected = 0usize;
+            for f in &faults {
+                for blk in 0..ws.num_blocks() {
+                    if ws.detect_word_cached(f, blk, &cones, &mut scratch) != 0 {
+                        detected += 1;
+                        break;
+                    }
+                }
+            }
+            std::hint::black_box(detected)
+        })
+    });
+
+    c.bench_function("atpg/cone_arena_build_800g", |b| {
+        b.iter(|| std::hint::black_box(FaultCones::build(&mid, &faults)))
+    });
+
+    c.bench_function("atpg/matrix_build_t1", |b| {
+        b.iter(|| {
+            std::hint::black_box(DetectionMatrix::build_with(
+                &mid, &set, &faults, &cones, 1, None,
+            ))
+        })
+    });
+
+    c.bench_function("atpg/matrix_build_t4", |b| {
+        b.iter(|| {
+            std::hint::black_box(DetectionMatrix::build_with(
+                &mid, &set, &faults, &cones, 4, None,
+            ))
+        })
+    });
+
+    let matrix = DetectionMatrix::build_with(&mid, &set, &faults, &cones, 1, None);
+    c.bench_function("atpg/compaction_word_level", |b| {
+        b.iter(|| std::hint::black_box(matrix.reverse_order_compaction()))
+    });
+
+    c.bench_function("atpg/compaction_bitwise", |b| {
+        b.iter(|| std::hint::black_box(reverse_order_compaction_bitwise(&matrix)))
+    });
+
+    c.bench_function("atpg/select_patterns_vs_rebuild", |b| {
+        let kept = matrix.reverse_order_compaction();
+        b.iter(|| std::hint::black_box(matrix.select_patterns(&kept)))
     });
 
     let s27 = library::s27();
@@ -74,12 +152,24 @@ fn bench_atpg(c: &mut Criterion) {
     });
 }
 
+/// Smoke mode for CI: same code paths, tiny time budget.
+fn config() -> Criterion {
+    if std::env::var("FASTMON_BENCH_QUICK").is_ok_and(|v| v != "0") {
+        Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(200))
+            .warm_up_time(Duration::from_millis(50))
+    } else {
+        Criterion::default()
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(8))
+            .warm_up_time(Duration::from_secs(2))
+    }
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(8))
-        .warm_up_time(Duration::from_secs(2));
+    config = config();
     targets = bench_atpg
 }
 criterion_main!(benches);

@@ -1,7 +1,10 @@
-//! Performance snapshot of the fault-simulation campaign: runs `analyze()`
-//! on a paper-suite stand-in at several worker-thread counts and writes the
-//! wall-clock numbers plus the campaign counters (cones simulated, nodes
-//! pruned/converged, waveform allocations) to `BENCH_analysis.json`.
+//! Performance snapshot of the ATPG stage and the fault-simulation
+//! campaign: runs pattern generation plus `analyze()` on a paper-suite
+//! stand-in at several worker-thread counts and writes the wall-clock
+//! numbers plus the campaign counters (cones simulated, nodes
+//! pruned/converged, waveform allocations) and the ATPG grading counters
+//! (cones cached, cone BFS traversals avoided, scratch reuses, matrix
+//! rebuilds avoided, per-phase seconds) to `BENCH_analysis.json`.
 //!
 //! Counters come from each run's own scoped registry
 //! ([`HdfTestFlow::metrics`]) — runs never bleed into one another. The
@@ -65,6 +68,8 @@ fn main() {
     let patterns = base_flow.generate_patterns(Some(profile.pattern_budget));
     let atpg_secs = t.elapsed().as_secs_f64();
     println!("  atpg: {} patterns in {atpg_secs:.2} s", patterns.len());
+    let atpg = atpg_report(atpg_secs, &base_flow.metrics().atpg);
+    print!("{}", atpg.render_table());
 
     let mut runs: Vec<ThreadRun> = Vec::new();
     for &threads in &thread_counts {
@@ -118,13 +123,92 @@ fn main() {
         profile.gates,
         scale,
         patterns.len(),
-        atpg_secs,
+        &atpg,
         &runs,
         &fastmon_obs::profile::report_json(&report),
     );
     std::fs::write(&out_path, json).expect("write snapshot file");
     println!("wrote {out_path}");
     fastmon_obs::finish();
+}
+
+/// The ATPG stage's wall clock, per-phase seconds and grading counters.
+struct AtpgReport {
+    atpg_secs: f64,
+    /// `(phase name, seconds)` for the `atpg_*` spans, pipeline order.
+    phases: Vec<(String, f64)>,
+    /// Grading + PODEM counters from the scoped registry.
+    counters: Vec<(&'static str, u64)>,
+}
+
+impl AtpgReport {
+    /// Cone BFS traversals the cached arena avoided vs what the uncached
+    /// path would have performed: `(performed, would_be, percent_fewer)`.
+    fn bfs_saved(&self) -> (u64, u64, f64) {
+        let get = |name: &str| {
+            self.counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        let performed = get("cone_bfs");
+        let would_be = performed + get("cone_bfs_avoided");
+        let fewer = if would_be > 0 {
+            100.0 * (would_be - performed) as f64 / would_be as f64
+        } else {
+            0.0
+        };
+        (performed, would_be, fewer)
+    }
+
+    /// Before/after-style summary of the grading engine.
+    fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "  atpg phases:");
+        for (phase, secs) in &self.phases {
+            let _ = writeln!(s, "    {phase:<14} {secs:>9.3} s");
+        }
+        let (performed, would_be, fewer) = self.bfs_saved();
+        let _ = writeln!(
+            s,
+            "  cone BFS traversals: {would_be} (uncached) -> {performed} (cached arena), \
+             {fewer:.1}% fewer"
+        );
+        let get = |name: &str| {
+            self.counters
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        let _ = writeln!(
+            s,
+            "  grading scratch: {} reuses / {} allocs; matrix: {} build(s), {} rebuild(s) avoided",
+            get("grade_scratch_reuses"),
+            get("grade_scratch_allocs"),
+            get("matrix_builds"),
+            get("matrix_rebuilds_avoided"),
+        );
+        s
+    }
+}
+
+/// Collects the ATPG report right after pattern generation (the `atpg_*`
+/// spans are not touched by the later analyze runs, so the phase totals
+/// are exact).
+fn atpg_report(atpg_secs: f64, metrics: &fastmon_obs::AtpgMetrics) -> AtpgReport {
+    fastmon_obs::flush();
+    let report = fastmon_obs::profile::snapshot();
+    let mut phases = Vec::new();
+    for name in ["atpg_cones", "atpg_random", "atpg_podem", "atpg_compact"] {
+        if let Some((_, agg)) = report.phases.iter().find(|(n, _)| n == name) {
+            phases.push((name.to_owned(), agg.total_ns as f64 / 1e9));
+        }
+    }
+    AtpgReport {
+        atpg_secs,
+        phases,
+        counters: metrics.entries(),
+    }
 }
 
 /// Hand-rolled JSON (the workspace carries no serde).
@@ -135,7 +219,7 @@ fn render_json(
     gates: usize,
     scale: f64,
     patterns: usize,
-    atpg_secs: f64,
+    atpg: &AtpgReport,
     runs: &[ThreadRun],
     profile_json: &str,
 ) -> String {
@@ -146,7 +230,25 @@ fn render_json(
     let _ = writeln!(s, "  \"gates\": {gates},");
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"patterns\": {patterns},");
-    let _ = writeln!(s, "  \"atpg_secs\": {atpg_secs},");
+    let _ = writeln!(s, "  \"atpg_secs\": {},", atpg.atpg_secs);
+    let _ = writeln!(s, "  \"atpg\": {{");
+    let _ = writeln!(s, "    \"phases\": {{");
+    for (i, (phase, secs)) in atpg.phases.iter().enumerate() {
+        let sep = if i + 1 < atpg.phases.len() { "," } else { "" };
+        let _ = writeln!(s, "      \"{phase}\": {secs}{sep}");
+    }
+    let _ = writeln!(s, "    }},");
+    let (performed, would_be, fewer) = atpg.bfs_saved();
+    let _ = writeln!(s, "    \"cone_bfs_uncached_equivalent\": {would_be},");
+    let _ = writeln!(s, "    \"cone_bfs_performed\": {performed},");
+    let _ = writeln!(s, "    \"cone_bfs_percent_fewer\": {fewer},");
+    let _ = writeln!(s, "    \"counters\": {{");
+    for (i, (name, value)) in atpg.counters.iter().enumerate() {
+        let sep = if i + 1 < atpg.counters.len() { "," } else { "" };
+        let _ = writeln!(s, "      \"{name}\": {value}{sep}");
+    }
+    let _ = writeln!(s, "    }}");
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"runs\": [");
     for (i, r) in runs.iter().enumerate() {
         let sep = if i + 1 < runs.len() { "," } else { "" };

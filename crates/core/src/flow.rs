@@ -259,6 +259,7 @@ impl<'c> HdfTestFlow<'c> {
         let atpg = AtpgConfig {
             seed: self.config.seed,
             max_patterns: pattern_budget,
+            threads: self.config.threads,
             ..AtpgConfig::default()
         };
         generate_with_metrics(self.circuit, &atpg, Some(&self.metrics.atpg)).test_set
@@ -273,6 +274,7 @@ impl<'c> HdfTestFlow<'c> {
         let atpg = AtpgConfig {
             seed: self.config.seed,
             max_patterns: pattern_budget,
+            threads: self.config.threads,
             ..AtpgConfig::default()
         };
         fastmon_atpg::broadside::generate_broadside(self.circuit, &atpg).test_set

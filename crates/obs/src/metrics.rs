@@ -103,7 +103,7 @@ metric_section! {
 }
 
 metric_section! {
-    /// ATPG (PODEM + random phase) counters.
+    /// ATPG (PODEM + random phase + bit-parallel grading) counters.
     AtpgMetrics {
         /// Deterministic PODEM invocations.
         podem_calls,
@@ -117,6 +117,27 @@ metric_section! {
         faults_detected,
         /// Patterns in the final (compacted, budget-capped) set.
         patterns_emitted,
+        /// Fanout cones precomputed into the shared grading arena.
+        cones_cached,
+        /// Fanout-cone BFS traversals actually performed (arena builds +
+        /// uncached fallback grades).
+        cone_bfs,
+        /// Cached grades that skipped a per-call cone BFS (each would have
+        /// been one `fanout_cone` traversal before the arena existed).
+        cone_bfs_avoided,
+        /// Cone gate words evaluated while grading faulty machines.
+        cone_nodes_evaluated,
+        /// Grading scratch buffers allocated (once per worker, plus grows
+        /// on cones longer than any seen before).
+        grade_scratch_allocs,
+        /// Grades served entirely from reusable scratch (zero heap
+        /// allocations on this path).
+        grade_scratch_reuses,
+        /// Full fault × pattern detection-matrix simulations.
+        matrix_builds,
+        /// Matrix re-simulations avoided by re-packing existing rows
+        /// (`DetectionMatrix::select_patterns`).
+        matrix_rebuilds_avoided,
     }
 }
 
