@@ -25,6 +25,24 @@ pub enum AtpgError {
         /// Name of the offending circuit.
         circuit: String,
     },
+    /// A deterministic failpoint fired inside ATPG (test-only injection).
+    Injected {
+        /// Name of the failpoint site that fired.
+        site: &'static str,
+    },
+    /// Cooperative cancellation was observed while generating patterns.
+    Cancelled {
+        /// Phase that observed the cancellation.
+        phase: &'static str,
+    },
+    /// A grading/PODEM worker panicked; the panic was contained and
+    /// converted into this typed error instead of unwinding the caller.
+    WorkerPanicked {
+        /// Phase whose worker panicked.
+        phase: &'static str,
+        /// Best-effort panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for AtpgError {
@@ -47,6 +65,15 @@ impl fmt::Display for AtpgError {
                     f,
                     "circuit `{circuit}` has no combinational sources (inputs or flip-flops)"
                 )
+            }
+            AtpgError::Injected { site } => {
+                write!(f, "injected failure at failpoint '{site}'")
+            }
+            AtpgError::Cancelled { phase } => {
+                write!(f, "pattern generation cancelled during {phase}")
+            }
+            AtpgError::WorkerPanicked { phase, message } => {
+                write!(f, "worker panicked during {phase} (contained): {message}")
             }
         }
     }

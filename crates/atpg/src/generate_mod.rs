@@ -4,8 +4,8 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::matrix::effective_threads;
 use crate::{
-    transition_faults, DetectionMatrix, FaultCones, GradeScratch, PodemEngine, PodemOutcome,
-    StuckAtFault, TestPattern, TestSet, TransitionFault, WordSim,
+    transition_faults, AtpgError, DetectionMatrix, FaultCones, GradeScratch, PodemEngine,
+    PodemOutcome, StuckAtFault, TestPattern, TestSet, TransitionFault, WordSim,
 };
 
 /// Configuration of the transition-fault ATPG flow.
@@ -80,6 +80,10 @@ impl AtpgResult {
 /// Retains only the faults of `undetected` that `ws` does **not** detect,
 /// grading fault-parallel over the cached cone arena. Order is preserved,
 /// so the result is bit-identical for any thread count.
+///
+/// A grading-worker panic (including an injected `atpg_grade` failpoint)
+/// is contained and surfaced as [`AtpgError::WorkerPanicked`]; `undetected`
+/// is left untouched in that case.
 pub(crate) fn retain_undetected(
     undetected: &mut Vec<usize>,
     ws: &WordSim<'_>,
@@ -87,17 +91,22 @@ pub(crate) fn retain_undetected(
     cones: &FaultCones,
     threads: usize,
     metrics: Option<&fastmon_obs::AtpgMetrics>,
-) {
+) -> Result<(), AtpgError> {
     if undetected.is_empty() {
-        return;
+        return Ok(());
     }
     let blocks = ws.num_blocks();
     let threads = threads.min(undetected.len());
-    let hit: Vec<bool> = fastmon_sim::parallel_map_with(
+    let hit: Vec<bool> = fastmon_sim::try_parallel_map_with(
         undetected.len(),
         threads,
         || GradeScratch::for_cones(cones),
         |scratch, i| {
+            // Grading workers have no per-item error channel; both failpoint
+            // actions surface as a contained panic.
+            if let Err(injected) = fastmon_obs::failpoints::fire("atpg_grade") {
+                panic!("{injected}");
+            }
             let fault = &faults[undetected[i]];
             let hit = (0..blocks).any(|b| ws.detect_word_cached(fault, b, cones, scratch) != 0);
             if let Some(m) = metrics {
@@ -105,12 +114,17 @@ pub(crate) fn retain_undetected(
             }
             hit
         },
-    );
+    )
+    .map_err(|panic| AtpgError::WorkerPanicked {
+        phase: "atpg_grade",
+        message: panic.message(),
+    })?;
     let mut it = hit.iter();
     undetected.retain(|_| {
         let &h = it.next().unwrap_or(&false);
         !h
     });
+    Ok(())
 }
 
 /// Generates a compacted transition-fault test set for a full-scan circuit.
@@ -137,12 +151,41 @@ pub fn generate(circuit: &Circuit, config: &AtpgConfig) -> AtpgResult {
 /// counters (cones cached, cone BFS traversals avoided, scratch reuses,
 /// matrix rebuilds avoided) and the final fault tallies into a scoped
 /// [`fastmon_obs::AtpgMetrics`] section.
+///
+/// # Panics
+///
+/// Panics if pattern generation fails, which is only reachable when a
+/// failpoint is armed (see [`try_generate_with_metrics`] for the fallible
+/// variant with cancellation support).
 #[must_use]
 pub fn generate_with_metrics(
     circuit: &Circuit,
     config: &AtpgConfig,
     metrics: Option<&fastmon_obs::AtpgMetrics>,
 ) -> AtpgResult {
+    match try_generate_with_metrics(circuit, config, metrics, None) {
+        Ok(result) => result,
+        Err(e) => panic!("infallible ATPG entry failed: {e}"),
+    }
+}
+
+/// Fallible, cancellable variant of [`generate_with_metrics`].
+///
+/// Checks `cancel` between PODEM targets and observes the `atpg_podem` and
+/// `atpg_grade` failpoints; grading-worker panics are contained and
+/// surfaced as typed errors rather than unwinding the caller.
+///
+/// # Errors
+///
+/// - [`AtpgError::Cancelled`] when `cancel` is triggered mid-generation,
+/// - [`AtpgError::Injected`] when the `atpg_podem` failpoint fires,
+/// - [`AtpgError::WorkerPanicked`] when a grading worker panics.
+pub fn try_generate_with_metrics(
+    circuit: &Circuit,
+    config: &AtpgConfig,
+    metrics: Option<&fastmon_obs::AtpgMetrics>,
+    cancel: Option<&fastmon_obs::CancelToken>,
+) -> Result<AtpgResult, AtpgError> {
     let _atpg_span = fastmon_obs::span!("atpg");
     let faults = transition_faults(circuit);
     let threads = effective_threads(config.threads);
@@ -174,7 +217,7 @@ pub fn generate_with_metrics(
     let mut undetected: Vec<usize> = (0..faults.len()).collect();
     if !set.is_empty() {
         let ws = WordSim::new(circuit, &set);
-        retain_undetected(&mut undetected, &ws, &faults, &cones, threads, metrics);
+        retain_undetected(&mut undetected, &ws, &faults, &cones, threads, metrics)?;
     }
     drop(random_span);
 
@@ -188,19 +231,23 @@ pub fn generate_with_metrics(
     let mut pending: Vec<TestPattern> = Vec::new();
     let mut still_undetected = Vec::new();
 
-    let flush = |pending: &mut Vec<TestPattern>, undetected: &mut Vec<usize>, set: &mut TestSet| {
+    let flush = |pending: &mut Vec<TestPattern>,
+                 undetected: &mut Vec<usize>,
+                 set: &mut TestSet|
+     -> Result<(), AtpgError> {
         if pending.is_empty() {
-            return;
+            return Ok(());
         }
         let mut chunk = TestSet::new(circuit);
         for p in pending.iter().cloned() {
             chunk.push(p);
         }
         let ws = WordSim::new(circuit, &chunk);
-        retain_undetected(undetected, &ws, &faults, &cones, threads, metrics);
+        retain_undetected(undetected, &ws, &faults, &cones, threads, metrics)?;
         for p in pending.drain(..) {
             set.push(p);
         }
+        Ok(())
     };
 
     let worklist = undetected.clone();
@@ -213,6 +260,11 @@ pub fn generate_with_metrics(
     for f in worklist {
         if !remaining[f] {
             continue;
+        }
+        fastmon_obs::failpoints::fire("atpg_podem")
+            .map_err(|e| AtpgError::Injected { site: e.site })?;
+        if cancel.is_some_and(fastmon_obs::CancelToken::is_cancelled) {
+            return Err(AtpgError::Cancelled { phase: "atpg" });
         }
         let fault: &TransitionFault = &faults[f];
         let launch = engine.justify_with_metrics(
@@ -243,7 +295,7 @@ pub fn generate_with_metrics(
                 if pending.len() == 64 {
                     let mut undet: Vec<usize> =
                         (0..faults.len()).filter(|&g| remaining[g]).collect();
-                    flush(&mut pending, &mut undet, &mut set);
+                    flush(&mut pending, &mut undet, &mut set)?;
                     remaining.fill(false);
                     for g in undet {
                         remaining[g] = true;
@@ -263,7 +315,7 @@ pub fn generate_with_metrics(
     }
     {
         let mut undet: Vec<usize> = (0..faults.len()).filter(|&g| remaining[g]).collect();
-        flush(&mut pending, &mut undet, &mut set);
+        flush(&mut pending, &mut undet, &mut set)?;
     }
     drop(podem_span);
 
@@ -272,7 +324,8 @@ pub fn generate_with_metrics(
     // pattern subsets, so they re-pack the existing rows instead of
     // re-simulating
     let _compact_span = fastmon_obs::span!("atpg_compact");
-    let mut matrix = DetectionMatrix::build_with(circuit, &set, &faults, &cones, threads, metrics);
+    let mut matrix =
+        DetectionMatrix::try_build_with(circuit, &set, &faults, &cones, threads, metrics)?;
     if config.compact && !set.is_empty() {
         let kept = matrix.reverse_order_compaction();
         set.retain_indices(&kept);
@@ -300,13 +353,13 @@ pub fn generate_with_metrics(
         m.faults_untestable.add(untestable as u64);
         m.patterns_emitted.add(set.len() as u64);
     }
-    AtpgResult {
+    Ok(AtpgResult {
         test_set: set,
         detected,
         untestable,
         aborted,
         total_faults: faults.len(),
-    }
+    })
 }
 
 /// Greedily selects up to `cap` patterns maximizing fault coverage.

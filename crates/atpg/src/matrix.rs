@@ -53,14 +53,40 @@ impl DetectionMatrix {
         threads: usize,
         metrics: Option<&fastmon_obs::AtpgMetrics>,
     ) -> Self {
+        match Self::try_build_with(circuit, set, faults, cones, threads, metrics) {
+            Ok(matrix) => matrix,
+            Err(e) => panic!("detection-matrix build failed: {e}"),
+        }
+    }
+
+    /// Panic-isolating variant of [`DetectionMatrix::build_with`]: a
+    /// grading worker panic (including an injected `atpg_grade` failpoint)
+    /// is contained and surfaced as a typed [`crate::AtpgError`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::AtpgError::WorkerPanicked`] when a grading worker panics.
+    pub fn try_build_with(
+        circuit: &Circuit,
+        set: &TestSet,
+        faults: &[TransitionFault],
+        cones: &FaultCones,
+        threads: usize,
+        metrics: Option<&fastmon_obs::AtpgMetrics>,
+    ) -> Result<Self, crate::AtpgError> {
         let ws = WordSim::new(circuit, set);
         let blocks = ws.num_blocks();
         let threads = effective_threads(threads).min(faults.len().max(1));
-        let rows = fastmon_sim::parallel_map_with(
+        let rows = fastmon_sim::try_parallel_map_with(
             faults.len(),
             threads,
             || GradeScratch::for_cones(cones),
             |scratch, f| {
+                // Grading workers have no per-item error channel; both
+                // failpoint actions surface as a contained panic.
+                if let Err(injected) = fastmon_obs::failpoints::fire("atpg_grade") {
+                    panic!("{injected}");
+                }
                 let row: Vec<u64> = (0..blocks)
                     .map(|b| ws.detect_word_cached(&faults[f], b, cones, scratch))
                     .collect();
@@ -69,14 +95,18 @@ impl DetectionMatrix {
                 }
                 row
             },
-        );
+        )
+        .map_err(|panic| crate::AtpgError::WorkerPanicked {
+            phase: "atpg_grade",
+            message: panic.message(),
+        })?;
         if let Some(m) = metrics {
             m.matrix_builds.incr();
         }
-        DetectionMatrix {
+        Ok(DetectionMatrix {
             rows,
             num_patterns: set.len(),
-        }
+        })
     }
 
     /// Number of faults (rows).

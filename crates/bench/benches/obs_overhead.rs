@@ -44,6 +44,23 @@ fn bench_obs_overhead(c: &mut Criterion) {
 
     // Leave the process in the disabled state for any later benches.
     fastmon_obs::force_enable(fastmon_obs::TraceMode::Off, None);
+
+    // Failpoints share the disabled-path contract: with no schedule
+    // configured, `fire()` must stay one relaxed load + predictable branch.
+    fastmon_obs::failpoints::clear();
+    c.bench_function("obs/failpoint_fire_disabled", |b| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                std::hint::black_box(fastmon_obs::failpoints::fire("campaign_band")).ok();
+            }
+        })
+    });
+
+    // And the end-to-end guard: the whole campaign with the failpoint
+    // subsystem disarmed must match the trace-off baseline above.
+    c.bench_function("obs/s27_flow_failpoints_disabled", |b| {
+        b.iter(|| std::hint::black_box(campaign(&circuit)))
+    });
 }
 
 criterion_group! {

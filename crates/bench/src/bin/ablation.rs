@@ -23,10 +23,22 @@ use fastmon_netlist::generate::CircuitProfile;
 fn main() {
     let base = ExperimentConfig::from_env();
     // one register-dominated stand-in, mid size
-    let profile = CircuitProfile::named("s13207").expect("known profile");
+    let Some(profile) = CircuitProfile::named("s13207") else {
+        eprintln!("[ablation] paper-suite profile 's13207' is missing from the generator");
+        std::process::exit(1);
+    };
     let scale = (base.target_gates as f64 / profile.gates as f64).min(1.0);
     let profile = profile.scaled(scale);
-    let circuit = profile.generate(base.seed).expect("profile generates");
+    let circuit = match profile.generate(base.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "[ablation] cannot generate the {} stand-in: {e}",
+                profile.name
+            );
+            std::process::exit(1);
+        }
+    };
     println!(
         "# Ablations on the {} stand-in (scale {:.3}, seed {})\n",
         profile.name, scale, base.seed
@@ -168,7 +180,10 @@ fn main() {
                         pattern_of.push(*p);
                         combos.len() - 1
                     });
-                    combos[idx].push(u32::try_from(k).expect("fault idx"));
+                    combos[idx].push(u32::try_from(k).unwrap_or_else(|_| {
+                        eprintln!("[ablation] fault index {k} exceeds u32 set-cover capacity");
+                        std::process::exit(1);
+                    }));
                 }
             }
         }

@@ -35,6 +35,26 @@ struct ThreadRun {
     stats: CampaignStats,
 }
 
+/// Robustness counters summed over every flow of the snapshot (ATPG + one
+/// analyze per thread count): failpoints fired, checkpoint retries,
+/// cancel latency and contained worker panics. All zero in a healthy
+/// uninjected run — the JSON records that explicitly.
+#[derive(Default)]
+struct RobustnessTotals {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl RobustnessTotals {
+    fn absorb(&mut self, section: &fastmon_obs::RobustnessMetrics) {
+        for (name, value) in section.entries() {
+            match self.entries.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += value,
+                None => self.entries.push((name, value)),
+            }
+        }
+    }
+}
+
 fn main() {
     // Keep at least profile-mode spans on so the self-time table below has
     // data; a FASTMON_TRACE=1 environment still gets the full event log.
@@ -51,11 +71,19 @@ fn main() {
     let out_path =
         std::env::var("FASTMON_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_analysis.json".to_owned());
 
-    let profile = CircuitProfile::named(&name)
-        .unwrap_or_else(|| panic!("unknown paper-suite profile '{name}'"));
+    let Some(profile) = CircuitProfile::named(&name) else {
+        eprintln!("perf_snapshot: unknown paper-suite profile '{name}'");
+        std::process::exit(1);
+    };
     let scale = (config.target_gates as f64 / profile.gates as f64).min(1.0);
     let profile = profile.scaled(scale);
-    let circuit = profile.generate(config.seed).expect("profile generates");
+    let circuit = match profile.generate(config.seed) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("perf_snapshot: cannot generate the {name} stand-in: {e}");
+            std::process::exit(1);
+        }
+    };
 
     println!(
         "perf_snapshot: {name} stand-in scaled to {} gates (scale {scale:.4})",
@@ -70,6 +98,8 @@ fn main() {
     println!("  atpg: {} patterns in {atpg_secs:.2} s", patterns.len());
     let atpg = atpg_report(atpg_secs, &base_flow.metrics().atpg);
     print!("{}", atpg.render_table());
+    let mut robustness = RobustnessTotals::default();
+    robustness.absorb(&base_flow.metrics().robustness);
 
     let mut runs: Vec<ThreadRun> = Vec::new();
     for &threads in &thread_counts {
@@ -95,6 +125,7 @@ fn main() {
             snap.waveform_allocs,
             snap.waveform_reuses,
         );
+        robustness.absorb(&flow.metrics().robustness);
         runs.push(ThreadRun {
             threads,
             analyze_secs,
@@ -125,9 +156,13 @@ fn main() {
         patterns.len(),
         &atpg,
         &runs,
+        &robustness,
         &fastmon_obs::profile::report_json(&report),
     );
-    std::fs::write(&out_path, json).expect("write snapshot file");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("perf_snapshot: cannot write snapshot {out_path}: {e}");
+        std::process::exit(1);
+    }
     println!("wrote {out_path}");
     fastmon_obs::finish();
 }
@@ -221,6 +256,7 @@ fn render_json(
     patterns: usize,
     atpg: &AtpgReport,
     runs: &[ThreadRun],
+    robustness: &RobustnessTotals,
     profile_json: &str,
 ) -> String {
     let mut s = String::new();
@@ -270,6 +306,16 @@ fn render_json(
         let _ = writeln!(s, "    }}{sep}");
     }
     let _ = writeln!(s, "  ],");
+    let _ = writeln!(s, "  \"robustness\": {{");
+    for (i, (name, value)) in robustness.entries.iter().enumerate() {
+        let sep = if i + 1 < robustness.entries.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(s, "    \"{name}\": {value}{sep}");
+    }
+    let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"phase_profile\": {profile_json}");
     let _ = writeln!(s, "}}");
     s

@@ -8,12 +8,21 @@
 //! A crashing, failing or hung experiment does **not** abort the campaign:
 //! the driver records the outcome (with the tail of the child's stderr) in
 //! `RUN_MANIFEST.json`, moves on to the next experiment, and only at the
-//! end exits nonzero if anything failed. Environment knobs:
+//! end exits nonzero if anything failed.
+//!
+//! Timeouts escalate gracefully: every child is handed the per-child
+//! timeout as a *soft* deadline (`FASTMON_DEADLINE_SECS`), so a
+//! well-behaved child stops cooperatively at a checkpoint boundary and
+//! exits with the `cancelled` code — the manifest records it as
+//! `cancelled` (artifacts trustworthy). Only a child that also overruns
+//! the grace period is killed and recorded as `timed-out` (artifacts
+//! suspect). Environment knobs:
 //!
 //! | variable | meaning | default |
 //! |---|---|---|
 //! | `FASTMON_RUN_ALL_BINS` | comma-separated child list (names are resolved next to this binary; entries with a path separator are used verbatim) | `fig3,table1,table2,table3` |
-//! | `FASTMON_RUN_ALL_TIMEOUT_SECS` | per-child timeout in seconds | `3600` |
+//! | `FASTMON_RUN_ALL_TIMEOUT_SECS` | per-child soft deadline in seconds | `3600` |
+//! | `FASTMON_RUN_ALL_GRACE_SECS` | extra seconds a soft-cancelled child gets before being killed | `30` |
 //! | `FASTMON_MANIFEST` | manifest output path | `RUN_MANIFEST.json` |
 //!
 //! Telemetry: every child runs with `FASTMON_PROFILE_OUT` pointing at a
@@ -30,6 +39,7 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use fastmon_bench::manifest::{write_manifest, RunOutcome, RunRecord};
+use fastmon_bench::EXIT_CANCELLED;
 
 /// How many trailing stderr lines each manifest entry keeps.
 const STDERR_TAIL_LINES: usize = 20;
@@ -56,6 +66,12 @@ fn run() -> i32 {
             .and_then(|v| v.parse().ok())
             .unwrap_or(3600),
     );
+    let grace = Duration::from_secs(
+        std::env::var("FASTMON_RUN_ALL_GRACE_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(30),
+    );
     let manifest_path = PathBuf::from(
         std::env::var("FASTMON_MANIFEST").unwrap_or_else(|_| "RUN_MANIFEST.json".into()),
     );
@@ -77,7 +93,7 @@ fn run() -> i32 {
     let mut records: Vec<RunRecord> = Vec::with_capacity(bins.len());
     for name in &bins {
         println!("\n==================== {name} ====================\n");
-        let record = run_child(name, bin_dir.as_deref(), timeout, &profile_dir);
+        let record = run_child(name, bin_dir.as_deref(), timeout, grace, &profile_dir);
         match &record.outcome {
             RunOutcome::Success => {
                 eprintln!("[run_all] {name}: ok ({:.1}s)", record.duration_secs);
@@ -88,8 +104,17 @@ fn run() -> i32 {
                     exit_code, record.duration_secs
                 );
             }
+            RunOutcome::Cancelled { deadline_secs } => {
+                eprintln!(
+                    "[run_all] {name}: CANCELLED at the {deadline_secs}s soft deadline \
+                     (checkpoint flushed, {:.1}s) — continuing",
+                    record.duration_secs
+                );
+            }
             RunOutcome::TimedOut { limit_secs } => {
-                eprintln!("[run_all] {name}: TIMED OUT after {limit_secs}s — continuing");
+                eprintln!(
+                    "[run_all] {name}: TIMED OUT after {limit_secs}s + grace (killed) — continuing"
+                );
             }
             RunOutcome::LaunchFailed { message } => {
                 eprintln!("[run_all] {name}: LAUNCH FAILED ({message}) — continuing");
@@ -192,6 +217,7 @@ fn run_child(
     name: &str,
     bin_dir: Option<&Path>,
     timeout: Duration,
+    grace: Duration,
     profile_dir: &Path,
 ) -> RunRecord {
     let program = resolve(name, bin_dir);
@@ -210,6 +236,13 @@ fn run_child(
         .stdout(Stdio::inherit())
         .stderr(Stdio::piped())
         .env("FASTMON_PROFILE_OUT", &profile_path);
+    // Soft-cancel escalation: the child gets the timeout as a cooperative
+    // deadline so it can stop at a checkpoint boundary and exit cleanly;
+    // the hard kill below only fires after the extra grace period. An
+    // explicitly exported FASTMON_DEADLINE_SECS wins over this policy.
+    if std::env::var_os("FASTMON_DEADLINE_SECS").is_none() {
+        command.env("FASTMON_DEADLINE_SECS", format!("{}", timeout.as_secs()));
+    }
     if tracing_requested() {
         let base =
             std::env::var_os("FASTMON_TRACE_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from);
@@ -241,11 +274,16 @@ fn run_child(
         });
     }
 
+    let mut soft_deadline_logged = false;
     let outcome = loop {
         match child.try_wait() {
             Ok(Some(status)) => {
                 break if status.success() {
                     RunOutcome::Success
+                } else if status.code() == Some(EXIT_CANCELLED) {
+                    RunOutcome::Cancelled {
+                        deadline_secs: timeout.as_secs(),
+                    }
                 } else {
                     RunOutcome::Failed {
                         exit_code: status.code(),
@@ -253,12 +291,21 @@ fn run_child(
                 };
             }
             Ok(None) => {
-                if start.elapsed() > timeout {
+                if start.elapsed() > timeout + grace {
                     let _ = child.kill();
                     let _ = child.wait();
                     break RunOutcome::TimedOut {
                         limit_secs: timeout.as_secs(),
                     };
+                }
+                if start.elapsed() > timeout && !soft_deadline_logged {
+                    soft_deadline_logged = true;
+                    eprintln!(
+                        "[run_all] {name}: past the {}s soft deadline; waiting up to {}s \
+                         for a cooperative stop before killing",
+                        timeout.as_secs(),
+                        grace.as_secs()
+                    );
                 }
                 std::thread::sleep(Duration::from_millis(25));
             }

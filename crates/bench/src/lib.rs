@@ -33,9 +33,27 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use fastmon_atpg::TestSet;
-use fastmon_core::{CheckpointStore, DetectionAnalysis, FlowConfig, HdfTestFlow};
+use fastmon_core::{CheckpointStore, DetectionAnalysis, FlowConfig, FlowError, HdfTestFlow};
 use fastmon_netlist::generate::{paper_suite, CircuitProfile};
 use fastmon_netlist::Circuit;
+
+/// Exit code for a run that stopped cooperatively at a cancellation
+/// boundary (a `FASTMON_DEADLINE_SECS` deadline or an explicit soft
+/// cancel): partial results are checkpointed and trustworthy. Follows BSD
+/// `EX_TEMPFAIL` — the `run_all` driver records it as `cancelled` rather
+/// than `failed`.
+pub const EXIT_CANCELLED: i32 = 75;
+
+/// Reports a flow error with a one-line diagnostic and exits: cancellation
+/// is a clean stop ([`EXIT_CANCELLED`]), everything else is a failure (1).
+fn exit_flow_error(circuit: &str, phase: &str, e: &FlowError) -> ! {
+    if matches!(e, FlowError::Cancelled { .. }) {
+        eprintln!("[bench] {circuit}: {e}; progress checkpointed, exiting cleanly");
+        std::process::exit(EXIT_CANCELLED);
+    }
+    eprintln!("[bench] {circuit}: {phase} failed: {e}");
+    std::process::exit(1);
+}
 
 /// Configuration of an experiment run, read from the environment.
 #[derive(Debug, Clone)]
@@ -160,7 +178,10 @@ pub fn with_run<R>(
     let flow = HdfTestFlow::prepare(&circuit, &flow_config);
 
     let t = Instant::now();
-    let patterns = flow.generate_patterns(Some(profile.pattern_budget));
+    let patterns = match flow.try_generate_patterns(Some(profile.pattern_budget)) {
+        Ok(p) => p,
+        Err(e) => exit_flow_error(&profile.name, "pattern generation", &e),
+    };
     let atpg_secs = t.elapsed().as_secs_f64();
 
     let store = checkpoint_store(&profile.name);
@@ -176,6 +197,14 @@ pub fn with_run<R>(
     let t = Instant::now();
     let analysis = match flow.analyze_resumable(&patterns, &store) {
         Ok(a) => a,
+        // A cancelled campaign already flushed its last band checkpoint;
+        // resuming later is bit-identical, so do NOT fall back to an
+        // un-checkpointed rerun here.
+        Err(
+            e @ (FlowError::Cancelled { .. }
+            | FlowError::Injected { .. }
+            | FlowError::WorkerPanic { .. }),
+        ) => exit_flow_error(&profile.name, "fault simulation", &e),
         Err(e) => {
             eprintln!(
                 "[bench] {}: checkpointing unavailable ({e}); rerunning without checkpoints",

@@ -23,7 +23,16 @@ pub enum RunOutcome {
         /// The child's exit code, if it exited normally.
         exit_code: Option<i32>,
     },
-    /// The child exceeded the per-child timeout and was killed.
+    /// The child observed the soft-cancel deadline (`FASTMON_DEADLINE_SECS`)
+    /// and exited cleanly with [`crate::EXIT_CANCELLED`] inside the grace
+    /// period: its final checkpoint is flushed and its partial artifacts
+    /// are trustworthy, unlike a `timed-out` (killed) child.
+    Cancelled {
+        /// The soft deadline the child was given, in seconds.
+        deadline_secs: u64,
+    },
+    /// The child exceeded the per-child timeout *plus* the soft-cancel
+    /// grace period and was killed; its artifacts may be incomplete.
     TimedOut {
         /// The timeout that was enforced, in seconds.
         limit_secs: u64,
@@ -48,6 +57,7 @@ impl RunOutcome {
         match self {
             RunOutcome::Success => "success",
             RunOutcome::Failed { .. } => "failed",
+            RunOutcome::Cancelled { .. } => "cancelled",
             RunOutcome::TimedOut { .. } => "timed-out",
             RunOutcome::LaunchFailed { .. } => "launch-failed",
         }
@@ -113,6 +123,9 @@ pub fn manifest_json(records: &[RunRecord]) -> String {
                     let _ = writeln!(out, "      \"exit_code\": null,");
                 }
             },
+            RunOutcome::Cancelled { deadline_secs } => {
+                let _ = writeln!(out, "      \"deadline_secs\": {deadline_secs},");
+            }
             RunOutcome::TimedOut { limit_secs } => {
                 let _ = writeln!(out, "      \"timeout_secs\": {limit_secs},");
             }
@@ -186,6 +199,13 @@ mod tests {
             profile: None,
             },
             RunRecord {
+                name: "fig3-soft".into(),
+                outcome: RunOutcome::Cancelled { deadline_secs: 60 },
+                duration_secs: 61.5,
+                stderr_tail: vec!["run cancelled during analyze".into()],
+                profile: None,
+            },
+            RunRecord {
                 name: "missing".into(),
                 outcome: RunOutcome::LaunchFailed {
                     message: "no such file".into(),
@@ -200,6 +220,8 @@ mod tests {
         assert!(json.contains("\"outcome\": \"success\""));
         assert!(json.contains("\"exit_code\": 3"));
         assert!(json.contains("\"timeout_secs\": 60"));
+        assert!(json.contains("\"outcome\": \"cancelled\""));
+        assert!(json.contains("\"deadline_secs\": 60"));
         assert!(json.contains("\"error\": \"no such file\""));
         assert!(json.contains("boom \\\"quoted\\\""));
         assert!(json.contains("\"profile\": {\"schema_version\":1"));

@@ -73,6 +73,9 @@ fn hung_child_is_timed_out() {
     let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
         .env("FASTMON_RUN_ALL_BINS", script.display().to_string())
         .env("FASTMON_RUN_ALL_TIMEOUT_SECS", "1")
+        // the script ignores FASTMON_DEADLINE_SECS, so after the soft
+        // deadline plus this grace period the driver must kill it
+        .env("FASTMON_RUN_ALL_GRACE_SECS", "1")
         .env("FASTMON_MANIFEST", &manifest)
         .output()
         .expect("run_all launches");
@@ -80,5 +83,38 @@ fn hung_child_is_timed_out() {
     let json = std::fs::read_to_string(&manifest).unwrap();
     assert!(json.contains("\"outcome\": \"timed-out\""));
     assert!(json.contains("\"timeout_secs\": 1"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cooperative_child_is_recorded_as_cancelled() {
+    let dir = scratch("cancel");
+    let manifest = dir.join("RUN_MANIFEST.json");
+    // a well-behaved child: sees the soft deadline the driver exports and
+    // exits with EXIT_CANCELLED (75) instead of hanging until the kill
+    let script = dir.join("cancel.sh");
+    std::fs::write(
+        &script,
+        "#!/bin/sh\ntest -n \"$FASTMON_DEADLINE_SECS\" || exit 1\nexit 75\n",
+    )
+    .unwrap();
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt as _;
+        std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755)).unwrap();
+    }
+    let output = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env("FASTMON_RUN_ALL_BINS", script.display().to_string())
+        .env("FASTMON_RUN_ALL_TIMEOUT_SECS", "7")
+        .env("FASTMON_MANIFEST", &manifest)
+        .output()
+        .expect("run_all launches");
+    assert!(
+        !output.status.success(),
+        "a cancelled child is not a success"
+    );
+    let json = std::fs::read_to_string(&manifest).unwrap();
+    assert!(json.contains("\"outcome\": \"cancelled\""), "got {json}");
+    assert!(json.contains("\"deadline_secs\": 7"), "got {json}");
     std::fs::remove_dir_all(&dir).ok();
 }

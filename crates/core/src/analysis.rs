@@ -4,10 +4,11 @@ use fastmon_monitor::{
     at_speed_monitor_detectable, shifted_detection, ConfigSet, MonitorConfig, MonitorPlacement,
 };
 use fastmon_netlist::{Circuit, NodeId, PinRef};
-use fastmon_sim::{parallel_map, parallel_map_with, ConeScratch, SimEngine};
+use fastmon_sim::{parallel_map, try_parallel_map_with, ConeScratch, SimEngine};
 use fastmon_timing::{ClockSpec, DelayAnnotation, Time};
 
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
+use crate::error::FlowError;
 
 /// Per-fault detectability verdict after fault simulation and monitor
 /// analysis (steps ②–⑤ of the paper's flow).
@@ -127,11 +128,16 @@ impl DetectionAnalysis {
             glitch_threshold,
             threads,
             metrics,
+            None,
             progress,
             &mut |_| Ok(()),
         ) {
             Ok(analysis) => analysis,
-            Err(e) => unreachable!("no-op checkpoint callback cannot fail: {e}"),
+            // Unreachable without an armed failpoint schedule: the no-op
+            // checkpoint callback cannot fail, no cancel token is passed
+            // and healthy workers do not panic. Under injection, callers
+            // needing a typed error use the fallible flow entry points.
+            Err(e) => panic!("infallible campaign entry failed: {e}"),
         }
     }
 
@@ -145,6 +151,14 @@ impl DetectionAnalysis {
     /// Because per-pattern results are merged in a fixed ascending pattern
     /// order, resuming from any band boundary is bit-identical to an
     /// uninterrupted run, for any thread count on either side.
+    ///
+    /// Robustness hooks: the `campaign_band` failpoint fires once per band
+    /// (surfacing [`FlowError::Injected`]), the `sim_worker` failpoint
+    /// fires inside worker bodies (surfacing as a contained
+    /// [`FlowError::WorkerPanic`]), worker panics are isolated via
+    /// [`try_parallel_map_with`], and `cancel` is checked after every band
+    /// checkpoint so a cancelled campaign always stops at a band boundary
+    /// with its progress already persisted.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn compute_with_progress(
         circuit: &Circuit,
@@ -157,9 +171,10 @@ impl DetectionAnalysis {
         glitch_threshold: Time,
         threads: usize,
         metrics: Option<&fastmon_obs::MetricsRegistry>,
+        cancel: Option<&fastmon_obs::CancelToken>,
         mut progress: CampaignCheckpoint,
         on_band: &mut dyn FnMut(&CampaignCheckpoint) -> Result<(), CheckpointError>,
-    ) -> Result<Self, CheckpointError> {
+    ) -> Result<Self, FlowError> {
         debug_assert_eq!(progress.per_pattern.len(), faults.len());
         debug_assert_eq!(progress.raw_union.len(), faults.len());
         let _analyze_span = fastmon_obs::span!("analyze");
@@ -210,21 +225,41 @@ impl DetectionAnalysis {
         // on small pattern sets, which `clamp` rejects with a panic.
         let band_size = (threads * 2).max(4).min(num_patterns.max(1));
 
+        let contained = |panic: fastmon_sim::WorkerPanic| {
+            if let Some(m) = metrics {
+                m.robustness.worker_panics_contained.incr();
+            }
+            FlowError::WorkerPanic {
+                phase: "analyze",
+                message: panic.message(),
+            }
+        };
+
         let mut band_start = progress.next_pattern.min(num_patterns);
         while band_start < num_patterns {
             let _band_span = fastmon_obs::span!("band", band_start / band_size);
+            fastmon_obs::failpoints::fire("campaign_band")?;
             let band_len = band_size.min(num_patterns - band_start);
             // fault-free responses of the band, computed once, shared
             // read-only by every gate chunk
-            let bases = parallel_map(band_len, threads, |i| {
-                engine.simulate(&patterns.stimulus(circuit, band_start + i))
-            });
+            let bases = try_parallel_map_with(
+                band_len,
+                threads,
+                || (),
+                |(), i| engine.simulate(&patterns.stimulus(circuit, band_start + i)),
+            )
+            .map_err(contained)?;
 
-            let chunk_results = parallel_map_with(
+            let chunk_results = try_parallel_map_with(
                 band_len * num_chunks,
                 threads,
                 || (ConeScratch::new(circuit), Vec::new()),
                 |(scratch, diffs), item| {
+                    // Worker bodies have no error channel; both failpoint
+                    // actions surface as a contained panic.
+                    if let Err(injected) = fastmon_obs::failpoints::fire("sim_worker") {
+                        panic!("{injected}");
+                    }
                     let base = &bases[item / num_chunks];
                     let chunk = item % num_chunks;
                     let lo = chunk * by_gate.len() / num_chunks;
@@ -266,7 +301,8 @@ impl DetectionAnalysis {
                     }
                     found
                 },
-            );
+            )
+            .map_err(contained)?;
 
             // merge in fixed (pattern, chunk) order — the result is
             // bit-identical for any thread count
@@ -280,7 +316,12 @@ impl DetectionAnalysis {
             }
             band_start += band_len;
             progress.next_pattern = band_start;
-            on_band(&progress)?;
+            on_band(&progress).map_err(FlowError::Checkpoint)?;
+            // Cancellation is observed *after* the band checkpoint, so a
+            // cancelled campaign always leaves a resumable file behind.
+            if let Some(token) = cancel {
+                token.check("analyze")?;
+            }
         }
 
         // derived ranges and verdicts

@@ -149,6 +149,17 @@ pub struct CheckpointStore {
     saves: Cell<usize>,
 }
 
+/// Maps an [`fastmon_obs::InjectedFailure`] into the same
+/// [`CheckpointError::Io`] shape a real syscall failure produces, so every
+/// downstream recovery path (retry, degrade-to-restart) treats injections
+/// exactly like genuine transient I/O.
+fn injected_io(op: &'static str) -> impl Fn(fastmon_obs::InjectedFailure) -> CheckpointError {
+    move |e| CheckpointError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
 impl CheckpointStore {
     /// Creates a store persisting to `path`.
     #[must_use]
@@ -200,10 +211,16 @@ impl CheckpointStore {
         let mut tmp = self.path.clone().into_os_string();
         tmp.push(".tmp");
         let tmp = PathBuf::from(tmp);
+        // Failpoints fire *before* their syscall so an injected failure
+        // never leaves a half-written file behind (the real write/rename
+        // is skipped entirely); injected errors are indistinguishable from
+        // transient I/O to the retry machinery upstream.
+        fastmon_obs::failpoints::fire("checkpoint_write").map_err(injected_io("write"))?;
         std::fs::write(&tmp, &bytes).map_err(|e| CheckpointError::Io {
             op: "write",
             message: e.to_string(),
         })?;
+        fastmon_obs::failpoints::fire("checkpoint_rename").map_err(injected_io("rename"))?;
         std::fs::rename(&tmp, &self.path).map_err(|e| CheckpointError::Io {
             op: "rename",
             message: e.to_string(),
@@ -227,6 +244,7 @@ impl CheckpointStore {
     /// [`Truncated`](CheckpointError::Truncated)) when the file is not a
     /// valid current-version checkpoint.
     pub fn load(&self) -> Result<CampaignCheckpoint, CheckpointError> {
+        fastmon_obs::failpoints::fire("checkpoint_load").map_err(injected_io("read"))?;
         let bytes = std::fs::read(&self.path).map_err(|e| {
             if e.kind() == std::io::ErrorKind::NotFound {
                 CheckpointError::Missing
@@ -535,5 +553,38 @@ mod tests {
         // the interrupted save still reached the disk
         assert_eq!(store.load().unwrap(), cp);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    // Decoding is exposed to whatever bytes happen to be on disk; it must
+    // map *any* input to a typed error or a valid checkpoint, never panic.
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn decoding_arbitrary_bytes_never_panics(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512)
+        ) {
+            match decode(&bytes) {
+                Ok(cp) => prop_assert!(cp.per_pattern.len() == cp.raw_union.len()),
+                Err(e) => {
+                    // every error renders (Display is part of the contract)
+                    prop_assert!(!e.to_string().is_empty());
+                }
+            }
+        }
+
+        #[test]
+        fn decoding_mutated_valid_checkpoints_never_panics(
+            pos in 0usize..4096,
+            mask in 0u8..255,
+        ) {
+            let mut bytes = encode(&sample());
+            let len = bytes.len();
+            // mask + 1 keeps the XOR non-trivial (1..=255)
+            bytes[pos % len] ^= mask + 1;
+            if let Err(e) = decode(&bytes) {
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
     }
 }

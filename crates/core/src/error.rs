@@ -64,6 +64,26 @@ pub enum FlowError {
     /// Campaign checkpointing failed in a way that cannot be degraded into
     /// a clean restart (e.g. the checkpoint file cannot be written).
     Checkpoint(CheckpointError),
+    /// A deterministic failpoint (`FASTMON_FAILPOINTS`) injected a failure
+    /// at a flow-level site; only possible when injection is armed.
+    Injected {
+        /// The failpoint site that fired.
+        site: &'static str,
+    },
+    /// The run was cancelled cooperatively (explicit request or
+    /// `FASTMON_DEADLINE_SECS` deadline) and stopped at a safe boundary.
+    Cancelled {
+        /// The flow phase that observed the cancellation.
+        phase: &'static str,
+    },
+    /// A parallel worker panicked; the panic was contained by
+    /// `catch_unwind` instead of aborting the process.
+    WorkerPanic {
+        /// The flow phase whose pool contained the panic.
+        phase: &'static str,
+        /// The rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -74,6 +94,13 @@ impl fmt::Display for FlowError {
             FlowError::Atpg(e) => write!(f, "atpg error: {e}"),
             FlowError::Schedule(e) => write!(f, "schedule error: {e}"),
             FlowError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            FlowError::Injected { site } => {
+                write!(f, "injected failure at failpoint '{site}'")
+            }
+            FlowError::Cancelled { phase } => write!(f, "run cancelled during {phase}"),
+            FlowError::WorkerPanic { phase, message } => {
+                write!(f, "worker panicked during {phase} (contained): {message}")
+            }
         }
     }
 }
@@ -86,7 +113,22 @@ impl std::error::Error for FlowError {
             FlowError::Atpg(e) => Some(e),
             FlowError::Schedule(e) => Some(e),
             FlowError::Checkpoint(e) => Some(e),
+            FlowError::Injected { .. }
+            | FlowError::Cancelled { .. }
+            | FlowError::WorkerPanic { .. } => None,
         }
+    }
+}
+
+impl From<fastmon_obs::InjectedFailure> for FlowError {
+    fn from(e: fastmon_obs::InjectedFailure) -> Self {
+        FlowError::Injected { site: e.site }
+    }
+}
+
+impl From<fastmon_obs::Cancelled> for FlowError {
+    fn from(e: fastmon_obs::Cancelled) -> Self {
+        FlowError::Cancelled { phase: e.phase }
     }
 }
 

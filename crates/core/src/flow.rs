@@ -1,4 +1,4 @@
-use fastmon_atpg::{generate_with_metrics, AtpgConfig, TestSet};
+use fastmon_atpg::{try_generate_with_metrics, AtpgConfig, AtpgError, TestSet};
 use fastmon_faults::{classify, DetectionRange, FaultClass, FaultList, Polarity};
 use fastmon_monitor::{ConfigSet, MonitorPlacement};
 use fastmon_netlist::{Circuit, NetlistError, PinRef};
@@ -56,6 +56,7 @@ pub struct HdfTestFlow<'c> {
     counts: FlowCounts,
     candidate_faults: FaultList,
     metrics: MetricsRegistry,
+    cancel: Option<fastmon_obs::CancelToken>,
 }
 
 impl<'c> HdfTestFlow<'c> {
@@ -184,7 +185,44 @@ impl<'c> HdfTestFlow<'c> {
             counts,
             candidate_faults,
             metrics,
+            // A `FASTMON_DEADLINE_SECS` deadline token is armed from the
+            // environment; `with_cancel` replaces it for in-process control.
+            cancel: fastmon_obs::cancel::from_env(),
         })
+    }
+
+    /// Installs a cooperative-cancellation token: the cancellable flow
+    /// steps ([`HdfTestFlow::try_generate_patterns`],
+    /// [`HdfTestFlow::try_analyze`], [`HdfTestFlow::analyze_resumable`],
+    /// the ILP scheduler) observe it at safe boundaries and return
+    /// [`FlowError::Cancelled`]. Replaces any token armed from
+    /// `FASTMON_DEADLINE_SECS`.
+    #[must_use]
+    pub fn with_cancel(mut self, token: fastmon_obs::CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The active cancellation token, if any (installed via
+    /// [`HdfTestFlow::with_cancel`] or armed from
+    /// `FASTMON_DEADLINE_SECS`).
+    #[must_use]
+    pub fn cancel_token(&self) -> Option<&fastmon_obs::CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Stamps the request→stop latency into
+    /// `robustness.cancel_latency_ms` the first time a phase surfaces a
+    /// [`FlowError::Cancelled`].
+    fn record_cancel_latency(&self) {
+        if let Some(latency) = self
+            .cancel
+            .as_ref()
+            .and_then(fastmon_obs::CancelToken::latency_since_request)
+        {
+            let ms = u64::try_from(latency.as_millis()).unwrap_or(u64::MAX);
+            self.metrics.robustness.cancel_latency_ms.add(ms);
+        }
     }
 
     /// The circuit under test.
@@ -254,15 +292,59 @@ impl<'c> HdfTestFlow<'c> {
 
     /// Runs the transition-fault ATPG, optionally capped at
     /// `pattern_budget` patterns (the paper's `|P|` per circuit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if generation fails, which is only reachable with an armed
+    /// failpoint schedule or an already-cancelled token; use
+    /// [`HdfTestFlow::try_generate_patterns`] in those settings.
     #[must_use]
     pub fn generate_patterns(&self, pattern_budget: Option<usize>) -> TestSet {
+        match self.try_generate_patterns(pattern_budget) {
+            Ok(set) => set,
+            Err(e) => panic!("cannot generate patterns: {e}"),
+        }
+    }
+
+    /// Fallible, cancellable variant of
+    /// [`HdfTestFlow::generate_patterns`]: observes the flow's
+    /// cancellation token between PODEM targets and the `atpg_grade` /
+    /// `atpg_podem` failpoints.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::Cancelled`] when the token trips mid-generation,
+    /// * [`FlowError::Atpg`] for injected or contained-panic ATPG
+    ///   failures.
+    pub fn try_generate_patterns(
+        &self,
+        pattern_budget: Option<usize>,
+    ) -> Result<TestSet, FlowError> {
         let atpg = AtpgConfig {
             seed: self.config.seed,
             max_patterns: pattern_budget,
             threads: self.config.threads,
             ..AtpgConfig::default()
         };
-        generate_with_metrics(self.circuit, &atpg, Some(&self.metrics.atpg)).test_set
+        let result = try_generate_with_metrics(
+            self.circuit,
+            &atpg,
+            Some(&self.metrics.atpg),
+            self.cancel.as_ref(),
+        )
+        .map_err(|e| match e {
+            AtpgError::Cancelled { phase } => {
+                self.record_cancel_latency();
+                FlowError::Cancelled { phase }
+            }
+            other => {
+                if matches!(other, AtpgError::WorkerPanicked { .. }) {
+                    self.metrics.robustness.worker_panics_contained.incr();
+                }
+                FlowError::Atpg(other)
+            }
+        })?;
+        Ok(result.test_set)
     }
 
     /// Like [`HdfTestFlow::generate_patterns`], but under the
@@ -283,6 +365,10 @@ impl<'c> HdfTestFlow<'c> {
     /// Steps ②–⑤: timing-accurate fault simulation of the candidates,
     /// detection-range construction, monitor analysis and target-set
     /// extraction.
+    ///
+    /// Ignores the flow's cancellation token and failpoint injections
+    /// cause a panic; use [`HdfTestFlow::try_analyze`] or
+    /// [`HdfTestFlow::analyze_resumable`] under injection or deadlines.
     #[must_use]
     pub fn analyze(&self, patterns: &TestSet) -> DetectionAnalysis {
         DetectionAnalysis::compute_scoped(
@@ -297,6 +383,46 @@ impl<'c> HdfTestFlow<'c> {
             self.config.effective_threads(),
             Some(&self.metrics),
         )
+    }
+
+    /// Fallible, cancellable variant of [`HdfTestFlow::analyze`] without
+    /// checkpoint persistence: the campaign observes the flow's
+    /// cancellation token at every pattern-band boundary and the
+    /// `campaign_band` / `sim_worker` failpoints, and worker panics are
+    /// contained into typed errors.
+    ///
+    /// # Errors
+    ///
+    /// * [`FlowError::Cancelled`] when the token trips between bands,
+    /// * [`FlowError::Injected`] when the `campaign_band` failpoint fires,
+    /// * [`FlowError::WorkerPanic`] when a simulation worker panics.
+    pub fn try_analyze(&self, patterns: &TestSet) -> Result<DetectionAnalysis, FlowError> {
+        let progress = CampaignCheckpoint {
+            fingerprint: 0,
+            next_pattern: 0,
+            per_pattern: vec![Vec::new(); self.candidate_faults.len()],
+            raw_union: vec![DetectionRange::new(); self.candidate_faults.len()],
+        };
+        DetectionAnalysis::compute_with_progress(
+            self.circuit,
+            &self.annot,
+            &self.clock,
+            &self.configs,
+            &self.placement,
+            self.candidate_faults.clone(),
+            patterns,
+            self.config.glitch_threshold,
+            self.config.effective_threads(),
+            Some(&self.metrics),
+            self.cancel.as_ref(),
+            progress,
+            &mut |_| Ok(()),
+        )
+        .inspect_err(|e| {
+            if matches!(e, FlowError::Cancelled { .. }) {
+                self.record_cancel_latency();
+            }
+        })
     }
 
     /// Crash-safe variant of [`HdfTestFlow::analyze`]: the campaign
@@ -366,6 +492,7 @@ impl<'c> HdfTestFlow<'c> {
                 fresh()
             }
         };
+        let retry = RetryPolicy::from_env();
         let analysis = DetectionAnalysis::compute_with_progress(
             self.circuit,
             &self.annot,
@@ -377,19 +504,25 @@ impl<'c> HdfTestFlow<'c> {
             self.config.glitch_threshold,
             self.config.effective_threads(),
             Some(&self.metrics),
+            self.cancel.as_ref(),
             progress,
             &mut |cp| {
                 let t_save = std::time::Instant::now();
                 let bytes = {
                     let _span = fastmon_obs::span!("checkpoint_save");
-                    store.save(cp)?
+                    save_with_retry(store, cp, &retry, &self.metrics)?
                 };
                 ckpt.saves.incr();
                 ckpt.save_ns.add(elapsed_ns(t_save));
                 ckpt.save_bytes.add(bytes);
                 Ok(())
             },
-        )?;
+        )
+        .inspect_err(|e| {
+            if matches!(e, FlowError::Cancelled { .. }) {
+                self.record_cancel_latency();
+            }
+        })?;
         if let Err(e) = store.clear() {
             eprintln!(
                 "warning: could not remove finished checkpoint {}: {e}",
@@ -529,6 +662,7 @@ impl<'c> HdfTestFlow<'c> {
             clock: &self.clock,
             deadline: self.config.ilp_deadline,
             metrics: Some(&self.metrics.ilp),
+            cancel: self.cancel.as_ref(),
         };
         let selection = select_frequencies(&ctx, solver, waivers)?;
         Ok(select_patterns(&ctx, solver, selection))
@@ -555,6 +689,7 @@ impl<'c> HdfTestFlow<'c> {
             clock: &self.clock,
             deadline: self.config.ilp_deadline,
             metrics: Some(&self.metrics.ilp),
+            cancel: self.cancel.as_ref(),
         };
         match select_frequencies(&ctx, solver, waivers) {
             Ok(selection) => selection,
@@ -581,6 +716,72 @@ impl<'c> HdfTestFlow<'c> {
 /// Saturating nanosecond conversion for latency counters.
 fn elapsed_ns(since: std::time::Instant) -> u64 {
     u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Capped-exponential-backoff policy for transient checkpoint I/O.
+///
+/// Tuned via `FASTMON_CHECKPOINT_RETRIES` (extra attempts after the first,
+/// default 3) and `FASTMON_CHECKPOINT_BACKOFF_MS` (initial sleep, default
+/// 5 ms, doubling per retry, capped at 250 ms). Invalid values fall back
+/// to the defaults with a warning — a bad knob must not take down a
+/// campaign.
+#[derive(Debug, Clone, Copy)]
+struct RetryPolicy {
+    retries: u32,
+    backoff: std::time::Duration,
+}
+
+impl RetryPolicy {
+    const BACKOFF_CAP: std::time::Duration = std::time::Duration::from_millis(250);
+
+    fn from_env() -> Self {
+        fn parse_env(key: &str, default: u64) -> u64 {
+            match std::env::var(key) {
+                Ok(raw) => raw.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("warning: ignoring invalid {key}={raw:?}");
+                    default
+                }),
+                Err(_) => default,
+            }
+        }
+        RetryPolicy {
+            retries: u32::try_from(parse_env("FASTMON_CHECKPOINT_RETRIES", 3)).unwrap_or(u32::MAX),
+            backoff: std::time::Duration::from_millis(
+                parse_env("FASTMON_CHECKPOINT_BACKOFF_MS", 5).min(250),
+            ),
+        }
+    }
+}
+
+/// Saves `cp`, retrying transient I/O failures (`CheckpointError::Io` —
+/// which injected `checkpoint_write`/`checkpoint_rename` failures mimic)
+/// with capped exponential backoff. Non-I/O errors (e.g. the test-only
+/// interruption hook) are never retried. Every retry increments
+/// `robustness.checkpoint_retries`.
+fn save_with_retry(
+    store: &CheckpointStore,
+    cp: &CampaignCheckpoint,
+    policy: &RetryPolicy,
+    metrics: &MetricsRegistry,
+) -> Result<u64, CheckpointError> {
+    let mut delay = policy.backoff;
+    let mut attempt = 0u32;
+    loop {
+        match store.save(cp) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e @ CheckpointError::Io { .. }) if attempt < policy.retries => {
+                attempt += 1;
+                metrics.robustness.checkpoint_retries.incr();
+                eprintln!(
+                    "warning: checkpoint save attempt {attempt}/{} failed ({e}); retrying in {delay:?}",
+                    policy.retries.saturating_add(1),
+                );
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(RetryPolicy::BACKOFF_CAP);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 #[cfg(test)]

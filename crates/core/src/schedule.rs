@@ -174,6 +174,21 @@ pub(crate) struct ScheduleContext<'a> {
     pub clock: &'a ClockSpec,
     pub deadline: Duration,
     pub metrics: Option<&'a fastmon_obs::IlpMetrics>,
+    /// Cooperative cancellation for the anytime B&B: a tripped token
+    /// degrades ILP solves to their greedy-quality incumbent
+    /// (`deadline_hit = true`) instead of erroring — a cancelled schedule
+    /// is still a valid schedule.
+    pub cancel: Option<&'a fastmon_obs::CancelToken>,
+}
+
+/// Builds the stage solver for [`Solver::Ilp`], wiring the deadline and
+/// any cancellation token from the context.
+fn ilp_solver(ctx: &ScheduleContext<'_>) -> BranchBound {
+    let solver = BranchBound::new().with_deadline(ctx.deadline);
+    match ctx.cancel {
+        Some(token) => solver.with_cancel(token.clone()),
+        None => solver,
+    }
 }
 
 /// Folds one set-cover solve into the scoped ILP telemetry. A deadline hit
@@ -236,9 +251,7 @@ pub(crate) fn select_frequencies(
     let instance = SetCover::new(owned.len(), sets).with_allowed_uncovered(allowed_uncovered);
     let solution = match solver {
         Solver::Conventional | Solver::Greedy => greedy(&instance),
-        Solver::Ilp => BranchBound::new()
-            .with_deadline(ctx.deadline)
-            .solve(&instance),
+        Solver::Ilp => ilp_solver(ctx).solve(&instance),
     };
     record_solve(ctx.metrics, &solution.stats);
     if !solution.feasible {
@@ -401,9 +414,7 @@ fn optimize_entry(
     );
     let solution = match solver {
         Solver::Conventional | Solver::Greedy => greedy(&instance),
-        Solver::Ilp => BranchBound::new()
-            .with_deadline(ctx.deadline)
-            .solve(&instance),
+        Solver::Ilp => ilp_solver(ctx).solve(&instance),
     };
     record_solve(ctx.metrics, &solution.stats);
     let mut applications: Vec<(u32, MonitorConfig)> =

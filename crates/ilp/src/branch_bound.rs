@@ -27,6 +27,7 @@ use crate::{greedy, reduce, SetCover, Solution, SolveStats};
 #[derive(Debug, Clone)]
 pub struct BranchBound {
     deadline: Option<Duration>,
+    cancel: Option<fastmon_obs::CancelToken>,
     reductions: bool,
 }
 
@@ -36,6 +37,7 @@ impl BranchBound {
     pub fn new() -> Self {
         BranchBound {
             deadline: None,
+            cancel: None,
             reductions: true,
         }
     }
@@ -45,6 +47,15 @@ impl BranchBound {
     #[must_use]
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token, checked at the same
+    /// cadence as the deadline; a cancelled solve returns the best
+    /// incumbent with `optimal = false` (the anytime contract).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: fastmon_obs::CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 
@@ -75,11 +86,32 @@ impl BranchBound {
             )
         };
 
-        let mut search = Search::new(&residual, start, self.deadline);
-        search.run();
+        // Panic isolation: a panicking search (e.g. an injected `ilp_node`
+        // panic exercising this very path) is contained and degraded to
+        // the greedy incumbent instead of unwinding through the flow.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut search = Search::new(&residual, start, self.deadline, self.cancel.as_ref());
+            search.run();
+            (
+                search.best,
+                search.nodes,
+                search.bounds_pruned,
+                search.deadline_hit,
+            )
+        }));
+        let (best, nodes, bounds_pruned, interrupted) = match outcome {
+            Ok(result) => result,
+            Err(_) => {
+                eprintln!(
+                    "warning: ilp branch-and-bound panicked (contained); \
+                     falling back to the greedy incumbent"
+                );
+                (greedy(&residual).chosen, 0, 0, true)
+            }
+        };
 
         let mut chosen: Vec<usize> = forced;
-        chosen.extend(search.best.iter().map(|&i| set_map[i]));
+        chosen.extend(best.iter().map(|&i| set_map[i]));
         chosen.sort_unstable();
         chosen.dedup();
         // deadline-capped incumbents often carry slack; proven-optimal
@@ -88,14 +120,14 @@ impl BranchBound {
         let feasible = instance.uncoverable() <= instance.allowed_uncovered();
         Solution {
             chosen,
-            optimal: !search.deadline_hit,
+            optimal: !interrupted,
             feasible,
             stats: SolveStats {
-                nodes: search.nodes,
+                nodes,
                 fixed_by_reduction: fixed,
-                bounds_pruned: search.bounds_pruned,
+                bounds_pruned,
                 elapsed: start.elapsed(),
-                deadline_hit: search.deadline_hit,
+                deadline_hit: interrupted,
             },
         }
     }
@@ -123,11 +155,17 @@ struct Search<'a> {
     bounds_pruned: u64,
     start: Instant,
     deadline: Option<Duration>,
+    cancel: Option<&'a fastmon_obs::CancelToken>,
     deadline_hit: bool,
 }
 
 impl<'a> Search<'a> {
-    fn new(instance: &'a SetCover, start: Instant, deadline: Option<Duration>) -> Self {
+    fn new(
+        instance: &'a SetCover,
+        start: Instant,
+        deadline: Option<Duration>,
+        cancel: Option<&'a fastmon_obs::CancelToken>,
+    ) -> Self {
         let covering = instance.covering_sets();
         // uncoverable elements were removed by `reduce`; be safe anyway
         let uncovered = covering.iter().filter(|c| !c.is_empty()).count();
@@ -147,6 +185,7 @@ impl<'a> Search<'a> {
             bounds_pruned: 0,
             start,
             deadline,
+            cancel,
             deadline_hit: false,
         }
     }
@@ -157,14 +196,18 @@ impl<'a> Search<'a> {
             self.best.clear();
             return;
         }
-        // a deadline that expired before the search even starts (e.g. a
-        // zero-duration deadline) must be honoured on small instances too,
+        // a deadline that expired (or a token already cancelled) before
+        // the search even starts must be honoured on small instances too,
         // where the periodic in-search check would never fire
         if let Some(d) = self.deadline {
             if self.start.elapsed() > d {
                 self.deadline_hit = true;
                 return;
             }
+        }
+        if self.cancel.is_some_and(|t| t.is_cancelled()) {
+            self.deadline_hit = true;
+            return;
         }
         self.dfs();
     }
@@ -179,6 +222,9 @@ impl<'a> Search<'a> {
                     self.deadline_hit = true;
                 }
             }
+            if self.cancel.is_some_and(|t| t.is_cancelled()) {
+                self.deadline_hit = true;
+            }
         }
         self.deadline_hit
     }
@@ -186,6 +232,13 @@ impl<'a> Search<'a> {
     fn dfs(&mut self) {
         self.nodes += 1;
         if self.out_of_time() {
+            return;
+        }
+        // Injected node failure: degrade to the anytime incumbent, the
+        // same graceful path a deadline expiry takes (a panic-action
+        // injection instead unwinds into `solve`'s containment).
+        if fastmon_obs::failpoints::fire("ilp_node").is_err() {
+            self.deadline_hit = true;
             return;
         }
         let must_cover = self.uncovered.saturating_sub(self.waivers_left);
@@ -491,6 +544,29 @@ mod tests {
         if sol.stats.deadline_hit {
             assert!(!sol.optimal);
         }
+    }
+
+    #[test]
+    fn cancelled_token_returns_incumbent() {
+        let token = fastmon_obs::CancelToken::new();
+        token.cancel();
+        let sc = SetCover::new(
+            8,
+            vec![
+                vec![2, 3, 4, 5],
+                vec![0, 1, 2],
+                vec![5, 6, 7],
+                vec![0, 1, 2, 3],
+                vec![4, 5, 6, 7],
+            ],
+        );
+        let sol = BranchBound::new()
+            .without_reductions()
+            .with_cancel(token)
+            .solve(&sc);
+        assert!(sol.stats.deadline_hit, "cancel takes the anytime path");
+        assert!(!sol.optimal);
+        assert!(sc.is_feasible(&sol.chosen), "greedy incumbent is returned");
     }
 
     #[test]

@@ -1,0 +1,409 @@
+//! Deterministic failpoint injection.
+//!
+//! A failpoint is a *named site* in library code where a failure can be
+//! injected on demand — the in-tree, zero-dependency analogue of TiKV's
+//! `fail-rs`. Sites are compiled in unconditionally but cost a **single
+//! relaxed atomic load** when no schedule is configured (the same gating
+//! pattern as [`crate::trace`]; the `obs_overhead` bench guards it).
+//!
+//! # Configuration grammar
+//!
+//! Schedules come from `FASTMON_FAILPOINTS` (resolved lazily on first
+//! [`fire`], like `FASTMON_TRACE`) or programmatically via [`configure`]:
+//!
+//! ```text
+//! FASTMON_FAILPOINTS="site=action@trigger[;site=action@trigger...]"
+//! ```
+//!
+//! * `site` — a registered site name (see [`SITES`]); unknown names are
+//!   accepted and simply never consulted.
+//! * `action` — what happens when the trigger matches:
+//!   * `err` (alias `io`): [`fire`] returns `Err(InjectedFailure)`, which
+//!     call sites map into their own typed error (`CheckpointError::Io`,
+//!     `FlowError::Injected`, ...).
+//!   * `panic`: the site panics with a recognizable message — used to
+//!     exercise `catch_unwind` containment in worker pools.
+//! * `trigger` — when it happens, evaluated against a per-site hit
+//!   counter (first hit is 1):
+//!   * `N` — fires exactly once, on the `N`-th hit (`@0` ≙ `@1`).
+//!   * `every:N` — fires on every `N`-th hit (`N ≥ 1`).
+//!   * `P%seedS` — fires on each hit independently with probability `P`
+//!     percent (float), decided by a deterministic hash of `(S, hit)` —
+//!     the same seed and hit sequence always fires identically.
+//!
+//! Example: `checkpoint_write=io@2;ilp_node=panic@0.01%seed7`.
+//!
+//! # Determinism
+//!
+//! Per-site hit counters are process-wide atomics; with a single-threaded
+//! or per-site-serial caller the fire pattern is exactly reproducible.
+//! Probabilistic triggers never consult a global RNG.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Every injection site registered across the workspace, for docs and the
+/// chaos suite. Firing an unlisted name is allowed (sites are matched by
+/// string), but the chaos-under-failpoints suite iterates this list.
+pub const SITES: &[&str] = &[
+    "checkpoint_write",
+    "checkpoint_rename",
+    "checkpoint_load",
+    "campaign_band",
+    "sim_worker",
+    "parallel_worker",
+    "ilp_node",
+    "atpg_grade",
+    "atpg_podem",
+];
+
+const STATE_UNINIT: u8 = 0;
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static STATE: AtomicU8 = AtomicU8::new(STATE_UNINIT);
+static FIRED: AtomicU64 = AtomicU64::new(0);
+static TABLE: Mutex<Option<Table>> = Mutex::new(None);
+
+type Table = HashMap<String, Site>;
+
+/// The error returned by [`fire`] when an `err`/`io` action triggers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFailure {
+    /// The site that fired.
+    pub site: &'static str,
+}
+
+impl fmt::Display for InjectedFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected failure at failpoint '{}'", self.site)
+    }
+}
+
+impl Error for InjectedFailure {}
+
+/// What a matched trigger does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return `Err(InjectedFailure)` from [`fire`].
+    Err,
+    /// Panic with a recognizable message.
+    Panic,
+}
+
+#[derive(Debug)]
+enum Trigger {
+    /// Fires exactly once, on the n-th hit (1-based).
+    Nth(u64),
+    /// Fires on every n-th hit.
+    Every(u64),
+    /// Fires independently per hit with `percent` probability, decided by
+    /// a deterministic hash of `(seed, hit)`.
+    Percent { percent: f64, seed: u64 },
+}
+
+#[derive(Debug)]
+struct Site {
+    action: Action,
+    trigger: Trigger,
+    hits: AtomicU64,
+}
+
+impl Site {
+    fn matches(&self, hit: u64) -> bool {
+        match self.trigger {
+            Trigger::Nth(n) => hit == n.max(1),
+            Trigger::Every(n) => hit.is_multiple_of(n.max(1)),
+            Trigger::Percent { percent, seed } => {
+                // splitmix64 over (seed, hit): deterministic, well-mixed,
+                // no global RNG state.
+                let mut z = seed
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(hit.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let unit = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                unit < percent / 100.0
+            }
+        }
+    }
+}
+
+#[inline]
+fn state() -> u8 {
+    let s = STATE.load(Ordering::Relaxed);
+    if s == STATE_UNINIT {
+        return init_state_from_env();
+    }
+    s
+}
+
+#[cold]
+fn init_state_from_env() -> u8 {
+    let (s, table) = match std::env::var("FASTMON_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => match parse_spec(&spec) {
+            Ok(table) => (STATE_ON, Some(table)),
+            Err(msg) => {
+                eprintln!("warning: ignoring invalid FASTMON_FAILPOINTS: {msg}");
+                (STATE_OFF, None)
+            }
+        },
+        _ => (STATE_OFF, None),
+    };
+    let mut guard = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+    // A concurrent configure() wins; otherwise publish the env answer.
+    match STATE.compare_exchange(STATE_UNINIT, s, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => {
+            *guard = table;
+            s
+        }
+        Err(current) => current,
+    }
+}
+
+fn parse_spec(spec: &str) -> Result<Table, String> {
+    let mut table = Table::new();
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, rule) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("'{entry}': expected site=action@trigger"))?;
+        let (action, trigger) = rule
+            .split_once('@')
+            .ok_or_else(|| format!("'{entry}': expected action@trigger after '='"))?;
+        let action = match action.trim() {
+            "err" | "io" => Action::Err,
+            "panic" => Action::Panic,
+            other => return Err(format!("'{entry}': unknown action '{other}'")),
+        };
+        let trigger = parse_trigger(trigger.trim()).map_err(|m| format!("'{entry}': {m}"))?;
+        table.insert(
+            site.trim().to_string(),
+            Site {
+                action,
+                trigger,
+                hits: AtomicU64::new(0),
+            },
+        );
+    }
+    if table.is_empty() {
+        return Err("empty schedule".to_string());
+    }
+    Ok(table)
+}
+
+fn parse_trigger(t: &str) -> Result<Trigger, String> {
+    if let Some(n) = t.strip_prefix("every:") {
+        let n: u64 = n.parse().map_err(|_| format!("bad every count '{n}'"))?;
+        if n == 0 {
+            return Err("every:0 would never fire".to_string());
+        }
+        return Ok(Trigger::Every(n));
+    }
+    if let Some((p, seed)) = t.split_once('%') {
+        let percent: f64 = p.parse().map_err(|_| format!("bad percentage '{p}'"))?;
+        if !(0.0..=100.0).contains(&percent) {
+            return Err(format!("percentage {percent} outside 0..=100"));
+        }
+        let seed = seed.strip_prefix("seed").unwrap_or(seed);
+        let seed: u64 = seed.parse().map_err(|_| format!("bad seed '{seed}'"))?;
+        return Ok(Trigger::Percent { percent, seed });
+    }
+    let n: u64 = t.parse().map_err(|_| format!("bad hit index '{t}'"))?;
+    Ok(Trigger::Nth(n))
+}
+
+/// Consults the failpoint table for `site` and fails if its trigger
+/// matches the current hit.
+///
+/// With no schedule configured this is one relaxed atomic load and a
+/// predictable branch. With a schedule, a matched `err`/`io` action
+/// returns [`InjectedFailure`] for the caller to map into its own typed
+/// error; a matched `panic` action panics (callers are expected to be
+/// under `catch_unwind` containment or to let the typed-panic surface).
+///
+/// # Errors
+///
+/// Returns [`InjectedFailure`] when an `err`-action trigger matches.
+///
+/// # Panics
+///
+/// Panics (deliberately) when a `panic`-action trigger matches.
+#[inline]
+pub fn fire(site: &'static str) -> Result<(), InjectedFailure> {
+    if state() != STATE_ON {
+        return Ok(());
+    }
+    fire_slow(site)
+}
+
+#[cold]
+fn fire_slow(site: &'static str) -> Result<(), InjectedFailure> {
+    let action = {
+        let guard = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(entry) = guard.as_ref().and_then(|t| t.get(site)) else {
+            return Ok(());
+        };
+        let hit = entry.hits.fetch_add(1, Ordering::Relaxed) + 1;
+        if !entry.matches(hit) {
+            return Ok(());
+        }
+        entry.action
+    };
+    FIRED.fetch_add(1, Ordering::Relaxed);
+    match action {
+        Action::Err => Err(InjectedFailure { site }),
+        Action::Panic => panic!("injected panic at failpoint '{site}'"),
+    }
+}
+
+/// Installs a failpoint schedule programmatically, overriding (and
+/// pre-empting) the environment. Passing an empty spec disables all
+/// failpoints, like [`clear`]. Per-site hit counters start at zero.
+///
+/// Intended for tests; production runs use `FASTMON_FAILPOINTS`.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry; the previous
+/// schedule is left untouched.
+pub fn configure(spec: &str) -> Result<(), String> {
+    if spec.trim().is_empty() {
+        clear();
+        return Ok(());
+    }
+    let table = parse_spec(spec)?;
+    let mut guard = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = Some(table);
+    STATE.store(STATE_ON, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disables all failpoints and drops the schedule. The process-wide
+/// [`fired_count`] is preserved.
+pub fn clear() {
+    let mut guard = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard = None;
+    STATE.store(STATE_OFF, Ordering::Relaxed);
+}
+
+/// Process-wide count of triggers that have fired (all sites, all
+/// schedules since process start).
+#[must_use]
+pub fn fired_count() -> u64 {
+    FIRED.load(Ordering::Relaxed)
+}
+
+/// True when a non-empty schedule is installed.
+#[must_use]
+pub fn active() -> bool {
+    state() == STATE_ON
+}
+
+/// The sites named by the currently-installed schedule (empty when
+/// disabled). Sorted for stable output.
+#[must_use]
+pub fn configured_sites() -> Vec<String> {
+    if state() != STATE_ON {
+        return Vec::new();
+    }
+    let guard = TABLE.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut sites: Vec<String> = guard
+        .as_ref()
+        .map(|t| t.keys().cloned().collect())
+        .unwrap_or_default();
+    sites.sort();
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Failpoint state is process-wide, so every test that installs a
+    // schedule runs inside this single serialized test body.
+    #[test]
+    fn scripted_schedules_fire_deterministically() {
+        // Nth-hit: fires exactly once, on the second hit.
+        configure("site_a=err@2").unwrap();
+        assert!(fire("site_a").is_ok());
+        assert_eq!(fire("site_a"), Err(InjectedFailure { site: "site_a" }));
+        assert!(fire("site_a").is_ok());
+        assert!(fire("unconfigured").is_ok());
+
+        // every:N fires periodically.
+        configure("site_b=io@every:3").unwrap();
+        let fired: Vec<bool> = (0..9).map(|_| fire("site_b").is_err()).collect();
+        assert_eq!(
+            fired,
+            [false, false, true, false, false, true, false, false, true]
+        );
+
+        // @0 is treated as @1 (fire on first hit).
+        configure("site_z=err@0").unwrap();
+        assert!(fire("site_z").is_err());
+        assert!(fire("site_z").is_ok());
+
+        // Percent triggers are deterministic per (seed, hit) and roughly
+        // calibrated.
+        configure("site_c=err@40%seed7").unwrap();
+        let run1: Vec<bool> = (0..200).map(|_| fire("site_c").is_err()).collect();
+        configure("site_c=err@40%seed7").unwrap();
+        let run2: Vec<bool> = (0..200).map(|_| fire("site_c").is_err()).collect();
+        assert_eq!(run1, run2, "same seed must fire identically");
+        let hits = run1.iter().filter(|&&f| f).count();
+        assert!((40..=120).contains(&hits), "40% of 200 ≈ 80, got {hits}");
+        configure("site_c=err@40%seed8").unwrap();
+        let run3: Vec<bool> = (0..200).map(|_| fire("site_c").is_err()).collect();
+        assert_ne!(run1, run3, "different seeds should differ");
+
+        // 0% never fires, 100% always fires.
+        configure("site_d=err@0%seed1;site_e=err@100%seed1").unwrap();
+        assert!((0..50).all(|_| fire("site_d").is_ok()));
+        assert!((0..50).all(|_| fire("site_e").is_err()));
+
+        // Panic actions panic with a recognizable message.
+        configure("site_p=panic@1").unwrap();
+        let caught = std::panic::catch_unwind(|| fire("site_p"));
+        let msg = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("injected panic at failpoint 'site_p'"));
+
+        // Multi-entry schedules configure both sites.
+        configure("checkpoint_write=io@2;ilp_node=panic@0.01%seed7").unwrap();
+        assert_eq!(
+            configured_sites(),
+            vec!["checkpoint_write".to_string(), "ilp_node".to_string()]
+        );
+        assert!(active());
+
+        // clear() disables everything.
+        clear();
+        assert!(!active());
+        assert!(configured_sites().is_empty());
+        assert!(fire("site_a").is_ok());
+        assert!(fired_count() > 0);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in [
+            "no_equals",
+            "site=errat2",
+            "site=frob@1",
+            "site=err@every:0",
+            "site=err@150%seed1",
+            "site=err@x",
+            "site=err@10%seedx",
+            "  ;  ; ",
+        ] {
+            assert!(parse_spec(bad).is_err(), "spec {bad:?} should be rejected");
+        }
+    }
+}

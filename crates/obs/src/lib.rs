@@ -24,16 +24,31 @@
 //! The JSONL event schema is versioned (see [`TRACE_SCHEMA_VERSION`]) the
 //! same way the `FMCK` checkpoint format is; `crates/bench`'s
 //! `check_events` bin validates emitted logs against it.
+//!
+//! Two robustness primitives live here as well, because they share the
+//! same "one relaxed load when disabled" gating discipline:
+//!
+//! * **Failpoints** ([`failpoints`]): named, deterministically-scheduled
+//!   injection sites (`FASTMON_FAILPOINTS`) used by the chaos suite to
+//!   reach recovery paths on demand.
+//! * **Cancellation** ([`cancel`]): a cooperative [`CancelToken`] with an
+//!   optional deadline (`FASTMON_DEADLINE_SECS`) checked at phase/band
+//!   boundaries for graceful early shutdown.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cancel;
+pub mod failpoints;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod trace;
 
+pub use cancel::{CancelToken, Cancelled};
+pub use failpoints::InjectedFailure;
 pub use metrics::{
-    AtpgMetrics, CheckpointMetrics, Counter, IlpMetrics, MetricsRegistry, SimMetrics, StaMetrics,
+    AtpgMetrics, CheckpointMetrics, Counter, IlpMetrics, MetricsRegistry, RobustnessMetrics,
+    SimMetrics, StaMetrics,
 };
 pub use trace::{
     emit_counters, enabled, finish, flush, force_enable, jsonl_enabled, run_id, span, span_with,

@@ -187,6 +187,24 @@ metric_section! {
     }
 }
 
+metric_section! {
+    /// Robustness events: failpoint injections, checkpoint retries,
+    /// contained worker panics and cancellation latency. Zero in healthy
+    /// runs; nonzero values mean a recovery path actually executed.
+    RobustnessMetrics {
+        /// Failpoint triggers that fired inside this campaign's scope.
+        failpoints_fired,
+        /// Checkpoint saves retried after a transient I/O error.
+        checkpoint_retries,
+        /// Milliseconds between a cancellation request (explicit or
+        /// deadline) and the graceful stop that honoured it.
+        cancel_latency_ms,
+        /// Worker panics caught by `catch_unwind` and surfaced as typed
+        /// errors instead of aborting the process.
+        worker_panics_contained,
+    }
+}
+
 /// The campaign-owned collector handed through the whole flow.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -200,6 +218,8 @@ pub struct MetricsRegistry {
     pub ilp: IlpMetrics,
     /// Checkpoint I/O counters.
     pub checkpoint: CheckpointMetrics,
+    /// Robustness-event counters (injections, retries, contained panics).
+    pub robustness: RobustnessMetrics,
 }
 
 impl MetricsRegistry {
@@ -212,6 +232,7 @@ impl MetricsRegistry {
             sta: StaMetrics::new(),
             ilp: IlpMetrics::new(),
             checkpoint: CheckpointMetrics::new(),
+            robustness: RobustnessMetrics::new(),
         }
     }
 
@@ -222,6 +243,7 @@ impl MetricsRegistry {
         self.sta.reset();
         self.ilp.reset();
         self.checkpoint.reset();
+        self.robustness.reset();
     }
 
     /// All counters as dotted `(name, value)` pairs, e.g.
@@ -235,6 +257,7 @@ impl MetricsRegistry {
             ("sta", self.sta.entries()),
             ("ilp", self.ilp.entries()),
             ("checkpoint", self.checkpoint.entries()),
+            ("robustness", self.robustness.entries()),
         ] {
             for (name, value) in entries {
                 out.push((format!("{section}.{name}"), value));
@@ -283,7 +306,14 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.checkpoint.saves.incr();
         let entries = reg.entries();
-        for prefix in ["sim.", "atpg.", "sta.", "ilp.", "checkpoint."] {
+        for prefix in [
+            "sim.",
+            "atpg.",
+            "sta.",
+            "ilp.",
+            "checkpoint.",
+            "robustness.",
+        ] {
             assert!(
                 entries.iter().any(|(n, _)| n.starts_with(prefix)),
                 "missing section {prefix}"

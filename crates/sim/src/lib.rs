@@ -48,6 +48,6 @@ pub mod stats;
 pub mod vcd;
 
 pub use engine::{ConePlan, ConeScratch, FaultyCone, SimEngine, SimResult};
-pub use parallel::{parallel_map, parallel_map_with};
+pub use parallel::{parallel_map, parallel_map_with, try_parallel_map_with, WorkerPanic};
 pub use stimulus::Stimulus;
 pub use waveform::{eval_gate, eval_gate_into, EvalScratch, Waveform};

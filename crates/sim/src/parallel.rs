@@ -1,4 +1,54 @@
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::any::Any;
+use std::fmt;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// A worker panic caught by [`try_parallel_map_with`].
+///
+/// The original payload is preserved, so infallible wrappers can
+/// [`resume`](WorkerPanic::resume) it unchanged while fallible campaign
+/// code converts it into a typed error via [`message`](WorkerPanic::message).
+pub struct WorkerPanic {
+    payload: Box<dyn Any + Send + 'static>,
+}
+
+impl WorkerPanic {
+    /// A human-readable rendering of the panic payload (`&str`/`String`
+    /// payloads verbatim, anything else a placeholder).
+    #[must_use]
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "worker panicked with a non-string payload".to_string()
+        }
+    }
+
+    /// Re-raises the original panic on the calling thread.
+    pub fn resume(self) -> ! {
+        std::panic::resume_unwind(self.payload)
+    }
+}
+
+impl fmt::Debug for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WorkerPanic({:?})", self.message())
+    }
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked: {}", self.message())
+    }
+}
+
+/// Largest index space a single work-stealing pool round handles; larger
+/// inputs fall back to sequential rounds of this size (the packed range
+/// representation stores `begin`/`end` as `u32` halves).
+const CHUNK_CAP: usize = u32::MAX as usize;
 
 /// Applies `f` to every index in `0..n` using up to `threads` worker
 /// threads, returning the results in index order.
@@ -42,50 +92,176 @@ where
 ///
 /// # Panics
 ///
-/// Panics if `n` does not fit `u32` (the packed range representation).
+/// Re-raises the first worker panic on the calling thread (workers are
+/// isolated with `catch_unwind`, so a panicking item never aborts the
+/// process before the pool has drained; use [`try_parallel_map_with`] to
+/// receive it as a value instead). Index spaces larger than `u32::MAX`
+/// are handled by chunked fallback rounds rather than panicking.
 pub fn parallel_map_with<T, S, I, F>(n: usize, threads: usize, init: I, f: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> T + Sync,
 {
-    if threads <= 1 || n <= 1 {
-        let mut state = init();
-        return (0..n).map(|i| f(&mut state, i)).collect();
+    match try_parallel_map_with(n, threads, init, f) {
+        Ok(out) => out,
+        Err(panic) => panic.resume(),
     }
-    assert!(u32::try_from(n).is_ok(), "index space must fit u32");
-    let threads = threads.min(n);
+}
+
+/// Panic-isolating variant of [`parallel_map_with`]: a panicking item is
+/// caught (`catch_unwind`), the remaining workers stop claiming new work
+/// and drain, and the first panic comes back as a [`WorkerPanic`] value —
+/// the process never aborts, and campaign code can surface a typed error.
+///
+/// Index spaces larger than `u32::MAX` (the packed range representation)
+/// are processed in sequential chunked rounds of at most `u32::MAX` items
+/// each — per-worker state is re-created per round, results stay in index
+/// order.
+///
+/// Each item consults the `parallel_worker` failpoint
+/// (`fastmon_obs::failpoints`); because worker items have no error
+/// channel, *both* failpoint actions surface as a contained panic here.
+///
+/// # Errors
+///
+/// Returns the first caught worker panic; any items not yet claimed when
+/// the panic hit are skipped (their results are discarded anyway).
+pub fn try_parallel_map_with<T, S, I, F>(
+    n: usize,
+    threads: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    try_parallel_map_chunked(n, threads, CHUNK_CAP, init, f)
+}
+
+/// Chunked driver behind [`try_parallel_map_with`]; `cap` is a parameter
+/// (instead of the `CHUNK_CAP` constant) so tests can exercise the
+/// multi-round path without allocating 2^32 items.
+fn try_parallel_map_chunked<T, S, I, F>(
+    n: usize,
+    threads: usize,
+    cap: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<T>, WorkerPanic>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    let cap = cap.max(1);
+    let mut out: Vec<T> = Vec::with_capacity(n);
+    let mut base = 0usize;
+    while base < n {
+        let len = (n - base).min(cap);
+        run_round(base, len, threads, &init, &f, &mut out)?;
+        base += len;
+    }
+    Ok(out)
+}
+
+/// Runs one pool round over global indices `base..base + len`, appending
+/// results (in index order) to `out`.
+fn run_round<T, S, I, F>(
+    base: usize,
+    len: usize,
+    threads: usize,
+    init: &I,
+    f: &F,
+    out: &mut Vec<T>,
+) -> Result<(), WorkerPanic>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        let mut state = init();
+        for i in 0..len {
+            out.push(run_item(f, &mut state, base + i).map_err(|payload| WorkerPanic { payload })?);
+        }
+        return Ok(());
+    }
+    let threads = threads.min(len);
 
     // per-worker (begin, end) ranges, packed into one atomic each
     let slots: Vec<AtomicU64> = (0..threads)
-        .map(|w| AtomicU64::new(pack(w * n / threads, (w + 1) * n / threads)))
+        .map(|w| AtomicU64::new(pack(w * len / threads, (w + 1) * len / threads)))
         .collect();
 
-    let mut out: Vec<Option<T>> = Vec::with_capacity(n);
-    out.resize_with(n, || None);
-    let out_ptr = SendPtr(out.as_mut_ptr());
+    let mut round: Vec<Option<T>> = Vec::with_capacity(len);
+    round.resize_with(len, || None);
+    let out_ptr = SendPtr(round.as_mut_ptr());
+
+    // Set on the first contained panic; workers observe it and stop
+    // claiming new items so the scope drains promptly.
+    let abort = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
         for w in 0..threads {
             let slots = &slots;
             let init = &init;
             let f = &f;
+            let abort = &abort;
+            let first_panic = &first_panic;
             scope.spawn(move || {
                 let mut state = init();
-                while let Some(i) = claim(slots, w) {
-                    let value = f(&mut state, i);
-                    // SAFETY: each index is claimed by exactly one worker
-                    // (see `claim`), so writes to disjoint slots never
-                    // alias; the vec outlives the scope.
-                    unsafe { out_ptr.write(i, Some(value)) };
+                while !abort.load(Ordering::Relaxed) {
+                    let Some(i) = claim(slots, w) else { break };
+                    match run_item(f, &mut state, base + i) {
+                        // SAFETY: each index is claimed by exactly one
+                        // worker (see `claim`), so writes to disjoint
+                        // slots never alias; the vec outlives the scope.
+                        Ok(value) => unsafe { out_ptr.write(i, Some(value)) },
+                        Err(payload) => {
+                            let mut guard =
+                                first_panic.lock().unwrap_or_else(PoisonError::into_inner);
+                            guard.get_or_insert(payload);
+                            abort.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
                 }
             });
         }
     });
 
-    out.into_iter()
-        .map(|v| v.unwrap_or_else(|| unreachable!("every index was processed")))
-        .collect()
+    let caught = first_panic
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(payload) = caught {
+        return Err(WorkerPanic { payload });
+    }
+    out.extend(
+        round
+            .into_iter()
+            .map(|v| v.unwrap_or_else(|| unreachable!("every index was processed"))),
+    );
+    Ok(())
+}
+
+/// Executes one item under `catch_unwind`, consulting the
+/// `parallel_worker` failpoint first.
+fn run_item<T, S, F>(f: &F, state: &mut S, i: usize) -> Result<T, Box<dyn Any + Send>>
+where
+    F: Fn(&mut S, usize) -> T,
+{
+    std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if let Err(injected) = fastmon_obs::failpoints::fire("parallel_worker") {
+            // No error channel per item: surface err-actions as a
+            // contained panic too.
+            panic!("{injected}");
+        }
+        f(state, i)
+    }))
 }
 
 /// Packs a `[begin, end)` index range into one `u64`.
@@ -244,6 +420,79 @@ mod tests {
         // globally, every item got exactly one value >= 1
         assert_eq!(counts.len(), n);
         assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn worker_panic_is_contained_and_typed() {
+        let res = try_parallel_map_with(
+            200,
+            4,
+            || (),
+            |(), i| {
+                assert!(i != 137, "boom at {i}");
+                i * 2
+            },
+        );
+        let panic = res.expect_err("the panicking item must surface as Err");
+        assert!(panic.message().contains("boom at 137"), "{panic}");
+    }
+
+    #[test]
+    fn sequential_panic_is_contained_too() {
+        let res =
+            try_parallel_map_with(8, 1, || (), |(), i| if i == 3 { panic!("seq") } else { i });
+        assert!(res.expect_err("sequential path must contain too").message() == "seq");
+    }
+
+    #[test]
+    fn parallel_map_with_still_propagates_panics() {
+        // Infallible wrapper keeps the historical contract: the original
+        // payload is re-raised on the caller.
+        let caught = std::panic::catch_unwind(|| {
+            parallel_map(16, 2, |i| {
+                assert!(i != 5, "legacy propagate");
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("legacy propagate"), "{msg}");
+    }
+
+    // Satellite regression: index spaces beyond the packed-u32 range fall
+    // back to chunked rounds instead of the old
+    // `assert!(u32::try_from(n).is_ok())` panic. Exercised with a small
+    // cap so the test does not allocate 2^32 items.
+    #[test]
+    fn chunked_fallback_matches_sequential() {
+        for (n, cap, threads) in [(23, 7, 4), (10, 10, 4), (11, 10, 4), (5, 1, 2), (0, 3, 4)] {
+            let seq: Vec<usize> = (0..n).map(|i| i * 31 + 1).collect();
+            let chunked =
+                try_parallel_map_chunked(n, threads, cap, || (), |(), i| i * 31 + 1).unwrap();
+            assert_eq!(seq, chunked, "n={n} cap={cap} threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_fallback_contains_panics_in_later_rounds() {
+        let res = try_parallel_map_chunked(
+            30,
+            4,
+            8,
+            || (),
+            |(), i| {
+                assert!(i != 27, "late-round boom");
+                i
+            },
+        );
+        assert!(res
+            .expect_err("panic in round 4 must be contained")
+            .message()
+            .contains("late-round boom"));
     }
 
     #[test]
