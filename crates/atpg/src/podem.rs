@@ -123,6 +123,16 @@ impl Goal {
             Goal::Justify(..) => None,
         }
     }
+
+    /// `(node, value)` pairs that must hold in the good machine for the
+    /// goal to succeed: the justify target, or fault activation plus the
+    /// optional side objective. Used by the static-learning preamble.
+    fn requirements(self) -> [Option<(NodeId, bool)>; 2] {
+        match self {
+            Goal::Justify(node, value) => [Some((node, value)), None],
+            Goal::Detect(fault, side) => [Some((fault.node, !fault.stuck_at)), side],
+        }
+    }
 }
 
 enum Tri {
@@ -193,6 +203,247 @@ fn x_path_cone(circuit: &Circuit, seed: NodeId) -> Box<[NodeId]> {
     cone.into_boxed_slice()
 }
 
+/// Cost ceiling for the SCOAP estimates: saturating "unreachable /
+/// unjustifiable". Far below `u32::MAX` so sums of several INF terms
+/// cannot wrap.
+const INF_COST: u32 = u32::MAX / 4;
+
+fn sat(a: u32, b: u32) -> u32 {
+    a.saturating_add(b).min(INF_COST)
+}
+
+/// SCOAP-style testability estimates, computed once per circuit.
+///
+/// `cc0[n]` / `cc1[n]` approximate the number of source assignments needed
+/// to justify 0 / 1 at node `n`; `co[n]` approximates the effort to
+/// propagate a fault effect from `n` to an observation point. The search
+/// uses them as *ordering heuristics only* — every choice remains exact and
+/// deterministic, the costs just decide which branch is tried first.
+struct Testability {
+    cc0: Vec<u32>,
+    cc1: Vec<u32>,
+    co: Vec<u32>,
+}
+
+impl Testability {
+    fn build(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut cc0 = vec![INF_COST; n];
+        let mut cc1 = vec![INF_COST; n];
+        for &id in circuit.topo_order() {
+            let node = circuit.node(id);
+            let kind = node.kind();
+            let fanins = node.fanins();
+            let (c0, c1) = match kind {
+                GateKind::Input | GateKind::Dff => (1, 1),
+                GateKind::Const0 => (0, INF_COST),
+                GateKind::Const1 => (INF_COST, 0),
+                GateKind::Buf | GateKind::Not => {
+                    let f = fanins[0].index();
+                    (sat(cc0[f], 1), sat(cc1[f], 1))
+                }
+                GateKind::And | GateKind::Nand | GateKind::Or | GateKind::Nor => {
+                    let c = kind
+                        .controlling_value()
+                        .unwrap_or_else(|| unreachable!("and/or class controlling value"));
+                    // output == c: one controlling input suffices;
+                    // output == !c: every input non-controlling
+                    let easiest = fanins
+                        .iter()
+                        .map(|&f| if c { cc1[f.index()] } else { cc0[f.index()] })
+                        .min()
+                        .unwrap_or(INF_COST);
+                    let all_non = fanins
+                        .iter()
+                        .map(|&f| if c { cc0[f.index()] } else { cc1[f.index()] })
+                        .fold(0, sat);
+                    if c {
+                        (sat(all_non, 1), sat(easiest, 1))
+                    } else {
+                        (sat(easiest, 1), sat(all_non, 1))
+                    }
+                }
+                GateKind::Xor | GateKind::Xnor => {
+                    let first = fanins[0].index();
+                    let (mut a0, mut a1) = (cc0[first], cc1[first]);
+                    for &f in &fanins[1..] {
+                        let (b0, b1) = (cc0[f.index()], cc1[f.index()]);
+                        let n0 = sat(a0, b0).min(sat(a1, b1));
+                        let n1 = sat(a0, b1).min(sat(a1, b0));
+                        (a0, a1) = (n0, n1);
+                    }
+                    (sat(a0, 1), sat(a1, 1))
+                }
+            };
+            let i = id.index();
+            (cc0[i], cc1[i]) = if kind.is_inverting() {
+                (c1, c0)
+            } else {
+                (c0, c1)
+            };
+        }
+
+        let mut co = vec![INF_COST; n];
+        for op in circuit.observe_points() {
+            co[op.driver.index()] = 0;
+        }
+        for &id in circuit.topo_order().iter().rev() {
+            let node = circuit.node(id);
+            let kind = node.kind();
+            if !kind.is_combinational() {
+                continue;
+            }
+            let my = co[id.index()];
+            if my >= INF_COST {
+                continue;
+            }
+            let fanins = node.fanins();
+            for (i, &fi) in fanins.iter().enumerate() {
+                // side inputs must be held non-controlling (and/or class)
+                // or at any binary value (xor class) to pass the effect
+                let side: u32 = fanins
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &fj)| {
+                        let j = fj.index();
+                        match kind.controlling_value() {
+                            Some(true) => cc0[j],
+                            Some(false) => cc1[j],
+                            None => cc0[j].min(cc1[j]),
+                        }
+                    })
+                    .fold(0, sat);
+                let cost = sat(sat(my, side), 1);
+                let f = fi.index();
+                co[f] = co[f].min(cost);
+            }
+        }
+        Testability { cc0, cc1, co }
+    }
+
+    /// Controllability of `value` at node index `i`.
+    fn cc(&self, i: usize, value: bool) -> u32 {
+        if value {
+            self.cc1[i]
+        } else {
+            self.cc0[i]
+        }
+    }
+}
+
+/// Upper bound on stored implications; beyond it the pass keeps the
+/// (cheap, O(nodes)) constants but stops growing the reverse index.
+const LEARN_CAP: usize = 4_000_000;
+
+/// Static learned implications, computed once per circuit by ternary
+/// forward simulation.
+///
+/// For every source `s` and value `v`, one cone-bounded 3-valued sweep with
+/// only `s = v` assigned records each node that settles to a binary value
+/// `b` as the implication `(s = v) ⇒ (n = b)`. Nodes forced to the *same*
+/// value by both polarities of some source (or binary under the all-X
+/// baseline) are constants. The implications are consulted before a search
+/// starts: a target value contradicting a constant (or forbidden by both
+/// values of one source) is `Untestable` with zero backtracks, and a source
+/// value that would force the target to the wrong value yields a necessary
+/// pre-assignment of the opposite value.
+///
+/// Soundness: ternary simulation is monotone — a node binary under a
+/// partial assignment keeps that value under every completion — so every
+/// recorded implication (and hence every constant, contradiction and
+/// necessity) holds for all full assignments.
+struct Learned {
+    constant: Vec<Option<bool>>,
+    /// node index → `(source position, source value, implied node value)`.
+    implications: Vec<Vec<(u32, bool, bool)>>,
+}
+
+impl Learned {
+    fn build(
+        circuit: &Circuit,
+        sources: &[NodeId],
+        source_pos: &[usize],
+        cones: &mut [Option<Box<[NodeId]>>],
+    ) -> Self {
+        let n = circuit.len();
+        let mut values = vec![V5::X; n];
+        let mut ins = Vec::new();
+        let mut assignment: Vec<Option<bool>> = vec![None; sources.len()];
+        for &id in circuit.topo_order() {
+            values[id.index()] = eval_node(
+                circuit,
+                id,
+                &values,
+                &mut ins,
+                &assignment,
+                source_pos,
+                None,
+            );
+        }
+        let as_binary = |v: V5| if v.is_binary() { v.good() } else { None };
+        let mut constant: Vec<Option<bool>> = values.iter().map(|&v| as_binary(v)).collect();
+        let baseline = values.clone();
+
+        let mut implications: Vec<Vec<(u32, bool, bool)>> = vec![Vec::new(); n];
+        let mut total = 0usize;
+        // node → value implied by `s = false`, valid for the current source
+        let mut low_pass: Vec<Option<bool>> = vec![None; n];
+        for (k, &s) in sources.iter().enumerate() {
+            let cone =
+                cones[s.index()].get_or_insert_with(|| circuit.fanout_cone(s).into_boxed_slice());
+            for v in [false, true] {
+                assignment[k] = Some(v);
+                for &id in cone.iter() {
+                    values[id.index()] = eval_node(
+                        circuit,
+                        id,
+                        &values,
+                        &mut ins,
+                        &assignment,
+                        source_pos,
+                        None,
+                    );
+                }
+                for &id in cone.iter() {
+                    let i = id.index();
+                    if constant[i].is_some() {
+                        continue;
+                    }
+                    let b = as_binary(values[i]);
+                    if !v {
+                        low_pass[i] = b;
+                    } else if let (Some(b1), Some(b0)) = (b, low_pass[i]) {
+                        if b0 == b1 {
+                            // forced either way: the node is constant
+                            constant[i] = Some(b1);
+                        }
+                    }
+                    if let Some(b) = b {
+                        if total < LEARN_CAP {
+                            let k = u32::try_from(k)
+                                .unwrap_or_else(|_| unreachable!("source count fits u32"));
+                            implications[i].push((k, v, b));
+                            total += 1;
+                        }
+                    }
+                }
+                assignment[k] = None;
+                for &id in cone.iter() {
+                    values[id.index()] = baseline[id.index()];
+                }
+            }
+            for &id in cone.iter() {
+                low_pass[id.index()] = None;
+            }
+        }
+        Learned {
+            constant,
+            implications,
+        }
+    }
+}
+
 /// Reusable PODEM search engine.
 ///
 /// All per-circuit state — source ordering, the 5-valued value array, the
@@ -208,9 +459,18 @@ fn x_path_cone(circuit: &Circuit, seed: NodeId) -> Box<[NodeId]> {
 /// * the X-path check walks a cached fanin closure of the fault site.
 ///
 /// Every bound is exact — the restricted walks visit the same candidates
-/// in the same (topological) order as the original whole-circuit walks,
-/// so the search makes decision-for-decision identical choices and the
-/// returned cubes are bit-identical to the unbounded engine.
+/// in the same (topological) order as the original whole-circuit walks.
+///
+/// The *order* in which candidates are tried is testability-guided:
+/// [SCOAP-style](Testability) controllability/observability costs pick the
+/// easiest D-frontier gate and order backtrace decisions
+/// (easiest-controlling / hardest-non-controlling first), and a
+/// [static-learning](Learned) preamble turns provably contradictory
+/// targets into instant `Untestable` answers and seeds the search with
+/// necessary source assignments. All of it is deterministic — identical
+/// circuits produce identical cubes on every run and thread count — but
+/// the cubes differ from the unguided first-X-input engine, trading
+/// bit-compatibility for an order-of-magnitude backtrack reduction.
 pub struct PodemEngine<'c> {
     circuit: &'c Circuit,
     sources: Vec<NodeId>,
@@ -224,6 +484,13 @@ pub struct PodemEngine<'c> {
     cones: Vec<Option<Box<[NodeId]>>>,
     /// Through-anything fanin closures for the X-path check.
     xcones: Vec<Option<Box<[NodeId]>>>,
+    testability: Testability,
+    learned: Learned,
+    /// Observation-point drivers, for the dynamic D-frontier filter.
+    op_driver: Vec<bool>,
+    /// Scratch for the reverse can-reach-an-OP-through-X sweep; false
+    /// outside an `objective` call.
+    xreach: Vec<bool>,
     backtracks_left: u32,
 }
 
@@ -239,6 +506,14 @@ impl<'c> PodemEngine<'c> {
             source_pos[s.index()] = k;
         }
         let n = sources.len();
+        let mut cones: Vec<Option<Box<[NodeId]>>> = vec![None; circuit.len()];
+        // the learning pass also pre-warms every source's forward cone,
+        // which the search's incremental implication reuses
+        let learned = Learned::build(circuit, &sources, &source_pos, &mut cones);
+        let mut op_driver = vec![false; circuit.len()];
+        for op in circuit.observe_points() {
+            op_driver[op.driver.index()] = true;
+        }
         PodemEngine {
             circuit,
             sources,
@@ -247,8 +522,12 @@ impl<'c> PodemEngine<'c> {
             assignment: vec![None; n],
             ins: Vec::new(),
             reach: vec![false; circuit.len()],
-            cones: vec![None; circuit.len()],
+            cones,
             xcones: vec![None; circuit.len()],
+            testability: Testability::build(circuit),
+            learned,
+            op_driver,
+            xreach: vec![false; circuit.len()],
             backtracks_left: 0,
         }
     }
@@ -310,21 +589,67 @@ impl<'c> PodemEngine<'c> {
         if let Some(f) = goal.fault() {
             self.ensure_cones(f.node);
         }
-        self.forward_full(goal);
-        let outcome = match self.search(goal) {
-            Tri::Success => PodemOutcome::Test(self.assignment.clone()),
-            Tri::Fail => PodemOutcome::Untestable,
-            Tri::Abort => PodemOutcome::Aborted,
+        let (contradiction, necessities) = self.apply_learned(goal);
+        let outcome = if contradiction {
+            PodemOutcome::Untestable
+        } else {
+            self.forward_full(goal);
+            match self.search(goal) {
+                Tri::Success => PodemOutcome::Test(self.assignment.clone()),
+                Tri::Fail => PodemOutcome::Untestable,
+                Tri::Abort => PodemOutcome::Aborted,
+            }
         };
         if let Some(m) = metrics {
             m.podem_calls.incr();
             m.podem_backtracks
                 .add(u64::from(max_backtracks - self.backtracks_left));
+            m.podem_necessity_assignments.add(necessities);
+            if contradiction {
+                m.podem_learned_untestable.incr();
+            }
             if matches!(outcome, PodemOutcome::Aborted) {
                 m.podem_aborts.incr();
             }
         }
         outcome
+    }
+
+    /// The static-learning preamble: checks every goal requirement against
+    /// learned constants and implications. Returns `(true, _)` when some
+    /// requirement is provably unsatisfiable (the goal is `Untestable`
+    /// without any search); otherwise pre-assigns each source whose value
+    /// would force a requirement to the wrong constant — those assignments
+    /// are *necessary*, so exhausting the remaining space still proves
+    /// untestability.
+    fn apply_learned(&mut self, goal: Goal) -> (bool, u64) {
+        let mut necessities = 0u64;
+        for (node, value) in goal.requirements().into_iter().flatten() {
+            let i = node.index();
+            if let Some(c) = self.learned.constant[i] {
+                if c != value {
+                    return (true, necessities);
+                }
+                continue;
+            }
+            for &(k, source_value, implied) in &self.learned.implications[i] {
+                if implied == value {
+                    continue;
+                }
+                // `source = source_value` forces the wrong value here, so
+                // the opposite source value is necessary
+                let need = !source_value;
+                match self.assignment[k as usize] {
+                    Some(prev) if prev != need => return (true, necessities),
+                    Some(_) => {}
+                    None => {
+                        self.assignment[k as usize] = Some(need);
+                        necessities += 1;
+                    }
+                }
+            }
+        }
+        (false, necessities)
     }
 
     /// Caches both cone flavours for a fault site.
@@ -467,7 +792,7 @@ impl<'c> PodemEngine<'c> {
     }
 
     /// The next objective `(node, value)` to pursue, or `None` when stuck.
-    fn objective(&self, goal: Goal) -> Option<(NodeId, bool)> {
+    fn objective(&mut self, goal: Goal) -> Option<(NodeId, bool)> {
         match goal {
             Goal::Justify(node, value) => {
                 (self.values[node.index()] == V5::X).then_some((node, value))
@@ -485,15 +810,33 @@ impl<'c> PodemEngine<'c> {
                 if !at_site.is_fault_effect() {
                     return None;
                 }
-                // D-frontier: gate with X output and a fault effect input.
-                // Effect-carrying nodes live inside the fault site's
-                // combinational fanout cone, and so do their fanout gates;
-                // the cone list is a topologically ordered subsequence of
-                // `combinational_nodes()`, so the first match is the same
-                // gate the whole-circuit scan would pick.
+                // D-frontier: gates with an X output and a fault-effect
+                // input. Effect-carrying nodes live inside the fault
+                // site's combinational fanout cone, and so do their fanout
+                // gates. Frontier gates whose output cannot reach an
+                // observation point through X-valued logic any more are
+                // dead ends — a reverse sweep over the cone filters them
+                // out before they burn decisions. Among the live gates,
+                // pursue the one whose output is *easiest to observe*
+                // (minimum SCOAP CO, ties broken toward the first in
+                // topological order) — the fault effect takes the cheapest
+                // path out.
                 let cone = self.cones[fault.node.index()].as_deref().unwrap_or(&[]);
+                for &id in cone.iter().rev() {
+                    let i = id.index();
+                    // before: `xreach[i]` = some already-processed fanout
+                    // reaches an OP through X; after: this node does
+                    let ok = self.values[i] == V5::X && (self.op_driver[i] || self.xreach[i]);
+                    self.xreach[i] = ok;
+                    if ok {
+                        for &fi in self.circuit.node(id).fanins() {
+                            self.xreach[fi.index()] = true;
+                        }
+                    }
+                }
+                let mut best: Option<(u32, NodeId)> = None;
                 for &id in cone {
-                    if self.values[id.index()] != V5::X {
+                    if self.values[id.index()] != V5::X || !self.xreach[id.index()] {
                         continue;
                     }
                     let node = self.circuit.node(id);
@@ -504,27 +847,61 @@ impl<'c> PodemEngine<'c> {
                         .fanins()
                         .iter()
                         .any(|&fi| self.values[fi.index()].is_fault_effect());
-                    if !has_effect {
+                    let has_x = node
+                        .fanins()
+                        .iter()
+                        .any(|&fi| self.values[fi.index()] == V5::X);
+                    if !has_effect || !has_x {
                         continue;
                     }
-                    // drive an X side input to the non-controlling value
-                    for &fi in node.fanins() {
-                        if self.values[fi.index()] == V5::X {
-                            let v = match node.kind().controlling_value() {
-                                Some(c) => !c,
-                                None => false, // XOR class: either value propagates
-                            };
-                            return Some((fi, v));
-                        }
+                    let cost = self.testability.co[id.index()];
+                    if best.is_none_or(|(c, _)| cost < c) {
+                        best = Some((cost, id));
                     }
                 }
-                None
+                // the sweep marks side fanins outside the cone too: clear
+                // everything it could have touched before returning
+                for &id in cone {
+                    self.xreach[id.index()] = false;
+                    for &fi in self.circuit.node(id).fanins() {
+                        self.xreach[fi.index()] = false;
+                    }
+                }
+                let (_, id) = best?;
+                let node = self.circuit.node(id);
+                // Side inputs: to pass the effect, *every* X side input
+                // must eventually go non-controlling, so surface conflicts
+                // early by driving the hardest one first. XOR-class gates
+                // propagate through any binary value — still take the
+                // hardest input, but aim for its cheaper value.
+                let mut pick: Option<(u32, NodeId, bool)> = None;
+                for &fi in node.fanins() {
+                    let f = fi.index();
+                    if self.values[f] != V5::X {
+                        continue;
+                    }
+                    let (cost, v) = match node.kind().controlling_value() {
+                        Some(c) => (self.testability.cc(f, !c), !c),
+                        None => {
+                            let (c0, c1) = (self.testability.cc0[f], self.testability.cc1[f]);
+                            (c0.min(c1), c1 < c0)
+                        }
+                    };
+                    if pick.is_none_or(|(c, _, _)| cost > c) {
+                        pick = Some((cost, fi, v));
+                    }
+                }
+                pick.map(|(_, fi, v)| (fi, v))
             }
         }
     }
 
     /// Maps an objective to a source assignment by walking X inputs
-    /// backwards.
+    /// backwards, ordered by the SCOAP controllability costs: where one
+    /// controlling input suffices the *easiest* X input is taken, where
+    /// every input must go non-controlling the *hardest* is taken first so
+    /// infeasible branches die at the top of the decision stack instead of
+    /// after a pile of cheap assignments.
     fn backtrace(&self, mut node: NodeId, mut value: bool) -> (usize, bool) {
         loop {
             let pos = self.source_pos[node.index()];
@@ -541,28 +918,52 @@ impl<'c> PodemEngine<'c> {
                     let ctrl = kind
                         .controlling_value()
                         .unwrap_or_else(|| unreachable!("and/or class controlling value"));
-                    let x_input = n
-                        .fanins()
-                        .iter()
-                        .copied()
-                        .find(|&fi| self.values[fi.index()] == V5::X)
-                        .unwrap_or_else(|| unreachable!("X output implies an X input"));
-                    if pre == ctrl ^ true {
-                        // need the non-controlled output: all inputs
-                        // non-controlling
-                        (x_input, !ctrl)
-                    } else {
-                        // one controlling input suffices
-                        (x_input, ctrl)
+                    // needing the non-controlled output means every input
+                    // is necessary (pick the hardest); a controlled output
+                    // is a free choice (pick the easiest)
+                    let all_necessary = pre != ctrl;
+                    let needed = if all_necessary { !ctrl } else { ctrl };
+                    let mut pick: Option<(u32, NodeId)> = None;
+                    for &fi in n.fanins() {
+                        let f = fi.index();
+                        if self.values[f] != V5::X {
+                            continue;
+                        }
+                        let cost = self.testability.cc(f, needed);
+                        let better =
+                            pick.is_none_or(
+                                |(c, _)| {
+                                    if all_necessary {
+                                        cost > c
+                                    } else {
+                                        cost < c
+                                    }
+                                },
+                            );
+                        if better {
+                            pick = Some((cost, fi));
+                        }
                     }
+                    let (_, x_input) =
+                        pick.unwrap_or_else(|| unreachable!("X output implies an X input"));
+                    (x_input, needed)
                 }
                 GateKind::Xor | GateKind::Xnor => {
-                    let x_input = n
-                        .fanins()
-                        .iter()
-                        .copied()
-                        .find(|&fi| self.values[fi.index()] == V5::X)
-                        .unwrap_or_else(|| unreachable!("X output implies an X input"));
+                    // every input must settle to a binary value; take the
+                    // cheapest-to-control X input first
+                    let mut pick: Option<(u32, NodeId)> = None;
+                    for &fi in n.fanins() {
+                        let f = fi.index();
+                        if self.values[f] != V5::X {
+                            continue;
+                        }
+                        let cost = self.testability.cc0[f].min(self.testability.cc1[f]);
+                        if pick.is_none_or(|(c, _)| cost < c) {
+                            pick = Some((cost, fi));
+                        }
+                    }
+                    let (_, x_input) =
+                        pick.unwrap_or_else(|| unreachable!("X output implies an X input"));
                     // parity of the other inputs' known good bits
                     let parity = n
                         .fanins()

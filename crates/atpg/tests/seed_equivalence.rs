@@ -1,10 +1,19 @@
-//! Byte-equality regression net for the cached/parallel grading engine.
+//! Byte-equality regression net for the deterministic ATPG pipeline.
 //!
-//! The fingerprints below were recorded from the pre-cache implementation
-//! (per-call `fanout_cone` + from-scratch matrix rebuilds) at fixed seeds.
-//! The cached-cone, fault-parallel engine must reproduce every pattern bit,
-//! in order — any drift in the test set, fault tallies or compaction
-//! choices changes the FNV fingerprint and fails here.
+//! The s27 fingerprints still match the original pre-cache implementation
+//! (per-call `fanout_cone` + from-scratch matrix rebuilds): neither the
+//! cached-cone grading engine nor the testability-guided PODEM changed a
+//! single decision on the small benchmark. The syn400 fingerprints were
+//! re-recorded when SCOAP guidance, static learning and the dynamic
+//! X-path D-frontier filter were added to PODEM — those intentionally
+//! change the *order* decisions are tried in, so the emitted cubes (and
+//! hence the fingerprints) differ from the unguided engine. The re-record
+//! is justified in-test: [`guidance_never_loses_coverage`] pins the
+//! unguided baseline tallies and asserts the guided engine detects at
+//! least as many faults and proves at least as many untestable on every
+//! full (uncapped) configuration. Any further drift in the test set,
+//! fault tallies or compaction choices changes the FNV fingerprint and
+//! fails here.
 
 use fastmon_atpg::{generate, AtpgConfig, AtpgResult};
 use fastmon_netlist::generate::GeneratorConfig;
@@ -80,10 +89,10 @@ fn enhanced_scan_matches_seed_fingerprints() {
         ("s27", "seed9", 0x217f_632f_6309_b3ae),
         ("s27", "nocompact", 0x2cf0_47e8_5e2d_e7cb),
         ("s27", "cap5", 0x0a28_3a2b_1cd6_2ee1),
-        ("syn400", "default", 0xd174_1757_f8fd_886e),
-        ("syn400", "seed9", 0x8b4d_0c58_db18_8829),
-        ("syn400", "nocompact", 0x65e7_548b_4573_a51d),
-        ("syn400", "cap5", 0x79c0_3720_6310_f6bd),
+        ("syn400", "default", 0x34ac_d2fb_489e_77f9),
+        ("syn400", "seed9", 0xb2f2_2fb4_a49c_f32f),
+        ("syn400", "nocompact", 0xf936_cb30_bdf4_82ae),
+        ("syn400", "cap5", 0xd25b_607f_f296_8e6a),
     ];
     let s27 = library::s27();
     let syn = syn400();
@@ -110,10 +119,10 @@ fn broadside_matches_seed_fingerprints() {
         ("s27", "seed9", 0x9328_7dad_697b_5dd6),
         ("s27", "nocompact", 0x8987_51fb_a96c_285d),
         ("s27", "cap5", 0x242a_0a60_dc29_7156),
-        ("syn400", "default", 0x4362_ee1c_f727_a510),
-        ("syn400", "seed9", 0xe542_2764_fa24_1078),
-        ("syn400", "nocompact", 0xda13_c580_95e9_8693),
-        ("syn400", "cap5", 0x99d4_f979_672e_649e),
+        ("syn400", "default", 0x0293_0072_39c1_b504),
+        ("syn400", "seed9", 0xa081_7d06_a9c1_7322),
+        ("syn400", "nocompact", 0x7eea_e023_33ca_f769),
+        ("syn400", "cap5", 0x8741_10c4_dc6e_752a),
     ];
     let s27 = library::s27();
     let syn = syn400();
@@ -129,6 +138,73 @@ fn broadside_matches_seed_fingerprints() {
             fingerprint(&r),
             expected,
             "{circuit_name}/{tag}/broadside: output drifted from the seed implementation"
+        );
+    }
+}
+
+/// The justification for re-recording the syn400 goldens above: the
+/// testability-guided PODEM must never *lose* coverage relative to the
+/// unguided engine whose fingerprints it replaced. The baseline tallies
+/// below were measured on the unguided implementation (this commit's
+/// parent) at the same seeds.
+///
+/// Only the full (uncapped) configurations are asserted. Under `cap5`'s
+/// hard 5-pattern budget the guided cubes carry more care bits (necessity
+/// pre-assignments), which leaves less random fill per pattern and hence
+/// less fortuitous coverage per pattern — raw `detected` under a tiny
+/// budget measures fill luck, not ATPG quality. Total fault efficiency
+/// (`detected + untestable`) still did not regress there: enhanced-scan
+/// 427 vs 415, broadside 357 vs 357.
+#[test]
+fn guidance_never_loses_coverage() {
+    // (tag, unguided detected, unguided untestable)
+    let es_baseline = [
+        ("default", 586, 84),
+        ("seed9", 588, 84),
+        ("nocompact", 586, 84),
+    ];
+    let bs_baseline = [
+        ("default", 446, 82),
+        ("seed9", 441, 82),
+        ("nocompact", 446, 82),
+    ];
+    let syn = syn400();
+    for (tag, base_detected, base_untestable) in es_baseline {
+        let cfg = configs()
+            .into_iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, c)| c)
+            .expect("known tag");
+        let r = generate(&syn, &cfg);
+        assert!(
+            r.detected >= base_detected,
+            "ES syn400/{tag}: guided engine detected {} < unguided baseline {base_detected}",
+            r.detected
+        );
+        assert!(
+            r.detected + r.untestable >= base_detected + base_untestable,
+            "ES syn400/{tag}: guided fault efficiency {} < unguided baseline {}",
+            r.detected + r.untestable,
+            base_detected + base_untestable
+        );
+    }
+    for (tag, base_detected, base_untestable) in bs_baseline {
+        let cfg = configs()
+            .into_iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, c)| c)
+            .expect("known tag");
+        let r = fastmon_atpg::broadside::generate_broadside(&syn, &cfg);
+        assert!(
+            r.detected >= base_detected,
+            "BS syn400/{tag}: guided engine detected {} < unguided baseline {base_detected}",
+            r.detected
+        );
+        assert!(
+            r.detected + r.untestable >= base_detected + base_untestable,
+            "BS syn400/{tag}: guided fault efficiency {} < unguided baseline {}",
+            r.detected + r.untestable,
+            base_detected + base_untestable
         );
     }
 }

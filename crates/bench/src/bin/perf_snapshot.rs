@@ -114,13 +114,15 @@ fn main() {
         let snap = CampaignStats::from_metrics(&flow.metrics().sim);
         println!(
             "  threads={threads}: analyze {analyze_secs:.3} s, {} targets, \
-             {} cones simulated, {} masked, {} nodes evaluated, \
-             {} converged-skipped, {} pruned, {} allocs / {} reuses",
+             {} cones simulated, {} masked, {} screened out, {} nodes evaluated, \
+             {} converged-skipped, {} screen-visited, {} pruned, {} allocs / {} reuses",
             analysis.targets.len(),
             snap.cones_simulated,
             snap.cones_masked,
+            snap.faults_screened_out,
             snap.nodes_evaluated,
             snap.nodes_converged,
+            snap.screen_nodes_visited,
             snap.nodes_pruned_unobserved,
             snap.waveform_allocs,
             snap.waveform_reuses,
@@ -148,6 +150,14 @@ fn main() {
     println!("\nper-phase self time:");
     print!("{}", fastmon_obs::profile::render_table(&report));
 
+    // Sampled after every run so the high-water mark covers the hungriest
+    // thread count, not just the last one.
+    let peak_rss = fastmon_bench::rss::peak_rss_self_bytes();
+    match peak_rss {
+        Some(bytes) => println!("peak RSS: {}", fastmon_bench::rss::format_mib(bytes)),
+        None => println!("peak RSS: unavailable on this platform"),
+    }
+
     let json = render_json(
         &name,
         &profile.name,
@@ -157,6 +167,7 @@ fn main() {
         &atpg,
         &runs,
         &robustness,
+        peak_rss,
         &fastmon_obs::profile::report_json(&report),
     );
     if let Err(e) = std::fs::write(&out_path, json) {
@@ -257,6 +268,7 @@ fn render_json(
     atpg: &AtpgReport,
     runs: &[ThreadRun],
     robustness: &RobustnessTotals,
+    peak_rss: Option<u64>,
     profile_json: &str,
 ) -> String {
     let mut s = String::new();
@@ -266,6 +278,9 @@ fn render_json(
     let _ = writeln!(s, "  \"gates\": {gates},");
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"patterns\": {patterns},");
+    // 0 encodes "probe unavailable" (non-Linux host) — a real campaign
+    // always has a nonzero high-water mark.
+    let _ = writeln!(s, "  \"peak_rss_bytes\": {},", peak_rss.unwrap_or(0));
     let _ = writeln!(s, "  \"atpg_secs\": {},", atpg.atpg_secs);
     let _ = writeln!(s, "  \"atpg\": {{");
     let _ = writeln!(s, "    \"phases\": {{");
@@ -301,8 +316,20 @@ fn render_json(
             "      \"nodes_pruned_unobserved\": {},",
             st.nodes_pruned_unobserved
         );
+        let _ = writeln!(s, "      \"cone_plans_built\": {},", st.cone_plans_built);
         let _ = writeln!(s, "      \"waveform_allocs\": {},", st.waveform_allocs);
-        let _ = writeln!(s, "      \"waveform_reuses\": {}", st.waveform_reuses);
+        let _ = writeln!(s, "      \"waveform_reuses\": {},", st.waveform_reuses);
+        let _ = writeln!(s, "      \"screen_walks\": {},", st.screen_walks);
+        let _ = writeln!(
+            s,
+            "      \"screen_nodes_visited\": {},",
+            st.screen_nodes_visited
+        );
+        let _ = writeln!(
+            s,
+            "      \"faults_screened_out\": {}",
+            st.faults_screened_out
+        );
         let _ = writeln!(s, "    }}{sep}");
     }
     let _ = writeln!(s, "  ],");

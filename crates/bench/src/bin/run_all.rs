@@ -123,6 +123,15 @@ fn run() -> i32 {
         records.push(record);
     }
 
+    // Every child has been reaped by now, so RUSAGE_CHILDREN reflects the
+    // hungriest experiment of the whole campaign.
+    if let Some(bytes) = fastmon_bench::rss::peak_rss_children_bytes() {
+        eprintln!(
+            "[run_all] peak child RSS across the campaign: {}",
+            fastmon_bench::rss::format_mib(bytes)
+        );
+    }
+
     let failures: Vec<&RunRecord> = records.iter().filter(|r| !r.outcome.is_success()).collect();
     let mut exit = i32::from(!failures.is_empty());
     match write_manifest(&manifest_path, &records) {

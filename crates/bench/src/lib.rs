@@ -28,6 +28,7 @@
 
 pub mod chaos;
 pub mod manifest;
+pub mod rss;
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};

@@ -1,10 +1,15 @@
+use std::sync::Mutex;
+
 use fastmon_atpg::TestSet;
-use fastmon_faults::{DetectionRange, FaultList, IntervalSet, Polarity};
+use fastmon_faults::{DetectionRange, FaultList, IntervalSet};
 use fastmon_monitor::{
     at_speed_monitor_detectable, shifted_detection, ConfigSet, MonitorConfig, MonitorPlacement,
 };
-use fastmon_netlist::{Circuit, NodeId, PinRef};
-use fastmon_sim::{parallel_map, try_parallel_map_with, ConeScratch, SimEngine};
+use fastmon_netlist::{Circuit, NodeId};
+use fastmon_sim::{
+    parallel_map, try_parallel_map_with, ConeScratch, FaultScreen, ScreenScratch, SimEngine,
+    SpareBank,
+};
 use fastmon_timing::{ClockSpec, DelayAnnotation, Time};
 
 use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
@@ -183,14 +188,6 @@ impl DetectionAnalysis {
             Some(m) => SimEngine::new(circuit, annot).with_metrics(m),
             None => SimEngine::new(circuit, annot),
         };
-        // the signal whose transitions the fault delays
-        let site_signal: Vec<NodeId> = faults
-            .iter()
-            .map(|(_, f)| match f.site {
-                PinRef::Output(n) => n,
-                PinRef::Input(n, k) => circuit.node(n).fanins()[k as usize],
-            })
-            .collect();
 
         // group faults by seed gate so each gate's fanout cone is planned
         // once and shared across all its pin/polarity faults and patterns
@@ -203,27 +200,57 @@ impl DetectionAnalysis {
             }
         }
         let threads = threads.max(1);
-        let plans: Vec<fastmon_sim::ConePlan> = parallel_map(by_gate.len(), threads, |g| {
+        // Oversubscription guard: requesting more workers than the machine
+        // has cores only adds scheduling overhead (the old 4-thread runs
+        // were *slower* than 1-thread on small hosts). Results are
+        // bit-identical for any worker count by construction.
+        let workers = threads.min(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(threads),
+        );
+        let plans: Vec<fastmon_sim::ConePlan> = parallel_map(by_gate.len(), workers, |g| {
             fastmon_sim::ConePlan::new_with_metrics(circuit, by_gate[g].0, sim_metrics)
         });
+        // word-parallel screen: 64 faults share one union-cone traversal
+        // per pattern; only survivors pay for an exact timing walk
+        let screen = FaultScreen::build(circuit, &faults, &by_gate, &plans);
+        let groups = screen.groups();
 
-        // Two-axis fan-out: work items are (pattern, gate-chunk) pairs, so
+        // Two-axis fan-out: work items are (pattern, group-chunk) pairs, so
         // even a handful of patterns keeps every thread busy and the
         // work-stealing pool rebalances wildly uneven cone sizes. Patterns
         // are processed in bands so the shared fault-free results stay
         // memory-bounded: within a band, each pattern is simulated
-        // fault-free exactly once and read by all its gate chunks.
+        // fault-free exactly once and read by all its group chunks.
         let num_patterns = patterns.len();
-        let num_chunks = if threads > 1 {
-            by_gate.len().clamp(1, threads * 2)
+        // The chunk partition exists to load-balance screen groups across
+        // *real* workers; on a host where the campaign runs serially it is
+        // pure per-item overhead, so it is sized from the effective worker
+        // count, not the requested thread count. The fixed-order merge
+        // below keeps results bit-identical for any chunk count.
+        let num_chunks = if workers > 1 {
+            groups.len().clamp(1, workers * 2)
         } else {
             1
         };
-        // Aim for 2 patterns per thread and at least 4 per band, but never
-        // more than the test set holds. Written as max-then-min (not
-        // `clamp`) because the lower bound (4) can exceed the upper bound
-        // on small pattern sets, which `clamp` rejects with a panic.
-        let band_size = (threads * 2).max(4).min(num_patterns.max(1));
+        // Bands want to be as coarse as memory allows: every band pays two
+        // scoped-thread spawn rounds plus a checkpoint write, which at the
+        // old `threads * 2` sizing dominated the campaign on machines where
+        // workers mostly run serially. An eighth of the test set keeps the
+        // band count (and hence spawn/checkpoint overhead) constant across
+        // thread counts, the memory cap bounds the band's resident
+        // fault-free waveforms on full-scale circuits, and the
+        // `threads * 2` floor keeps every worker busy on small sets.
+        // Written as max-then-min (not `clamp`) because the lower bound can
+        // exceed the upper bound on small pattern sets, which `clamp`
+        // rejects with a panic.
+        let mem_cap = (4_000_000 / circuit.len().max(1)).max(threads * 2).max(4);
+        let band_size = (num_patterns / 8)
+            .max(threads * 2)
+            .max(4)
+            .min(mem_cap)
+            .min(num_patterns.max(1));
 
         let contained = |panic: fastmon_sim::WorkerPanic| {
             if let Some(m) = metrics {
@@ -235,6 +262,14 @@ impl DetectionAnalysis {
             }
         };
 
+        // Campaign-lifetime worker state: scratch buffers live in a pool
+        // that outlasts the per-band thread spawns, and recycled waveform
+        // transition buffers move through a shared bank at work-item
+        // granularity, so `waveform_allocs` tracks the concurrent peak
+        // instead of growing with bands × workers.
+        let worker_pool: Mutex<Vec<BandWorker>> = Mutex::new(Vec::new());
+        let bank = SpareBank::new();
+
         let mut band_start = progress.next_pattern.min(num_patterns);
         while band_start < num_patterns {
             let _band_span = fastmon_obs::span!("band", band_start / band_size);
@@ -244,7 +279,7 @@ impl DetectionAnalysis {
             // read-only by every gate chunk
             let bases = try_parallel_map_with(
                 band_len,
-                threads,
+                workers,
                 || (),
                 |(), i| engine.simulate(&patterns.stimulus(circuit, band_start + i)),
             )
@@ -252,41 +287,47 @@ impl DetectionAnalysis {
 
             let chunk_results = try_parallel_map_with(
                 band_len * num_chunks,
-                threads,
-                || (ConeScratch::new(circuit), Vec::new()),
-                |(scratch, diffs), item| {
+                workers,
+                || WorkerLease::take(&worker_pool, circuit),
+                |lease, item| {
                     // Worker bodies have no error channel; both failpoint
                     // actions surface as a contained panic.
                     if let Err(injected) = fastmon_obs::failpoints::fire("sim_worker") {
                         panic!("{injected}");
                     }
+                    let w = lease.get();
+                    bank.withdraw(&mut w.scratch);
                     let base = &bases[item / num_chunks];
                     let chunk = item % num_chunks;
-                    let lo = chunk * by_gate.len() / num_chunks;
-                    let hi = (chunk + 1) * by_gate.len() / num_chunks;
+                    let lo = chunk * groups.len() / num_chunks;
+                    let hi = (chunk + 1) * groups.len() / num_chunks;
                     let mut found: Vec<(u32, DetectionRange)> = Vec::new();
-                    for ((_, fault_ids), plan) in by_gate[lo..hi].iter().zip(&plans[lo..hi]) {
-                        for &fidx in fault_ids {
-                            let fault = faults.fault(fastmon_faults::FaultId::from_index(fidx));
-                            // activation pre-check: the site signal must
-                            // carry a transition of the fault's polarity
-                            let wave = base.wave(site_signal[fidx]);
-                            if !has_polarity_transition(wave, fault.polarity) {
+                    for group in &groups[lo..hi] {
+                        // word-parallel screen: one union-cone traversal
+                        // decides for all 64 faults whether an exact walk
+                        // can possibly detect anything
+                        let word = screen.screen(group, base, &mut w.screen_scratch, sim_metrics);
+                        if word == 0 {
+                            continue;
+                        }
+                        for (fidx, entry, bit) in group.members() {
+                            if word & (1 << bit) == 0 {
                                 continue;
                             }
+                            let fault = faults.fault(fastmon_faults::FaultId::from_index(fidx));
                             engine.response_diff_planned_into(
                                 base,
                                 fault,
-                                plan,
-                                scratch,
+                                &plans[entry],
+                                &mut w.scratch,
                                 clock.t_nom,
-                                diffs,
+                                &mut w.diffs,
                             );
-                            if diffs.is_empty() {
+                            if w.diffs.is_empty() {
                                 continue;
                             }
                             let mut dr = DetectionRange::new();
-                            for (op, set) in diffs.drain(..) {
+                            for (op, set) in w.diffs.drain(..) {
                                 let filtered = set
                                     .clipped(0.0, clock.t_nom)
                                     .filter_glitches(glitch_threshold);
@@ -299,6 +340,7 @@ impl DetectionAnalysis {
                             }
                         }
                     }
+                    bank.deposit(&mut w.scratch);
                     found
                 },
             )
@@ -414,36 +456,69 @@ impl DetectionAnalysis {
     }
 }
 
-/// Whether the waveform carries a transition the polarity affects.
-fn has_polarity_transition(wave: &fastmon_sim::Waveform, polarity: Polarity) -> bool {
-    let mut value = wave.initial();
-    for _ in wave.transitions() {
-        value = !value;
-        if polarity.affects(value) {
-            return true;
+/// Per-worker campaign scratch: the cone re-simulation buffers, the
+/// word-screen mask buffers and the per-fault diff accumulator.
+struct BandWorker {
+    scratch: ConeScratch,
+    screen_scratch: ScreenScratch,
+    diffs: Vec<(usize, IntervalSet)>,
+}
+
+impl BandWorker {
+    fn new(circuit: &Circuit) -> Self {
+        BandWorker {
+            scratch: ConeScratch::new(circuit),
+            screen_scratch: ScreenScratch::new(),
+            diffs: Vec::new(),
         }
     }
-    false
+}
+
+/// Checks a [`BandWorker`] out of the campaign pool and returns it on
+/// drop, so scratch buffers survive the per-band thread spawns instead of
+/// being reallocated `bands × workers` times. A worker that panics forfeits
+/// its state (the lease is leaked with the worker thread), which exactly
+/// matches the previous per-spawn lifetime under panic containment.
+struct WorkerLease<'p> {
+    pool: &'p Mutex<Vec<BandWorker>>,
+    worker: Option<BandWorker>,
+}
+
+impl<'p> WorkerLease<'p> {
+    fn take(pool: &'p Mutex<Vec<BandWorker>>, circuit: &Circuit) -> Self {
+        let worker = pool
+            .lock()
+            .ok()
+            .and_then(|mut p| p.pop())
+            .unwrap_or_else(|| BandWorker::new(circuit));
+        WorkerLease {
+            pool,
+            worker: Some(worker),
+        }
+    }
+
+    fn get(&mut self) -> &mut BandWorker {
+        match self.worker.as_mut() {
+            Some(w) => w,
+            None => unreachable!("lease holds a worker until dropped"),
+        }
+    }
+}
+
+impl Drop for WorkerLease<'_> {
+    fn drop(&mut self) {
+        if let Some(w) = self.worker.take() {
+            if let Ok(mut pool) = self.pool.lock() {
+                pool.push(w);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{FlowConfig, HdfTestFlow};
-    use fastmon_sim::Waveform;
-
-    #[test]
-    fn polarity_transition_check() {
-        let w = Waveform::with_transitions(false, vec![1.0]); // rising only
-        assert!(has_polarity_transition(&w, Polarity::SlowToRise));
-        assert!(!has_polarity_transition(&w, Polarity::SlowToFall));
-        let w = Waveform::with_transitions(false, vec![1.0, 2.0]); // rise+fall
-        assert!(has_polarity_transition(&w, Polarity::SlowToFall));
-        assert!(!has_polarity_transition(
-            &Waveform::constant(true),
-            Polarity::SlowToRise
-        ));
-    }
 
     fn s27_analysis() -> (Circuit, FlowConfig) {
         (fastmon_netlist::library::s27(), FlowConfig::default())

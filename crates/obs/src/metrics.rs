@@ -95,10 +95,24 @@ metric_section! {
         /// Cone gates dropped at plan-build time because they cannot reach
         /// any observation point.
         nodes_pruned_unobserved,
+        /// Cone propagation plans built (one per distinct fault gate) —
+        /// proves the plan/pruning wiring actually ran even when
+        /// `nodes_pruned_unobserved` is legitimately 0 on fully observable
+        /// netlists.
+        cone_plans_built,
         /// Waveform transition buffers allocated fresh in the hot loop.
         waveform_allocs,
         /// Waveform transition buffers recycled from the scratch pool.
         waveform_reuses,
+        /// Word-parallel screen traversals (one per 64-fault group per
+        /// pattern).
+        screen_walks,
+        /// Union-cone gates visited by the word-parallel screen.
+        screen_nodes_visited,
+        /// (fault, pattern) pairs discarded by the screen without an exact
+        /// cone walk (not activated, blocked at a side input, or provably
+        /// unable to reach an observation point).
+        faults_screened_out,
     }
 }
 
@@ -111,6 +125,12 @@ metric_section! {
         podem_backtracks,
         /// PODEM invocations aborted at the backtrack limit.
         podem_aborts,
+        /// PODEM invocations answered `Untestable` straight from the
+        /// static-learning preamble (no search).
+        podem_learned_untestable,
+        /// Sources pre-assigned by learned implications before the search
+        /// started (necessary assignments).
+        podem_necessity_assignments,
         /// Faults proven untestable.
         faults_untestable,
         /// Faults detected (random phase + PODEM).

@@ -40,10 +40,20 @@ pub struct CampaignStats {
     /// Cone gates dropped at plan-build time because they cannot reach
     /// any observation point.
     pub nodes_pruned_unobserved: u64,
+    /// Cone propagation plans built (one per distinct fault gate).
+    pub cone_plans_built: u64,
     /// Waveform transition buffers allocated fresh in the hot loop.
     pub waveform_allocs: u64,
     /// Waveform transition buffers recycled from the scratch pool.
     pub waveform_reuses: u64,
+    /// Word-parallel screen traversals (one per 64-fault group per
+    /// pattern).
+    pub screen_walks: u64,
+    /// Union-cone gates visited by the word-parallel screen.
+    pub screen_nodes_visited: u64,
+    /// (fault, pattern) pairs discarded by the screen without an exact
+    /// cone walk.
+    pub faults_screened_out: u64,
 }
 
 impl CampaignStats {
@@ -56,8 +66,12 @@ impl CampaignStats {
             nodes_evaluated: m.nodes_evaluated.get(),
             nodes_converged: m.nodes_converged.get(),
             nodes_pruned_unobserved: m.nodes_pruned_unobserved.get(),
+            cone_plans_built: m.cone_plans_built.get(),
             waveform_allocs: m.waveform_allocs.get(),
             waveform_reuses: m.waveform_reuses.get(),
+            screen_walks: m.screen_walks.get(),
+            screen_nodes_visited: m.screen_nodes_visited.get(),
+            faults_screened_out: m.faults_screened_out.get(),
         }
     }
 }
