@@ -38,10 +38,13 @@ struct ThreadRun {
 /// Robustness counters summed over every flow of the snapshot (ATPG + one
 /// analyze per thread count): failpoints fired, checkpoint retries,
 /// cancel latency and contained worker panics. All zero in a healthy
-/// uninjected run — the JSON records that explicitly.
+/// uninjected run — the JSON records that explicitly. The nested
+/// `daemon` object comes from a short in-process `fastmond` exercise
+/// (see [`daemon_exercise`]).
 #[derive(Default)]
 struct RobustnessTotals {
     entries: Vec<(&'static str, u64)>,
+    daemon: Vec<(&'static str, u64)>,
 }
 
 impl RobustnessTotals {
@@ -53,6 +56,60 @@ impl RobustnessTotals {
             }
         }
     }
+}
+
+/// Exercises the campaign daemon in-process — two tiny `s27` jobs and
+/// one admission-path ping over a real socket, then a graceful drain —
+/// and returns its `robustness.daemon.*` counters for the snapshot.
+fn daemon_exercise() -> Vec<(&'static str, u64)> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let root = std::env::temp_dir().join(format!("fastmon-snapshot-daemon-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let handle = match fastmon_daemon::Daemon::start(fastmon_daemon::DaemonConfig::at(&root)) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("perf_snapshot: daemon exercise skipped: {e}");
+            return Vec::new();
+        }
+    };
+    if let Ok(stream) = std::net::TcpStream::connect(handle.addr()) {
+        if let Ok(mut writer) = stream.try_clone() {
+            let mut reader = BufReader::new(stream);
+            let mut recv = || -> Option<String> {
+                let mut buf = String::new();
+                match reader.read_line(&mut buf) {
+                    Ok(n) if n > 0 => Some(buf),
+                    _ => None,
+                }
+            };
+            for seed in [1u64, 2] {
+                let line = format!(
+                    r#"{{"op":"submit","name":"snapshot-{seed}","circuit":{{"kind":"library","name":"s27"}},"seed":{seed}}}"#
+                );
+                if writer
+                    .write_all(line.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .is_err()
+                {
+                    break;
+                }
+                // stream progress records until the job's terminal line
+                while let Some(record) = recv() {
+                    if record.contains("\"event\":\"terminal\"")
+                        || record.contains("\"event\":\"reject\"")
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    handle.drain();
+    let metrics = handle.metrics();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+    metrics.daemon.entries()
 }
 
 fn main() {
@@ -143,6 +200,15 @@ fn main() {
                 t1.analyze_secs / r.analyze_secs
             );
         }
+    }
+
+    robustness.daemon = daemon_exercise();
+    if let Some((_, completed)) = robustness
+        .daemon
+        .iter()
+        .find(|(n, _)| *n == "jobs_completed")
+    {
+        println!("  daemon exercise: {completed} jobs completed over the socket");
     }
 
     fastmon_obs::flush();
@@ -334,14 +400,19 @@ fn render_json(
     }
     let _ = writeln!(s, "  ],");
     let _ = writeln!(s, "  \"robustness\": {{");
-    for (i, (name, value)) in robustness.entries.iter().enumerate() {
-        let sep = if i + 1 < robustness.entries.len() {
+    for (name, value) in &robustness.entries {
+        let _ = writeln!(s, "    \"{name}\": {value},");
+    }
+    let _ = writeln!(s, "    \"daemon\": {{");
+    for (i, (name, value)) in robustness.daemon.iter().enumerate() {
+        let sep = if i + 1 < robustness.daemon.len() {
             ","
         } else {
             ""
         };
-        let _ = writeln!(s, "    \"{name}\": {value}{sep}");
+        let _ = writeln!(s, "      \"{name}\": {value}{sep}");
     }
+    let _ = writeln!(s, "    }}");
     let _ = writeln!(s, "  }},");
     let _ = writeln!(s, "  \"phase_profile\": {profile_json}");
     let _ = writeln!(s, "}}");

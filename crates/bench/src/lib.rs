@@ -29,6 +29,7 @@
 pub mod chaos;
 pub mod manifest;
 pub mod rss;
+pub mod soak;
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};

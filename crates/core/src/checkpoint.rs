@@ -68,6 +68,13 @@ pub enum CheckpointError {
         /// Number of bands that were saved before the interruption.
         bands: usize,
     },
+    /// Another live process (or thread) holds this campaign's checkpoint
+    /// directory — two same-fingerprint campaigns must not interleave
+    /// atomic renames onto one file.
+    Locked {
+        /// PID recorded in the lock file.
+        holder_pid: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -98,6 +105,12 @@ impl fmt::Display for CheckpointError {
             }
             CheckpointError::Interrupted { bands } => {
                 write!(f, "campaign interrupted after {bands} checkpointed band(s)")
+            }
+            CheckpointError::Locked { holder_pid } => {
+                write!(
+                    f,
+                    "checkpoint directory is locked by live process {holder_pid}"
+                )
             }
         }
     }
@@ -273,6 +286,243 @@ impl CheckpointStore {
                 message: e.to_string(),
             }),
         }
+    }
+}
+
+const LOCK_FILE: &str = "LOCK";
+const CHECKPOINT_FILE: &str = "campaign.ckpt";
+
+fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> CheckpointError {
+    move |e| CheckpointError::Io {
+        op,
+        message: e.to_string(),
+    }
+}
+
+/// True when `pid` is a currently-live process. Uses `/proc` where it
+/// exists (Linux); elsewhere the answer is conservatively "alive", so
+/// locks are respected rather than stolen.
+fn pid_alive(pid: u32) -> bool {
+    if Path::new("/proc/self").exists() {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// A root of per-job checkpoint directories keyed by campaign
+/// fingerprint: `<root>/<fingerprint:016x>/campaign.ckpt`, guarded by a
+/// `LOCK` file naming the holder PID.
+///
+/// The lock exists because checkpoint saves are atomic *renames*: two
+/// same-fingerprint campaigns pointed at one file would each rename
+/// valid-but-different checkpoints over the other, and a resume could
+/// then merge bands from interleaved histories. [`acquire`] makes the
+/// second campaign fail fast with [`CheckpointError::Locked`] instead.
+/// Locks left behind by a `kill -9` name a dead PID and are stolen on
+/// the next acquire, so crash recovery never needs manual cleanup.
+#[derive(Debug, Clone)]
+pub struct CheckpointDir {
+    root: PathBuf,
+}
+
+/// What a [`CheckpointDir::gc`] sweep did, and why survivors survived.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Fingerprints whose directories were removed.
+    pub removed: Vec<u64>,
+    /// Directories kept because their fingerprint is live/queued.
+    pub kept_live: usize,
+    /// Directories kept because a live process holds their lock.
+    pub kept_locked: usize,
+    /// Directories kept because they are younger than the grace period
+    /// (a crashed job's client may be about to resubmit).
+    pub kept_young: usize,
+}
+
+impl CheckpointDir {
+    /// A checkpoint root at `root` (created lazily on first acquire).
+    #[must_use]
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        CheckpointDir { root: root.into() }
+    }
+
+    /// The root directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The per-job directory for `fingerprint`.
+    #[must_use]
+    pub fn dir_for(&self, fingerprint: u64) -> PathBuf {
+        self.root.join(format!("{fingerprint:016x}"))
+    }
+
+    /// Acquires the job directory for `fingerprint`, creating it (and the
+    /// root) as needed. A `LOCK` file naming this PID is taken with
+    /// `create_new` (atomic on POSIX); a lock held by a dead process is
+    /// stolen, a lock held by a live one — including another thread of
+    /// this process — is [`CheckpointError::Locked`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Locked`] when the campaign is already running
+    /// somewhere, [`CheckpointError::Io`] on filesystem failures.
+    pub fn acquire(&self, fingerprint: u64) -> Result<JobStore, CheckpointError> {
+        let dir = self.dir_for(fingerprint);
+        std::fs::create_dir_all(&dir).map_err(io_err("create dir"))?;
+        let lock_path = dir.join(LOCK_FILE);
+        // One steal attempt: first create_new failure reads the holder,
+        // and only a provably-dead holder is evicted before the retry.
+        for attempt in 0..2 {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock_path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    write!(f, "{}", std::process::id()).map_err(io_err("lock write"))?;
+                    let store = CheckpointStore::new(dir.join(CHECKPOINT_FILE));
+                    return Ok(JobStore {
+                        dir,
+                        lock_path,
+                        store,
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&lock_path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
+                            // Stale lock from a killed daemon: steal it.
+                            if attempt == 0 {
+                                std::fs::remove_file(&lock_path).map_err(io_err("lock steal"))?;
+                                continue;
+                            }
+                            return Err(CheckpointError::Locked { holder_pid: pid });
+                        }
+                        Some(pid) => return Err(CheckpointError::Locked { holder_pid: pid }),
+                        // Unreadable/garbled holder: the writer may be
+                        // mid-write right now — refuse rather than steal.
+                        None => return Err(CheckpointError::Locked { holder_pid: 0 }),
+                    }
+                }
+                Err(e) => return Err(io_err("lock create")(e)),
+            }
+        }
+        Err(CheckpointError::Locked { holder_pid: 0 })
+    }
+
+    /// Removes checkpoint directories whose fingerprint matches no entry
+    /// in `live`, whose lock (if any) names a dead process, and whose
+    /// last modification is at least `min_age` old. The grace period is
+    /// what makes startup-time GC safe after a `kill -9`: freshly-crashed
+    /// campaigns stay resumable until their clients have had a chance to
+    /// resubmit.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the root exists but cannot be read;
+    /// a missing root is an empty report, and per-directory removal
+    /// failures are skipped (the next sweep retries them).
+    pub fn gc(
+        &self,
+        live: &[u64],
+        min_age: std::time::Duration,
+    ) -> Result<GcReport, CheckpointError> {
+        let mut report = GcReport::default();
+        let entries = match std::fs::read_dir(&self.root) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(io_err("read dir")(e)),
+        };
+        let now = std::time::SystemTime::now();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            // Only the 16-hex-digit directories this store created are
+            // candidates; anything else in the root is not ours to touch.
+            let Some(fingerprint) = name
+                .to_str()
+                .filter(|s| s.len() == 16)
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+            else {
+                continue;
+            };
+            if live.contains(&fingerprint) {
+                report.kept_live += 1;
+                continue;
+            }
+            let dir = entry.path();
+            let held = std::fs::read_to_string(dir.join(LOCK_FILE))
+                .ok()
+                .and_then(|s| s.trim().parse::<u32>().ok())
+                .is_some_and(pid_alive);
+            if held {
+                report.kept_locked += 1;
+                continue;
+            }
+            let age = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| now.duration_since(t).ok());
+            // An unreadable mtime counts as young: keep, retry next sweep.
+            if age.is_none_or(|a| a < min_age) {
+                report.kept_young += 1;
+                continue;
+            }
+            if std::fs::remove_dir_all(&dir).is_ok() {
+                report.removed.push(fingerprint);
+            }
+        }
+        report.removed.sort_unstable();
+        Ok(report)
+    }
+}
+
+/// An acquired per-job checkpoint directory: a [`CheckpointStore`] plus
+/// the lock that makes it exclusive. The lock is released on drop;
+/// [`complete`](JobStore::complete) removes the whole directory once the
+/// campaign has finished and its results are landed.
+#[derive(Debug)]
+pub struct JobStore {
+    dir: PathBuf,
+    lock_path: PathBuf,
+    store: CheckpointStore,
+}
+
+impl JobStore {
+    /// The checkpoint store scoped to this job.
+    #[must_use]
+    pub fn store(&self) -> &CheckpointStore {
+        &self.store
+    }
+
+    /// The job directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Removes the job directory (checkpoint, lock and all) after a
+    /// successful campaign.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] when the directory cannot be removed.
+    pub fn complete(self) -> Result<(), CheckpointError> {
+        std::fs::remove_dir_all(&self.dir).map_err(io_err("remove dir"))
+        // Drop still runs but the lock file is already gone; its cleanup
+        // is a tolerated no-op.
+    }
+}
+
+impl Drop for JobStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.lock_path);
     }
 }
 
@@ -553,6 +803,104 @@ mod tests {
         // the interrupted save still reached the disk
         assert_eq!(store.load().unwrap(), cp);
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    fn fresh_root(tag: &str) -> PathBuf {
+        let root =
+            std::env::temp_dir().join(format!("fastmon-ckptdir-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        root
+    }
+
+    #[test]
+    fn lock_excludes_same_fingerprint_and_releases_on_drop() {
+        let root = fresh_root("lock");
+        let dirs = CheckpointDir::new(&root);
+        let job = dirs.acquire(0xabc).unwrap();
+        // Second acquire of the same fingerprint: held by this (live)
+        // process, so it must refuse, not steal.
+        assert_eq!(
+            dirs.acquire(0xabc).unwrap_err(),
+            CheckpointError::Locked {
+                holder_pid: std::process::id()
+            }
+        );
+        // A different fingerprint is independent.
+        let other = dirs.acquire(0xdef).unwrap();
+        drop(other);
+        // The store inside is scoped to the job directory.
+        assert!(job.store().path().starts_with(dirs.dir_for(0xabc)));
+        job.store().save(&sample()).unwrap();
+        drop(job);
+        // Lock released: reacquire succeeds and sees the checkpoint.
+        let job2 = dirs.acquire(0xabc).unwrap();
+        assert_eq!(job2.store().load().unwrap(), sample());
+        job2.complete().unwrap();
+        assert!(!dirs.dir_for(0xabc).exists());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn stale_lock_from_dead_pid_is_stolen() {
+        let root = fresh_root("steal");
+        let dirs = CheckpointDir::new(&root);
+        let dir = dirs.dir_for(0x123);
+        std::fs::create_dir_all(&dir).unwrap();
+        // PIDs are capped well below this on Linux; nothing live owns it.
+        std::fs::write(dir.join("LOCK"), "4294967294").unwrap();
+        let job = dirs.acquire(0x123).unwrap();
+        drop(job);
+        // A garbled lock file is never stolen (writer may be mid-write).
+        std::fs::write(dir.join("LOCK"), "not-a-pid").unwrap();
+        assert_eq!(
+            dirs.acquire(0x123).unwrap_err(),
+            CheckpointError::Locked { holder_pid: 0 }
+        );
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn gc_removes_only_stale_unlocked_aged_directories() {
+        use std::time::Duration;
+        let root = fresh_root("gc");
+        let dirs = CheckpointDir::new(&root);
+        // Missing root: empty report, not an error.
+        assert_eq!(dirs.gc(&[], Duration::ZERO).unwrap(), GcReport::default());
+
+        // live: fingerprint still queued; locked: held by this process;
+        // stale: eligible; foreign: not a fingerprint directory.
+        for fp in [0x1u64, 0x2, 0x3] {
+            let job = dirs.acquire(fp).unwrap();
+            job.store().save(&sample()).unwrap();
+            if fp != 0x2 {
+                drop(job); // release locks on all but 0x2
+            } else {
+                std::mem::forget(job); // keep 0x2's lock held on disk
+            }
+        }
+        std::fs::create_dir_all(root.join("not-a-fingerprint")).unwrap();
+
+        let report = dirs.gc(&[0x1], Duration::ZERO).unwrap();
+        assert_eq!(report.removed, vec![0x3]);
+        assert_eq!(report.kept_live, 1);
+        assert_eq!(report.kept_locked, 1);
+        assert!(dirs.dir_for(0x1).exists());
+        assert!(dirs.dir_for(0x2).exists());
+        assert!(!dirs.dir_for(0x3).exists());
+        assert!(root.join("not-a-fingerprint").exists());
+
+        // A long grace period keeps even stale directories (crash-recent
+        // campaigns stay resumable until clients resubmit).
+        let report = dirs.gc(&[], Duration::from_secs(3600)).unwrap();
+        assert!(report.removed.is_empty());
+        assert_eq!(report.kept_young, 1); // 0x1 (0x2 still lock-held)
+        assert_eq!(report.kept_locked, 1);
+
+        // Clean up the forgotten lock for 0x2 and sweep everything.
+        std::fs::remove_file(dirs.dir_for(0x2).join("LOCK")).unwrap();
+        let report = dirs.gc(&[], Duration::ZERO).unwrap();
+        assert_eq!(report.removed, vec![0x1, 0x2]);
+        let _ = std::fs::remove_dir_all(root);
     }
 
     // Decoding is exposed to whatever bytes happen to be on disk; it must

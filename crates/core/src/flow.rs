@@ -31,6 +31,29 @@ pub struct FlowCounts {
     pub sampled: usize,
 }
 
+/// A campaign progress event surfaced by
+/// [`HdfTestFlow::analyze_resumable_observed`]. Every event corresponds
+/// to a durable on-disk state, so observers may treat each one as a
+/// crash-safe resume point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignProgress {
+    /// A valid same-fingerprint checkpoint was found; the campaign skips
+    /// every pattern before `next_pattern`.
+    Resumed {
+        /// First pattern that will actually be simulated.
+        next_pattern: usize,
+        /// Total patterns in the campaign.
+        total_patterns: usize,
+    },
+    /// A pattern band finished and its checkpoint reached disk.
+    BandCheckpointed {
+        /// First pattern not yet simulated.
+        next_pattern: usize,
+        /// Total patterns in the campaign.
+        total_patterns: usize,
+    },
+}
+
 /// The prepared HDF test flow of the paper (Fig. 4): circuit, delays,
 /// clocks, monitors — everything except patterns and the simulation
 /// campaign.
@@ -93,9 +116,33 @@ impl<'c> HdfTestFlow<'c> {
             }
             .into());
         }
-        let metrics = MetricsRegistry::new();
         let model = DelayModel::nangate45_like();
         let annot = DelayAnnotation::with_variation(circuit, &model, config.sigma_rel, config.seed);
+        Self::try_prepare_with_annotation(circuit, config, annot)
+    }
+
+    /// Like [`HdfTestFlow::try_prepare`], but with caller-supplied delays
+    /// (e.g. parsed from an SDF file via `fastmon_timing::sdf::parse`)
+    /// instead of the synthesized NanGate45-like model + process
+    /// variation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::try_prepare`]; additionally any invalid
+    /// annotation (wrong circuit, NaN/negative delays) is
+    /// [`FlowError::Timing`].
+    pub fn try_prepare_with_annotation(
+        circuit: &'c Circuit,
+        config: &FlowConfig,
+        annot: DelayAnnotation,
+    ) -> Result<Self, FlowError> {
+        if circuit.is_empty() {
+            return Err(NetlistError::EmptyCircuit {
+                circuit: circuit.name().to_owned(),
+            }
+            .into());
+        }
+        let metrics = MetricsRegistry::new();
         annot.validate_for(circuit)?;
         let sta = Sta::analyze_with_metrics(circuit, &annot, Some(&metrics.sta));
         let clock = ClockSpec::new(
@@ -446,6 +493,24 @@ impl<'c> HdfTestFlow<'c> {
         patterns: &TestSet,
         store: &CheckpointStore,
     ) -> Result<DetectionAnalysis, FlowError> {
+        self.analyze_resumable_observed(patterns, store, &mut |_| {})
+    }
+
+    /// [`HdfTestFlow::analyze_resumable`] with a progress observer: the
+    /// daemon streams each [`CampaignProgress`] event to its client as a
+    /// JSONL record. The observer runs *after* the corresponding
+    /// checkpoint reached disk, so every reported band boundary is also a
+    /// durable resume point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::analyze_resumable`].
+    pub fn analyze_resumable_observed(
+        &self,
+        patterns: &TestSet,
+        store: &CheckpointStore,
+        observe: &mut dyn FnMut(CampaignProgress),
+    ) -> Result<DetectionAnalysis, FlowError> {
         let fingerprint = self.campaign_fingerprint(patterns);
         let fresh = || CampaignCheckpoint {
             fingerprint,
@@ -470,6 +535,10 @@ impl<'c> HdfTestFlow<'c> {
                     && cp.next_pattern <= patterns.len() =>
             {
                 ckpt.resumes.incr();
+                observe(CampaignProgress::Resumed {
+                    next_pattern: cp.next_pattern,
+                    total_patterns: patterns.len(),
+                });
                 cp
             }
             Ok(cp) => {
@@ -515,6 +584,10 @@ impl<'c> HdfTestFlow<'c> {
                 ckpt.saves.incr();
                 ckpt.save_ns.add(elapsed_ns(t_save));
                 ckpt.save_bytes.add(bytes);
+                observe(CampaignProgress::BandCheckpointed {
+                    next_pattern: cp.next_pattern,
+                    total_patterns: patterns.len(),
+                });
                 Ok(())
             },
         )
@@ -537,7 +610,12 @@ impl<'c> HdfTestFlow<'c> {
     /// clock and glitch threshold. Thread count and band size are
     /// deliberately excluded — the campaign merges per-pattern results in
     /// a fixed pattern order, so they cannot change the outcome.
-    fn campaign_fingerprint(&self, patterns: &TestSet) -> u64 {
+    ///
+    /// The daemon keys per-job checkpoint directories
+    /// ([`crate::CheckpointDir`]) and landed results by this value: a
+    /// resubmitted identical job resumes instead of restarting.
+    #[must_use]
+    pub fn campaign_fingerprint(&self, patterns: &TestSet) -> u64 {
         let mut bytes = Vec::new();
         let push_u64 = |bytes: &mut Vec<u8>, v: u64| bytes.extend_from_slice(&v.to_le_bytes());
         let push_f64 = |bytes: &mut Vec<u8>, v: f64| {

@@ -58,12 +58,12 @@ pub mod report;
 
 pub use analysis::{DetectionAnalysis, FaultVerdict};
 pub use checkpoint::{
-    fnv1a, CampaignCheckpoint, CheckpointError, CheckpointStore, CHECKPOINT_MAGIC,
-    CHECKPOINT_VERSION,
+    fnv1a, CampaignCheckpoint, CheckpointDir, CheckpointError, CheckpointStore, GcReport, JobStore,
+    CHECKPOINT_MAGIC, CHECKPOINT_VERSION,
 };
 pub use config::FlowConfig;
 pub use diagnose::{diagnose, predicted_observations, DiagnosisCandidate, Observation};
 pub use discretize::{discretize, elementary_intervals};
 pub use error::{FlowError, ScheduleError};
-pub use flow::{FlowCounts, HdfTestFlow};
+pub use flow::{CampaignProgress, FlowCounts, HdfTestFlow};
 pub use schedule::{FrequencySelection, ScheduleEntry, Solver, TestSchedule, TestTimeModel};

@@ -1,0 +1,119 @@
+//! `fastmond` — the fastmon campaign daemon.
+//!
+//! ```text
+//! fastmond [--listen ADDR] [--workers N] [--queue-limit N]
+//!          [--checkpoint-root DIR] [--results-dir DIR]
+//!          [--addr-file PATH] [--gc-grace-secs N]
+//! ```
+//!
+//! Failpoints are armed eagerly from `FASTMON_FAILPOINTS`: a malformed
+//! spec is a fatal configuration error at startup (exit 2), not a
+//! silently disabled schedule. SIGTERM/SIGINT drain gracefully and the
+//! process exits 0.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fastmon_daemon::server::{Daemon, DaemonConfig};
+use fastmon_daemon::signals;
+
+struct Args {
+    config: DaemonConfig,
+    addr_file: Option<std::path::PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: fastmond [--listen ADDR] [--workers N] [--queue-limit N] \
+     [--checkpoint-root DIR] [--results-dir DIR] [--addr-file PATH] \
+     [--gc-grace-secs N]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut config = DaemonConfig::at("fastmond-state");
+    let mut addr_file = None;
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--listen" => config.listen = value("--listen")?,
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-limit" => {
+                config.queue_limit = value("--queue-limit")?
+                    .parse()
+                    .map_err(|e| format!("--queue-limit: {e}"))?;
+            }
+            "--checkpoint-root" => config.checkpoint_root = value("--checkpoint-root")?.into(),
+            "--results-dir" => config.results_dir = value("--results-dir")?.into(),
+            "--addr-file" => addr_file = Some(value("--addr-file")?.into()),
+            "--gc-grace-secs" => {
+                config.gc_grace = Duration::from_secs(
+                    value("--gc-grace-secs")?
+                        .parse()
+                        .map_err(|e| format!("--gc-grace-secs: {e}"))?,
+                );
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(Args { config, addr_file })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("fastmond: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Malformed chaos specs are a startup error, not a silent no-op.
+    match fastmon_obs::failpoints::arm_from_env() {
+        Ok(true) => eprintln!("fastmond: failpoints armed from FASTMON_FAILPOINTS"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("fastmond: bad FASTMON_FAILPOINTS: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    signals::install_drain_handlers();
+
+    let handle = match Daemon::start(args.config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("fastmond: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = handle.addr();
+    println!("fastmond: listening on {addr}");
+
+    // Land the address atomically so a client polling the file never
+    // reads a partial write.
+    if let Some(path) = &args.addr_file {
+        let tmp = path.with_extension("tmp");
+        let landed =
+            std::fs::write(&tmp, format!("{addr}\n")).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = landed {
+            eprintln!("fastmond: cannot write --addr-file {}: {e}", path.display());
+            handle.drain();
+            handle.join();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    handle.join();
+    println!("fastmond: drained, exiting");
+    ExitCode::SUCCESS
+}

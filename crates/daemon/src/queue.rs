@@ -1,0 +1,233 @@
+//! Bounded multi-tenant job queue with admission control.
+//!
+//! Submission never blocks: a full queue is a typed
+//! [`AdmitError::QueueFull`] the connection handler turns into a reject
+//! record, so a misbehaving client cannot wedge the accept loop. Workers
+//! pop round-robin across tenants, so one tenant flooding the queue
+//! cannot starve another — a tenant with one queued job waits behind at
+//! most one job per other tenant, not behind the flood.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why a submission was refused at admission time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmitError {
+    /// The queue is at capacity.
+    QueueFull {
+        /// The configured capacity.
+        limit: usize,
+    },
+    /// The daemon is draining and no longer admits work.
+    Draining,
+}
+
+impl std::fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmitError::QueueFull { limit } => {
+                write!(f, "queue full ({limit} jobs queued)")
+            }
+            AdmitError::Draining => write!(f, "daemon is draining"),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+impl AdmitError {
+    /// Stable machine-readable discriminant for reject records.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AdmitError::QueueFull { .. } => "queue_full",
+            AdmitError::Draining => "draining",
+        }
+    }
+}
+
+struct Lane<T> {
+    tenant: String,
+    jobs: VecDeque<T>,
+}
+
+struct State<T> {
+    /// One lane per tenant that has ever submitted; empty lanes stay in
+    /// place so the round-robin cursor remains stable.
+    lanes: Vec<Lane<T>>,
+    /// Next lane the round-robin pop inspects.
+    cursor: usize,
+    /// Total queued jobs across all lanes.
+    len: usize,
+    draining: bool,
+}
+
+/// A bounded FIFO-per-tenant queue with round-robin dispatch.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    limit: usize,
+}
+
+impl<T> JobQueue<T> {
+    /// Creates a queue admitting at most `limit` queued jobs in total.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(State {
+                lanes: Vec::new(),
+                cursor: 0,
+                len: 0,
+                draining: false,
+            }),
+            available: Condvar::new(),
+            limit,
+        }
+    }
+
+    /// Admits a job for `tenant`, or refuses with a typed error. Never
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmitError::QueueFull`] at capacity, [`AdmitError::Draining`]
+    /// once [`JobQueue::start_drain`] has run.
+    pub fn submit(&self, tenant: &str, job: T) -> Result<usize, AdmitError> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.draining {
+            return Err(AdmitError::Draining);
+        }
+        if state.len >= self.limit {
+            return Err(AdmitError::QueueFull { limit: self.limit });
+        }
+        match state.lanes.iter_mut().find(|l| l.tenant == tenant) {
+            Some(lane) => lane.jobs.push_back(job),
+            None => state.lanes.push(Lane {
+                tenant: tenant.to_string(),
+                jobs: VecDeque::from([job]),
+            }),
+        }
+        state.len += 1;
+        let len = state.len;
+        drop(state);
+        self.available.notify_one();
+        Ok(len)
+    }
+
+    /// Blocks for the next job, visiting tenants round-robin. Returns
+    /// `None` once the queue is draining and empty — the worker's signal
+    /// to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if state.len > 0 {
+                let lanes = state.lanes.len();
+                for step in 0..lanes {
+                    let idx = (state.cursor + step) % lanes;
+                    if let Some(job) = state.lanes[idx].jobs.pop_front() {
+                        state.cursor = (idx + 1) % lanes;
+                        state.len -= 1;
+                        return Some(job);
+                    }
+                }
+                unreachable!("len > 0 but every lane was empty");
+            }
+            if state.draining {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Stops admissions and wakes all blocked workers. Jobs already
+    /// queued are still handed out (the server decides whether to run or
+    /// refuse them).
+    pub fn start_drain(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .draining = true;
+        self.available.notify_all();
+    }
+
+    /// Number of jobs currently queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len
+    }
+
+    /// True when no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_bounded_and_typed() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.submit("a", 1), Ok(1));
+        assert_eq!(q.submit("a", 2), Ok(2));
+        assert_eq!(q.submit("a", 3), Err(AdmitError::QueueFull { limit: 2 }));
+        assert_eq!(
+            q.submit("b", 4),
+            Err(AdmitError::QueueFull { limit: 2 }),
+            "the bound is global, not per-tenant"
+        );
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.submit("a", 3), Ok(2));
+    }
+
+    #[test]
+    fn pop_round_robins_across_tenants() {
+        let q = JobQueue::new(16);
+        for job in ["a1", "a2", "a3", "a4"] {
+            q.submit("a", job).unwrap();
+        }
+        q.submit("b", "b1").unwrap();
+        // Tenant b's lone job jumps the flood from tenant a: it waits
+        // behind one a-job (the cursor was on a's lane), not four.
+        assert_eq!(q.pop(), Some("a1"));
+        assert_eq!(q.pop(), Some("b1"));
+        assert_eq!(q.pop(), Some("a2"));
+        assert_eq!(q.pop(), Some("a3"));
+        assert_eq!(q.pop(), Some("a4"));
+    }
+
+    #[test]
+    fn drain_rejects_new_work_and_releases_workers() {
+        let q = std::sync::Arc::new(JobQueue::<u32>::new(4));
+        q.submit("a", 7).unwrap();
+        q.start_drain();
+        assert_eq!(q.submit("a", 8), Err(AdmitError::Draining));
+        assert_eq!(q.pop(), Some(7), "queued work still drains out");
+        assert_eq!(q.pop(), None, "then workers are released");
+
+        // A worker blocked in pop() before the drain also wakes.
+        let q2 = std::sync::Arc::new(JobQueue::<u32>::new(4));
+        let waiter = {
+            let q2 = q2.clone();
+            std::thread::spawn(move || q2.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.start_drain();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+}

@@ -1,0 +1,258 @@
+//! Protocol framing robustness (satellite: protocol fuzz coverage).
+//!
+//! Two layers:
+//!
+//! 1. Pure properties over [`fastmon_daemon::parse_request`]: arbitrary
+//!    byte soup, truncations of valid requests, and field-level mutations
+//!    must always yield `Ok` or a typed [`ProtoError`] — never a panic.
+//! 2. Live-socket checks against a running daemon: garbage, truncated,
+//!    oversized and interleaved request lines always get a well-formed
+//!    typed error record back, and the daemon keeps serving afterwards.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use fastmon_daemon::{parse_request, Daemon, DaemonConfig, ProtoError, MAX_LINE_BYTES};
+use fastmon_obs::json;
+use proptest::prelude::*;
+
+const VALID_REQUESTS: &[&str] = &[
+    r#"{"op":"ping"}"#,
+    r#"{"op":"status"}"#,
+    r#"{"op":"gc","min_age_secs":0}"#,
+    r#"{"op":"submit","proto":1,"tenant":"t0","name":"j","circuit":{"kind":"profile","name":"s9234","scale":0.05,"seed":7},"coverage":0.9,"deadline_secs":5,"pattern_budget":8,"max_faults":20,"seed":3,"threads":1}"#,
+    r#"{"op":"submit","circuit":{"kind":"library","name":"s27"},"sdf":"(DELAYFILE)"}"#,
+];
+
+/// Parsing is total: returns the error kind (or None for Ok) and must
+/// never panic.
+fn parse_total(line: &str) -> Option<&'static str> {
+    match parse_request(line) {
+        Ok(_) => None,
+        Err(e) => {
+            // every error has a stable kind and a non-empty Display
+            assert!(!e.kind().is_empty());
+            assert!(!e.to_string().is_empty());
+            Some(e.kind())
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_total(&line);
+    }
+
+    #[test]
+    fn json_shaped_soup_never_panics(bytes in proptest::collection::vec(0..12u8, 0..120)) {
+        // Biased alphabet so the generator actually explores nesting and
+        // near-JSON shapes instead of bailing at the first byte.
+        let alphabet = [b'{', b'}', b'[', b']', b'"', b':', b',', b'x', b'0', b'.', b'-', b' '];
+        let line: String = bytes.iter().map(|b| alphabet[*b as usize] as char).collect();
+        let _ = parse_total(&line);
+    }
+
+    #[test]
+    fn truncations_of_valid_requests_never_panic(case in (0..5usize, 0..400usize)) {
+        let (pick, cut) = case;
+        let full = VALID_REQUESTS[pick];
+        let mut cut = cut.min(full.len());
+        while !full.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let truncated = &full[..cut];
+        if cut < full.len() {
+            // a strict prefix of a JSON document is never a valid document
+            prop_assert!(parse_total(truncated).is_some(), "accepted {truncated:?}");
+        } else {
+            prop_assert!(parse_total(truncated).is_none());
+        }
+    }
+
+    #[test]
+    fn single_byte_mutations_never_panic(case in (0..5usize, 0..400usize, 0..256u32)) {
+        let (pick, pos, with) = case;
+        let with = with as u8;
+        let full = VALID_REQUESTS[pick];
+        let mut bytes = full.as_bytes().to_vec();
+        let pos = pos % bytes.len();
+        bytes[pos] = with;
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_total(&line);
+    }
+}
+
+#[test]
+fn oversized_lines_are_a_typed_error() {
+    let line = format!(r#"{{"op":"ping","pad":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
+    assert!(matches!(
+        parse_request(&line),
+        Err(ProtoError::LineTooLong { .. })
+    ));
+}
+
+// ---------------------------------------------------------------------------
+// live-socket layer
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        let writer = stream.try_clone().unwrap();
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+    }
+
+    fn recv(&mut self) -> json::Value {
+        let mut line = String::new();
+        assert!(
+            self.reader.read_line(&mut line).unwrap() > 0,
+            "daemon closed the connection unexpectedly"
+        );
+        json::parse(line.trim()).expect("daemon must answer well-formed JSON")
+    }
+
+    fn event(v: &json::Value) -> &str {
+        v.get("event").and_then(|e| e.as_str()).unwrap()
+    }
+}
+
+fn start_daemon(tag: &str) -> (fastmon_daemon::DaemonHandle, std::path::PathBuf) {
+    let root = std::env::temp_dir().join(format!("fastmond-fuzz-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let handle = Daemon::start(DaemonConfig::at(&root)).unwrap();
+    (handle, root)
+}
+
+#[test]
+fn garbage_over_the_socket_yields_typed_error_records() {
+    let (handle, root) = start_daemon("garbage");
+    let mut client = Client::connect(handle.addr());
+    let cases: &[(&str, &str)] = &[
+        ("", ""), // blank lines are skipped, no response — probe follows
+        ("garbage", "json"),
+        ("{\"op\":", "json"),
+        ("\u{1}\u{2}\u{3}", "json"),
+        ("[\"op\",\"ping\"]", "not_an_object"),
+        ("{}", "missing_field"),
+        ("{\"op\":\"nope\"}", "unknown_op"),
+        ("{\"op\":\"submit\"}", "missing_field"),
+        (
+            "{\"op\":\"submit\",\"proto\":99,\"circuit\":{\"kind\":\"library\",\"name\":\"s27\"}}",
+            "unsupported_version",
+        ),
+        (
+            "{\"op\":\"submit\",\"coverage\":7,\"circuit\":{\"kind\":\"library\",\"name\":\"s27\"}}",
+            "bad_field",
+        ),
+    ];
+    for (line, kind) in cases {
+        client.send(line);
+        if kind.is_empty() {
+            continue;
+        }
+        let v = client.recv();
+        assert_eq!(Client::event(&v), "error", "for line {line:?}");
+        assert_eq!(v.get("kind").and_then(|k| k.as_str()), Some(*kind));
+        assert!(v
+            .get("message")
+            .and_then(|m| m.as_str())
+            .is_some_and(|m| !m.is_empty()));
+    }
+    // the stream stayed line-synchronized through all of it
+    client.send(r#"{"op":"ping"}"#);
+    assert_eq!(Client::event(&client.recv()), "pong");
+    handle.drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn oversized_line_answers_then_closes_but_daemon_survives() {
+    let (handle, root) = start_daemon("oversized");
+    let mut client = Client::connect(handle.addr());
+    let huge = "x".repeat(MAX_LINE_BYTES + 64);
+    client.send(&huge);
+    let v = client.recv();
+    assert_eq!(Client::event(&v), "error");
+    assert_eq!(
+        v.get("kind").and_then(|k| k.as_str()),
+        Some("line_too_long")
+    );
+    // that connection is done (stream desynchronized by design) ...
+    let mut line = String::new();
+    assert_eq!(client.reader.read_line(&mut line).unwrap(), 0);
+    // ... but the daemon still serves fresh connections
+    let mut fresh = Client::connect(handle.addr());
+    fresh.send(r#"{"op":"ping"}"#);
+    assert_eq!(Client::event(&fresh.recv()), "pong");
+    handle.drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn interleaved_requests_on_one_line_buffer_stay_synchronized() {
+    let (handle, root) = start_daemon("interleave");
+    let mut client = Client::connect(handle.addr());
+    // several requests in one write, including garbage in the middle
+    client.send(concat!(
+        "{\"op\":\"ping\"}\n",
+        "garbage\n",
+        "{\"op\":\"status\"}\n",
+        "[]\n",
+        "{\"op\":\"ping\"}"
+    ));
+    let expected = ["pong", "error", "status", "error", "pong"];
+    for want in expected {
+        assert_eq!(Client::event(&client.recv()), want);
+    }
+    handle.drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn concurrent_garbage_and_real_work_do_not_interfere() {
+    let (handle, root) = start_daemon("concurrent");
+    let addr = handle.addr();
+    // one client hammers garbage while another does a real submit
+    let chaos = std::thread::spawn(move || {
+        let mut client = Client::connect(addr);
+        for i in 0..50 {
+            client.send(&format!("{{\"op\":{i}"));
+            let v = client.recv();
+            assert_eq!(Client::event(&v), "error");
+        }
+    });
+    let mut client = Client::connect(addr);
+    client.send(r#"{"op":"submit","name":"real","circuit":{"kind":"library","name":"s27"}}"#);
+    assert_eq!(Client::event(&client.recv()), "admitted");
+    let terminal = loop {
+        let v = client.recv();
+        if Client::event(&v) == "terminal" {
+            break v;
+        }
+    };
+    assert_eq!(
+        terminal.get("status").and_then(|s| s.as_str()),
+        Some("completed")
+    );
+    chaos.join().unwrap();
+    handle.drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,153 @@
+//! Chaos soak (the tentpole's acceptance test): N concurrent clients ×
+//! M campaigns against the real `fastmond` binary with
+//! `FASTMON_FAILPOINTS` chaos armed and random `kill -9`s mid-campaign —
+//! every campaign must complete with a `DetectionAnalysis` bit-identical
+//! to a clean serial in-process run, and a SIGTERM drain with a job in
+//! flight must exit 0 leaving that job completed or resumable.
+//!
+//! Scale knobs (CI smoke uses `FASTMON_SOAK_CLIENTS=2
+//! FASTMON_SOAK_PER_CLIENT=3 FASTMON_SOAK_KILLS=1`):
+//!
+//! | env | acceptance default |
+//! |---|---|
+//! | `FASTMON_SOAK_CLIENTS` | 4 |
+//! | `FASTMON_SOAK_PER_CLIENT` | 2 |
+//! | `FASTMON_SOAK_KILLS` | 2 |
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use fastmon_bench::soak::{drive_to_completion, run_soak, SoakPlan};
+use fastmon_core::CheckpointDir;
+use fastmon_daemon::{parse_request, run_job, Request};
+use fastmon_obs::CancelToken;
+
+/// Clean serial baseline: run the exact wire request in-process (no
+/// daemon, no failpoints, fresh checkpoint root) and return
+/// `(fingerprint, result_fingerprint)` as the wire formats them.
+fn serial_baseline(root: &std::path::Path, line: &str) -> (String, String) {
+    let Ok(Request::Submit(req)) = parse_request(line) else {
+        panic!("soak plan produced an unparseable submit line: {line}");
+    };
+    let dirs = CheckpointDir::new(root.join("baseline-ckpt"));
+    let cancel = CancelToken::new();
+    let outcome = run_job(
+        &req,
+        &dirs,
+        &root.join("baseline-results"),
+        &cancel,
+        &mut |_| {},
+    )
+    .expect("clean serial baseline must succeed");
+    (
+        format!("{:016x}", outcome.fingerprint),
+        format!("{:016x}", outcome.result_fingerprint),
+    )
+}
+
+#[test]
+fn chaos_soak_is_bit_identical_to_clean_serial_runs() {
+    // The driving process must itself be chaos-free: failpoints are
+    // armed only in the daemon child's environment.
+    assert!(
+        std::env::var("FASTMON_FAILPOINTS").is_err(),
+        "unset FASTMON_FAILPOINTS before running the soak; the driver \
+         injects it into the daemon child only"
+    );
+
+    let plan = SoakPlan::from_env();
+    let bin = std::path::Path::new(env!("CARGO_BIN_EXE_fastmond"));
+    let root = std::env::temp_dir().join(format!("fastmond-soak-{}", std::process::id()));
+
+    let report = run_soak(bin, &root, &plan).expect("soak must finish inside its budget");
+    println!(
+        "soak: {} campaigns, {} kills, {} daemon starts, {} resumed, drain status {:?} (exit0 {})",
+        report.results.len(),
+        report.kills,
+        report.starts,
+        report.resumed_campaigns,
+        report.drain_job_status,
+        report.drain_exit_zero,
+    );
+
+    for r in &report.results {
+        println!(
+            "soak:   {:<8} fp={} result={} attempts={} resumed={}",
+            r.name, r.fingerprint, r.result_fingerprint, r.attempts, r.resumed_ever
+        );
+    }
+
+    // every campaign completed, and the chaos actually happened
+    assert_eq!(report.results.len(), plan.clients * plan.per_client);
+    assert_eq!(
+        report.kills, plan.kills,
+        "every scheduled kill -9 must land"
+    );
+    assert_eq!(report.starts, plan.kills + 1);
+    if plan.kills > 0 {
+        assert!(
+            report.resumed_campaigns > 0,
+            "kills landed mid-campaign, so at least one campaign must have \
+             resumed from a checkpoint"
+        );
+    }
+
+    // SIGTERM drain: exit 0 with the in-flight job completed or
+    // cancelled-at-a-durable-checkpoint
+    assert!(report.drain_exit_zero, "SIGTERM drain must exit 0");
+    assert!(matches!(
+        report.drain_job_status.as_str(),
+        "completed" | "cancelled"
+    ));
+
+    // bit-identity: every campaign's result fingerprint equals a clean
+    // serial in-process run of the identical request
+    let by_name: HashMap<&str, _> = report
+        .results
+        .iter()
+        .map(|r| (r.name.as_str(), r))
+        .collect();
+    for spec in plan.campaigns() {
+        let line = spec.submit_line(&plan);
+        let (fp, result_fp) = serial_baseline(&root, &line);
+        let got = by_name
+            .get(spec.name.as_str())
+            .unwrap_or_else(|| panic!("campaign {} missing from report", spec.name));
+        assert_eq!(
+            got.fingerprint, fp,
+            "campaign fingerprint for {}",
+            spec.name
+        );
+        assert_eq!(
+            got.result_fingerprint, result_fp,
+            "chaos-run result of {} must be bit-identical to the clean serial run \
+             (after {} attempts, resumed={})",
+            spec.name, got.attempts, got.resumed_ever
+        );
+    }
+
+    // the drained in-flight job is genuinely resumable: a fresh daemon
+    // (chaos off) finishes it and matches its own clean baseline
+    let drain_spec = fastmon_bench::soak::CampaignSpec {
+        tenant: "drain".to_string(),
+        name: "drain-job".to_string(),
+        seed: 999,
+    };
+    let line = drain_spec.submit_line(&plan);
+    let mut daemon = fastmon_bench::soak::DaemonProc::spawn(bin, &root, &plan, None)
+        .expect("restart daemon for drain-resume check");
+    let finished = drive_to_completion(&root, &line, Duration::from_secs(120))
+        .expect("drained job must complete after restart");
+    if report.drain_job_status == "cancelled" {
+        assert!(
+            finished.resumed_ever,
+            "a job cancelled mid-campaign by the drain must resume from its \
+             checkpoint, not start over"
+        );
+    }
+    let (_, result_fp) = serial_baseline(&root, &line);
+    assert_eq!(finished.result_fingerprint, result_fp);
+    daemon.kill9();
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,221 @@
+//! Newline-delimited JSON event streaming.
+//!
+//! The daemon (and any other long-running driver) streams progress back
+//! to clients as JSONL: one self-contained JSON object per line, built
+//! with [`Record`] and written through a [`StreamSink`]. Both halves
+//! reuse the in-house [`crate::json`] escaping/parsing so the emitted
+//! lines round-trip through the same parser the test suite validates
+//! with — no serde, offline build.
+//!
+//! [`Record`] is an ordered object builder: fields appear on the wire in
+//! insertion order, which keeps golden-line assertions and `grep`-based
+//! debugging stable. It never fails — keys are expected to be plain
+//! ASCII identifiers, values are escaped.
+
+use std::io::{self, Write};
+use std::sync::{Mutex, PoisonError};
+
+/// An ordered single-line JSON object under construction.
+///
+/// ```
+/// use fastmon_obs::events::Record;
+/// let line = Record::new()
+///     .str("event", "band")
+///     .u64("seq", 3)
+///     .bool("resumed", false)
+///     .finish();
+/// assert_eq!(line, r#"{"event":"band","seq":3,"resumed":false}"#);
+/// ```
+#[derive(Debug)]
+pub struct Record {
+    buf: String,
+    first: bool,
+}
+
+impl Default for Record {
+    fn default() -> Self {
+        Record::new()
+    }
+}
+
+impl Record {
+    /// Starts an empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Record {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&crate::json::escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Appends a string field (value escaped).
+    #[must_use]
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push('"');
+        self.buf.push_str(&crate::json::escape(value));
+        self.buf.push('"');
+        self
+    }
+
+    /// Appends an unsigned integer field.
+    #[must_use]
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Appends a hex-encoded 64-bit fingerprint field (as a JSON string,
+    /// zero-padded to 16 digits — u64s above 2^53 don't survive an `f64`
+    /// round-trip through JSON numbers).
+    #[must_use]
+    pub fn fingerprint(self, key: &str, value: u64) -> Self {
+        self.str(key, &format!("{value:016x}"))
+    }
+
+    /// Appends a float field (finite values only; NaN/inf become null).
+    #[must_use]
+    pub fn f64(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        if value.is_finite() {
+            self.buf.push_str(&format!("{value}"));
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Appends a boolean field.
+    #[must_use]
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a pre-rendered JSON fragment verbatim (caller guarantees
+    /// validity — e.g. `MetricsRegistry::to_json()` output).
+    #[must_use]
+    pub fn raw(mut self, key: &str, json: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Closes the object and returns the line (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// A line-at-a-time JSONL writer shared between threads.
+///
+/// Each [`emit`](StreamSink::emit) appends exactly one `line + '\n'` and
+/// flushes under a mutex, so records from concurrent workers never
+/// interleave mid-line — the framing invariant the protocol fuzz suite
+/// leans on.
+#[derive(Debug)]
+pub struct StreamSink<W: Write> {
+    inner: Mutex<W>,
+}
+
+impl<W: Write> StreamSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        StreamSink {
+            inner: Mutex::new(writer),
+        }
+    }
+
+    /// Writes one record line atomically and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying writer's I/O error (a disconnected
+    /// client socket surfaces here — Rust ignores `SIGPIPE`, so the
+    /// caller sees an `Err`, not a dead process).
+    pub fn emit(&self, line: &str) -> io::Result<()> {
+        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        guard.write_all(line.as_bytes())?;
+        guard.write_all(b"\n")?;
+        guard.flush()
+    }
+
+    /// Consumes the sink and returns the writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{self, Value};
+
+    #[test]
+    fn records_round_trip_through_the_inhouse_parser() {
+        let line = Record::new()
+            .str("event", "done")
+            .str("name", "job \"7\"\nline2")
+            .u64("patterns", 128)
+            .fingerprint("fp", 0x00ab_cdef_0123_4567)
+            .f64("coverage", 0.875)
+            .f64("bad", f64::NAN)
+            .bool("resumed", true)
+            .raw("metrics", r#"{"sim.cones_simulated":4}"#)
+            .finish();
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("done"));
+        assert_eq!(
+            v.get("name").and_then(Value::as_str),
+            Some("job \"7\"\nline2")
+        );
+        assert_eq!(v.get("patterns").and_then(Value::as_u64), Some(128));
+        assert_eq!(
+            v.get("fp").and_then(Value::as_str),
+            Some("00abcdef01234567")
+        );
+        assert_eq!(v.get("coverage").and_then(Value::as_f64), Some(0.875));
+        assert_eq!(v.get("bad"), Some(&Value::Null));
+        assert_eq!(v.get("resumed"), Some(&Value::Bool(true)));
+        assert_eq!(
+            v.get("metrics")
+                .and_then(|m| m.get("sim.cones_simulated"))
+                .and_then(Value::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn empty_record_is_an_empty_object() {
+        assert_eq!(Record::new().finish(), "{}");
+    }
+
+    #[test]
+    fn sink_emits_one_line_per_record_and_flushes() {
+        let sink = StreamSink::new(Vec::new());
+        sink.emit(&Record::new().u64("a", 1).finish()).unwrap();
+        sink.emit(&Record::new().u64("b", 2).finish()).unwrap();
+        let bytes = sink.into_inner();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        for line in text.lines() {
+            json::parse(line).unwrap();
+        }
+    }
+}

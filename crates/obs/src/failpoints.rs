@@ -8,8 +8,11 @@
 //!
 //! # Configuration grammar
 //!
-//! Schedules come from `FASTMON_FAILPOINTS` (resolved lazily on first
-//! [`fire`], like `FASTMON_TRACE`) or programmatically via [`configure`]:
+//! Schedules come from `FASTMON_FAILPOINTS` (armed eagerly via
+//! [`arm_from_env`], or resolved lazily on first [`fire`] like
+//! `FASTMON_TRACE`) or programmatically via [`configure`]. Parsing is
+//! strict: empty entries (a trailing `;`), empty site names, unknown
+//! actions and bad triggers are typed [`SpecError`]s, never skipped:
 //!
 //! ```text
 //! FASTMON_FAILPOINTS="site=action@trigger[;site=action@trigger...]"
@@ -85,6 +88,68 @@ impl fmt::Display for InjectedFailure {
 
 impl Error for InjectedFailure {}
 
+/// A malformed failpoint schedule, surfaced as a typed configuration
+/// error at arm time ([`configure`] / [`arm_from_env`]) instead of being
+/// silently ignored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// The offending entry (trimmed), or the whole spec for
+    /// schedule-level errors.
+    pub entry: String,
+    /// What was wrong with it.
+    pub kind: SpecErrorKind,
+}
+
+/// The ways a `FASTMON_FAILPOINTS` schedule can be malformed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// The spec contained no entries at all.
+    EmptySchedule,
+    /// An empty entry between/after separators (`a=err@1;;` or a
+    /// trailing `;`).
+    EmptyEntry,
+    /// The site name before `=` was empty.
+    EmptySite,
+    /// No `=` separating site from rule.
+    MissingEquals,
+    /// No `@` separating action from trigger.
+    MissingAt,
+    /// An action other than `err`/`io`/`panic`.
+    UnknownAction {
+        /// The unrecognized action text.
+        action: String,
+    },
+    /// The trigger clause did not parse.
+    BadTrigger {
+        /// Why the trigger was rejected.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let entry = &self.entry;
+        match &self.kind {
+            SpecErrorKind::EmptySchedule => write!(f, "empty failpoint schedule"),
+            SpecErrorKind::EmptyEntry => {
+                write!(f, "empty entry in '{entry}' (trailing or doubled ';')")
+            }
+            SpecErrorKind::EmptySite => write!(f, "'{entry}': empty site name before '='"),
+            SpecErrorKind::MissingEquals => write!(f, "'{entry}': expected site=action@trigger"),
+            SpecErrorKind::MissingAt => {
+                write!(f, "'{entry}': expected action@trigger after '='")
+            }
+            SpecErrorKind::UnknownAction { action } => {
+                write!(f, "'{entry}': unknown action '{action}' (err|io|panic)")
+            }
+            SpecErrorKind::BadTrigger { reason } => write!(f, "'{entry}': {reason}"),
+        }
+    }
+}
+
+impl Error for SpecError {}
+
 /// What a matched trigger does.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
@@ -148,6 +213,9 @@ fn init_state_from_env() -> u8 {
         Ok(spec) if !spec.trim().is_empty() => match parse_spec(&spec) {
             Ok(table) => (STATE_ON, Some(table)),
             Err(msg) => {
+                // fire() has no error channel for configuration problems;
+                // binaries that want a hard failure arm eagerly via
+                // arm_from_env() before the first fire().
                 eprintln!("warning: ignoring invalid FASTMON_FAILPOINTS: {msg}");
                 (STATE_OFF, None)
             }
@@ -165,36 +233,54 @@ fn init_state_from_env() -> u8 {
     }
 }
 
-fn parse_spec(spec: &str) -> Result<Table, String> {
+fn parse_spec(spec: &str) -> Result<Table, SpecError> {
+    let err = |entry: &str, kind: SpecErrorKind| SpecError {
+        entry: entry.to_string(),
+        kind,
+    };
+    if spec.trim().is_empty() {
+        return Err(err(spec.trim(), SpecErrorKind::EmptySchedule));
+    }
     let mut table = Table::new();
     for entry in spec.split(';') {
         let entry = entry.trim();
         if entry.is_empty() {
-            continue;
+            // A trailing or doubled ';' is a typo that used to be silently
+            // skipped; make it loud so chaos schedules never half-arm.
+            return Err(err(spec.trim(), SpecErrorKind::EmptyEntry));
         }
         let (site, rule) = entry
             .split_once('=')
-            .ok_or_else(|| format!("'{entry}': expected site=action@trigger"))?;
+            .ok_or_else(|| err(entry, SpecErrorKind::MissingEquals))?;
+        let site = site.trim();
+        if site.is_empty() {
+            return Err(err(entry, SpecErrorKind::EmptySite));
+        }
         let (action, trigger) = rule
             .split_once('@')
-            .ok_or_else(|| format!("'{entry}': expected action@trigger after '='"))?;
+            .ok_or_else(|| err(entry, SpecErrorKind::MissingAt))?;
         let action = match action.trim() {
             "err" | "io" => Action::Err,
             "panic" => Action::Panic,
-            other => return Err(format!("'{entry}': unknown action '{other}'")),
+            other => {
+                return Err(err(
+                    entry,
+                    SpecErrorKind::UnknownAction {
+                        action: other.to_string(),
+                    },
+                ))
+            }
         };
-        let trigger = parse_trigger(trigger.trim()).map_err(|m| format!("'{entry}': {m}"))?;
+        let trigger = parse_trigger(trigger.trim())
+            .map_err(|reason| err(entry, SpecErrorKind::BadTrigger { reason }))?;
         table.insert(
-            site.trim().to_string(),
+            site.to_string(),
             Site {
                 action,
                 trigger,
                 hits: AtomicU64::new(0),
             },
         );
-    }
-    if table.is_empty() {
-        return Err("empty schedule".to_string());
     }
     Ok(table)
 }
@@ -268,13 +354,14 @@ fn fire_slow(site: &'static str) -> Result<(), InjectedFailure> {
 /// pre-empting) the environment. Passing an empty spec disables all
 /// failpoints, like [`clear`]. Per-site hit counters start at zero.
 ///
-/// Intended for tests; production runs use `FASTMON_FAILPOINTS`.
+/// Intended for tests; production runs use `FASTMON_FAILPOINTS` armed
+/// eagerly via [`arm_from_env`].
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed entry; the previous
-/// schedule is left untouched.
-pub fn configure(spec: &str) -> Result<(), String> {
+/// Returns a typed [`SpecError`] describing the first malformed entry;
+/// the previous schedule is left untouched.
+pub fn configure(spec: &str) -> Result<(), SpecError> {
     if spec.trim().is_empty() {
         clear();
         return Ok(());
@@ -284,6 +371,32 @@ pub fn configure(spec: &str) -> Result<(), String> {
     *guard = Some(table);
     STATE.store(STATE_ON, Ordering::Relaxed);
     Ok(())
+}
+
+/// Eagerly arms failpoints from `FASTMON_FAILPOINTS`, surfacing a
+/// malformed spec as a typed error instead of the lazy first-[`fire`]
+/// path's warn-and-disable fallback. Binaries call this at startup so a
+/// chaos schedule with a typo aborts the run rather than silently
+/// testing nothing.
+///
+/// Returns `Ok(true)` when a schedule was installed, `Ok(false)` when
+/// the variable is unset or blank (failpoints disabled).
+///
+/// # Errors
+///
+/// Returns the [`SpecError`] for the first malformed entry; failpoints
+/// are left disabled.
+pub fn arm_from_env() -> Result<bool, SpecError> {
+    match std::env::var("FASTMON_FAILPOINTS") {
+        Ok(spec) if !spec.trim().is_empty() => {
+            configure(&spec)?;
+            Ok(true)
+        }
+        _ => {
+            clear();
+            Ok(false)
+        }
+    }
 }
 
 /// Disables all failpoints and drops the schedule. The process-wide
@@ -383,6 +496,28 @@ mod tests {
         );
         assert!(active());
 
+        // A rejected configure() leaves the previous schedule untouched.
+        configure("keepme=err@1").unwrap();
+        configure("site=badaction@x").unwrap_err();
+        assert_eq!(configured_sites(), vec!["keepme".to_string()]);
+
+        // arm_from_env() surfaces malformed env specs as typed errors
+        // (env mutation is safe inside this single serialized body).
+        std::env::set_var("FASTMON_FAILPOINTS", "site=badaction@x;");
+        let err = arm_from_env().unwrap_err();
+        assert_eq!(
+            err.kind,
+            SpecErrorKind::UnknownAction {
+                action: "badaction".to_string()
+            }
+        );
+        assert_eq!(configured_sites(), vec!["keepme".to_string()]);
+        std::env::set_var("FASTMON_FAILPOINTS", "arm_site=err@1");
+        assert_eq!(arm_from_env(), Ok(true));
+        assert_eq!(configured_sites(), vec!["arm_site".to_string()]);
+        std::env::remove_var("FASTMON_FAILPOINTS");
+        assert_eq!(arm_from_env(), Ok(false));
+
         // clear() disables everything.
         clear();
         assert!(!active());
@@ -392,18 +527,45 @@ mod tests {
     }
 
     #[test]
-    fn malformed_specs_are_rejected() {
-        for bad in [
-            "no_equals",
-            "site=errat2",
-            "site=frob@1",
-            "site=err@every:0",
-            "site=err@150%seed1",
-            "site=err@x",
-            "site=err@10%seedx",
-            "  ;  ; ",
-        ] {
-            assert!(parse_spec(bad).is_err(), "spec {bad:?} should be rejected");
-        }
+    fn malformed_specs_are_rejected_with_typed_errors() {
+        use SpecErrorKind as K;
+        let kind = |spec: &str| {
+            parse_spec(spec)
+                .expect_err(&format!("spec {spec:?} should be rejected"))
+                .kind
+        };
+        assert_eq!(kind(""), K::EmptySchedule);
+        assert_eq!(kind("   "), K::EmptySchedule);
+        assert_eq!(kind("no_equals"), K::MissingEquals);
+        assert_eq!(kind("site=errat2"), K::MissingAt);
+        assert_eq!(
+            kind("site=badaction@x"),
+            K::UnknownAction {
+                action: "badaction".to_string()
+            }
+        );
+        assert_eq!(
+            kind("site=frob@1"),
+            K::UnknownAction {
+                action: "frob".to_string()
+            }
+        );
+        // Empty site name.
+        assert_eq!(kind("=err@1"), K::EmptySite);
+        assert_eq!(kind("  =err@1"), K::EmptySite);
+        // Trailing / doubled ';' used to be silently skipped.
+        assert_eq!(kind("site=err@1;"), K::EmptyEntry);
+        assert_eq!(kind("a=err@1;;b=err@2"), K::EmptyEntry);
+        assert_eq!(kind("  ;  ; "), K::EmptyEntry);
+        // Trigger-clause problems carry the reason through.
+        assert!(matches!(kind("site=err@every:0"), K::BadTrigger { .. }));
+        assert!(matches!(kind("site=err@150%seed1"), K::BadTrigger { .. }));
+        assert!(matches!(kind("site=err@x"), K::BadTrigger { .. }));
+        assert!(matches!(kind("site=err@10%seedx"), K::BadTrigger { .. }));
+
+        // Errors render as human-readable messages naming the entry.
+        let err = parse_spec("site=badaction@x").unwrap_err();
+        assert!(err.to_string().contains("badaction"));
+        assert_eq!(err.entry, "site=badaction@x");
     }
 }

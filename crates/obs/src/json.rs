@@ -43,6 +43,15 @@ impl Value {
         }
     }
 
+    /// The value as a boolean, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as an `f64`, if it is a number.
     #[must_use]
     pub fn as_f64(&self) -> Option<f64> {

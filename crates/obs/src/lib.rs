@@ -38,6 +38,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cancel;
+pub mod events;
 pub mod failpoints;
 pub mod json;
 pub mod metrics;
@@ -45,10 +46,11 @@ pub mod profile;
 pub mod trace;
 
 pub use cancel::{CancelToken, Cancelled};
-pub use failpoints::InjectedFailure;
+pub use events::{Record, StreamSink};
+pub use failpoints::{InjectedFailure, SpecError, SpecErrorKind};
 pub use metrics::{
-    AtpgMetrics, CheckpointMetrics, Counter, IlpMetrics, MetricsRegistry, RobustnessMetrics,
-    SimMetrics, StaMetrics,
+    AtpgMetrics, CheckpointMetrics, Counter, DaemonMetrics, IlpMetrics, MetricsRegistry,
+    RobustnessMetrics, SimMetrics, StaMetrics,
 };
 pub use trace::{
     emit_counters, enabled, finish, flush, force_enable, jsonl_enabled, run_id, span, span_with,

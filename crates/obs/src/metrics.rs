@@ -225,6 +225,32 @@ metric_section! {
     }
 }
 
+metric_section! {
+    /// `fastmond` job-lifecycle counters, reported under
+    /// `robustness.daemon.*`. Owned by the daemon process (one registry
+    /// per daemon, not per campaign) and absorbed into `perf_snapshot`'s
+    /// robustness rollup alongside [`RobustnessMetrics`].
+    DaemonMetrics {
+        /// Jobs accepted onto the bounded queue.
+        jobs_admitted,
+        /// Jobs refused with a typed reject (queue full or draining).
+        jobs_rejected,
+        /// Jobs that resumed a campaign from an on-disk checkpoint.
+        jobs_resumed,
+        /// Jobs that ran to completion and landed results.
+        jobs_completed,
+        /// Jobs that ended with a typed error (still resumable when a
+        /// checkpoint exists).
+        jobs_failed,
+        /// Jobs stopped by cancellation or deadline at a band boundary.
+        jobs_cancelled,
+        /// Graceful SIGTERM/SIGINT drains begun.
+        drains,
+        /// Worker panics contained per-job by `catch_unwind`.
+        panics_contained,
+    }
+}
+
 /// The campaign-owned collector handed through the whole flow.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -240,6 +266,8 @@ pub struct MetricsRegistry {
     pub checkpoint: CheckpointMetrics,
     /// Robustness-event counters (injections, retries, contained panics).
     pub robustness: RobustnessMetrics,
+    /// Daemon job-lifecycle counters (zero outside a `fastmond` process).
+    pub daemon: DaemonMetrics,
 }
 
 impl MetricsRegistry {
@@ -253,6 +281,7 @@ impl MetricsRegistry {
             ilp: IlpMetrics::new(),
             checkpoint: CheckpointMetrics::new(),
             robustness: RobustnessMetrics::new(),
+            daemon: DaemonMetrics::new(),
         }
     }
 
@@ -264,6 +293,7 @@ impl MetricsRegistry {
         self.ilp.reset();
         self.checkpoint.reset();
         self.robustness.reset();
+        self.daemon.reset();
     }
 
     /// All counters as dotted `(name, value)` pairs, e.g.
@@ -278,6 +308,7 @@ impl MetricsRegistry {
             ("ilp", self.ilp.entries()),
             ("checkpoint", self.checkpoint.entries()),
             ("robustness", self.robustness.entries()),
+            ("robustness.daemon", self.daemon.entries()),
         ] {
             for (name, value) in entries {
                 out.push((format!("{section}.{name}"), value));
@@ -333,12 +364,18 @@ mod tests {
             "ilp.",
             "checkpoint.",
             "robustness.",
+            "robustness.daemon.",
         ] {
             assert!(
                 entries.iter().any(|(n, _)| n.starts_with(prefix)),
                 "missing section {prefix}"
             );
         }
+        reg.daemon.jobs_admitted.add(2);
+        assert!(reg
+            .entries()
+            .iter()
+            .any(|(n, v)| n == "robustness.daemon.jobs_admitted" && *v == 2));
         let saves = entries
             .iter()
             .find(|(n, _)| n == "checkpoint.saves")
