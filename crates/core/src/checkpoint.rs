@@ -292,6 +292,10 @@ impl CheckpointStore {
 const LOCK_FILE: &str = "LOCK";
 const CHECKPOINT_FILE: &str = "campaign.ckpt";
 
+/// Distinguishes concurrent lock attempts (threads of one process) in
+/// their temp-file names.
+static LOCK_ATTEMPT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
 fn io_err(op: &'static str) -> impl Fn(std::io::Error) -> CheckpointError {
     move |e| CheckpointError::Io {
         op,
@@ -308,6 +312,75 @@ fn pid_alive(pid: u32) -> bool {
     } else {
         true
     }
+}
+
+/// Links the fully-written temp lock into place as `LOCK`. One steal
+/// attempt: the first link failure reads the holder, and only a
+/// provably-dead holder is evicted before the retry.
+fn link_lock(tmp: &Path, lock_path: &Path) -> Result<(), CheckpointError> {
+    for attempt in 0..2 {
+        match std::fs::hard_link(tmp, lock_path) {
+            Ok(()) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let holder = std::fs::read_to_string(lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok());
+                match holder {
+                    Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
+                        // Stale lock from a killed daemon: steal it.
+                        if attempt == 0 {
+                            std::fs::remove_file(lock_path).map_err(io_err("lock steal"))?;
+                            continue;
+                        }
+                        return Err(CheckpointError::Locked { holder_pid: pid });
+                    }
+                    Some(pid) => return Err(CheckpointError::Locked { holder_pid: pid }),
+                    // Unreadable holder: locks are linked into place
+                    // whole, so this is foreign junk — refuse rather
+                    // than guess (GC sweeps it once it ages out).
+                    None => return Err(CheckpointError::Locked { holder_pid: 0 }),
+                }
+            }
+            Err(e) => return Err(io_err("lock create")(e)),
+        }
+    }
+    Err(CheckpointError::Locked { holder_pid: 0 })
+}
+
+/// Claims `dir`'s `LOCK` for removal by GC. Returns `false` when a live
+/// holder appears (a racing [`CheckpointDir::acquire`] won the directory
+/// between the sweep's checks and this claim) or the filesystem refuses;
+/// stale locks — a dead holder, or unreadable junk — are evicted first.
+fn claim_for_removal(dir: &Path) -> bool {
+    let lock_path = dir.join(LOCK_FILE);
+    for attempt in 0..2 {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&lock_path)
+        {
+            Ok(mut f) => {
+                use std::io::Write as _;
+                // Best effort: the claim is the file's existence; the
+                // pid only lets a later sweep steal the claim if this
+                // process dies before the removal below finishes.
+                let _ = write!(f, "{}", std::process::id());
+                return true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                let stale = std::fs::read_to_string(&lock_path)
+                    .ok()
+                    .and_then(|s| s.trim().parse::<u32>().ok())
+                    .is_none_or(|pid| pid != std::process::id() && !pid_alive(pid));
+                if attempt == 0 && stale && std::fs::remove_file(&lock_path).is_ok() {
+                    continue;
+                }
+                return false;
+            }
+            Err(_) => return false,
+        }
+    }
+    false
 }
 
 /// A root of per-job checkpoint directories keyed by campaign
@@ -360,60 +433,39 @@ impl CheckpointDir {
     }
 
     /// Acquires the job directory for `fingerprint`, creating it (and the
-    /// root) as needed. A `LOCK` file naming this PID is taken with
-    /// `create_new` (atomic on POSIX); a lock held by a dead process is
-    /// stolen, a lock held by a live one — including another thread of
-    /// this process — is [`CheckpointError::Locked`].
+    /// root) as needed. A `LOCK` file naming this PID is taken by
+    /// hard-linking a fully-written temp file into place — linking fails
+    /// if `LOCK` exists (the same atomic exclusivity as `create_new`),
+    /// and any `LOCK` that exists carries its complete pid, so neither a
+    /// crash nor a failed write can leave a garbled half-written lock
+    /// wedging the fingerprint. A lock held by a dead process is stolen,
+    /// a lock held by a live one — including another thread of this
+    /// process — is [`CheckpointError::Locked`].
     ///
     /// # Errors
     ///
     /// [`CheckpointError::Locked`] when the campaign is already running
     /// somewhere, [`CheckpointError::Io`] on filesystem failures.
     pub fn acquire(&self, fingerprint: u64) -> Result<JobStore, CheckpointError> {
+        use std::sync::atomic::Ordering;
         let dir = self.dir_for(fingerprint);
         std::fs::create_dir_all(&dir).map_err(io_err("create dir"))?;
         let lock_path = dir.join(LOCK_FILE);
-        // One steal attempt: first create_new failure reads the holder,
-        // and only a provably-dead holder is evicted before the retry.
-        for attempt in 0..2 {
-            match std::fs::OpenOptions::new()
-                .write(true)
-                .create_new(true)
-                .open(&lock_path)
-            {
-                Ok(mut f) => {
-                    use std::io::Write as _;
-                    write!(f, "{}", std::process::id()).map_err(io_err("lock write"))?;
-                    let store = CheckpointStore::new(dir.join(CHECKPOINT_FILE));
-                    return Ok(JobStore {
-                        dir,
-                        lock_path,
-                        store,
-                    });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
-                    let holder = std::fs::read_to_string(&lock_path)
-                        .ok()
-                        .and_then(|s| s.trim().parse::<u32>().ok());
-                    match holder {
-                        Some(pid) if pid != std::process::id() && !pid_alive(pid) => {
-                            // Stale lock from a killed daemon: steal it.
-                            if attempt == 0 {
-                                std::fs::remove_file(&lock_path).map_err(io_err("lock steal"))?;
-                                continue;
-                            }
-                            return Err(CheckpointError::Locked { holder_pid: pid });
-                        }
-                        Some(pid) => return Err(CheckpointError::Locked { holder_pid: pid }),
-                        // Unreadable/garbled holder: the writer may be
-                        // mid-write right now — refuse rather than steal.
-                        None => return Err(CheckpointError::Locked { holder_pid: 0 }),
-                    }
-                }
-                Err(e) => return Err(io_err("lock create")(e)),
-            }
-        }
-        Err(CheckpointError::Locked { holder_pid: 0 })
+        let tmp = dir.join(format!(
+            "{LOCK_FILE}.{}.{}.tmp",
+            std::process::id(),
+            LOCK_ATTEMPT.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::write(&tmp, std::process::id().to_string()).map_err(io_err("lock write"))?;
+        let linked = link_lock(&tmp, &lock_path);
+        let _ = std::fs::remove_file(&tmp);
+        linked?;
+        let store = CheckpointStore::new(dir.join(CHECKPOINT_FILE));
+        Ok(JobStore {
+            dir,
+            lock_path,
+            store,
+        })
     }
 
     /// Removes checkpoint directories whose fingerprint matches no entry
@@ -421,7 +473,9 @@ impl CheckpointDir {
     /// last modification is at least `min_age` old. The grace period is
     /// what makes startup-time GC safe after a `kill -9`: freshly-crashed
     /// campaigns stay resumable until their clients have had a chance to
-    /// resubmit.
+    /// resubmit. The sweep claims each candidate's `LOCK` before removing
+    /// it, so even with a zero grace period it cannot race a concurrent
+    /// [`acquire`](CheckpointDir::acquire) of the same fingerprint.
     ///
     /// # Errors
     ///
@@ -474,8 +528,20 @@ impl CheckpointDir {
                 report.kept_young += 1;
                 continue;
             }
+            // With a zero grace a concurrent acquire could take this
+            // directory between the checks above and the removal; claim
+            // the LOCK first so the filesystem arbitrates the race
+            // (exactly one of hard_link and create_new sees no lock).
+            if !claim_for_removal(&dir) {
+                report.kept_locked += 1;
+                continue;
+            }
             if std::fs::remove_dir_all(&dir).is_ok() {
                 report.removed.push(fingerprint);
+            } else {
+                // Leave no wedge behind: drop the claim so the next
+                // sweep (or a resuming campaign) can take the directory.
+                let _ = std::fs::remove_file(dir.join(LOCK_FILE));
             }
         }
         report.removed.sort_unstable();
@@ -900,6 +966,61 @@ mod tests {
         std::fs::remove_file(dirs.dir_for(0x2).join("LOCK")).unwrap();
         let report = dirs.gc(&[], Duration::ZERO).unwrap();
         assert_eq!(report.removed, vec![0x1, 0x2]);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn lock_is_linked_whole_and_leaves_no_temp_files() {
+        let root = fresh_root("whole");
+        let dirs = CheckpointDir::new(&root);
+        let job = dirs.acquire(0x77).unwrap();
+        // The lock always carries its complete pid: it was written in
+        // full before being linked into place.
+        let lock = std::fs::read_to_string(dirs.dir_for(0x77).join("LOCK")).unwrap();
+        assert_eq!(lock, std::process::id().to_string());
+        // The temp file the link was taken from is gone again.
+        let names: Vec<String> = std::fs::read_dir(dirs.dir_for(0x77))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["LOCK".to_string()]);
+        drop(job);
+        // A failed acquire (lock held) leaves no temp files either.
+        let held = dirs.acquire(0x77).unwrap();
+        dirs.acquire(0x77).unwrap_err();
+        let count = std::fs::read_dir(dirs.dir_for(0x77)).unwrap().count();
+        assert_eq!(count, 1); // just LOCK
+        drop(held);
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn gc_claims_locks_and_sweeps_dead_or_junk_holders() {
+        use std::time::Duration;
+        let root = fresh_root("gc-claim");
+        let dirs = CheckpointDir::new(&root);
+        // A crash leftover (dead pid) and foreign junk (unparseable
+        // holder) both age out; the sweep steals the lock before
+        // removing so it cannot race a resuming acquire.
+        let dead = dirs.dir_for(0xa);
+        std::fs::create_dir_all(&dead).unwrap();
+        std::fs::write(dead.join("LOCK"), "4294967294").unwrap();
+        let junk = dirs.dir_for(0xb);
+        std::fs::create_dir_all(&junk).unwrap();
+        std::fs::write(junk.join("LOCK"), "not-a-pid").unwrap();
+        let report = dirs.gc(&[], Duration::ZERO).unwrap();
+        assert_eq!(report.removed, vec![0xa, 0xb]);
+        assert!(!dead.exists());
+        assert!(!junk.exists());
+        // A claim that loses to a live holder is kept, not removed —
+        // the same arbitration a mid-sweep acquire would win.
+        let job = dirs.acquire(0xc).unwrap();
+        std::mem::forget(job); // keep the lock on disk past the JobStore
+        let report = dirs.gc(&[], Duration::ZERO).unwrap();
+        assert!(report.removed.is_empty());
+        assert_eq!(report.kept_locked, 1);
+        assert!(dirs.dir_for(0xc).exists());
+        std::fs::remove_file(dirs.dir_for(0xc).join("LOCK")).unwrap();
         let _ = std::fs::remove_dir_all(root);
     }
 

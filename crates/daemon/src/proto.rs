@@ -271,8 +271,14 @@ fn parse_submit(obj: &Value) -> Result<JobRequest, ProtoError> {
         return Err(bad("coverage", "expected a target in (0, 1]"));
     }
     let deadline_secs = opt_f64(obj, "deadline_secs")?;
-    if deadline_secs.is_some_and(|d| d < 0.0) {
-        return Err(bad("deadline_secs", "expected a non-negative number"));
+    // `Duration::from_secs_f64` panics for negative, NaN or > u64::MAX
+    // seconds; reject here so a worker never has to build a deadline it
+    // cannot represent.
+    if deadline_secs.is_some_and(|d| std::time::Duration::try_from_secs_f64(d).is_err()) {
+        return Err(bad(
+            "deadline_secs",
+            "expected a non-negative number of seconds within duration range",
+        ));
     }
     Ok(JobRequest {
         tenant: opt_str(obj, "tenant")?.unwrap_or_else(|| "default".to_string()),
@@ -414,6 +420,19 @@ mod tests {
             kind(r#"{"op":"submit","coverage":0,"circuit":{"kind":"library","name":"s27"}}"#),
             "bad_field"
         );
+        // deadlines Duration cannot represent (negative or > u64::MAX
+        // seconds) are rejected at the edge, not at token construction
+        for deadline in ["-1", "1e30", "1e300"] {
+            let line = format!(
+                r#"{{"op":"submit","deadline_secs":{deadline},"circuit":{{"kind":"library","name":"s27"}}}}"#
+            );
+            assert_eq!(kind(&line), "bad_field", "deadline_secs {deadline}");
+        }
+        // a huge but representable deadline stays accepted
+        assert!(parse_request(
+            r#"{"op":"submit","deadline_secs":1e9,"circuit":{"kind":"library","name":"s27"}}"#
+        )
+        .is_ok());
         let oversized = format!(r#"{{"op":"ping","pad":"{}"}}"#, "x".repeat(MAX_LINE_BYTES));
         assert_eq!(kind(&oversized), "line_too_long");
         // every error Displays and carries a stable kind

@@ -269,8 +269,15 @@ fn worker_loop(shared: &Arc<Shared>) {
 }
 
 fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
-    let cancel = match job.req.deadline_secs {
-        Some(secs) => CancelToken::with_deadline(Duration::from_secs_f64(secs)),
+    // parse_submit already rejects deadlines Duration cannot represent;
+    // fall back to an unbounded token rather than trusting that (this
+    // runs outside catch_unwind — a panic here would kill the worker).
+    let cancel = match job
+        .req
+        .deadline_secs
+        .and_then(|secs| Duration::try_from_secs_f64(secs).ok())
+    {
+        Some(budget) => CancelToken::with_deadline(budget),
         None => CancelToken::new(),
     };
     let id = {

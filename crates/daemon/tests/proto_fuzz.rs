@@ -158,6 +158,12 @@ fn garbage_over_the_socket_yields_typed_error_records() {
             "{\"op\":\"submit\",\"coverage\":7,\"circuit\":{\"kind\":\"library\",\"name\":\"s27\"}}",
             "bad_field",
         ),
+        // a deadline Duration cannot represent must be a typed reject,
+        // never a worker-thread panic at token construction
+        (
+            "{\"op\":\"submit\",\"deadline_secs\":1e30,\"circuit\":{\"kind\":\"library\",\"name\":\"s27\"}}",
+            "bad_field",
+        ),
     ];
     for (line, kind) in cases {
         client.send(line);
