@@ -61,6 +61,31 @@ fn bench_obs_overhead(c: &mut Criterion) {
     c.bench_function("obs/s27_flow_failpoints_disabled", |b| {
         b.iter(|| std::hint::black_box(campaign(&circuit)))
     });
+
+    // Latency histograms are always on (no disabled path to guard), so
+    // the record path itself must stay cheap: one branch chain to the
+    // bucket index plus three relaxed atomics. This is the number the
+    // flow pays per band / checkpoint / job event.
+    let hist = fastmon_obs::Histogram::new();
+    let mut v: u64 = 0x9e37_79b9_7f4a_7c15;
+    c.bench_function("obs/histogram_record", |b| {
+        b.iter(|| {
+            for _ in 0..1024 {
+                // xorshift keeps the value stream unpredictable so the
+                // branch to the bucket index is not trivially learned.
+                v ^= v << 13;
+                v ^= v >> 7;
+                v ^= v << 17;
+                hist.record(std::hint::black_box(v >> 24));
+            }
+        })
+    });
+
+    // Reading quantiles scans all buckets; it runs per observe request,
+    // so it only needs to be "not silly", not free.
+    c.bench_function("obs/histogram_quantiles", |b| {
+        b.iter(|| std::hint::black_box(hist.quantiles()))
+    });
 }
 
 criterion_group! {

@@ -196,6 +196,16 @@ fn validate_lines(text: &str) -> Result<Summary, String> {
                     return Err(format!("line {lineno}: missing \"counters\" object"));
                 }
             }
+            // Run-id chaining: a resumed campaign links back to the run
+            // that wrote the checkpoint it picked up.
+            "chain" => {
+                let prev = get_str(&v, "prev_run", lineno)?;
+                if prev.is_empty() || !prev.chars().all(|c| c.is_ascii_hexdigit()) {
+                    return Err(format!(
+                        "line {lineno}: \"prev_run\" \"{prev}\" is not a hex run id"
+                    ));
+                }
+            }
             other => return Err(format!("line {lineno}: unknown event kind \"{other}\"")),
         }
     }
@@ -289,6 +299,21 @@ mod tests {
         assert_eq!(s.threads, 1);
         assert_eq!(s.max_depth, 2);
         assert!(s.names.contains("a") && s.names.contains("b"));
+    }
+
+    #[test]
+    fn chain_events_require_a_hex_prev_run() {
+        let good = format!(
+            "{META}\n\
+             {{\"v\":1,\"ev\":\"chain\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":10,\"wall_ms\":5,\"prev_run\":\"00ff00ff00ff00ff\"}}\n"
+        );
+        validate_lines(&good).unwrap();
+
+        let bad = format!(
+            "{META}\n\
+             {{\"v\":1,\"ev\":\"chain\",\"run\":\"abc\",\"pid\":1,\"tid\":1,\"t_ns\":10,\"wall_ms\":5,\"prev_run\":\"not-hex\"}}\n"
+        );
+        assert!(validate_lines(&bad).unwrap_err().contains("hex run id"));
     }
 
     #[test]

@@ -60,8 +60,10 @@ impl RobustnessTotals {
 
 /// Exercises the campaign daemon in-process — two tiny `s27` jobs and
 /// one admission-path ping over a real socket, then a graceful drain —
-/// and returns its `robustness.daemon.*` counters for the snapshot.
-fn daemon_exercise() -> Vec<(&'static str, u64)> {
+/// and returns its `robustness.daemon.*` counters for the snapshot. The
+/// daemon's latency histograms (queue-wait, job-run, protocol) merge
+/// into `latency` alongside the flow-side stage timings.
+fn daemon_exercise(latency: &fastmon_obs::HistogramSet) -> Vec<(&'static str, u64)> {
     use std::io::{BufRead, BufReader, Write};
 
     let root = std::env::temp_dir().join(format!("fastmon-snapshot-daemon-{}", std::process::id()));
@@ -109,7 +111,37 @@ fn daemon_exercise() -> Vec<(&'static str, u64)> {
     let metrics = handle.metrics();
     handle.join();
     let _ = std::fs::remove_dir_all(&root);
+    latency.merge_from(&metrics.latency);
     metrics.daemon.entries()
+}
+
+/// The merged latency quantiles as a p50/p90/p99/max table (nanosecond
+/// histograms rendered in milliseconds).
+fn render_latency_table(latency: &fastmon_obs::HistogramSet) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {:<16} {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "stage", "count", "p50 ms", "p90 ms", "p99 ms", "max ms"
+    );
+    for (name, h) in latency.entries() {
+        let q = h.quantiles();
+        if q.count == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            s,
+            "  {:<16} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            q.count,
+            ms(q.p50),
+            ms(q.p90),
+            ms(q.p99),
+            ms(q.max)
+        );
+    }
+    s
 }
 
 fn main() {
@@ -157,6 +189,11 @@ fn main() {
     print!("{}", atpg.render_table());
     let mut robustness = RobustnessTotals::default();
     robustness.absorb(&base_flow.metrics().robustness);
+    // Stage-latency histograms merged across every flow in the snapshot
+    // (and, later, the daemon exercise) — the `"latency"` section of the
+    // JSON and the quantile table below.
+    let latency = fastmon_obs::HistogramSet::new();
+    latency.merge_from(&base_flow.metrics().latency);
 
     let mut runs: Vec<ThreadRun> = Vec::new();
     for &threads in &thread_counts {
@@ -185,6 +222,7 @@ fn main() {
             snap.waveform_reuses,
         );
         robustness.absorb(&flow.metrics().robustness);
+        latency.merge_from(&flow.metrics().latency);
         runs.push(ThreadRun {
             threads,
             analyze_secs,
@@ -202,7 +240,7 @@ fn main() {
         }
     }
 
-    robustness.daemon = daemon_exercise();
+    robustness.daemon = daemon_exercise(&latency);
     if let Some((_, completed)) = robustness
         .daemon
         .iter()
@@ -210,6 +248,9 @@ fn main() {
     {
         println!("  daemon exercise: {completed} jobs completed over the socket");
     }
+
+    println!("\nstage latency quantiles:");
+    print!("{}", render_latency_table(&latency));
 
     fastmon_obs::flush();
     let report = fastmon_obs::profile::snapshot();
@@ -233,6 +274,7 @@ fn main() {
         &atpg,
         &runs,
         &robustness,
+        &latency,
         peak_rss,
         &fastmon_obs::profile::report_json(&report),
     );
@@ -334,6 +376,7 @@ fn render_json(
     atpg: &AtpgReport,
     runs: &[ThreadRun],
     robustness: &RobustnessTotals,
+    latency: &fastmon_obs::HistogramSet,
     peak_rss: Option<u64>,
     profile_json: &str,
 ) -> String {
@@ -414,6 +457,7 @@ fn render_json(
     }
     let _ = writeln!(s, "    }}");
     let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"latency\": {},", latency.to_json());
     let _ = writeln!(s, "  \"phase_profile\": {profile_json}");
     let _ = writeln!(s, "}}");
     s

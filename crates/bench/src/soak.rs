@@ -207,6 +207,8 @@ impl DaemonProc {
             .arg(root.join("checkpoints"))
             .arg("--results-dir")
             .arg(root.join("results"))
+            .arg("--postmortem-dir")
+            .arg(root.join("postmortems"))
             .arg("--addr-file")
             .arg(addr_file(root))
             .arg("--gc-grace-secs")
@@ -390,6 +392,40 @@ fn run_campaign(
             }
         }
     }
+}
+
+/// One `observe` snapshot from whatever daemon the `--addr-file` under
+/// `root` points at. The soak uses this to assert that a drained-out
+/// daemon shows zero stuck jobs and latency totals consistent with the
+/// campaigns it actually ran.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the daemon is unreachable or answers
+/// something that is not an `observe` record.
+pub fn observe(root: &Path) -> Result<Value, String> {
+    let Some(stream) = connect(root) else {
+        return Err("cannot connect for observe".to_string());
+    };
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("observe clone: {e}"))?;
+    writer
+        .write_all(b"{\"op\":\"observe\"}\n")
+        .and_then(|()| writer.flush())
+        .map_err(|e| format!("observe send: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    match reader.read_line(&mut buf) {
+        Ok(0) => return Err("daemon closed before answering observe".to_string()),
+        Ok(_) => {}
+        Err(e) => return Err(format!("observe recv: {e}")),
+    }
+    let record = json::parse(buf.trim()).map_err(|e| format!("observe parse: {e}"))?;
+    if get_str(&record, "event") != "observe" {
+        return Err(format!("expected an observe record, got: {}", buf.trim()));
+    }
+    Ok(record)
 }
 
 /// Drives one campaign to `completed` against whatever daemon the

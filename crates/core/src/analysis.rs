@@ -274,6 +274,7 @@ impl DetectionAnalysis {
         while band_start < num_patterns {
             let _band_span = fastmon_obs::span!("band", band_start / band_size);
             fastmon_obs::failpoints::fire("campaign_band")?;
+            let t_band = std::time::Instant::now();
             let band_len = band_size.min(num_patterns - band_start);
             // fault-free responses of the band, computed once, shared
             // read-only by every gate chunk
@@ -355,6 +356,11 @@ impl DetectionAnalysis {
                     progress.raw_union[fidx as usize].merge(&dr);
                     progress.per_pattern[fidx as usize].push((p, dr));
                 }
+            }
+            if let Some(m) = metrics {
+                // Simulation time only — checkpoint save latency is its
+                // own histogram, fed inside `on_band`.
+                m.latency.band.record_duration(t_band.elapsed());
             }
             band_start += band_len;
             progress.next_pattern = band_start;

@@ -201,6 +201,24 @@ impl CheckpointStore {
         &self.path
     }
 
+    /// Path of the run-id sidecar (`<path>.run`): the trace run id of the
+    /// process that last wrote this checkpoint, enabling kill → resume
+    /// trace chaining.
+    fn run_sidecar_path(&self) -> PathBuf {
+        let mut p = self.path.clone().into_os_string();
+        p.push(".run");
+        PathBuf::from(p)
+    }
+
+    /// The trace run id of the process that wrote the current checkpoint,
+    /// if a sidecar survives. A resuming campaign records this as its
+    /// predecessor so the two `events.jsonl` files are linkable.
+    #[must_use]
+    pub fn predecessor_run(&self) -> Option<u64> {
+        let text = std::fs::read_to_string(self.run_sidecar_path()).ok()?;
+        u64::from_str_radix(text.trim(), 16).ok()
+    }
+
     /// Atomically persists `checkpoint` (write to `<path>.tmp`, then
     /// rename) and returns the number of bytes written (used by the
     /// campaign's checkpoint-latency telemetry).
@@ -238,6 +256,12 @@ impl CheckpointStore {
             op: "rename",
             message: e.to_string(),
         })?;
+        if self.saves.get() == 0 {
+            // Best-effort: the sidecar lets a resuming process link its
+            // trace back to this run's; losing it only costs the link,
+            // never the checkpoint.
+            let _ = std::fs::write(self.run_sidecar_path(), fastmon_obs::run_id());
+        }
         let saves = self.saves.get() + 1;
         self.saves.set(saves);
         match self.interrupt_after {
@@ -278,6 +302,7 @@ impl CheckpointStore {
     /// Returns [`CheckpointError::Io`] when the file exists but cannot be
     /// removed.
     pub fn clear(&self) -> Result<(), CheckpointError> {
+        let _ = std::fs::remove_file(self.run_sidecar_path());
         match std::fs::remove_file(&self.path) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),

@@ -44,6 +44,10 @@ pub enum CampaignProgress {
         next_pattern: usize,
         /// Total patterns in the campaign.
         total_patterns: usize,
+        /// Trace run id of the process that wrote the checkpoint (from
+        /// its `.run` sidecar), when one survived — lets observers link
+        /// this run's event trail to its predecessor's.
+        prev_run: Option<u64>,
     },
     /// A pattern band finished and its checkpoint reached disk.
     BandCheckpointed {
@@ -525,8 +529,10 @@ impl<'c> HdfTestFlow<'c> {
             store.load()
         };
         if !matches!(loaded, Err(CheckpointError::Missing)) {
+            let load_ns = elapsed_ns(t_load);
             ckpt.loads.incr();
-            ckpt.load_ns.add(elapsed_ns(t_load));
+            ckpt.load_ns.add(load_ns);
+            self.metrics.latency.checkpoint_load.record(load_ns);
         }
         let progress = match loaded {
             Ok(cp)
@@ -535,9 +541,14 @@ impl<'c> HdfTestFlow<'c> {
                     && cp.next_pattern <= patterns.len() =>
             {
                 ckpt.resumes.incr();
+                let prev_run = store.predecessor_run();
+                if let Some(prev) = prev_run {
+                    fastmon_obs::emit_chain(prev);
+                }
                 observe(CampaignProgress::Resumed {
                     next_pattern: cp.next_pattern,
                     total_patterns: patterns.len(),
+                    prev_run,
                 });
                 cp
             }
@@ -581,9 +592,11 @@ impl<'c> HdfTestFlow<'c> {
                     let _span = fastmon_obs::span!("checkpoint_save");
                     save_with_retry(store, cp, &retry, &self.metrics)?
                 };
+                let save_ns = elapsed_ns(t_save);
                 ckpt.saves.incr();
-                ckpt.save_ns.add(elapsed_ns(t_save));
+                ckpt.save_ns.add(save_ns);
                 ckpt.save_bytes.add(bytes);
+                self.metrics.latency.checkpoint_save.record(save_ns);
                 observe(CampaignProgress::BandCheckpointed {
                     next_pattern: cp.next_pattern,
                     total_patterns: patterns.len(),

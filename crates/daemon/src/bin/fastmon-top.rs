@@ -1,0 +1,357 @@
+//! `fastmon-top` — a live terminal view of a running `fastmond`.
+//!
+//! ```text
+//! fastmon-top (--addr ADDR | --addr-file PATH)
+//!             [--interval-ms N] [--iterations N] [--once]
+//! ```
+//!
+//! Polls the daemon's `observe` op over the newline-JSON protocol and
+//! renders a refreshing dashboard: queue + drain state, per-tenant lane
+//! depths, per-job phase/band progress with ETAs, and the latency
+//! histogram quantile table. `--once` prints a single snapshot with no
+//! screen clearing (handy for scripts and bug reports); `--iterations N`
+//! stops after N refreshes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use fastmon_obs::json::{self, Value};
+
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<std::path::PathBuf>,
+    interval: Duration,
+    /// 0 = run until interrupted.
+    iterations: u64,
+    once: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: fastmon-top (--addr ADDR | --addr-file PATH) \
+     [--interval-ms N] [--iterations N] [--once]"
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        addr: None,
+        addr_file: None,
+        interval: Duration::from_millis(1000),
+        iterations: 0,
+        once: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")?),
+            "--addr-file" => args.addr_file = Some(value("--addr-file")?.into()),
+            "--interval-ms" => {
+                args.interval = Duration::from_millis(
+                    value("--interval-ms")?
+                        .parse()
+                        .map_err(|e| format!("--interval-ms: {e}"))?,
+                );
+            }
+            "--iterations" => {
+                args.iterations = value("--iterations")?
+                    .parse()
+                    .map_err(|e| format!("--iterations: {e}"))?;
+            }
+            "--once" => args.once = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    if args.addr.is_none() && args.addr_file.is_none() {
+        return Err(format!("need --addr or --addr-file\n{}", usage()));
+    }
+    Ok(args)
+}
+
+fn resolve_addr(args: &Args) -> Result<String, String> {
+    if let Some(addr) = &args.addr {
+        return Ok(addr.clone());
+    }
+    let Some(path) = &args.addr_file else {
+        return Err("need --addr or --addr-file".to_string());
+    };
+    std::fs::read_to_string(path)
+        .map(|s| s.trim().to_string())
+        .map_err(|e| format!("cannot read --addr-file {}: {e}", path.display()))
+}
+
+/// One polling connection; reconnects transparently if the daemon
+/// restarted between refreshes.
+struct Poller {
+    addr: String,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
+}
+
+impl Poller {
+    fn connect(addr: &str) -> std::io::Result<(BufReader<TcpStream>, TcpStream)> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok((BufReader::new(stream), writer))
+    }
+
+    fn observe_once(conn: &mut (BufReader<TcpStream>, TcpStream)) -> Result<Value, String> {
+        conn.1
+            .write_all(b"{\"op\":\"observe\"}\n")
+            .map_err(|e| format!("send: {e}"))?;
+        let mut line = String::new();
+        let n = conn
+            .0
+            .read_line(&mut line)
+            .map_err(|e| format!("recv: {e}"))?;
+        if n == 0 {
+            return Err("daemon closed the connection".to_string());
+        }
+        json::parse(line.trim()).map_err(|e| format!("bad observe record: {e}"))
+    }
+
+    fn observe(&mut self) -> Result<Value, String> {
+        if self.conn.is_none() {
+            self.conn =
+                Some(Self::connect(&self.addr).map_err(|e| format!("connect {}: {e}", self.addr))?);
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return Err("no connection".to_string());
+        };
+        match Self::observe_once(conn) {
+            Ok(v) => Ok(v),
+            Err(first) => {
+                // One reconnect attempt: the daemon may have restarted.
+                self.conn = None;
+                let mut fresh = Self::connect(&self.addr)
+                    .map_err(|e| format!("{first}; reconnect {}: {e}", self.addr))?;
+                let v = Self::observe_once(&mut fresh)?;
+                self.conn = Some(fresh);
+                Ok(v)
+            }
+        }
+    }
+}
+
+fn fmt_secs(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!(
+            "{:.0}h{:02.0}m",
+            (secs / 3600.0).floor(),
+            (secs % 3600.0) / 60.0
+        )
+    } else if secs >= 60.0 {
+        format!("{:.0}m{:02.0}s", (secs / 60.0).floor(), secs % 60.0)
+    } else {
+        format!("{secs:.1}s")
+    }
+}
+
+/// Nanoseconds → human-scaled string for the latency table.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}us", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn u(v: Option<&Value>) -> u64 {
+    v.and_then(Value::as_u64).unwrap_or(0)
+}
+
+fn f(v: Option<&Value>) -> f64 {
+    v.and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+fn s(v: Option<&Value>) -> &str {
+    v.and_then(Value::as_str).unwrap_or("-")
+}
+
+fn render(snapshot: &Value, out: &mut String) {
+    out.push_str(&format!(
+        "fastmond  up {}  queued {}/{}  {}\n",
+        fmt_secs(u(snapshot.get("uptime_secs")) as f64),
+        u(snapshot.get("queued")),
+        u(snapshot.get("queue_limit")),
+        if snapshot.get("draining").and_then(Value::as_bool) == Some(true) {
+            "DRAINING"
+        } else {
+            "serving"
+        },
+    ));
+
+    // The registry serializes flat dotted keys; the daemon section is
+    // the interesting one here.
+    let counters = snapshot.get("counters");
+    let daemon = |name: &str| u(counters.and_then(|c| c.get(&format!("robustness.daemon.{name}"))));
+    out.push_str(&format!(
+        "jobs  admitted {}  completed {}  failed {}  cancelled {}  resumed {}  panics {}\n",
+        daemon("jobs_admitted"),
+        daemon("jobs_completed"),
+        daemon("jobs_failed"),
+        daemon("jobs_cancelled"),
+        daemon("jobs_resumed"),
+        daemon("panics_contained"),
+    ));
+
+    let tenants = snapshot
+        .get("tenants")
+        .and_then(Value::as_arr)
+        .unwrap_or(&[]);
+    if !tenants.is_empty() {
+        out.push_str("\nTENANT            QUEUED  OLDEST WAIT\n");
+        for t in tenants {
+            let wait = t
+                .get("oldest_wait_secs")
+                .and_then(Value::as_f64)
+                .map_or_else(|| "-".to_string(), fmt_secs);
+            out.push_str(&format!(
+                "{:<16} {:>7}  {:>11}\n",
+                s(t.get("tenant")),
+                u(t.get("queued")),
+                wait,
+            ));
+        }
+    }
+
+    let jobs = snapshot.get("jobs").and_then(Value::as_arr).unwrap_or(&[]);
+    out.push_str(
+        "\n  ID TENANT       NAME                 PHASE     BANDS    PATTERNS  ELAPSED      ETA\n",
+    );
+    if jobs.is_empty() {
+        out.push_str("  (no running jobs)\n");
+    }
+    for j in jobs {
+        let eta = j
+            .get("eta_secs")
+            .and_then(Value::as_f64)
+            .map_or_else(|| "-".to_string(), fmt_secs);
+        out.push_str(&format!(
+            "{:>4} {:<12} {:<20} {:<8} {:>6} {:>5}/{:<5} {:>8} {:>8}{}\n",
+            u(j.get("id")),
+            s(j.get("tenant")),
+            s(j.get("name")),
+            s(j.get("phase")),
+            u(j.get("bands_done")),
+            u(j.get("next_pattern")),
+            u(j.get("total_patterns")),
+            fmt_secs(f(j.get("elapsed_secs"))),
+            eta,
+            if j.get("resumed").and_then(Value::as_bool) == Some(true) {
+                "  (resumed)"
+            } else {
+                ""
+            },
+        ));
+    }
+
+    if let Some(latency) = snapshot.get("latency").and_then(Value::as_obj) {
+        out.push_str("\nLATENCY           COUNT      P50      P90      P99      MAX\n");
+        for (name, h) in latency {
+            let count = u(h.get("count"));
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>8} {:>8} {:>8} {:>8}\n",
+                name,
+                count,
+                fmt_ns(f(h.get("p50"))),
+                fmt_ns(f(h.get("p90"))),
+                fmt_ns(f(h.get("p99"))),
+                fmt_ns(f(h.get("max"))),
+            ));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("fastmon-top: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let addr = match resolve_addr(&args) {
+        Ok(addr) => addr,
+        Err(message) => {
+            eprintln!("fastmon-top: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let iterations = if args.once { 1 } else { args.iterations };
+    let mut poller = Poller { addr, conn: None };
+    let mut shown = 0u64;
+    loop {
+        let snapshot = match poller.observe() {
+            Ok(v) => v,
+            Err(message) => {
+                eprintln!("fastmon-top: {message}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut out = String::new();
+        if !args.once {
+            // Clear screen + home, like top(1).
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        render(&snapshot, &mut out);
+        print!("{out}");
+        std::io::stdout().flush().ok();
+        shown += 1;
+        if iterations != 0 && shown >= iterations {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(args.interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_require_an_address_source() {
+        assert!(parse_args(&[]).is_err());
+        let ok = parse_args(&["--addr".into(), "127.0.0.1:7".into()]);
+        assert!(ok.is_ok_and(|a| a.addr.as_deref() == Some("127.0.0.1:7")));
+    }
+
+    #[test]
+    fn render_survives_a_minimal_snapshot() {
+        let v = json::parse(
+            r#"{"event":"observe","uptime_secs":5,"queued":0,"queue_limit":16,
+                "draining":false,"tenants":[],"jobs":[],
+                "counters":{"robustness.daemon.jobs_admitted":1},
+                "latency":{"job_run":{"count":1,"sum":10,"p50":10,"p90":10,"p99":10,"max":10}}}"#,
+        )
+        .unwrap();
+        let mut out = String::new();
+        render(&v, &mut out);
+        assert!(out.contains("serving"));
+        assert!(out.contains("job_run"));
+        assert!(out.contains("(no running jobs)"));
+    }
+
+    #[test]
+    fn durations_and_latencies_format_human_scaled() {
+        assert_eq!(fmt_secs(3.25), "3.2s");
+        assert_eq!(fmt_secs(75.0), "1m15s");
+        assert_eq!(fmt_ns(1_500.0), "1.5us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00s");
+    }
+}

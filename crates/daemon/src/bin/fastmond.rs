@@ -4,6 +4,7 @@
 //! fastmond [--listen ADDR] [--workers N] [--queue-limit N]
 //!          [--checkpoint-root DIR] [--results-dir DIR]
 //!          [--addr-file PATH] [--gc-grace-secs N]
+//!          [--postmortem-dir DIR]
 //! ```
 //!
 //! Failpoints are armed eagerly from `FASTMON_FAILPOINTS`: a malformed
@@ -25,7 +26,7 @@ struct Args {
 fn usage() -> &'static str {
     "usage: fastmond [--listen ADDR] [--workers N] [--queue-limit N] \
      [--checkpoint-root DIR] [--results-dir DIR] [--addr-file PATH] \
-     [--gc-grace-secs N]"
+     [--gc-grace-secs N] [--postmortem-dir DIR]"
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -53,6 +54,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--checkpoint-root" => config.checkpoint_root = value("--checkpoint-root")?.into(),
             "--results-dir" => config.results_dir = value("--results-dir")?.into(),
             "--addr-file" => addr_file = Some(value("--addr-file")?.into()),
+            "--postmortem-dir" => config.postmortem_dir = value("--postmortem-dir")?.into(),
             "--gc-grace-secs" => {
                 config.gc_grace = Duration::from_secs(
                     value("--gc-grace-secs")?

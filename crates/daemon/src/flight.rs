@@ -1,0 +1,232 @@
+//! Per-job crash flight recorder.
+//!
+//! A [`FlightRecorder`] is a bounded ring buffer of the last N
+//! span/band/failpoint events of one running job. While the job is
+//! healthy it costs one mutex lock and a small allocation per event
+//! (events arrive at phase/band granularity, a handful per second at
+//! most). When the job dies — a typed failure or a contained panic —
+//! the tail is dumped twice: as a `flight_recorder` array inside the
+//! `failed`/`panicked` terminal record the client receives, and as a
+//! post-mortem JSONL file next to the checkpoint directory, so the
+//! evidence survives even when no client was listening.
+
+use std::collections::VecDeque;
+use std::path::Path;
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+use fastmon_obs::Record;
+
+/// One recorded event: job-relative time, a stable kind tag and a short
+/// free-form detail string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Milliseconds since the job started.
+    pub t_ms: u64,
+    /// Stable kind tag (`start`, `phase`, `campaign`, `resumed`, `band`,
+    /// `failpoint`, `error`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+struct Inner {
+    events: VecDeque<FlightEvent>,
+    /// Events pushed out of the ring by newer ones.
+    dropped: u64,
+}
+
+/// A bounded ring buffer of one job's recent lifecycle events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    started: Instant,
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("events", &self.events.len())
+            .field("dropped", &self.dropped)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` events (at least 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            started: Instant::now(),
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one event, evicting the oldest when the ring is full.
+    pub fn note(&self, kind: &'static str, detail: impl Into<String>) {
+        let t_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+        let mut inner = self.lock();
+        if inner.events.len() >= self.cap {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(FlightEvent {
+            t_ms,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Events currently held (≤ cap).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().events.len()
+    }
+
+    /// True when nothing was recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring so far.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.lock().dropped
+    }
+
+    /// A snapshot of the retained tail, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.lock().events.iter().cloned().collect()
+    }
+
+    /// The retained tail as a JSON array of
+    /// `{"t_ms":..,"kind":"..","detail":".."}` objects — the
+    /// `flight_recorder` field of `failed`/`panicked` terminal records.
+    #[must_use]
+    pub fn to_json_array(&self) -> String {
+        let mut s = String::from("[");
+        for (i, ev) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(
+                &Record::new()
+                    .u64("t_ms", ev.t_ms)
+                    .str("kind", ev.kind)
+                    .str("detail", &ev.detail)
+                    .finish(),
+            );
+        }
+        s.push(']');
+        s
+    }
+
+    /// Writes the post-mortem JSONL file: `header` (one record line,
+    /// built by the caller with job identity and terminal status), then
+    /// one line per retained event. Written via tmp + rename so a
+    /// half-written post-mortem is never observed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; callers treat the post-mortem as
+    /// best-effort.
+    pub fn write_postmortem(&self, path: &Path, header: &str) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut text = String::with_capacity(header.len() + 1);
+        text.push_str(header);
+        text.push('\n');
+        for ev in self.snapshot() {
+            text.push_str(
+                &Record::new()
+                    .str("event", "flight")
+                    .u64("t_ms", ev.t_ms)
+                    .str("kind", ev.kind)
+                    .str("detail", &ev.detail)
+                    .finish(),
+            );
+            text.push('\n');
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_only_the_tail_and_counts_drops() {
+        let fr = FlightRecorder::new(3);
+        assert!(fr.is_empty());
+        for i in 0..5 {
+            fr.note("band", format!("band {i}"));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.dropped(), 2);
+        let tail: Vec<String> = fr.snapshot().into_iter().map(|e| e.detail).collect();
+        assert_eq!(tail, ["band 2", "band 3", "band 4"]);
+    }
+
+    #[test]
+    fn json_array_parses_and_escapes_details() {
+        let fr = FlightRecorder::new(4);
+        fr.note("phase", "atpg");
+        fr.note("error", "band \"3\" exploded\nbadly");
+        let v = fastmon_obs::json::parse(&fr.to_json_array()).unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[1].get("detail").and_then(|d| d.as_str()),
+            Some("band \"3\" exploded\nbadly")
+        );
+        assert!(arr[0].get("t_ms").and_then(|t| t.as_u64()).is_some());
+    }
+
+    #[test]
+    fn postmortem_file_is_header_plus_one_line_per_event() {
+        let dir = std::env::temp_dir().join(format!("fastmond-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fr = FlightRecorder::new(8);
+        fr.note("phase", "analyze");
+        fr.note("band", "next_pattern=8 total=64");
+        let path = dir.join("job-1.jsonl");
+        let header = Record::new()
+            .str("event", "postmortem")
+            .str("name", "job")
+            .str("status", "failed")
+            .finish();
+        fr.write_postmortem(&path, &header).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let head = fastmon_obs::json::parse(lines[0]).unwrap();
+        assert_eq!(
+            head.get("event").and_then(|e| e.as_str()),
+            Some("postmortem")
+        );
+        for line in &lines[1..] {
+            let v = fastmon_obs::json::parse(line).unwrap();
+            assert_eq!(v.get("event").and_then(|e| e.as_str()), Some("flight"));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

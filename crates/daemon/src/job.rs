@@ -42,6 +42,9 @@ pub enum JobEvent {
         next_pattern: usize,
         /// Total patterns in the campaign.
         total_patterns: usize,
+        /// Trace run id of the interrupted run that wrote the
+        /// checkpoint, when its sidecar survived.
+        prev_run: Option<u64>,
     },
     /// A band finished and its checkpoint reached disk — this boundary
     /// is a durable resume point.
@@ -226,6 +229,12 @@ fn land_result(results_dir: &Path, req: &JobRequest, outcome: &JobOutcome) -> Re
 /// Runs one campaign job to completion, landing its result under
 /// `results_dir` and releasing the checkpoint directory on success.
 ///
+/// When `metrics` is given, the job's own registry (counters *and*
+/// latency histograms — band durations, checkpoint save/load) is
+/// absorbed into it after the flow finishes, on success and failure
+/// alike, so a long-lived daemon registry accumulates every job's
+/// telemetry.
+///
 /// # Errors
 ///
 /// See [`JobError`]; everything except `Spec` leaves the on-disk
@@ -235,6 +244,7 @@ pub fn run_job(
     dirs: &CheckpointDir,
     results_dir: &Path,
     cancel: &CancelToken,
+    metrics: Option<&fastmon_obs::MetricsRegistry>,
     on_event: &mut dyn FnMut(JobEvent),
 ) -> Result<JobOutcome, JobError> {
     on_event(JobEvent::Phase { phase: "prepare" });
@@ -255,6 +265,23 @@ pub fn run_job(
     }
     .with_cancel(cancel.clone());
 
+    let result = run_flow(&flow, req, dirs, results_dir, on_event);
+    if let Some(sink) = metrics {
+        sink.absorb(flow.metrics());
+    }
+    result
+}
+
+/// Everything after `prepare`: ATPG, checkpointed analyze, schedule,
+/// land. Split out so [`run_job`] can absorb the flow's registry on
+/// every exit path.
+fn run_flow(
+    flow: &HdfTestFlow<'_>,
+    req: &JobRequest,
+    dirs: &CheckpointDir,
+    results_dir: &Path,
+    on_event: &mut dyn FnMut(JobEvent),
+) -> Result<JobOutcome, JobError> {
     on_event(JobEvent::Phase { phase: "atpg" });
     let patterns = flow.try_generate_patterns(req.pattern_budget)?;
     let fingerprint = flow.campaign_fingerprint(&patterns);
@@ -268,11 +295,13 @@ pub fn run_job(
             fastmon_core::CampaignProgress::Resumed {
                 next_pattern,
                 total_patterns,
+                prev_run,
             } => {
                 resumed.set(true);
                 on_event(JobEvent::Resumed {
                     next_pattern,
                     total_patterns,
+                    prev_run,
                 });
             }
             fastmon_core::CampaignProgress::BandCheckpointed {
@@ -340,7 +369,7 @@ mod tests {
         let results = root.join("results");
         let cancel = CancelToken::new();
         let mut events = Vec::new();
-        let outcome = run_job(&s27_request(), &dirs, &results, &cancel, &mut |e| {
+        let outcome = run_job(&s27_request(), &dirs, &results, &cancel, None, &mut |e| {
             events.push(e);
         })
         .unwrap();
@@ -382,6 +411,7 @@ mod tests {
             &dirs,
             &root.join("r1"),
             &cancel,
+            None,
             &mut |_| {},
         )
         .unwrap();
@@ -390,6 +420,7 @@ mod tests {
             &dirs,
             &root.join("r2"),
             &cancel,
+            None,
             &mut |_| {},
         )
         .unwrap();
@@ -407,7 +438,7 @@ mod tests {
         req.circuit = CircuitSpec::Library {
             name: "nope".into(),
         };
-        let err = run_job(&req, &dirs, &root.join("r"), &cancel, &mut |_| {}).unwrap_err();
+        let err = run_job(&req, &dirs, &root.join("r"), &cancel, None, &mut |_| {}).unwrap_err();
         assert_eq!(err.kind(), "spec");
         assert!(!err.resumable());
         let _ = std::fs::remove_dir_all(&root);
@@ -419,8 +450,15 @@ mod tests {
         let dirs = CheckpointDir::new(root.join("ckpt"));
         let cancel = CancelToken::new();
         cancel.cancel();
-        let err =
-            run_job(&s27_request(), &dirs, &root.join("r"), &cancel, &mut |_| {}).unwrap_err();
+        let err = run_job(
+            &s27_request(),
+            &dirs,
+            &root.join("r"),
+            &cancel,
+            None,
+            &mut |_| {},
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), "cancelled");
         assert!(err.resumable());
         let _ = std::fs::remove_dir_all(&root);

@@ -23,16 +23,24 @@
 //! - Checkpoint directories are lock-protected against concurrent
 //!   daemons and garbage-collected conservatively (live set + held
 //!   locks + grace period).
+//! - Live telemetry: the `observe` op snapshots per-tenant queue
+//!   lanes, per-job band progress with an ETA, and every latency
+//!   histogram; `watch` streams those snapshots periodically; failed
+//!   and panicked jobs carry a bounded flight-recorder tail
+//!   ([`flight`]) in their terminal record and dump it to a
+//!   post-mortem JSONL file. `fastmon-top` renders `observe` live.
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 #![deny(missing_docs)]
 
+pub mod flight;
 pub mod job;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod signals;
 
+pub use flight::{FlightEvent, FlightRecorder};
 pub use job::{run_job, JobError, JobEvent, JobOutcome};
 pub use proto::{
     parse_request, CircuitSpec, JobRequest, ProtoError, Request, MAX_LINE_BYTES, PROTO_VERSION,

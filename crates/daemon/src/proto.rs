@@ -13,6 +13,8 @@
 //! ```text
 //! {"op":"ping"}
 //! {"op":"status"}
+//! {"op":"observe"}                     // deep telemetry snapshot
+//! {"op":"watch","interval_ms":1000,"count":10}   // periodic snapshots
 //! {"op":"gc"}                          // optional "min_age_secs": n
 //! {"op":"submit","proto":1,"tenant":"t0","name":"job-3",
 //!  "circuit":{"kind":"profile","name":"s9234","scale":0.05,"seed":7},
@@ -85,6 +87,14 @@ pub struct JobRequest {
     pub threads: usize,
 }
 
+/// Lower bound on a `watch` interval — protects the daemon from a
+/// client-requested busy loop.
+pub const MIN_WATCH_INTERVAL_MS: u64 = 50;
+
+/// Upper bound on a `watch` interval (an hour between snapshots is a
+/// config mistake, not a cadence).
+pub const MAX_WATCH_INTERVAL_MS: u64 = 3_600_000;
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -94,6 +104,18 @@ pub enum Request {
     Status,
     /// Liveness probe.
     Ping,
+    /// One deep telemetry snapshot: per-tenant lanes, per-job band
+    /// progress + ETA, full counters and latency quantiles.
+    Observe,
+    /// Stream periodic `observe` snapshots over this connection.
+    Watch {
+        /// Milliseconds between snapshots (clamped to
+        /// [`MIN_WATCH_INTERVAL_MS`]..=[`MAX_WATCH_INTERVAL_MS`] at
+        /// parse time).
+        interval_ms: u64,
+        /// Snapshots to emit; 0 = until disconnect or drain.
+        count: u64,
+    },
     /// Run a checkpoint GC sweep now, optionally overriding the grace
     /// period.
     Gc {
@@ -321,6 +343,20 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match op.as_str() {
         "ping" => Ok(Request::Ping),
         "status" => Ok(Request::Status),
+        "observe" => Ok(Request::Observe),
+        "watch" => {
+            let interval_ms = opt_u64(&value, "interval_ms")?.unwrap_or(1000);
+            if !(MIN_WATCH_INTERVAL_MS..=MAX_WATCH_INTERVAL_MS).contains(&interval_ms) {
+                return Err(bad(
+                    "interval_ms",
+                    format!("expected {MIN_WATCH_INTERVAL_MS}..={MAX_WATCH_INTERVAL_MS}"),
+                ));
+            }
+            Ok(Request::Watch {
+                interval_ms,
+                count: opt_u64(&value, "count")?.unwrap_or(0),
+            })
+        }
         "gc" => Ok(Request::Gc {
             min_age_secs: opt_u64(&value, "min_age_secs")?,
         }),
@@ -343,6 +379,21 @@ mod tests {
             parse_request(r#"{"op":"gc","min_age_secs":0}"#),
             Ok(Request::Gc {
                 min_age_secs: Some(0)
+            })
+        );
+        assert_eq!(parse_request(r#"{"op":"observe"}"#), Ok(Request::Observe));
+        assert_eq!(
+            parse_request(r#"{"op":"watch"}"#),
+            Ok(Request::Watch {
+                interval_ms: 1000,
+                count: 0
+            })
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"watch","interval_ms":250,"count":5}"#),
+            Ok(Request::Watch {
+                interval_ms: 250,
+                count: 5
             })
         );
         let req = parse_request(
@@ -408,6 +459,15 @@ mod tests {
         );
         // the version gate applies to every op, not just submit
         assert_eq!(kind(r#"{"op":"ping","proto":99}"#), "unsupported_version");
+        assert_eq!(kind(r#"{"op":"observe","proto":9}"#), "unsupported_version");
+        assert_eq!(kind(r#"{"op":"watch","proto":9}"#), "unsupported_version");
+        // watch intervals outside the clamp are rejected, not silently
+        // adjusted
+        assert_eq!(kind(r#"{"op":"watch","interval_ms":1}"#), "bad_field");
+        assert_eq!(
+            kind(r#"{"op":"watch","interval_ms":99999999}"#),
+            "bad_field"
+        );
         assert_eq!(
             parse_request(r#"{"op":"ping","proto":1}"#),
             Ok(Request::Ping)

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Why a submission was refused at admission time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,9 +48,26 @@ impl AdmitError {
     }
 }
 
+/// A queued tenant's lane state, as reported by
+/// [`JobQueue::tenant_depths`]. Lanes persist once a tenant has ever
+/// submitted (the round-robin cursor needs stable indices), so a depth
+/// of 0 means "known tenant, nothing queued right now".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantDepth {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs currently queued in this lane.
+    pub queued: usize,
+    /// How long the head-of-lane job has been waiting (`None` when the
+    /// lane is empty).
+    pub oldest_wait: Option<Duration>,
+}
+
 struct Lane<T> {
     tenant: String,
-    jobs: VecDeque<T>,
+    /// Each job carries its enqueue instant so pops can report
+    /// queue-wait latency and `tenant_depths` the oldest-queued age.
+    jobs: VecDeque<(T, Instant)>,
 }
 
 struct State<T> {
@@ -101,11 +119,12 @@ impl<T> JobQueue<T> {
         if state.len >= self.limit {
             return Err(AdmitError::QueueFull { limit: self.limit });
         }
+        let entry = (job, Instant::now());
         match state.lanes.iter_mut().find(|l| l.tenant == tenant) {
-            Some(lane) => lane.jobs.push_back(job),
+            Some(lane) => lane.jobs.push_back(entry),
             None => state.lanes.push(Lane {
                 tenant: tenant.to_string(),
-                jobs: VecDeque::from([job]),
+                jobs: VecDeque::from([entry]),
             }),
         }
         state.len += 1;
@@ -119,16 +138,23 @@ impl<T> JobQueue<T> {
     /// `None` once the queue is draining and empty — the worker's signal
     /// to exit.
     pub fn pop(&self) -> Option<T> {
+        self.pop_timed().map(|(job, _)| job)
+    }
+
+    /// [`JobQueue::pop`], additionally reporting how long the popped job
+    /// sat queued (the daemon's queue-wait latency histogram feeds from
+    /// this).
+    pub fn pop_timed(&self) -> Option<(T, Duration)> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if state.len > 0 {
                 let lanes = state.lanes.len();
                 for step in 0..lanes {
                     let idx = (state.cursor + step) % lanes;
-                    if let Some(job) = state.lanes[idx].jobs.pop_front() {
+                    if let Some((job, enqueued)) = state.lanes[idx].jobs.pop_front() {
                         state.cursor = (idx + 1) % lanes;
                         state.len -= 1;
-                        return Some(job);
+                        return Some((job, enqueued.elapsed()));
                     }
                 }
                 unreachable!("len > 0 but every lane was empty");
@@ -141,6 +167,22 @@ impl<T> JobQueue<T> {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Per-tenant lane depths and oldest-queued ages, in lane (first
+    /// submission) order.
+    #[must_use]
+    pub fn tenant_depths(&self) -> Vec<TenantDepth> {
+        let state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state
+            .lanes
+            .iter()
+            .map(|lane| TenantDepth {
+                tenant: lane.tenant.clone(),
+                queued: lane.jobs.len(),
+                oldest_wait: lane.jobs.front().map(|(_, enqueued)| enqueued.elapsed()),
+            })
+            .collect()
     }
 
     /// Stops admissions and wakes all blocked workers. Jobs already
@@ -209,6 +251,32 @@ mod tests {
         assert_eq!(q.pop(), Some("a2"));
         assert_eq!(q.pop(), Some("a3"));
         assert_eq!(q.pop(), Some("a4"));
+    }
+
+    #[test]
+    fn tenant_depths_and_timed_pops_report_lane_state() {
+        let q = JobQueue::new(8);
+        q.submit("a", 1).unwrap();
+        q.submit("a", 2).unwrap();
+        q.submit("b", 3).unwrap();
+        let depths = q.tenant_depths();
+        assert_eq!(depths.len(), 2);
+        assert_eq!(depths[0].tenant, "a");
+        assert_eq!(depths[0].queued, 2);
+        assert!(depths[0].oldest_wait.is_some());
+        assert_eq!(depths[1].tenant, "b");
+        assert_eq!(depths[1].queued, 1);
+
+        let (job, wait) = q.pop_timed().unwrap();
+        assert_eq!(job, 1);
+        assert!(wait >= std::time::Duration::ZERO);
+        // Drained lanes stay listed (cursor stability) but report empty.
+        q.pop();
+        q.pop();
+        let depths = q.tenant_depths();
+        assert_eq!(depths.len(), 2);
+        assert!(depths.iter().all(|d| d.queued == 0));
+        assert!(depths.iter().all(|d| d.oldest_wait.is_none()));
     }
 
     #[test]

@@ -26,11 +26,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use fastmon_core::CheckpointDir;
 use fastmon_obs::{CancelToken, MetricsRegistry, Record};
 
+use crate::flight::FlightRecorder;
 use crate::job::{run_job, JobEvent};
 use crate::proto::{self, JobRequest, ProtoError, Request, MAX_LINE_BYTES};
 use crate::queue::JobQueue;
@@ -54,6 +55,9 @@ pub struct DaemonConfig {
     /// collected, protecting queued and freshly-crashed campaigns whose
     /// fingerprints the daemon cannot know yet.
     pub gc_grace: Duration,
+    /// Where failed/panicked jobs dump their flight-recorder
+    /// post-mortems (`<name>-<job id>.jsonl`).
+    pub postmortem_dir: PathBuf,
 }
 
 impl DaemonConfig {
@@ -69,6 +73,7 @@ impl DaemonConfig {
             checkpoint_root: dir.join("checkpoints"),
             results_dir: dir.join("results"),
             gc_grace: Duration::from_secs(900),
+            postmortem_dir: dir.join("postmortems"),
         }
     }
 }
@@ -87,9 +92,32 @@ enum WorkerMsg {
     Terminal(String),
 }
 
+/// Live state of one in-flight job, kept current by `run_one`'s event
+/// callback so `observe` can report phase/band progress without touching
+/// the worker.
+struct RunningJob {
+    id: u64,
+    tenant: String,
+    name: String,
+    cancel: CancelToken,
+    fingerprint: Option<u64>,
+    phase: &'static str,
+    /// First pattern still unsimulated (0 until the campaign reports).
+    next_pattern: u64,
+    /// Total patterns in the campaign (0 until known).
+    total_patterns: u64,
+    /// Band checkpoints that reached disk during *this* run.
+    bands_done: u64,
+    /// Where this run started simulating (nonzero after a resume) — the
+    /// ETA extrapolates from patterns done by this process, not by its
+    /// predecessors.
+    start_pattern: u64,
+    resumed: bool,
+    started: Instant,
+}
+
 struct Running {
-    cancels: Vec<(u64, CancelToken)>,
-    fingerprints: Vec<u64>,
+    jobs: Vec<RunningJob>,
     next_id: u64,
 }
 
@@ -100,6 +128,8 @@ struct Shared {
     checkpoints: CheckpointDir,
     results_dir: PathBuf,
     gc_grace: Duration,
+    postmortems: PathBuf,
+    started: Instant,
     drain: AtomicBool,
 }
 
@@ -120,8 +150,16 @@ impl Shared {
         }
         self.metrics.daemon.drains.incr();
         self.queue.start_drain();
-        for (_, token) in &self.lock_running().cancels {
-            token.cancel();
+        for job in &self.lock_running().jobs {
+            job.cancel.cancel();
+        }
+    }
+
+    /// Runs `update` on the live entry for job `id`, if it still exists.
+    fn update_job(&self, id: u64, update: impl FnOnce(&mut RunningJob)) {
+        let mut running = self.lock_running();
+        if let Some(job) = running.jobs.iter_mut().find(|j| j.id == id) {
+            update(job);
         }
     }
 }
@@ -185,13 +223,14 @@ impl Daemon {
             queue: JobQueue::new(config.queue_limit),
             metrics: Arc::new(MetricsRegistry::new()),
             running: Mutex::new(Running {
-                cancels: Vec::new(),
-                fingerprints: Vec::new(),
+                jobs: Vec::new(),
                 next_id: 0,
             }),
             checkpoints: CheckpointDir::new(config.checkpoint_root),
             results_dir: config.results_dir,
             gc_grace: config.gc_grace,
+            postmortems: config.postmortem_dir,
+            started: Instant::now(),
             drain: AtomicBool::new(false),
         });
 
@@ -252,7 +291,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
-    while let Some(job) = shared.queue.pop() {
+    while let Some((job, wait)) = shared.queue.pop_timed() {
+        shared.metrics.latency.queue_wait.record_duration(wait);
         if shared.draining() {
             // Queued but never started: refuse cleanly so the client
             // knows to resubmit after restart.
@@ -284,30 +324,69 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
         let mut running = shared.lock_running();
         running.next_id += 1;
         let id = running.next_id;
-        running.cancels.push((id, cancel.clone()));
+        running.jobs.push(RunningJob {
+            id,
+            tenant: job.req.tenant.clone(),
+            name: job.req.name.clone(),
+            cancel: cancel.clone(),
+            fingerprint: None,
+            phase: "queued",
+            next_pattern: 0,
+            total_patterns: 0,
+            bands_done: 0,
+            start_pattern: 0,
+            resumed: false,
+            started: Instant::now(),
+        });
         id
     };
     if shared.draining() {
         cancel.cancel();
     }
 
+    let flight = FlightRecorder::new(64);
+    flight.note(
+        "start",
+        format!("tenant={} name={}", job.req.tenant, job.req.name),
+    );
+    let failpoints_seen = std::cell::Cell::new(fastmon_obs::failpoints::fired_count());
     let fingerprint = std::cell::Cell::new(None::<u64>);
     let send = |line: String| {
         // The client may be gone; the campaign still runs to its result.
         let _ = job.events.send(WorkerMsg::Line(line));
     };
+    // Failpoints are process-global; per-band deltas attribute them to
+    // the job that observed them, which is exact with one worker and a
+    // close approximation under concurrency — good enough for a
+    // post-mortem trail.
+    let note_failpoints = || {
+        let now = fastmon_obs::failpoints::fired_count();
+        let before = failpoints_seen.replace(now);
+        if now > before {
+            flight.note(
+                "failpoint",
+                format!("fired={} (process total)", now - before),
+            );
+        }
+    };
+    let t_run = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(|| {
         let mut on_event = |event: JobEvent| match event {
-            JobEvent::Phase { phase } => send(
-                Record::new()
-                    .str("event", "phase")
-                    .str("name", &job.req.name)
-                    .str("phase", phase)
-                    .finish(),
-            ),
+            JobEvent::Phase { phase } => {
+                flight.note("phase", phase);
+                shared.update_job(id, |j| j.phase = phase);
+                send(
+                    Record::new()
+                        .str("event", "phase")
+                        .str("name", &job.req.name)
+                        .str("phase", phase)
+                        .finish(),
+                );
+            }
             JobEvent::Campaign { fingerprint: fp } => {
                 fingerprint.set(Some(fp));
-                shared.lock_running().fingerprints.push(fp);
+                flight.note("campaign", format!("fingerprint={fp:016x}"));
+                shared.update_job(id, |j| j.fingerprint = Some(fp));
                 send(
                     Record::new()
                         .str("event", "campaign")
@@ -319,43 +398,83 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
             JobEvent::Resumed {
                 next_pattern,
                 total_patterns,
-            } => send(
-                Record::new()
+                prev_run,
+            } => {
+                flight.note(
+                    "resumed",
+                    match prev_run {
+                        Some(prev) => {
+                            format!("next_pattern={next_pattern} prev_run={prev:016x}")
+                        }
+                        None => format!("next_pattern={next_pattern}"),
+                    },
+                );
+                shared.update_job(id, |j| {
+                    j.resumed = true;
+                    j.next_pattern = next_pattern as u64;
+                    j.start_pattern = next_pattern as u64;
+                    j.total_patterns = total_patterns as u64;
+                });
+                let mut rec = Record::new()
                     .str("event", "resumed")
                     .str("name", &job.req.name)
                     .u64("next_pattern", next_pattern as u64)
-                    .u64("total_patterns", total_patterns as u64)
-                    .finish(),
-            ),
+                    .u64("total_patterns", total_patterns as u64);
+                if let Some(prev) = prev_run {
+                    rec = rec.fingerprint("prev_run", prev);
+                }
+                send(rec.finish());
+            }
             JobEvent::Band {
                 next_pattern,
                 total_patterns,
-            } => send(
-                Record::new()
-                    .str("event", "band")
-                    .str("name", &job.req.name)
-                    .u64("next_pattern", next_pattern as u64)
-                    .u64("total_patterns", total_patterns as u64)
-                    .finish(),
-            ),
+            } => {
+                note_failpoints();
+                flight.note(
+                    "band",
+                    format!("next_pattern={next_pattern} total_patterns={total_patterns}"),
+                );
+                shared.update_job(id, |j| {
+                    j.next_pattern = next_pattern as u64;
+                    j.total_patterns = total_patterns as u64;
+                    j.bands_done += 1;
+                });
+                send(
+                    Record::new()
+                        .str("event", "band")
+                        .str("name", &job.req.name)
+                        .u64("next_pattern", next_pattern as u64)
+                        .u64("total_patterns", total_patterns as u64)
+                        .finish(),
+                );
+            }
         };
         run_job(
             &job.req,
             &shared.checkpoints,
             &shared.results_dir,
             &cancel,
+            Some(shared.metrics.as_ref()),
             &mut on_event,
         )
     }));
+    shared
+        .metrics
+        .latency
+        .job_run
+        .record_duration(t_run.elapsed());
+    note_failpoints();
 
     let metrics = &shared.metrics.daemon;
-    let terminal = match result {
+    // (terminal record, terminal status + error kind when the flight
+    // recorder should dump a post-mortem)
+    let (terminal, crashed) = match result {
         Ok(Ok(outcome)) => {
             metrics.jobs_completed.incr();
             if outcome.resumed {
                 metrics.jobs_resumed.incr();
             }
-            Record::new()
+            let line = Record::new()
                 .str("event", "terminal")
                 .str("status", "completed")
                 .str("name", &job.req.name)
@@ -367,7 +486,8 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
                 .u64("num_targets", outcome.num_targets as u64)
                 .u64("covered", outcome.covered as u64)
                 .bool("optimal", outcome.optimal)
-                .finish()
+                .finish();
+            (line, None)
         }
         Ok(Err(err)) => {
             let status = if matches!(err.kind(), "cancelled") {
@@ -377,14 +497,20 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
                 metrics.jobs_failed.incr();
                 "failed"
             };
-            Record::new()
+            let message = err.to_string();
+            flight.note("error", format!("kind={} {message}", err.kind()));
+            let mut rec = Record::new()
                 .str("event", "terminal")
                 .str("status", status)
                 .str("name", &job.req.name)
                 .str("kind", err.kind())
-                .str("message", &err.to_string())
-                .bool("resumable", err.resumable())
-                .finish()
+                .str("message", &message)
+                .bool("resumable", err.resumable());
+            let crashed = (status == "failed").then(|| ("failed", err.kind()));
+            if crashed.is_some() {
+                rec = rec.raw("flight_recorder", &flight.to_json_array());
+            }
+            (rec.finish(), crashed)
         }
         Err(panic) => {
             metrics.panics_contained.incr();
@@ -394,24 +520,67 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
                 .map(|s| (*s).to_string())
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "worker panicked".to_string());
-            Record::new()
+            flight.note("error", format!("panic: {message}"));
+            let line = Record::new()
                 .str("event", "terminal")
                 .str("status", "failed")
                 .str("name", &job.req.name)
                 .str("kind", "panic")
                 .str("message", &message)
                 .bool("resumable", true)
-                .finish()
+                .raw("flight_recorder", &flight.to_json_array())
+                .finish();
+            (line, Some(("failed", "panic")))
         }
     };
+    if let Some((status, kind)) = crashed {
+        write_postmortem(shared, job, id, &flight, status, kind);
+    }
     let _ = job.events.send(WorkerMsg::Terminal(terminal));
 
-    let mut running = shared.lock_running();
-    running.cancels.retain(|(cid, _)| *cid != id);
-    if let Some(fp) = fingerprint.get() {
-        if let Some(pos) = running.fingerprints.iter().position(|f| *f == fp) {
-            running.fingerprints.swap_remove(pos);
-        }
+    shared.lock_running().jobs.retain(|j| j.id != id);
+}
+
+/// Dumps a crashed job's flight-recorder tail to
+/// `<postmortem_dir>/<name>-<job id>.jsonl`. Best-effort: a failed dump
+/// is reported on stderr, never escalated.
+fn write_postmortem(
+    shared: &Shared,
+    job: &QueuedJob,
+    id: u64,
+    flight: &FlightRecorder,
+    status: &str,
+    kind: &str,
+) {
+    let safe_name: String = job
+        .req
+        .name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .take(64)
+        .collect();
+    let path = shared.postmortems.join(format!("{safe_name}-{id}.jsonl"));
+    let header = Record::new()
+        .str("event", "postmortem")
+        .str("tenant", &job.req.tenant)
+        .str("name", &job.req.name)
+        .str("status", status)
+        .str("kind", kind)
+        .str("run", &fastmon_obs::run_id())
+        .u64("job_id", id)
+        .u64("dropped", flight.dropped())
+        .finish();
+    if let Err(e) = flight.write_postmortem(&path, &header) {
+        eprintln!(
+            "warning: could not write post-mortem {}: {e}",
+            path.display()
+        );
     }
 }
 
@@ -505,7 +674,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
         if line.trim().is_empty() {
             continue;
         }
-        let request = match proto::parse_request(&line) {
+        let t_parse = Instant::now();
+        let parsed = proto::parse_request(&line);
+        shared
+            .metrics
+            .latency
+            .proto_parse
+            .record_duration(t_parse.elapsed());
+        let request = match parsed {
             Ok(req) => req,
             Err(err) => {
                 if !write_line(&mut writer, &error_record(&err)) {
@@ -514,6 +690,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                 continue;
             }
         };
+        let t_handle = Instant::now();
         let keep_going = match request {
             Request::Ping => write_line(
                 &mut writer,
@@ -523,27 +700,58 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
                     .finish(),
             ),
             Request::Status => write_line(&mut writer, &status_record(shared)),
+            Request::Observe => write_line(&mut writer, &observe_record(shared)),
+            Request::Watch { interval_ms, count } => {
+                handle_watch(&mut writer, shared, interval_ms, count)
+            }
             Request::Gc { min_age_secs } => {
                 write_line(&mut writer, &gc_record(shared, min_age_secs))
             }
             Request::Submit(req) => handle_submit(&mut writer, shared, req),
         };
+        shared
+            .metrics
+            .latency
+            .proto_handle
+            .record_duration(t_handle.elapsed());
         if !keep_going {
             return;
         }
     }
 }
 
+/// Per-tenant lane state as a JSON array (shared by `status` and
+/// `observe`).
+fn tenants_json(shared: &Shared) -> String {
+    let mut s = String::from("[");
+    for (i, lane) in shared.queue.tenant_depths().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let mut rec = Record::new()
+            .str("tenant", &lane.tenant)
+            .u64("queued", lane.queued as u64);
+        if let Some(wait) = lane.oldest_wait {
+            rec = rec.f64("oldest_wait_secs", wait.as_secs_f64());
+        }
+        s.push_str(&rec.finish());
+    }
+    s.push(']');
+    s
+}
+
 fn status_record(shared: &Shared) -> String {
-    let running = shared.lock_running().cancels.len();
+    let running = shared.lock_running().jobs.len();
     let m = &shared.metrics.daemon;
     Record::new()
         .str("event", "status")
         .u64("proto", proto::PROTO_VERSION)
+        .u64("uptime_secs", shared.started.elapsed().as_secs())
         .u64("queued", shared.queue.len() as u64)
         .u64("queue_limit", shared.queue.limit() as u64)
         .u64("running", running as u64)
         .bool("draining", shared.draining())
+        .raw("tenants", &tenants_json(shared))
         .u64("jobs_admitted", m.jobs_admitted.get())
         .u64("jobs_rejected", m.jobs_rejected.get())
         .u64("jobs_resumed", m.jobs_resumed.get())
@@ -554,8 +762,95 @@ fn status_record(shared: &Shared) -> String {
         .finish()
 }
 
+/// The deep telemetry snapshot behind the `observe` and `watch` ops:
+/// queue + tenant lanes, per-job phase/band progress with an ETA, and
+/// the full accumulated registry (counters and latency quantiles).
+fn observe_record(shared: &Shared) -> String {
+    let jobs_json = {
+        let running = shared.lock_running();
+        let mut s = String::from("[");
+        for (i, j) in running.jobs.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let elapsed = j.started.elapsed().as_secs_f64();
+            let mut rec = Record::new()
+                .u64("id", j.id)
+                .str("tenant", &j.tenant)
+                .str("name", &j.name)
+                .str("phase", j.phase)
+                .bool("resumed", j.resumed)
+                .u64("bands_done", j.bands_done)
+                .u64("next_pattern", j.next_pattern)
+                .u64("total_patterns", j.total_patterns)
+                .f64("elapsed_secs", elapsed);
+            if let Some(fp) = j.fingerprint {
+                rec = rec.fingerprint("fingerprint", fp);
+            }
+            // Extrapolate from what *this* process simulated; patterns
+            // inherited from a resumed checkpoint cost it nothing.
+            let done = j.next_pattern.saturating_sub(j.start_pattern);
+            let remaining = j.total_patterns.saturating_sub(j.next_pattern);
+            if done > 0 && remaining > 0 && elapsed > 0.0 {
+                #[allow(clippy::cast_precision_loss)]
+                let eta = elapsed * remaining as f64 / done as f64;
+                rec = rec.f64("eta_secs", eta);
+            }
+            s.push_str(&rec.finish());
+        }
+        s.push(']');
+        s
+    };
+    Record::new()
+        .str("event", "observe")
+        .u64("proto", proto::PROTO_VERSION)
+        .u64("uptime_secs", shared.started.elapsed().as_secs())
+        .u64("queued", shared.queue.len() as u64)
+        .u64("queue_limit", shared.queue.limit() as u64)
+        .bool("draining", shared.draining())
+        .raw("tenants", &tenants_json(shared))
+        .raw("jobs", &jobs_json)
+        .raw("counters", &shared.metrics.to_json())
+        .raw("latency", &shared.metrics.latency.to_json())
+        .finish()
+}
+
+/// Streams `observe` snapshots every `interval_ms` until `count` is
+/// exhausted (0 = unbounded), the client disconnects, or the daemon
+/// drains. Returns `false` when the connection died.
+fn handle_watch(writer: &mut TcpStream, shared: &Shared, interval_ms: u64, count: u64) -> bool {
+    let mut emitted = 0u64;
+    loop {
+        if !write_line(writer, &observe_record(shared)) {
+            return false;
+        }
+        emitted += 1;
+        if count != 0 && emitted >= count {
+            return true;
+        }
+        // Sleep in short slices so a drain ends the stream promptly.
+        let mut left = Duration::from_millis(interval_ms);
+        while !left.is_zero() {
+            if shared.draining() {
+                return true;
+            }
+            let slice = left.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            left = left.saturating_sub(slice);
+        }
+        if shared.draining() {
+            return true;
+        }
+    }
+}
+
 fn gc_record(shared: &Shared, min_age_secs: Option<u64>) -> String {
-    let live = shared.lock_running().fingerprints.clone();
+    let live: Vec<u64> = shared
+        .lock_running()
+        .jobs
+        .iter()
+        .filter_map(|j| j.fingerprint)
+        .collect();
     let grace = min_age_secs.map_or(shared.gc_grace, Duration::from_secs);
     match shared.checkpoints.gc(&live, grace) {
         Ok(report) => Record::new()

@@ -36,6 +36,7 @@ fn serial_baseline(root: &std::path::Path, line: &str) -> (String, String) {
         &dirs,
         &root.join("baseline-results"),
         &cancel,
+        None,
         &mut |_| {},
     )
     .expect("clean serial baseline must succeed");
@@ -147,6 +148,60 @@ fn chaos_soak_is_bit_identical_to_clean_serial_runs() {
     }
     let (_, result_fp) = serial_baseline(&root, &line);
     assert_eq!(finished.result_fingerprint, result_fp);
+
+    // Telemetry consistency after the chaos: the surviving daemon's
+    // `observe` snapshot must show zero stuck jobs (the running-jobs
+    // table empties when the terminal lands — retry briefly, the removal
+    // races the terminal record by design) and latency totals that
+    // account for the campaign it just ran.
+    let snapshot = {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let snap = fastmon_bench::soak::observe(&root)
+                .expect("the restarted daemon must answer observe");
+            let running = snap
+                .get("jobs")
+                .and_then(|j| j.as_arr())
+                .map_or(usize::MAX, <[_]>::len);
+            if running == 0 || std::time::Instant::now() > deadline {
+                break snap;
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+    };
+    assert_eq!(
+        snapshot
+            .get("jobs")
+            .and_then(|j| j.as_arr())
+            .map(<[_]>::len),
+        Some(0),
+        "no job may be stuck running after its terminal record: {snapshot:?}"
+    );
+    assert_eq!(snapshot.get("queued").and_then(|q| q.as_u64()), Some(0));
+    let hist_count = |name: &str| {
+        snapshot
+            .get("latency")
+            .and_then(|l| l.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(|c| c.as_u64())
+            .unwrap_or(0)
+    };
+    let completed = snapshot
+        .get("counters")
+        .and_then(|c| c.get("robustness.daemon.jobs_completed"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert!(completed >= 1, "the drain-resume campaign completed here");
+    assert!(
+        hist_count("job_run") >= completed,
+        "every completed campaign passed through the job_run histogram: {snapshot:?}"
+    );
+    assert!(
+        hist_count("queue_wait") >= completed,
+        "every completed campaign was popped off the queue: {snapshot:?}"
+    );
+    assert!(hist_count("band") >= 1, "campaigns checkpoint in bands");
+
     daemon.kill9();
 
     let _ = std::fs::remove_dir_all(&root);

@@ -1,0 +1,285 @@
+//! Live-telemetry integration tests: the `observe` and `watch` ops
+//! against a real socket, and the crash flight recorder against a real
+//! `fastmond` child with a panic failpoint armed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use fastmon_daemon::server::{Daemon, DaemonConfig};
+use fastmon_obs::json::{self, Value};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastmond-telemetry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn client(addr: impl std::net::ToSocketAddrs) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let writer = stream.try_clone().unwrap();
+    (BufReader::new(stream), writer)
+}
+
+fn send(writer: &mut TcpStream, line: &str) {
+    writer.write_all(line.as_bytes()).unwrap();
+    writer.write_all(b"\n").unwrap();
+}
+
+fn recv(reader: &mut BufReader<TcpStream>) -> Value {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).unwrap();
+    assert!(n > 0, "daemon closed the connection mid-conversation");
+    json::parse(line.trim()).unwrap()
+}
+
+fn event_of(v: &Value) -> &str {
+    v.get("event").and_then(Value::as_str).unwrap()
+}
+
+fn hist_count(snapshot: &Value, name: &str) -> u64 {
+    snapshot
+        .get("latency")
+        .and_then(|l| l.get(name))
+        .and_then(|h| h.get("count"))
+        .and_then(Value::as_u64)
+        .unwrap_or(0)
+}
+
+#[test]
+fn observe_reports_queue_jobs_and_latency_quantiles() {
+    let root = tmp("observe");
+    let mut config = DaemonConfig::at(&root);
+    config.workers = 1;
+    let handle = Daemon::start(config).unwrap();
+    let (mut reader, mut writer) = client(handle.addr());
+
+    // An idle daemon still answers a full-shape snapshot.
+    send(&mut writer, r#"{"op":"observe"}"#);
+    let idle = recv(&mut reader);
+    assert_eq!(event_of(&idle), "observe");
+    assert_eq!(idle.get("queued").and_then(Value::as_u64), Some(0));
+    assert_eq!(idle.get("draining").and_then(Value::as_bool), Some(false));
+    assert!(idle.get("tenants").and_then(Value::as_arr).is_some());
+    assert_eq!(
+        idle.get("jobs").and_then(Value::as_arr).map(<[Value]>::len),
+        Some(0)
+    );
+    assert!(idle
+        .get("counters")
+        .and_then(|c| c.get("robustness.daemon.jobs_admitted"))
+        .is_some());
+    assert!(idle.get("latency").and_then(|l| l.get("job_run")).is_some());
+
+    // Run one real campaign to completion; every stage histogram must
+    // have fired and the tenant lane must be known.
+    let (mut jr, mut jw) = client(handle.addr());
+    send(
+        &mut jw,
+        r#"{"op":"submit","tenant":"acme","name":"s27-obs","circuit":{"kind":"library","name":"s27"}}"#,
+    );
+    assert_eq!(event_of(&recv(&mut jr)), "admitted");
+    loop {
+        let v = recv(&mut jr);
+        if event_of(&v) == "terminal" {
+            assert_eq!(v.get("status").and_then(Value::as_str), Some("completed"));
+            break;
+        }
+    }
+
+    send(&mut writer, r#"{"op":"observe"}"#);
+    let after = recv(&mut reader);
+    let tenants = after.get("tenants").and_then(Value::as_arr).unwrap();
+    assert!(
+        tenants
+            .iter()
+            .any(|t| t.get("tenant").and_then(Value::as_str) == Some("acme")),
+        "tenant lane must be listed after a submission"
+    );
+    for h in [
+        "queue_wait",
+        "job_run",
+        "band",
+        "checkpoint_save",
+        "proto_parse",
+        "proto_handle",
+    ] {
+        assert!(
+            hist_count(&after, h) > 0,
+            "latency histogram {h} must have recorded at least once, got {after:?}"
+        );
+    }
+    let completed = after
+        .get("counters")
+        .and_then(|c| c.get("robustness.daemon.jobs_completed"))
+        .and_then(Value::as_u64);
+    assert_eq!(completed, Some(1));
+
+    handle.drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn watch_streams_the_requested_number_of_snapshots() {
+    let root = tmp("watch");
+    let handle = Daemon::start(DaemonConfig::at(&root)).unwrap();
+    let (mut reader, mut writer) = client(handle.addr());
+
+    send(&mut writer, r#"{"op":"watch","interval_ms":50,"count":3}"#);
+    for _ in 0..3 {
+        let v = recv(&mut reader);
+        assert_eq!(event_of(&v), "observe");
+    }
+    // The connection survives the stream and keeps serving requests.
+    send(&mut writer, r#"{"op":"ping"}"#);
+    assert_eq!(event_of(&recv(&mut reader)), "pong");
+
+    // Out-of-range intervals are a typed protocol error, not a hang.
+    send(&mut writer, r#"{"op":"watch","interval_ms":5}"#);
+    let err = recv(&mut reader);
+    assert_eq!(event_of(&err), "error");
+
+    handle.drain();
+    handle.join();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Spawns the real `fastmond` binary with a panic failpoint armed on the
+/// second band checkpoint, and returns (child, addr).
+fn spawn_chaos_daemon(root: &Path, failpoints: &str) -> (std::process::Child, String) {
+    let bin = env!("CARGO_BIN_EXE_fastmond");
+    std::fs::create_dir_all(root).unwrap();
+    let addr_file = root.join("addr");
+    let child = std::process::Command::new(bin)
+        .arg("--listen")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("1")
+        .arg("--checkpoint-root")
+        .arg(root.join("checkpoints"))
+        .arg("--results-dir")
+        .arg(root.join("results"))
+        .arg("--postmortem-dir")
+        .arg(root.join("postmortems"))
+        .arg("--addr-file")
+        .arg(&addr_file)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .env("FASTMON_FAILPOINTS", failpoints)
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            let text = text.trim().to_string();
+            if !text.is_empty() {
+                break text;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "fastmond never wrote its addr file"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+const MULTI_BAND_SUBMIT: &str = concat!(
+    r#"{"op":"submit","tenant":"chaos","name":"boomy","#,
+    r#""circuit":{"kind":"profile","name":"s9234","scale":0.05,"seed":7},"#,
+    r#""max_faults":150,"seed":11,"threads":1}"#
+);
+
+#[test]
+fn panicked_job_terminal_carries_its_flight_recorder_tail() {
+    let root = tmp("flight");
+    // Second band checkpoint panics: band 1 lands (a `band` flight event
+    // is recorded), band 2 blows up inside the worker.
+    let (mut child, addr) = spawn_chaos_daemon(&root, "campaign_band=panic@2");
+    let (mut reader, mut writer) = client(addr.as_str());
+
+    send(&mut writer, MULTI_BAND_SUBMIT);
+    assert_eq!(event_of(&recv(&mut reader)), "admitted");
+    let terminal = loop {
+        let v = recv(&mut reader);
+        if event_of(&v) == "terminal" {
+            break v;
+        }
+    };
+    assert_eq!(
+        terminal.get("status").and_then(Value::as_str),
+        Some("failed")
+    );
+    assert_eq!(terminal.get("kind").and_then(Value::as_str), Some("panic"));
+
+    let flight = terminal
+        .get("flight_recorder")
+        .and_then(Value::as_arr)
+        .expect("panicked terminal must carry a flight_recorder array");
+    assert!(!flight.is_empty());
+    let kinds: Vec<&str> = flight
+        .iter()
+        .filter_map(|e| e.get("kind").and_then(Value::as_str))
+        .collect();
+    assert!(
+        kinds.contains(&"band"),
+        "the tail must include the band events leading up to the crash, got {kinds:?}"
+    );
+    assert!(
+        kinds.last() == Some(&"error"),
+        "the final event must be the error itself, got {kinds:?}"
+    );
+
+    // The same tail landed as a post-mortem file, header first.
+    let postmortems: Vec<PathBuf> = std::fs::read_dir(root.join("postmortems"))
+        .expect("postmortem dir must exist after a crash")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(
+        postmortems.len(),
+        1,
+        "exactly one crashed job, got {postmortems:?}"
+    );
+    let text = std::fs::read_to_string(&postmortems[0]).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 2, "header plus at least one event");
+    let header = json::parse(lines[0]).unwrap();
+    assert_eq!(
+        header.get("event").and_then(Value::as_str),
+        Some("postmortem")
+    );
+    assert_eq!(header.get("kind").and_then(Value::as_str), Some("panic"));
+    assert_eq!(header.get("name").and_then(Value::as_str), Some("boomy"));
+
+    // The daemon contained the panic: it still answers, and the job is
+    // resumable from its surviving band-1 checkpoint. The resumed record
+    // links the predecessor run id (the `.run` sidecar survives).
+    let (mut r2, mut w2) = client(addr.as_str());
+    send(&mut w2, MULTI_BAND_SUBMIT);
+    assert_eq!(event_of(&recv(&mut r2)), "admitted");
+    let mut prev_run = None;
+    loop {
+        let v = recv(&mut r2);
+        match event_of(&v) {
+            "resumed" => {
+                prev_run = v.get("prev_run").and_then(Value::as_str).map(String::from);
+            }
+            "terminal" => {
+                assert_eq!(v.get("status").and_then(Value::as_str), Some("completed"));
+                break;
+            }
+            _ => {}
+        }
+    }
+    let prev_run = prev_run.expect("second attempt must resume and link its predecessor");
+    assert_eq!(prev_run.len(), 16);
+    assert!(prev_run.chars().all(|c| c.is_ascii_hexdigit()));
+
+    let _ = child.kill();
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,510 @@
+//! Log-bucketed latency histograms.
+//!
+//! A [`Histogram`] is a fixed-size array of relaxed atomic buckets laid
+//! out like HdrHistogram's: values below 16 get exact unit buckets, and
+//! every power-of-two range above that is split into 16 sub-buckets, so
+//! the recorded→reported relative error is bounded by 1/16 (6.25%)
+//! across the full `u64` range. Everything is lock-free and
+//! const-constructible, which lets a [`HistogramSet`] live inside the
+//! (const, sometimes static) [`crate::MetricsRegistry`].
+//!
+//! Values are unit-agnostic `u64`s; every recording site in the fastmon
+//! tree records **nanoseconds** (see [`Histogram::record_duration`]), so
+//! quantiles published in JSON snapshots are nanoseconds too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two range splits into
+/// `1 << SUB_BITS` buckets.
+const SUB_BITS: u32 = 4;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+/// Number of power-of-two groups above the exact range: values with their
+/// most-significant bit in positions `SUB_BITS..=63`.
+const GROUPS: usize = (64 - SUB_BITS as usize) + 1;
+/// Total bucket count: one exact group of `SUB_COUNT` unit buckets plus
+/// `GROUPS - 1` log groups of `SUB_COUNT` sub-buckets each.
+pub const BUCKETS: usize = GROUPS * SUB_COUNT as usize;
+
+/// Index of the bucket holding `v`.
+#[inline]
+#[must_use]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB_COUNT {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let group = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) & (SUB_COUNT - 1)) as usize;
+    group * SUB_COUNT as usize + sub
+}
+
+/// Largest value mapping into bucket `idx` (the value reported for any
+/// sample that landed there — quantiles never under-report).
+#[inline]
+#[must_use]
+fn bucket_upper(idx: usize) -> u64 {
+    let group = idx / SUB_COUNT as usize;
+    let sub = (idx % SUB_COUNT as usize) as u64;
+    if group == 0 {
+        return sub;
+    }
+    let shift = (group - 1) as u32;
+    // Lowest value in the bucket plus the bucket width minus one.
+    ((SUB_COUNT + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+/// A lock-free log-bucketed histogram of `u64` samples.
+///
+/// ~6.25% worst-case quantile error, `O(1)` record (one bucket
+/// `fetch_add` plus count/sum/max updates, all relaxed), mergeable, and
+/// const-constructible so it can sit inside static registries.
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let q = self.quantiles();
+        f.debug_struct("Histogram")
+            .field("count", &q.count)
+            .field("p50", &q.p50)
+            .field("p99", &q.p99)
+            .field("max", &q.max)
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quantiles {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Median (bucket upper bound, ≤6.25% above the true value).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum recorded value.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// A fresh empty histogram (const so sets can live in statics).
+    #[must_use]
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration in nanoseconds (saturating).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact maximum recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Adds every sample of `other` into `self` (bucket-wise; the merged
+    /// max stays exact).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// The value at quantile `q` (clamped to `[0, 1]`): the upper bound
+    /// of the first bucket whose cumulative count reaches `q * count`.
+    /// `q = 1.0` returns the exact recorded maximum; an empty histogram
+    /// returns 0 for every quantile.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max();
+        }
+        // ceil(q * total), at least 1: the rank of the sample we want.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (idx, b) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(b.load(Ordering::Relaxed));
+            if seen >= rank {
+                // Never report above the true max (the top bucket's upper
+                // bound can overshoot it).
+                return bucket_upper(idx).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// A point-in-time p50/p90/p99/max summary.
+    #[must_use]
+    pub fn quantiles(&self) -> Quantiles {
+        Quantiles {
+            count: self.count(),
+            sum: self.sum(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+
+    /// Summary as a single-line JSON object
+    /// (`{"count":..,"sum":..,"p50":..,"p90":..,"p99":..,"max":..}`).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let q = self.quantiles();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            q.count, q.sum, q.p50, q.p90, q.p99, q.max
+        )
+    }
+
+    /// Raw non-empty buckets as `(upper_bound, count)` pairs, for tests
+    /// and debugging.
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((bucket_upper(idx), n))
+            })
+            .collect()
+    }
+}
+
+macro_rules! histogram_set {
+    ($(#[$meta:meta])* $name:ident { $($(#[$fmeta:meta])* $field:ident),+ $(,)? }) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub struct $name {
+            $($(#[$fmeta])* pub $field: Histogram,)+
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+
+        impl $name {
+            /// A fresh all-empty set.
+            #[must_use]
+            pub const fn new() -> Self {
+                $name { $($field: Histogram::new(),)+ }
+            }
+
+            /// Zeroes every histogram in the set.
+            pub fn reset(&self) {
+                $(self.$field.reset();)+
+            }
+
+            /// Adds every histogram of `other` into `self`.
+            pub fn merge_from(&self, other: &$name) {
+                $(self.$field.merge_from(&other.$field);)+
+            }
+
+            /// `(name, histogram)` pairs in declaration order.
+            #[must_use]
+            pub fn entries(&self) -> Vec<(&'static str, &Histogram)> {
+                vec![$((stringify!($field), &self.$field),)+]
+            }
+
+            /// All summaries as a single-line JSON object keyed by name.
+            #[must_use]
+            pub fn to_json(&self) -> String {
+                let mut s = String::from("{");
+                for (i, (name, h)) in self.entries().iter().enumerate() {
+                    if i > 0 {
+                        s.push(',');
+                    }
+                    s.push('"');
+                    s.push_str(name);
+                    s.push_str("\":");
+                    s.push_str(&h.to_json());
+                }
+                s.push('}');
+                s
+            }
+        }
+    };
+}
+
+histogram_set! {
+    /// The latency distributions tracked by every [`crate::MetricsRegistry`].
+    /// All values are nanoseconds.
+    HistogramSet {
+        /// Job time spent queued before a worker picked it up.
+        queue_wait,
+        /// End-to-end job execution time (prepare through land).
+        job_run,
+        /// Per-band campaign simulation time.
+        band,
+        /// Checkpoint save latency (tmp write + rename).
+        checkpoint_save,
+        /// Checkpoint load latency (including misses).
+        checkpoint_load,
+        /// Protocol request line parse time.
+        proto_parse,
+        /// Protocol request handle time (dispatch to response written).
+        proto_handle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_exact_below_16_and_bounded_above() {
+        // Exact unit buckets below SUB_COUNT.
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(bucket_index(v)), v);
+        }
+        // Above: the bucket upper bound is >= v and within 1/16 relative.
+        for &v in &[
+            16u64,
+            17,
+            31,
+            32,
+            33,
+            100,
+            1_000,
+            65_535,
+            65_536,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX,
+        ] {
+            let upper = bucket_upper(bucket_index(v));
+            assert!(upper >= v, "upper {upper} < v {v}");
+            // Worst case error bound: width of the bucket.
+            assert!(
+                upper - v <= v / 16,
+                "bucket error too large for {v}: upper {upper}"
+            );
+        }
+        // Indices are monotone in v.
+        let mut last = 0usize;
+        for shift in 0..60 {
+            let v = 3u64 << shift;
+            let idx = bucket_index(v);
+            assert!(idx >= last);
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_never_under_report_and_p100_is_exact() {
+        let h = Histogram::new();
+        for v in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.sum(), 5500);
+        assert_eq!(h.quantile(1.0), 1000);
+        assert_eq!(h.max(), 1000);
+        // p50 covers the 5th sample (500): must be >= 500 and within a
+        // bucket width.
+        let p50 = h.quantile(0.5);
+        assert!((500..=531).contains(&p50), "p50 {p50}");
+        let p90 = h.quantile(0.9);
+        assert!((900..=959).contains(&p90), "p90 {p90}");
+    }
+
+    #[test]
+    fn quantile_monotonicity() {
+        let h = Histogram::new();
+        let mut x = 0x243f_6a88_85a3_08d3u64; // xorshift seed
+        for _ in 0..10_000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            h.record(x % 1_000_000);
+        }
+        let mut last = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let v = h.quantile(q);
+            assert!(v >= last, "quantile({q}) = {v} < previous {last}");
+            last = v;
+        }
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn merge_is_associative_and_count_preserving() {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[1, 5, 900, 10_000]);
+        let b = mk(&[17, 17, 17, 1 << 30]);
+        let c = mk(&[0, u64::MAX]);
+
+        // (a ⊕ b) ⊕ c
+        let left = Histogram::new();
+        left.merge_from(&a);
+        left.merge_from(&b);
+        let left2 = Histogram::new();
+        left2.merge_from(&left);
+        left2.merge_from(&c);
+
+        // a ⊕ (b ⊕ c)
+        let right_inner = Histogram::new();
+        right_inner.merge_from(&b);
+        right_inner.merge_from(&c);
+        let right = Histogram::new();
+        right.merge_from(&a);
+        right.merge_from(&right_inner);
+
+        assert_eq!(left2.nonzero_buckets(), right.nonzero_buckets());
+        assert_eq!(left2.count(), 10);
+        assert_eq!(left2.count(), right.count());
+        assert_eq!(left2.sum(), right.sum());
+        assert_eq!(left2.max(), right.max());
+        assert_eq!(left2.quantiles(), right.quantiles());
+    }
+
+    #[test]
+    fn concurrent_records_preserve_totals() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let threads = 8u64;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        let n = threads * per_thread;
+        assert_eq!(h.count(), n);
+        // Sum of 0..n.
+        assert_eq!(h.sum(), n * (n - 1) / 2);
+        assert_eq!(h.max(), n - 1);
+        let bucket_total: u64 = h.nonzero_buckets().iter().map(|&(_, c)| c).sum();
+        assert_eq!(bucket_total, n);
+    }
+
+    #[test]
+    fn json_snapshot_parses_and_reset_zeroes() {
+        let h = Histogram::new();
+        h.record(42);
+        h.record(4242);
+        let v = crate::json::parse(&h.to_json()).unwrap();
+        assert_eq!(v.get("count").and_then(crate::json::Value::as_u64), Some(2));
+        assert_eq!(
+            v.get("max").and_then(crate::json::Value::as_u64),
+            Some(4242)
+        );
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.nonzero_buckets(), Vec::new());
+    }
+
+    #[test]
+    fn histogram_set_json_has_every_section() {
+        let set = HistogramSet::new();
+        set.queue_wait.record(10);
+        set.band.record_duration(Duration::from_micros(3));
+        let v = crate::json::parse(&set.to_json()).unwrap();
+        for key in [
+            "queue_wait",
+            "job_run",
+            "band",
+            "checkpoint_save",
+            "checkpoint_load",
+            "proto_parse",
+            "proto_handle",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+        assert_eq!(
+            v.get("band")
+                .and_then(|b| b.get("max"))
+                .and_then(crate::json::Value::as_u64),
+            Some(3000)
+        );
+    }
+}

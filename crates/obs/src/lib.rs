@@ -14,7 +14,10 @@
 //!   scheduling and checkpoint I/O. Each campaign owns its registry, so
 //!   two campaigns running concurrently in one process report disjoint,
 //!   correctly-attributed numbers (unlike the old process-wide
-//!   `fastmon_sim::stats` globals).
+//!   `fastmon_sim::stats` globals). Each registry also carries a
+//!   [`HistogramSet`] of log-bucketed latency [`Histogram`]s (queue
+//!   wait, job run, band duration, checkpoint save/load, protocol
+//!   parse/handle) with lock-free `record`/`merge`/`quantile`.
 //! * **Profiles** ([`profile`]): whenever tracing (or profile-only mode,
 //!   `FASTMON_PROFILE=1` / `FASTMON_PROFILE_OUT=<path>`) is active, span
 //!   enters/exits also feed a per-phase self-time aggregate and a
@@ -40,6 +43,7 @@
 pub mod cancel;
 pub mod events;
 pub mod failpoints;
+pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
@@ -48,13 +52,14 @@ pub mod trace;
 pub use cancel::{CancelToken, Cancelled};
 pub use events::{Record, StreamSink};
 pub use failpoints::{InjectedFailure, SpecError, SpecErrorKind};
+pub use hist::{Histogram, HistogramSet, Quantiles};
 pub use metrics::{
     AtpgMetrics, CheckpointMetrics, Counter, DaemonMetrics, IlpMetrics, MetricsRegistry,
     RobustnessMetrics, SimMetrics, StaMetrics,
 };
 pub use trace::{
-    emit_counters, enabled, finish, flush, force_enable, jsonl_enabled, run_id, span, span_with,
-    Span, TraceMode, TRACE_SCHEMA_VERSION,
+    emit_chain, emit_counters, enabled, finish, flush, force_enable, jsonl_enabled, run_id, span,
+    span_with, Span, TraceMode, TRACE_SCHEMA_VERSION,
 };
 
 /// Opens a span that closes when the returned guard is dropped.

@@ -75,6 +75,11 @@ macro_rules! metric_section {
             pub fn entries(&self) -> Vec<(&'static str, u64)> {
                 vec![$((stringify!($field), self.$field.get()),)+]
             }
+
+            /// Adds every counter of `other` into `self`.
+            pub fn absorb(&self, other: &Self) {
+                $(self.$field.add(other.$field.get());)+
+            }
         }
     };
 }
@@ -268,6 +273,9 @@ pub struct MetricsRegistry {
     pub robustness: RobustnessMetrics,
     /// Daemon job-lifecycle counters (zero outside a `fastmond` process).
     pub daemon: DaemonMetrics,
+    /// Latency distributions (nanoseconds): queue-wait, job run, band,
+    /// checkpoint save/load, protocol parse/handle.
+    pub latency: crate::hist::HistogramSet,
 }
 
 impl MetricsRegistry {
@@ -282,10 +290,11 @@ impl MetricsRegistry {
             checkpoint: CheckpointMetrics::new(),
             robustness: RobustnessMetrics::new(),
             daemon: DaemonMetrics::new(),
+            latency: crate::hist::HistogramSet::new(),
         }
     }
 
-    /// Zeroes every counter.
+    /// Zeroes every counter and histogram.
     pub fn reset(&self) {
         self.sim.reset();
         self.atpg.reset();
@@ -294,6 +303,23 @@ impl MetricsRegistry {
         self.checkpoint.reset();
         self.robustness.reset();
         self.daemon.reset();
+        self.latency.reset();
+    }
+
+    /// Adds every counter and histogram sample of `other` into `self`.
+    ///
+    /// This is how per-job registries (one per `HdfTestFlow`) roll up
+    /// into a long-lived daemon registry without losing attribution in
+    /// the per-job copy.
+    pub fn absorb(&self, other: &MetricsRegistry) {
+        self.sim.absorb(&other.sim);
+        self.atpg.absorb(&other.atpg);
+        self.sta.absorb(&other.sta);
+        self.ilp.absorb(&other.ilp);
+        self.checkpoint.absorb(&other.checkpoint);
+        self.robustness.absorb(&other.robustness);
+        self.daemon.absorb(&other.daemon);
+        self.latency.merge_from(&other.latency);
     }
 
     /// All counters as dotted `(name, value)` pairs, e.g.

@@ -442,6 +442,25 @@ pub fn emit_counters(scope: &str, registry: &MetricsRegistry) {
     });
 }
 
+/// Writes a `chain` event linking this run's trace to the run whose
+/// checkpoint it resumed (no-op unless the JSONL log is enabled).
+///
+/// `prev_run` is the predecessor's run id as recovered from the
+/// checkpoint's run sidecar; the event makes a kill -9 → resume pair
+/// greppable as one linked trail across two `events.jsonl` files instead
+/// of two unrelated logs.
+pub fn emit_chain(prev_run: u64) {
+    if !jsonl_enabled() {
+        return;
+    }
+    let t = now_ns();
+    with_tlb(|b| {
+        b.event_head("chain", t);
+        let _ = write!(b.lines, ",\"prev_run\":\"{prev_run:016x}\"}}");
+        b.lines.push('\n');
+    });
+}
+
 /// Flushes the calling thread's buffered events and profile aggregates,
 /// then flushes the event-log file. Worker threads flush automatically
 /// when they exit; call this on the main thread before reading
