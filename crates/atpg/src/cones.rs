@@ -84,12 +84,14 @@ impl FaultCones {
         };
         // one reusable position map, reset per cone via its node list
         let mut pos = vec![u32::MAX; circuit.len()];
+        let mut marks = fastmon_netlist::ConeMarks::new();
+        let mut cone: Vec<fastmon_netlist::NodeId> = Vec::new();
         for fault in faults {
             let g = fault.gate.index();
             if cones.cone_of_gate[g] != u32::MAX {
                 continue; // rising/falling share the site's cone
             }
-            let cone = circuit.fanout_cone(fault.gate);
+            circuit.fanout_cone_into(fault.gate, &mut marks, &mut cone);
             #[allow(clippy::cast_possible_truncation)]
             let id = (cones.cone_offsets.len() - 1) as u32;
             cones.cone_of_gate[g] = id;

@@ -1,4 +1,4 @@
-use fastmon_netlist::{Circuit, GateKind, NodeId};
+use fastmon_netlist::{Circuit, ConeMarks, GateKind, NodeId};
 
 use crate::logic5::{eval5, V5};
 use crate::TestSet;
@@ -183,20 +183,15 @@ fn eval_node(
 /// whole-circuit X-path scan could ever mark reachable (that scan reads
 /// structural fanins of flip-flops too, so [`Circuit::fanout_cone`],
 /// which stops at non-combinational nodes, would under-approximate it).
-fn x_path_cone(circuit: &Circuit, seed: NodeId) -> Box<[NodeId]> {
-    let mut in_cone = vec![false; circuit.len()];
-    in_cone[seed.index()] = true;
+fn x_path_cone(circuit: &Circuit, seed: NodeId, marks: &mut ConeMarks) -> Box<[NodeId]> {
+    marks.begin(circuit.len());
+    marks.set(seed);
     let mut cone = Vec::new();
     for &id in circuit.topo_order() {
-        let idx = id.index();
-        if !in_cone[idx] {
-            in_cone[idx] = circuit
-                .node(id)
-                .fanins()
-                .iter()
-                .any(|&fi| in_cone[fi.index()]);
+        if !marks.get(id) && circuit.node(id).fanins().iter().any(|&fi| marks.get(fi)) {
+            marks.set(id);
         }
-        if in_cone[idx] {
+        if marks.get(id) {
             cone.push(id);
         }
     }
@@ -365,6 +360,7 @@ impl Learned {
         sources: &[NodeId],
         source_pos: &[usize],
         cones: &mut [Option<Box<[NodeId]>>],
+        marks: &mut ConeMarks,
     ) -> Self {
         let n = circuit.len();
         let mut values = vec![V5::X; n];
@@ -389,9 +385,12 @@ impl Learned {
         let mut total = 0usize;
         // node → value implied by `s = false`, valid for the current source
         let mut low_pass: Vec<Option<bool>> = vec![None; n];
+        let mut cone_buf: Vec<NodeId> = Vec::new();
         for (k, &s) in sources.iter().enumerate() {
-            let cone =
-                cones[s.index()].get_or_insert_with(|| circuit.fanout_cone(s).into_boxed_slice());
+            let cone = cones[s.index()].get_or_insert_with(|| {
+                circuit.fanout_cone_into(s, marks, &mut cone_buf);
+                cone_buf.as_slice().into()
+            });
             for v in [false, true] {
                 assignment[k] = Some(v);
                 for &id in cone.iter() {
@@ -491,6 +490,10 @@ pub struct PodemEngine<'c> {
     /// Scratch for the reverse can-reach-an-OP-through-X sweep; false
     /// outside an `objective` call.
     xreach: Vec<bool>,
+    /// Shared mark scratch for the lazy cone builds.
+    cone_marks: ConeMarks,
+    /// Shared cone buffer for the lazy cone builds.
+    cone_buf: Vec<NodeId>,
     backtracks_left: u32,
 }
 
@@ -507,9 +510,10 @@ impl<'c> PodemEngine<'c> {
         }
         let n = sources.len();
         let mut cones: Vec<Option<Box<[NodeId]>>> = vec![None; circuit.len()];
+        let mut cone_marks = ConeMarks::new();
         // the learning pass also pre-warms every source's forward cone,
         // which the search's incremental implication reuses
-        let learned = Learned::build(circuit, &sources, &source_pos, &mut cones);
+        let learned = Learned::build(circuit, &sources, &source_pos, &mut cones, &mut cone_marks);
         let mut op_driver = vec![false; circuit.len()];
         for op in circuit.observe_points() {
             op_driver[op.driver.index()] = true;
@@ -528,6 +532,8 @@ impl<'c> PodemEngine<'c> {
             learned,
             op_driver,
             xreach: vec![false; circuit.len()],
+            cone_marks,
+            cone_buf: Vec::new(),
             backtracks_left: 0,
         }
     }
@@ -656,10 +662,12 @@ impl<'c> PodemEngine<'c> {
     fn ensure_cones(&mut self, node: NodeId) {
         let idx = node.index();
         if self.cones[idx].is_none() {
-            self.cones[idx] = Some(self.circuit.fanout_cone(node).into_boxed_slice());
+            self.circuit
+                .fanout_cone_into(node, &mut self.cone_marks, &mut self.cone_buf);
+            self.cones[idx] = Some(self.cone_buf.as_slice().into());
         }
         if self.xcones[idx].is_none() {
-            self.xcones[idx] = Some(x_path_cone(self.circuit, node));
+            self.xcones[idx] = Some(x_path_cone(self.circuit, node, &mut self.cone_marks));
         }
     }
 
@@ -667,7 +675,9 @@ impl<'c> PodemEngine<'c> {
     fn ensure_source_cone(&mut self, node: NodeId) {
         let idx = node.index();
         if self.cones[idx].is_none() {
-            self.cones[idx] = Some(self.circuit.fanout_cone(node).into_boxed_slice());
+            self.circuit
+                .fanout_cone_into(node, &mut self.cone_marks, &mut self.cone_buf);
+            self.cones[idx] = Some(self.cone_buf.as_slice().into());
         }
     }
 

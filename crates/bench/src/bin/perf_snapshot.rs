@@ -20,6 +20,17 @@
 //! | `FASTMON_SNAPSHOT_CIRCUIT` | paper-suite profile name | `p89k` |
 //! | `FASTMON_SNAPSHOT_THREADS` | comma-separated thread counts | `1,4,8` |
 //! | `FASTMON_SNAPSHOT_OUT` | output path | `BENCH_analysis.json` |
+//! | `FASTMON_SNAPSHOT_SCALE` (or `--scale=S`) | profile scale override in `(0, 1]` | derived from `FASTMON_TARGET_GATES` |
+//! | `FASTMON_SHARDS` (or `--shards=N`) | shard count for the merge-parity run | `2` |
+//! | `FASTMON_SNAPSHOT_SWEEP` | comma-separated scale-sweep factors | `S/4, S/2, S` |
+//! | `FASTMON_RSS_CEILING_BYTES` | fail the run if peak RSS exceeds this | unset |
+//!
+//! The sweep runs ascending (the Linux `VmHWM` probe is a process-wide
+//! high-water mark, so each entry's `peak_rss_bytes` is dominated by the
+//! largest circuit simulated so far — ascending order keeps the numbers
+//! attributable). The shard run re-analyzes the full campaign split into
+//! `N` fault shards and hard-fails unless the merged result fingerprint
+//! is bit-identical to the serial run.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -33,6 +44,37 @@ struct ThreadRun {
     threads: usize,
     analyze_secs: f64,
     stats: CampaignStats,
+}
+
+/// One scale-sweep point: the same profile regenerated at a different
+/// scale and analyzed once (1 thread), with the collapse ratio and the
+/// RSS high-water mark after the run.
+struct SweepEntry {
+    scale: f64,
+    gates: usize,
+    patterns: usize,
+    netlist_bytes: usize,
+    faults_pre_collapse: usize,
+    faults_post_collapse: u64,
+    analyze_secs: f64,
+    peak_rss_bytes: u64,
+}
+
+/// The shard-merge parity run: the full campaign re-analyzed as `shards`
+/// fault slices and merged; `matches_serial` is the bit-identity proof.
+struct ShardReport {
+    shards: usize,
+    analyze_secs: f64,
+    merged_fingerprint: u64,
+    matches_serial: bool,
+}
+
+/// `--flag=value` command-line override with an environment fallback.
+fn arg_or_env(flag: &str, env: &str) -> Option<String> {
+    let prefix = format!("--{flag}=");
+    std::env::args()
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_owned))
+        .or_else(|| std::env::var(env).ok())
 }
 
 /// Robustness counters summed over every flow of the snapshot (ATPG + one
@@ -160,12 +202,28 @@ fn main() {
     let out_path =
         std::env::var("FASTMON_SNAPSHOT_OUT").unwrap_or_else(|_| "BENCH_analysis.json".to_owned());
 
-    let Some(profile) = CircuitProfile::named(&name) else {
+    let Some(base_profile) = CircuitProfile::named(&name) else {
         eprintln!("perf_snapshot: unknown paper-suite profile '{name}'");
         std::process::exit(1);
     };
-    let scale = (config.target_gates as f64 / profile.gates as f64).min(1.0);
-    let profile = profile.scaled(scale);
+    let auto_scale = (config.target_gates as f64 / base_profile.gates as f64).min(1.0);
+    let scale = match arg_or_env("scale", "FASTMON_SNAPSHOT_SCALE").map(|v| v.parse::<f64>()) {
+        None => auto_scale,
+        Some(Ok(s)) if s > 0.0 && s <= 1.0 => s,
+        Some(other) => {
+            eprintln!("perf_snapshot: --scale must be a factor in (0, 1], got {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let shards = match arg_or_env("shards", "FASTMON_SHARDS").map(|v| v.parse::<usize>()) {
+        None => 2,
+        Some(Ok(n)) if n >= 1 => n,
+        Some(other) => {
+            eprintln!("perf_snapshot: --shards must be a positive integer, got {other:?}");
+            std::process::exit(1);
+        }
+    };
+    let profile = base_profile.scaled(scale);
     let circuit = match profile.generate(config.seed) {
         Ok(c) => c,
         Err(e) => {
@@ -179,6 +237,70 @@ fn main() {
         profile.gates
     );
 
+    let mut robustness = RobustnessTotals::default();
+    // Stage-latency histograms merged across every flow in the snapshot
+    // (and, later, the daemon exercise) — the `"latency"` section of the
+    // JSON and the quantile table below.
+    let latency = fastmon_obs::HistogramSet::new();
+
+    // Scale sweep, ascending, and FIRST in the process: the Linux
+    // `VmHWM` probe is a process-wide high-water mark, so each entry's
+    // `peak_rss_bytes` is attributable only while no larger circuit has
+    // run yet. Each factor regenerates the profile and analyzes once
+    // (1 thread) to chart memory and collapse behaviour against size.
+    let mut sweep_scales: Vec<f64> = std::env::var("FASTMON_SNAPSHOT_SWEEP")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse::<f64>().ok())
+                .collect()
+        })
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| vec![scale * 0.25, scale * 0.5, scale]);
+    sweep_scales.retain(|&s| s > 0.0 && s <= 1.0);
+    sweep_scales.sort_by(|a, b| a.total_cmp(b));
+    sweep_scales.dedup();
+    let mut sweep: Vec<SweepEntry> = Vec::new();
+    for &s in &sweep_scales {
+        let swept = base_profile.scaled(s);
+        let swept_circuit = match swept.generate(config.seed) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("perf_snapshot: sweep scale {s:.4} skipped: {e}");
+                continue;
+            }
+        };
+        let flow = HdfTestFlow::prepare(&swept_circuit, &config.flow_config());
+        let swept_patterns = flow.generate_patterns(Some(swept.pattern_budget));
+        let t = Instant::now();
+        let analysis = flow.analyze(&swept_patterns);
+        let analyze_secs = t.elapsed().as_secs_f64();
+        let snap = CampaignStats::from_metrics(&flow.metrics().sim);
+        let entry = SweepEntry {
+            scale: s,
+            gates: swept.gates,
+            patterns: swept_patterns.len(),
+            netlist_bytes: swept_circuit.storage_bytes(),
+            faults_pre_collapse: analysis.faults.len(),
+            faults_post_collapse: snap.fault_classes,
+            analyze_secs,
+            peak_rss_bytes: fastmon_bench::rss::peak_rss_self_bytes().unwrap_or(0),
+        };
+        println!(
+            "  sweep scale={:.4}: {} gates, {} -> {} faults after collapse, \
+             analyze {:.3} s, peak RSS {}",
+            entry.scale,
+            entry.gates,
+            entry.faults_pre_collapse,
+            entry.faults_post_collapse,
+            entry.analyze_secs,
+            fastmon_bench::rss::format_mib(entry.peak_rss_bytes),
+        );
+        robustness.absorb(&flow.metrics().robustness);
+        latency.merge_from(&flow.metrics().latency);
+        sweep.push(entry);
+    }
+
     // shared pattern set so every thread count simulates identical work
     let base_flow = HdfTestFlow::prepare(&circuit, &config.flow_config());
     let t = Instant::now();
@@ -187,15 +309,12 @@ fn main() {
     println!("  atpg: {} patterns in {atpg_secs:.2} s", patterns.len());
     let atpg = atpg_report(atpg_secs, &base_flow.metrics().atpg);
     print!("{}", atpg.render_table());
-    let mut robustness = RobustnessTotals::default();
     robustness.absorb(&base_flow.metrics().robustness);
-    // Stage-latency histograms merged across every flow in the snapshot
-    // (and, later, the daemon exercise) — the `"latency"` section of the
-    // JSON and the quantile table below.
-    let latency = fastmon_obs::HistogramSet::new();
     latency.merge_from(&base_flow.metrics().latency);
 
     let mut runs: Vec<ThreadRun> = Vec::new();
+    let mut serial_fingerprint: Option<u64> = None;
+    let mut faults_pre_collapse = 0usize;
     for &threads in &thread_counts {
         let flow_config = FlowConfig {
             threads,
@@ -221,6 +340,14 @@ fn main() {
             snap.waveform_allocs,
             snap.waveform_reuses,
         );
+        if serial_fingerprint.is_none() {
+            serial_fingerprint = Some(analysis.result_fingerprint());
+            faults_pre_collapse = analysis.faults.len();
+            println!(
+                "  fault collapsing: {} candidate faults -> {} classes ({} collapsed away)",
+                faults_pre_collapse, snap.fault_classes, snap.faults_collapsed
+            );
+        }
         robustness.absorb(&flow.metrics().robustness);
         latency.merge_from(&flow.metrics().latency);
         runs.push(ThreadRun {
@@ -239,6 +366,51 @@ fn main() {
             );
         }
     }
+
+    // Shard-merge parity: the same campaign partitioned into fault
+    // shards must merge to the bit-identical result. A mismatch is a
+    // determinism regression and fails the snapshot.
+    let shard_report = if shards > 1 {
+        let flow = HdfTestFlow::prepare(&circuit, &config.flow_config());
+        let t = Instant::now();
+        match flow.try_analyze_sharded(&patterns, shards) {
+            Ok(merged) => {
+                let analyze_secs = t.elapsed().as_secs_f64();
+                let merged_fingerprint = merged.result_fingerprint();
+                let matches_serial = serial_fingerprint == Some(merged_fingerprint);
+                println!(
+                    "  shards={shards}: analyze {analyze_secs:.3} s, merged fingerprint \
+                     {merged_fingerprint:016x} ({})",
+                    if matches_serial {
+                        "bit-identical to serial"
+                    } else {
+                        "MISMATCH vs serial"
+                    }
+                );
+                if !matches_serial {
+                    eprintln!(
+                        "perf_snapshot: sharded merge diverged from the serial campaign \
+                         (serial {serial_fingerprint:?}, merged {merged_fingerprint:016x})"
+                    );
+                    std::process::exit(1);
+                }
+                robustness.absorb(&flow.metrics().robustness);
+                latency.merge_from(&flow.metrics().latency);
+                Some(ShardReport {
+                    shards,
+                    analyze_secs,
+                    merged_fingerprint,
+                    matches_serial,
+                })
+            }
+            Err(e) => {
+                eprintln!("perf_snapshot: sharded analyze failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
 
     robustness.daemon = daemon_exercise(&latency);
     if let Some((_, completed)) = robustness
@@ -265,6 +437,19 @@ fn main() {
         None => println!("peak RSS: unavailable on this platform"),
     }
 
+    let extras = SnapshotExtras {
+        netlist_bytes: circuit.storage_bytes(),
+        faults_pre_collapse,
+        faults_post_collapse: runs.first().map_or(0, |r| r.stats.fault_classes),
+        shard_report: shard_report.as_ref(),
+        sweep: &sweep,
+    };
+    println!(
+        "netlist arena: {} bytes for {} gates ({:.1} bytes/gate)",
+        extras.netlist_bytes,
+        profile.gates,
+        extras.netlist_bytes as f64 / profile.gates.max(1) as f64
+    );
     let json = render_json(
         &name,
         &profile.name,
@@ -276,6 +461,7 @@ fn main() {
         &robustness,
         &latency,
         peak_rss,
+        &extras,
         &fastmon_obs::profile::report_json(&report),
     );
     if let Err(e) = std::fs::write(&out_path, json) {
@@ -283,7 +469,40 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    // CI memory gate: the snapshot is written first so the artifact
+    // survives for diagnosis, then the ceiling is enforced.
+    if let Some(ceiling) = std::env::var("FASTMON_RSS_CEILING_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        match peak_rss {
+            Some(bytes) if bytes > ceiling => {
+                eprintln!(
+                    "perf_snapshot: peak RSS {} exceeds the {} ceiling",
+                    fastmon_bench::rss::format_mib(bytes),
+                    fastmon_bench::rss::format_mib(ceiling),
+                );
+                std::process::exit(1);
+            }
+            Some(bytes) => println!(
+                "peak RSS {} within the {} ceiling",
+                fastmon_bench::rss::format_mib(bytes),
+                fastmon_bench::rss::format_mib(ceiling),
+            ),
+            None => println!("peak RSS probe unavailable; ceiling not enforced"),
+        }
+    }
     fastmon_obs::finish();
+}
+
+/// Memory, collapse and sharding facts threaded into the JSON snapshot.
+struct SnapshotExtras<'a> {
+    netlist_bytes: usize,
+    faults_pre_collapse: usize,
+    faults_post_collapse: u64,
+    shard_report: Option<&'a ShardReport>,
+    sweep: &'a [SweepEntry],
 }
 
 /// The ATPG stage's wall clock, per-phase seconds and grading counters.
@@ -378,6 +597,7 @@ fn render_json(
     robustness: &RobustnessTotals,
     latency: &fastmon_obs::HistogramSet,
     peak_rss: Option<u64>,
+    extras: &SnapshotExtras<'_>,
     profile_json: &str,
 ) -> String {
     let mut s = String::new();
@@ -387,6 +607,22 @@ fn render_json(
     let _ = writeln!(s, "  \"gates\": {gates},");
     let _ = writeln!(s, "  \"scale\": {scale},");
     let _ = writeln!(s, "  \"patterns\": {patterns},");
+    let _ = writeln!(s, "  \"netlist_bytes\": {},", extras.netlist_bytes);
+    let _ = writeln!(
+        s,
+        "  \"bytes_per_gate\": {},",
+        extras.netlist_bytes as f64 / gates.max(1) as f64
+    );
+    let _ = writeln!(
+        s,
+        "  \"faults_pre_collapse\": {},",
+        extras.faults_pre_collapse
+    );
+    let _ = writeln!(
+        s,
+        "  \"faults_post_collapse\": {},",
+        extras.faults_post_collapse
+    );
     // 0 encodes "probe unavailable" (non-Linux host) — a real campaign
     // always has a nonzero high-water mark.
     let _ = writeln!(s, "  \"peak_rss_bytes\": {},", peak_rss.unwrap_or(0));
@@ -436,9 +672,51 @@ fn render_json(
         );
         let _ = writeln!(
             s,
-            "      \"faults_screened_out\": {}",
+            "      \"faults_screened_out\": {},",
             st.faults_screened_out
         );
+        let _ = writeln!(s, "      \"fault_classes\": {},", st.fault_classes);
+        let _ = writeln!(s, "      \"faults_collapsed\": {}", st.faults_collapsed);
+        let _ = writeln!(s, "    }}{sep}");
+    }
+    let _ = writeln!(s, "  ],");
+    match extras.shard_report {
+        Some(r) => {
+            let _ = writeln!(s, "  \"shard_merge\": {{");
+            let _ = writeln!(s, "    \"shards\": {},", r.shards);
+            let _ = writeln!(s, "    \"analyze_secs\": {},", r.analyze_secs);
+            let _ = writeln!(
+                s,
+                "    \"merged_fingerprint\": \"{:016x}\",",
+                r.merged_fingerprint
+            );
+            let _ = writeln!(s, "    \"matches_serial\": {}", r.matches_serial);
+            let _ = writeln!(s, "  }},");
+        }
+        None => {
+            let _ = writeln!(s, "  \"shard_merge\": null,");
+        }
+    }
+    let _ = writeln!(s, "  \"scale_sweep\": [");
+    for (i, e) in extras.sweep.iter().enumerate() {
+        let sep = if i + 1 < extras.sweep.len() { "," } else { "" };
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"scale\": {},", e.scale);
+        let _ = writeln!(s, "      \"gates\": {},", e.gates);
+        let _ = writeln!(s, "      \"patterns\": {},", e.patterns);
+        let _ = writeln!(s, "      \"netlist_bytes\": {},", e.netlist_bytes);
+        let _ = writeln!(
+            s,
+            "      \"faults_pre_collapse\": {},",
+            e.faults_pre_collapse
+        );
+        let _ = writeln!(
+            s,
+            "      \"faults_post_collapse\": {},",
+            e.faults_post_collapse
+        );
+        let _ = writeln!(s, "      \"analyze_secs\": {},", e.analyze_secs);
+        let _ = writeln!(s, "      \"peak_rss_bytes\": {}", e.peak_rss_bytes);
         let _ = writeln!(s, "    }}{sep}");
     }
     let _ = writeln!(s, "  ],");

@@ -19,6 +19,7 @@
 //! | `FASTMON_ILP_SECS` | per-ILP deadline in seconds | `20` |
 //! | `FASTMON_CHECKPOINT_DIR` | campaign-checkpoint directory | `target/fastmon-checkpoints` |
 //! | `FASTMON_FRESH` | set to `1` to discard existing checkpoints | unset |
+//! | `FASTMON_SHARDS` | fault-set shards per campaign (merge is bit-identical) | `1` |
 //!
 //! The fault-simulation campaign checkpoints after every pattern band (see
 //! [`fastmon_core::CheckpointStore`]); re-running an interrupted experiment
@@ -70,6 +71,10 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Per-ILP-solve deadline.
     pub ilp_deadline: Duration,
+    /// Fault-set shards per campaign (`FASTMON_SHARDS`, 1 = unsharded).
+    /// The merged sharded result is bit-identical to the serial run, so
+    /// this only changes checkpoint granularity and memory footprint.
+    pub shards: usize,
 }
 
 impl ExperimentConfig {
@@ -95,6 +100,10 @@ impl ExperimentConfig {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(20),
             ),
+            shards: get("FASTMON_SHARDS")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
         }
     }
 
@@ -186,33 +195,70 @@ pub fn with_run<R>(
     };
     let atpg_secs = t.elapsed().as_secs_f64();
 
-    let store = checkpoint_store(&profile.name);
-    if std::env::var("FASTMON_FRESH").is_ok_and(|v| v == "1") {
-        if let Err(e) = store.clear() {
-            eprintln!(
-                "[bench] {}: cannot clear checkpoint {}: {e}",
-                profile.name,
-                store.path().display()
-            );
-        }
-    }
     let t = Instant::now();
-    let analysis = match flow.analyze_resumable(&patterns, &store) {
-        Ok(a) => a,
-        // A cancelled campaign already flushed its last band checkpoint;
-        // resuming later is bit-identical, so do NOT fall back to an
-        // un-checkpointed rerun here.
-        Err(
-            e @ (FlowError::Cancelled { .. }
-            | FlowError::Injected { .. }
-            | FlowError::WorkerPanic { .. }),
-        ) => exit_flow_error(&profile.name, "fault simulation", &e),
-        Err(e) => {
-            eprintln!(
-                "[bench] {}: checkpointing unavailable ({e}); rerunning without checkpoints",
-                profile.name
-            );
-            flow.analyze(&patterns)
+    let analysis = if config.shards > 1 {
+        // Sharded campaign: each contiguous fault slice checkpoints into
+        // its own file under `<dir>/<circuit>-shards/`; the merged result
+        // is bit-identical to the serial run.
+        let dir = checkpoint_dir().join(format!("{}-shards", profile.name));
+        if std::env::var("FASTMON_FRESH").is_ok_and(|v| v == "1") {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        match std::fs::create_dir_all(&dir)
+            .map_err(|e| e.to_string())
+            .and_then(|()| {
+                flow.analyze_sharded_resumable_observed(
+                    &patterns,
+                    config.shards,
+                    &dir,
+                    &mut |_, _| {},
+                )
+                .map_err(|e| match e {
+                    e @ (FlowError::Cancelled { .. }
+                    | FlowError::Injected { .. }
+                    | FlowError::WorkerPanic { .. }) => {
+                        exit_flow_error(&profile.name, "fault simulation", &e)
+                    }
+                    e => e.to_string(),
+                })
+            }) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "[bench] {}: sharded checkpointing unavailable ({e}); rerunning unsharded",
+                    profile.name
+                );
+                flow.analyze(&patterns)
+            }
+        }
+    } else {
+        let store = checkpoint_store(&profile.name);
+        if std::env::var("FASTMON_FRESH").is_ok_and(|v| v == "1") {
+            if let Err(e) = store.clear() {
+                eprintln!(
+                    "[bench] {}: cannot clear checkpoint {}: {e}",
+                    profile.name,
+                    store.path().display()
+                );
+            }
+        }
+        match flow.analyze_resumable(&patterns, &store) {
+            Ok(a) => a,
+            // A cancelled campaign already flushed its last band checkpoint;
+            // resuming later is bit-identical, so do NOT fall back to an
+            // un-checkpointed rerun here.
+            Err(
+                e @ (FlowError::Cancelled { .. }
+                | FlowError::Injected { .. }
+                | FlowError::WorkerPanic { .. }),
+            ) => exit_flow_error(&profile.name, "fault simulation", &e),
+            Err(e) => {
+                eprintln!(
+                    "[bench] {}: checkpointing unavailable ({e}); rerunning without checkpoints",
+                    profile.name
+                );
+                flow.analyze(&patterns)
+            }
         }
     };
     let analyze_secs = t.elapsed().as_secs_f64();
@@ -342,6 +388,7 @@ mod tests {
             circuits: vec![],
             seed: 1,
             ilp_deadline: Duration::from_secs(5),
+            shards: 1,
         };
         let suite = cfg.suite();
         assert_eq!(suite.len(), 12);
@@ -364,6 +411,7 @@ mod tests {
             max_faults: 8000,
             seed: 1,
             ilp_deadline: Duration::from_secs(5),
+            shards: 1,
         };
         let names: Vec<String> = cfg.suite().into_iter().map(|(p, _)| p.name).collect();
         assert_eq!(names, vec!["s9234".to_owned(), "p89k".to_owned()]);

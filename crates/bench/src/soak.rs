@@ -529,6 +529,12 @@ pub fn run_soak(bin: &Path, root: &Path, plan: &SoakPlan) -> Result<SoakReport, 
         seed: 999,
     };
     let line = drain_spec.submit_line(plan);
+    let landed_results = |root: &Path| {
+        std::fs::read_dir(root.join("results"))
+            .map(|rd| rd.filter_map(Result::ok).count())
+            .unwrap_or(0)
+    };
+    let results_before = landed_results(root);
     let drain_status = Arc::new(std::sync::Mutex::new(String::new()));
     let watcher = {
         let root = root.to_path_buf();
@@ -552,12 +558,18 @@ pub fn run_soak(bin: &Path, root: &Path, plan: &SoakPlan) -> Result<SoakReport, 
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone();
-        if status.is_empty() {
+        if !status.is_empty() {
+            status
+        } else if landed_results(root) > results_before {
+            // The watcher can lose the race against daemon exit: the
+            // drain finishes the in-flight job and the socket closes
+            // before the terminal record is read. The landed result
+            // file, not the terminal record, is the ground truth.
+            "completed".to_string()
+        } else {
             // not completed: the drain cancelled it at a checkpoint — a
             // restarted daemon must be able to resume and finish it.
             "cancelled".to_string()
-        } else {
-            status
         }
     };
 

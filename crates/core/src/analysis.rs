@@ -7,8 +7,7 @@ use fastmon_monitor::{
 };
 use fastmon_netlist::{Circuit, NodeId};
 use fastmon_sim::{
-    parallel_map, try_parallel_map_with, ConeScratch, FaultScreen, ScreenScratch, SimEngine,
-    SpareBank,
+    try_parallel_map_with, ConeScratch, FaultScreen, ScreenScratch, SimEngine, SpareBank,
 };
 use fastmon_timing::{ClockSpec, DelayAnnotation, Time};
 
@@ -189,10 +188,23 @@ impl DetectionAnalysis {
             None => SimEngine::new(circuit, annot),
         };
 
-        // group faults by seed gate so each gate's fanout cone is planned
-        // once and shared across all its pin/polarity faults and patterns
+        // structural fault collapsing: only class representatives are
+        // simulated; members receive the representative's results verbatim
+        // at merge time (provably bit-identical, see
+        // [`fastmon_faults::FaultClasses`])
+        let classes = fastmon_faults::FaultClasses::build(circuit, &faults);
+        if let Some(m) = sim_metrics {
+            m.fault_classes.add(classes.num_classes() as u64);
+            m.faults_collapsed.add(classes.collapsed_away() as u64);
+        }
+        // group representative faults by seed gate so each gate's fanout
+        // cone is planned once and shared across all its pin/polarity
+        // faults and patterns
         let mut by_gate: Vec<(NodeId, Vec<usize>)> = Vec::new();
         for (fid, fault) in faults.iter() {
+            if !classes.is_representative(fid.index()) {
+                continue;
+            }
             let gate = fault.site.node();
             match by_gate.last_mut() {
                 Some((g, list)) if *g == gate => list.push(fid.index()),
@@ -209,9 +221,14 @@ impl DetectionAnalysis {
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(threads),
         );
-        let plans: Vec<fastmon_sim::ConePlan> = parallel_map(by_gate.len(), workers, |g| {
-            fastmon_sim::ConePlan::new_with_metrics(circuit, by_gate[g].0, sim_metrics)
-        });
+        let plans: Vec<fastmon_sim::ConePlan> = fastmon_sim::parallel_map_with(
+            by_gate.len(),
+            workers,
+            fastmon_sim::PlanScratch::new,
+            |scratch, g| {
+                fastmon_sim::ConePlan::new_with_scratch(circuit, by_gate[g].0, sim_metrics, scratch)
+            },
+        );
         // word-parallel screen: 64 faults share one union-cone traversal
         // per pattern; only survivors pay for an exact timing walk
         let screen = FaultScreen::build(circuit, &faults, &by_gate, &plans);
@@ -348,13 +365,25 @@ impl DetectionAnalysis {
             .map_err(contained)?;
 
             // merge in fixed (pattern, chunk) order — the result is
-            // bit-identical for any thread count
+            // bit-identical for any thread count. Each representative's
+            // detection range fans back to every member of its equivalence
+            // class.
             for (item, found) in chunk_results.into_iter().enumerate() {
                 let p = band_start + item / num_chunks;
                 let p = u32::try_from(p).unwrap_or_else(|_| unreachable!("pattern count fits u32"));
                 for (fidx, dr) in found {
-                    progress.raw_union[fidx as usize].merge(&dr);
-                    progress.per_pattern[fidx as usize].push((p, dr));
+                    let members = classes.members_of(fidx as usize);
+                    for &m in members {
+                        progress.raw_union[m as usize].merge(&dr);
+                    }
+                    let (last, rest) = match members.split_last() {
+                        Some(split) => split,
+                        None => unreachable!("a simulated fault represents its class"),
+                    };
+                    for &m in rest {
+                        progress.per_pattern[m as usize].push((p, dr.clone()));
+                    }
+                    progress.per_pattern[*last as usize].push((p, dr));
                 }
             }
             if let Some(m) = metrics {
@@ -366,9 +395,14 @@ impl DetectionAnalysis {
             progress.next_pattern = band_start;
             on_band(&progress).map_err(FlowError::Checkpoint)?;
             // Cancellation is observed *after* the band checkpoint, so a
-            // cancelled campaign always leaves a resumable file behind.
-            if let Some(token) = cancel {
-                token.check("analyze")?;
+            // cancelled campaign always leaves a resumable file behind — but
+            // only while bands remain. A token that fires after the final
+            // band would otherwise turn a fully-simulated campaign into a
+            // `Cancelled` whose resume replays zero bands.
+            if band_start < num_patterns {
+                if let Some(token) = cancel {
+                    token.check("analyze")?;
+                }
             }
         }
 
@@ -413,6 +447,60 @@ impl DetectionAnalysis {
             targets,
             num_patterns,
         })
+    }
+
+    /// Merges per-shard analyses (each computed over a contiguous slice of
+    /// the candidate fault list, in slice order) back into the analysis of
+    /// the full list.
+    ///
+    /// Because every per-fault outcome is computed independently of the
+    /// other faults in the campaign, concatenating the shards'
+    /// per-fault fields and re-deriving the target indices is
+    /// **bit-identical** to a single-process run over the whole list —
+    /// [`DetectionAnalysis::result_fingerprint`] values match exactly, for
+    /// any shard count, any thread count and any band partition.
+    ///
+    /// Merging an empty shard list yields the empty analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ShardMerge`] when the shards disagree on the number of
+    /// simulated patterns (they were run against different test sets).
+    pub fn merge<I: IntoIterator<Item = DetectionAnalysis>>(shards: I) -> Result<Self, FlowError> {
+        let mut merged = DetectionAnalysis {
+            faults: FaultList::new(),
+            per_pattern: Vec::new(),
+            raw_union: Vec::new(),
+            conv_range: Vec::new(),
+            fast_range: Vec::new(),
+            verdicts: Vec::new(),
+            targets: Vec::new(),
+            num_patterns: 0,
+        };
+        let mut fault_lists = Vec::new();
+        for (i, shard) in shards.into_iter().enumerate() {
+            if i == 0 {
+                merged.num_patterns = shard.num_patterns;
+            } else if shard.num_patterns != merged.num_patterns {
+                return Err(FlowError::ShardMerge {
+                    shard: i,
+                    got: shard.num_patterns,
+                    expected: merged.num_patterns,
+                });
+            }
+            let offset = merged.per_pattern.len();
+            merged.per_pattern.extend(shard.per_pattern);
+            merged.raw_union.extend(shard.raw_union);
+            merged.conv_range.extend(shard.conv_range);
+            merged.fast_range.extend(shard.fast_range);
+            merged.verdicts.extend(shard.verdicts);
+            merged
+                .targets
+                .extend(shard.targets.into_iter().map(|t| t + offset));
+            fault_lists.push(shard.faults);
+        }
+        merged.faults = FaultList::concat(fault_lists);
+        Ok(merged)
     }
 
     /// Whether `fault` is detected when capturing at time `t` with pattern

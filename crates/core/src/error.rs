@@ -84,6 +84,16 @@ pub enum FlowError {
         /// The rendered panic payload.
         message: String,
     },
+    /// Shard analyses cannot be merged: a shard was run against a
+    /// different pattern set than shard 0.
+    ShardMerge {
+        /// Index of the offending shard.
+        shard: usize,
+        /// Its pattern count.
+        got: usize,
+        /// The pattern count of shard 0.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -101,6 +111,17 @@ impl fmt::Display for FlowError {
             FlowError::WorkerPanic { phase, message } => {
                 write!(f, "worker panicked during {phase} (contained): {message}")
             }
+            FlowError::ShardMerge {
+                shard,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "cannot merge shard {shard}: it simulated {got} pattern(s) but shard 0 \
+                     simulated {expected}"
+                )
+            }
         }
     }
 }
@@ -115,7 +136,8 @@ impl std::error::Error for FlowError {
             FlowError::Checkpoint(e) => Some(e),
             FlowError::Injected { .. }
             | FlowError::Cancelled { .. }
-            | FlowError::WorkerPanic { .. } => None,
+            | FlowError::WorkerPanic { .. }
+            | FlowError::ShardMerge { .. } => None,
         }
     }
 }

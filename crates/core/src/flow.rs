@@ -515,12 +515,31 @@ impl<'c> HdfTestFlow<'c> {
         store: &CheckpointStore,
         observe: &mut dyn FnMut(CampaignProgress),
     ) -> Result<DetectionAnalysis, FlowError> {
-        let fingerprint = self.campaign_fingerprint(patterns);
+        self.analyze_list_resumable_observed(
+            self.candidate_faults.clone(),
+            self.campaign_fingerprint(patterns),
+            patterns,
+            store,
+            observe,
+        )
+    }
+
+    /// The checkpointed campaign driver shared by the whole-list and
+    /// per-shard resumable entry points: `faults` is the (sub-)population
+    /// to simulate and `fingerprint` keys the checkpoint's validity.
+    fn analyze_list_resumable_observed(
+        &self,
+        faults: FaultList,
+        fingerprint: u64,
+        patterns: &TestSet,
+        store: &CheckpointStore,
+        observe: &mut dyn FnMut(CampaignProgress),
+    ) -> Result<DetectionAnalysis, FlowError> {
         let fresh = || CampaignCheckpoint {
             fingerprint,
             next_pattern: 0,
-            per_pattern: vec![Vec::new(); self.candidate_faults.len()],
-            raw_union: vec![DetectionRange::new(); self.candidate_faults.len()],
+            per_pattern: vec![Vec::new(); faults.len()],
+            raw_union: vec![DetectionRange::new(); faults.len()],
         };
         let ckpt = &self.metrics.checkpoint;
         let t_load = std::time::Instant::now();
@@ -537,7 +556,7 @@ impl<'c> HdfTestFlow<'c> {
         let progress = match loaded {
             Ok(cp)
                 if cp.fingerprint == fingerprint
-                    && cp.per_pattern.len() == self.candidate_faults.len()
+                    && cp.per_pattern.len() == faults.len()
                     && cp.next_pattern <= patterns.len() =>
             {
                 ckpt.resumes.incr();
@@ -579,7 +598,7 @@ impl<'c> HdfTestFlow<'c> {
             &self.clock,
             &self.configs,
             &self.placement,
-            self.candidate_faults.clone(),
+            faults,
             patterns,
             self.config.glitch_threshold,
             self.config.effective_threads(),
@@ -616,6 +635,133 @@ impl<'c> HdfTestFlow<'c> {
             );
         }
         Ok(analysis)
+    }
+
+    /// The contiguous candidate ranges of an `n`-way shard partition:
+    /// shard `s` owns `[s·|Φ|/n, (s+1)·|Φ|/n)`. A shard count of 0 is
+    /// treated as 1; counts above the candidate population yield trailing
+    /// empty shards (harmless to run and to merge).
+    #[must_use]
+    pub fn shard_ranges(&self, shards: usize) -> Vec<std::ops::Range<usize>> {
+        let n = self.candidate_faults.len();
+        let shards = shards.max(1);
+        (0..shards)
+            .map(|s| (s * n / shards)..((s + 1) * n / shards))
+            .collect()
+    }
+
+    /// Fallible, cancellable campaign over shard `shard` of a `shards`-way
+    /// partition of the candidates (see [`HdfTestFlow::shard_ranges`]).
+    /// The per-fault results are bit-identical to the corresponding slice
+    /// of a whole-population run; [`DetectionAnalysis::merge`] reassembles
+    /// the full analysis.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::try_analyze`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn try_analyze_shard(
+        &self,
+        patterns: &TestSet,
+        shard: usize,
+        shards: usize,
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let range = self.shard_ranges(shards)[shard].clone();
+        let faults = self.candidate_faults.slice(range);
+        let progress = CampaignCheckpoint {
+            fingerprint: 0,
+            next_pattern: 0,
+            per_pattern: vec![Vec::new(); faults.len()],
+            raw_union: vec![DetectionRange::new(); faults.len()],
+        };
+        DetectionAnalysis::compute_with_progress(
+            self.circuit,
+            &self.annot,
+            &self.clock,
+            &self.configs,
+            &self.placement,
+            faults,
+            patterns,
+            self.config.glitch_threshold,
+            self.config.effective_threads(),
+            Some(&self.metrics),
+            self.cancel.as_ref(),
+            progress,
+            &mut |_| Ok(()),
+        )
+        .inspect_err(|e| {
+            if matches!(e, FlowError::Cancelled { .. }) {
+                self.record_cancel_latency();
+            }
+        })
+    }
+
+    /// In-process sharded campaign: runs every shard of a `shards`-way
+    /// partition in order and merges the results. Bit-identical to
+    /// [`HdfTestFlow::try_analyze`] for any shard count — this is the
+    /// reference against which distributed shard execution is validated.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::try_analyze`]; [`FlowError::ShardMerge`] is
+    /// unreachable here because every shard runs against the same
+    /// `patterns`.
+    pub fn try_analyze_sharded(
+        &self,
+        patterns: &TestSet,
+        shards: usize,
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let shards = shards.max(1);
+        let mut parts = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            parts.push(self.try_analyze_shard(patterns, shard, shards)?);
+        }
+        DetectionAnalysis::merge(parts)
+    }
+
+    /// Crash-safe sharded campaign: shard `i` persists its own checkpoint
+    /// `shard-<i>-of-<n>.ckpt` under `dir` and resumes independently, so a
+    /// crash only loses progress inside the interrupted shard's current
+    /// band. `observe` receives each shard's progress events tagged with
+    /// the shard index. Finished shard checkpoints are removed; the merged
+    /// result is bit-identical to [`HdfTestFlow::analyze`] for any shard
+    /// or thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::analyze_resumable`].
+    pub fn analyze_sharded_resumable_observed(
+        &self,
+        patterns: &TestSet,
+        shards: usize,
+        dir: &std::path::Path,
+        observe: &mut dyn FnMut(usize, CampaignProgress),
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let shards = shards.max(1);
+        let base = self.campaign_fingerprint(patterns);
+        let mut parts = Vec::with_capacity(shards);
+        for (shard, range) in self.shard_ranges(shards).into_iter().enumerate() {
+            // the shard checkpoint is keyed by (campaign, shard, count) so
+            // a repartitioned rerun never resumes from a foreign slice
+            let mut bytes = Vec::with_capacity(24);
+            bytes.extend_from_slice(&base.to_le_bytes());
+            bytes.extend_from_slice(&(shard as u64).to_le_bytes());
+            bytes.extend_from_slice(&(shards as u64).to_le_bytes());
+            let fingerprint = fnv1a(&bytes);
+            let store = CheckpointStore::new(dir.join(format!("shard-{shard}-of-{shards}.ckpt")));
+            let analysis = self.analyze_list_resumable_observed(
+                self.candidate_faults.slice(range),
+                fingerprint,
+                patterns,
+                &store,
+                &mut |progress| observe(shard, progress),
+            )?;
+            parts.push(analysis);
+        }
+        DetectionAnalysis::merge(parts)
     }
 
     /// Fingerprint of everything the raw campaign results depend on:

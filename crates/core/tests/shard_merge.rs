@@ -1,0 +1,126 @@
+//! Shard-merge determinism: a campaign partitioned into N contiguous
+//! fault shards and merged must be bit-identical (same
+//! `result_fingerprint`) to the single-process serial run, for any shard
+//! count, any thread count, and through the crash-safe per-shard
+//! checkpoint path.
+
+use fastmon_core::{DetectionAnalysis, FlowConfig, FlowError, HdfTestFlow};
+use fastmon_netlist::generate::GeneratorConfig;
+use fastmon_netlist::Circuit;
+
+fn random_circuit(seed: u64) -> Circuit {
+    GeneratorConfig::new("shards")
+        .gates(100 + (seed as usize % 3) * 40)
+        .flip_flops(8)
+        .inputs(7)
+        .outputs(3)
+        .depth(6)
+        .generate(seed)
+        .expect("valid generator config")
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "fastmon-shard-{tag}-{}-{}",
+        std::process::id(),
+        fastmon_obs::run_id(),
+    ))
+}
+
+#[test]
+fn sharded_runs_match_serial_for_any_shard_and_thread_count() {
+    for seed in 1..=3u64 {
+        let circuit = random_circuit(seed);
+        let flow = HdfTestFlow::prepare(
+            &circuit,
+            &FlowConfig {
+                seed,
+                ..FlowConfig::default()
+            },
+        );
+        let patterns = flow.generate_patterns(Some(10));
+        let serial = flow.try_analyze(&patterns).unwrap();
+        let golden = serial.result_fingerprint();
+        for shards in [1usize, 2, 4, 7] {
+            let merged = flow.try_analyze_sharded(&patterns, shards).unwrap();
+            assert_eq!(merged.num_faults(), serial.num_faults());
+            assert_eq!(merged.num_patterns, serial.num_patterns);
+            assert_eq!(
+                merged.result_fingerprint(),
+                golden,
+                "seed={seed} shards={shards}: sharded merge diverged from serial run"
+            );
+        }
+        // a different thread count on the sharded side must not matter
+        let threaded = HdfTestFlow::prepare(
+            &circuit,
+            &FlowConfig {
+                seed,
+                threads: 8,
+                ..FlowConfig::default()
+            },
+        );
+        let merged = threaded.try_analyze_sharded(&patterns, 4).unwrap();
+        assert_eq!(merged.result_fingerprint(), golden, "seed={seed} threads=8");
+    }
+}
+
+#[test]
+fn resumable_sharded_campaign_matches_and_cleans_up() {
+    let circuit = random_circuit(9);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(8));
+    let golden = flow.try_analyze(&patterns).unwrap().result_fingerprint();
+
+    let dir = tmp("resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut events_per_shard = vec![0usize; 3];
+    let merged = flow
+        .analyze_sharded_resumable_observed(&patterns, 3, &dir, &mut |shard, _| {
+            events_per_shard[shard] += 1;
+        })
+        .unwrap();
+    assert_eq!(merged.result_fingerprint(), golden);
+    assert!(
+        events_per_shard.iter().all(|&n| n > 0),
+        "every shard must surface progress events: {events_per_shard:?}"
+    );
+    // finished shard checkpoints are removed
+    for shard in 0..3 {
+        assert!(
+            !dir.join(format!("shard-{shard}-of-3.ckpt")).exists(),
+            "shard {shard} left its checkpoint behind"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_rejects_mismatched_pattern_counts() {
+    let circuit = random_circuit(11);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let p8 = flow.generate_patterns(Some(8));
+    let p5 = flow.generate_patterns(Some(5));
+    let a = flow.try_analyze_shard(&p8, 0, 2).unwrap();
+    let b = flow.try_analyze_shard(&p5, 1, 2).unwrap();
+    match DetectionAnalysis::merge([a, b]) {
+        Err(FlowError::ShardMerge {
+            shard,
+            got,
+            expected,
+        }) => {
+            assert_eq!(shard, 1);
+            assert_eq!(got, p5.len());
+            assert_eq!(expected, p8.len());
+        }
+        other => panic!("expected ShardMerge error, got {other:?}"),
+    }
+}
+
+#[test]
+fn merging_nothing_yields_the_empty_analysis() {
+    let merged = DetectionAnalysis::merge([]).unwrap();
+    assert_eq!(merged.num_faults(), 0);
+    assert_eq!(merged.num_patterns, 0);
+    assert!(merged.targets.is_empty());
+}

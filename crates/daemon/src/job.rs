@@ -312,7 +312,23 @@ fn run_flow(
                 total_patterns,
             }),
         };
-        flow.analyze_resumable_observed(&patterns, store.store(), &mut observe)?
+        if req.shards > 1 {
+            // Per-shard checkpoints live inside the job's own (locked)
+            // checkpoint directory, so crash recovery, GC and the
+            // results landing order work exactly as in the single-shard
+            // path. The merged analysis is bit-identical to an
+            // unsharded run, so the landed result_fingerprint does not
+            // depend on the shard count.
+            let mut sharded = |_shard: usize, p: fastmon_core::CampaignProgress| observe(p);
+            flow.analyze_sharded_resumable_observed(
+                &patterns,
+                req.shards,
+                store.dir(),
+                &mut sharded,
+            )?
+        } else {
+            flow.analyze_resumable_observed(&patterns, store.store(), &mut observe)?
+        }
     };
 
     on_event(JobEvent::Phase { phase: "schedule" });
@@ -359,6 +375,7 @@ mod tests {
             max_faults: None,
             seed: 1,
             threads: 1,
+            shards: 1,
         }
     }
 
@@ -426,6 +443,39 @@ mod tests {
         .unwrap();
         assert_eq!(a.fingerprint, b.fingerprint);
         assert_eq!(a.result_fingerprint, b.result_fingerprint);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sharded_jobs_land_the_same_result_fingerprint() {
+        let root = tmp("shards");
+        let dirs = CheckpointDir::new(root.join("ckpt"));
+        let cancel = CancelToken::new();
+        let serial = run_job(
+            &s27_request(),
+            &dirs,
+            &root.join("r1"),
+            &cancel,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        let mut req = s27_request();
+        req.shards = 3;
+        let mut bands = 0usize;
+        let sharded = run_job(&req, &dirs, &root.join("r2"), &cancel, None, &mut |e| {
+            if matches!(e, JobEvent::Band { .. }) {
+                bands += 1;
+            }
+        })
+        .unwrap();
+        assert_eq!(sharded.fingerprint, serial.fingerprint);
+        assert_eq!(sharded.result_fingerprint, serial.result_fingerprint);
+        assert_eq!(sharded.num_faults, serial.num_faults);
+        assert!(bands > 0, "sharded jobs must still stream band progress");
+        // the job's checkpoint directory (with its per-shard files) was
+        // released on success
+        assert!(!dirs.dir_for(sharded.fingerprint).exists());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -19,7 +19,8 @@
 //! {"op":"submit","proto":1,"tenant":"t0","name":"job-3",
 //!  "circuit":{"kind":"profile","name":"s9234","scale":0.05,"seed":7},
 //!  "coverage":0.95,"deadline_secs":30,"pattern_budget":64,
-//!  "max_faults":150,"seed":1,"threads":2,"sdf":"(DELAYFILE ...)"}
+//!  "max_faults":150,"seed":1,"threads":2,"shards":4,
+//!  "sdf":"(DELAYFILE ...)"}
 //! ```
 //!
 //! `circuit.kind` is `library` (named in-tree netlist), `profile`
@@ -85,6 +86,11 @@ pub struct JobRequest {
     pub seed: u64,
     /// Campaign worker threads (0 = all cores).
     pub threads: usize,
+    /// Fault-set shards (1 = single campaign). With `shards > 1` the
+    /// candidate fault set is partitioned into contiguous slices, each
+    /// slice runs as its own resumable sub-campaign, and the merged
+    /// result is bit-identical to the unsharded run.
+    pub shards: usize,
 }
 
 /// Lower bound on a `watch` interval — protects the daemon from a
@@ -313,6 +319,10 @@ fn parse_submit(obj: &Value) -> Result<JobRequest, ProtoError> {
         max_faults: opt_usize(obj, "max_faults")?,
         seed: opt_u64(obj, "seed")?.unwrap_or(1),
         threads: opt_usize(obj, "threads")?.unwrap_or(1),
+        shards: match opt_usize(obj, "shards")?.unwrap_or(1) {
+            0 => return Err(bad("shards", "expected at least 1")),
+            n => n,
+        },
     })
 }
 
@@ -400,7 +410,7 @@ mod tests {
             r#"{"op":"submit","proto":1,"tenant":"t0","name":"j1",
                 "circuit":{"kind":"profile","name":"s9234","scale":0.05,"seed":7},
                 "coverage":0.95,"deadline_secs":30,"pattern_budget":64,
-                "max_faults":150,"seed":3,"threads":2}"#,
+                "max_faults":150,"seed":3,"threads":2,"shards":4}"#,
         )
         .unwrap();
         let Request::Submit(job) = req else {
@@ -419,6 +429,7 @@ mod tests {
         assert_eq!(job.deadline_secs, Some(30.0));
         assert_eq!(job.pattern_budget, Some(64));
         assert_eq!(job.threads, 2);
+        assert_eq!(job.shards, 4);
     }
 
     #[test]
@@ -433,6 +444,7 @@ mod tests {
         assert_eq!(job.deadline_secs, None);
         assert_eq!(job.seed, 1);
         assert_eq!(job.threads, 1);
+        assert_eq!(job.shards, 1);
         assert!(job.sdf.is_none());
     }
 
@@ -488,6 +500,11 @@ mod tests {
             );
             assert_eq!(kind(&line), "bad_field", "deadline_secs {deadline}");
         }
+        // a zero shard count is a request for no campaign at all
+        assert_eq!(
+            kind(r#"{"op":"submit","shards":0,"circuit":{"kind":"library","name":"s27"}}"#),
+            "bad_field"
+        );
         // a huge but representable deadline stays accepted
         assert!(parse_request(
             r#"{"op":"submit","deadline_secs":1e9,"circuit":{"kind":"library","name":"s27"}}"#

@@ -1,0 +1,295 @@
+use fastmon_netlist::{Circuit, PinRef};
+
+use crate::{FaultId, FaultList};
+
+/// Structural equivalence classes over a [`FaultList`]: faults whose
+/// campaign results are provably bit-identical, so only one representative
+/// per class needs to be simulated and the result can be fanned back to
+/// every member.
+///
+/// The (exact, conservative) rule collapses an input-pin fault
+/// `(Input(n, k), pol, δ)` into the output-pin fault `(Output(m), pol, δ)`
+/// of its driver `m = fanins(n)[k]` iff
+///
+/// * `m` has exactly one fanout entry — the signal feeds only pin `k` of
+///   `n`, so delaying `m`'s output is indistinguishable from delaying the
+///   pin,
+/// * `m` drives no observation point — otherwise the output fault is
+///   directly observable at `m` while the pin fault is not,
+/// * polarity and δ match bit-for-bit (δ derives from each fault's own
+///   gate, so this only fires between gates with identical delay
+///   parameters).
+///
+/// Under these conditions the simulator computes the same faulty waveform
+/// for `n` in both cases (`base.wave(m).delayed_polarity(δ, pol)` feeding
+/// `n`'s evaluation), the reachable observation points coincide, and diffs
+/// are emitted in ascending observation-point order by both cone walks —
+/// hence per-pattern detection ranges, unions, verdicts and fingerprints
+/// are identical, not merely equivalent.
+///
+/// Classes therefore have at most two members (the output fault and the
+/// single downstream pin fault); chains never form because output faults
+/// are only ever representatives.
+///
+/// # Example
+///
+/// ```
+/// use fastmon_faults::{FaultClasses, FaultList};
+/// use fastmon_netlist::library;
+/// use fastmon_timing::{DelayAnnotation, DelayModel};
+///
+/// let circuit = library::c17();
+/// let annot = DelayAnnotation::nominal(&circuit, &DelayModel::nangate45_like());
+/// let faults = FaultList::six_sigma(&circuit, &annot);
+/// let classes = FaultClasses::build(&circuit, &faults);
+/// assert_eq!(classes.num_faults(), faults.len());
+/// assert!(classes.num_classes() <= faults.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultClasses {
+    /// Per fault: the fault index of its class representative (itself for
+    /// singletons and representatives).
+    rep_of: Vec<u32>,
+    /// Flat member arena, grouped by class, ascending fault index within a
+    /// class.
+    members: Vec<u32>,
+    /// Per fault: `members[member_offsets[i]..member_offsets[i + 1]]` is
+    /// the member list when fault `i` is a representative (empty slice
+    /// otherwise).
+    member_offsets: Vec<u32>,
+    num_classes: usize,
+}
+
+impl FaultClasses {
+    /// Computes the equivalence classes of `faults` on `circuit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a fault references a node outside the circuit.
+    #[must_use]
+    pub fn build(circuit: &Circuit, faults: &FaultList) -> Self {
+        let n = faults.len();
+        let mut op_driver = vec![false; circuit.len()];
+        for op in circuit.observe_points() {
+            op_driver[op.driver.index()] = true;
+        }
+        // index of the Output(m) fault per (node, polarity), if any
+        let mut output_fault = vec![[u32::MAX; 2]; circuit.len()];
+        for (fid, fault) in faults.iter() {
+            if let PinRef::Output(m) = fault.site {
+                let pol = usize::from(fault.polarity == crate::Polarity::SlowToFall);
+                output_fault[m.index()][pol] = fid.0;
+            }
+        }
+
+        let mut rep_of: Vec<u32> = (0..n)
+            .map(|i| u32::try_from(i).unwrap_or_else(|_| unreachable!("fault count fits u32")))
+            .collect();
+        for (fid, fault) in faults.iter() {
+            let PinRef::Input(gate, k) = fault.site else {
+                continue;
+            };
+            let driver = circuit.fanins(gate)[usize::from(k)];
+            if circuit.fanouts(driver).len() != 1 || op_driver[driver.index()] {
+                continue;
+            }
+            let pol = usize::from(fault.polarity == crate::Polarity::SlowToFall);
+            let rep = output_fault[driver.index()][pol];
+            if rep == u32::MAX {
+                continue;
+            }
+            let rep_fault = faults.fault(FaultId(rep));
+            if rep_fault.delta.to_bits() == fault.delta.to_bits() {
+                rep_of[fid.index()] = rep;
+            }
+        }
+
+        // CSR member lists keyed by representative fault index
+        let mut counts = vec![0u32; n + 1];
+        for &r in &rep_of {
+            counts[r as usize + 1] += 1;
+        }
+        let mut member_offsets = counts;
+        for i in 1..member_offsets.len() {
+            member_offsets[i] += member_offsets[i - 1];
+        }
+        let mut members = vec![0u32; n];
+        let mut cursor = member_offsets.clone();
+        for (i, &r) in rep_of.iter().enumerate() {
+            let c = &mut cursor[r as usize];
+            members[*c as usize] =
+                u32::try_from(i).unwrap_or_else(|_| unreachable!("fault count fits u32"));
+            *c += 1;
+        }
+        let num_classes = rep_of
+            .iter()
+            .enumerate()
+            .filter(|&(i, &r)| r as usize == i)
+            .count();
+
+        FaultClasses {
+            rep_of,
+            members,
+            member_offsets,
+            num_classes,
+        }
+    }
+
+    /// Number of faults in the underlying list.
+    #[must_use]
+    pub fn num_faults(&self) -> usize {
+        self.rep_of.len()
+    }
+
+    /// Number of equivalence classes (= faults that must actually be
+    /// simulated).
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of faults whose simulation is skipped by collapsing.
+    #[must_use]
+    pub fn collapsed_away(&self) -> usize {
+        self.num_faults() - self.num_classes
+    }
+
+    /// The representative fault index of fault `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn representative(&self, i: usize) -> usize {
+        self.rep_of[i] as usize
+    }
+
+    /// Whether fault `i` is its class representative (and therefore gets
+    /// simulated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn is_representative(&self, i: usize) -> bool {
+        self.rep_of[i] as usize == i
+    }
+
+    /// The member fault indices of the class represented by fault `i`
+    /// (ascending, including `i` itself). Empty when `i` is not a
+    /// representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn members_of(&self, i: usize) -> &[u32] {
+        &self.members[self.member_offsets[i] as usize..self.member_offsets[i + 1] as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmon_netlist::{library, CircuitBuilder, GateKind};
+    use fastmon_timing::{DelayAnnotation, DelayModel};
+
+    fn classes_of(circuit: &Circuit) -> (FaultList, FaultClasses) {
+        let annot = DelayAnnotation::nominal(circuit, &DelayModel::nangate45_like());
+        let faults = FaultList::six_sigma(circuit, &annot);
+        let classes = FaultClasses::build(circuit, &faults);
+        (faults, classes)
+    }
+
+    #[test]
+    fn classes_partition_the_fault_list() {
+        for circuit in [library::c17(), library::s27()] {
+            let (faults, classes) = classes_of(&circuit);
+            assert_eq!(classes.num_faults(), faults.len());
+            let mut seen = vec![false; faults.len()];
+            let mut total = 0;
+            for i in 0..faults.len() {
+                let members = classes.members_of(i);
+                if classes.is_representative(i) {
+                    assert!(members.contains(&(i as u32)));
+                    for &m in members {
+                        assert_eq!(classes.representative(m as usize), i);
+                        assert!(!seen[m as usize], "fault {m} in two classes");
+                        seen[m as usize] = true;
+                    }
+                    total += members.len();
+                } else {
+                    assert!(members.is_empty());
+                }
+            }
+            assert_eq!(total, faults.len());
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn members_satisfy_the_structural_conditions() {
+        for circuit in [library::c17(), library::s27()] {
+            let (faults, classes) = classes_of(&circuit);
+            let mut op_driver = vec![false; circuit.len()];
+            for op in circuit.observe_points() {
+                op_driver[op.driver.index()] = true;
+            }
+            for (fid, fault) in faults.iter() {
+                let rep = classes.representative(fid.index());
+                if rep == fid.index() {
+                    continue;
+                }
+                let rep_fault = faults.fault(FaultId::from_index(rep));
+                let PinRef::Input(gate, k) = fault.site else {
+                    panic!("only input-pin faults collapse");
+                };
+                let PinRef::Output(driver) = rep_fault.site else {
+                    panic!("representatives of non-singleton classes are output faults");
+                };
+                assert_eq!(circuit.fanins(gate)[usize::from(k)], driver);
+                assert_eq!(circuit.fanouts(driver).len(), 1);
+                assert!(!op_driver[driver.index()]);
+                assert_eq!(rep_fault.polarity, fault.polarity);
+                assert_eq!(rep_fault.delta.to_bits(), fault.delta.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_chain_collapses_pin_faults() {
+        // a -> b1 -> b2 -> out: each buffer's input pin fault collapses
+        // into its single-fanout driver's output fault (b2's input onto
+        // b1's output), but b2's output drives the PO and stays separate.
+        let mut b = CircuitBuilder::new("chain");
+        b.add("a", GateKind::Input, &[]);
+        b.add("b1", GateKind::Buf, &["a"]);
+        b.add("b2", GateKind::Buf, &["b1"]);
+        b.mark_output("b2");
+        let circuit = b.finish().unwrap();
+        let (faults, classes) = classes_of(&circuit);
+        // b1, b2: (1 output + 1 input pin) × 2 polarities each = 8 faults
+        assert_eq!(faults.len(), 8);
+        // collapsed: Input(b2, 0) ≡ Output(b1) per polarity. Input(b1, 0)
+        // stays (its driver is a PI with no output fault); Output(b2)
+        // stays (drives the observation point).
+        assert_eq!(classes.collapsed_away(), 2);
+        assert_eq!(classes.num_classes(), 6);
+    }
+
+    #[test]
+    fn fanout_stems_do_not_collapse() {
+        // a -> s, s feeds both n1 and n2: the stem has two fanout entries,
+        // so neither branch pin fault may collapse into Output(s).
+        let mut b = CircuitBuilder::new("stem");
+        b.add("a", GateKind::Input, &[]);
+        b.add("s", GateKind::Buf, &["a"]);
+        b.add("n1", GateKind::Not, &["s"]);
+        b.add("n2", GateKind::Not, &["s"]);
+        b.mark_output("n1");
+        b.mark_output("n2");
+        let circuit = b.finish().unwrap();
+        let (_, classes) = classes_of(&circuit);
+        assert_eq!(classes.collapsed_away(), 0);
+    }
+}

@@ -78,6 +78,28 @@ impl FaultList {
         FaultList { faults }
     }
 
+    /// Concatenates several lists in order (shard merge).
+    #[must_use]
+    pub fn concat<I: IntoIterator<Item = FaultList>>(lists: I) -> Self {
+        let mut faults = Vec::new();
+        for list in lists {
+            faults.extend(list.faults);
+        }
+        FaultList { faults }
+    }
+
+    /// The contiguous sub-list `range` (shard extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is out of bounds.
+    #[must_use]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> FaultList {
+        FaultList {
+            faults: self.faults[range].to_vec(),
+        }
+    }
+
     /// Number of faults.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -1,6 +1,6 @@
 use std::collections::HashMap;
 
-use crate::{Circuit, GateKind, NetlistError, Node, NodeId};
+use crate::{Circuit, GateKind, NetlistError, NodeId};
 
 /// Incremental construction of a [`Circuit`] by net name.
 ///
@@ -91,9 +91,14 @@ impl CircuitBuilder {
             }
         }
 
-        let mut nodes = Vec::with_capacity(self.gates.len());
+        // resolve straight into the CSR fanin arena — no per-node Vec
+        let total_fanins: usize = self.gates.iter().map(|(_, _, f)| f.len()).sum();
+        let mut names = Vec::with_capacity(self.gates.len());
+        let mut kinds = Vec::with_capacity(self.gates.len());
+        let mut fanins = Vec::with_capacity(total_fanins);
+        let mut fanin_offsets = Vec::with_capacity(self.gates.len() + 1);
+        fanin_offsets.push(0u32);
         for (name, kind, fanin_names) in &self.gates {
-            let mut fanins = Vec::with_capacity(fanin_names.len());
             for fi in fanin_names {
                 let id = index
                     .get(fi.as_str())
@@ -101,11 +106,12 @@ impl CircuitBuilder {
                     .ok_or_else(|| NetlistError::UndrivenNet { net: fi.clone() })?;
                 fanins.push(id);
             }
-            nodes.push(Node {
-                name: name.clone(),
-                kind: *kind,
-                fanins,
-            });
+            names.push(name.clone());
+            kinds.push(*kind);
+            fanin_offsets.push(
+                u32::try_from(fanins.len())
+                    .unwrap_or_else(|_| panic!("fanin arena exceeds u32 range")),
+            );
         }
 
         let mut outputs = Vec::with_capacity(self.outputs.len());
@@ -117,7 +123,7 @@ impl CircuitBuilder {
             outputs.push(id);
         }
 
-        Circuit::from_parts(self.name, nodes, outputs)
+        Circuit::from_parts(self.name, names, kinds, fanins, fanin_offsets, outputs)
     }
 }
 

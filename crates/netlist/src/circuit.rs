@@ -1,5 +1,6 @@
 use std::collections::VecDeque;
 use std::fmt;
+use std::mem::size_of;
 
 use crate::{GateKind, NetlistError};
 
@@ -37,20 +38,25 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// A single gate instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Node {
-    pub(crate) name: String,
-    pub(crate) kind: GateKind,
-    pub(crate) fanins: Vec<NodeId>,
+/// A borrowed view of a single gate instance.
+///
+/// The circuit stores its nodes in flat arenas (one byte run for all
+/// names, one `u32` run for all fanin lists); `Node` is the per-gate
+/// window into them, so it is `Copy` and the accessors hand out slices
+/// that live as long as the circuit, not as long as the view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Node<'c> {
+    name: &'c str,
+    kind: GateKind,
+    fanins: &'c [NodeId],
 }
 
-impl Node {
+impl<'c> Node<'c> {
     /// The net/instance name (ISCAS naming: the gate is named after the net
     /// it drives).
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'c str {
+        self.name
     }
 
     /// The gate kind.
@@ -61,8 +67,8 @@ impl Node {
 
     /// The fanin nodes, in pin order.
     #[must_use]
-    pub fn fanins(&self) -> &[NodeId] {
-        &self.fanins
+    pub fn fanins(&self) -> &'c [NodeId] {
+        self.fanins
     }
 }
 
@@ -126,6 +132,59 @@ impl ObservePoint {
     }
 }
 
+/// Reusable mark buffer for [`Circuit::fanout_cone_into`] and
+/// [`Circuit::fanin_cone_into`].
+///
+/// The cone walks need one "in cone" bit per circuit node; allocating it
+/// per call dominates the cost of small cones. A `ConeMarks` grows to the
+/// circuit size on first use and is wiped selectively (only the nodes of
+/// the previous cone) between calls, so repeated walks are allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct ConeMarks {
+    mark: Vec<bool>,
+    /// The nodes marked since the last [`ConeMarks::begin`], for selective
+    /// wiping.
+    touched: Vec<NodeId>,
+}
+
+impl ConeMarks {
+    /// Fresh, empty scratch; the buffer grows to the circuit size on first
+    /// use.
+    #[must_use]
+    pub fn new() -> Self {
+        ConeMarks::default()
+    }
+
+    /// Starts a new walk over an `n`-node circuit: grows the buffer if
+    /// needed and wipes only the marks of the previous walk.
+    pub fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.clear();
+            self.mark.resize(n, false);
+        } else {
+            for &id in &self.touched {
+                self.mark[id.index()] = false;
+            }
+        }
+        self.touched.clear();
+    }
+
+    /// Marks `id`, remembering it for the next wipe.
+    pub fn set(&mut self, id: NodeId) {
+        let slot = &mut self.mark[id.index()];
+        if !*slot {
+            *slot = true;
+            self.touched.push(id);
+        }
+    }
+
+    /// Whether `id` is marked in the current walk.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> bool {
+        self.mark[id.index()]
+    }
+}
+
 /// A levelized full-scan gate-level circuit.
 ///
 /// The sequential netlist is stored as parsed; for delay test the circuit is
@@ -133,16 +192,32 @@ impl ObservePoint {
 /// pseudo-primary inputs, flip-flop D pins are pseudo-primary outputs, and
 /// the edges into flip-flops are cut when levelizing.
 ///
+/// # Storage
+///
+/// Node storage is compressed-sparse-row throughout: all fanin lists live
+/// in one flat [`NodeId`] arena addressed by an offsets table, the derived
+/// fanout lists in a second arena, and all node names in a single byte run.
+/// There is no per-node allocation, so a million-gate netlist costs a fixed
+/// ~40 bytes/gate plus its name bytes instead of several heap boxes per
+/// gate. [`Circuit::node`] hands out a [`Node`] *view* into the arenas; the
+/// public `fanins()`/`fanouts()` slice API is unchanged.
+///
 /// Construct circuits with [`CircuitBuilder`](crate::CircuitBuilder), the
 /// [`bench`](crate::bench) parser or the [`generate`](crate::generate)
 /// module.
 #[derive(Debug, Clone)]
 pub struct Circuit {
     name: String,
-    nodes: Vec<Node>,
+    // CSR node storage.
+    names: String,
+    name_offsets: Vec<u32>,
+    kinds: Vec<GateKind>,
+    fanins: Vec<NodeId>,
+    fanin_offsets: Vec<u32>,
     outputs: Vec<NodeId>,
-    // Derived structure.
-    fanouts: Vec<Vec<NodeId>>,
+    // Derived structure (fanouts are CSR as well).
+    fanouts: Vec<NodeId>,
+    fanout_offsets: Vec<u32>,
     level: Vec<u32>,
     topo: Vec<NodeId>,
     max_level: u32,
@@ -152,8 +227,10 @@ pub struct Circuit {
 }
 
 impl Circuit {
-    /// Builds a circuit from parts, validating arities and acyclicity.
+    /// Builds a circuit from flat parts, validating arities and acyclicity.
     ///
+    /// `fanins`/`fanin_offsets` are the CSR fanin arena: node `i`'s fanins
+    /// are `fanins[fanin_offsets[i]..fanin_offsets[i + 1]]`, in pin order.
     /// `outputs` lists the nodes whose output nets are primary outputs.
     ///
     /// # Errors
@@ -163,33 +240,53 @@ impl Circuit {
     /// combinational core (flip-flop inputs cut) is cyclic.
     pub(crate) fn from_parts(
         name: String,
-        nodes: Vec<Node>,
+        node_names: Vec<String>,
+        kinds: Vec<GateKind>,
+        fanins: Vec<NodeId>,
+        fanin_offsets: Vec<u32>,
         outputs: Vec<NodeId>,
     ) -> Result<Self, NetlistError> {
-        for node in &nodes {
-            if !node.kind.arity_ok(node.fanins.len()) {
+        let n = kinds.len();
+        debug_assert_eq!(node_names.len(), n);
+        debug_assert_eq!(fanin_offsets.len(), n + 1);
+        let fanin_of = |i: usize| &fanins[fanin_offsets[i] as usize..fanin_offsets[i + 1] as usize];
+
+        for i in 0..n {
+            if !kinds[i].arity_ok(fanin_of(i).len()) {
                 return Err(NetlistError::BadArity {
-                    kind: node.kind,
-                    node: node.name.clone(),
-                    got: node.fanins.len(),
+                    kind: kinds[i],
+                    node: node_names[i].clone(),
+                    got: fanin_of(i).len(),
                 });
             }
         }
 
-        let n = nodes.len();
-        let mut fanouts: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for (i, node) in nodes.iter().enumerate() {
-            for &fi in &node.fanins {
-                fanouts[fi.index()].push(NodeId::from_index(i));
+        // Derived fanout CSR: a counting pass sizes the runs, a fill pass
+        // scatters consumers in ascending id order (matching the pin-order
+        // duplication semantics of the fanin arena).
+        let mut fanout_offsets = vec![0u32; n + 1];
+        for &fi in &fanins {
+            fanout_offsets[fi.index() + 1] += 1;
+        }
+        for i in 0..n {
+            fanout_offsets[i + 1] += fanout_offsets[i];
+        }
+        let mut fanouts = vec![NodeId(0); fanins.len()];
+        let mut cursor: Vec<u32> = fanout_offsets[..n].to_vec();
+        for i in 0..n {
+            for &fi in fanin_of(i) {
+                let c = &mut cursor[fi.index()];
+                fanouts[*c as usize] = NodeId::from_index(i);
+                *c += 1;
             }
         }
 
         // Levelize the combinational core with Kahn's algorithm. Sources and
         // flip-flops start at level 0; edges into flip-flops are cut.
         let mut indeg = vec![0usize; n];
-        for (i, node) in nodes.iter().enumerate() {
-            if node.kind.is_combinational() {
-                indeg[i] = node.fanins.len();
+        for (i, kind) in kinds.iter().enumerate() {
+            if kind.is_combinational() {
+                indeg[i] = fanin_of(i).len();
             }
         }
         let mut level = vec![0u32; n];
@@ -200,9 +297,11 @@ impl Circuit {
             .collect();
         while let Some(id) = queue.pop_front() {
             topo.push(id);
-            for &fo in &fanouts[id.index()] {
+            let lo = fanout_offsets[id.index()] as usize;
+            let hi = fanout_offsets[id.index() + 1] as usize;
+            for &fo in &fanouts[lo..hi] {
                 let fi = fo.index();
-                if nodes[fi].kind.is_combinational() {
+                if kinds[fi].is_combinational() {
                     level[fi] = level[fi].max(level[id.index()] + 1);
                     indeg[fi] -= 1;
                     if indeg[fi] == 0 {
@@ -214,7 +313,7 @@ impl Circuit {
         if topo.len() != n {
             let on_cycle = (0..n)
                 .find(|&i| indeg[i] > 0)
-                .map(|i| nodes[i].name.clone())
+                .map(|i| node_names[i].clone())
                 .unwrap_or_default();
             return Err(NetlistError::CombinationalCycle { node: on_cycle });
         }
@@ -224,11 +323,11 @@ impl Circuit {
         let max_level = level.iter().copied().max().unwrap_or(0);
 
         let inputs: Vec<NodeId> = (0..n)
-            .filter(|&i| nodes[i].kind == GateKind::Input)
+            .filter(|&i| kinds[i] == GateKind::Input)
             .map(NodeId::from_index)
             .collect();
         let flip_flops: Vec<NodeId> = (0..n)
-            .filter(|&i| nodes[i].kind == GateKind::Dff)
+            .filter(|&i| kinds[i] == GateKind::Dff)
             .map(NodeId::from_index)
             .collect();
 
@@ -240,15 +339,33 @@ impl Circuit {
             })
             .collect();
         observe_points.extend(flip_flops.iter().map(|&ff| ObservePoint {
-            driver: nodes[ff.index()].fanins[0],
+            driver: fanin_of(ff.index())[0],
             kind: ObserveKind::PseudoOutput { dff: ff },
         }));
 
+        // Flatten the names into a single byte run + offsets.
+        let total: usize = node_names.iter().map(String::len).sum();
+        let mut names = String::with_capacity(total);
+        let mut name_offsets = Vec::with_capacity(n + 1);
+        name_offsets.push(0u32);
+        for s in &node_names {
+            names.push_str(s);
+            name_offsets.push(
+                u32::try_from(names.len())
+                    .unwrap_or_else(|_| panic!("total name bytes exceed u32 range")),
+            );
+        }
+
         Ok(Circuit {
             name,
-            nodes,
+            names,
+            name_offsets,
+            kinds,
+            fanins,
+            fanin_offsets,
             outputs,
             fanouts,
+            fanout_offsets,
             level,
             topo,
             max_level,
@@ -267,36 +384,73 @@ impl Circuit {
     /// Number of nodes (gates, inputs and flip-flops).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
     }
 
     /// Returns `true` if the circuit has no nodes.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.kinds.is_empty()
     }
 
-    /// Access a node by id.
+    /// The name of node `id` (a direct slice of the name arena).
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range for this circuit.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &Node {
-        &self.nodes[id.index()]
+    pub fn node_name(&self, id: NodeId) -> &str {
+        let i = id.index();
+        &self.names[self.name_offsets[i] as usize..self.name_offsets[i + 1] as usize]
     }
 
-    /// Iterates over all `(NodeId, &Node)` pairs in id order.
-    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId::from_index(i), n))
+    /// The gate kind of node `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    #[must_use]
+    pub fn kind(&self, id: NodeId) -> GateKind {
+        self.kinds[id.index()]
+    }
+
+    /// The fanin nodes of `id`, in pin order (a direct slice of the fanin
+    /// arena).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    #[must_use]
+    pub fn fanins(&self, id: NodeId) -> &[NodeId] {
+        let i = id.index();
+        &self.fanins[self.fanin_offsets[i] as usize..self.fanin_offsets[i + 1] as usize]
+    }
+
+    /// Access a node by id as a borrowed view over the arenas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this circuit.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Node<'_> {
+        Node {
+            name: self.node_name(id),
+            kind: self.kinds[id.index()],
+            fanins: self.fanins(id),
+        }
+    }
+
+    /// Iterates over all `(NodeId, Node)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, Node<'_>)> {
+        (0..self.kinds.len()).map(|i| {
+            let id = NodeId::from_index(i);
+            (id, self.node(id))
+        })
     }
 
     /// All node ids in id order.
     pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId::from_index)
+        (0..self.kinds.len()).map(NodeId::from_index)
     }
 
     /// Primary inputs.
@@ -328,7 +482,8 @@ impl Circuit {
     /// including flip-flops capturing the signal).
     #[must_use]
     pub fn fanouts(&self, id: NodeId) -> &[NodeId] {
-        &self.fanouts[id.index()]
+        let i = id.index();
+        &self.fanouts[self.fanout_offsets[i] as usize..self.fanout_offsets[i + 1] as usize]
     }
 
     /// The combinational level of a node: 0 for sources and flip-flops,
@@ -356,7 +511,7 @@ impl Circuit {
         self.topo
             .iter()
             .copied()
-            .filter(move |&id| self.nodes[id.index()].kind.is_combinational())
+            .filter(move |&id| self.kinds[id.index()].is_combinational())
     }
 
     /// The sources of the combinational core: primary inputs, constants and
@@ -365,70 +520,111 @@ impl Circuit {
         self.topo
             .iter()
             .copied()
-            .filter(move |&id| !self.nodes[id.index()].kind.is_combinational())
+            .filter(move |&id| !self.kinds[id.index()].is_combinational())
+    }
+
+    /// Heap bytes of the node storage: arenas, offset tables and derived
+    /// structure. The benchmarks divide this by the gate count to report
+    /// bytes/gate.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.names.len()
+            + self.name_offsets.len() * size_of::<u32>()
+            + self.kinds.len() * size_of::<GateKind>()
+            + self.fanins.len() * size_of::<NodeId>()
+            + self.fanin_offsets.len() * size_of::<u32>()
+            + self.outputs.len() * size_of::<NodeId>()
+            + self.fanouts.len() * size_of::<NodeId>()
+            + self.fanout_offsets.len() * size_of::<u32>()
+            + self.level.len() * size_of::<u32>()
+            + self.topo.len() * size_of::<NodeId>()
+            + self.inputs.len() * size_of::<NodeId>()
+            + self.flip_flops.len() * size_of::<NodeId>()
+            + self.observe_points.len() * size_of::<ObservePoint>()
     }
 
     /// Computes the transitive combinational fanout cone of `seed`
     /// (inclusive), in topological order. Traversal stops at flip-flops:
     /// they are not included (their D pins are capture points).
+    ///
+    /// Allocates fresh buffers per call; hot paths should use
+    /// [`Circuit::fanout_cone_into`] with a reused [`ConeMarks`].
     #[must_use]
     pub fn fanout_cone(&self, seed: NodeId) -> Vec<NodeId> {
-        let mut in_cone = vec![false; self.nodes.len()];
-        in_cone[seed.index()] = true;
+        let mut marks = ConeMarks::new();
         let mut cone = Vec::new();
+        self.fanout_cone_into(seed, &mut marks, &mut cone);
+        cone
+    }
+
+    /// [`Circuit::fanout_cone`] into a caller-provided buffer, reusing the
+    /// mark scratch across calls. `cone` is cleared first.
+    pub fn fanout_cone_into(&self, seed: NodeId, marks: &mut ConeMarks, cone: &mut Vec<NodeId>) {
+        marks.begin(self.kinds.len());
+        cone.clear();
+        marks.set(seed);
         // topo order guarantees fanins are visited before fanouts
         for &id in &self.topo {
-            let idx = id.index();
-            if !in_cone[idx] {
+            if !marks.get(id) {
                 continue;
             }
             cone.push(id);
-            for &fo in &self.fanouts[idx] {
-                if self.nodes[fo.index()].kind.is_combinational() {
-                    in_cone[fo.index()] = true;
+            for &fo in self.fanouts(id) {
+                if self.kinds[fo.index()].is_combinational() {
+                    marks.set(fo);
                 }
             }
         }
-        cone
     }
 
     /// Computes the transitive combinational fanin cone of `seed`
     /// (inclusive), in topological order. Traversal stops at sources and
     /// flip-flops (which are included as the cone's inputs but not expanded
     /// further).
+    ///
+    /// Allocates fresh buffers per call; hot paths should use
+    /// [`Circuit::fanin_cone_into`] with a reused [`ConeMarks`].
     #[must_use]
     pub fn fanin_cone(&self, seed: NodeId) -> Vec<NodeId> {
-        let mut in_cone = vec![false; self.nodes.len()];
-        in_cone[seed.index()] = true;
+        let mut marks = ConeMarks::new();
+        let mut cone = Vec::new();
+        self.fanin_cone_into(seed, &mut marks, &mut cone);
+        cone
+    }
+
+    /// [`Circuit::fanin_cone`] into a caller-provided buffer, reusing the
+    /// mark scratch across calls. `cone` is cleared first.
+    pub fn fanin_cone_into(&self, seed: NodeId, marks: &mut ConeMarks, cone: &mut Vec<NodeId>) {
+        marks.begin(self.kinds.len());
+        cone.clear();
+        marks.set(seed);
         // reverse topological sweep marks fanins of marked nodes
         for &id in self.topo.iter().rev() {
-            if in_cone[id.index()] && self.nodes[id.index()].kind.is_combinational() {
-                for &fi in &self.nodes[id.index()].fanins {
-                    in_cone[fi.index()] = true;
+            if marks.get(id) && self.kinds[id.index()].is_combinational() {
+                for &fi in self.fanins(id) {
+                    marks.set(fi);
                 }
             }
         }
         // emit in topological order
-        self.topo
-            .iter()
-            .copied()
-            .filter(|id| in_cone[id.index()])
-            .collect()
+        for &id in &self.topo {
+            if marks.get(id) {
+                cone.push(id);
+            }
+        }
     }
 
     /// The observation points whose captured signal lies in the fanout cone
     /// of `seed`, as indices into [`Circuit::observe_points`].
     #[must_use]
     pub fn observing_points_of(&self, seed: NodeId) -> Vec<usize> {
-        let cone = self.fanout_cone(seed);
-        let mut in_cone = vec![false; self.nodes.len()];
-        for &id in &cone {
-            in_cone[id.index()] = true;
-        }
+        let mut marks = ConeMarks::new();
+        let mut cone = Vec::new();
+        self.fanout_cone_into(seed, &mut marks, &mut cone);
         self.observe_points
             .iter()
             .enumerate()
-            .filter(|(_, op)| in_cone[op.driver.index()])
+            .filter(|(_, op)| marks.get(op.driver))
             .map(|(i, _)| i)
             .collect()
     }
@@ -440,18 +636,17 @@ impl Circuit {
     /// current state); constants evaluate to themselves. The returned vector
     /// is indexed by [`NodeId::index`].
     pub fn eval_steady<F: Fn(NodeId) -> bool>(&self, source_value: F) -> Vec<bool> {
-        let mut values = vec![false; self.nodes.len()];
+        let mut values = vec![false; self.kinds.len()];
         let mut ins: Vec<bool> = Vec::new();
         for &id in &self.topo {
-            let node = &self.nodes[id.index()];
-            values[id.index()] = match node.kind {
+            values[id.index()] = match self.kinds[id.index()] {
                 GateKind::Input | GateKind::Dff => source_value(id),
                 GateKind::Const0 => false,
                 GateKind::Const1 => true,
-                _ => {
+                kind => {
                     ins.clear();
-                    ins.extend(node.fanins.iter().map(|&fi| values[fi.index()]));
-                    node.kind.eval(&ins)
+                    ins.extend(self.fanins(id).iter().map(|&fi| values[fi.index()]));
+                    kind.eval(&ins)
                 }
             };
         }
@@ -462,10 +657,9 @@ impl Circuit {
     /// circuits).
     #[must_use]
     pub fn find(&self, name: &str) -> Option<NodeId> {
-        self.nodes
-            .iter()
-            .position(|n| n.name == name)
+        (0..self.kinds.len())
             .map(NodeId::from_index)
+            .find(|&id| self.node_name(id) == name)
     }
 }
 
@@ -540,6 +734,21 @@ mod tests {
     }
 
     #[test]
+    fn cone_scratch_reuse_matches_fresh_walks() {
+        let c = tiny();
+        let mut marks = super::ConeMarks::new();
+        let mut cone = Vec::new();
+        // interleave fanout and fanin walks through the same scratch; each
+        // must match the allocating variant despite the shared mark buffer
+        for id in c.node_ids() {
+            c.fanout_cone_into(id, &mut marks, &mut cone);
+            assert_eq!(cone, c.fanout_cone(id), "fanout cone of {id}");
+            c.fanin_cone_into(id, &mut marks, &mut cone);
+            assert_eq!(cone, c.fanin_cone(id), "fanin cone of {id}");
+        }
+    }
+
+    #[test]
     fn observing_points_of_cone() {
         let c = tiny();
         let b_in = c.find("b").unwrap();
@@ -563,6 +772,21 @@ mod tests {
         let values = c.eval_steady(|id| id == a || id == b_in || id == f);
         // o = NAND(1,1) = 0
         assert!(!values[c.find("o").unwrap().index()]);
+    }
+
+    #[test]
+    fn storage_is_arena_backed() {
+        let c = tiny();
+        // 5 nodes, 5 fanin slots (f:1, g:2, o:2): sanity-check the CSR
+        // accounting stays in the tens of bytes per node, not hundreds
+        let bytes = c.storage_bytes();
+        assert!(bytes > 0);
+        assert!(bytes < 5 * 100, "tiny circuit costs {bytes} bytes");
+        // fanin slices come straight from the arena, in pin order
+        let o = c.find("o").unwrap();
+        assert_eq!(c.fanins(o), c.node(o).fanins());
+        assert_eq!(c.kind(o), GateKind::Nand);
+        assert_eq!(c.node_name(o), "o");
     }
 
     #[test]

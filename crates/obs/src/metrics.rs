@@ -118,6 +118,12 @@ metric_section! {
         /// cone walk (not activated, blocked at a side input, or provably
         /// unable to reach an observation point).
         faults_screened_out,
+        /// Structural fault-equivalence classes of the campaign (the
+        /// representatives actually simulated).
+        fault_classes,
+        /// Faults never simulated because a class representative's results
+        /// were fanned back to them verbatim.
+        faults_collapsed,
     }
 }
 

@@ -1,5 +1,5 @@
 use fastmon_faults::{IntervalSet, SmallDelayFault};
-use fastmon_netlist::{Circuit, GateKind, NodeId, PinRef};
+use fastmon_netlist::{Circuit, ConeMarks, GateKind, NodeId, PinRef};
 use fastmon_obs::SimMetrics;
 use fastmon_timing::{DelayAnnotation, Time};
 
@@ -340,30 +340,45 @@ impl ConePlan {
     /// or hand-built netlists whose cones contain dead branches.
     #[must_use]
     pub fn new_with_metrics(circuit: &Circuit, seed: NodeId, metrics: Option<&SimMetrics>) -> Self {
-        let full_cone = circuit.fanout_cone(seed);
-        let mut in_cone = vec![false; circuit.len()];
-        for &id in &full_cone {
-            in_cone[id.index()] = true;
-        }
+        Self::new_with_scratch(circuit, seed, metrics, &mut PlanScratch::new())
+    }
+
+    /// [`ConePlan::new_with_metrics`] with caller-provided scratch, so a
+    /// campaign building one plan per gate performs no per-plan mark or
+    /// slot-map allocation.
+    #[must_use]
+    pub fn new_with_scratch(
+        circuit: &Circuit,
+        seed: NodeId,
+        metrics: Option<&SimMetrics>,
+        scratch: &mut PlanScratch,
+    ) -> Self {
+        let PlanScratch {
+            marks,
+            retained,
+            full_cone,
+            slot,
+        } = scratch;
+        circuit.fanout_cone_into(seed, marks, full_cone);
         let ops: Vec<(usize, NodeId)> = circuit
             .observe_points()
             .iter()
             .enumerate()
-            .filter(|(_, op)| in_cone[op.driver.index()])
+            .filter(|(_, op)| marks.get(op.driver))
             .map(|(i, op)| (i, op.driver))
             .collect();
 
         // observer-reach pruning: walk the cone backwards, keeping nodes
         // that drive an observation point or feed a kept node
-        let mut retained = vec![false; circuit.len()];
+        retained.begin(circuit.len());
         for &(_, driver) in &ops {
-            retained[driver.index()] = true;
+            retained.set(driver);
         }
         for &id in full_cone.iter().rev() {
-            if retained[id.index()] {
+            if retained.get(id) {
                 for &fi in circuit.node(id).fanins() {
-                    if in_cone[fi.index()] {
-                        retained[fi.index()] = true;
+                    if marks.get(fi) {
+                        retained.set(fi);
                     }
                 }
             }
@@ -371,7 +386,7 @@ impl ConePlan {
         let cone: Vec<NodeId> = full_cone
             .iter()
             .copied()
-            .filter(|id| retained[id.index()])
+            .filter(|&id| retained.get(id))
             .collect();
         let pruned = full_cone.len() - cone.len();
         let m = match metrics {
@@ -383,7 +398,9 @@ impl ConePlan {
         let len = u32::try_from(cone.len()).unwrap_or_else(|_| unreachable!("cone fits u32"));
 
         // influence horizon: how far down the cone each node's output goes
-        let mut slot = vec![0u32; circuit.len()];
+        if slot.len() < circuit.len() {
+            slot.resize(circuit.len(), 0);
+        }
         for (i, &id) in cone.iter().enumerate() {
             #[allow(clippy::cast_possible_truncation)]
             {
@@ -401,6 +418,10 @@ impl ConePlan {
                     influence[p] = influence[p].max(j32);
                 }
             }
+        }
+        // wipe the dense slot map for the next plan
+        for &id in &cone {
+            slot[id.index()] = 0;
         }
 
         ConePlan {
@@ -434,6 +455,25 @@ impl ConePlan {
     #[must_use]
     pub fn pruned_nodes(&self) -> usize {
         self.pruned
+    }
+}
+
+/// Reusable buffers for [`ConePlan::new_with_scratch`]: the full-cone walk
+/// marks, the retained set and the dense slot map used for the influence
+/// horizon.
+#[derive(Debug, Default)]
+pub struct PlanScratch {
+    marks: ConeMarks,
+    retained: ConeMarks,
+    full_cone: Vec<NodeId>,
+    slot: Vec<u32>,
+}
+
+impl PlanScratch {
+    /// Fresh, empty scratch; buffers grow to the circuit size on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        PlanScratch::default()
     }
 }
 

@@ -54,6 +54,12 @@ pub struct CampaignStats {
     /// (fault, pattern) pairs discarded by the screen without an exact
     /// cone walk.
     pub faults_screened_out: u64,
+    /// Structural equivalence classes the campaign's fault set collapsed
+    /// into (one representative simulated per class).
+    pub fault_classes: u64,
+    /// Faults never simulated because a class representative's detection
+    /// results were fanned back to them.
+    pub faults_collapsed: u64,
 }
 
 impl CampaignStats {
@@ -72,6 +78,8 @@ impl CampaignStats {
             screen_walks: m.screen_walks.get(),
             screen_nodes_visited: m.screen_nodes_visited.get(),
             faults_screened_out: m.faults_screened_out.get(),
+            fault_classes: m.fault_classes.get(),
+            faults_collapsed: m.faults_collapsed.get(),
         }
     }
 }
