@@ -13,6 +13,9 @@
 use fastmon_bench::{paper, with_run, ExperimentConfig};
 
 fn main() {
+    // With FASTMON_SHARD_PROCS=1 the campaign re-executes this binary
+    // once per shard; those children never reach the experiment logic.
+    fastmon_bench::shardsup::maybe_run_worker();
     let mut config = ExperimentConfig::from_env();
     if config.circuits.is_empty() {
         config.circuits = vec!["p89k".to_owned()];

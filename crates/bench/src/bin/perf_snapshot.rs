@@ -22,6 +22,7 @@
 //! | `FASTMON_SNAPSHOT_OUT` | output path | `BENCH_analysis.json` |
 //! | `FASTMON_SNAPSHOT_SCALE` (or `--scale=S`) | profile scale override in `(0, 1]` | derived from `FASTMON_TARGET_GATES` |
 //! | `FASTMON_SHARDS` (or `--shards=N`) | shard count for the merge-parity run | `2` |
+//! | `FASTMON_SHARD_PROCS=1` (or `--shard-procs`) | also run the campaign as supervised child processes | unset |
 //! | `FASTMON_SNAPSHOT_SWEEP` | comma-separated scale-sweep factors | `S/4, S/2, S` |
 //! | `FASTMON_RSS_CEILING_BYTES` | fail the run if peak RSS exceeds this | unset |
 //!
@@ -67,6 +68,23 @@ struct ShardReport {
     analyze_secs: f64,
     merged_fingerprint: u64,
     matches_serial: bool,
+}
+
+/// The multi-process supervised run (`--shard-procs`): the same campaign
+/// executed as one child OS process per shard under the
+/// [`fastmon_bench::shardsup`] supervisor, merged from the landed result
+/// files and compared against the serial fingerprint.
+struct ShardProcsReport {
+    shards: usize,
+    jobs: usize,
+    wall_secs: f64,
+    merged_fingerprint: u64,
+    matches_serial: bool,
+    report: fastmon_core::SupervisorReport,
+    /// This (supervisor) process's `VmHWM` after the supervised run.
+    supervisor_peak_rss_bytes: u64,
+    /// Largest `ru_maxrss` over the reaped worker children.
+    children_peak_rss_bytes: u64,
 }
 
 /// `--flag=value` command-line override with an environment fallback.
@@ -187,6 +205,9 @@ fn render_latency_table(latency: &fastmon_obs::HistogramSet) -> String {
 }
 
 fn main() {
+    // A process exec'd as `--shard-worker i/n` is a campaign shard, not a
+    // snapshot run: it never returns from here.
+    fastmon_bench::shardsup::maybe_run_worker();
     // Keep at least profile-mode spans on so the self-time table below has
     // data; a FASTMON_TRACE=1 environment still gets the full event log.
     if !fastmon_obs::enabled() {
@@ -223,6 +244,7 @@ fn main() {
             std::process::exit(1);
         }
     };
+    let shard_procs = config.shard_procs || std::env::args().any(|a| a == "--shard-procs");
     let profile = base_profile.scaled(scale);
     let circuit = match profile.generate(config.seed) {
         Ok(c) => c,
@@ -412,6 +434,91 @@ fn main() {
         None
     };
 
+    // Supervised multi-process run (`--shard-procs`): one child OS
+    // process per shard, merged from landed result files. Bit-identity
+    // with the serial fingerprint is a hard gate, like the in-process
+    // shard merge above.
+    let shard_procs_report = if shard_procs && shards > 1 {
+        let dir =
+            std::env::temp_dir().join(format!("fastmon-snapshot-shardsup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("perf_snapshot: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let flow = HdfTestFlow::prepare(&circuit, &config.flow_config());
+        let mut sp_config = config.clone();
+        sp_config.shards = shards;
+        let jobs = match fastmon_core::SupervisorConfig::from_env(shards) {
+            Ok(c) => c.jobs,
+            Err(e) => {
+                eprintln!("perf_snapshot: {e}");
+                std::process::exit(2);
+            }
+        };
+        let t = Instant::now();
+        match fastmon_bench::shardsup::supervise(
+            &flow,
+            &patterns,
+            &sp_config,
+            &name,
+            scale,
+            &dir,
+            None,
+            &mut |_| {},
+        ) {
+            Ok(run) => {
+                let wall_secs = t.elapsed().as_secs_f64();
+                let merged_fingerprint = run.analysis.result_fingerprint();
+                let matches_serial = serial_fingerprint == Some(merged_fingerprint);
+                let supervisor_peak_rss_bytes =
+                    fastmon_bench::rss::peak_rss_self_bytes().unwrap_or(0);
+                let children_peak_rss_bytes =
+                    fastmon_bench::rss::peak_rss_children_bytes().unwrap_or(0);
+                println!(
+                    "  shard-procs: {shards} shards x {jobs} jobs in {wall_secs:.3} s, \
+                     {} workers ({} respawns, {} evictions), merged fingerprint \
+                     {merged_fingerprint:016x} ({}), worker peak RSS {}",
+                    run.report.workers_spawned,
+                    run.report.respawns,
+                    run.report.rss_evictions,
+                    if matches_serial {
+                        "bit-identical to serial"
+                    } else {
+                        "MISMATCH vs serial"
+                    },
+                    fastmon_bench::rss::format_mib(children_peak_rss_bytes),
+                );
+                if !matches_serial {
+                    eprintln!(
+                        "perf_snapshot: supervised shard merge diverged from the serial \
+                         campaign (serial {serial_fingerprint:?}, merged {merged_fingerprint:016x})"
+                    );
+                    std::process::exit(1);
+                }
+                robustness.absorb(&flow.metrics().robustness);
+                latency.merge_from(&flow.metrics().latency);
+                let _ = std::fs::remove_dir_all(&dir);
+                Some(ShardProcsReport {
+                    shards,
+                    jobs,
+                    wall_secs,
+                    merged_fingerprint,
+                    matches_serial,
+                    report: run.report,
+                    supervisor_peak_rss_bytes,
+                    children_peak_rss_bytes,
+                })
+            }
+            Err(e) => {
+                eprintln!("perf_snapshot: supervised shard run failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
     robustness.daemon = daemon_exercise(&latency);
     if let Some((_, completed)) = robustness
         .daemon
@@ -442,6 +549,7 @@ fn main() {
         faults_pre_collapse,
         faults_post_collapse: runs.first().map_or(0, |r| r.stats.fault_classes),
         shard_report: shard_report.as_ref(),
+        shard_procs: shard_procs_report.as_ref(),
         sweep: &sweep,
     };
     println!(
@@ -502,6 +610,7 @@ struct SnapshotExtras<'a> {
     faults_pre_collapse: usize,
     faults_post_collapse: u64,
     shard_report: Option<&'a ShardReport>,
+    shard_procs: Option<&'a ShardProcsReport>,
     sweep: &'a [SweepEntry],
 }
 
@@ -695,6 +804,44 @@ fn render_json(
         }
         None => {
             let _ = writeln!(s, "  \"shard_merge\": null,");
+        }
+    }
+    match extras.shard_procs {
+        Some(r) => {
+            let _ = writeln!(s, "  \"shard_procs\": {{");
+            let _ = writeln!(s, "    \"shards\": {},", r.shards);
+            let _ = writeln!(s, "    \"jobs\": {},", r.jobs);
+            let _ = writeln!(s, "    \"wall_secs\": {},", r.wall_secs);
+            let _ = writeln!(
+                s,
+                "    \"merged_fingerprint\": \"{:016x}\",",
+                r.merged_fingerprint
+            );
+            let _ = writeln!(s, "    \"matches_serial\": {},", r.matches_serial);
+            let _ = writeln!(s, "    \"workers_spawned\": {},", r.report.workers_spawned);
+            let _ = writeln!(s, "    \"respawns\": {},", r.report.respawns);
+            let _ = writeln!(s, "    \"stalls_detected\": {},", r.report.stalls_detected);
+            let _ = writeln!(s, "    \"rss_evictions\": {},", r.report.rss_evictions);
+            let _ = writeln!(s, "    \"readmissions\": {},", r.report.readmissions);
+            let _ = writeln!(
+                s,
+                "    \"stragglers_redispatched\": {},",
+                r.report.stragglers_redispatched
+            );
+            let _ = writeln!(
+                s,
+                "    \"supervisor_peak_rss_bytes\": {},",
+                r.supervisor_peak_rss_bytes
+            );
+            let _ = writeln!(
+                s,
+                "    \"children_peak_rss_bytes\": {}",
+                r.children_peak_rss_bytes
+            );
+            let _ = writeln!(s, "  }},");
+        }
+        None => {
+            let _ = writeln!(s, "  \"shard_procs\": null,");
         }
     }
     let _ = writeln!(s, "  \"scale_sweep\": [");

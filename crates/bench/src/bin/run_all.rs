@@ -25,6 +25,12 @@
 //! | `FASTMON_RUN_ALL_GRACE_SECS` | extra seconds a soft-cancelled child gets before being killed | `30` |
 //! | `FASTMON_MANIFEST` | manifest output path | `RUN_MANIFEST.json` |
 //!
+//! `FASTMON_SHARD_PROCS=1` (with `FASTMON_SHARDS=N`) is inherited by every
+//! child, so each experiment's campaign runs as `N` supervised shard
+//! processes ([`fastmon_bench::shardsup`]); the soft deadline still works —
+//! the child's supervisor SIGTERMs its workers, which checkpoint and exit
+//! cooperatively.
+//!
 //! Telemetry: every child runs with `FASTMON_PROFILE_OUT` pointing at a
 //! per-child file under `<manifest dir>/fastmon-profiles/`; the driver
 //! validates each report against the profile schema and folds it into the

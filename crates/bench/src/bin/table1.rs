@@ -11,6 +11,9 @@ use fastmon_bench::{paper, pct, print_table, with_run, ExperimentConfig};
 use fastmon_core::report::table1_row;
 
 fn main() {
+    // With FASTMON_SHARD_PROCS=1 the campaign re-executes this binary
+    // once per shard; those children never reach the experiment logic.
+    fastmon_bench::shardsup::maybe_run_worker();
     let config = ExperimentConfig::from_env();
     println!("# Table I — circuit statistics and targeted hidden delay faults\n");
     println!(

@@ -12,6 +12,9 @@ use fastmon_core::report::table3_row;
 const COVERAGES: [f64; 4] = [0.99, 0.98, 0.95, 0.90];
 
 fn main() {
+    // With FASTMON_SHARD_PROCS=1 the campaign re-executes this binary
+    // once per shard; those children never reach the experiment logic.
+    fastmon_bench::shardsup::maybe_run_worker();
     let config = ExperimentConfig::from_env();
     println!("# Table III — test time reduction for partial HDF coverage\n");
     println!(

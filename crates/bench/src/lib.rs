@@ -20,6 +20,12 @@
 //! | `FASTMON_CHECKPOINT_DIR` | campaign-checkpoint directory | `target/fastmon-checkpoints` |
 //! | `FASTMON_FRESH` | set to `1` to discard existing checkpoints | unset |
 //! | `FASTMON_SHARDS` | fault-set shards per campaign (merge is bit-identical) | `1` |
+//! | `FASTMON_SHARD_PROCS` | set to `1` to run each shard as a supervised child process | unset |
+//! | `FASTMON_SHARD_JOBS` | concurrent shard workers under the supervisor | cores |
+//! | `FASTMON_SHARD_RSS_BYTES` | per-worker RSS ceiling before graceful eviction | unlimited |
+//! | `FASTMON_SHARD_STALL_SECS` | heartbeat silence before a worker is killed | `60` |
+//! | `FASTMON_SHARD_RETRIES` | respawn budget per shard | `3` |
+//! | `FASTMON_SHARD_VERIFY` | set to `1` to re-run in process and assert parity | unset |
 //!
 //! The fault-simulation campaign checkpoints after every pattern band (see
 //! [`fastmon_core::CheckpointStore`]); re-running an interrupted experiment
@@ -30,13 +36,17 @@
 pub mod chaos;
 pub mod manifest;
 pub mod rss;
+pub mod shardsup;
 pub mod soak;
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use fastmon_atpg::TestSet;
-use fastmon_core::{CheckpointStore, DetectionAnalysis, FlowConfig, FlowError, HdfTestFlow};
+use fastmon_core::{
+    CheckpointDir, CheckpointStore, DetectionAnalysis, FlowConfig, FlowError, HdfTestFlow,
+    ShardsupError,
+};
 use fastmon_netlist::generate::{paper_suite, CircuitProfile};
 use fastmon_netlist::Circuit;
 
@@ -75,14 +85,60 @@ pub struct ExperimentConfig {
     /// The merged sharded result is bit-identical to the serial run, so
     /// this only changes checkpoint granularity and memory footprint.
     pub shards: usize,
+    /// Run each shard as a supervised child OS process
+    /// (`FASTMON_SHARD_PROCS=1`) instead of in-process slices — crash,
+    /// stall and RSS isolation per shard (see [`shardsup`]).
+    pub shard_procs: bool,
 }
 
 impl ExperimentConfig {
-    /// Reads the configuration from `FASTMON_*` environment variables.
+    /// Reads the configuration from `FASTMON_*` environment variables,
+    /// exiting with a one-line diagnostic (status 2) when a sharding
+    /// knob is malformed. Library callers that want the error instead
+    /// use [`ExperimentConfig::try_from_env`].
     #[must_use]
     pub fn from_env() -> Self {
+        match Self::try_from_env() {
+            Ok(config) => config,
+            Err(e) => {
+                eprintln!("[bench] invalid configuration: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Reads the configuration from `FASTMON_*` environment variables.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardsupError::Config`] when `FASTMON_SHARDS`,
+    /// `FASTMON_SHARD_JOBS` or `FASTMON_SHARD_PROCS` is set to something
+    /// unusable (`0`, non-numeric, or more than
+    /// [`fastmon_core::MAX_SHARDS`]) — the error carries the offending
+    /// string rather than silently clamping it.
+    pub fn try_from_env() -> Result<Self, ShardsupError> {
         let get = |k: &str| std::env::var(k).ok();
-        ExperimentConfig {
+        let shards = match get("FASTMON_SHARDS") {
+            Some(raw) => fastmon_core::parse_shard_count("FASTMON_SHARDS", &raw)?,
+            None => 1,
+        };
+        // Validated here so a bad value fails fast at startup, not after
+        // ATPG when the supervisor first reads it.
+        if let Some(raw) = get("FASTMON_SHARD_JOBS") {
+            fastmon_core::parse_shard_count("FASTMON_SHARD_JOBS", &raw)?;
+        }
+        let shard_procs = match get("FASTMON_SHARD_PROCS").as_deref() {
+            None | Some("0") | Some("") => false,
+            Some("1") => true,
+            Some(other) => {
+                return Err(ShardsupError::Config {
+                    key: "FASTMON_SHARD_PROCS".to_owned(),
+                    value: other.to_owned(),
+                    reason: "expected 0 or 1".to_owned(),
+                })
+            }
+        };
+        Ok(ExperimentConfig {
             target_gates: get("FASTMON_TARGET_GATES")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(4_000),
@@ -100,11 +156,9 @@ impl ExperimentConfig {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(20),
             ),
-            shards: get("FASTMON_SHARDS")
-                .and_then(|v| v.parse().ok())
-                .filter(|&n| n >= 1)
-                .unwrap_or(1),
-        }
+            shards,
+            shard_procs,
+        })
     }
 
     /// The benchmark suite after filtering and scaling.
@@ -197,30 +251,43 @@ pub fn with_run<R>(
 
     let t = Instant::now();
     let analysis = if config.shards > 1 {
-        // Sharded campaign: each contiguous fault slice checkpoints into
-        // its own file under `<dir>/<circuit>-shards/`; the merged result
-        // is bit-identical to the serial run.
-        let dir = checkpoint_dir().join(format!("{}-shards", profile.name));
-        if std::env::var("FASTMON_FRESH").is_ok_and(|v| v == "1") {
-            let _ = std::fs::remove_dir_all(&dir);
-        }
-        match std::fs::create_dir_all(&dir)
+        // Sharded campaign: every shard checkpoint and result file lives
+        // inside a locked per-fingerprint job directory, so a daemon's
+        // startup GC sweep skips them while this run is alive (the LOCK
+        // names this PID) instead of racing the shard writers.
+        let jobs = CheckpointDir::new(checkpoint_dir().join("shard-jobs"));
+        match jobs
+            .acquire(flow.campaign_fingerprint(&patterns))
             .map_err(|e| e.to_string())
-            .and_then(|()| {
-                flow.analyze_sharded_resumable_observed(
-                    &patterns,
-                    config.shards,
-                    &dir,
-                    &mut |_, _| {},
-                )
-                .map_err(|e| match e {
-                    e @ (FlowError::Cancelled { .. }
-                    | FlowError::Injected { .. }
-                    | FlowError::WorkerPanic { .. }) => {
-                        exit_flow_error(&profile.name, "fault simulation", &e)
-                    }
-                    e => e.to_string(),
-                })
+            .and_then(|job| {
+                if std::env::var("FASTMON_FRESH").is_ok_and(|v| v == "1") {
+                    clear_shard_files(job.dir());
+                }
+                let analysis = if config.shard_procs {
+                    run_shard_procs(&flow, &patterns, config, profile, scale, job.dir())?
+                } else {
+                    flow.analyze_sharded_resumable_observed(
+                        &patterns,
+                        config.shards,
+                        job.dir(),
+                        &mut |_, _| {},
+                    )
+                    .map_err(|e| match e {
+                        e @ (FlowError::Cancelled { .. }
+                        | FlowError::Injected { .. }
+                        | FlowError::WorkerPanic { .. }) => {
+                            exit_flow_error(&profile.name, "fault simulation", &e)
+                        }
+                        e => e.to_string(),
+                    })?
+                };
+                if let Err(e) = job.complete() {
+                    eprintln!(
+                        "[bench] {}: cannot remove finished shard job dir: {e}",
+                        profile.name
+                    );
+                }
+                Ok(analysis)
             }) {
             Ok(a) => a,
             Err(e) => {
@@ -270,6 +337,70 @@ pub fn with_run<R>(
         circuit: circuit.clone(),
     };
     f(&flow, &patterns, &analysis, &run)
+}
+
+/// Removes the `shard-*` checkpoint/result files inside a job directory
+/// (a `FASTMON_FRESH` restart) without disturbing its `LOCK`.
+fn clear_shard_files(dir: &std::path::Path) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        if entry.file_name().to_string_lossy().starts_with("shard-") {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Runs the sharded campaign through the multi-process supervisor
+/// ([`shardsup::supervise`]): fatal outcomes (cancellation, injected
+/// faults) exit the process like every other campaign path, anything
+/// else degrades to a fallback-worthy message.
+fn run_shard_procs(
+    flow: &HdfTestFlow<'_>,
+    patterns: &TestSet,
+    config: &ExperimentConfig,
+    profile: &CircuitProfile,
+    scale: f64,
+    dir: &std::path::Path,
+) -> Result<DetectionAnalysis, String> {
+    match shardsup::supervise(
+        flow,
+        patterns,
+        config,
+        &profile.name,
+        scale,
+        dir,
+        None,
+        &mut |_| {},
+    ) {
+        Ok(run) => {
+            let r = &run.report;
+            eprintln!(
+                "[bench] {}: supervised {} shards: {} workers, {} respawns, {} stalls, {} evictions",
+                profile.name,
+                config.shards,
+                r.workers_spawned,
+                r.respawns,
+                r.stalls_detected,
+                r.rss_evictions,
+            );
+            Ok(run.analysis)
+        }
+        Err(shardsup::SuperviseError::Flow(
+            e @ (FlowError::Cancelled { .. }
+            | FlowError::Injected { .. }
+            | FlowError::WorkerPanic { .. }),
+        )) => exit_flow_error(&profile.name, "supervised fault simulation", &e),
+        Err(shardsup::SuperviseError::Shardsup(ShardsupError::Cancelled { phase })) => {
+            exit_flow_error(
+                &profile.name,
+                "supervised fault simulation",
+                &FlowError::Cancelled { phase },
+            )
+        }
+        Err(e) => Err(e.to_string()),
+    }
 }
 
 /// Prints a markdown table: header, alignment row, rows.
@@ -389,6 +520,7 @@ mod tests {
             seed: 1,
             ilp_deadline: Duration::from_secs(5),
             shards: 1,
+            shard_procs: false,
         };
         let suite = cfg.suite();
         assert_eq!(suite.len(), 12);
@@ -412,6 +544,7 @@ mod tests {
             seed: 1,
             ilp_deadline: Duration::from_secs(5),
             shards: 1,
+            shard_procs: false,
         };
         let names: Vec<String> = cfg.suite().into_iter().map(|(p, _)| p.name).collect();
         assert_eq!(names, vec!["s9234".to_owned(), "p89k".to_owned()]);

@@ -1,0 +1,319 @@
+//! Chaos suite for the multi-process shard supervisor: real worker
+//! processes (the `perf_snapshot` binary re-exec'd as `--shard-worker`)
+//! simulating a real (tiny) paper-suite campaign, abused with kill -9,
+//! armed failpoints, a forced stall, a forced RSS eviction and a
+//! supervisor restart mid-campaign — every merged result must be
+//! bit-identical to the clean serial baseline.
+//!
+//! Environment knobs (`FASTMON_SHARD_*`, `FASTMON_FAILPOINTS`) are
+//! process-global and inherited by the spawned workers, so all scenarios
+//! run inside one test body, strictly serialized, with the variables
+//! cleared between scenarios.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use fastmon_bench::shardsup::supervise;
+use fastmon_bench::ExperimentConfig;
+use fastmon_core::shardsup::send_signal;
+use fastmon_core::{HdfTestFlow, ShardsupError, SupervisorEvent};
+use fastmon_netlist::generate::CircuitProfile;
+
+const SIGKILL: i32 = 9;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fastmon-shardsup-chaos-{tag}-{}-{}",
+        std::process::id(),
+        fastmon_obs::run_id(),
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn supervised_chaos_converges_to_the_serial_fingerprint() {
+    // Scenarios must not leak knobs into one another (or into a rerun
+    // after a failure), so start from a known-clean slate.
+    for key in [
+        "FASTMON_FAILPOINTS",
+        "FASTMON_SHARD_HANG",
+        "FASTMON_SHARD_STALL_SECS",
+        "FASTMON_SHARD_RSS_BYTES",
+        "FASTMON_SHARD_RSS_POLL_MS",
+        "FASTMON_SHARD_JOBS",
+        "FASTMON_SHARD_VERIFY",
+    ] {
+        std::env::remove_var(key);
+    }
+    // Charged respawns back off; keep the suite fast.
+    std::env::set_var("FASTMON_SHARD_BACKOFF_MS", "1");
+
+    let config = ExperimentConfig {
+        target_gates: 4000,
+        max_faults: 8000,
+        circuits: vec![],
+        seed: 1,
+        ilp_deadline: Duration::from_secs(5),
+        shards: 3,
+        shard_procs: true,
+    };
+    let scale = 0.05;
+    let base = CircuitProfile::named("s9234").unwrap();
+    let profile = base.scaled(scale);
+    let circuit = profile.generate(config.seed).unwrap();
+    let flow = HdfTestFlow::prepare(&circuit, &config.flow_config());
+    let patterns = flow
+        .try_generate_patterns(Some(profile.pattern_budget))
+        .unwrap();
+    // The clean serial baseline every chaotic run must reproduce bit for
+    // bit. Computing it first also initializes the in-process failpoint
+    // schedule (empty), so arming FASTMON_FAILPOINTS later reaches only
+    // the spawned workers, never this process.
+    let golden = flow.try_analyze(&patterns).unwrap().result_fingerprint();
+    let worker = Path::new(env!("CARGO_BIN_EXE_perf_snapshot"));
+    let name = &profile.name;
+
+    // ---- scenario 1: supervisor restart mid-campaign --------------------
+    // Phase A is cancelled after a few heartbeats (children SIGTERMed,
+    // checkpoints left resumable); phase B restarts the supervisor over
+    // the same directory and must finish from the landed state.
+    {
+        let dir = tmp("restart");
+        let token = fastmon_obs::CancelToken::new();
+        let flow_a =
+            HdfTestFlow::prepare(&circuit, &config.flow_config()).with_cancel(token.clone());
+        let mut heartbeats = 0u32;
+        let outcome = supervise(
+            &flow_a,
+            &patterns,
+            &config,
+            name,
+            scale,
+            &dir,
+            Some(worker),
+            &mut |event| {
+                if matches!(event, SupervisorEvent::Heartbeat { .. }) {
+                    heartbeats += 1;
+                    if heartbeats == 3 {
+                        token.cancel();
+                    }
+                }
+            },
+        );
+        match outcome {
+            Err(fastmon_bench::shardsup::SuperviseError::Shardsup(ShardsupError::Cancelled {
+                ..
+            })) => {}
+            // A tiny campaign can legitimately finish before the third
+            // heartbeat trips the token; that still exercises phase B as
+            // a pure already-landed restart.
+            Ok(_) => {}
+            Err(e) => panic!("phase A must cancel or complete, got {e}"),
+        }
+        let run = supervise(
+            &flow,
+            &patterns,
+            &config,
+            name,
+            scale,
+            &dir,
+            Some(worker),
+            &mut |_| {},
+        )
+        .expect("restarted supervisor must finish the campaign");
+        assert_eq!(
+            run.analysis.result_fingerprint(),
+            golden,
+            "restart: merged fingerprint diverged from the serial baseline"
+        );
+        assert_eq!(run.report.shards_completed, config.shards as u64);
+        eprintln!(
+            "[chaos] restart: phase B finished from landed state, report {:?}",
+            run.report
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- scenario 2: two random kill -9s, verify parity in-process ------
+    {
+        let dir = tmp("kill9");
+        std::env::set_var("FASTMON_SHARD_VERIFY", "1");
+        let mut killed: Vec<usize> = Vec::new();
+        let run = supervise(
+            &flow,
+            &patterns,
+            &config,
+            name,
+            scale,
+            &dir,
+            Some(worker),
+            &mut |event| {
+                if let SupervisorEvent::Spawned {
+                    shard,
+                    attempt: 0,
+                    pid,
+                } = event
+                {
+                    if killed.len() < 2 && !killed.contains(shard) {
+                        // SIGKILL immediately after spawn: no result can
+                        // have landed, so the crash is always charged.
+                        assert!(send_signal(*pid, SIGKILL));
+                        killed.push(*shard);
+                    }
+                }
+            },
+        )
+        .expect("campaign must survive two kill -9s");
+        std::env::remove_var("FASTMON_SHARD_VERIFY");
+        assert_eq!(killed.len(), 2);
+        assert!(
+            run.report.respawns >= 2,
+            "both murdered workers must be respawned: {:?}",
+            run.report
+        );
+        assert_eq!(run.analysis.result_fingerprint(), golden);
+        assert_eq!(
+            run.verified_against,
+            Some(golden),
+            "FASTMON_SHARD_VERIFY must compare against the in-process reference"
+        );
+        eprintln!(
+            "[chaos] kill9: shards {killed:?} murdered, report {:?}",
+            run.report
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- scenario 3: armed failpoint in every first-attempt child -------
+    // `campaign_band=err@2` makes each worker's first attempt die with a
+    // typed injected error after durably checkpointing band 1; respawns
+    // run clean (the supervisor strips FASTMON_FAILPOINTS) and must
+    // resume, not restart.
+    {
+        let dir = tmp("failpoints");
+        std::env::set_var("FASTMON_FAILPOINTS", "campaign_band=err@2");
+        let mut resumed = 0u32;
+        let run = supervise(
+            &flow,
+            &patterns,
+            &config,
+            name,
+            scale,
+            &dir,
+            Some(worker),
+            &mut |event| {
+                if let SupervisorEvent::Heartbeat { value, .. } = event {
+                    if value
+                        .get("event")
+                        .and_then(fastmon_obs::json::Value::as_str)
+                        == Some("shard_resumed")
+                    {
+                        resumed += 1;
+                    }
+                }
+            },
+        )
+        .expect("campaign must survive the armed failpoints");
+        std::env::remove_var("FASTMON_FAILPOINTS");
+        assert!(
+            run.report.respawns >= 1,
+            "injected first attempts must be respawned: {:?}",
+            run.report
+        );
+        assert!(
+            resumed >= 1,
+            "at least one respawn must resume from its shard checkpoint"
+        );
+        assert_eq!(run.analysis.result_fingerprint(), golden);
+        eprintln!(
+            "[chaos] failpoints: {resumed} checkpoint resumes, report {:?}",
+            run.report
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- scenario 4: hung child is stall-killed, respawn resumes --------
+    // The FASTMON_SHARD_HANG knob silences shard 0's first worker at its
+    // first band boundary (after the checkpoint landed). The stall
+    // watchdog must SIGKILL it; the charged respawn resumes and the
+    // merged result is unchanged — the respawn counter proves the path.
+    {
+        let dir = tmp("stall");
+        let flag = dir.join("hang-once");
+        std::env::set_var("FASTMON_SHARD_HANG", format!("0:{}", flag.display()));
+        std::env::set_var("FASTMON_SHARD_STALL_SECS", "1");
+        let stall_flow = HdfTestFlow::prepare(&circuit, &config.flow_config());
+        let run = supervise(
+            &stall_flow,
+            &patterns,
+            &config,
+            name,
+            scale,
+            &dir,
+            Some(worker),
+            &mut |_| {},
+        )
+        .expect("campaign must survive a hung worker");
+        std::env::remove_var("FASTMON_SHARD_HANG");
+        std::env::remove_var("FASTMON_SHARD_STALL_SECS");
+        assert!(flag.exists(), "the hang injection never fired");
+        assert!(
+            run.report.stalls_detected >= 1,
+            "the silent worker must be detected: {:?}",
+            run.report
+        );
+        assert!(run.report.respawns >= 1, "a stall kill charges the budget");
+        // the supervisor records its counters in the flow's registry
+        let shardsup = &stall_flow.metrics().shardsup;
+        assert_eq!(shardsup.respawns.get(), run.report.respawns);
+        assert_eq!(shardsup.stalls_detected.get(), run.report.stalls_detected);
+        assert_eq!(run.analysis.result_fingerprint(), golden);
+        eprintln!("[chaos] stall: report {:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- scenario 5: forced RSS eviction is graceful and uncharged ------
+    // A 1-byte ceiling evicts every worker at every probe; each
+    // evict/readmit cycle still banks at least one band (the worker
+    // observes the cancel only after a band checkpoint), so the campaign
+    // converges without spending any respawn budget.
+    {
+        let dir = tmp("rss");
+        std::env::set_var("FASTMON_SHARD_RSS_BYTES", "1");
+        std::env::set_var("FASTMON_SHARD_RSS_POLL_MS", "25");
+        std::env::set_var("FASTMON_SHARD_JOBS", "1");
+        let run = supervise(
+            &flow,
+            &patterns,
+            &config,
+            name,
+            scale,
+            &dir,
+            Some(worker),
+            &mut |_| {},
+        )
+        .expect("campaign must survive constant RSS eviction");
+        std::env::remove_var("FASTMON_SHARD_RSS_BYTES");
+        std::env::remove_var("FASTMON_SHARD_RSS_POLL_MS");
+        std::env::remove_var("FASTMON_SHARD_JOBS");
+        assert!(
+            run.report.rss_evictions >= 1,
+            "the 1-byte ceiling must evict at least once: {:?}",
+            run.report
+        );
+        assert!(run.report.readmissions >= 1);
+        assert_eq!(
+            run.report.respawns, 0,
+            "evictions must not charge the respawn budget: {:?}",
+            run.report
+        );
+        assert_eq!(run.analysis.result_fingerprint(), golden);
+        eprintln!("[chaos] rss: report {:?}", run.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    std::env::remove_var("FASTMON_SHARD_BACKOFF_MS");
+}

@@ -412,6 +412,39 @@ impl DetectionAnalysis {
             raw_union,
             ..
         } = progress;
+        Ok(Self::finalize(
+            faults,
+            num_patterns,
+            per_pattern,
+            raw_union,
+            placement,
+            configs,
+            clock,
+        ))
+    }
+
+    /// Rebuilds a full analysis from a campaign's accumulated raw results
+    /// (the `per_pattern`/`raw_union` fields of a completed
+    /// [`CampaignCheckpoint`]): derives the conventional and monitored
+    /// observable ranges, the per-fault verdicts and the target set.
+    ///
+    /// This is the (purely derived, simulation-free) tail of
+    /// [`DetectionAnalysis::compute`], exposed so a shard supervisor can
+    /// reconstruct a worker's analysis from its landed result file
+    /// without re-simulating anything — the reconstruction is
+    /// bit-identical because every derived field is a deterministic
+    /// function of `raw_union` and the flow's static context.
+    #[allow(clippy::too_many_arguments)]
+    #[must_use]
+    pub fn finalize(
+        faults: FaultList,
+        num_patterns: usize,
+        per_pattern: Vec<Vec<(u32, DetectionRange)>>,
+        raw_union: Vec<DetectionRange>,
+        placement: &MonitorPlacement,
+        configs: &ConfigSet,
+        clock: &ClockSpec,
+    ) -> Self {
         let mut conv_range = Vec::with_capacity(faults.len());
         let mut fast_range = Vec::with_capacity(faults.len());
         let mut verdicts = Vec::with_capacity(faults.len());
@@ -437,7 +470,7 @@ impl DetectionAnalysis {
             verdicts.push(verdict);
         }
 
-        Ok(DetectionAnalysis {
+        DetectionAnalysis {
             faults,
             per_pattern,
             raw_union,
@@ -446,7 +479,7 @@ impl DetectionAnalysis {
             verdicts,
             targets,
             num_patterns,
-        })
+        }
     }
 
     /// Merges per-shard analyses (each computed over a contiguous slice of

@@ -1049,6 +1049,34 @@ mod tests {
         let _ = std::fs::remove_dir_all(root);
     }
 
+    #[test]
+    fn gc_skips_a_locked_dir_holding_live_shard_checkpoints() {
+        use std::time::Duration;
+        let root = fresh_root("gc-shards");
+        let dirs = CheckpointDir::new(&root);
+        // A supervised campaign parks its per-shard checkpoints inside
+        // the job's locked directory, so a concurrent daemon gc can
+        // never reap a shard file out from under a live supervisor.
+        let job = dirs.acquire(0x5d).unwrap();
+        let shard_ckpt = job.dir().join("shard-1-of-4.ckpt");
+        CheckpointStore::new(&shard_ckpt).save(&sample()).unwrap();
+        std::mem::forget(job); // the supervisor is still alive elsewhere
+        let report = dirs.gc(&[], Duration::ZERO).unwrap();
+        assert!(report.removed.is_empty());
+        assert_eq!(report.kept_locked, 1);
+        assert!(
+            shard_ckpt.exists(),
+            "gc reaped a live supervised shard's checkpoint"
+        );
+        // Lock released (supervisor done): the whole job dir, shard
+        // files included, becomes collectable again.
+        std::fs::remove_file(dirs.dir_for(0x5d).join("LOCK")).unwrap();
+        let report = dirs.gc(&[], Duration::ZERO).unwrap();
+        assert_eq!(report.removed, vec![0x5d]);
+        assert!(!shard_ckpt.exists());
+        let _ = std::fs::remove_dir_all(root);
+    }
+
     // Decoding is exposed to whatever bytes happen to be on disk; it must
     // map *any* input to a typed error or a valid checkpoint, never panic.
     use proptest::prelude::*;

@@ -94,6 +94,16 @@ pub enum FlowError {
         /// The pattern count of shard 0.
         expected: usize,
     },
+    /// A landed shard result file is missing, belongs to a different
+    /// campaign/partition, or does not describe a completed shard run.
+    ShardResult {
+        /// Index of the shard whose result failed to load.
+        shard: usize,
+        /// Shard count of the partition.
+        shards: usize,
+        /// What was wrong with the file.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -122,6 +132,16 @@ impl fmt::Display for FlowError {
                      simulated {expected}"
                 )
             }
+            FlowError::ShardResult {
+                shard,
+                shards,
+                reason,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} of {shards} has no usable result file: {reason}"
+                )
+            }
         }
     }
 }
@@ -137,7 +157,8 @@ impl std::error::Error for FlowError {
             FlowError::Injected { .. }
             | FlowError::Cancelled { .. }
             | FlowError::WorkerPanic { .. }
-            | FlowError::ShardMerge { .. } => None,
+            | FlowError::ShardMerge { .. }
+            | FlowError::ShardResult { .. } => None,
         }
     }
 }

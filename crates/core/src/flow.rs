@@ -526,8 +526,32 @@ impl<'c> HdfTestFlow<'c> {
 
     /// The checkpointed campaign driver shared by the whole-list and
     /// per-shard resumable entry points: `faults` is the (sub-)population
-    /// to simulate and `fingerprint` keys the checkpoint's validity.
+    /// to simulate and `fingerprint` keys the checkpoint's validity. The
+    /// finished checkpoint is removed on success.
     fn analyze_list_resumable_observed(
+        &self,
+        faults: FaultList,
+        fingerprint: u64,
+        patterns: &TestSet,
+        store: &CheckpointStore,
+        observe: &mut dyn FnMut(CampaignProgress),
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let analysis =
+            self.analyze_list_resumable_keep(faults, fingerprint, patterns, store, observe)?;
+        if let Err(e) = store.clear() {
+            eprintln!(
+                "warning: could not remove finished checkpoint {}: {e}",
+                store.path().display(),
+            );
+        }
+        Ok(analysis)
+    }
+
+    /// [`HdfTestFlow::analyze_list_resumable_observed`] minus the final
+    /// checkpoint removal — the shard-worker path lands its result file
+    /// *before* clearing the checkpoint, so a crash between the two never
+    /// loses the completed campaign.
+    fn analyze_list_resumable_keep(
         &self,
         faults: FaultList,
         fingerprint: u64,
@@ -628,12 +652,6 @@ impl<'c> HdfTestFlow<'c> {
                 self.record_cancel_latency();
             }
         })?;
-        if let Err(e) = store.clear() {
-            eprintln!(
-                "warning: could not remove finished checkpoint {}: {e}",
-                store.path().display(),
-            );
-        }
         Ok(analysis)
     }
 
@@ -741,25 +759,257 @@ impl<'c> HdfTestFlow<'c> {
         observe: &mut dyn FnMut(usize, CampaignProgress),
     ) -> Result<DetectionAnalysis, FlowError> {
         let shards = shards.max(1);
-        let base = self.campaign_fingerprint(patterns);
         let mut parts = Vec::with_capacity(shards);
-        for (shard, range) in self.shard_ranges(shards).into_iter().enumerate() {
-            // the shard checkpoint is keyed by (campaign, shard, count) so
-            // a repartitioned rerun never resumes from a foreign slice
-            let mut bytes = Vec::with_capacity(24);
-            bytes.extend_from_slice(&base.to_le_bytes());
-            bytes.extend_from_slice(&(shard as u64).to_le_bytes());
-            bytes.extend_from_slice(&(shards as u64).to_le_bytes());
-            let fingerprint = fnv1a(&bytes);
-            let store = CheckpointStore::new(dir.join(format!("shard-{shard}-of-{shards}.ckpt")));
-            let analysis = self.analyze_list_resumable_observed(
-                self.candidate_faults.slice(range),
-                fingerprint,
+        for shard in 0..shards {
+            parts.push(self.analyze_shard_resumable_observed(
                 patterns,
-                &store,
+                shard,
+                shards,
+                dir,
                 &mut |progress| observe(shard, progress),
-            )?;
-            parts.push(analysis);
+            )?);
+        }
+        DetectionAnalysis::merge(parts)
+    }
+
+    /// Fingerprint keying shard `shard` of a `shards`-way partition of
+    /// this campaign: the campaign fingerprint combined with the shard
+    /// coordinates, so a repartitioned rerun never resumes from (or
+    /// merges) a foreign slice.
+    #[must_use]
+    pub fn shard_fingerprint(&self, patterns: &TestSet, shard: usize, shards: usize) -> u64 {
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&self.campaign_fingerprint(patterns).to_le_bytes());
+        bytes.extend_from_slice(&(shard as u64).to_le_bytes());
+        bytes.extend_from_slice(&(shards as u64).to_le_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Where shard `shard` of a `shards`-way campaign under `dir` keeps
+    /// its resumable checkpoint.
+    #[must_use]
+    pub fn shard_checkpoint_path(
+        dir: &std::path::Path,
+        shard: usize,
+        shards: usize,
+    ) -> std::path::PathBuf {
+        dir.join(format!("shard-{shard}-of-{shards}.ckpt"))
+    }
+
+    /// Where shard `shard` of a `shards`-way campaign under `dir` lands
+    /// its completed result file (same `FMCK` codec as the checkpoint:
+    /// atomic tmp+rename, FNV-checksummed).
+    #[must_use]
+    pub fn shard_result_path(
+        dir: &std::path::Path,
+        shard: usize,
+        shards: usize,
+    ) -> std::path::PathBuf {
+        dir.join(format!("shard-{shard}-of-{shards}.result"))
+    }
+
+    /// Whether shard `shard`'s result file under `dir` exists and
+    /// validates for this exact campaign and partition (the supervisor's
+    /// `is_complete` probe — cheap: no finalization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    #[must_use]
+    pub fn shard_result_landed(
+        &self,
+        patterns: &TestSet,
+        shard: usize,
+        shards: usize,
+        dir: &std::path::Path,
+    ) -> bool {
+        let fingerprint = self.shard_fingerprint(patterns, shard, shards);
+        let range = self.shard_ranges(shards)[shard].clone();
+        match CheckpointStore::new(Self::shard_result_path(dir, shard, shards)).load() {
+            Ok(cp) => {
+                cp.fingerprint == fingerprint
+                    && cp.next_pattern == patterns.len()
+                    && cp.per_pattern.len() == range.len()
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Crash-safe campaign over one shard of a `shards`-way partition:
+    /// the shard persists (and resumes from) its own
+    /// `shard-<i>-of-<n>.ckpt` under `dir`; the finished checkpoint is
+    /// removed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::analyze_resumable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn analyze_shard_resumable_observed(
+        &self,
+        patterns: &TestSet,
+        shard: usize,
+        shards: usize,
+        dir: &std::path::Path,
+        observe: &mut dyn FnMut(CampaignProgress),
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let fingerprint = self.shard_fingerprint(patterns, shard, shards);
+        let range = self.shard_ranges(shards)[shard].clone();
+        let store = CheckpointStore::new(Self::shard_checkpoint_path(dir, shard, shards));
+        self.analyze_list_resumable_observed(
+            self.candidate_faults.slice(range),
+            fingerprint,
+            patterns,
+            &store,
+            observe,
+        )
+    }
+
+    /// The shard-worker entry point of the multi-process supervisor: runs
+    /// shard `shard` (resuming from its checkpoint if one exists) and
+    /// lands the completed raw results as `shard-<i>-of-<n>.result` under
+    /// `dir`, returning the shard fingerprint the file is keyed by.
+    ///
+    /// Idempotent: if a valid result file for this exact shard already
+    /// exists, nothing is simulated and the fingerprint is returned
+    /// immediately — a supervisor can blindly re-dispatch a shard whose
+    /// worker died after landing. The result is landed *before* the
+    /// checkpoint is cleared, so a crash between the two steps costs
+    /// nothing on the next attempt.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HdfTestFlow::analyze_resumable`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn run_shard_to_result(
+        &self,
+        patterns: &TestSet,
+        shard: usize,
+        shards: usize,
+        dir: &std::path::Path,
+        observe: &mut dyn FnMut(CampaignProgress),
+    ) -> Result<u64, FlowError> {
+        let fingerprint = self.shard_fingerprint(patterns, shard, shards);
+        let range = self.shard_ranges(shards)[shard].clone();
+        let result_store = CheckpointStore::new(Self::shard_result_path(dir, shard, shards));
+        if let Ok(cp) = result_store.load() {
+            if cp.fingerprint == fingerprint
+                && cp.next_pattern == patterns.len()
+                && cp.per_pattern.len() == range.len()
+            {
+                return Ok(fingerprint);
+            }
+        }
+        let ckpt_store = CheckpointStore::new(Self::shard_checkpoint_path(dir, shard, shards));
+        let analysis = self.analyze_list_resumable_keep(
+            self.candidate_faults.slice(range),
+            fingerprint,
+            patterns,
+            &ckpt_store,
+            observe,
+        )?;
+        let result = CampaignCheckpoint {
+            fingerprint,
+            next_pattern: patterns.len(),
+            per_pattern: analysis.per_pattern,
+            raw_union: analysis.raw_union,
+        };
+        result_store.save(&result).map_err(FlowError::Checkpoint)?;
+        if let Err(e) = ckpt_store.clear() {
+            eprintln!(
+                "warning: could not remove finished shard checkpoint {}: {e}",
+                ckpt_store.path().display(),
+            );
+        }
+        Ok(fingerprint)
+    }
+
+    /// Loads and finalizes the landed result of one shard (see
+    /// [`HdfTestFlow::run_shard_to_result`]): the derived ranges and
+    /// verdicts are reconstructed from the raw results, bit-identical to
+    /// the analysis the worker computed.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ShardResult`] when the file is missing, unreadable,
+    /// keyed by a different campaign/partition, or incomplete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn load_shard_result(
+        &self,
+        patterns: &TestSet,
+        shard: usize,
+        shards: usize,
+        dir: &std::path::Path,
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let bad = |reason: String| FlowError::ShardResult {
+            shard,
+            shards,
+            reason,
+        };
+        let fingerprint = self.shard_fingerprint(patterns, shard, shards);
+        let range = self.shard_ranges(shards)[shard].clone();
+        let store = CheckpointStore::new(Self::shard_result_path(dir, shard, shards));
+        let cp = store.load().map_err(|e| bad(e.to_string()))?;
+        if cp.fingerprint != fingerprint {
+            return Err(bad(format!(
+                "fingerprint {:016x} does not match expected {fingerprint:016x}",
+                cp.fingerprint
+            )));
+        }
+        if cp.next_pattern != patterns.len() {
+            return Err(bad(format!(
+                "incomplete: simulated {} of {} pattern(s)",
+                cp.next_pattern,
+                patterns.len()
+            )));
+        }
+        if cp.per_pattern.len() != range.len() {
+            return Err(bad(format!(
+                "fault count {} does not match the shard's {} candidate(s)",
+                cp.per_pattern.len(),
+                range.len()
+            )));
+        }
+        Ok(DetectionAnalysis::finalize(
+            self.candidate_faults.slice(range),
+            patterns.len(),
+            cp.per_pattern,
+            cp.raw_union,
+            &self.placement,
+            &self.configs,
+            &self.clock,
+        ))
+    }
+
+    /// Deterministic merge of all landed shard results under `dir` (see
+    /// [`HdfTestFlow::run_shard_to_result`]): loads every
+    /// `shard-<i>-of-<n>.result`, finalizes each, and merges — the result
+    /// fingerprint is bit-identical to [`HdfTestFlow::try_analyze`] and
+    /// [`HdfTestFlow::try_analyze_sharded`].
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::ShardResult`] when any shard's file is missing or
+    /// invalid; [`FlowError::ShardMerge`] is unreachable for files this
+    /// method accepts (completeness is validated per shard).
+    pub fn merge_shard_results(
+        &self,
+        patterns: &TestSet,
+        shards: usize,
+        dir: &std::path::Path,
+    ) -> Result<DetectionAnalysis, FlowError> {
+        let shards = shards.max(1);
+        let mut parts = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            parts.push(self.load_shard_result(patterns, shard, shards, dir)?);
         }
         DetectionAnalysis::merge(parts)
     }

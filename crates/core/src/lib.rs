@@ -55,6 +55,7 @@ mod flow;
 mod schedule;
 
 pub mod report;
+pub mod shardsup;
 
 pub use analysis::{DetectionAnalysis, FaultVerdict};
 pub use checkpoint::{
@@ -67,3 +68,7 @@ pub use discretize::{discretize, elementary_intervals};
 pub use error::{FlowError, ScheduleError};
 pub use flow::{CampaignProgress, FlowCounts, HdfTestFlow};
 pub use schedule::{FrequencySelection, ScheduleEntry, Solver, TestSchedule, TestTimeModel};
+pub use shardsup::{
+    parse_shard_count, ShardSpec, ShardsupError, SupervisorConfig, SupervisorEvent,
+    SupervisorReport, MAX_SHARDS,
+};

@@ -124,3 +124,96 @@ fn merging_nothing_yields_the_empty_analysis() {
     assert_eq!(merged.num_patterns, 0);
     assert!(merged.targets.is_empty());
 }
+
+#[test]
+fn landed_shard_results_merge_bit_identical_and_are_idempotent() {
+    let circuit = random_circuit(13);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(8));
+    let golden = flow.try_analyze(&patterns).unwrap().result_fingerprint();
+    let dir = tmp("results");
+    std::fs::create_dir_all(&dir).unwrap();
+    for shard in 0..3 {
+        let fp = flow
+            .run_shard_to_result(&patterns, shard, 3, &dir, &mut |_| {})
+            .unwrap();
+        assert_eq!(fp, flow.shard_fingerprint(&patterns, shard, 3));
+        assert!(flow.shard_result_landed(&patterns, shard, 3, &dir));
+        // the finished checkpoint is cleared, the result file remains
+        assert!(!HdfTestFlow::shard_checkpoint_path(&dir, shard, 3).exists());
+        // re-dispatch after landing is free: nothing is re-simulated
+        let again = flow
+            .run_shard_to_result(&patterns, shard, 3, &dir, &mut |_| {})
+            .unwrap();
+        assert_eq!(again, fp);
+    }
+    let merged = flow.merge_shard_results(&patterns, 3, &dir).unwrap();
+    assert_eq!(
+        merged.result_fingerprint(),
+        golden,
+        "merge of landed shard results diverged from the serial run"
+    );
+    // a missing shard result is a typed, shard-attributed error
+    std::fs::remove_file(HdfTestFlow::shard_result_path(&dir, 1, 3)).unwrap();
+    match flow.merge_shard_results(&patterns, 3, &dir) {
+        Err(FlowError::ShardResult { shard: 1, .. }) => {}
+        other => panic!("expected ShardResult error, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merging_a_single_part_is_identity() {
+    let circuit = random_circuit(5);
+    let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+    let patterns = flow.generate_patterns(Some(6));
+    let serial = flow.try_analyze(&patterns).unwrap();
+    let golden = serial.result_fingerprint();
+    let num_faults = serial.num_faults();
+    let merged = DetectionAnalysis::merge([serial]).unwrap();
+    assert_eq!(merged.num_faults(), num_faults);
+    assert_eq!(merged.result_fingerprint(), golden);
+}
+
+/// Serial golden fingerprint plus the 8 per-shard analyses, computed
+/// once — the property below exercises merge *groupings*, which are
+/// pure data-plumbing, so 128 cases stay cheap.
+fn split_fixture() -> &'static (u64, Vec<DetectionAnalysis>) {
+    static FIX: std::sync::OnceLock<(u64, Vec<DetectionAnalysis>)> = std::sync::OnceLock::new();
+    FIX.get_or_init(|| {
+        let circuit = random_circuit(7);
+        let flow = HdfTestFlow::prepare(&circuit, &FlowConfig::default());
+        let patterns = flow.generate_patterns(Some(6));
+        let golden = flow.try_analyze(&patterns).unwrap().result_fingerprint();
+        let parts = (0..8)
+            .map(|shard| flow.try_analyze_shard(&patterns, shard, 8).unwrap())
+            .collect();
+        (golden, parts)
+    })
+}
+
+use proptest::prelude::*;
+
+proptest! {
+    // Merge is associative: any contiguous grouping of the shard parts,
+    // merged group-by-group and then merged again, is bit-identical to
+    // the flat merge (and to the serial run). `mask` bit `i` cuts the
+    // partition between shard `i` and `i+1`.
+    #[test]
+    fn merge_of_merges_over_random_splits_matches_serial(mask in any::<u8>()) {
+        let (golden, parts) = split_fixture();
+        let mut groups: Vec<Vec<DetectionAnalysis>> = vec![Vec::new()];
+        for (i, part) in parts.iter().cloned().enumerate() {
+            groups.last_mut().unwrap().push(part);
+            if i + 1 < parts.len() && mask & (1 << i) != 0 {
+                groups.push(Vec::new());
+            }
+        }
+        let merged_groups: Vec<DetectionAnalysis> = groups
+            .into_iter()
+            .map(|g| DetectionAnalysis::merge(g).unwrap())
+            .collect();
+        let merged = DetectionAnalysis::merge(merged_groups).unwrap();
+        prop_assert_eq!(merged.result_fingerprint(), *golden);
+    }
+}

@@ -254,6 +254,19 @@ fn render(snapshot: &Value, out: &mut String) {
                 ""
             },
         ));
+        // Supervised multi-process jobs ("shard_procs") carry per-shard
+        // supervisor state: index, progress within the shard's slice,
+        // charged respawns, last observation.
+        for r in j.get("shards").and_then(Value::as_arr).unwrap_or(&[]) {
+            out.push_str(&format!(
+                "       shard {:<3} {:<12} {:>5}/{:<5} respawns {}\n",
+                u(r.get("shard")),
+                s(r.get("state")),
+                u(r.get("next_pattern")),
+                u(r.get("total_patterns")),
+                u(r.get("respawns")),
+            ));
+        }
     }
 
     if let Some(latency) = snapshot.get("latency").and_then(Value::as_obj) {
@@ -344,6 +357,31 @@ mod tests {
         assert!(out.contains("serving"));
         assert!(out.contains("job_run"));
         assert!(out.contains("(no running jobs)"));
+    }
+
+    #[test]
+    fn render_shows_per_shard_supervisor_rows() {
+        let v = json::parse(
+            r#"{"event":"observe","uptime_secs":5,"queued":0,"queue_limit":16,
+                "draining":false,"tenants":[],
+                "jobs":[{"id":3,"tenant":"t0","name":"big","phase":"analyze",
+                         "resumed":false,"bands_done":4,"next_pattern":12,
+                         "total_patterns":48,"elapsed_secs":2.5,
+                         "shards":[
+                           {"shard":0,"state":"heartbeat","respawns":0,
+                            "next_pattern":12,"total_patterns":16},
+                           {"shard":1,"state":"stalled","respawns":1,
+                            "next_pattern":4,"total_patterns":16}]}],
+                "counters":{},"latency":{}}"#,
+        )
+        .unwrap();
+        let mut out = String::new();
+        render(&v, &mut out);
+        assert!(out.contains("shard 0"), "{out}");
+        assert!(out.contains("heartbeat"), "{out}");
+        assert!(out.contains("stalled"), "{out}");
+        assert!(out.contains("respawns 1"), "{out}");
+        assert!(out.contains("12/16"), "{out}");
     }
 
     #[test]

@@ -70,6 +70,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 }
 
 fn main() -> ExitCode {
+    // A process exec'd as `fastmond --shard-worker i/n` is a supervised
+    // shard of a `"shard_procs"` job, not a daemon — route it before any
+    // daemon setup (it arms its own failpoints lazily from the env).
+    fastmon_daemon::shard::maybe_run_worker();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(args) => args,

@@ -54,6 +54,24 @@ pub enum JobEvent {
         /// Total patterns in the campaign.
         total_patterns: usize,
     },
+    /// Supervised multi-process shard execution progress
+    /// (`"shard_procs":true`): one event per supervisor observation,
+    /// forwarded from the [`fastmon_core::shardsup`] engine.
+    Shard {
+        /// Shard index.
+        shard: usize,
+        /// What happened: `spawned`, `heartbeat`, `resumed`, `stalled`,
+        /// `crashed`, `rss_evicted`, `readmitted`, `straggler` or
+        /// `completed`.
+        kind: &'static str,
+        /// Charged respawns for this shard so far.
+        respawns: u64,
+        /// First pattern still unsimulated within the shard's slice
+        /// (0 until the worker reports).
+        next_pattern: u64,
+        /// Patterns in the shard's slice (0 until known).
+        total_patterns: u64,
+    },
 }
 
 /// What a completed job produced (also landed as
@@ -101,6 +119,10 @@ pub enum JobError {
     /// The flow itself failed (includes cancellation and injected
     /// faults).
     Flow(FlowError),
+    /// The multi-process shard supervisor failed (a shard exhausted its
+    /// respawn budget, a worker could not be launched). The per-shard
+    /// checkpoints under the job directory stay valid for a resume.
+    Shardsup(fastmon_core::ShardsupError),
     /// The result file could not be landed.
     Io {
         /// Operation that failed.
@@ -119,6 +141,7 @@ impl JobError {
             JobError::Locked { .. } => "locked",
             JobError::Flow(FlowError::Cancelled { .. }) => "cancelled",
             JobError::Flow(_) => "flow",
+            JobError::Shardsup(_) => "shardsup",
             JobError::Io { .. } => "io",
         }
     }
@@ -139,6 +162,7 @@ impl std::fmt::Display for JobError {
                 write!(f, "campaign checkpoint is locked by pid {holder_pid}")
             }
             JobError::Flow(e) => write!(f, "{e}"),
+            JobError::Shardsup(e) => write!(f, "shard supervisor: {e}"),
             JobError::Io { context, message } => write!(f, "{context}: {message}"),
         }
     }
@@ -158,7 +182,7 @@ fn spec_err(message: impl Into<String>) -> JobError {
     }
 }
 
-fn build_circuit(spec: &CircuitSpec) -> Result<Circuit, JobError> {
+pub(crate) fn build_circuit(spec: &CircuitSpec) -> Result<Circuit, JobError> {
     match spec {
         CircuitSpec::Library { name } => match name.as_str() {
             "s27" => Ok(library::s27()),
@@ -290,7 +314,27 @@ fn run_flow(
     on_event(JobEvent::Phase { phase: "analyze" });
     let store = acquire(dirs, fingerprint)?;
     let resumed = std::cell::Cell::new(false);
-    let analysis = {
+    let analysis = if req.shard_procs {
+        // Each shard runs as its own supervised child OS process;
+        // per-shard checkpoint and result files still live inside the
+        // job's own (locked) checkpoint directory, so GC and crash
+        // recovery see exactly the in-process layout. Children report
+        // over a pipe, so this branch streams JobEvent::Shard rows
+        // instead of Band events.
+        let mut wrapped = |e: JobEvent| {
+            if matches!(
+                e,
+                JobEvent::Shard {
+                    kind: "resumed",
+                    ..
+                }
+            ) {
+                resumed.set(true);
+            }
+            on_event(e);
+        };
+        crate::shard::run_supervised(flow, &patterns, req, store.dir(), &mut wrapped)?
+    } else {
         let mut observe = |p: fastmon_core::CampaignProgress| match p {
             fastmon_core::CampaignProgress::Resumed {
                 next_pattern,
@@ -376,6 +420,7 @@ mod tests {
             seed: 1,
             threads: 1,
             shards: 1,
+            shard_procs: false,
         }
     }
 

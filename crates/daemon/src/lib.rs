@@ -38,6 +38,7 @@ pub mod job;
 pub mod proto;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod signals;
 
 pub use flight::{FlightEvent, FlightRecorder};

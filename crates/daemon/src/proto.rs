@@ -26,9 +26,12 @@
 //! `circuit.kind` is `library` (named in-tree netlist), `profile`
 //! (synthetic paper-suite generator) or `bench` (inline `.bench` text);
 //! `sdf` optionally replaces the synthesized delay model with parsed SDF
-//! delays. Everything except `op` and `circuit` has a default.
+//! delays. `"shard_procs":true` additionally runs each shard as its own
+//! supervised child OS process (see [`crate::shard`]). Everything except
+//! `op` and `circuit` has a default.
 
 use fastmon_obs::json::{self, Value};
+use fastmon_obs::Record;
 
 /// Protocol version spoken by this build.
 pub const PROTO_VERSION: u64 = 1;
@@ -91,6 +94,11 @@ pub struct JobRequest {
     /// slice runs as its own resumable sub-campaign, and the merged
     /// result is bit-identical to the unsharded run.
     pub shards: usize,
+    /// Execute each shard as a supervised child OS process instead of an
+    /// in-process slice: per-shard crash/stall/RSS isolation with
+    /// respawn-and-resume (see [`crate::shard`]). The merged result is
+    /// still bit-identical to the unsharded run.
+    pub shard_procs: bool,
 }
 
 /// Lower bound on a `watch` interval — protects the daemon from a
@@ -259,6 +267,16 @@ fn opt_usize(obj: &Value, field: &'static str) -> Result<Option<usize>, ProtoErr
         .transpose()
 }
 
+fn opt_bool(obj: &Value, field: &'static str) -> Result<Option<bool>, ProtoError> {
+    match obj.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => v
+            .as_bool()
+            .map(Some)
+            .ok_or_else(|| bad(field, "expected a boolean")),
+    }
+}
+
 fn parse_circuit(obj: &Value) -> Result<CircuitSpec, ProtoError> {
     let circuit = obj
         .get("circuit")
@@ -321,9 +339,67 @@ fn parse_submit(obj: &Value) -> Result<JobRequest, ProtoError> {
         threads: opt_usize(obj, "threads")?.unwrap_or(1),
         shards: match opt_usize(obj, "shards")?.unwrap_or(1) {
             0 => return Err(bad("shards", "expected at least 1")),
+            n if n > fastmon_core::MAX_SHARDS => {
+                return Err(bad(
+                    "shards",
+                    format!("expected at most {}", fastmon_core::MAX_SHARDS),
+                ))
+            }
             n => n,
         },
+        shard_procs: opt_bool(obj, "shard_procs")?.unwrap_or(false),
     })
+}
+
+/// Serializes a [`JobRequest`] back into the exact `submit` line
+/// [`parse_request`] accepts: `parse_request(&to_submit_line(r))` always
+/// round-trips to an equal request. The daemon lands this line as the
+/// job spec supervised shard workers rebuild their campaign from
+/// ([`crate::shard`]) — any drift between serializer and parser would
+/// show up there as a fingerprint mismatch, so the round-trip is pinned
+/// by a unit test instead.
+#[must_use]
+pub fn to_submit_line(req: &JobRequest) -> String {
+    let circuit = match &req.circuit {
+        CircuitSpec::Library { name } => Record::new()
+            .str("kind", "library")
+            .str("name", name)
+            .finish(),
+        CircuitSpec::Profile { name, scale, seed } => Record::new()
+            .str("kind", "profile")
+            .str("name", name)
+            .f64("scale", *scale)
+            .u64("seed", *seed)
+            .finish(),
+        CircuitSpec::Bench { text } => Record::new()
+            .str("kind", "bench")
+            .str("text", text)
+            .finish(),
+    };
+    let mut rec = Record::new()
+        .str("op", "submit")
+        .u64("proto", PROTO_VERSION)
+        .str("tenant", &req.tenant)
+        .str("name", &req.name)
+        .raw("circuit", &circuit)
+        .f64("coverage", req.coverage)
+        .u64("seed", req.seed)
+        .u64("threads", req.threads as u64)
+        .u64("shards", req.shards as u64)
+        .bool("shard_procs", req.shard_procs);
+    if let Some(d) = req.deadline_secs {
+        rec = rec.f64("deadline_secs", d);
+    }
+    if let Some(b) = req.pattern_budget {
+        rec = rec.u64("pattern_budget", b as u64);
+    }
+    if let Some(m) = req.max_faults {
+        rec = rec.u64("max_faults", m as u64);
+    }
+    if let Some(sdf) = &req.sdf {
+        rec = rec.str("sdf", sdf);
+    }
+    rec.finish()
 }
 
 /// Parses one request line. Total: any input yields a [`Request`] or a
@@ -430,6 +506,94 @@ mod tests {
         assert_eq!(job.pattern_budget, Some(64));
         assert_eq!(job.threads, 2);
         assert_eq!(job.shards, 4);
+        assert!(!job.shard_procs);
+    }
+
+    #[test]
+    fn shard_procs_parses_strictly() {
+        let line = |v: &str| {
+            format!(
+                r#"{{"op":"submit","shard_procs":{v},"circuit":{{"kind":"library","name":"s27"}}}}"#
+            )
+        };
+        for (v, want) in [("true", true), ("false", false), ("null", false)] {
+            let Request::Submit(job) = parse_request(&line(v)).unwrap() else {
+                panic!("expected submit")
+            };
+            assert_eq!(job.shard_procs, want, "shard_procs {v}");
+        }
+        // anything but a boolean is a typed rejection, not a coercion
+        for v in ["1", "\"yes\"", "[true]"] {
+            assert_eq!(parse_request(&line(v)).unwrap_err().kind(), "bad_field");
+        }
+        // the shard count is capped where the supervisor's own limit is
+        let over = format!(
+            r#"{{"op":"submit","shards":{},"circuit":{{"kind":"library","name":"s27"}}}}"#,
+            fastmon_core::MAX_SHARDS + 1
+        );
+        assert_eq!(parse_request(&over).unwrap_err().kind(), "bad_field");
+    }
+
+    #[test]
+    fn submit_lines_round_trip_through_the_serializer() {
+        let requests = [
+            JobRequest {
+                tenant: "default".into(),
+                name: "job".into(),
+                circuit: CircuitSpec::Library { name: "s27".into() },
+                sdf: None,
+                coverage: 1.0,
+                deadline_secs: None,
+                pattern_budget: None,
+                max_faults: None,
+                seed: 1,
+                threads: 1,
+                shards: 1,
+                shard_procs: false,
+            },
+            JobRequest {
+                tenant: "t \"quoted\"\n".into(),
+                name: "j1".into(),
+                circuit: CircuitSpec::Profile {
+                    name: "s9234".into(),
+                    scale: 0.072_951,
+                    seed: 7,
+                },
+                sdf: None,
+                coverage: 0.95,
+                deadline_secs: Some(30.5),
+                pattern_budget: Some(64),
+                max_faults: Some(150),
+                seed: 3,
+                threads: 2,
+                shards: 4,
+                shard_procs: true,
+            },
+            JobRequest {
+                tenant: "t".into(),
+                name: "bench".into(),
+                circuit: CircuitSpec::Bench {
+                    text: "INPUT(a)\nOUTPUT(b)\nb = NOT(a)\n".into(),
+                },
+                sdf: Some("(DELAYFILE \"x\")".into()),
+                coverage: 0.5,
+                deadline_secs: Some(1e9),
+                pattern_budget: None,
+                max_faults: Some(1),
+                // largest exactly-representable JSON number (the wire
+                // format is f64-backed)
+                seed: (1 << 53) - 1,
+                threads: 0,
+                shards: fastmon_core::MAX_SHARDS,
+                shard_procs: true,
+            },
+        ];
+        for req in requests {
+            let line = to_submit_line(&req);
+            let parsed = parse_request(&line)
+                .unwrap_or_else(|e| panic!("serialized line must parse: {e}\n{line}"));
+            assert_eq!(parsed, Request::Submit(Box::new(req)), "line {line}");
+        }
     }
 
     #[test]

@@ -92,6 +92,22 @@ enum WorkerMsg {
     Terminal(String),
 }
 
+/// Live state of one supervised shard of a `"shard_procs"` job, kept
+/// current from forwarded [`JobEvent::Shard`] rows for the `observe`
+/// snapshot.
+struct ShardRow {
+    shard: u64,
+    /// Last supervisor observation (`spawned`, `heartbeat`, `stalled`,
+    /// `rss_evicted`, `completed`, ...).
+    state: &'static str,
+    /// Charged respawns so far.
+    respawns: u64,
+    /// First pattern still unsimulated within the shard's slice.
+    next_pattern: u64,
+    /// Patterns in the shard's slice (0 until the worker reports).
+    total_patterns: u64,
+}
+
 /// Live state of one in-flight job, kept current by `run_one`'s event
 /// callback so `observe` can report phase/band progress without touching
 /// the worker.
@@ -114,6 +130,9 @@ struct RunningJob {
     start_pattern: u64,
     resumed: bool,
     started: Instant,
+    /// Per-shard supervisor state (`"shard_procs"` jobs only; empty
+    /// otherwise).
+    shards: Vec<ShardRow>,
 }
 
 struct Running {
@@ -337,6 +356,7 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
             start_pattern: 0,
             resumed: false,
             started: Instant::now(),
+            shards: Vec::new(),
         });
         id
     };
@@ -445,6 +465,55 @@ fn run_one(shared: &Arc<Shared>, job: &QueuedJob) {
                         .str("name", &job.req.name)
                         .u64("next_pattern", next_pattern as u64)
                         .u64("total_patterns", total_patterns as u64)
+                        .finish(),
+                );
+            }
+            JobEvent::Shard {
+                shard,
+                kind,
+                respawns,
+                next_pattern,
+                total_patterns,
+            } => {
+                // Band-granularity heartbeats are routine; everything
+                // else (spawns, stalls, crashes, evictions) is a
+                // supervisor decision worth a post-mortem trail entry.
+                if kind != "heartbeat" {
+                    note_failpoints();
+                    flight.note("shard", format!("shard={shard} {kind} respawns={respawns}"));
+                }
+                shared.update_job(id, |j| {
+                    // Upsert keeping the rows sorted by shard index.
+                    let pos = j.shards.partition_point(|r| r.shard < shard as u64);
+                    if j.shards.get(pos).map(|r| r.shard) != Some(shard as u64) {
+                        j.shards.insert(
+                            pos,
+                            ShardRow {
+                                shard: shard as u64,
+                                state: "pending",
+                                respawns: 0,
+                                next_pattern: 0,
+                                total_patterns: 0,
+                            },
+                        );
+                    }
+                    let row = &mut j.shards[pos];
+                    row.state = kind;
+                    row.respawns = respawns;
+                    if next_pattern > 0 || total_patterns > 0 {
+                        row.next_pattern = next_pattern;
+                        row.total_patterns = total_patterns;
+                    }
+                });
+                send(
+                    Record::new()
+                        .str("event", "shard")
+                        .str("name", &job.req.name)
+                        .u64("shard", shard as u64)
+                        .str("kind", kind)
+                        .u64("respawns", respawns)
+                        .u64("next_pattern", next_pattern)
+                        .u64("total_patterns", total_patterns)
                         .finish(),
                 );
             }
@@ -786,6 +855,25 @@ fn observe_record(shared: &Shared) -> String {
                 .f64("elapsed_secs", elapsed);
             if let Some(fp) = j.fingerprint {
                 rec = rec.fingerprint("fingerprint", fp);
+            }
+            if !j.shards.is_empty() {
+                let mut rows = String::from("[");
+                for (k, r) in j.shards.iter().enumerate() {
+                    if k > 0 {
+                        rows.push(',');
+                    }
+                    rows.push_str(
+                        &Record::new()
+                            .u64("shard", r.shard)
+                            .str("state", r.state)
+                            .u64("respawns", r.respawns)
+                            .u64("next_pattern", r.next_pattern)
+                            .u64("total_patterns", r.total_patterns)
+                            .finish(),
+                    );
+                }
+                rows.push(']');
+                rec = rec.raw("shards", &rows);
             }
             // Extrapolate from what *this* process simulated; patterns
             // inherited from a resumed checkpoint cost it nothing.

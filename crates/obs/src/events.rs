@@ -121,6 +121,66 @@ impl Record {
     }
 }
 
+/// Pre-built record lines for the shard-worker heartbeat protocol.
+///
+/// A supervised shard worker writes these to its stdout pipe, one per
+/// line; the supervisor parses them back with [`crate::json::parse`].
+/// Keeping the builders next to [`Record`] pins the wire schema in one
+/// place for both sides (core's supervisor, bench/daemon workers, and
+/// the chaos tests).
+pub mod shard {
+    use super::Record;
+
+    /// Band-boundary liveness: the worker has durably checkpointed up to
+    /// `next_pattern` of `total_patterns`.
+    #[must_use]
+    pub fn heartbeat(shard: usize, shards: usize, next_pattern: usize, total: usize) -> String {
+        Record::new()
+            .str("event", "shard_heartbeat")
+            .u64("shard", shard as u64)
+            .u64("shards", shards as u64)
+            .u64("next_pattern", next_pattern as u64)
+            .u64("total_patterns", total as u64)
+            .finish()
+    }
+
+    /// The worker resumed from an existing `shard-i-of-n.ckpt`.
+    #[must_use]
+    pub fn resumed(shard: usize, shards: usize, next_pattern: usize, total: usize) -> String {
+        Record::new()
+            .str("event", "shard_resumed")
+            .u64("shard", shard as u64)
+            .u64("shards", shards as u64)
+            .u64("next_pattern", next_pattern as u64)
+            .u64("total_patterns", total as u64)
+            .finish()
+    }
+
+    /// The worker landed its result file (fingerprint is the shard's own
+    /// checkpoint fingerprint, not the merged campaign's).
+    #[must_use]
+    pub fn done(shard: usize, shards: usize, fingerprint: u64) -> String {
+        Record::new()
+            .str("event", "shard_done")
+            .u64("shard", shard as u64)
+            .u64("shards", shards as u64)
+            .fingerprint("fingerprint", fingerprint)
+            .finish()
+    }
+
+    /// A typed failure the worker could still report before exiting
+    /// nonzero.
+    #[must_use]
+    pub fn error(shard: usize, shards: usize, message: &str) -> String {
+        Record::new()
+            .str("event", "shard_error")
+            .u64("shard", shard as u64)
+            .u64("shards", shards as u64)
+            .str("message", message)
+            .finish()
+    }
+}
+
 /// A line-at-a-time JSONL writer shared between threads.
 ///
 /// Each [`emit`](StreamSink::emit) appends exactly one `line + '\n'` and

@@ -55,7 +55,7 @@ pub use failpoints::{InjectedFailure, SpecError, SpecErrorKind};
 pub use hist::{Histogram, HistogramSet, Quantiles};
 pub use metrics::{
     AtpgMetrics, CheckpointMetrics, Counter, DaemonMetrics, IlpMetrics, MetricsRegistry,
-    RobustnessMetrics, SimMetrics, StaMetrics,
+    RobustnessMetrics, ShardsupMetrics, SimMetrics, StaMetrics,
 };
 pub use trace::{
     emit_chain, emit_counters, enabled, finish, flush, force_enable, jsonl_enabled, run_id, span,

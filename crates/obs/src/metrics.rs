@@ -262,6 +262,34 @@ metric_section! {
     }
 }
 
+metric_section! {
+    /// Multi-process shard-supervisor counters, reported under
+    /// `robustness.shardsup.*`. Owned by whoever runs a supervised
+    /// campaign (`perf_snapshot --shard-procs`, `fastmond` shard-procs
+    /// jobs) and absorbed into the robustness rollup. Zero when shards
+    /// run in-process.
+    ShardsupMetrics {
+        /// Shard worker processes spawned (first attempts and respawns).
+        workers_spawned,
+        /// Workers respawned after a crash, stall kill, or nonzero exit.
+        respawns,
+        /// Workers killed because no heartbeat arrived within the stall
+        /// timeout.
+        stalls_detected,
+        /// Workers SIGTERMed by the RSS watchdog for exceeding
+        /// `FASTMON_SHARD_RSS_BYTES`.
+        rss_evictions,
+        /// Evicted workers re-admitted after concurrency freed memory.
+        readmissions,
+        /// Last-shard stragglers killed and re-dispatched.
+        stragglers_redispatched,
+        /// Heartbeat/progress lines parsed from worker pipes.
+        heartbeats_received,
+        /// Shards that landed a valid result file.
+        shards_completed,
+    }
+}
+
 /// The campaign-owned collector handed through the whole flow.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
@@ -279,6 +307,8 @@ pub struct MetricsRegistry {
     pub robustness: RobustnessMetrics,
     /// Daemon job-lifecycle counters (zero outside a `fastmond` process).
     pub daemon: DaemonMetrics,
+    /// Shard-supervisor counters (zero when shards run in-process).
+    pub shardsup: ShardsupMetrics,
     /// Latency distributions (nanoseconds): queue-wait, job run, band,
     /// checkpoint save/load, protocol parse/handle.
     pub latency: crate::hist::HistogramSet,
@@ -296,6 +326,7 @@ impl MetricsRegistry {
             checkpoint: CheckpointMetrics::new(),
             robustness: RobustnessMetrics::new(),
             daemon: DaemonMetrics::new(),
+            shardsup: ShardsupMetrics::new(),
             latency: crate::hist::HistogramSet::new(),
         }
     }
@@ -309,6 +340,7 @@ impl MetricsRegistry {
         self.checkpoint.reset();
         self.robustness.reset();
         self.daemon.reset();
+        self.shardsup.reset();
         self.latency.reset();
     }
 
@@ -325,6 +357,7 @@ impl MetricsRegistry {
         self.checkpoint.absorb(&other.checkpoint);
         self.robustness.absorb(&other.robustness);
         self.daemon.absorb(&other.daemon);
+        self.shardsup.absorb(&other.shardsup);
         self.latency.merge_from(&other.latency);
     }
 
@@ -341,6 +374,7 @@ impl MetricsRegistry {
             ("checkpoint", self.checkpoint.entries()),
             ("robustness", self.robustness.entries()),
             ("robustness.daemon", self.daemon.entries()),
+            ("robustness.shardsup", self.shardsup.entries()),
         ] {
             for (name, value) in entries {
                 out.push((format!("{section}.{name}"), value));
@@ -397,6 +431,7 @@ mod tests {
             "checkpoint.",
             "robustness.",
             "robustness.daemon.",
+            "robustness.shardsup.",
         ] {
             assert!(
                 entries.iter().any(|(n, _)| n.starts_with(prefix)),
